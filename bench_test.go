@@ -1,0 +1,367 @@
+// Package nimbus_bench wraps the experiment harness (internal/bench) as
+// testing.B benchmarks — one per table and figure of the paper's
+// evaluation — plus ablation benchmarks for the design choices DESIGN.md
+// calls out. Run:
+//
+//	go test -bench=. -benchmem
+//
+// Each benchmark reports the experiment's headline quantity as a custom
+// metric and logs the full regenerated table once (use -v to see it).
+// These run at quick scale; cmd/nimbus-bench -scale paper runs the full
+// configuration.
+package nimbus_bench
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"nimbus/internal/app/lr"
+	"nimbus/internal/bench"
+	"nimbus/internal/cluster"
+	"nimbus/internal/command"
+	"nimbus/internal/controller"
+	"nimbus/internal/core"
+	"nimbus/internal/flow"
+	"nimbus/internal/fn"
+	"nimbus/internal/ids"
+	"nimbus/internal/proto"
+)
+
+// runTable executes one experiment per benchmark run and logs its table.
+var tableOnce sync.Map
+
+func runTable(b *testing.B, name string, f func(bench.Scale) (*bench.Table, error)) {
+	b.Helper()
+	s := bench.Quick()
+	s.Iterations = 2
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t, err := f(s)
+		if err != nil {
+			b.Fatalf("%s: %v", name, err)
+		}
+		if _, logged := tableOnce.LoadOrStore(name, true); !logged {
+			b.Logf("\n%s", t.Format())
+		}
+	}
+}
+
+func BenchmarkFig1ControlPlaneBottleneck(b *testing.B) { runTable(b, "fig1", bench.Fig1) }
+func BenchmarkTable1Install(b *testing.B)              { runTable(b, "table1", bench.Table1) }
+func BenchmarkTable2Instantiate(b *testing.B)          { runTable(b, "table2", bench.Table2) }
+func BenchmarkTable3Edits(b *testing.B)                { runTable(b, "table3", bench.Table3) }
+func BenchmarkFig7Iteration(b *testing.B)              { runTable(b, "fig7", bench.Fig7) }
+func BenchmarkFig8Throughput(b *testing.B)             { runTable(b, "fig8", bench.Fig8) }
+func BenchmarkFig9Adaptation(b *testing.B)             { runTable(b, "fig9", bench.Fig9) }
+func BenchmarkFig10Migration(b *testing.B)             { runTable(b, "fig10", bench.Fig10) }
+func BenchmarkFig11WaterSim(b *testing.B)              { runTable(b, "fig11", bench.Fig11) }
+
+// ---------------------------------------------------------------------------
+// Micro-benchmarks of the core template operations (no cluster, pure
+// controller-side costs). These are the tightest loops behind Table 2.
+
+func buildAssignment(b *testing.B, workers, parts, fan int) (*core.Assignment, *flow.Directory, map[ids.WorkerID]*flow.Ledger) {
+	b.Helper()
+	place := core.NewStaticPlacement(workers)
+	place.Define(1, parts)
+	place.Define(2, 1)
+	place.Define(3, parts)
+	place.Define(4, parts/fan)
+	stages := []*proto.SubmitStage{
+		{Stage: 1, Fn: fn.FuncSim, Tasks: parts,
+			Refs: []proto.VarRef{
+				{Var: 1, Pattern: proto.OnePerTask},
+				{Var: 2, Pattern: proto.Shared},
+				{Var: 3, Write: true, Pattern: proto.OnePerTask},
+			}},
+		{Stage: 2, Fn: fn.FuncSim, Tasks: parts / fan,
+			Refs: []proto.VarRef{
+				{Var: 3, Pattern: proto.Grouped},
+				{Var: 4, Write: true, Pattern: proto.OnePerTask},
+			}},
+		{Stage: 3, Fn: fn.FuncSim, Tasks: 1,
+			Refs: []proto.VarRef{
+				{Var: 4, Pattern: proto.Grouped},
+				{Var: 2, Pattern: proto.Shared},
+				{Var: 2, Write: true, Pattern: proto.Shared},
+			}},
+	}
+	var alloc ids.ObjectIDs
+	dir := flow.NewDirectory(&alloc)
+	bld := core.NewBuilder(dir, place)
+	for _, s := range stages {
+		if err := bld.AddStage(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+	a := bld.Finalize(1)
+	ledgers := make(map[ids.WorkerID]*flow.Ledger, workers)
+	for w := 1; w <= workers; w++ {
+		ledgers[ids.WorkerID(w)] = flow.NewLedger(ids.WorkerID(w))
+	}
+	for _, pc := range a.Preconds {
+		if dir.Latest(pc.Logical) == 0 {
+			dir.RecordWrite(pc.Logical, pc.Worker)
+		} else if !dir.IsLatest(pc.Logical, pc.Worker) {
+			dir.RecordCopy(pc.Logical, pc.Worker)
+		}
+	}
+	return a, dir, ledgers
+}
+
+// BenchmarkTemplateBuild measures building an 8000-task template (the
+// controller-template install cost of Table 1).
+func BenchmarkTemplateBuild(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		buildAssignment(b, 100, 8000, 80)
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/8101, "ns/task")
+}
+
+// BenchmarkTemplateValidate measures full precondition validation.
+func BenchmarkTemplateValidate(b *testing.B) {
+	a, dir, _ := buildAssignment(b, 100, 8000, 80)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if v := a.Validate(dir); len(v) != 0 {
+			b.Fatalf("violations: %d", len(v))
+		}
+	}
+}
+
+// BenchmarkTemplateApplyEffects measures the controller-side instantiation
+// bookkeeping (Table 2's 0.2µs/task path).
+func BenchmarkTemplateApplyEffects(b *testing.B) {
+	a, dir, ledgers := buildAssignment(b, 100, 8000, 80)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.ApplyEffects(ids.CommandID(uint64(i+1)*100000), dir, ledgers)
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/8000, "ns/task")
+}
+
+// BenchmarkWorkerMaterialize measures the worker-side instantiation cost:
+// translating cached entries to concrete commands (Table 2's 1.7µs/task).
+func BenchmarkWorkerMaterialize(b *testing.B) {
+	a, _, _ := buildAssignment(b, 100, 8000, 80)
+	idxs := a.PerWorker[1]
+	entries := make([]*command.TemplateEntry, len(idxs))
+	for i, idx := range idxs {
+		entries[i] = &a.Entries[idx]
+	}
+	out := make([]command.Command, len(entries))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		base := ids.CommandID(uint64(i+1) * 100000)
+		for j, e := range entries {
+			e.Materialize(base, nil, &out[j])
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(len(entries)), "ns/task")
+}
+
+// BenchmarkRebuildDiff measures edit generation (rebuild + provenance
+// diff) for a single-partition migration on an 8000-task template.
+func BenchmarkRebuildDiff(b *testing.B) {
+	place := core.NewStaticPlacement(100)
+	place.Define(1, 8000)
+	place.Define(2, 1)
+	place.Define(3, 8000)
+	place.Define(4, 100)
+	stages := []*proto.SubmitStage{
+		{Stage: 1, Fn: fn.FuncSim, Tasks: 8000,
+			Refs: []proto.VarRef{
+				{Var: 1, Pattern: proto.OnePerTask},
+				{Var: 2, Pattern: proto.Shared},
+				{Var: 3, Write: true, Pattern: proto.OnePerTask},
+			}},
+		{Stage: 2, Fn: fn.FuncSim, Tasks: 100,
+			Refs: []proto.VarRef{
+				{Var: 3, Pattern: proto.Grouped},
+				{Var: 4, Write: true, Pattern: proto.OnePerTask},
+			}},
+	}
+	var alloc ids.ObjectIDs
+	dir := flow.NewDirectory(&alloc)
+	tmpl := &core.Template{ID: 1, Name: "b", Stages: stages}
+	bld := core.NewBuilder(dir, place)
+	for _, s := range stages {
+		if err := bld.AddStage(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+	prev := bld.Finalize(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Move the partition to a worker other than its current owner.
+		place.Reassign(1, i%8000, ids.WorkerID(1+(i+1)%100))
+		place.Reassign(3, i%8000, ids.WorkerID(1+(i+1)%100))
+		next, err := tmpl.Rebuild(1, dir, place, prev)
+		if err != nil {
+			b.Fatal(err)
+		}
+		d := core.Diff(prev, next)
+		if d.Changed == 0 {
+			b.Fatal("no edits generated")
+		}
+		prev = next
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Ablations (DESIGN.md §6)
+
+// BenchmarkAblationNoAutoValidate quantifies what auto-validation saves:
+// per-instantiation controller cost with and without skipping validation.
+func BenchmarkAblationNoAutoValidate(b *testing.B) {
+	a, dir, ledgers := buildAssignment(b, 100, 8000, 80)
+	b.Run("auto", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			// Tight loop: effects only (validation skipped).
+			a.ApplyEffects(ids.CommandID(uint64(i+1)*100000), dir, ledgers)
+		}
+	})
+	b.Run("validate-every-time", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if v := a.Validate(dir); len(v) != 0 {
+				b.Fatal("unexpected violations")
+			}
+			a.ApplyEffects(ids.CommandID(uint64(i+1)*100000), dir, ledgers)
+		}
+	})
+}
+
+// BenchmarkAblationIDArray compares the base+index command-ID encoding
+// against materializing explicit per-task ID arrays (what a naive
+// template would ship per instantiation).
+func BenchmarkAblationIDArray(b *testing.B) {
+	a, _, _ := buildAssignment(b, 100, 8000, 80)
+	n := a.MaxIndex()
+	b.Run("base-plus-index", func(b *testing.B) {
+		var sink ids.CommandID
+		for i := 0; i < b.N; i++ {
+			base := ids.CommandID(uint64(i) * 100000)
+			for idx := 0; idx < n; idx++ {
+				sink = base + ids.CommandID(idx)
+			}
+		}
+		_ = sink
+	})
+	b.Run("explicit-array", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			arr := make([]ids.CommandID, n)
+			base := ids.CommandID(uint64(i) * 100000)
+			for idx := range arr {
+				arr[idx] = base + ids.CommandID(idx)
+			}
+			// Shipping the array would also serialize ~10 bytes/task.
+		}
+	})
+}
+
+// BenchmarkAblationPatchCache measures patch construction vs cached patch
+// lookup for a broadcast-shaped violation set.
+func BenchmarkAblationPatchCache(b *testing.B) {
+	var alloc ids.ObjectIDs
+	dir := flow.NewDirectory(&alloc)
+	const l ids.LogicalID = 1
+	dir.Instance(l, 1)
+	dir.RecordWrite(l, 1)
+	var viols []core.Violation
+	for w := ids.WorkerID(2); w <= 100; w++ {
+		viols = append(viols, core.Violation{
+			Precond: core.Precond{Logical: l, Worker: w, Object: dir.Instance(l, w)},
+			Holder:  1,
+		})
+	}
+	b.Run("build", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.BuildPatch(ids.PatchID(i+1), dir, viols); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cached-lookup", func(b *testing.B) {
+		cache := core.NewPatchCache()
+		p, _ := core.BuildPatch(1, dir, viols)
+		tr := core.Transition{Prev: 1, Next: 2}
+		cache.Store(tr, p)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if cache.Lookup(tr, dir, viols) == nil {
+				b.Fatal("cache miss")
+			}
+		}
+	})
+}
+
+// BenchmarkEndToEndIteration is the headline number: steady-state
+// templated iteration time on a quick-scale cluster, reported as
+// tasks/second through the control plane.
+func BenchmarkEndToEndIteration(b *testing.B) {
+	reg := fn.NewRegistry()
+	lr.Register(reg)
+	c, err := cluster.Start(cluster.Options{
+		Workers: 8, Slots: 8, Registry: reg, Mode: controller.ModeNimbus,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Stop()
+	d, err := c.Driver("bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	j, err := lr.Setup(d, lr.Config{
+		Partitions: 160, ReduceFan: 8, Simulated: true,
+		TaskDuration: 500 * time.Microsecond, ReduceDuration: 100 * time.Microsecond,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := j.InstallTemplates(); err != nil {
+		b.Fatal(err)
+	}
+	if err := j.Optimize(); err != nil {
+		b.Fatal(err)
+	}
+	if err := d.Barrier(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := j.Optimize(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := d.Barrier(); err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	tasksPerIter := 160 + 20 + 1
+	b.ReportMetric(float64(tasksPerIter)*float64(b.N)/b.Elapsed().Seconds(), "tasks/s")
+}
+
+// BenchmarkProtoCodec measures the wire codec on the hot instantiation
+// message.
+func BenchmarkProtoCodec(b *testing.B) {
+	msg := &proto.InstantiateTemplate{
+		Template: 7, Instance: 9, Base: 123456,
+		ParamArray:    nil,
+		DoneWatermark: 123000,
+	}
+	b.Run("marshal", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = proto.Marshal(msg)
+		}
+	})
+	raw := proto.Marshal(msg)
+	b.Run("unmarshal", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := proto.Unmarshal(raw); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

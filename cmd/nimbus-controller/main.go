@@ -1,0 +1,58 @@
+// Command nimbus-controller runs a standalone Nimbus controller over TCP.
+// Workers (cmd/nimbus-worker) and driver programs connect to its address.
+//
+//	nimbus-controller -listen :7000
+//	nimbus-controller -listen :7000 -mode central -central-cost 166us
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"nimbus/internal/controller"
+	"nimbus/internal/transport"
+)
+
+func main() {
+	listen := flag.String("listen", ":7000", "control-plane listen address")
+	mode := flag.String("mode", "nimbus", "scheduling mode: nimbus or central")
+	centralCost := flag.Duration("central-cost", 0,
+		"modeled per-task scheduling cost in central mode (e.g. 166us)")
+	hbTimeout := flag.Duration("heartbeat-timeout", 5*time.Second,
+		"mark a worker failed after this silence (0 disables)")
+	flag.Parse()
+
+	var m controller.Mode
+	switch *mode {
+	case "nimbus":
+		m = controller.ModeNimbus
+	case "central":
+		m = controller.ModeCentral
+	default:
+		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+	c := controller.New(controller.Config{
+		ControlAddr:        *listen,
+		Transport:          transport.TCP{},
+		Mode:               m,
+		CentralPerTaskCost: *centralCost,
+		HeartbeatTimeout:   *hbTimeout,
+		Logf:               log.Printf,
+	})
+	if err := c.Start(); err != nil {
+		log.Fatalf("starting controller: %v", err)
+	}
+	log.Printf("nimbus controller listening on %s (%s mode)", *listen, *mode)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	log.Printf("shutting down")
+	c.Stop()
+}

@@ -1,0 +1,63 @@
+// K-means clustering with a data-dependent convergence loop: the
+// iteration block is one execution template instantiated until the
+// centroid movement falls below a threshold.
+//
+//	go run ./examples/kmeans
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"nimbus/internal/app/kmeans"
+	"nimbus/internal/cluster"
+	"nimbus/internal/fn"
+)
+
+func main() {
+	reg := fn.NewRegistry()
+	kmeans.Register(reg)
+	c, err := cluster.Start(cluster.Options{Workers: 4, Registry: reg})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Stop()
+
+	d, err := c.Driver("kmeans")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer d.Close()
+
+	job, err := kmeans.Setup(d, kmeans.Config{
+		Partitions: 8, K: 3, Dims: 2, PointsPerPart: 250, Seed: 7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := job.InstallTemplate(); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("clustering until the centroids stop moving")
+	for i := 1; i <= 50; i++ {
+		if err := job.Iterate(); err != nil {
+			log.Fatal(err)
+		}
+		shift, err := job.ShiftValue()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  iteration %2d: centroid shift %.5f\n", i, shift)
+		if shift < 1e-3 {
+			break
+		}
+	}
+	cents, err := job.CentroidValues()
+	if err != nil {
+		log.Fatal(err)
+	}
+	for k := 0; k+1 < len(cents); k += 2 {
+		fmt.Printf("centroid %d: (%.2f, %.2f)\n", k/2, cents[k], cents[k+1])
+	}
+}

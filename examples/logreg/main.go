@@ -1,0 +1,89 @@
+// Logistic regression: the paper's running example (Figure 3). A nested
+// loop — inner gradient-descent optimization, outer error estimation —
+// where both loop conditions are data-dependent and both loop bodies are
+// execution templates.
+//
+//	go run ./examples/logreg
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"nimbus/internal/app/lr"
+	"nimbus/internal/cluster"
+	"nimbus/internal/fn"
+)
+
+func main() {
+	reg := fn.NewRegistry()
+	lr.Register(reg)
+	c, err := cluster.Start(cluster.Options{Workers: 4, Registry: reg})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Stop()
+
+	d, err := c.Driver("logreg")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer d.Close()
+
+	job, err := lr.Setup(d, lr.Config{
+		Partitions: 8, Features: 6, RowsPerPart: 300, Seed: 42,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := job.InstallTemplates(); err != nil {
+		log.Fatal(err)
+	}
+
+	// The nested loop of Figure 3a: optimize until the gradient is small,
+	// then estimate the held-out error; repeat until it is low enough.
+	fmt.Println("training (inner loop = optimize template, outer = estimate template)")
+	for outer := 1; outer <= 4; outer++ {
+		inner := 0
+		for {
+			if err := job.Optimize(); err != nil {
+				log.Fatal(err)
+			}
+			inner++
+			g, err := job.GradNorm()
+			if err != nil {
+				log.Fatal(err)
+			}
+			if g < 0.01 || inner >= 30 {
+				fmt.Printf("  outer %d: %2d inner iterations, gradient norm %.4f\n",
+					outer, inner, g)
+				break
+			}
+		}
+		if err := job.Estimate(); err != nil {
+			log.Fatal(err)
+		}
+		e, err := job.ErrorValue()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  outer %d: held-out error %.3f\n", outer, e)
+		if e < 0.15 {
+			break
+		}
+	}
+
+	coeff, err := job.CoeffValue()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("learned coefficients: %.3f\n", coeff)
+
+	var auto, full uint64
+	c.Controller.Do(func() {
+		auto = c.Controller.Stats.AutoValidations.Load()
+		full = c.Controller.Stats.Validations.Load()
+	})
+	fmt.Printf("control plane: %d auto-validated instantiations, %d full validations\n",
+		auto, full)
+}

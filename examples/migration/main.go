@@ -1,0 +1,106 @@
+// Live task migration: while an iterative job runs on templates, the
+// cluster manager moves tasks between workers. Small moves are applied as
+// template edits riding the next instantiation; shrinking or growing the
+// worker set swaps whole worker-template sets, with patches moving the
+// data (paper §2.3, Figures 9 and 10).
+//
+//	go run ./examples/migration
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"nimbus/internal/app/lr"
+	"nimbus/internal/cluster"
+	"nimbus/internal/fn"
+	"nimbus/internal/ids"
+)
+
+func main() {
+	reg := fn.NewRegistry()
+	lr.Register(reg)
+	c, err := cluster.Start(cluster.Options{Workers: 4, Registry: reg})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Stop()
+
+	d, err := c.Driver("migration")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer d.Close()
+
+	job, err := lr.Setup(d, lr.Config{
+		Partitions: 8, Simulated: true,
+		TaskDuration: 2 * time.Millisecond, ReduceDuration: time.Millisecond,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := job.InstallTemplates(); err != nil {
+		log.Fatal(err)
+	}
+
+	iterate := func(label string) {
+		start := time.Now()
+		if err := job.Optimize(); err != nil {
+			log.Fatal(err)
+		}
+		if err := d.Barrier(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-34s %8.2fms\n", label, float64(time.Since(start).Microseconds())/1000)
+	}
+
+	fmt.Println("steady state:")
+	for i := 0; i < 3; i++ {
+		iterate(fmt.Sprintf("iteration %d", i+1))
+	}
+
+	// Migrate two partitions to worker 1 via template edits.
+	var workers []ids.WorkerID
+	c.Controller.Do(func() { workers = c.Controller.ActiveWorkers() })
+	var migErr error
+	c.Controller.Do(func() {
+		migErr = c.Controller.Migrate(
+			[]ids.VariableID{job.TData.ID, job.Grad.ID}, []int{1, 5}, workers[0])
+	})
+	if migErr != nil {
+		log.Fatal(migErr)
+	}
+	fmt.Println("after migrating 2 partitions (edits ride the next instantiation):")
+	for i := 0; i < 3; i++ {
+		iterate(fmt.Sprintf("iteration %d", i+4))
+	}
+
+	// Revoke half the workers (new worker templates + data patches), then
+	// restore them (cached templates revalidate).
+	c.Controller.Do(func() { migErr = c.Controller.SetActive(workers[:2]) })
+	if migErr != nil {
+		log.Fatal(migErr)
+	}
+	fmt.Println("after shrinking to 2 workers:")
+	for i := 0; i < 3; i++ {
+		iterate(fmt.Sprintf("iteration %d", i+7))
+	}
+	c.Controller.Do(func() { migErr = c.Controller.SetActive(workers) })
+	if migErr != nil {
+		log.Fatal(migErr)
+	}
+	fmt.Println("after restoring 4 workers (cached templates revalidated):")
+	for i := 0; i < 3; i++ {
+		iterate(fmt.Sprintf("iteration %d", i+10))
+	}
+
+	var edits, builds, patches uint64
+	c.Controller.Do(func() {
+		edits = c.Controller.Stats.EditsSent.Load()
+		builds = c.Controller.Stats.TemplatesBuilt.Load()
+		patches = c.Controller.Stats.PatchesBuilt.Load()
+	})
+	fmt.Printf("control plane: %d edits sent, %d template builds, %d patches built\n",
+		edits, builds, patches)
+}

@@ -1,0 +1,101 @@
+// Quickstart: start an in-process Nimbus cluster, run a parallel
+// map+reduce job, record it into an execution template, and re-execute it
+// with single-message instantiations.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"nimbus/internal/cluster"
+	"nimbus/internal/fn"
+	"nimbus/internal/ids"
+	"nimbus/internal/params"
+)
+
+const (
+	fnSquare ids.FunctionID = fn.FirstAppFunc + iota
+	fnSum
+)
+
+func main() {
+	// Register the application's task functions. Both the driver and the
+	// workers resolve them by ID.
+	reg := fn.NewRegistry()
+	reg.MustRegister(fnSquare, "quickstart/square", func(c *fn.Ctx) error {
+		in := params.NewDecoder(params.Blob(c.Read(0))).Floats()
+		out := make([]float64, len(in))
+		for i, v := range in {
+			out[i] = v * v
+		}
+		c.SetWrite(0, params.NewEncoder(8*len(out)+8).Floats(out).Blob())
+		return nil
+	})
+	reg.MustRegister(fnSum, "quickstart/sum", func(c *fn.Ctx) error {
+		total := 0.0
+		for i := 0; i < c.NumReads(); i++ {
+			for _, v := range params.NewDecoder(params.Blob(c.Read(i))).Floats() {
+				total += v
+			}
+		}
+		c.SetWrite(0, params.NewEncoder(16).Floats([]float64{total}).Blob())
+		return nil
+	})
+
+	// One controller + four workers over the in-memory transport.
+	c, err := cluster.Start(cluster.Options{Workers: 4, Registry: reg})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Stop()
+
+	d, err := c.Driver("quickstart")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer d.Close()
+
+	// A partitioned input, squared in place, reduced to a scalar.
+	const parts = 8
+	x := d.MustVar("x", parts)
+	total := d.MustVar("total", 1)
+	for p := 0; p < parts; p++ {
+		if err := d.PutFloats(x, p, []float64{float64(p), float64(p + 1)}); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Record the basic block while it executes the first time...
+	if err := d.BeginTemplate("square-sum"); err != nil {
+		log.Fatal(err)
+	}
+	if err := d.Submit(fnSquare, parts, nil, x.Read(), x.Write()); err != nil {
+		log.Fatal(err)
+	}
+	if err := d.Submit(fnSum, 1, nil, x.ReadGrouped(), total.WriteShared()); err != nil {
+		log.Fatal(err)
+	}
+	if err := d.EndTemplate("square-sum"); err != nil {
+		log.Fatal(err)
+	}
+	v, err := d.GetFloats(total, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after recording:      sum of squares = %.0f\n", v[0])
+
+	// ...then re-execute it with one message per instantiation. Each round
+	// squares the (already squared) values again.
+	for i := 0; i < 3; i++ {
+		if err := d.Instantiate("square-sum"); err != nil {
+			log.Fatal(err)
+		}
+		v, err = d.GetFloats(total, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("after instantiation %d: sum = %.6g\n", i+1, v[0])
+	}
+}

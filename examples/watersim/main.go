@@ -1,0 +1,60 @@
+// Water simulation: the paper's complex application (§5.5) — a
+// particle-levelset fluid proxy with a triply nested, data-dependent loop
+// (frames → CFL substeps → iterative redistancing and projection), 23
+// computational stages and 31 variables, running entirely on execution
+// templates.
+//
+//	go run ./examples/watersim
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"nimbus/internal/app/water"
+	"nimbus/internal/cluster"
+	"nimbus/internal/fn"
+)
+
+func main() {
+	reg := fn.NewRegistry()
+	water.Register(reg)
+	c, err := cluster.Start(cluster.Options{Workers: 4, Registry: reg})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Stop()
+
+	d, err := c.Driver("watersim")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer d.Close()
+
+	job, err := water.Setup(d, water.Config{Rows: 48, Cols: 24, Partitions: 8})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := job.InstallTemplates(); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("pouring water (5 basic blocks, data-dependent nesting)")
+	for frame := 1; frame <= 3; frame++ {
+		fs, err := job.RunFrame(frame)
+		if err != nil {
+			log.Fatal(err)
+		}
+		mass, _ := d.GetFloats(job.MassSum, 0)
+		energy, _ := d.GetFloats(job.EnergySum, 0)
+		fmt.Printf("  frame %d: %d substeps, %d reinit iters, %d jacobi iters, t=%.3f, mass=%.0f cells, energy=%.2f\n",
+			frame, fs.Substeps, fs.ReinitIters, fs.JacobiIters, fs.EndTime, mass[0], energy[0])
+	}
+
+	var inst, patches uint64
+	c.Controller.Do(func() {
+		inst = c.Controller.Stats.Instantiations.Load()
+		patches = c.Controller.Stats.PatchCacheHits.Load()
+	})
+	fmt.Printf("control plane: %d template instantiations, %d patch-cache hits\n", inst, patches)
+}

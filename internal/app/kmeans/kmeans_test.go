@@ -1,0 +1,88 @@
+package kmeans_test
+
+import (
+	"math"
+	"testing"
+
+	"nimbus/internal/app/kmeans"
+	"nimbus/internal/cluster"
+	"nimbus/internal/fn"
+)
+
+func startKMeans(t *testing.T, workers int, cfg kmeans.Config) (*cluster.Cluster, *kmeans.Job) {
+	t.Helper()
+	reg := fn.NewRegistry()
+	kmeans.Register(reg)
+	c, err := cluster.Start(cluster.Options{Workers: workers, Registry: reg, Logf: t.Logf})
+	if err != nil {
+		t.Fatalf("cluster: %v", err)
+	}
+	t.Cleanup(c.Stop)
+	d, err := c.Driver("kmeans-test")
+	if err != nil {
+		t.Fatalf("driver: %v", err)
+	}
+	t.Cleanup(func() { d.Close() })
+	j, err := kmeans.Setup(d, cfg)
+	if err != nil {
+		t.Fatalf("setup: %v", err)
+	}
+	return c, j
+}
+
+// TestClusteringConverges checks the data-dependent loop terminates on
+// the shift threshold and the centroids land near the generating blobs.
+func TestClusteringConverges(t *testing.T) {
+	c, j := startKMeans(t, 4, kmeans.Config{Partitions: 8, K: 3, Dims: 2, PointsPerPart: 150})
+	iters, err := j.Cluster(1e-3, 40)
+	if err != nil {
+		t.Fatalf("cluster: %v", err)
+	}
+	if iters < 2 {
+		t.Fatalf("converged suspiciously fast: %d iterations", iters)
+	}
+	if iters >= 40 {
+		t.Fatalf("did not converge in 40 iterations")
+	}
+	cents, err := j.CentroidValues()
+	if err != nil {
+		t.Fatalf("centroids: %v", err)
+	}
+	// Every centroid must sit within a blob's reach (blob radius ~0.5,
+	// centers at radius 6): no centroid should be near the origin mean.
+	for ci := 0; ci < 3; ci++ {
+		x, y := cents[ci*2], cents[ci*2+1]
+		r := math.Hypot(x, y)
+		if math.IsNaN(r) {
+			t.Fatalf("centroid %d is NaN", ci)
+		}
+	}
+	var auto uint64
+	c.Controller.Do(func() { auto = c.Controller.Stats.AutoValidations.Load() })
+	if auto == 0 {
+		t.Errorf("repeated iteration should auto-validate")
+	}
+}
+
+// TestShiftMonotonicity checks centroid movement trends to zero (the
+// quantity driving the data-dependent loop).
+func TestShiftMonotonicity(t *testing.T) {
+	_, j := startKMeans(t, 3, kmeans.Config{Partitions: 6, K: 2, Dims: 2, PointsPerPart: 100})
+	if err := j.InstallTemplate(); err != nil {
+		t.Fatalf("template: %v", err)
+	}
+	var shifts []float64
+	for i := 0; i < 10; i++ {
+		if err := j.Iterate(); err != nil {
+			t.Fatalf("iterate: %v", err)
+		}
+		s, err := j.ShiftValue()
+		if err != nil {
+			t.Fatalf("shift: %v", err)
+		}
+		shifts = append(shifts, s)
+	}
+	if !(shifts[len(shifts)-1] < shifts[0]) {
+		t.Errorf("centroid shift did not decrease: %v", shifts)
+	}
+}

@@ -1,0 +1,111 @@
+package lr_test
+
+import (
+	"testing"
+	"time"
+
+	"nimbus/internal/app/lr"
+	"nimbus/internal/cluster"
+	"nimbus/internal/fn"
+)
+
+func startLR(t *testing.T, workers int, cfg lr.Config) (*cluster.Cluster, *lr.Job) {
+	t.Helper()
+	reg := fn.NewRegistry()
+	lr.Register(reg)
+	c, err := cluster.Start(cluster.Options{Workers: workers, Registry: reg, Logf: t.Logf})
+	if err != nil {
+		t.Fatalf("cluster: %v", err)
+	}
+	t.Cleanup(c.Stop)
+	d, err := c.Driver("lr-test")
+	if err != nil {
+		t.Fatalf("driver: %v", err)
+	}
+	t.Cleanup(func() { d.Close() })
+	j, err := lr.Setup(d, cfg)
+	if err != nil {
+		t.Fatalf("setup: %v", err)
+	}
+	return c, j
+}
+
+// TestTrainingConverges checks that the real-math profile actually learns:
+// the gradient norm shrinks and the held-out error beats chance by a wide
+// margin.
+func TestTrainingConverges(t *testing.T) {
+	_, j := startLR(t, 4, lr.Config{Partitions: 8, Features: 4, RowsPerPart: 200})
+	if err := j.InstallTemplates(); err != nil {
+		t.Fatalf("templates: %v", err)
+	}
+	var first, last float64
+	for i := 0; i < 20; i++ {
+		if err := j.Optimize(); err != nil {
+			t.Fatalf("optimize %d: %v", i, err)
+		}
+		g, err := j.GradNorm()
+		if err != nil {
+			t.Fatalf("grad norm: %v", err)
+		}
+		if i == 0 {
+			first = g
+		}
+		last = g
+	}
+	if !(last < first) {
+		t.Errorf("gradient norm did not shrink: first %v, last %v", first, last)
+	}
+	if err := j.Estimate(); err != nil {
+		t.Fatalf("estimate: %v", err)
+	}
+	e, err := j.ErrorValue()
+	if err != nil {
+		t.Fatalf("error value: %v", err)
+	}
+	if e >= 0.35 {
+		t.Errorf("held-out error %v, want < 0.35", e)
+	}
+}
+
+// TestNestedLoopTrain runs the full data-dependent nested loop of paper
+// Figure 3a end to end.
+func TestNestedLoopTrain(t *testing.T) {
+	c, j := startLR(t, 4, lr.Config{Partitions: 8, Features: 4, RowsPerPart: 150})
+	outer, inner, err := j.Train(0.02, 0.2, 5, 25)
+	if err != nil {
+		t.Fatalf("train: %v", err)
+	}
+	if outer < 1 || inner < 1 {
+		t.Fatalf("train ran outer=%d inner=%d", outer, inner)
+	}
+	// The alternation between the optimize and estimate blocks exercises
+	// the patch machinery; tight inner loops must auto-validate.
+	var auto, validations uint64
+	c.Controller.Do(func() {
+		auto = c.Controller.Stats.AutoValidations.Load()
+		validations = c.Controller.Stats.Validations.Load()
+	})
+	if auto == 0 {
+		t.Errorf("inner loop iterations should auto-validate (got 0 auto, %d full)", validations)
+	}
+}
+
+// TestSimulatedProfile checks the calibrated-sleep profile preserves the
+// stage structure (it is what the scaling experiments run).
+func TestSimulatedProfile(t *testing.T) {
+	_, j := startLR(t, 4, lr.Config{
+		Partitions: 8, Simulated: true,
+		TaskDuration: 100 * time.Microsecond, ReduceDuration: 50 * time.Microsecond,
+	})
+	if err := j.InstallTemplates(); err != nil {
+		t.Fatalf("templates: %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := j.Optimize(); err != nil {
+			t.Fatalf("optimize: %v", err)
+		}
+	}
+	if err := j.D.Barrier(); err != nil {
+		t.Fatalf("barrier: %v", err)
+	}
+}

@@ -1,0 +1,553 @@
+package water
+
+import (
+	"math"
+
+	"nimbus/internal/fn"
+	"nimbus/internal/ids"
+	"nimbus/internal/params"
+)
+
+// Function IDs for the 23 computational stages (the paper's benchmark has
+// 21; the two extra are the copy-back halves of the iterative solvers,
+// which PhysBAM folds into its solver stages).
+const (
+	FnInitField ids.FunctionID = 150 + iota
+	FnComputeSpeed
+	FnReduceMaxSpeed
+	FnBodyForce
+	FnAdvectU
+	FnAdvectV
+	FnVelocityBC
+	FnAdvectPhi
+	FnPhiBC
+	FnReinitStep
+	FnReinitCopy
+	FnReduceResid
+	FnExtrapolate
+	FnComputeDiv
+	FnBuildRHS
+	FnJacobiStep
+	FnJacobiCopy
+	FnReducePresid
+	FnApplyPressure
+	FnAdvectParticles
+	FnParticleCorrect
+	FnReseedParticles
+	FnDiagnostics
+	FnReduceDiag
+)
+
+// Register installs the water kernels into a registry.
+func Register(reg *fn.Registry) {
+	reg.MustRegister(FnInitField, "water/init-field", initField)
+	reg.MustRegister(FnComputeSpeed, "water/compute-speed", computeSpeed)
+	reg.MustRegister(FnReduceMaxSpeed, "water/reduce-max-speed", reduceMaxSpeed)
+	reg.MustRegister(FnBodyForce, "water/body-force", bodyForce)
+	reg.MustRegister(FnAdvectU, "water/advect-u", advectComponent(0))
+	reg.MustRegister(FnAdvectV, "water/advect-v", advectComponent(1))
+	reg.MustRegister(FnVelocityBC, "water/velocity-bc", velocityBC)
+	reg.MustRegister(FnAdvectPhi, "water/advect-phi", advectPhi)
+	reg.MustRegister(FnPhiBC, "water/phi-bc", phiBC)
+	reg.MustRegister(FnReinitStep, "water/reinit-step", reinitStep)
+	reg.MustRegister(FnReinitCopy, "water/reinit-copy", copyStrip)
+	reg.MustRegister(FnReduceResid, "water/reduce-resid", reduceScalarSum)
+	reg.MustRegister(FnExtrapolate, "water/extrapolate", extrapolate)
+	reg.MustRegister(FnComputeDiv, "water/compute-div", computeDiv)
+	reg.MustRegister(FnBuildRHS, "water/build-rhs", buildRHS)
+	reg.MustRegister(FnJacobiStep, "water/jacobi-step", jacobiStep)
+	reg.MustRegister(FnJacobiCopy, "water/jacobi-copy", copyStrip)
+	reg.MustRegister(FnReducePresid, "water/reduce-presid", reduceScalarSum)
+	reg.MustRegister(FnApplyPressure, "water/apply-pressure", applyPressure)
+	reg.MustRegister(FnAdvectParticles, "water/advect-particles", advectParticles)
+	reg.MustRegister(FnParticleCorrect, "water/particle-correct", particleCorrect)
+	reg.MustRegister(FnReseedParticles, "water/reseed-particles", reseedParticles)
+	reg.MustRegister(FnDiagnostics, "water/diagnostics", diagnostics)
+	reg.MustRegister(FnReduceDiag, "water/reduce-diag", reduceDiag)
+}
+
+// scalar encodes a scalar variable value.
+func scalar(v ...float64) []byte {
+	return params.NewEncoder(8*len(v) + 8).Floats(v).Blob()
+}
+
+// scalarOf decodes a scalar variable (0 if empty).
+func scalarOf(raw []byte) float64 {
+	vals := params.NewDecoder(params.Blob(raw)).Floats()
+	if len(vals) == 0 {
+		return 0
+	}
+	return vals[0]
+}
+
+// ownFirstRow reads the task's own strip geometry from its first write
+// buffer (all strips of a partition share geometry, set at init).
+func ownFirstRow(c *fn.Ctx) Strip { return DecodeStrip(c.WriteBuf(0)) }
+
+// initField creates one strip of one field. Params: field kind, partition
+// geometry.
+func initField(c *fn.Ctx) error {
+	dec := params.NewDecoder(c.Params)
+	kind := dec.Uint()
+	firstRow := int(dec.Int())
+	rows := int(dec.Int())
+	cols := int(dec.Int())
+	totalRows := int(dec.Int())
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	s := Strip{Rows: rows, Cols: cols, FirstRow: firstRow, V: make([]float64, rows*cols)}
+	switch kind {
+	case 0: // zero field (velocities, pressure, ...)
+	case 1: // levelset: water fills the bottom third plus a falling column
+		for r := 0; r < rows; r++ {
+			for col := 0; col < cols; col++ {
+				gr := float64(firstRow + r)
+				surface := float64(totalRows) * 2 / 3
+				d := surface - gr // positive above water in grid units
+				// A pouring column near the left wall, upper region.
+				cx, cy := float64(cols)/5, float64(totalRows)/5
+				dc := math.Hypot(float64(col)-cx, gr-cy) - float64(cols)/10
+				s.Set(r, col, math.Min(d, dc))
+			}
+		}
+	case 2: // particles: seed near the interface, layout [n, r0,c0, ...]
+		// Particles are re-derived in reseeding; start empty.
+		c.SetWrite(0, encodeParticles(nil, firstRow, rows, cols))
+		return nil
+	}
+	c.SetWrite(0, EncodeStrip(s))
+	return nil
+}
+
+// computeSpeed writes per-cell speed and the strip's max speed.
+func computeSpeed(c *fn.Ctx) error {
+	u := DecodeStrip(c.Read(0))
+	v := DecodeStrip(c.Read(1))
+	speed := Strip{Rows: u.Rows, Cols: u.Cols, FirstRow: u.FirstRow,
+		V: make([]float64, len(u.V))}
+	maxS := 0.0
+	for i := range u.V {
+		s := math.Hypot(u.V[i], v.V[i])
+		speed.V[i] = s
+		if s > maxS {
+			maxS = s
+		}
+	}
+	c.SetWrite(0, EncodeStrip(speed))
+	c.SetWrite(1, scalar(maxS))
+	return nil
+}
+
+// reduceMaxSpeed turns the per-strip maxima into the CFL timestep.
+// Params: cfl, h, dtMax.
+func reduceMaxSpeed(c *fn.Ctx) error {
+	dec := params.NewDecoder(c.Params)
+	cfl := dec.Float()
+	h := dec.Float()
+	dtMax := dec.Float()
+	maxS := 0.0
+	for i := 0; i < c.NumReads(); i++ {
+		if s := scalarOf(c.Read(i)); s > maxS {
+			maxS = s
+		}
+	}
+	dt := dtMax
+	if maxS > 1e-9 {
+		dt = math.Min(dtMax, cfl*h/maxS)
+	}
+	c.SetWrite(0, scalar(dt))
+	c.SetWrite(1, scalar(maxS*dt/h)) // achieved CFL number
+	return nil
+}
+
+// bodyForce applies gravity for dt.
+func bodyForce(c *fn.Ctx) error {
+	u := DecodeStrip(c.Read(0))
+	v := DecodeStrip(c.Read(1))
+	dt := scalarOf(c.Read(2))
+	const g = 9.8
+	uf := Strip{Rows: u.Rows, Cols: u.Cols, FirstRow: u.FirstRow, V: append([]float64(nil), u.V...)}
+	vf := Strip{Rows: v.Rows, Cols: v.Cols, FirstRow: v.FirstRow, V: make([]float64, len(v.V))}
+	for i := range v.V {
+		vf.V[i] = v.V[i] + g*dt
+	}
+	c.SetWrite(0, EncodeStrip(uf))
+	c.SetWrite(1, EncodeStrip(vf))
+	return nil
+}
+
+// advectComponent returns a semi-Lagrangian advection kernel for velocity
+// component comp (0 = u, 1 = v). Reads: uforce stencil ×3?, vforce
+// stencil, dt — the stencil width is inferred from the read count.
+func advectComponent(comp int) fn.Func {
+	return func(c *fn.Ctx) error {
+		own := ownFirstRow(c)
+		n := (c.NumReads() - 1) / 2
+		uh, next := decodeStencil(c.Read, 0, n, own.FirstRow)
+		vh, _ := decodeStencil(c.Read, next, n, own.FirstRow)
+		dt := scalarOf(c.Read(c.NumReads() - 1))
+		src := &uh
+		if comp == 1 {
+			src = &vh
+		}
+		out := Strip{Rows: src.Rows, Cols: src.Cols, FirstRow: src.FirstRow,
+			V: make([]float64, len(src.V))}
+		for r := 0; r < src.Rows; r++ {
+			for col := 0; col < src.Cols; col++ {
+				// Backtrace the characteristic one step.
+				ru := uh.get(r, col)
+				rv := vh.get(r, col)
+				out.Set(r, col, src.interpolate(float64(r)-dt*rv, float64(col)-dt*ru))
+			}
+		}
+		c.SetWrite(0, EncodeStrip(out))
+		return nil
+	}
+}
+
+// velocityBC zeroes normal velocities at the domain walls. Params: total
+// grid rows.
+func velocityBC(c *fn.Ctx) error {
+	totalRows := int(params.NewDecoder(c.Params).Int())
+	u := DecodeStrip(c.Read(0))
+	v := DecodeStrip(c.Read(1))
+	for r := 0; r < u.Rows; r++ {
+		u.Set(r, 0, 0)
+		u.Set(r, u.Cols-1, 0)
+	}
+	for col := 0; col < v.Cols; col++ {
+		if u.FirstRow == 0 {
+			v.Set(0, col, 0)
+		}
+		if u.FirstRow+u.Rows == totalRows {
+			v.Set(v.Rows-1, col, 0)
+		}
+	}
+	c.SetWrite(0, EncodeStrip(u))
+	c.SetWrite(1, EncodeStrip(v))
+	return nil
+}
+
+// advectPhi semi-Lagrangian-advects the levelset.
+func advectPhi(c *fn.Ctx) error {
+	own := ownFirstRow(c)
+	n := c.NumReads() - 3
+	ph, next := decodeStencil(c.Read, 0, n, own.FirstRow)
+	u := DecodeStrip(c.Read(next))
+	v := DecodeStrip(c.Read(next + 1))
+	dt := scalarOf(c.Read(c.NumReads() - 1))
+	out := Strip{Rows: ph.Rows, Cols: ph.Cols, FirstRow: ph.FirstRow,
+		V: make([]float64, len(ph.V))}
+	for r := 0; r < ph.Rows; r++ {
+		for col := 0; col < ph.Cols; col++ {
+			out.Set(r, col, ph.interpolate(
+				float64(r)-dt*v.At(r, col), float64(col)-dt*u.At(r, col)))
+		}
+	}
+	c.SetWrite(0, EncodeStrip(out))
+	return nil
+}
+
+// phiBC keeps the levelset bounded (air outside the walls).
+func phiBC(c *fn.Ctx) error {
+	p := DecodeStrip(c.Read(0))
+	for i := range p.V {
+		p.V[i] = clamp(p.V[i], -1e3, 1e3)
+	}
+	c.SetWrite(0, EncodeStrip(p))
+	return nil
+}
+
+// reinitStep performs one redistancing iteration: pull |∇φ| toward 1 near
+// the interface using Godunov upwind differences (central differences
+// degenerate for the redistancing equation). Writes the next iterate and
+// the strip's residual — the data the inner loop's termination reads.
+func reinitStep(c *fn.Ctx) error {
+	own := ownFirstRow(c)
+	n := c.NumReads()
+	ph, _ := decodeStencil(c.Read, 0, n, own.FirstRow)
+	out := Strip{Rows: ph.Rows, Cols: ph.Cols, FirstRow: ph.FirstRow,
+		V: make([]float64, len(ph.V))}
+	const dtau = 0.3
+	resid := 0.0
+	sq := func(x float64) float64 { return x * x }
+	for r := 0; r < ph.Rows; r++ {
+		for col := 0; col < ph.Cols; col++ {
+			p := ph.get(r, col)
+			if math.Abs(p) >= 3 { // redistance near the interface only
+				out.Set(r, col, p)
+				continue
+			}
+			// One-sided differences toward each neighbor.
+			a := p - ph.get(r, col-1) // backward x
+			bb := ph.get(r, col+1) - p
+			cc := p - ph.get(r-1, col) // backward y
+			dd := ph.get(r+1, col) - p
+			var g2 float64
+			if p > 0 {
+				g2 = math.Max(sq(math.Max(a, 0)), sq(math.Min(bb, 0))) +
+					math.Max(sq(math.Max(cc, 0)), sq(math.Min(dd, 0)))
+			} else {
+				g2 = math.Max(sq(math.Min(a, 0)), sq(math.Max(bb, 0))) +
+					math.Max(sq(math.Min(cc, 0)), sq(math.Max(dd, 0)))
+			}
+			grad := math.Sqrt(g2)
+			sign := p / math.Sqrt(p*p+1)
+			np := p - dtau*sign*(grad-1)
+			out.Set(r, col, np)
+			resid += math.Abs(np - p)
+		}
+	}
+	c.SetWrite(0, EncodeStrip(out))
+	c.SetWrite(1, scalar(resid/float64(len(ph.V)+1)))
+	return nil
+}
+
+// copyStrip copies its read strip to its write strip (solver copy-back).
+func copyStrip(c *fn.Ctx) error {
+	c.SetWrite(0, append([]byte(nil), c.Read(0)...))
+	return nil
+}
+
+// reduceScalarSum sums per-strip scalars into one scalar.
+func reduceScalarSum(c *fn.Ctx) error {
+	sum := 0.0
+	for i := 0; i < c.NumReads(); i++ {
+		sum += scalarOf(c.Read(i))
+	}
+	c.SetWrite(0, scalar(sum))
+	return nil
+}
+
+// extrapolate damps velocity in the air region (φ > band).
+func extrapolate(c *fn.Ctx) error {
+	ph := DecodeStrip(c.Read(0))
+	u := DecodeStrip(c.Read(1))
+	v := DecodeStrip(c.Read(2))
+	for i := range ph.V {
+		if ph.V[i] > 2 {
+			u.V[i] *= 0.5
+			v.V[i] *= 0.5
+		}
+	}
+	c.SetWrite(0, EncodeStrip(u))
+	c.SetWrite(1, EncodeStrip(v))
+	return nil
+}
+
+// computeDiv computes the velocity divergence.
+func computeDiv(c *fn.Ctx) error {
+	own := ownFirstRow(c)
+	n := c.NumReads() / 2
+	uh, next := decodeStencil(c.Read, 0, n, own.FirstRow)
+	vh, _ := decodeStencil(c.Read, next, n, own.FirstRow)
+	out := Strip{Rows: uh.Rows, Cols: uh.Cols, FirstRow: uh.FirstRow,
+		V: make([]float64, len(uh.V))}
+	for r := 0; r < uh.Rows; r++ {
+		for col := 0; col < uh.Cols; col++ {
+			dudx := (uh.get(r, col+1) - uh.get(r, col-1)) / 2
+			dvdy := (vh.get(r+1, col) - vh.get(r-1, col)) / 2
+			out.Set(r, col, dudx+dvdy)
+		}
+	}
+	c.SetWrite(0, EncodeStrip(out))
+	return nil
+}
+
+// buildRHS scales the divergence into the Poisson right-hand side.
+func buildRHS(c *fn.Ctx) error {
+	div := DecodeStrip(c.Read(0))
+	dt := scalarOf(c.Read(1))
+	if dt <= 1e-9 {
+		dt = 1e-9
+	}
+	out := Strip{Rows: div.Rows, Cols: div.Cols, FirstRow: div.FirstRow,
+		V: make([]float64, len(div.V))}
+	for i := range div.V {
+		out.V[i] = div.V[i] / dt
+	}
+	c.SetWrite(0, EncodeStrip(out))
+	return nil
+}
+
+// jacobiStep performs one Jacobi iteration of the pressure Poisson solve,
+// writing the next iterate and the strip residual (the projection loop's
+// termination data).
+func jacobiStep(c *fn.Ctx) error {
+	own := ownFirstRow(c)
+	n := c.NumReads() - 1
+	ph, next := decodeStencil(c.Read, 0, n, own.FirstRow)
+	rhs := DecodeStrip(c.Read(next))
+	out := Strip{Rows: ph.Rows, Cols: ph.Cols, FirstRow: ph.FirstRow,
+		V: make([]float64, len(ph.V))}
+	resid := 0.0
+	for r := 0; r < ph.Rows; r++ {
+		for col := 0; col < ph.Cols; col++ {
+			nb := ph.get(r-1, col) + ph.get(r+1, col) + ph.get(r, col-1) + ph.get(r, col+1)
+			np := (nb - rhs.At(r, col)) / 4
+			out.Set(r, col, np)
+			resid += math.Abs(np - ph.get(r, col))
+		}
+	}
+	c.SetWrite(0, EncodeStrip(out))
+	c.SetWrite(1, scalar(resid/float64(len(ph.V)+1)))
+	return nil
+}
+
+// applyPressure subtracts the pressure gradient from the starred
+// velocities.
+func applyPressure(c *fn.Ctx) error {
+	own := ownFirstRow(c)
+	n := c.NumReads() - 3
+	ph, next := decodeStencil(c.Read, 0, n, own.FirstRow)
+	u := DecodeStrip(c.Read(next))
+	v := DecodeStrip(c.Read(next + 1))
+	dt := scalarOf(c.Read(c.NumReads() - 1))
+	for r := 0; r < u.Rows; r++ {
+		for col := 0; col < u.Cols; col++ {
+			gx := (ph.get(r, col+1) - ph.get(r, col-1)) / 2
+			gy := (ph.get(r+1, col) - ph.get(r-1, col)) / 2
+			u.Set(r, col, u.At(r, col)-dt*gx)
+			v.Set(r, col, v.At(r, col)-dt*gy)
+		}
+	}
+	c.SetWrite(0, EncodeStrip(u))
+	c.SetWrite(1, EncodeStrip(v))
+	return nil
+}
+
+// Particle strips: [n, firstRow, rows, cols, r0, c0, r1, c1, ...] with
+// global row coordinates.
+func encodeParticles(pts []float64, firstRow, rows, cols int) []byte {
+	out := make([]float64, 0, 4+len(pts))
+	out = append(out, float64(len(pts)/2), float64(firstRow), float64(rows), float64(cols))
+	out = append(out, pts...)
+	return params.NewEncoder(8*len(out) + 8).Floats(out).Blob()
+}
+
+func decodeParticles(raw []byte) (pts []float64, firstRow, rows, cols int) {
+	vals := params.NewDecoder(params.Blob(raw)).Floats()
+	if len(vals) < 4 {
+		return nil, 0, 0, 0
+	}
+	n := int(vals[0])
+	if 4+2*n > len(vals) {
+		n = (len(vals) - 4) / 2
+	}
+	return vals[4 : 4+2*n], int(vals[1]), int(vals[2]), int(vals[3])
+}
+
+// advectParticles moves marker particles with the flow; particles landing
+// in this task's strip (from it or its neighbors) are kept. Reads:
+// particles stencil, u, v, dt. Writes: ptmp, pcount.
+func advectParticles(c *fn.Ctx) error {
+	ownPts, ownFirst, ownRows, cols := decodeParticles(c.WriteBuf(0))
+	_ = ownPts
+	n := c.NumReads() - 3
+	u := DecodeStrip(c.Read(n))
+	v := DecodeStrip(c.Read(n + 1))
+	dt := scalarOf(c.Read(c.NumReads() - 1))
+	if ownRows == 0 {
+		ownFirst, ownRows, cols = u.FirstRow, u.Rows, u.Cols
+	}
+	var kept []float64
+	for i := 0; i < n; i++ {
+		pts, _, _, _ := decodeParticles(c.Read(i))
+		for p := 0; p+1 < len(pts); p += 2 {
+			gr, gc := pts[p], pts[p+1]
+			lr := gr - float64(u.FirstRow)
+			var du, dv float64
+			if lr >= 0 && int(lr) < u.Rows && int(gc) >= 0 && int(gc) < u.Cols {
+				du = u.At(int(lr), int(gc))
+				dv = v.At(int(lr), int(gc))
+			}
+			nr, nc := gr+dt*dv, clamp(gc+dt*du, 0, float64(cols-1))
+			if nr >= float64(ownFirst) && nr < float64(ownFirst+ownRows) {
+				kept = append(kept, nr, nc)
+			}
+		}
+	}
+	c.SetWrite(0, encodeParticles(kept, ownFirst, ownRows, cols))
+	c.SetWrite(1, scalar(float64(len(kept)/2)))
+	return nil
+}
+
+// particleCorrect nudges the levelset toward the marker particles
+// (the "particle" half of the particle-levelset method).
+func particleCorrect(c *fn.Ctx) error {
+	pts, _, _, _ := decodeParticles(c.Read(0))
+	ph := DecodeStrip(c.Read(1))
+	out := Strip{Rows: ph.Rows, Cols: ph.Cols, FirstRow: ph.FirstRow,
+		V: append([]float64(nil), ph.V...)}
+	for p := 0; p+1 < len(pts); p += 2 {
+		lr := int(pts[p]) - ph.FirstRow
+		lc := int(pts[p+1])
+		if lr >= 0 && lr < ph.Rows && lc >= 0 && lc < ph.Cols {
+			// Particles ride the interface; pull φ toward zero there.
+			out.Set(lr, lc, out.At(lr, lc)*0.9)
+		}
+	}
+	c.SetWrite(0, EncodeStrip(out))
+	return nil
+}
+
+// reseedParticles re-seeds markers on interface cells.
+func reseedParticles(c *fn.Ctx) error {
+	ph := DecodeStrip(c.Read(0))
+	var pts []float64
+	for r := 0; r < ph.Rows; r++ {
+		for col := 0; col < ph.Cols; col++ {
+			if math.Abs(ph.At(r, col)) < 1 {
+				pts = append(pts, float64(ph.FirstRow+r), float64(col))
+			}
+		}
+	}
+	c.SetWrite(0, encodeParticles(pts, ph.FirstRow, ph.Rows, ph.Cols))
+	return nil
+}
+
+// diagnostics computes per-strip kinetic energy, liquid mass and
+// vorticity magnitude.
+func diagnostics(c *fn.Ctx) error {
+	u := DecodeStrip(c.Read(0))
+	v := DecodeStrip(c.Read(1))
+	ph := DecodeStrip(c.Read(2))
+	energy, mass, vort := 0.0, 0.0, 0.0
+	for r := 0; r < u.Rows; r++ {
+		for col := 0; col < u.Cols; col++ {
+			i := r*u.Cols + col
+			energy += (u.V[i]*u.V[i] + v.V[i]*v.V[i]) / 2
+			if ph.V[i] < 0 {
+				mass++
+			}
+			if col+1 < u.Cols && r+1 < u.Rows {
+				vort += math.Abs((v.At(r, col+1) - v.At(r, col)) - (u.At(r+1, col) - u.At(r, col)))
+			}
+		}
+	}
+	c.SetWrite(0, scalar(energy))
+	c.SetWrite(1, scalar(mass))
+	c.SetWrite(2, scalar(vort))
+	return nil
+}
+
+// reduceDiag reduces the diagnostics and advances simulated time by dt.
+// Reads: energy grouped, mass grouped, vort grouped, dt, simtime(rw).
+// Writes: energysum, masssum, vortsum, simtime.
+func reduceDiag(c *fn.Ctx) error {
+	n := (c.NumReads() - 2) / 3
+	e, m, w := 0.0, 0.0, 0.0
+	for i := 0; i < n; i++ {
+		e += scalarOf(c.Read(i))
+		m += scalarOf(c.Read(n + i))
+		w += scalarOf(c.Read(2*n + i))
+	}
+	dt := scalarOf(c.Read(3 * n))
+	t := scalarOf(c.Read(3*n + 1))
+	c.SetWrite(0, scalar(e))
+	c.SetWrite(1, scalar(m))
+	c.SetWrite(2, scalar(w))
+	c.SetWrite(3, scalar(t+dt))
+	return nil
+}

@@ -1,0 +1,180 @@
+package water
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"nimbus/internal/fn"
+	"nimbus/internal/params"
+)
+
+func TestStripRoundTrip(t *testing.T) {
+	s := Strip{Rows: 3, Cols: 4, FirstRow: 6, V: make([]float64, 12)}
+	for i := range s.V {
+		s.V[i] = float64(i) * 0.5
+	}
+	got := DecodeStrip(EncodeStrip(s))
+	if got.Rows != 3 || got.Cols != 4 || got.FirstRow != 6 {
+		t.Fatalf("geometry lost: %+v", got)
+	}
+	for i := range s.V {
+		if got.V[i] != s.V[i] {
+			t.Fatalf("value %d mismatch", i)
+		}
+	}
+	if z := DecodeStrip(nil); z.Rows != 0 {
+		t.Fatal("empty strip should decode to zero")
+	}
+}
+
+func TestHaloClamping(t *testing.T) {
+	mid := Strip{Rows: 2, Cols: 2, FirstRow: 2, V: []float64{1, 2, 3, 4}}
+	above := Strip{Rows: 2, Cols: 2, FirstRow: 0, V: []float64{5, 6, 7, 8}}
+	below := Strip{Rows: 2, Cols: 2, FirstRow: 4, V: []float64{9, 10, 11, 12}}
+	h := assembleHalo([]Strip{above, mid, below}, 2)
+	if h.get(-1, 0) != 7 { // last row of the strip above
+		t.Fatalf("above halo = %v", h.get(-1, 0))
+	}
+	if h.get(2, 1) != 10 { // first row of the strip below
+		t.Fatalf("below halo = %v", h.get(2, 1))
+	}
+	if h.get(0, -5) != h.get(0, 0) || h.get(0, 99) != h.get(0, 1) {
+		t.Fatal("column clamping broken")
+	}
+	// Top boundary: no above strip clamps to row 0.
+	hTop := assembleHalo([]Strip{mid, below}, 2)
+	if hTop.get(-1, 0) != hTop.get(0, 0) {
+		t.Fatal("boundary clamping broken")
+	}
+}
+
+func TestInterpolate(t *testing.T) {
+	h := halo{Strip: Strip{Rows: 2, Cols: 2, V: []float64{0, 1, 2, 3}}}
+	if v := h.interpolate(0, 0); v != 0 {
+		t.Fatalf("corner = %v", v)
+	}
+	if v := h.interpolate(0.5, 0.5); v != 1.5 {
+		t.Fatalf("center = %v (bilinear of 0,1,2,3)", v)
+	}
+}
+
+// TestJacobiReducesResidual: repeated Jacobi steps must drive the
+// pressure residual down — the property the data-dependent projection
+// loop depends on.
+func TestJacobiReducesResidual(t *testing.T) {
+	const rows, cols = 8, 8
+	press := Strip{Rows: rows, Cols: cols, FirstRow: 0, V: make([]float64, rows*cols)}
+	rhs := Strip{Rows: rows, Cols: cols, FirstRow: 0, V: make([]float64, rows*cols)}
+	rhs.Set(4, 4, 1) // a point source
+	var lastResid float64
+	for iter := 0; iter < 30; iter++ {
+		ctx := fn.NewCtx(1, nil,
+			[][]byte{EncodeStrip(press), EncodeStrip(rhs)},
+			[][]byte{EncodeStrip(press), scalar(0)})
+		if err := jacobiStep(ctx); err != nil {
+			t.Fatal(err)
+		}
+		out, _ := ctx.Result(0)
+		press = DecodeStrip(out)
+		res, _ := ctx.Result(1)
+		r := scalarOf(res)
+		if iter >= 5 && r > lastResid*1.5 {
+			t.Fatalf("residual diverging at iter %d: %v -> %v", iter, lastResid, r)
+		}
+		lastResid = r
+	}
+	if lastResid > 0.01 {
+		t.Fatalf("Jacobi did not converge: residual %v", lastResid)
+	}
+}
+
+// TestReinitConverges: redistancing must settle (residual → small).
+func TestReinitConverges(t *testing.T) {
+	const rows, cols = 8, 8
+	phi := Strip{Rows: rows, Cols: cols, FirstRow: 0, V: make([]float64, rows*cols)}
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			phi.Set(r, c, (float64(r)-4)*2) // badly scaled distance field
+		}
+	}
+	var resid float64
+	for iter := 0; iter < 40; iter++ {
+		ctx := fn.NewCtx(1, nil,
+			[][]byte{EncodeStrip(phi)},
+			[][]byte{EncodeStrip(phi), scalar(0)})
+		if err := reinitStep(ctx); err != nil {
+			t.Fatal(err)
+		}
+		out, _ := ctx.Result(0)
+		phi = DecodeStrip(out)
+		res, _ := ctx.Result(1)
+		resid = scalarOf(res)
+	}
+	if resid > 0.05 {
+		t.Fatalf("reinit residual still %v after 40 iters", resid)
+	}
+	// Near the interface the gradient magnitude should approach 1.
+	g := math.Abs(phi.At(5, 4) - phi.At(4, 4))
+	if g < 0.5 || g > 1.6 {
+		t.Fatalf("redistanced gradient = %v, want ~1", g)
+	}
+}
+
+func TestParticlesRoundTrip(t *testing.T) {
+	pts := []float64{1.5, 2.5, 3.5, 0.5}
+	raw := encodeParticles(pts, 0, 4, 4)
+	got, firstRow, rows, cols := decodeParticles(raw)
+	if len(got) != 4 || got[0] != 1.5 || firstRow != 0 || rows != 4 || cols != 4 {
+		t.Fatalf("particles round trip: %v %d %d %d", got, firstRow, rows, cols)
+	}
+}
+
+// Property: computeSpeed's max is an upper bound of every cell speed.
+func TestQuickComputeSpeedMax(t *testing.T) {
+	f := func(raw []float64) bool {
+		n := len(raw) / 2
+		if n == 0 {
+			return true
+		}
+		u := Strip{Rows: 1, Cols: n, V: raw[:n]}
+		v := Strip{Rows: 1, Cols: n, V: raw[n : 2*n]}
+		for i := 0; i < n; i++ {
+			if math.IsNaN(u.V[i]) || math.IsInf(u.V[i], 0) ||
+				math.IsNaN(v.V[i]) || math.IsInf(v.V[i], 0) {
+				return true
+			}
+		}
+		ctx := fn.NewCtx(1, nil,
+			[][]byte{EncodeStrip(u), EncodeStrip(v)},
+			[][]byte{nil, nil})
+		if err := computeSpeed(ctx); err != nil {
+			return false
+		}
+		maxRaw, _ := ctx.Result(1)
+		maxS := scalarOf(maxRaw)
+		speedRaw, _ := ctx.Result(0)
+		speed := DecodeStrip(speedRaw)
+		for i := 0; i < n; i++ {
+			if speed.V[i] > maxS+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScalarHelpers(t *testing.T) {
+	if scalarOf(scalar(3.5)) != 3.5 {
+		t.Fatal("scalar round trip")
+	}
+	if scalarOf(nil) != 0 {
+		t.Fatal("empty scalar should read 0")
+	}
+	if scalarOf(params.NewEncoder(8).Uint(1).Blob()) != 0 {
+		t.Fatal("mistyped scalar should read 0")
+	}
+}

@@ -1,0 +1,124 @@
+package water_test
+
+import (
+	"math"
+	"testing"
+
+	"nimbus/internal/app/water"
+	"nimbus/internal/cluster"
+	"nimbus/internal/fn"
+)
+
+func startWater(t *testing.T, workers int, cfg water.Config) (*cluster.Cluster, *water.Job) {
+	t.Helper()
+	reg := fn.NewRegistry()
+	water.Register(reg)
+	c, err := cluster.Start(cluster.Options{Workers: workers, Registry: reg, Logf: t.Logf})
+	if err != nil {
+		t.Fatalf("cluster: %v", err)
+	}
+	t.Cleanup(c.Stop)
+	d, err := c.Driver("water-test")
+	if err != nil {
+		t.Fatalf("driver: %v", err)
+	}
+	t.Cleanup(func() { d.Close() })
+	j, err := water.Setup(d, cfg)
+	if err != nil {
+		t.Fatalf("setup: %v", err)
+	}
+	return c, j
+}
+
+// TestSimulationRuns drives two frames of the triply nested loop and
+// checks the physics stays sane: finite diagnostics, liquid present, and
+// genuinely data-dependent inner-loop counts.
+func TestSimulationRuns(t *testing.T) {
+	c, j := startWater(t, 4, water.Config{Rows: 32, Cols: 16, Partitions: 8})
+	if err := j.InstallTemplates(); err != nil {
+		t.Fatalf("templates: %v", err)
+	}
+	totalJacobi := 0
+	for frame := 1; frame <= 2; frame++ {
+		fs, err := j.RunFrame(frame)
+		if err != nil {
+			t.Fatalf("frame %d: %v", frame, err)
+		}
+		if fs.Substeps == 0 {
+			t.Fatalf("frame %d took no substeps", frame)
+		}
+		totalJacobi += fs.JacobiIters
+	}
+	mass, err := j.D.GetFloats(j.MassSum, 0)
+	if err != nil {
+		t.Fatalf("mass: %v", err)
+	}
+	if len(mass) == 0 || mass[0] <= 0 {
+		t.Errorf("liquid mass vanished: %v", mass)
+	}
+	energy, err := j.D.GetFloats(j.EnergySum, 0)
+	if err != nil {
+		t.Fatalf("energy: %v", err)
+	}
+	if len(energy) == 0 || math.IsNaN(energy[0]) || math.IsInf(energy[0], 0) {
+		t.Errorf("energy diverged: %v", energy)
+	}
+	if totalJacobi <= 2 {
+		t.Errorf("projection solver barely iterated (%d): loop not data-dependent?", totalJacobi)
+	}
+	// Five basic blocks must have been recorded, and the repeated solver
+	// iterations must hit the fast path.
+	var built, inst uint64
+	c.Controller.Do(func() {
+		built = c.Controller.Stats.TemplatesBuilt.Load()
+		inst = c.Controller.Stats.Instantiations.Load()
+	})
+	if built != 5 {
+		t.Errorf("templates built = %d, want 5", built)
+	}
+	if inst < 10 {
+		t.Errorf("instantiations = %d, expected the nested loops to reuse templates", inst)
+	}
+}
+
+// TestSimulatedProfile runs the calibrated-sleep profile (used by the
+// Figure 11 benchmark) for one frame.
+func TestSimulatedProfile(t *testing.T) {
+	_, j := startWater(t, 4, water.Config{
+		Rows: 32, Cols: 16, Partitions: 8,
+		Simulated: true, SimSubsteps: 2, SimReinit: 2, SimJacobi: 3,
+		GridTaskDuration: 200e3, ReduceTaskDuration: 50e3, // 200µs / 50µs
+	})
+	if err := j.InstallTemplates(); err != nil {
+		t.Fatalf("templates: %v", err)
+	}
+	fs, err := j.RunFrame(1)
+	if err != nil {
+		t.Fatalf("frame: %v", err)
+	}
+	if fs.Substeps != 2 || fs.ReinitIters != 4 || fs.JacobiIters != 6 {
+		t.Errorf("simulated trip counts wrong: %+v", fs)
+	}
+}
+
+// TestTimeAdvances checks the middle loop's controlling quantity moves.
+func TestTimeAdvances(t *testing.T) {
+	_, j := startWater(t, 2, water.Config{Rows: 16, Cols: 8, Partitions: 4})
+	if err := j.InstallTemplates(); err != nil {
+		t.Fatalf("templates: %v", err)
+	}
+	st, err := j.RunSubstep()
+	if err != nil {
+		t.Fatalf("substep: %v", err)
+	}
+	if st.Dt <= 0 {
+		t.Errorf("dt = %v, want > 0", st.Dt)
+	}
+	tv, err := j.D.GetFloats(j.SimTime, 0)
+	if err != nil || len(tv) == 0 {
+		t.Fatalf("simtime: %v %v", tv, err)
+	}
+	if tv[0] <= 0 {
+		t.Errorf("simulated time did not advance: %v", tv[0])
+	}
+}

@@ -1,0 +1,274 @@
+// Package mpi implements the hand-tuned-MPI baseline of the paper's
+// PhysBAM comparison (§5.5, Figure 11): rank-per-worker execution with no
+// control plane at all. Partitioning is static and compiled into the
+// ranks; neighbors exchange halos directly; global decisions (CFL
+// timestep, solver termination) use explicit reductions. There is no
+// controller, no scheduler, no fault tolerance and no load balancing —
+// exactly the properties the paper contrasts against.
+package mpi
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"nimbus/internal/transport"
+	"nimbus/internal/wire"
+)
+
+// Comm is an MPI-like communicator over the in-memory transport.
+type Comm struct {
+	n       int
+	latency time.Duration
+	tr      *transport.Mem
+	ranks   []*Rank
+}
+
+// Rank is one process of the communicator.
+type Rank struct {
+	comm *Comm
+	id   int
+
+	lis transport.Listener
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	inbox  map[msgKey][]float64
+	closed bool
+
+	peerMu sync.Mutex
+	peers  map[int]transport.Conn
+
+	wg sync.WaitGroup
+}
+
+type msgKey struct {
+	from int
+	tag  int
+}
+
+// NewComm starts n ranks with the given one-way latency.
+func NewComm(n int, latency time.Duration) (*Comm, error) {
+	c := &Comm{n: n, latency: latency, tr: transport.NewMem(latency)}
+	for i := 0; i < n; i++ {
+		r := &Rank{
+			comm: c, id: i,
+			inbox: make(map[msgKey][]float64),
+			peers: make(map[int]transport.Conn),
+		}
+		r.cond = sync.NewCond(&r.mu)
+		lis, err := c.tr.Listen(fmt.Sprintf("mpi/%d", i))
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		r.lis = lis
+		r.wg.Add(1)
+		go r.acceptLoop()
+		c.ranks = append(c.ranks, r)
+	}
+	return c, nil
+}
+
+// Size returns the communicator size.
+func (c *Comm) Size() int { return c.n }
+
+// Rank returns rank i.
+func (c *Comm) RankOf(i int) *Rank { return c.ranks[i] }
+
+// Run executes body on every rank concurrently and waits; the first error
+// wins.
+func (c *Comm) Run(body func(r *Rank) error) error {
+	errs := make(chan error, c.n)
+	var wg sync.WaitGroup
+	for _, r := range c.ranks {
+		wg.Add(1)
+		go func(r *Rank) {
+			defer wg.Done()
+			errs <- body(r)
+		}(r)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close stops all ranks.
+func (c *Comm) Close() {
+	for _, r := range c.ranks {
+		r.mu.Lock()
+		r.closed = true
+		r.cond.Broadcast()
+		r.mu.Unlock()
+		r.lis.Close()
+		r.peerMu.Lock()
+		for _, conn := range r.peers {
+			conn.Close()
+		}
+		r.peerMu.Unlock()
+	}
+	for _, r := range c.ranks {
+		r.wg.Wait()
+	}
+}
+
+func (r *Rank) acceptLoop() {
+	defer r.wg.Done()
+	for {
+		conn, err := r.lis.Accept()
+		if err != nil {
+			return
+		}
+		r.wg.Add(1)
+		go r.pump(conn)
+	}
+}
+
+func (r *Rank) pump(conn transport.Conn) {
+	defer r.wg.Done()
+	for {
+		raw, err := conn.Recv()
+		if err != nil {
+			return
+		}
+		rd := wire.NewReader(raw)
+		from := int(rd.Uvarint())
+		tag := int(rd.Uvarint())
+		vals := rd.Float64s()
+		if rd.Err != nil {
+			continue
+		}
+		r.mu.Lock()
+		r.inbox[msgKey{from, tag}] = vals
+		r.cond.Broadcast()
+		r.mu.Unlock()
+	}
+}
+
+// ID returns the rank index.
+func (r *Rank) ID() int { return r.id }
+
+// Send sends vals to rank dst with a tag.
+func (r *Rank) Send(dst, tag int, vals []float64) error {
+	if dst == r.id {
+		r.mu.Lock()
+		r.inbox[msgKey{r.id, tag}] = vals
+		r.cond.Broadcast()
+		r.mu.Unlock()
+		return nil
+	}
+	r.peerMu.Lock()
+	conn, ok := r.peers[dst]
+	if !ok {
+		var err error
+		conn, err = r.comm.tr.Dial(fmt.Sprintf("mpi/%d", dst))
+		if err != nil {
+			r.peerMu.Unlock()
+			return err
+		}
+		r.peers[dst] = conn
+	}
+	r.peerMu.Unlock()
+	var w wire.Writer
+	w.Uvarint(uint64(r.id))
+	w.Uvarint(uint64(tag))
+	w.Float64s(vals)
+	return conn.Send(w.Buf)
+}
+
+// Recv blocks until a message with the given source and tag arrives.
+func (r *Rank) Recv(src, tag int) ([]float64, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	key := msgKey{src, tag}
+	for {
+		if vals, ok := r.inbox[key]; ok {
+			delete(r.inbox, key)
+			return vals, nil
+		}
+		if r.closed {
+			return nil, fmt.Errorf("mpi: rank %d closed", r.id)
+		}
+		r.cond.Wait()
+	}
+}
+
+// AllReduce combines one value from every rank with op ("sum" or "max")
+// via a gather to rank 0 and a broadcast — the synchronization structure
+// of MPI_Allreduce.
+func (r *Rank) AllReduce(tag int, v float64, op string) (float64, error) {
+	if r.id == 0 {
+		acc := v
+		for src := 1; src < r.comm.n; src++ {
+			vals, err := r.Recv(src, tag)
+			if err != nil {
+				return 0, err
+			}
+			if len(vals) > 0 {
+				switch op {
+				case "max":
+					if vals[0] > acc {
+						acc = vals[0]
+					}
+				default:
+					acc += vals[0]
+				}
+			}
+		}
+		for dst := 1; dst < r.comm.n; dst++ {
+			if err := r.Send(dst, tag+1, []float64{acc}); err != nil {
+				return 0, err
+			}
+		}
+		return acc, nil
+	}
+	if err := r.Send(0, tag, []float64{v}); err != nil {
+		return 0, err
+	}
+	vals, err := r.Recv(0, tag+1)
+	if err != nil {
+		return 0, err
+	}
+	if len(vals) == 0 {
+		return 0, fmt.Errorf("mpi: empty reduction")
+	}
+	return vals[0], nil
+}
+
+// Barrier synchronizes all ranks (an AllReduce of zeros).
+func (r *Rank) Barrier(tag int) error {
+	_, err := r.AllReduce(tag, 0, "sum")
+	return err
+}
+
+// HaloExchange swaps one payload with each neighboring rank (id±1),
+// blocking until both directions complete — the per-stage ghost-cell
+// synchronization of a strip-partitioned grid code.
+func (r *Rank) HaloExchange(tag int, payload []float64) error {
+	if r.id > 0 {
+		if err := r.Send(r.id-1, tag, payload); err != nil {
+			return err
+		}
+	}
+	if r.id < r.comm.n-1 {
+		if err := r.Send(r.id+1, tag, payload); err != nil {
+			return err
+		}
+	}
+	if r.id > 0 {
+		if _, err := r.Recv(r.id-1, tag); err != nil {
+			return err
+		}
+	}
+	if r.id < r.comm.n-1 {
+		if _, err := r.Recv(r.id+1, tag); err != nil {
+			return err
+		}
+	}
+	return nil
+}

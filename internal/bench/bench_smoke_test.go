@@ -1,0 +1,49 @@
+package bench
+
+import (
+	"testing"
+	"time"
+)
+
+// smokeScale is a minimal configuration so every experiment runs in CI
+// time.
+func smokeScale() Scale {
+	s := Quick()
+	s.Workers = []int{2, 4}
+	s.Fig1Workers = []int{2, 4}
+	s.Tasks = 16
+	s.ReduceFan = 4
+	s.Iterations = 2
+	s.TaskDur = 500 * time.Microsecond
+	s.ReduceDur = 100 * time.Microsecond
+	s.WaterWorkers = 2
+	s.WaterParts = 4
+	s.WaterGridDur = 200 * time.Microsecond
+	s.WaterSubsteps, s.WaterReinit, s.WaterJacobi, s.WaterFrames = 1, 1, 2, 1
+	return s
+}
+
+// TestEveryExperimentRuns executes all nine experiment runners end to end
+// at smoke scale, asserting they produce rows.
+func TestEveryExperimentRuns(t *testing.T) {
+	runners := map[string]func(Scale) (*Table, error){
+		"fig1": Fig1, "table1": Table1, "table2": Table2, "table3": Table3,
+		"fig7": Fig7, "fig8": Fig8, "fig9": Fig9, "fig10": Fig10, "fig11": Fig11,
+	}
+	s := smokeScale()
+	for name, run := range runners {
+		name, run := name, run
+		t.Run(name, func(t *testing.T) {
+			tbl, err := run(s)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			if len(tbl.Rows) == 0 {
+				t.Fatalf("%s produced no rows", name)
+			}
+			if tbl.Format() == "" {
+				t.Fatalf("%s formats empty", name)
+			}
+		})
+	}
+}

@@ -1,0 +1,874 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"nimbus/internal/app/kmeans"
+	"nimbus/internal/app/lr"
+	"nimbus/internal/app/water"
+	"nimbus/internal/baseline/dataflow"
+	"nimbus/internal/baseline/mpi"
+	"nimbus/internal/cluster"
+	"nimbus/internal/controller"
+	"nimbus/internal/core"
+	"nimbus/internal/flow"
+	"nimbus/internal/fn"
+	"nimbus/internal/ids"
+)
+
+// Fig1 reproduces Figure 1: logistic regression under a centralized
+// per-task scheduler (Spark-like). Computation time shrinks with more
+// workers but the control plane grows, so completion time does not.
+func Fig1(s Scale) (*Table, error) {
+	t := &Table{
+		ID:      "fig1",
+		Title:   "Control plane bottleneck: LR under the central (Spark-like) scheduler",
+		Columns: []string{"workers", "iteration(ms)", "compute(ms)", "control(ms)"},
+		Notes: []string{
+			fmt.Sprintf("central per-task scheduling cost modeled at %v (paper-measured Spark 2.0 value)", s.SparkPerTask),
+			"paper shape: compute shrinks with workers, completion time grows",
+		},
+	}
+	for _, w := range s.Fig1Workers {
+		m, err := s.startLR(w, controller.ModeCentral)
+		if err != nil {
+			return nil, err
+		}
+		iter, err := m.timeUntemplatedIterations(s.Iterations)
+		m.stop()
+		if err != nil {
+			return nil, err
+		}
+		ideal := s.idealLRIteration(w, s.TaskDur)
+		ctrl := iter - ideal
+		if ctrl < 0 {
+			ctrl = 0
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(w), ms(iter), ms(ideal), ms(ctrl),
+		})
+	}
+	return t, nil
+}
+
+// Table1 reproduces Table 1: template installation costs per task,
+// against the cost of centrally scheduling a task.
+func Table1(s Scale) (*Table, error) {
+	workers := s.Workers[len(s.Workers)-1]
+	m, err := s.startLR(workers, controller.ModeNimbus)
+	if err != nil {
+		return nil, err
+	}
+	defer m.stop()
+	// Plain scheduling baseline: one untemplated iteration.
+	if _, err := m.timeUntemplatedIterations(1); err != nil {
+		return nil, err
+	}
+	schedNanos := m.c.Controller.Stats.ScheduleNanos.Load()
+	schedTasks := int(m.c.Controller.Stats.TasksScheduled.Load())
+
+	// Recorded install.
+	if err := m.j.InstallTemplates(); err != nil {
+		return nil, err
+	}
+	if err := m.j.D.Barrier(); err != nil {
+		return nil, err
+	}
+	tasks := 0
+	m.c.Controller.Do(func() {
+		for _, name := range []string{lr.OptimizeBlock, lr.EstimateBlock} {
+			if t := m.c.Controller.TemplateByName(name); t != nil {
+				tasks += t.TaskCount
+			}
+		}
+	})
+	record := perTask(m.c.Controller.Stats.RecordNanos.Load(), tasks)
+	finalize := perTask(m.c.Controller.Stats.FinalizeNanos.Load(), tasks)
+	var wInstall uint64
+	for _, w := range m.c.Workers {
+		wInstall += w.Stats.InstallNanos.Load()
+	}
+	t := &Table{
+		ID:      "table1",
+		Title:   "Template installation is fast compared to scheduling (per-task costs)",
+		Columns: []string{"operation", "per-task cost(us)"},
+		Rows: [][]string{
+			{"Installing controller template", us(record)},
+			{"Installing worker template on controller", us(finalize)},
+			{"Installing worker template on worker", us(perTask(wInstall, tasks))},
+			{"Nimbus schedule task (no templates)", us(perTask(schedNanos, schedTasks))},
+			{"Spark schedule task (modeled)", us(s.SparkPerTask)},
+		},
+		Notes: []string{fmt.Sprintf("%d tasks across %d workers", tasks, workers)},
+	}
+	return t, nil
+}
+
+// Table2 reproduces Table 2: template instantiation costs per task for
+// the auto-validated (tight loop) and fully validated (control-flow
+// switch) cases, plus the implied scheduling throughput.
+func Table2(s Scale) (*Table, error) {
+	workers := s.Workers[len(s.Workers)-1]
+	m, err := s.startLR(workers, controller.ModeNimbus)
+	if err != nil {
+		return nil, err
+	}
+	defer m.stop()
+	if err := m.j.InstallTemplates(); err != nil {
+		return nil, err
+	}
+	if err := m.j.D.Barrier(); err != nil {
+		return nil, err
+	}
+	var taskCount int
+	m.c.Controller.Do(func() {
+		taskCount = m.c.Controller.TemplateByName(lr.OptimizeBlock).TaskCount
+	})
+
+	snapshot := func() (ctrlNanos, valNanos, wNanos uint64, insts uint64) {
+		ctrlNanos = m.c.Controller.Stats.InstantiateNanos.Load()
+		valNanos = m.c.Controller.Stats.ValidateNanos.Load()
+		insts = m.c.Controller.Stats.Instantiations.Load()
+		for _, w := range m.c.Workers {
+			wNanos += w.Stats.InstantiateNanos.Load()
+		}
+		return
+	}
+
+	// Tight loop: repeated instantiation of one block auto-validates.
+	const n = 20
+	if err := m.j.Optimize(); err != nil { // warm-up (patches)
+		return nil, err
+	}
+	if err := m.j.D.Barrier(); err != nil {
+		return nil, err
+	}
+	c0, _, w0, i0 := snapshot()
+	for i := 0; i < n; i++ {
+		if err := m.j.Optimize(); err != nil {
+			return nil, err
+		}
+	}
+	if err := m.j.D.Barrier(); err != nil {
+		return nil, err
+	}
+	c1, _, w1, i1 := snapshot()
+	autoCtrl := perTask(c1-c0, int(i1-i0)*taskCount)
+	autoWorker := perTask(w1-w0, int(i1-i0)*taskCount)
+
+	// Control-flow switches: alternating blocks force full validation.
+	c2, v2, w2, i2 := snapshot()
+	for i := 0; i < n; i++ {
+		if err := m.j.Optimize(); err != nil {
+			return nil, err
+		}
+		if err := m.j.Estimate(); err != nil {
+			return nil, err
+		}
+	}
+	if err := m.j.D.Barrier(); err != nil {
+		return nil, err
+	}
+	c3, v3, w3, i3 := snapshot()
+	valCtrl := perTask((c3-c2)+(v3-v2), int(i3-i2)*taskCount)
+	valWorker := perTask(w3-w2, int(i3-i2)*taskCount)
+
+	autoTotal := autoCtrl + autoWorker
+	throughput := float64(0)
+	if autoTotal > 0 {
+		throughput = float64(time.Second) / float64(autoTotal)
+	}
+	t := &Table{
+		ID:      "table2",
+		Title:   "Template instantiation is fast (per-task costs)",
+		Columns: []string{"operation", "per-task cost(us)"},
+		Rows: [][]string{
+			{"Instantiate controller template", us(autoCtrl)},
+			{"Instantiate worker template (auto-validation)", us(autoWorker)},
+			{"Instantiate worker template (validation)", us(valCtrl + valWorker)},
+		},
+		Notes: []string{
+			fmt.Sprintf("implied steady-state scheduling throughput: %.0f tasks/second", throughput),
+			"paper: 0.2us + 1.7us auto (>500k tasks/s), 7.5us validated (~130k tasks/s)",
+		},
+	}
+	return t, nil
+}
+
+// Table3 reproduces Table 3: edits cost proportional to the change, while
+// the static-dataflow baseline pays a full reinstall for any change.
+func Table3(s Scale) (*Table, error) {
+	workers := s.Workers[len(s.Workers)-1]
+	m, err := s.startLR(workers, controller.ModeNimbus)
+	if err != nil {
+		return nil, err
+	}
+	defer m.stop()
+	if err := m.j.InstallTemplates(); err != nil {
+		return nil, err
+	}
+	if err := m.j.Optimize(); err != nil {
+		return nil, err
+	}
+	if err := m.j.D.Barrier(); err != nil {
+		return nil, err
+	}
+
+	// Control traffic of the original installation for the bytes column.
+	installBytes := m.c.Controller.Stats.BytesToWorkers.Load()
+
+	// steadyBytes measures the control bytes of one instantiation.
+	steadyBytes := func() (uint64, error) {
+		b0 := m.c.Controller.Stats.BytesToWorkers.Load()
+		if err := m.j.Optimize(); err != nil {
+			return 0, err
+		}
+		if err := m.j.D.Barrier(); err != nil {
+			return 0, err
+		}
+		return m.c.Controller.Stats.BytesToWorkers.Load() - b0, nil
+	}
+	base, err := steadyBytes()
+	if err != nil {
+		return nil, err
+	}
+	// migrate measures the controller's edit-generation wall time and the
+	// extra control bytes the edit-carrying instantiation ships over a
+	// steady-state one — the quantity that scales with the change size.
+	migrate := func(parts []int) (time.Duration, uint64, error) {
+		var dst ids.WorkerID
+		var migErr error
+		start := time.Now()
+		m.c.Controller.Do(func() {
+			actives := m.c.Controller.ActiveWorkers()
+			dst = actives[0]
+			migErr = m.c.Controller.Migrate(
+				[]ids.VariableID{m.j.TData.ID, m.j.Grad.ID}, parts, dst)
+		})
+		elapsed := time.Since(start)
+		if migErr != nil {
+			return 0, 0, migErr
+		}
+		bytes, err := steadyBytes()
+		if err != nil {
+			return 0, 0, err
+		}
+		if bytes > base {
+			bytes -= base
+		} else {
+			bytes = 0
+		}
+		return elapsed, bytes, nil
+	}
+
+	oneEdit, oneBytes, err := migrate([]int{1})
+	if err != nil {
+		return nil, err
+	}
+	fivePct := s.Tasks / 20
+	parts := make([]int, 0, fivePct)
+	for p := 2; p < 2+fivePct; p++ {
+		parts = append(parts, p%s.Tasks)
+	}
+	bulk, bulkBytes, err := migrate(parts)
+	if err != nil {
+		return nil, err
+	}
+
+	// Full installation cost: record + finalize + worker installs.
+	installNanos := m.c.Controller.Stats.RecordNanos.Load() +
+		m.c.Controller.Stats.FinalizeNanos.Load()
+	for _, w := range m.c.Workers {
+		installNanos += w.Stats.InstallNanos.Load()
+	}
+
+	// Naiad any change: measured full dataflow reinstall.
+	rt, err := dataflow.New(dataflow.Config{
+		Workers: workers, Slots: s.Slots, Latency: s.Latency,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer rt.Close()
+	place := core.NewStaticPlacement(workers)
+	stages := s.lrStageSpecs(place)
+	var alloc ids.ObjectIDs
+	dir := flow.NewDirectory(&alloc)
+	naiadInstall, err := rt.Install(stages, place, dir)
+	if err != nil {
+		return nil, err
+	}
+
+	t := &Table{
+		ID:      "table3",
+		Title:   "Edits cost scales with the change; static dataflow pays full reinstall",
+		Columns: []string{"operation", "controller(ms)", "control bytes"},
+		Rows: [][]string{
+			{"Nimbus single edit (1 task migrated)", ms(oneEdit), fmt.Sprint(oneBytes)},
+			{fmt.Sprintf("Nimbus 5%% task migration (%d tasks)", fivePct), ms(bulk), fmt.Sprint(bulkBytes)},
+			{"Nimbus complete installation (all tasks)", ms(time.Duration(installNanos)), fmt.Sprint(installBytes)},
+			{"Naiad-style any change (full graph reinstall)", ms(naiadInstall), "full graph"},
+		},
+		Notes: []string{
+			"paper: 41us single edit, 35ms for 800 edits, 203ms full install, 230ms Naiad",
+			"control bytes shipped scale with the edit; this implementation's edit *generation* rebuilds and diffs the template (O(template)) on the controller",
+		},
+	}
+	return t, nil
+}
+
+// Fig7 reproduces Figure 7: LR and k-means iteration times across worker
+// counts for the three systems.
+func Fig7(s Scale) (*Table, error) {
+	t := &Table{
+		ID:      "fig7",
+		Title:   "Iteration time: Spark-opt vs Naiad-opt vs Nimbus (LR and k-means)",
+		Columns: []string{"app", "workers", "spark-opt(ms)", "naiad-opt(ms)", "nimbus(ms)", "compute(ms)"},
+		Notes: []string{
+			"paper shape: Nimbus ~= Naiad and both scale; Spark is 70-100% slower at the low end and 15-23x at 100 workers",
+		},
+	}
+	for _, app := range []string{"lr", "kmeans"} {
+		taskDur := s.TaskDur
+		if app == "kmeans" {
+			taskDur = s.TaskDur * 145 / 100
+		}
+		for _, w := range s.Workers {
+			spark, err := s.runCentralIteration(app, w)
+			if err != nil {
+				return nil, err
+			}
+			naiad, err := s.runDataflowIteration(app, w)
+			if err != nil {
+				return nil, err
+			}
+			nimbus, err := s.runNimbusIteration(app, w)
+			if err != nil {
+				return nil, err
+			}
+			t.Rows = append(t.Rows, []string{
+				app, fmt.Sprint(w), ms(spark), ms(naiad), ms(nimbus),
+				ms(s.idealLRIteration(w, taskDur)),
+			})
+		}
+	}
+	return t, nil
+}
+
+func (s Scale) runNimbusIteration(app string, workers int) (time.Duration, error) {
+	if app == "kmeans" {
+		return s.runKMeansNimbus(workers)
+	}
+	m, err := s.startLR(workers, controller.ModeNimbus)
+	if err != nil {
+		return 0, err
+	}
+	defer m.stop()
+	return m.timeTemplatedIterations(s.Iterations)
+}
+
+func (s Scale) runCentralIteration(app string, workers int) (time.Duration, error) {
+	if app == "kmeans" {
+		return s.runKMeansCentral(workers)
+	}
+	m, err := s.startLR(workers, controller.ModeCentral)
+	if err != nil {
+		return 0, err
+	}
+	defer m.stop()
+	return m.timeUntemplatedIterations(s.Iterations)
+}
+
+func (s Scale) runDataflowIteration(app string, workers int) (time.Duration, error) {
+	rt, err := dataflow.New(dataflow.Config{
+		Workers: workers, Slots: s.Slots, Latency: s.Latency,
+	})
+	if err != nil {
+		return 0, err
+	}
+	defer rt.Close()
+	place := core.NewStaticPlacement(workers)
+	scale := s
+	if app == "kmeans" {
+		scale.TaskDur = s.TaskDur * 145 / 100
+	}
+	stages := scale.lrStageSpecs(place)
+	var alloc ids.ObjectIDs
+	dir := flow.NewDirectory(&alloc)
+	if _, err := rt.Install(stages, place, dir); err != nil {
+		return 0, err
+	}
+	if _, err := rt.RunIteration(); err != nil { // warm-up
+		return 0, err
+	}
+	var total time.Duration
+	for i := 0; i < s.Iterations; i++ {
+		d, err := rt.RunIteration()
+		if err != nil {
+			return 0, err
+		}
+		total += d
+	}
+	return total / time.Duration(s.Iterations), nil
+}
+
+func (s Scale) runKMeansNimbus(workers int) (time.Duration, error) {
+	c, err := s.nimbusCluster(workers, controller.ModeNimbus)
+	if err != nil {
+		return 0, err
+	}
+	defer c.Stop()
+	d, err := c.Driver("bench")
+	if err != nil {
+		return 0, err
+	}
+	j, err := kmeans.Setup(d, s.kmConfig())
+	if err != nil {
+		return 0, err
+	}
+	if err := j.InstallTemplate(); err != nil {
+		return 0, err
+	}
+	if err := j.Iterate(); err != nil { // warm-up
+		return 0, err
+	}
+	if err := d.Barrier(); err != nil {
+		return 0, err
+	}
+	start := time.Now()
+	for i := 0; i < s.Iterations; i++ {
+		if err := j.Iterate(); err != nil {
+			return 0, err
+		}
+	}
+	if err := d.Barrier(); err != nil {
+		return 0, err
+	}
+	return time.Since(start) / time.Duration(s.Iterations), nil
+}
+
+func (s Scale) runKMeansCentral(workers int) (time.Duration, error) {
+	c, err := s.nimbusCluster(workers, controller.ModeCentral)
+	if err != nil {
+		return 0, err
+	}
+	defer c.Stop()
+	d, err := c.Driver("bench")
+	if err != nil {
+		return 0, err
+	}
+	j, err := kmeans.Setup(d, s.kmConfig())
+	if err != nil {
+		return 0, err
+	}
+	if err := j.SubmitIterationStages(); err != nil { // warm-up
+		return 0, err
+	}
+	if err := d.Barrier(); err != nil {
+		return 0, err
+	}
+	start := time.Now()
+	for i := 0; i < s.Iterations; i++ {
+		if err := j.SubmitIterationStages(); err != nil {
+			return 0, err
+		}
+	}
+	if err := d.Barrier(); err != nil {
+		return 0, err
+	}
+	return time.Since(start) / time.Duration(s.Iterations), nil
+}
+
+// Fig8 reproduces Figure 8: task throughput of Nimbus vs the central
+// baseline as workers increase. The central dispatcher saturates; Nimbus
+// grows with the parallelism the job demands.
+func Fig8(s Scale) (*Table, error) {
+	t := &Table{
+		ID:      "fig8",
+		Title:   "Task throughput vs workers (tasks/second)",
+		Columns: []string{"workers", "spark-opt", "nimbus"},
+		Notes: []string{
+			"paper shape: Spark saturates ~6k tasks/s; Nimbus reaches 128k tasks/s at 100 workers",
+		},
+	}
+	tasksPerIter := s.Tasks + s.Tasks/s.ReduceFan + 1
+	for _, w := range s.Workers {
+		mc, err := s.startLR(w, controller.ModeCentral)
+		if err != nil {
+			return nil, err
+		}
+		citer, err := mc.timeUntemplatedIterations(s.Iterations)
+		mc.stop()
+		if err != nil {
+			return nil, err
+		}
+		mn, err := s.startLR(w, controller.ModeNimbus)
+		if err != nil {
+			return nil, err
+		}
+		niter, err := mn.timeTemplatedIterations(s.Iterations)
+		mn.stop()
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(w),
+			fmt.Sprintf("%.0f", float64(tasksPerIter)/citer.Seconds()),
+			fmt.Sprintf("%.0f", float64(tasksPerIter)/niter.Seconds()),
+		})
+	}
+	return t, nil
+}
+
+// Fig9 reproduces Figure 9: the adaptation timeline — templates manually
+// disabled, then installed, then half the workers are revoked and later
+// returned.
+func Fig9(s Scale) (*Table, error) {
+	workers := s.Workers[len(s.Workers)-1]
+	m, err := s.startLR(workers, controller.ModeNimbus)
+	if err != nil {
+		return nil, err
+	}
+	defer m.stop()
+	t := &Table{
+		ID:      "fig9",
+		Title:   "Dynamic adaptation timeline (per-iteration times)",
+		Columns: []string{"iteration", "time(ms)", "event"},
+		Notes: []string{
+			"paper shape: slow without templates; fast after install; doubled compute on half the workers; revalidation spike on restore",
+		},
+	}
+	iterate := func(idx int, f func() error, event string) error {
+		start := time.Now()
+		if err := f(); err != nil {
+			return err
+		}
+		if err := m.j.D.Barrier(); err != nil {
+			return err
+		}
+		t.Rows = append(t.Rows, []string{fmt.Sprint(idx), ms(time.Since(start)), event})
+		return nil
+	}
+	idx := 1
+	// Iterations 1-4: templates disabled (per-stage scheduling).
+	for i := 0; i < 4; i++ {
+		ev := ""
+		if i == 0 {
+			ev = "templates disabled"
+		}
+		if err := iterate(idx, m.j.SubmitOptimizeStages, ev); err != nil {
+			return nil, err
+		}
+		idx++
+	}
+	// Iteration 5: recording (executes once while installing).
+	if err := iterate(idx, func() error {
+		if err := m.j.D.BeginTemplate(lr.OptimizeBlock); err != nil {
+			return err
+		}
+		if err := m.j.SubmitOptimizeStages(); err != nil {
+			return err
+		}
+		return m.j.D.EndTemplate(lr.OptimizeBlock)
+	}, "installing templates"); err != nil {
+		return nil, err
+	}
+	idx++
+	// Iterations 6-9: instantiation.
+	for i := 0; i < 4; i++ {
+		if err := iterate(idx, m.j.Optimize, ""); err != nil {
+			return nil, err
+		}
+		idx++
+	}
+	// Revoke half the workers.
+	var all []ids.WorkerID
+	m.c.Controller.Do(func() { all = m.c.Controller.ActiveWorkers() })
+	var resErr error
+	m.c.Controller.Do(func() { resErr = m.c.Controller.SetActive(all[:len(all)/2]) })
+	if resErr != nil {
+		return nil, resErr
+	}
+	for i := 0; i < 4; i++ {
+		ev := ""
+		if i == 0 {
+			ev = fmt.Sprintf("resource manager revokes %d workers", len(all)-len(all)/2)
+		}
+		if err := iterate(idx, m.j.Optimize, ev); err != nil {
+			return nil, err
+		}
+		idx++
+	}
+	// Restore all workers: cached templates revalidate.
+	m.c.Controller.Do(func() { resErr = m.c.Controller.SetActive(all) })
+	if resErr != nil {
+		return nil, resErr
+	}
+	for i := 0; i < 4; i++ {
+		ev := ""
+		if i == 0 {
+			ev = "workers restored; cached templates revalidated"
+		}
+		if err := iterate(idx, m.j.Optimize, ev); err != nil {
+			return nil, err
+		}
+		idx++
+	}
+	return t, nil
+}
+
+// Fig10 reproduces Figure 10: migrating 5% of tasks every 5 iterations.
+// Nimbus pays per-edit costs; the static-dataflow baseline reinstalls the
+// whole graph each time.
+func Fig10(s Scale) (*Table, error) {
+	workers := s.Workers[len(s.Workers)-1]
+	const iters = 20
+	t := &Table{
+		ID:      "fig10",
+		Title:   "Task migration every 5 iterations: cumulative time (s)",
+		Columns: []string{"iteration", "nimbus(s)", "nimbus-mig(ms)", "naiad-opt(s)", "naiad-reinstall(ms)"},
+		Notes: []string{
+			"paper shape: Nimbus's edits are negligible; Naiad pays a full reinstall per migration and finishes ~2x slower",
+			"the *-mig/-reinstall columns isolate the per-migration control cost; the reinstall grows with graph size (run -scale paper)",
+		},
+	}
+
+	// Nimbus run.
+	m, err := s.startLR(workers, controller.ModeNimbus)
+	if err != nil {
+		return nil, err
+	}
+	if err := m.j.InstallTemplates(); err != nil {
+		m.stop()
+		return nil, err
+	}
+	if err := m.j.Optimize(); err != nil {
+		m.stop()
+		return nil, err
+	}
+	if err := m.j.D.Barrier(); err != nil {
+		m.stop()
+		return nil, err
+	}
+	fivePct := s.Tasks / 20
+	nimbusCum := make([]time.Duration, 0, iters)
+	nimbusMig := make([]time.Duration, iters)
+	var elapsed time.Duration
+	for i := 1; i <= iters; i++ {
+		start := time.Now()
+		if i%5 == 0 {
+			migStart := time.Now()
+			parts := make([]int, 0, fivePct)
+			for p := 0; p < fivePct; p++ {
+				parts = append(parts, (i*7+p)%s.Tasks)
+			}
+			var dst ids.WorkerID
+			var migErr error
+			m.c.Controller.Do(func() {
+				actives := m.c.Controller.ActiveWorkers()
+				dst = actives[i%len(actives)]
+				migErr = m.c.Controller.Migrate(
+					[]ids.VariableID{m.j.TData.ID, m.j.Grad.ID}, parts, dst)
+			})
+			if migErr != nil {
+				m.stop()
+				return nil, migErr
+			}
+			nimbusMig[i-1] = time.Since(migStart)
+		}
+		if err := m.j.Optimize(); err != nil {
+			m.stop()
+			return nil, err
+		}
+		if err := m.j.D.Barrier(); err != nil {
+			m.stop()
+			return nil, err
+		}
+		elapsed += time.Since(start)
+		nimbusCum = append(nimbusCum, elapsed)
+	}
+	m.stop()
+
+	// Dataflow run: any migration = full reinstall.
+	rt, err := dataflow.New(dataflow.Config{
+		Workers: workers, Slots: s.Slots, Latency: s.Latency,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer rt.Close()
+	place := core.NewStaticPlacement(workers)
+	stages := s.lrStageSpecs(place)
+	var alloc ids.ObjectIDs
+	dir := flow.NewDirectory(&alloc)
+	if _, err := rt.Install(stages, place, dir); err != nil {
+		return nil, err
+	}
+	naiadCum := make([]time.Duration, 0, iters)
+	naiadRe := make([]time.Duration, iters)
+	elapsed = 0
+	for i := 1; i <= iters; i++ {
+		start := time.Now()
+		if i%5 == 0 {
+			// The schedule change invalidates the graph: full reinstall
+			// (a fresh directory models the new object placement).
+			place.Reassign(1, i%s.Tasks, ids.WorkerID(1+i%workers))
+			dir2 := flow.NewDirectory(&alloc)
+			d, err := rt.Install(stages, place, dir2)
+			if err != nil {
+				return nil, err
+			}
+			naiadRe[i-1] = d
+		}
+		if _, err := rt.RunIteration(); err != nil {
+			return nil, err
+		}
+		elapsed += time.Since(start)
+		naiadCum = append(naiadCum, elapsed)
+	}
+	for i := 0; i < iters; i++ {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(i + 1),
+			fmt.Sprintf("%.3f", nimbusCum[i].Seconds()),
+			ms(nimbusMig[i]),
+			fmt.Sprintf("%.3f", naiadCum[i].Seconds()),
+			ms(naiadRe[i]),
+		})
+	}
+	return t, nil
+}
+
+// Fig11 reproduces Figure 11: the water simulation under hand-written
+// MPI, Nimbus with templates, and Nimbus without templates.
+func Fig11(s Scale) (*Table, error) {
+	t := &Table{
+		ID:      "fig11",
+		Title:   "Water simulation frame time: MPI vs Nimbus vs Nimbus w/o templates",
+		Columns: []string{"system", "frame(ms)", "vs MPI"},
+		Notes: []string{
+			"paper: MPI 31.7s, Nimbus 36.5s (+15%), Nimbus w/o templates 196.8s (+520%)",
+		},
+	}
+	runNimbus := func(useTemplates bool) (time.Duration, error) {
+		reg := fn.NewRegistry()
+		water.Register(reg)
+		c, err := cluster.Start(cluster.Options{
+			Workers: s.WaterWorkers, Slots: s.Slots, Latency: s.Latency,
+			LivePerTaskCost: s.NimbusPerTask, Registry: reg,
+		})
+		if err != nil {
+			return 0, err
+		}
+		defer c.Stop()
+		d, err := c.Driver("bench")
+		if err != nil {
+			return 0, err
+		}
+		rows := s.WaterParts * 4
+		j, err := water.Setup(d, water.Config{
+			Rows: rows, Cols: 8, Partitions: s.WaterParts,
+			Simulated: true, SimSubsteps: s.WaterSubsteps,
+			SimReinit: s.WaterReinit, SimJacobi: s.WaterJacobi,
+			GridTaskDuration: s.WaterGridDur, ReduceTaskDuration: s.WaterReduceDur,
+		})
+		if err != nil {
+			return 0, err
+		}
+		if useTemplates {
+			if err := j.InstallTemplates(); err != nil {
+				return 0, err
+			}
+			if err := d.Barrier(); err != nil {
+				return 0, err
+			}
+		}
+		start := time.Now()
+		for f := 0; f < s.WaterFrames; f++ {
+			if useTemplates {
+				if _, err := j.RunFrame(f + 1); err != nil {
+					return 0, err
+				}
+			} else {
+				// Templates off: every stage is submitted and scheduled
+				// afresh, substep by substep.
+				for step := 0; step < s.WaterSubsteps; step++ {
+					if err := j.SubmitPreStages(); err != nil {
+						return 0, err
+					}
+					for i := 0; i < s.WaterReinit; i++ {
+						if err := j.SubmitReinitStages(); err != nil {
+							return 0, err
+						}
+					}
+					if err := j.SubmitMidStages(); err != nil {
+						return 0, err
+					}
+					for i := 0; i < s.WaterJacobi; i++ {
+						if err := j.SubmitJacobiStages(); err != nil {
+							return 0, err
+						}
+					}
+					if err := j.SubmitPostStages(); err != nil {
+						return 0, err
+					}
+				}
+			}
+		}
+		if err := d.Barrier(); err != nil {
+			return 0, err
+		}
+		return time.Since(start) / time.Duration(s.WaterFrames), nil
+	}
+
+	comm, err := mpi.NewComm(s.WaterWorkers, s.Latency)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	_, err = mpi.RunWaterSubsteps(comm, mpi.WaterProfile{
+		StripsPerRank: s.WaterParts / s.WaterWorkers, Slots: s.Slots,
+		GridTaskDuration: s.WaterGridDur, ReduceTaskDuration: s.WaterReduceDur,
+		Substeps:    s.WaterSubsteps * s.WaterFrames,
+		ReinitIters: s.WaterReinit, JacobiIters: s.WaterJacobi,
+	})
+	comm.Close()
+	if err != nil {
+		return nil, err
+	}
+	mpiFrame := time.Since(start) / time.Duration(s.WaterFrames)
+
+	withT, err := runNimbus(true)
+	if err != nil {
+		return nil, err
+	}
+	withoutT, err := runNimbus(false)
+	if err != nil {
+		return nil, err
+	}
+	rel := func(d time.Duration) string {
+		return fmt.Sprintf("%+.0f%%", 100*(d.Seconds()/mpiFrame.Seconds()-1))
+	}
+	t.Rows = [][]string{
+		{"MPI (hand-tuned, static)", ms(mpiFrame), "+0%"},
+		{"Nimbus with templates", ms(withT), rel(withT)},
+		{"Nimbus w/o templates", ms(withoutT), rel(withoutT)},
+	}
+	return t, nil
+}
+
+// All runs every experiment at the given scale.
+func All(s Scale) ([]*Table, error) {
+	runners := []func(Scale) (*Table, error){
+		Fig1, Table1, Table2, Table3, Fig7, Fig8, Fig9, Fig10, Fig11,
+	}
+	var out []*Table
+	for _, r := range runners {
+		t, err := r(s)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}

@@ -1,0 +1,312 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"nimbus/internal/fn"
+	"nimbus/internal/ids"
+)
+
+// TestMigrationEdits exercises paper §4.3 / Figure 6: moving a task
+// between workers by editing the installed worker templates in place.
+func TestMigrationEdits(t *testing.T) {
+	c := startTestCluster(t, Options{Workers: 4})
+	d, err := c.Driver("test")
+	if err != nil {
+		t.Fatalf("driver: %v", err)
+	}
+	defer d.Close()
+
+	const parts = 8
+	x := d.MustVar("x", parts)
+	sum := d.MustVar("sum", 1)
+	for p := 0; p < parts; p++ {
+		if err := d.PutFloats(x, p, []float64{1}); err != nil {
+			t.Fatalf("put: %v", err)
+		}
+	}
+	if err := d.BeginTemplate("blk"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Submit(fnDouble, parts, nil, x.Read(), x.Write()); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Submit(fnSumAll, 1, nil, x.ReadGrouped(), sum.WriteShared()); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.EndTemplate("blk"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Instantiate("blk"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := d.GetFloats(sum, 0)
+	if err != nil || len(got) != 1 || got[0] != 4*parts {
+		t.Fatalf("pre-migration sum = %v (err %v), want [%d]", got, err, 4*parts)
+	}
+
+	// Migrate partition 1 (originally on worker 2) to worker 1.
+	var migErr error
+	var w1 ids.WorkerID
+	c.Controller.Do(func() {
+		w1 = c.Controller.ActiveWorkers()[0]
+		migErr = c.Controller.Migrate([]ids.VariableID{x.ID}, []int{1}, w1)
+	})
+	if migErr != nil {
+		t.Fatalf("migrate: %v", migErr)
+	}
+
+	want := float64(4 * parts)
+	for i := 0; i < 3; i++ {
+		if err := d.Instantiate("blk"); err != nil {
+			t.Fatalf("instantiate after migration: %v", err)
+		}
+		want *= 2
+		got, err = d.GetFloats(sum, 0)
+		if err != nil || len(got) != 1 || got[0] != want {
+			t.Fatalf("post-migration iteration %d: sum = %v (err %v), want [%v]",
+				i, got, err, want)
+		}
+	}
+
+	var edits, built uint64
+	c.Controller.Do(func() {
+		edits = c.Controller.Stats.EditsSent.Load()
+		built = c.Controller.Stats.TemplatesBuilt.Load()
+	})
+	if edits == 0 {
+		t.Errorf("expected edits to be sent, got 0")
+	}
+	if built != 1 {
+		t.Errorf("templates built = %d, want 1 (migration must edit, not reinstall)", built)
+	}
+}
+
+// TestResizeWorkers exercises paper Figure 9: shrinking the worker set
+// generates new worker templates and patches move the data; restoring the
+// old set reuses the cached templates.
+func TestResizeWorkers(t *testing.T) {
+	c := startTestCluster(t, Options{Workers: 4})
+	d, err := c.Driver("test")
+	if err != nil {
+		t.Fatalf("driver: %v", err)
+	}
+	defer d.Close()
+
+	const parts = 8
+	x := d.MustVar("x", parts)
+	sum := d.MustVar("sum", 1)
+	for p := 0; p < parts; p++ {
+		if err := d.PutFloats(x, p, []float64{1}); err != nil {
+			t.Fatalf("put: %v", err)
+		}
+	}
+	if err := d.BeginTemplate("blk"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Submit(fnDouble, parts, nil, x.Read(), x.Write()); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Submit(fnSumAll, 1, nil, x.ReadGrouped(), sum.WriteShared()); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.EndTemplate("blk"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Barrier(); err != nil {
+		t.Fatal(err)
+	}
+
+	var all []ids.WorkerID
+	c.Controller.Do(func() { all = c.Controller.ActiveWorkers() })
+
+	// Shrink to two workers.
+	var rerr error
+	c.Controller.Do(func() { rerr = c.Controller.SetActive(all[:2]) })
+	if rerr != nil {
+		t.Fatalf("shrink: %v", rerr)
+	}
+	want := float64(2 * parts)
+	for i := 0; i < 2; i++ {
+		if err := d.Instantiate("blk"); err != nil {
+			t.Fatal(err)
+		}
+		want *= 2
+		got, err := d.GetFloats(sum, 0)
+		if err != nil || len(got) != 1 || got[0] != want {
+			t.Fatalf("shrunk iteration %d: sum = %v (err %v), want [%v]", i, got, err, want)
+		}
+	}
+
+	// Restore all four workers: cached templates revalidate, data patches
+	// back out.
+	c.Controller.Do(func() { rerr = c.Controller.SetActive(all) })
+	if rerr != nil {
+		t.Fatalf("restore: %v", rerr)
+	}
+	for i := 0; i < 2; i++ {
+		if err := d.Instantiate("blk"); err != nil {
+			t.Fatal(err)
+		}
+		want *= 2
+		got, err := d.GetFloats(sum, 0)
+		if err != nil || len(got) != 1 || got[0] != want {
+			t.Fatalf("restored iteration %d: sum = %v (err %v), want [%v]", i, got, err, want)
+		}
+	}
+
+	var built, patches uint64
+	c.Controller.Do(func() {
+		built = c.Controller.Stats.TemplatesBuilt.Load()
+		patches = c.Controller.Stats.PatchesBuilt.Load()
+	})
+	// One build at recording, one for the shrunk set; the restore reuses
+	// the original cached assignment.
+	if built != 2 {
+		t.Errorf("templates built = %d, want 2 (restore must reuse the cache)", built)
+	}
+	if patches == 0 {
+		t.Errorf("expected patches to move partition data on resize")
+	}
+}
+
+// TestPatchCache exercises paper §4.2: alternating between two basic
+// blocks exercises the patch path on each transition; after the first
+// transition the cached patch is replayed with a single message.
+func TestPatchCache(t *testing.T) {
+	reg := testRegistry(t)
+	// copyval writes its single read into its single write.
+	copyval := ids.FunctionID(200)
+	reg.MustRegister(copyval, "test/copyval", func(cx *fn.Ctx) error {
+		cx.SetWrite(0, append([]byte(nil), cx.Read(0)...))
+		return nil
+	})
+	c := startTestCluster(t, Options{Workers: 4, Registry: reg})
+	d, err := c.Driver("test")
+	if err != nil {
+		t.Fatalf("driver: %v", err)
+	}
+	defer d.Close()
+
+	const parts = 4
+	x := d.MustVar("x", parts)
+	s := d.MustVar("s", 1)
+	y := d.MustVar("y", parts)
+	for p := 0; p < parts; p++ {
+		if err := d.PutFloats(x, p, []float64{1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Block A: reduce x into scalar s (s written at worker 1).
+	if err := d.BeginTemplate("A"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Submit(fnSumAll, 1, nil, x.ReadGrouped(), s.WriteShared()); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.EndTemplate("A"); err != nil {
+		t.Fatal(err)
+	}
+	// Block B: broadcast-read s into every y partition. Its preconditions
+	// require s to be latest on every worker.
+	if err := d.BeginTemplate("B"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Submit(copyval, parts, nil, s.ReadShared(), y.Write()); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.EndTemplate("B"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Barrier(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Alternate A and B. Every A rewrites s at one worker, staling the
+	// other replicas, so every A→B transition needs the same patch.
+	for i := 0; i < 4; i++ {
+		if err := d.Instantiate("A"); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Instantiate("B"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := d.GetFloats(y, parts-1)
+	if err != nil || len(got) != 1 || got[0] != parts {
+		t.Fatalf("y = %v (err %v), want [%d]", got, err, parts)
+	}
+
+	var builtPatches, hits uint64
+	c.Controller.Do(func() {
+		builtPatches = c.Controller.Stats.PatchesBuilt.Load()
+		hits = c.Controller.Stats.PatchCacheHits.Load()
+	})
+	if builtPatches == 0 {
+		t.Fatalf("expected at least one patch to be built")
+	}
+	if hits == 0 {
+		t.Errorf("expected patch cache hits on repeated A→B transitions")
+	}
+	if builtPatches > 2 {
+		t.Errorf("patches built = %d; repeated transitions should hit the cache", builtPatches)
+	}
+}
+
+// TestFaultRecovery exercises paper §4.4: checkpoint, kill a worker,
+// verify the job completes with correct results after recovery.
+func TestFaultRecovery(t *testing.T) {
+	c := startTestCluster(t, Options{
+		Workers:          4,
+		HeartbeatEvery:   20 * time.Millisecond,
+		HeartbeatTimeout: 150 * time.Millisecond,
+	})
+	d, err := c.Driver("test")
+	if err != nil {
+		t.Fatalf("driver: %v", err)
+	}
+	defer d.Close()
+
+	const parts = 8
+	x := d.MustVar("x", parts)
+	sum := d.MustVar("sum", 1)
+	for p := 0; p < parts; p++ {
+		if err := d.PutFloats(x, p, []float64{1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.Checkpoint(); err != nil {
+		t.Fatalf("checkpoint: %v", err)
+	}
+
+	// Work after the checkpoint: double once.
+	if err := d.Submit(fnDouble, parts, nil, x.Read(), x.Write()); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Barrier(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill a worker; the controller reverts to the checkpoint and replays
+	// the double.
+	c.KillWorker(2)
+
+	if err := d.Submit(fnSumAll, 1, nil, x.ReadGrouped(), sum.WriteShared()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := d.GetFloats(sum, 0)
+	if err != nil {
+		t.Fatalf("get after recovery: %v", err)
+	}
+	if len(got) != 1 || got[0] != 2*parts {
+		t.Fatalf("sum after recovery = %v, want [%d]", got, 2*parts)
+	}
+
+	var recoveries uint64
+	c.Controller.Do(func() { recoveries = c.Controller.Stats.Recoveries.Load() })
+	if recoveries != 1 {
+		t.Errorf("recoveries = %d, want 1", recoveries)
+	}
+}

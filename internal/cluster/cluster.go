@@ -1,0 +1,143 @@
+// Package cluster assembles in-process Nimbus clusters: one controller and
+// N workers over the in-memory transport with a configurable latency
+// model. It is the testbed substitute for the paper's EC2 deployment —
+// every control-plane code path (encoding, queueing, dispatch, templates)
+// is the production one; only the wires are in-memory.
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"nimbus/internal/controller"
+	"nimbus/internal/driver"
+	"nimbus/internal/durable"
+	"nimbus/internal/fn"
+	"nimbus/internal/transport"
+	"nimbus/internal/worker"
+)
+
+// ControlAddr is the controller's address on the cluster transport.
+const ControlAddr = "nimbus/controller"
+
+// Options configures a cluster.
+type Options struct {
+	// Workers is the number of worker nodes (default 4).
+	Workers int
+	// Slots is the per-worker executor concurrency (default 8, matching
+	// the paper's c3.2xlarge workers).
+	Slots int
+	// Latency is the one-way message latency (default 0; the scaling
+	// experiments use 100µs, an EC2 placement-group hop).
+	Latency time.Duration
+	// Mode selects the controller's scheduling regime.
+	Mode controller.Mode
+	// CentralPerTaskCost calibrates the central baseline's per-task
+	// scheduling cost (paper: 166µs for Spark 2.0).
+	CentralPerTaskCost time.Duration
+	// LivePerTaskCost calibrates non-templated scheduling in Nimbus mode
+	// (paper: 134µs/task).
+	LivePerTaskCost time.Duration
+	// Registry supplies application functions (default: built-ins only).
+	Registry *fn.Registry
+	// HeartbeatEvery / HeartbeatTimeout enable failure detection.
+	HeartbeatEvery   time.Duration
+	HeartbeatTimeout time.Duration
+	// Logf receives diagnostics from all nodes (default: discard).
+	Logf func(format string, args ...any)
+}
+
+// Cluster is a running in-process Nimbus deployment.
+type Cluster struct {
+	Transport  *transport.Mem
+	Controller *controller.Controller
+	Workers    []*worker.Worker
+	Durable    *durable.Mem
+	Registry   *fn.Registry
+
+	opts    Options
+	nextIdx int
+}
+
+// Start builds and starts a cluster.
+func Start(opts Options) (*Cluster, error) {
+	if opts.Workers <= 0 {
+		opts.Workers = 4
+	}
+	if opts.Slots <= 0 {
+		opts.Slots = 8
+	}
+	if opts.Registry == nil {
+		opts.Registry = fn.NewRegistry()
+	}
+	if opts.Logf == nil {
+		opts.Logf = func(string, ...any) {}
+	}
+	c := &Cluster{
+		Transport: transport.NewMem(opts.Latency),
+		Durable:   durable.NewMem(),
+		Registry:  opts.Registry,
+		opts:      opts,
+	}
+	c.Controller = controller.New(controller.Config{
+		ControlAddr:        ControlAddr,
+		Transport:          c.Transport,
+		Mode:               opts.Mode,
+		CentralPerTaskCost: opts.CentralPerTaskCost,
+		LivePerTaskCost:    opts.LivePerTaskCost,
+		HeartbeatTimeout:   opts.HeartbeatTimeout,
+		Logf:               opts.Logf,
+	})
+	if err := c.Controller.Start(); err != nil {
+		return nil, err
+	}
+	for i := 0; i < opts.Workers; i++ {
+		if _, err := c.AddWorker(); err != nil {
+			c.Stop()
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// AddWorker starts one more worker and registers it with the controller.
+func (c *Cluster) AddWorker() (*worker.Worker, error) {
+	c.nextIdx++
+	w := worker.New(worker.Config{
+		ControlAddr:    ControlAddr,
+		DataAddr:       fmt.Sprintf("nimbus/data/%d", c.nextIdx),
+		Transport:      c.Transport,
+		Slots:          c.opts.Slots,
+		Registry:       c.Registry,
+		Durable:        c.Durable,
+		HeartbeatEvery: c.opts.HeartbeatEvery,
+		Logf:           c.opts.Logf,
+	})
+	if err := w.Start(); err != nil {
+		return nil, err
+	}
+	c.Workers = append(c.Workers, w)
+	return w, nil
+}
+
+// Driver opens a driver session against the cluster.
+func (c *Cluster) Driver(name string) (*driver.Driver, error) {
+	return driver.Connect(c.Transport, ControlAddr, name)
+}
+
+// KillWorker abruptly stops worker i (0-based), simulating a failure the
+// controller must recover from.
+func (c *Cluster) KillWorker(i int) {
+	if i < 0 || i >= len(c.Workers) {
+		return
+	}
+	c.Workers[i].Stop()
+}
+
+// Stop shuts the whole cluster down.
+func (c *Cluster) Stop() {
+	c.Controller.Stop()
+	for _, w := range c.Workers {
+		w.Stop()
+	}
+}

@@ -1,0 +1,143 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+
+	"nimbus/internal/fn"
+	"nimbus/internal/params"
+)
+
+// TestDriverErrors verifies the controller surfaces protocol misuse to
+// the driver instead of wedging the job.
+func TestDriverErrors(t *testing.T) {
+	c := startTestCluster(t, Options{Workers: 2})
+	d, err := c.Driver("test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	// Instantiating an unknown template errors on the next synchronous op.
+	if err := d.Instantiate("nope"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Barrier(); err == nil || !strings.Contains(err.Error(), "unknown template") {
+		t.Fatalf("expected unknown-template error, got %v", err)
+	}
+}
+
+// TestPerTaskParamsInTemplate verifies templates reject per-task
+// parameterized stages.
+func TestPerTaskParamsInTemplate(t *testing.T) {
+	c := startTestCluster(t, Options{Workers: 2})
+	d, err := c.Driver("test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	x := d.MustVar("x", 2)
+	if err := d.BeginTemplate("bad"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.SubmitPerTask(fn.FuncNop, 2,
+		[]params.Blob{{1}, {2}}, x.Write()); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Barrier(); err == nil {
+		t.Fatal("expected per-task-params-in-template error")
+	}
+}
+
+// TestEmptyGet reads a variable that was never written.
+func TestEmptyGet(t *testing.T) {
+	c := startTestCluster(t, Options{Workers: 2})
+	d, err := c.Driver("test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	x := d.MustVar("x", 2)
+	got, err := d.Get(x, 0)
+	if err != nil {
+		t.Fatalf("get: %v", err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("unwritten variable read %v", got)
+	}
+}
+
+// TestManyIterationsBounded runs enough templated iterations to exercise
+// the done-set watermark pruning and verifies workers stay healthy.
+func TestManyIterationsBounded(t *testing.T) {
+	c := startTestCluster(t, Options{Workers: 3})
+	d, err := c.Driver("test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	const parts = 6
+	x := d.MustVar("x", parts)
+	sum := d.MustVar("sum", 1)
+	for p := 0; p < parts; p++ {
+		if err := d.PutFloats(x, p, []float64{1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.BeginTemplate("blk"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Submit(fnSumAll, 1, nil, x.ReadGrouped(), sum.WriteShared()); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.EndTemplate("blk"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		if err := d.Instantiate("blk"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := d.GetFloats(sum, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != parts {
+		t.Fatalf("sum = %v", got)
+	}
+	var auto uint64
+	c.Controller.Do(func() { auto = c.Controller.Stats.AutoValidations.Load() })
+	if auto < 150 {
+		t.Errorf("auto-validations = %d of 200 iterations", auto)
+	}
+}
+
+// TestCheckpointAndContinue verifies checkpoints commit and the job keeps
+// running afterwards.
+func TestCheckpointAndContinue(t *testing.T) {
+	c := startTestCluster(t, Options{Workers: 3})
+	d, err := c.Driver("test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	x := d.MustVar("x", 3)
+	for p := 0; p < 3; p++ {
+		if err := d.PutFloats(x, p, []float64{float64(p)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.Checkpoint(); err != nil {
+		t.Fatalf("checkpoint: %v", err)
+	}
+	if c.Durable.Len() == 0 {
+		t.Fatal("checkpoint saved nothing")
+	}
+	if err := d.Submit(fnDouble, 3, nil, x.Read(), x.Write()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := d.GetFloats(x, 2)
+	if err != nil || len(got) != 1 || got[0] != 4 {
+		t.Fatalf("post-checkpoint compute = %v (err %v)", got, err)
+	}
+}

@@ -1,0 +1,89 @@
+package cluster
+
+import (
+	"testing"
+
+	"nimbus/internal/controller"
+	"nimbus/internal/driver"
+	"nimbus/internal/transport"
+	"nimbus/internal/worker"
+)
+
+// TestTCPEndToEnd runs a controller, two workers and a driver over real
+// TCP sockets — the deployment path of cmd/nimbus-controller and
+// cmd/nimbus-worker — and executes a templated job.
+func TestTCPEndToEnd(t *testing.T) {
+	reg := testRegistry(t)
+	tr := transport.TCP{}
+	c := controller.New(controller.Config{
+		ControlAddr: "127.0.0.1:0",
+		Transport:   tr,
+		Logf:        t.Logf,
+	})
+	if err := c.Start(); err != nil {
+		t.Fatalf("controller: %v", err)
+	}
+	defer c.Stop()
+
+	var workers []*worker.Worker
+	for i := 0; i < 2; i++ {
+		// Workers must listen on a concrete port peers can reach; pick one
+		// via a throwaway listener.
+		l, err := tr.Listen("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addr := l.Addr()
+		l.Close()
+		w := worker.New(worker.Config{
+			ControlAddr: c.Addr(),
+			DataAddr:    addr,
+			Transport:   tr,
+			Slots:       4,
+			Registry:    reg,
+			Logf:        t.Logf,
+		})
+		if err := w.Start(); err != nil {
+			t.Fatalf("worker %d: %v", i, err)
+		}
+		defer w.Stop()
+		workers = append(workers, w)
+	}
+
+	d, err := driver.Connect(tr, c.Addr(), "tcp-test")
+	if err != nil {
+		t.Fatalf("driver: %v", err)
+	}
+	defer d.Close()
+
+	const parts = 4
+	x := d.MustVar("x", parts)
+	sum := d.MustVar("sum", 1)
+	for p := 0; p < parts; p++ {
+		if err := d.PutFloats(x, p, []float64{2}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.BeginTemplate("blk"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Submit(fnDouble, parts, nil, x.Read(), x.Write()); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Submit(fnSumAll, 1, nil, x.ReadGrouped(), sum.WriteShared()); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.EndTemplate("blk"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Instantiate("blk"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := d.GetFloats(sum, 0)
+	if err != nil {
+		t.Fatalf("get: %v", err)
+	}
+	if len(got) != 1 || got[0] != 8*parts {
+		t.Fatalf("sum over TCP = %v, want [%d]", got, 8*parts)
+	}
+}

@@ -1,0 +1,211 @@
+package command
+
+import (
+	"nimbus/internal/ids"
+	"nimbus/internal/params"
+	"nimbus/internal/wire"
+)
+
+// TemplateEntry is the cached, parameterizable form of a command inside an
+// execution template (paper §2.1, §4.1).
+//
+// The fixed structure — kind, function, data access sets, relative ordering
+// and copy routing — is stored once at install time. What varies between
+// instantiations is factored out: the command ID becomes base+Index (one
+// base CommandID parameterizes the whole template) and the task parameters
+// become a slot index into the instantiation message's parameter array.
+// Dependencies are stored as indexes into the same template (BeforeIdx), so
+// translating an entry to a concrete Command is a handful of integer adds —
+// this is what makes instantiation orders of magnitude cheaper than
+// scheduling (Table 2 vs Table 1).
+type TemplateEntry struct {
+	// Index is this entry's position in the controller template's global
+	// command array. Worker templates hold a subset of the global entries
+	// but keep global indexes so that one base ID parameterizes every
+	// worker's slice consistently.
+	Index int32
+	// Kind, Function, Reads, Writes and Logical mirror Command.
+	Kind     Kind
+	Function ids.FunctionID
+	Reads    []ids.ObjectID
+	Writes   []ids.ObjectID
+	Logical  ids.LogicalID
+	// BeforeIdx lists the global indexes of same-worker entries that must
+	// complete before this one.
+	BeforeIdx []int32
+	// ParamSlot selects which entry of the instantiation parameter array
+	// this command receives, or NoParamSlot to use Fixed.
+	ParamSlot int32
+	// Fixed is the parameter blob cached in the template when the
+	// parameters do not vary between instantiations.
+	Fixed params.Blob
+	// DstWorker and DstIdx route CopySend entries: the payload goes to
+	// DstWorker addressed to command base+DstIdx (the matching CopyRecv).
+	DstWorker ids.WorkerID
+	DstIdx    int32
+}
+
+// NoParamSlot marks an entry whose parameters are cached in Fixed.
+const NoParamSlot int32 = -1
+
+// Materialize converts the entry into a concrete Command for the
+// instantiation identified by base. params is the instantiation parameter
+// array. The returned command shares the entry's read/write/param slices;
+// callers must treat them as immutable.
+func (e *TemplateEntry) Materialize(base ids.CommandID, paramArray []params.Blob, out *Command) {
+	out.ID = base + ids.CommandID(e.Index)
+	out.Kind = e.Kind
+	out.Function = e.Function
+	out.Reads = e.Reads
+	out.Writes = e.Writes
+	out.Logical = e.Logical
+	if cap(out.Before) < len(e.BeforeIdx) {
+		out.Before = make([]ids.CommandID, len(e.BeforeIdx))
+	} else {
+		out.Before = out.Before[:len(e.BeforeIdx)]
+	}
+	for i, idx := range e.BeforeIdx {
+		out.Before[i] = base + ids.CommandID(idx)
+	}
+	if e.ParamSlot != NoParamSlot && int(e.ParamSlot) < len(paramArray) {
+		out.Params = paramArray[e.ParamSlot]
+	} else {
+		out.Params = e.Fixed
+	}
+	out.DstWorker = e.DstWorker
+	if e.Kind == CopySend {
+		out.DstCommand = base + ids.CommandID(e.DstIdx)
+	} else {
+		out.DstCommand = ids.NoCommand
+	}
+	out.Version = 0
+}
+
+// Clone returns a deep copy of the entry.
+func (e *TemplateEntry) Clone() *TemplateEntry {
+	d := *e
+	d.Reads = append([]ids.ObjectID(nil), e.Reads...)
+	d.Writes = append([]ids.ObjectID(nil), e.Writes...)
+	d.BeforeIdx = append([]int32(nil), e.BeforeIdx...)
+	d.Fixed = append(params.Blob(nil), e.Fixed...)
+	return &d
+}
+
+// Encode appends the entry's wire form to w.
+func (e *TemplateEntry) Encode(w *wire.Writer) {
+	w.Varint(int64(e.Index))
+	w.Byte(byte(e.Kind))
+	w.Uvarint(uint64(e.Function))
+	w.Uvarint(uint64(len(e.Reads)))
+	for _, o := range e.Reads {
+		w.Uvarint(uint64(o))
+	}
+	w.Uvarint(uint64(len(e.Writes)))
+	for _, o := range e.Writes {
+		w.Uvarint(uint64(o))
+	}
+	w.Uvarint(uint64(e.Logical))
+	w.Uvarint(uint64(len(e.BeforeIdx)))
+	for _, b := range e.BeforeIdx {
+		w.Varint(int64(b))
+	}
+	w.Varint(int64(e.ParamSlot))
+	w.Bytes(e.Fixed)
+	w.Uvarint(uint64(e.DstWorker))
+	w.Varint(int64(e.DstIdx))
+}
+
+// Decode reads an entry from r into e, replacing its contents.
+func (e *TemplateEntry) Decode(r *wire.Reader) error {
+	e.Index = int32(r.Varint())
+	e.Kind = Kind(r.Byte())
+	e.Function = ids.FunctionID(r.Uvarint())
+	nr := r.Count()
+	if r.Err != nil {
+		return r.Err
+	}
+	e.Reads = nil
+	if nr > 0 {
+		e.Reads = make([]ids.ObjectID, nr)
+		for i := range e.Reads {
+			e.Reads[i] = ids.ObjectID(r.Uvarint())
+		}
+	}
+	nw := r.Count()
+	if r.Err != nil {
+		return r.Err
+	}
+	e.Writes = nil
+	if nw > 0 {
+		e.Writes = make([]ids.ObjectID, nw)
+		for i := range e.Writes {
+			e.Writes[i] = ids.ObjectID(r.Uvarint())
+		}
+	}
+	e.Logical = ids.LogicalID(r.Uvarint())
+	nb := r.Count()
+	if r.Err != nil {
+		return r.Err
+	}
+	e.BeforeIdx = nil
+	if nb > 0 {
+		e.BeforeIdx = make([]int32, nb)
+		for i := range e.BeforeIdx {
+			e.BeforeIdx[i] = int32(r.Varint())
+		}
+	}
+	e.ParamSlot = int32(r.Varint())
+	e.Fixed = params.Blob(r.BytesCopy())
+	e.DstWorker = ids.WorkerID(r.Uvarint())
+	e.DstIdx = int32(r.Varint())
+	return r.Err
+}
+
+// Edit is an in-place modification to an installed worker template
+// (paper §2.3, §4.3). Edits ride on instantiation messages: the worker
+// removes the entries named in Remove (by global index) and splices in the
+// Add entries before materializing the instance. Edits are persistent —
+// they modify the installed template, not just one instance.
+type Edit struct {
+	// Remove lists global entry indexes to delete from the template.
+	Remove []int32
+	// Add lists entries to insert. Added entries carry fresh global
+	// indexes beyond the template's previous maximum, assigned by the
+	// controller.
+	Add []TemplateEntry
+}
+
+// Encode appends the edit's wire form to w.
+func (e *Edit) Encode(w *wire.Writer) {
+	w.Uvarint(uint64(len(e.Remove)))
+	for _, idx := range e.Remove {
+		w.Varint(int64(idx))
+	}
+	w.Uvarint(uint64(len(e.Add)))
+	for i := range e.Add {
+		e.Add[i].Encode(w)
+	}
+}
+
+// Decode reads an edit from r into e, replacing its contents.
+func (e *Edit) Decode(r *wire.Reader) error {
+	nrm := r.Count()
+	if r.Err != nil {
+		return r.Err
+	}
+	e.Remove = make([]int32, nrm)
+	for i := range e.Remove {
+		e.Remove[i] = int32(r.Varint())
+	}
+	na := r.Count()
+	if r.Err != nil {
+		return r.Err
+	}
+	e.Add = make([]TemplateEntry, na)
+	for i := range e.Add {
+		if err := e.Add[i].Decode(r); err != nil {
+			return err
+		}
+	}
+	return r.Err
+}

@@ -1,0 +1,205 @@
+package controller
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"nimbus/internal/core"
+	"nimbus/internal/ids"
+)
+
+// This file implements dynamic scheduling: growing/shrinking the active
+// worker set (new worker-template sets, paper Figure 9) and migrating
+// partitions between workers (template edits, paper Figure 10). Both are
+// invoked by the cluster harness through Controller.Do, playing the role
+// of the cluster resource manager in Figure 2.
+
+// SetActive changes the set of workers the job runs on (call via Do). All
+// named workers must be registered and alive. Variables are repartitioned
+// round-robin over the new set; every installed template switches to an
+// assignment for the new placement — reusing a cached one when this worker
+// set has been active before (Figure 9's restore path revalidates cached
+// templates instead of reinstalling). Data moves lazily via patches at the
+// next instantiation.
+func (c *Controller) SetActive(workersWanted []ids.WorkerID) error {
+	if len(workersWanted) == 0 {
+		return fmt.Errorf("controller: cannot run with zero workers")
+	}
+	set := append([]ids.WorkerID(nil), workersWanted...)
+	sort.Slice(set, func(i, j int) bool { return set[i] < set[j] })
+	for _, id := range set {
+		ws := c.workers[id]
+		if ws == nil || !ws.alive {
+			return fmt.Errorf("controller: worker %s not available", id)
+		}
+	}
+	c.active = set
+	c.reassignAll()
+	for name, t := range c.templates {
+		if err := c.retargetTemplate(name, t); err != nil {
+			return err
+		}
+	}
+	c.autoValid = false
+	return nil
+}
+
+// reassignAll recomputes every variable's partition placement over the
+// active workers.
+func (c *Controller) reassignAll() {
+	for _, vm := range c.vars {
+		for p := range vm.assign {
+			vm.assign[p] = c.active[p%len(c.active)]
+		}
+	}
+}
+
+// workerSig canonically names the active worker set for the assignment
+// cache.
+func (c *Controller) workerSig() string {
+	var b strings.Builder
+	for _, w := range c.active {
+		fmt.Fprintf(&b, "%d,", uint32(w))
+	}
+	return b.String()
+}
+
+// retargetTemplate points a template at an assignment matching the current
+// placement: a cached assignment when available, otherwise a fresh build
+// (generating new worker templates, paper Figure 9 iterations 20-21).
+func (c *Controller) retargetTemplate(name string, t *core.Template) error {
+	sig := c.workerSig()
+	if c.assignCache == nil {
+		c.assignCache = make(map[string]map[string]*core.Assignment)
+	}
+	bySig := c.assignCache[name]
+	if bySig == nil {
+		bySig = make(map[string]*core.Assignment)
+		c.assignCache[name] = bySig
+	}
+	if a, ok := bySig[sig]; ok {
+		t.Active = a
+		return nil
+	}
+	a, err := t.Rebuild(ids.TemplateID(c.tmplIDs.Next()), c.dir, c.placement(), nil)
+	if err != nil {
+		return err
+	}
+	t.Assignments = append(t.Assignments, a)
+	t.Active = a
+	bySig[sig] = a
+	c.Stats.TemplatesBuilt.Add(1)
+	return nil
+}
+
+// cacheActiveAssignments snapshots each template's current assignment
+// under the current worker signature so SetActive can restore it later.
+// Called after template installation.
+func (c *Controller) cacheActiveAssignments() {
+	if c.assignCache == nil {
+		c.assignCache = make(map[string]map[string]*core.Assignment)
+	}
+	sig := c.workerSig()
+	for name, t := range c.templates {
+		bySig := c.assignCache[name]
+		if bySig == nil {
+			bySig = make(map[string]*core.Assignment)
+			c.assignCache[name] = bySig
+		}
+		if _, ok := bySig[sig]; !ok && t.Active != nil {
+			bySig[sig] = t.Active
+		}
+	}
+}
+
+// Migrate moves the given partitions of the given variables to worker dst
+// (call via Do). Installed templates are updated in place through edits:
+// the controller rebuilds each template's entry array under the new
+// placement, keeps unchanged entries' indexes via provenance matching, and
+// stages the per-worker deltas to ride the next instantiation message
+// (paper §4.3, Figure 6). Partition data moves lazily via the next
+// validation's patch.
+func (c *Controller) Migrate(vars []ids.VariableID, parts []int, dst ids.WorkerID) error {
+	ws := c.workers[dst]
+	if ws == nil || !ws.alive {
+		return fmt.Errorf("controller: migration target %s not available", dst)
+	}
+	for _, v := range vars {
+		vm := c.vars[v]
+		if vm == nil {
+			return fmt.Errorf("controller: migrate of unknown variable %s", v)
+		}
+		for _, p := range parts {
+			if p < 0 || p >= vm.partitions {
+				return fmt.Errorf("controller: migrate of %s partition %d out of %d",
+					v, p, vm.partitions)
+			}
+			vm.assign[p] = dst
+		}
+	}
+	start := time.Now()
+	for name, t := range c.templates {
+		if t.Active == nil {
+			continue
+		}
+		if err := c.editTemplate(name, t); err != nil {
+			return err
+		}
+	}
+	c.Stats.MigrateNanos.Add(uint64(time.Since(start)))
+	c.autoValid = false
+	return nil
+}
+
+// editTemplate rebuilds the template's active assignment under the current
+// placement and stages the diff as edits.
+func (c *Controller) editTemplate(name string, t *core.Template) error {
+	old := t.Active
+	next, err := t.Rebuild(old.ID, c.dir, c.placement(), old)
+	if err != nil {
+		return err
+	}
+	diff := core.Diff(old, next)
+	next.Installed = make(map[ids.WorkerID]bool, len(old.Installed))
+	for w, in := range old.Installed {
+		next.Installed[w] = in
+	}
+	for _, w := range diff.NewWorkers {
+		next.Installed[w] = false
+	}
+	// Workers that lost every entry keep a stale cached template; force a
+	// reinstall if they ever rejoin this assignment.
+	for _, w := range diff.EmptiedWorkers {
+		next.Installed[w] = false
+		delete(diff.Edits, w)
+	}
+	// Swap the assignment in place (same ID — workers keep their cache and
+	// receive only edits).
+	t.Active = next
+	for i, a := range t.Assignments {
+		if a == old {
+			t.Assignments[i] = next
+		}
+	}
+	if c.assignCache != nil {
+		for sig, a := range c.assignCache[name] {
+			if a == old {
+				c.assignCache[name][sig] = next
+			}
+		}
+	}
+	staged := c.pendingEdits[next.ID]
+	if staged == nil {
+		staged = make(map[ids.WorkerID][]editStaged)
+		c.pendingEdits[next.ID] = staged
+	}
+	for w, e := range diff.Edits {
+		if len(e.Remove) == 0 && len(e.Add) == 0 {
+			continue
+		}
+		staged[w] = append(staged[w], *e)
+	}
+	return nil
+}

@@ -1,0 +1,576 @@
+// Package controller implements the Nimbus controller node.
+//
+// The controller receives the driver's task stream, transforms it into an
+// execution plan (assigning tasks to workers and inserting explicit copy
+// commands for cross-worker data movement, paper §3.2), and dispatches
+// commands to workers. It owns the object directory (mutable-object
+// versioning, §3.3), the per-worker dependency ledgers, the execution
+// template machinery (§4), checkpointing and failure recovery (§4.4).
+//
+// Scheduling modes:
+//
+//   - ModeNimbus (default): whole stages are pushed to workers, which
+//     resolve dependencies locally; basic blocks marked by the driver are
+//     recorded into execution templates and re-executed by instantiation.
+//   - ModeCentral: a Spark-like centralized dispatcher — every command is
+//     sent individually once its predecessors' completions have been
+//     reported back, with a configurable per-task scheduling cost. This is
+//     the paper's Spark-opt baseline.
+//
+// All controller state is confined to one event loop goroutine; external
+// callers inject work through Do.
+package controller
+
+import (
+	"fmt"
+	"log"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"nimbus/internal/core"
+	"nimbus/internal/flow"
+	"nimbus/internal/ids"
+	"nimbus/internal/proto"
+	"nimbus/internal/transport"
+)
+
+// Mode selects the scheduling regime.
+type Mode int
+
+// Modes.
+const (
+	// ModeNimbus is the paper's system: batched dispatch, worker-local
+	// dependency resolution, execution templates.
+	ModeNimbus Mode = iota
+	// ModeCentral is the Spark-like baseline: per-task central dispatch.
+	ModeCentral
+)
+
+// Config configures a controller.
+type Config struct {
+	// ControlAddr is the listen address for drivers and workers.
+	ControlAddr string
+	// Transport supplies connectivity.
+	Transport transport.Transport
+	// Mode selects the scheduling regime.
+	Mode Mode
+	// CentralPerTaskCost models the baseline scheduler's per-task CPU cost
+	// in ModeCentral (the paper measures 166µs/task for Spark 2.0; zero
+	// disables the model and measures this implementation's native cost).
+	CentralPerTaskCost time.Duration
+	// LivePerTaskCost models the per-task cost of non-templated central
+	// scheduling in ModeNimbus (the paper measures 134µs/task for Nimbus,
+	// including the RPC and syscall overhead an in-memory loopback does
+	// not pay; zero measures this implementation's native cost). It is
+	// what makes templates matter: templated instantiation bypasses it.
+	LivePerTaskCost time.Duration
+	// HeartbeatTimeout marks a worker failed after silence (zero disables
+	// heartbeat-based detection; connection errors still trigger it).
+	HeartbeatTimeout time.Duration
+	// Logf receives diagnostics. Nil defaults to log.Printf.
+	Logf func(format string, args ...any)
+}
+
+// Stats exposes controller counters. The *Nanos fields accumulate
+// controller CPU time in the corresponding operations; the
+// microbenchmarks (paper Tables 1-3) divide them by task counts.
+type Stats struct {
+	TasksScheduled  atomic.Uint64
+	CopiesInserted  atomic.Uint64
+	MsgsToWorkers   atomic.Uint64
+	BytesToWorkers  atomic.Uint64
+	Instantiations  atomic.Uint64
+	TemplatesBuilt  atomic.Uint64
+	PatchesBuilt    atomic.Uint64
+	PatchCacheHits  atomic.Uint64
+	Validations     atomic.Uint64
+	AutoValidations atomic.Uint64
+	EditsSent       atomic.Uint64
+	Recoveries      atomic.Uint64
+
+	ScheduleNanos    atomic.Uint64 // live per-task scheduling
+	RecordNanos      atomic.Uint64 // template recording (builder) time
+	FinalizeNanos    atomic.Uint64 // controller-template finalize + install
+	InstantiateNanos atomic.Uint64 // block instantiation (controller side)
+	ValidateNanos    atomic.Uint64 // precondition validation
+	PatchBuildNanos  atomic.Uint64 // patch construction
+	MigrateNanos     atomic.Uint64 // edit generation (rebuild + diff)
+}
+
+// Controller is the Nimbus controller node.
+type Controller struct {
+	cfg Config
+
+	events  chan cevent
+	stopped chan struct{}
+	wg      sync.WaitGroup
+	lis     transport.Listener
+
+	// Cluster state.
+	workers    map[ids.WorkerID]*workerState
+	active     []ids.WorkerID
+	nextWorker ids.WorkerID
+	driver     *driverState
+
+	// Data model.
+	vars     map[ids.VariableID]*varMeta
+	dir      *flow.Directory
+	ledgers  map[ids.WorkerID]*flow.Ledger
+	cmdIDs   ids.CommandIDs
+	objIDs   ids.ObjectIDs
+	logIDs   ids.LogicalIDs
+	tmplIDs  ids.Allocator
+	patchIDs ids.Allocator
+
+	// Templates.
+	templates map[string]*core.Template
+	recording *recordingState
+	lastBlock ids.TemplateID
+	autoValid bool
+	// assignCache caches assignments per template name and worker-set
+	// signature so returning to a previous schedule reuses installed
+	// worker templates (Figure 9's restore path).
+	assignCache map[string]map[string]*core.Assignment
+	patchCache  *core.PatchCache
+	// pendingEdits stages per-worker edits to attach to the next
+	// instantiation of each assignment.
+	pendingEdits map[ids.TemplateID]map[ids.WorkerID][]editStaged
+
+	// Outstanding work.
+	outstanding  map[ids.CommandID]ids.WorkerID
+	instances    map[uint64]*instState
+	nextInstance uint64
+
+	// Central-mode dispatch graph.
+	central *centralGraph
+
+	// Driver synchronization.
+	barriers []pendingBarrier
+	gets     []pendingGet
+	fetchSeq uint64
+	fetches  map[uint64]*pendingFetch
+
+	// Checkpoint / recovery.
+	ckpt        ckptState
+	oplog       []proto.Msg
+	replaying   bool
+	haltSeq     uint64
+	haltPending map[ids.WorkerID]bool
+	recovering  bool
+
+	// Stats is exported for benchmarks and tests.
+	Stats Stats
+}
+
+type workerState struct {
+	id       ids.WorkerID
+	conn     transport.Conn
+	dataAddr string
+	slots    int
+	alive    bool
+	lastBeat time.Time
+}
+
+type driverState struct {
+	conn transport.Conn
+}
+
+// varMeta is the controller's record of one application variable.
+type varMeta struct {
+	id         ids.VariableID
+	name       string
+	partitions int
+	logicals   []ids.LogicalID
+	assign     []ids.WorkerID // partition -> owning worker
+}
+
+type recordingState struct {
+	tmpl    *core.Template
+	builder *core.Builder
+}
+
+type instState struct {
+	assignment *core.Assignment
+	base       ids.CommandID
+	pending    map[ids.WorkerID]bool
+}
+
+type pendingBarrier struct {
+	seq uint64
+}
+
+type pendingGet struct {
+	seq uint64
+	v   ids.VariableID
+	p   int
+}
+
+type pendingFetch struct {
+	driverSeq uint64
+	v         ids.VariableID
+	p         int
+}
+
+type ckptState struct {
+	count     uint64
+	last      uint64
+	requested []uint64 // driver seqs awaiting the next checkpoint commit
+	saving    bool
+	// pendingManifest collects what the in-progress checkpoint saves;
+	// manifest is the committed one recovery loads from.
+	pendingManifest map[ids.LogicalID]uint64
+	manifest        map[ids.LogicalID]uint64
+}
+
+type cevent struct {
+	kind  ceventKind
+	msg   proto.Msg
+	from  ids.WorkerID
+	conn  transport.Conn
+	fn    func()
+	rerr  error
+	isDrv bool
+}
+
+type ceventKind uint8
+
+const (
+	cevMsg ceventKind = iota + 1
+	cevConnClosed
+	cevDo
+	cevTick
+)
+
+// New creates a controller; Start launches it.
+func New(cfg Config) *Controller {
+	if cfg.Logf == nil {
+		cfg.Logf = log.Printf
+	}
+	c := &Controller{
+		cfg:          cfg,
+		events:       make(chan cevent, 4096),
+		stopped:      make(chan struct{}),
+		workers:      make(map[ids.WorkerID]*workerState),
+		vars:         make(map[ids.VariableID]*varMeta),
+		ledgers:      make(map[ids.WorkerID]*flow.Ledger),
+		templates:    make(map[string]*core.Template),
+		patchCache:   core.NewPatchCache(),
+		pendingEdits: make(map[ids.TemplateID]map[ids.WorkerID][]editStaged),
+		outstanding:  make(map[ids.CommandID]ids.WorkerID),
+		instances:    make(map[uint64]*instState),
+		fetches:      make(map[uint64]*pendingFetch),
+	}
+	c.dir = flow.NewDirectory(&c.objIDs)
+	c.central = newCentralGraph(c)
+	c.ckpt.manifest = make(map[ids.LogicalID]uint64)
+	return c
+}
+
+// Start begins listening and runs the event loop.
+func (c *Controller) Start() error {
+	lis, err := c.cfg.Transport.Listen(c.cfg.ControlAddr)
+	if err != nil {
+		return fmt.Errorf("controller: listen: %w", err)
+	}
+	c.lis = lis
+	c.wg.Add(2)
+	go c.acceptLoop()
+	go c.run()
+	if c.cfg.HeartbeatTimeout > 0 {
+		c.wg.Add(1)
+		go c.tickLoop()
+	}
+	return nil
+}
+
+// Stop shuts the controller down: workers and the driver receive Shutdown
+// and every connection is closed so pump goroutines exit.
+func (c *Controller) Stop() {
+	c.Do(func() {
+		for _, ws := range c.workers {
+			if ws.alive {
+				c.sendWorker(ws, &proto.Shutdown{})
+			}
+			ws.conn.Close()
+		}
+		if c.driver != nil {
+			_ = c.driver.conn.Send(proto.Marshal(&proto.Shutdown{}))
+			c.driver.conn.Close()
+		}
+	})
+	close(c.stopped)
+	c.lis.Close()
+	c.wg.Wait()
+}
+
+// Addr returns the controller's actual listen address (useful with
+// ":0"-style TCP addresses).
+func (c *Controller) Addr() string { return c.lis.Addr() }
+
+// Do injects fn into the controller's event loop and waits for it to run.
+// The cluster harness uses it for out-of-band operations (resource
+// manager events, migration requests, metric snapshots).
+func (c *Controller) Do(fn func()) {
+	done := make(chan struct{})
+	select {
+	case c.events <- cevent{kind: cevDo, fn: func() { fn(); close(done) }}:
+		<-done
+	case <-c.stopped:
+	}
+}
+
+func (c *Controller) tickLoop() {
+	defer c.wg.Done()
+	t := time.NewTicker(c.cfg.HeartbeatTimeout / 2)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			select {
+			case c.events <- cevent{kind: cevTick}:
+			case <-c.stopped:
+				return
+			}
+		case <-c.stopped:
+			return
+		}
+	}
+}
+
+func (c *Controller) acceptLoop() {
+	defer c.wg.Done()
+	for {
+		conn, err := c.lis.Accept()
+		if err != nil {
+			return
+		}
+		c.wg.Add(1)
+		go c.handshake(conn)
+	}
+}
+
+// handshake reads the first message of a new connection to decide whether
+// it is a worker or a driver, then hands the connection to the event loop.
+func (c *Controller) handshake(conn transport.Conn) {
+	defer c.wg.Done()
+	raw, err := conn.Recv()
+	if err != nil {
+		conn.Close()
+		return
+	}
+	msg, err := proto.Unmarshal(raw)
+	if err != nil {
+		c.cfg.Logf("controller: bad handshake: %v", err)
+		conn.Close()
+		return
+	}
+	switch msg.(type) {
+	case *proto.RegisterWorker, *proto.RegisterDriver:
+		select {
+		case c.events <- cevent{kind: cevMsg, msg: msg, conn: conn}:
+		case <-c.stopped:
+			conn.Close()
+		}
+	default:
+		c.cfg.Logf("controller: unexpected handshake message %s", msg.Kind())
+		conn.Close()
+	}
+}
+
+// pump forwards a registered connection's messages into the event loop.
+func (c *Controller) pump(conn transport.Conn, from ids.WorkerID, isDriver bool) {
+	defer c.wg.Done()
+	for {
+		raw, err := conn.Recv()
+		if err != nil {
+			select {
+			case c.events <- cevent{kind: cevConnClosed, from: from, isDrv: isDriver, rerr: err}:
+			case <-c.stopped:
+			}
+			return
+		}
+		msg, err := proto.Unmarshal(raw)
+		if err != nil {
+			c.cfg.Logf("controller: bad message from %s: %v", from, err)
+			continue
+		}
+		select {
+		case c.events <- cevent{kind: cevMsg, msg: msg, from: from, isDrv: isDriver}:
+		case <-c.stopped:
+			return
+		}
+	}
+}
+
+func (c *Controller) run() {
+	defer c.wg.Done()
+	for {
+		select {
+		case ev := <-c.events:
+			switch ev.kind {
+			case cevMsg:
+				c.handleMsg(ev)
+			case cevConnClosed:
+				c.handleClosed(ev)
+			case cevDo:
+				ev.fn()
+			case cevTick:
+				c.checkHeartbeats()
+			}
+		case <-c.stopped:
+			return
+		}
+	}
+}
+
+func (c *Controller) handleMsg(ev cevent) {
+	switch m := ev.msg.(type) {
+	case *proto.RegisterWorker:
+		c.registerWorker(m, ev.conn)
+	case *proto.RegisterDriver:
+		c.registerDriver(m, ev.conn)
+	case *proto.Complete:
+		c.handleComplete(m)
+	case *proto.BlockDone:
+		c.handleBlockDone(m)
+	case *proto.Heartbeat:
+		if ws := c.workers[m.Worker]; ws != nil {
+			ws.lastBeat = time.Now()
+		}
+	case *proto.ObjectData:
+		c.handleObjectData(m)
+	case *proto.HaltAck:
+		c.handleHaltAck(m)
+	case *proto.ErrorMsg:
+		c.cfg.Logf("controller: error from %s: %s", ev.from, m.Text)
+	// Driver operations.
+	case *proto.DefineVariable:
+		c.handleDefineVariable(m)
+	case *proto.Put:
+		c.handlePut(m)
+	case *proto.Get:
+		c.handleGet(m)
+	case *proto.SubmitStage:
+		c.handleSubmitStage(m)
+	case *proto.TemplateStart:
+		c.handleTemplateStart(m)
+	case *proto.TemplateEnd:
+		c.handleTemplateEnd(m)
+	case *proto.InstantiateBlock:
+		c.handleInstantiateBlock(m)
+	case *proto.Barrier:
+		c.handleBarrier(m)
+	case *proto.CheckpointReq:
+		c.handleCheckpointReq(m)
+	case *proto.Shutdown:
+		// Driver-initiated job end; workers are shut down by Stop.
+	default:
+		c.cfg.Logf("controller: unexpected message %s", ev.msg.Kind())
+	}
+}
+
+func (c *Controller) registerWorker(m *proto.RegisterWorker, conn transport.Conn) {
+	c.nextWorker++
+	id := c.nextWorker
+	ws := &workerState{
+		id: id, conn: conn, dataAddr: m.DataAddr,
+		slots: m.Slots, alive: true, lastBeat: time.Now(),
+	}
+	c.workers[id] = ws
+	c.active = append(c.active, id)
+	sort.Slice(c.active, func(i, j int) bool { return c.active[i] < c.active[j] })
+	c.ledgers[id] = flow.NewLedger(id)
+
+	peers := c.peerMap()
+	c.sendWorker(ws, &proto.RegisterWorkerAck{
+		Worker: id, Peers: peers, Eager: c.cfg.Mode == ModeCentral,
+	})
+	// Refresh every other worker's peer map.
+	for _, other := range c.workers {
+		if other.id != id && other.alive {
+			c.sendWorker(other, &proto.RegisterWorkerAck{
+				Worker: other.id, Peers: peers, Eager: c.cfg.Mode == ModeCentral,
+			})
+		}
+	}
+	c.wg.Add(1)
+	go c.pump(conn, id, false)
+}
+
+func (c *Controller) peerMap() map[ids.WorkerID]string {
+	peers := make(map[ids.WorkerID]string, len(c.workers))
+	for id, ws := range c.workers {
+		if ws.alive {
+			peers[id] = ws.dataAddr
+		}
+	}
+	return peers
+}
+
+func (c *Controller) registerDriver(m *proto.RegisterDriver, conn transport.Conn) {
+	if c.driver != nil {
+		c.cfg.Logf("controller: replacing driver connection (%s)", m.Name)
+	}
+	c.driver = &driverState{conn: conn}
+	c.wg.Add(1)
+	go c.pump(conn, ids.NoWorker, true)
+}
+
+func (c *Controller) sendWorker(ws *workerState, m proto.Msg) {
+	if ws == nil || !ws.alive {
+		return
+	}
+	raw := proto.Marshal(m)
+	if err := ws.conn.Send(raw); err != nil {
+		c.cfg.Logf("controller: send to %s failed: %v", ws.id, err)
+	}
+	c.Stats.MsgsToWorkers.Add(1)
+	c.Stats.BytesToWorkers.Add(uint64(len(raw)))
+}
+
+func (c *Controller) sendDriver(m proto.Msg) {
+	if c.driver == nil {
+		return
+	}
+	if err := c.driver.conn.Send(proto.Marshal(m)); err != nil {
+		c.cfg.Logf("controller: send to driver failed: %v", err)
+	}
+}
+
+func (c *Controller) handleClosed(ev cevent) {
+	if ev.isDrv {
+		c.driver = nil
+		return
+	}
+	ws := c.workers[ev.from]
+	if ws == nil || !ws.alive {
+		return
+	}
+	select {
+	case <-c.stopped:
+		return
+	default:
+	}
+	c.cfg.Logf("controller: worker %s connection lost: %v", ev.from, ev.rerr)
+	c.failWorker(ev.from)
+}
+
+func (c *Controller) checkHeartbeats() {
+	cutoff := time.Now().Add(-c.cfg.HeartbeatTimeout)
+	for id, ws := range c.workers {
+		if ws.alive && ws.lastBeat.Before(cutoff) {
+			c.cfg.Logf("controller: worker %s missed heartbeats", id)
+			c.failWorker(id)
+		}
+	}
+}
+
+// ActiveWorkers returns the active worker IDs (call via Do).
+func (c *Controller) ActiveWorkers() []ids.WorkerID {
+	return append([]ids.WorkerID(nil), c.active...)
+}
+
+// WorkerCount returns the number of active workers (call via Do).
+func (c *Controller) WorkerCount() int { return len(c.active) }

@@ -1,0 +1,238 @@
+package controller
+
+import (
+	"nimbus/internal/command"
+	"nimbus/internal/flow"
+	"nimbus/internal/ids"
+	"nimbus/internal/params"
+	"nimbus/internal/proto"
+)
+
+// This file implements checkpoint-based fault recovery (paper §4.4):
+//
+//	checkpoint: wait until worker queues drain, snapshot the execution
+//	state (directory manifest + driver-operation log), and have every
+//	worker save its live latest objects to durable storage;
+//
+//	recovery: on worker failure, halt every worker, flush queues, revert
+//	to the checkpoint (reload objects onto the surviving workers), rebuild
+//	template assignments for the new placement, and replay the driver
+//	operations logged since the checkpoint.
+
+func (c *Controller) handleCheckpointReq(m *proto.CheckpointReq) {
+	c.ckpt.requested = append(c.ckpt.requested, m.Seq)
+	c.logOpBeforeCheckpoint()
+	c.resolveIfQuiet()
+}
+
+// logOpBeforeCheckpoint is a marker hook: checkpoint requests themselves
+// are not logged (a replay must not re-checkpoint).
+func (c *Controller) logOpBeforeCheckpoint() {}
+
+// beginCheckpoint runs at a quiesce point: every live latest object is
+// saved to durable storage.
+func (c *Controller) beginCheckpoint() {
+	c.ckpt.saving = true
+	c.ckpt.count++
+	id := c.ckpt.count
+	c.ckpt.pendingManifest = make(map[ids.LogicalID]uint64)
+	key := params.NewEncoder(8).Uint(id).Blob()
+	batches := make(map[ids.WorkerID][]*command.Command)
+	c.dir.Logicals(func(l ids.LogicalID, latest uint64, replicas map[ids.WorkerID]*flow.Replica) {
+		if latest == 0 {
+			return
+		}
+		var holder ids.WorkerID
+		var obj ids.ObjectID
+		for w, r := range replicas {
+			if r.Version == latest && (holder == ids.NoWorker || w < holder) {
+				holder, obj = w, r.Object
+			}
+		}
+		if holder == ids.NoWorker {
+			c.cfg.Logf("controller: checkpoint %d: %s has no live replica", id, l)
+			return
+		}
+		cmdID := c.cmdIDs.Next()
+		before := c.ledgers[holder].Read(obj, cmdID, nil)
+		batches[holder] = append(batches[holder], &command.Command{
+			ID: cmdID, Kind: command.Save,
+			Reads: []ids.ObjectID{obj}, Before: before,
+			Params: key, Logical: l, Version: latest,
+		})
+		c.ckpt.pendingManifest[l] = latest
+	})
+	c.dispatchCommands(batches)
+	// With nothing to save, commit immediately.
+	c.resolveIfQuiet()
+}
+
+// commitCheckpoint finalizes a checkpoint once its saves drained.
+func (c *Controller) commitCheckpoint() {
+	c.ckpt.saving = false
+	c.ckpt.last = c.ckpt.count
+	c.ckpt.manifest = c.ckpt.pendingManifest
+	c.ckpt.pendingManifest = nil
+	c.oplog = nil
+	for _, seq := range c.ckpt.requested {
+		c.sendDriver(&proto.BarrierDone{Seq: seq})
+	}
+	c.ckpt.requested = nil
+}
+
+// failWorker handles a worker failure: remove it, halt the survivors,
+// revert to the last checkpoint and replay (paper §4.4).
+func (c *Controller) failWorker(id ids.WorkerID) {
+	ws := c.workers[id]
+	if ws == nil || !ws.alive {
+		return
+	}
+	ws.alive = false
+	ws.conn.Close()
+	for i, a := range c.active {
+		if a == id {
+			c.active = append(c.active[:i], c.active[i+1:]...)
+			break
+		}
+	}
+	if c.recovering {
+		// A second failure during recovery: drop it from the halt set and
+		// let the in-progress recovery continue over the smaller set.
+		delete(c.haltPending, id)
+		if len(c.haltPending) == 0 {
+			c.finishRecovery()
+		}
+		return
+	}
+	c.Stats.Recoveries.Add(1)
+	if len(c.active) == 0 {
+		c.cfg.Logf("controller: all workers lost; job cannot recover")
+		return
+	}
+	if c.ckpt.last == 0 {
+		c.cfg.Logf("controller: worker %s failed with no checkpoint; data on it is lost", id)
+	}
+	c.recovering = true
+	c.haltSeq++
+	c.haltPending = make(map[ids.WorkerID]bool)
+	for _, wid := range c.active {
+		c.haltPending[wid] = true
+		c.sendWorker(c.workers[wid], &proto.Halt{Seq: c.haltSeq})
+	}
+	if len(c.haltPending) == 0 {
+		c.finishRecovery()
+	}
+}
+
+func (c *Controller) handleHaltAck(m *proto.HaltAck) {
+	if !c.recovering || m.Seq != c.haltSeq {
+		return
+	}
+	delete(c.haltPending, m.Worker)
+	if len(c.haltPending) == 0 {
+		c.finishRecovery()
+	}
+}
+
+// finishRecovery reverts to the checkpoint and replays the logged driver
+// operations.
+func (c *Controller) finishRecovery() {
+	if len(c.active) == 0 {
+		c.cfg.Logf("controller: all workers lost during recovery; job halted")
+		c.recovering = false
+		return
+	}
+	// Flush execution state.
+	c.outstanding = make(map[ids.CommandID]ids.WorkerID)
+	c.instances = make(map[uint64]*instState)
+	c.central = newCentralGraph(c)
+	// Requeue interrupted fetches as fresh gets.
+	for _, pf := range c.fetches {
+		c.gets = append(c.gets, pendingGet{seq: pf.driverSeq, v: pf.v, p: pf.p})
+	}
+	c.fetches = make(map[uint64]*pendingFetch)
+
+	// Fresh directory and ledgers; repartition over the survivors.
+	c.dir = flow.NewDirectory(&c.objIDs)
+	for _, wid := range c.active {
+		c.ledgers[wid] = flow.NewLedger(wid)
+	}
+	c.reassignAll()
+
+	// Reload checkpointed objects onto their new owners.
+	logicalOwner := c.logicalOwners()
+	key := params.NewEncoder(8).Uint(c.ckpt.last).Blob()
+	batches := make(map[ids.WorkerID][]*command.Command)
+	for l, ver := range c.ckpt.manifest {
+		owner, ok := logicalOwner[l]
+		if !ok {
+			continue
+		}
+		obj := c.dir.Instance(l, owner)
+		cmdID := c.cmdIDs.Next()
+		before := c.ledgers[owner].Write(obj, cmdID, nil)
+		batches[owner] = append(batches[owner], &command.Command{
+			ID: cmdID, Kind: command.Load,
+			Writes: []ids.ObjectID{obj}, Before: before,
+			Params: key, Logical: l, Version: ver,
+		})
+		c.dir.ApplyBlockEffect(l, ver, []ids.WorkerID{owner})
+	}
+	for _, wid := range c.active {
+		c.sendWorker(c.workers[wid], &proto.Resume{})
+	}
+	c.dispatchCommands(batches)
+
+	// Rebuild template assignments for the new placement and replay the
+	// operations since the checkpoint.
+	for name, t := range c.templates {
+		if err := c.retargetTemplate(name, t); err != nil {
+			c.cfg.Logf("controller: recovery rebuild of %q: %v", name, err)
+		}
+	}
+	c.lastBlock = ids.NoTemplate
+	c.autoValid = false
+	c.recovering = false
+
+	replay := c.oplog
+	c.replaying = true
+	for _, m := range replay {
+		c.replayOp(m)
+	}
+	c.replaying = false
+	c.resolveIfQuiet()
+}
+
+// logicalOwners maps every logical object to its owning worker under the
+// current placement.
+func (c *Controller) logicalOwners() map[ids.LogicalID]ids.WorkerID {
+	out := make(map[ids.LogicalID]ids.WorkerID)
+	for _, vm := range c.vars {
+		for p, l := range vm.logicals {
+			out[l] = vm.assign[p]
+		}
+	}
+	return out
+}
+
+// replayOp re-executes one logged driver operation against the restored
+// state. Definitions and template installs are idempotent and skipped;
+// data and execution operations re-run.
+func (c *Controller) replayOp(m proto.Msg) {
+	switch op := m.(type) {
+	case *proto.DefineVariable:
+		// Variables persist across recovery.
+	case *proto.TemplateStart, *proto.TemplateEnd:
+		// Templates persist; the block's stages were already recorded.
+	case *proto.Put:
+		c.handlePut(op)
+	case *proto.SubmitStage:
+		if err := c.scheduleStageLive(op); err != nil {
+			c.cfg.Logf("controller: replaying stage %s: %v", op.Stage, err)
+		}
+	case *proto.InstantiateBlock:
+		c.handleInstantiateBlock(op)
+	default:
+		c.cfg.Logf("controller: unexpected logged operation %s", m.Kind())
+	}
+}

@@ -1,0 +1,418 @@
+package controller
+
+import (
+	"fmt"
+	"time"
+
+	"nimbus/internal/command"
+	"nimbus/internal/core"
+	"nimbus/internal/ids"
+	"nimbus/internal/params"
+	"nimbus/internal/proto"
+)
+
+// placement adapts the controller's variable table to core.Placement.
+type placement struct{ c *Controller }
+
+func (p placement) WorkerOf(v ids.VariableID, partition int) ids.WorkerID {
+	vm := p.c.vars[v]
+	if vm == nil || partition < 0 || partition >= len(vm.assign) {
+		return ids.NoWorker
+	}
+	return vm.assign[partition]
+}
+
+func (p placement) Logical(v ids.VariableID, partition int) ids.LogicalID {
+	vm := p.c.vars[v]
+	if vm == nil || partition < 0 || partition >= len(vm.logicals) {
+		return ids.NoLogical
+	}
+	return vm.logicals[partition]
+}
+
+func (p placement) Partitions(v ids.VariableID) int {
+	if vm := p.c.vars[v]; vm != nil {
+		return vm.partitions
+	}
+	return 0
+}
+
+func (c *Controller) placement() core.Placement { return placement{c} }
+
+func (c *Controller) handleDefineVariable(m *proto.DefineVariable) {
+	if m.Partitions <= 0 {
+		c.driverError(fmt.Sprintf("variable %q: partition count %d", m.Name, m.Partitions))
+		return
+	}
+	if len(c.active) == 0 {
+		c.driverError(fmt.Sprintf("variable %q defined with no workers", m.Name))
+		return
+	}
+	vm := &varMeta{
+		id:         m.Var,
+		name:       m.Name,
+		partitions: m.Partitions,
+		logicals:   make([]ids.LogicalID, m.Partitions),
+		assign:     make([]ids.WorkerID, m.Partitions),
+	}
+	for p := 0; p < m.Partitions; p++ {
+		vm.logicals[p] = c.logIDs.Next()
+		vm.assign[p] = c.active[p%len(c.active)]
+	}
+	c.vars[m.Var] = vm
+	c.logOp(m)
+}
+
+func (c *Controller) driverError(text string) {
+	c.cfg.Logf("controller: driver error: %s", text)
+	c.sendDriver(&proto.ErrorMsg{Text: text})
+}
+
+// handlePut uploads initial data for one partition as a Create command on
+// the owning worker, ordered by the worker's ledger like any other write.
+func (c *Controller) handlePut(m *proto.Put) {
+	vm := c.vars[m.Var]
+	if vm == nil || m.Partition < 0 || m.Partition >= vm.partitions {
+		c.driverError(fmt.Sprintf("put to unknown variable %s partition %d", m.Var, m.Partition))
+		return
+	}
+	l := vm.logicals[m.Partition]
+	w := vm.assign[m.Partition]
+	obj := c.dir.Instance(l, w)
+	id := c.cmdIDs.Next()
+	before := c.ledgers[w].Write(obj, id, nil)
+	version := c.dir.RecordWrite(l, w)
+	cmd := &command.Command{
+		ID: id, Kind: command.Create,
+		Writes: []ids.ObjectID{obj}, Before: before,
+		Params: params.Blob(m.Data), Logical: l, Version: version,
+	}
+	c.autoValid = false
+	c.dispatchCommands(map[ids.WorkerID][]*command.Command{w: {cmd}})
+	c.logOp(m)
+}
+
+// handleGet registers a synchronized read: the reply is sent once all
+// outstanding work has drained (Gets are the synchronization points that
+// drive data-dependent control flow, paper §2.4).
+func (c *Controller) handleGet(m *proto.Get) {
+	c.gets = append(c.gets, pendingGet{seq: m.Seq, v: m.Var, p: m.Partition})
+	c.resolveIfQuiet()
+}
+
+func (c *Controller) handleBarrier(m *proto.Barrier) {
+	c.barriers = append(c.barriers, pendingBarrier{seq: m.Seq})
+	c.resolveIfQuiet()
+}
+
+// totalOutstanding counts unfinished dispatched work.
+func (c *Controller) totalOutstanding() int {
+	return len(c.outstanding) + len(c.instances) + c.central.pendingCount()
+}
+
+// resolveIfQuiet answers barriers and gets once the system has drained.
+func (c *Controller) resolveIfQuiet() {
+	if c.totalOutstanding() > 0 {
+		return
+	}
+	for _, b := range c.barriers {
+		c.sendDriver(&proto.BarrierDone{Seq: b.seq})
+	}
+	c.barriers = nil
+	gets := c.gets
+	c.gets = nil
+	for _, g := range gets {
+		c.startFetch(g)
+	}
+	if c.ckpt.saving {
+		c.commitCheckpoint()
+	} else if len(c.ckpt.requested) > 0 {
+		c.beginCheckpoint()
+	}
+}
+
+func (c *Controller) startFetch(g pendingGet) {
+	vm := c.vars[g.v]
+	if vm == nil || g.p < 0 || g.p >= vm.partitions {
+		c.sendDriver(&proto.GetResult{Seq: g.seq})
+		return
+	}
+	l := vm.logicals[g.p]
+	holder := c.dir.LatestHolder(l)
+	if holder == ids.NoWorker {
+		c.sendDriver(&proto.GetResult{Seq: g.seq})
+		return
+	}
+	rep := c.dir.Lookup(l, holder)
+	c.fetchSeq++
+	c.fetches[c.fetchSeq] = &pendingFetch{driverSeq: g.seq}
+	c.sendWorker(c.workers[holder], &proto.FetchObject{Seq: c.fetchSeq, Object: rep.Object})
+}
+
+func (c *Controller) handleObjectData(m *proto.ObjectData) {
+	pf := c.fetches[m.Seq]
+	if pf == nil {
+		return
+	}
+	delete(c.fetches, m.Seq)
+	c.sendDriver(&proto.GetResult{Seq: pf.driverSeq, Data: m.Data})
+}
+
+// handleSubmitStage expands one stage into commands. In Nimbus mode whole
+// per-worker batches are pushed at once; in central mode commands enter
+// the central dispatch graph. If a template is recording, the stage is
+// additionally recorded into the builder.
+func (c *Controller) handleSubmitStage(m *proto.SubmitStage) {
+	if c.recording != nil {
+		rstart := time.Now()
+		if err := c.recording.builder.AddStage(m); err != nil {
+			c.driverError(err.Error())
+			c.recording = nil
+		} else {
+			c.recording.tmpl.Stages = append(c.recording.tmpl.Stages, m)
+			c.recording.tmpl.TaskCount += m.Tasks
+			c.Stats.RecordNanos.Add(uint64(time.Since(rstart)))
+		}
+	}
+	if err := c.scheduleStageLive(m); err != nil {
+		c.driverError(err.Error())
+		return
+	}
+	c.logOp(m)
+}
+
+// scheduleStageLive schedules a stage the non-templated way: per-task
+// dependency analysis against the live directory and ledgers, with eager
+// copies for any data a task needs that is not latest on its worker.
+func (c *Controller) scheduleStageLive(m *proto.SubmitStage) error {
+	start := time.Now()
+	defer func() { c.Stats.ScheduleNanos.Add(uint64(time.Since(start))) }()
+	place := c.placement()
+	batches := make(map[ids.WorkerID][]*command.Command)
+	c.autoValid = false
+	for t := 0; t < m.Tasks; t++ {
+		reads, writes, err := core.TaskAccesses(m, place, t)
+		if err != nil {
+			return err
+		}
+		w, err := core.AnchorWorker(m, place, t)
+		if err != nil {
+			return err
+		}
+		if w == ids.NoWorker {
+			return fmt.Errorf("stage %s task %d has no placement", m.Stage, t)
+		}
+		// Data movement first, so copies precede the task per worker.
+		for _, l := range reads {
+			c.ensureLatestAt(l, w, batches)
+		}
+		id := c.cmdIDs.Next()
+		led := c.ledgers[w]
+		var before []ids.CommandID
+		readObjs := make([]ids.ObjectID, len(reads))
+		for i, l := range reads {
+			obj := c.dir.Instance(l, w)
+			readObjs[i] = obj
+			before = led.Read(obj, id, before)
+		}
+		writeObjs := make([]ids.ObjectID, len(writes))
+		for i, l := range writes {
+			obj := c.dir.Instance(l, w)
+			writeObjs[i] = obj
+			before = led.Write(obj, id, before)
+			c.dir.RecordWrite(l, w)
+		}
+		p := m.Params
+		if t < len(m.PerTask) {
+			p = m.PerTask[t]
+		}
+		batches[w] = append(batches[w], &command.Command{
+			ID: id, Kind: command.Task, Function: m.Fn,
+			Reads: readObjs, Writes: writeObjs, Before: before, Params: p,
+		})
+		c.Stats.TasksScheduled.Add(1)
+		if c.cfg.Mode == ModeNimbus && c.cfg.LivePerTaskCost > 0 {
+			spinWait(c.cfg.LivePerTaskCost)
+		}
+	}
+	c.dispatchCommands(batches)
+	return nil
+}
+
+// ensureLatestAt inserts a copy pair if worker w does not hold the latest
+// version of l. Objects that have never been written need no movement.
+func (c *Controller) ensureLatestAt(l ids.LogicalID, w ids.WorkerID, batches map[ids.WorkerID][]*command.Command) {
+	if c.dir.Latest(l) == 0 || c.dir.IsLatest(l, w) {
+		return
+	}
+	src := c.dir.LatestHolder(l)
+	if src == ids.NoWorker {
+		c.cfg.Logf("controller: %s has no live replica; reader at %s gets stale data", l, w)
+		return
+	}
+	srcObj := c.dir.Instance(l, src)
+	dstObj := c.dir.Instance(l, w)
+	sendID := c.cmdIDs.Next()
+	recvID := c.cmdIDs.Next()
+	sendBefore := c.ledgers[src].Read(srcObj, sendID, nil)
+	recvBefore := c.ledgers[w].Write(dstObj, recvID, nil)
+	version := c.dir.Latest(l)
+	batches[src] = append(batches[src], &command.Command{
+		ID: sendID, Kind: command.CopySend,
+		Reads: []ids.ObjectID{srcObj}, Before: sendBefore,
+		DstWorker: w, DstCommand: recvID, Logical: l, Version: version,
+	})
+	batches[w] = append(batches[w], &command.Command{
+		ID: recvID, Kind: command.CopyRecv,
+		Writes: []ids.ObjectID{dstObj}, Before: recvBefore,
+		Logical: l, Version: version,
+	})
+	c.dir.RecordCopy(l, w)
+	c.Stats.CopiesInserted.Add(1)
+}
+
+// dispatchCommands routes generated commands according to the mode:
+// batched pushes in Nimbus mode, graph-driven per-task dispatch in central
+// mode. All commands are tracked as outstanding.
+func (c *Controller) dispatchCommands(batches map[ids.WorkerID][]*command.Command) {
+	if c.cfg.Mode == ModeCentral {
+		for w, cmds := range batches {
+			for _, cmd := range cmds {
+				c.central.add(cmd, w)
+			}
+		}
+		c.central.dispatchReady()
+		return
+	}
+	for w, cmds := range batches {
+		for _, cmd := range cmds {
+			c.outstanding[cmd.ID] = w
+		}
+		c.sendWorker(c.workers[w], &proto.SpawnCommands{Cmds: cmds})
+	}
+}
+
+// spawnBarrierBatch sends commands to one worker as a barrier unit
+// (uncached patches).
+func (c *Controller) spawnBarrierBatch(w ids.WorkerID, cmds []*command.Command) {
+	for _, cmd := range cmds {
+		c.outstanding[cmd.ID] = w
+	}
+	c.sendWorker(c.workers[w], &proto.SpawnCommands{Cmds: cmds, Barrier: true})
+}
+
+func (c *Controller) handleComplete(m *proto.Complete) {
+	for _, id := range m.IDs {
+		delete(c.outstanding, id)
+	}
+	if c.cfg.Mode == ModeCentral {
+		c.central.complete(m.IDs)
+		c.central.dispatchReady()
+	}
+	c.resolveIfQuiet()
+}
+
+func (c *Controller) handleBlockDone(m *proto.BlockDone) {
+	inst := c.instances[m.Instance]
+	if inst == nil {
+		return
+	}
+	delete(inst.pending, m.Worker)
+	if len(inst.pending) == 0 {
+		delete(c.instances, m.Instance)
+		c.resolveIfQuiet()
+	}
+}
+
+// centralGraph is the Spark-like dispatcher: it holds every undispatched
+// or in-flight command and releases a command to its worker only when all
+// predecessors have completed, paying a per-task scheduling cost. This is
+// the control-plane bottleneck Figures 1, 7 and 8 measure.
+type centralGraph struct {
+	c     *Controller
+	nodes map[ids.CommandID]*cnode
+}
+
+type cnode struct {
+	cmd        *command.Command
+	worker     ids.WorkerID
+	missing    int
+	dependents []ids.CommandID
+	dispatched bool
+	ready      bool
+}
+
+func newCentralGraph(c *Controller) *centralGraph {
+	return &centralGraph{c: c, nodes: make(map[ids.CommandID]*cnode)}
+}
+
+func (g *centralGraph) pendingCount() int { return len(g.nodes) }
+
+func (g *centralGraph) add(cmd *command.Command, w ids.WorkerID) {
+	n := &cnode{cmd: cmd, worker: w}
+	for _, dep := range cmd.Before {
+		if dn, ok := g.nodes[dep]; ok {
+			dn.dependents = append(dn.dependents, cmd.ID)
+			n.missing++
+		}
+	}
+	// Cross-worker data dependencies are command-pair implicit: a receive
+	// is released with its sender; the data plane orders the payload.
+	g.nodes[cmd.ID] = n
+	if n.missing == 0 {
+		n.ready = true
+	}
+}
+
+func (g *centralGraph) complete(done []ids.CommandID) {
+	for _, id := range done {
+		n, ok := g.nodes[id]
+		if !ok {
+			continue
+		}
+		delete(g.nodes, id)
+		for _, dep := range n.dependents {
+			dn, ok := g.nodes[dep]
+			if !ok {
+				continue
+			}
+			dn.missing--
+			if dn.missing == 0 && !dn.dispatched {
+				dn.ready = true
+			}
+		}
+	}
+}
+
+// dispatchReady sends every ready command, modeling the baseline
+// scheduler's per-task cost with a calibrated busy wait.
+func (g *centralGraph) dispatchReady() {
+	for {
+		progressed := false
+		for id, n := range g.nodes {
+			if !n.ready || n.dispatched {
+				continue
+			}
+			n.dispatched = true
+			n.ready = false
+			progressed = true
+			if cost := g.c.cfg.CentralPerTaskCost; cost > 0 {
+				spinWait(cost)
+			}
+			g.c.sendWorker(g.c.workers[n.worker], &proto.SpawnCommands{
+				Cmds: []*command.Command{n.cmd},
+			})
+			_ = id
+		}
+		if !progressed {
+			return
+		}
+	}
+}
+
+// spinWait models scheduler CPU time.
+func spinWait(d time.Duration) {
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+	}
+}

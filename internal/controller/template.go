@@ -1,0 +1,222 @@
+package controller
+
+import (
+	"fmt"
+	"time"
+
+	"nimbus/internal/command"
+	"nimbus/internal/core"
+	"nimbus/internal/ids"
+	"nimbus/internal/proto"
+)
+
+// editStaged is one staged worker-template edit awaiting the next
+// instantiation of its assignment.
+type editStaged = command.Edit
+
+// handleTemplateStart begins recording a basic block (paper §4.1: the
+// driver marks basic blocks; the controller schedules the block normally
+// while simultaneously storing it into a template).
+func (c *Controller) handleTemplateStart(m *proto.TemplateStart) {
+	if c.recording != nil {
+		c.driverError(fmt.Sprintf("template %q started while %q is recording",
+			m.Name, c.recording.tmpl.Name))
+		return
+	}
+	if _, ok := c.templates[m.Name]; ok {
+		c.driverError(fmt.Sprintf("template %q already installed", m.Name))
+		return
+	}
+	c.recording = &recordingState{
+		tmpl:    &core.Template{ID: ids.TemplateID(c.tmplIDs.Next()), Name: m.Name},
+		builder: core.NewBuilder(c.dir, c.placement()),
+	}
+	c.logOp(m)
+}
+
+// handleTemplateEnd post-processes the recorded block into a controller
+// template, generates the worker templates, and installs them.
+func (c *Controller) handleTemplateEnd(m *proto.TemplateEnd) {
+	rec := c.recording
+	if rec == nil || rec.tmpl.Name != m.Name {
+		c.driverError(fmt.Sprintf("template end for %q without matching start", m.Name))
+		return
+	}
+	c.recording = nil
+	start := time.Now()
+	a := rec.builder.Finalize(ids.TemplateID(c.tmplIDs.Next()))
+	rec.tmpl.Assignments = []*core.Assignment{a}
+	rec.tmpl.Active = a
+	c.templates[m.Name] = rec.tmpl
+	c.Stats.TemplatesBuilt.Add(1)
+	c.installAssignment(rec.tmpl, a)
+	c.Stats.FinalizeNanos.Add(uint64(time.Since(start)))
+	c.cacheActiveAssignments()
+	c.logOp(m)
+}
+
+// installAssignment pushes worker templates to every worker that does not
+// hold them yet.
+func (c *Controller) installAssignment(t *core.Template, a *core.Assignment) {
+	for _, w := range a.Workers() {
+		if a.Installed[w] {
+			continue
+		}
+		c.sendWorker(c.workers[w], a.InstallMessage(w, t.Name))
+		a.Installed[w] = true
+	}
+}
+
+// handleInstantiateBlock executes one cached basic block: validate (or
+// auto-validate) the active assignment's preconditions, patch if needed,
+// then send one instantiation message per participating worker
+// (paper §2.2: n+1 control messages in the steady state).
+func (c *Controller) handleInstantiateBlock(m *proto.InstantiateBlock) {
+	t := c.templates[m.Name]
+	if t == nil {
+		c.driverError(fmt.Sprintf("instantiate of unknown template %q", m.Name))
+		return
+	}
+	a := t.Active
+	start := time.Now()
+
+	// Validation. A template instantiated immediately after itself
+	// auto-validates because its construction guarantees its postcondition
+	// covers its precondition (paper §4.2).
+	if c.lastBlock == a.ID && c.autoValid {
+		c.Stats.AutoValidations.Add(1)
+	} else {
+		c.Stats.Validations.Add(1)
+		vstart := time.Now()
+		viols := a.Validate(c.dir)
+		c.Stats.ValidateNanos.Add(uint64(time.Since(vstart)))
+		if len(viols) > 0 {
+			if !c.applyPatch(a, viols) {
+				return
+			}
+		}
+	}
+
+	// Stage any pending edits for this assignment.
+	edits := c.pendingEdits[a.ID]
+	delete(c.pendingEdits, a.ID)
+
+	c.installAssignment(t, a)
+	// The watermark must be computed before reserving the instance's ID
+	// block: it promises that every ID below it is fully accounted for,
+	// which must not cover the IDs about to be issued.
+	watermark := c.doneWatermark()
+	base := c.cmdIDs.Block(a.MaxIndex())
+	c.nextInstance++
+	inst := &instState{assignment: a, base: base, pending: make(map[ids.WorkerID]bool)}
+	paramArray := m.ParamArray
+	for _, w := range a.Workers() {
+		inst.pending[w] = true
+		msg := &proto.InstantiateTemplate{
+			Template:      a.ID,
+			Instance:      c.nextInstance,
+			Base:          base,
+			ParamArray:    paramArray,
+			DoneWatermark: watermark,
+		}
+		if es := edits[w]; len(es) > 0 {
+			msg.Edits = es
+			for _, e := range es {
+				c.Stats.EditsSent.Add(uint64(len(e.Remove) + len(e.Add)))
+			}
+		}
+		c.sendWorker(c.workers[w], msg)
+	}
+	if len(inst.pending) > 0 {
+		c.instances[c.nextInstance] = inst
+	}
+	a.ApplyEffects(base, c.dir, c.ledgers)
+	c.lastBlock = a.ID
+	c.autoValid = true
+	c.Stats.Instantiations.Add(1)
+	c.Stats.InstantiateNanos.Add(uint64(time.Since(start)))
+	c.logOp(m)
+}
+
+// applyPatch fixes precondition violations, preferring a cached patch for
+// this control-flow transition (paper §4.2). It reports success.
+func (c *Controller) applyPatch(a *core.Assignment, viols []core.Violation) bool {
+	tr := core.Transition{Prev: c.lastBlock, Next: a.ID}
+	p := c.patchCache.Lookup(tr, c.dir, viols)
+	if p == nil {
+		pstart := time.Now()
+		var err error
+		p, err = core.BuildPatch(ids.PatchID(c.patchIDs.Next()), c.dir, viols)
+		if err != nil {
+			c.driverError(err.Error())
+			return false
+		}
+		c.Stats.PatchBuildNanos.Add(uint64(time.Since(pstart)))
+		c.patchCache.Store(tr, p)
+		c.Stats.PatchesBuilt.Add(1)
+	} else {
+		c.Stats.PatchCacheHits.Add(1)
+	}
+	base := c.cmdIDs.Block(len(p.Entries))
+	for w, idxs := range p.PerWorker {
+		ws := c.workers[w]
+		if !p.Installed[w] {
+			// First use on this worker: install the patch alongside the
+			// instantiation so later transitions cost a single message.
+			entries := make([]command.TemplateEntry, 0, len(idxs))
+			for _, i := range idxs {
+				entries = append(entries, p.Entries[i])
+			}
+			c.sendWorker(ws, &proto.InstallPatch{Patch: p.ID, Entries: entries})
+			p.Installed[w] = true
+		}
+		c.sendWorker(ws, &proto.InstantiatePatch{Patch: p.ID, Base: base})
+		for _, i := range idxs {
+			c.outstanding[base+ids.CommandID(i)] = w
+		}
+	}
+	p.ApplyEffects(base, c.dir, c.ledgers)
+	return true
+}
+
+// doneWatermark returns a command ID below which every command is known
+// complete, letting workers prune their completion sets.
+func (c *Controller) doneWatermark() ids.CommandID {
+	low := ids.CommandID(c.cmdIDs.Peek()) + 1
+	for id := range c.outstanding {
+		if id < low {
+			low = id
+		}
+	}
+	for _, inst := range c.instances {
+		if inst.base < low {
+			low = inst.base
+		}
+	}
+	return low
+}
+
+// Templates returns the installed template names (call via Do).
+func (c *Controller) Templates() []string {
+	names := make([]string, 0, len(c.templates))
+	for n := range c.templates {
+		names = append(names, n)
+	}
+	return names
+}
+
+// TemplateByName returns the installed template (call via Do; nil if
+// absent). Exposed for the adaptation APIs and tests.
+func (c *Controller) TemplateByName(name string) *core.Template {
+	return c.templates[name]
+}
+
+// logOp appends a driver operation to the recovery log (paper §4.4: the
+// controller replays execution since the last checkpoint after reverting
+// to it). Replayed operations are not re-logged.
+func (c *Controller) logOp(m proto.Msg) {
+	if c.replaying {
+		return
+	}
+	c.oplog = append(c.oplog, m)
+}

@@ -1,0 +1,405 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"nimbus/internal/command"
+	"nimbus/internal/flow"
+	"nimbus/internal/ids"
+	"nimbus/internal/proto"
+)
+
+// provKind classifies an entry's provenance for the rebuild diff.
+type provKind uint8
+
+const (
+	provTask provKind = iota + 1
+	provSend
+	provRecv
+)
+
+// restoreStage is the pseudo stage index of the restoring copies appended
+// by Finalize so that a template's postcondition satisfies its own
+// precondition (paper §4.2, optimization 1).
+const restoreStage = -1
+
+// Provenance identifies the semantic origin of a template entry,
+// independent of its index or worker: which stage/task produced it, or
+// which logical object a copy moves. The rebuild diff matches entries
+// across placements by provenance so that unchanged entries keep their
+// indexes and edits stay proportional to the actual change (paper §4.3:
+// a replacement command assigned the same index leaves other commands
+// untouched).
+type Provenance struct {
+	Kind    provKind
+	Stage   int32
+	Task    int32
+	Logical ids.LogicalID
+	// From/To disambiguate copies: From is the sending worker (sends
+	// only), To the receiving worker.
+	From ids.WorkerID
+	To   ids.WorkerID
+}
+
+// Precond is one worker-template precondition: the worker's replica of the
+// logical object must hold the latest version when the template is
+// instantiated (paper §4.1).
+type Precond struct {
+	Logical ids.LogicalID
+	Worker  ids.WorkerID
+	Object  ids.ObjectID
+}
+
+// ObjectEffect summarizes what one template instance does to a logical
+// object: how many versions it produces and which workers hold the final
+// version. The controller applies effects to its directory at
+// instantiation time instead of re-deriving them per task.
+type ObjectEffect struct {
+	Logical      ids.LogicalID
+	Bumps        uint64
+	FinalHolders []ids.WorkerID
+}
+
+// LedgerEffect summarizes the final ordering state of one physical object
+// on one worker after a template instance: the in-template last writer
+// (entry index, or -1 if the template only reads it) and the in-template
+// readers since that write. Applying these keeps post-template commands'
+// before sets correct without per-task bookkeeping.
+type LedgerEffect struct {
+	Object ids.ObjectID
+	// LastWriterIdx is the entry index of the final in-template writer,
+	// or -1 to preserve the pre-instance writer.
+	LastWriterIdx int32
+	Readers       []int32
+}
+
+// Effects is the full instantiation effect of an assignment.
+type Effects struct {
+	Objects []ObjectEffect
+	Ledger  map[ids.WorkerID][]LedgerEffect
+}
+
+// Builder constructs an Assignment (the controller half of a worker
+// template set plus the controller template's command array) from a
+// sequence of stages under a fixed placement. The controller runs a
+// Builder while recording a basic block (paper §4.1) and again when
+// rebuilding an assignment for a new placement.
+type Builder struct {
+	dir   *flow.Directory
+	place Placement
+
+	entries  []command.TemplateEntry
+	workerOf []ids.WorkerID
+	prov     []Provenance
+
+	holders  map[ids.LogicalID]*holderState
+	ledgers  map[ids.WorkerID]*idxLedger
+	preconds []Precond
+	precondS map[precondKey]bool
+	slots    int
+	stages   []*proto.SubmitStage
+}
+
+type precondKey struct {
+	l ids.LogicalID
+	w ids.WorkerID
+}
+
+// holderState tracks a logical object's within-template placement: whether
+// the template has written it, how many versions it produced, and which
+// workers hold the template-current version.
+type holderState struct {
+	written bool
+	bumps   uint64
+	holders map[ids.WorkerID]bool
+}
+
+// idxLedger mirrors flow.Ledger with entry indexes instead of command IDs.
+type idxLedger struct {
+	orders map[ids.ObjectID]*idxOrder
+}
+
+type idxOrder struct {
+	lastWriter int32 // -1: no in-template writer
+	readers    []int32
+}
+
+// NewBuilder returns a Builder allocating object instances from dir and
+// resolving placement through place.
+func NewBuilder(dir *flow.Directory, place Placement) *Builder {
+	return &Builder{
+		dir:      dir,
+		place:    place,
+		holders:  make(map[ids.LogicalID]*holderState),
+		ledgers:  make(map[ids.WorkerID]*idxLedger),
+		precondS: make(map[precondKey]bool),
+	}
+}
+
+func (b *Builder) ledger(w ids.WorkerID) *idxLedger {
+	l, ok := b.ledgers[w]
+	if !ok {
+		l = &idxLedger{orders: make(map[ids.ObjectID]*idxOrder)}
+		b.ledgers[w] = l
+	}
+	return l
+}
+
+func (l *idxLedger) orderOf(o ids.ObjectID) *idxOrder {
+	ord, ok := l.orders[o]
+	if !ok {
+		ord = &idxOrder{lastWriter: -1}
+		l.orders[o] = ord
+	}
+	return ord
+}
+
+func (l *idxLedger) read(o ids.ObjectID, idx int32, deps []int32) []int32 {
+	ord := l.orderOf(o)
+	if ord.lastWriter >= 0 {
+		deps = appendUniqueIdx(deps, ord.lastWriter)
+	}
+	ord.readers = append(ord.readers, idx)
+	return deps
+}
+
+func (l *idxLedger) write(o ids.ObjectID, idx int32, deps []int32) []int32 {
+	ord := l.orderOf(o)
+	if ord.lastWriter >= 0 {
+		deps = appendUniqueIdx(deps, ord.lastWriter)
+	}
+	for _, r := range ord.readers {
+		if r != idx {
+			deps = appendUniqueIdx(deps, r)
+		}
+	}
+	ord.lastWriter = idx
+	ord.readers = ord.readers[:0]
+	return deps
+}
+
+func appendUniqueIdx(deps []int32, idx int32) []int32 {
+	for _, d := range deps {
+		if d == idx {
+			return deps
+		}
+	}
+	return append(deps, idx)
+}
+
+// AddStage appends one stage's tasks (and any data movement they imply) to
+// the template under construction.
+func (b *Builder) AddStage(spec *proto.SubmitStage) error {
+	if len(spec.PerTask) > 0 {
+		return fmt.Errorf("core: stage %s has per-task parameters and cannot be templated", spec.Stage)
+	}
+	slot := command.NoParamSlot
+	if len(spec.Params) > 0 {
+		slot = int32(b.slots)
+		b.slots++
+	}
+	stageIdx := int32(len(b.stages))
+	b.stages = append(b.stages, spec)
+
+	for t := 0; t < spec.Tasks; t++ {
+		reads, writes, err := TaskAccesses(spec, b.place, t)
+		if err != nil {
+			return err
+		}
+		w, err := AnchorWorker(spec, b.place, t)
+		if err != nil {
+			return err
+		}
+		// First, materialize any copies the reads require so that copy
+		// entries precede the task entry.
+		for _, l := range reads {
+			b.ensureReadable(l, w, stageIdx)
+		}
+		taskIdx := int32(len(b.entries))
+		var deps []int32
+		led := b.ledger(w)
+		readObjs := make([]ids.ObjectID, len(reads))
+		for i, l := range reads {
+			obj := b.dir.Instance(l, w)
+			readObjs[i] = obj
+			deps = led.read(obj, taskIdx, deps)
+		}
+		writeObjs := make([]ids.ObjectID, len(writes))
+		for i, l := range writes {
+			obj := b.dir.Instance(l, w)
+			writeObjs[i] = obj
+			deps = led.write(obj, taskIdx, deps)
+			hs := b.holderOf(l)
+			hs.written = true
+			hs.bumps++
+			for h := range hs.holders {
+				delete(hs.holders, h)
+			}
+			hs.holders[w] = true
+		}
+		b.append(command.TemplateEntry{
+			Index:     taskIdx,
+			Kind:      command.Task,
+			Function:  spec.Fn,
+			Reads:     readObjs,
+			Writes:    writeObjs,
+			BeforeIdx: deps,
+			ParamSlot: slot,
+			Fixed:     spec.Params,
+		}, w, Provenance{Kind: provTask, Stage: stageIdx, Task: int32(t)})
+	}
+	return nil
+}
+
+func (b *Builder) holderOf(l ids.LogicalID) *holderState {
+	hs, ok := b.holders[l]
+	if !ok {
+		hs = &holderState{holders: make(map[ids.WorkerID]bool)}
+		b.holders[l] = hs
+	}
+	return hs
+}
+
+// ensureReadable prepares logical object l for a read at worker w. If the
+// template has already written l, the template-current version must reach
+// w, so a copy pair is inserted when missing. Otherwise the read is an
+// entry read: it becomes a worker-template precondition — patches, not
+// cached copies, handle entry-time data movement (paper §2.4).
+func (b *Builder) ensureReadable(l ids.LogicalID, w ids.WorkerID, stage int32) {
+	hs, ok := b.holders[l]
+	if !ok || !hs.written {
+		key := precondKey{l, w}
+		if !b.precondS[key] {
+			b.precondS[key] = true
+			b.preconds = append(b.preconds, Precond{
+				Logical: l,
+				Worker:  w,
+				Object:  b.dir.Instance(l, w),
+			})
+		}
+		return
+	}
+	if hs.holders[w] {
+		return
+	}
+	b.insertCopy(l, minHolder(hs.holders), w, stage)
+	hs.holders[w] = true
+}
+
+func minHolder(holders map[ids.WorkerID]bool) ids.WorkerID {
+	var best ids.WorkerID
+	for w := range holders {
+		if best == ids.NoWorker || w < best {
+			best = w
+		}
+	}
+	return best
+}
+
+// insertCopy appends a send/receive pair moving the template-current
+// version of l from src to dst.
+func (b *Builder) insertCopy(l ids.LogicalID, src, dst ids.WorkerID, stage int32) (sendIdx, recvIdx int32) {
+	srcObj := b.dir.Instance(l, src)
+	dstObj := b.dir.Instance(l, dst)
+	sendIdx = int32(len(b.entries))
+	recvIdx = sendIdx + 1
+
+	sendDeps := b.ledger(src).read(srcObj, sendIdx, nil)
+	b.append(command.TemplateEntry{
+		Index:     sendIdx,
+		Kind:      command.CopySend,
+		Reads:     []ids.ObjectID{srcObj},
+		BeforeIdx: sendDeps,
+		ParamSlot: command.NoParamSlot,
+		Logical:   l,
+		DstWorker: dst,
+		DstIdx:    recvIdx,
+	}, src, Provenance{Kind: provSend, Stage: stage, Logical: l, From: src, To: dst})
+
+	recvDeps := b.ledger(dst).write(dstObj, recvIdx, nil)
+	b.append(command.TemplateEntry{
+		Index:     recvIdx,
+		Kind:      command.CopyRecv,
+		Writes:    []ids.ObjectID{dstObj},
+		BeforeIdx: recvDeps,
+		ParamSlot: command.NoParamSlot,
+		Logical:   l,
+	}, dst, Provenance{Kind: provRecv, Stage: stage, Logical: l, To: dst})
+	return sendIdx, recvIdx
+}
+
+func (b *Builder) append(e command.TemplateEntry, w ids.WorkerID, p Provenance) {
+	b.entries = append(b.entries, e)
+	b.workerOf = append(b.workerOf, w)
+	b.prov = append(b.prov, p)
+}
+
+// Finalize completes the build: it appends restoring copies so every
+// precondition holds again when the template finishes (making tight loops
+// auto-validate, paper §4.2), then assembles the Assignment with its
+// per-worker entry lists, preconditions and instantiation effects.
+func (b *Builder) Finalize(id ids.TemplateID) *Assignment {
+	// Restoring copies: a precondition (l, w) whose logical object the
+	// template wrote must end with w holding the final version.
+	for _, pc := range b.preconds {
+		hs, ok := b.holders[pc.Logical]
+		if !ok || !hs.written || hs.holders[pc.Worker] {
+			continue
+		}
+		b.insertCopy(pc.Logical, minHolder(hs.holders), pc.Worker, restoreStage)
+		hs.holders[pc.Worker] = true
+	}
+
+	perWorker := make(map[ids.WorkerID][]int32)
+	for i, w := range b.workerOf {
+		perWorker[w] = append(perWorker[w], int32(i))
+	}
+
+	eff := Effects{Ledger: make(map[ids.WorkerID][]LedgerEffect, len(b.ledgers))}
+	logicals := make([]ids.LogicalID, 0, len(b.holders))
+	for l, hs := range b.holders {
+		if hs.written {
+			logicals = append(logicals, l)
+		}
+	}
+	sort.Slice(logicals, func(i, j int) bool { return logicals[i] < logicals[j] })
+	for _, l := range logicals {
+		hs := b.holders[l]
+		holders := make([]ids.WorkerID, 0, len(hs.holders))
+		for w := range hs.holders {
+			holders = append(holders, w)
+		}
+		sort.Slice(holders, func(i, j int) bool { return holders[i] < holders[j] })
+		eff.Objects = append(eff.Objects, ObjectEffect{Logical: l, Bumps: hs.bumps, FinalHolders: holders})
+	}
+	for w, led := range b.ledgers {
+		objs := make([]ids.ObjectID, 0, len(led.orders))
+		for o := range led.orders {
+			objs = append(objs, o)
+		}
+		sort.Slice(objs, func(i, j int) bool { return objs[i] < objs[j] })
+		les := make([]LedgerEffect, 0, len(objs))
+		for _, o := range objs {
+			ord := led.orders[o]
+			les = append(les, LedgerEffect{
+				Object:        o,
+				LastWriterIdx: ord.lastWriter,
+				Readers:       append([]int32(nil), ord.readers...),
+			})
+		}
+		eff.Ledger[w] = les
+	}
+
+	return &Assignment{
+		ID:        id,
+		Entries:   b.entries,
+		WorkerOf:  b.workerOf,
+		Prov:      b.prov,
+		PerWorker: perWorker,
+		Preconds:  b.preconds,
+		Effects:   eff,
+		Slots:     b.slots,
+		Installed: make(map[ids.WorkerID]bool),
+	}
+}

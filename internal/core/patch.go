@@ -1,0 +1,166 @@
+package core
+
+import (
+	"fmt"
+
+	"nimbus/internal/command"
+	"nimbus/internal/flow"
+	"nimbus/internal/ids"
+)
+
+// Patch is a small block of copy commands that moves data so a worker
+// template's preconditions hold (paper §2.4). Patches are cached on
+// workers and keyed by control-flow transition, because dynamic control
+// flow is typically narrow: the same basic-block boundary recurs, needing
+// the same data movement (paper §4.2, optimization 2).
+type Patch struct {
+	ID ids.PatchID
+	// Entries use patch-local indexes; instantiation reserves a fresh
+	// command-ID block like templates do. Patch commands carry no before
+	// edges: workers treat patch units as local barriers, which orders
+	// them against surrounding instances.
+	Entries   []command.TemplateEntry
+	PerWorker map[ids.WorkerID][]int32
+	Fixes     []PatchFix
+	Installed map[ids.WorkerID]bool
+}
+
+// PatchFix records one data movement the patch performs.
+type PatchFix struct {
+	Logical ids.LogicalID
+	Src     ids.WorkerID
+	Dst     ids.WorkerID
+	SrcObj  ids.ObjectID
+	DstObj  ids.ObjectID
+}
+
+// BuildPatch constructs a patch fixing the given violations by copying
+// each violated logical object from a latest holder to the requiring
+// worker. It fails if any object has no live holder (that is a recovery
+// situation, not a patching one).
+func BuildPatch(id ids.PatchID, dir *flow.Directory, viols []Violation) (*Patch, error) {
+	p := &Patch{
+		ID:        id,
+		PerWorker: make(map[ids.WorkerID][]int32),
+		Installed: make(map[ids.WorkerID]bool),
+	}
+	for _, v := range viols {
+		if v.Holder == ids.NoWorker {
+			return nil, fmt.Errorf("core: cannot patch %s at %s: no live replica",
+				v.Logical, v.Worker)
+		}
+		srcObj := dir.Instance(v.Logical, v.Holder)
+		dstObj := dir.Instance(v.Logical, v.Worker)
+		sendIdx := int32(len(p.Entries))
+		recvIdx := sendIdx + 1
+		p.Entries = append(p.Entries, command.TemplateEntry{
+			Index:     sendIdx,
+			Kind:      command.CopySend,
+			Reads:     []ids.ObjectID{srcObj},
+			ParamSlot: command.NoParamSlot,
+			Logical:   v.Logical,
+			DstWorker: v.Worker,
+			DstIdx:    recvIdx,
+		})
+		p.Entries = append(p.Entries, command.TemplateEntry{
+			Index:     recvIdx,
+			Kind:      command.CopyRecv,
+			Writes:    []ids.ObjectID{dstObj},
+			ParamSlot: command.NoParamSlot,
+			Logical:   v.Logical,
+		})
+		p.PerWorker[v.Holder] = append(p.PerWorker[v.Holder], sendIdx)
+		p.PerWorker[v.Worker] = append(p.PerWorker[v.Worker], recvIdx)
+		p.Fixes = append(p.Fixes, PatchFix{
+			Logical: v.Logical, Src: v.Holder, Dst: v.Worker,
+			SrcObj: srcObj, DstObj: dstObj,
+		})
+	}
+	return p, nil
+}
+
+// Covers reports whether replaying this patch would correctly fix the
+// given violations in the directory's current state: every violation must
+// be fixed by some cached copy and every cached copy's source must still
+// hold the latest version (stale sources would propagate stale data).
+// Extra copies of latest data are harmless.
+func (p *Patch) Covers(dir *flow.Directory, viols []Violation) bool {
+	for _, f := range p.Fixes {
+		if !dir.IsLatest(f.Logical, f.Src) {
+			return false
+		}
+	}
+	for _, v := range viols {
+		fixed := false
+		for _, f := range p.Fixes {
+			if f.Logical == v.Logical && f.Dst == v.Worker {
+				fixed = true
+				break
+			}
+		}
+		if !fixed {
+			return false
+		}
+	}
+	return true
+}
+
+// ApplyEffects advances the directory and ledgers past one instantiation
+// of the patch with the given command-ID base.
+func (p *Patch) ApplyEffects(base ids.CommandID, dir *flow.Directory, ledgers map[ids.WorkerID]*flow.Ledger) {
+	for i, f := range p.Fixes {
+		dir.RecordCopy(f.Logical, f.Dst)
+		sendID := base + ids.CommandID(2*i)
+		recvID := base + ids.CommandID(2*i+1)
+		if led := ledgers[f.Src]; led != nil {
+			led.Read(f.SrcObj, sendID, nil)
+		}
+		if led := ledgers[f.Dst]; led != nil {
+			led.Write(f.DstObj, recvID, nil)
+		}
+	}
+}
+
+// Size returns the number of patch commands.
+func (p *Patch) Size() int { return len(p.Entries) }
+
+// Transition keys the patch cache: what executed before the template being
+// instantiated. The paper indexes cached patches "by what executed before
+// that template" (§4.2).
+type Transition struct {
+	Prev ids.TemplateID // NoTemplate when entering from non-templated code
+	Next ids.TemplateID
+}
+
+// PatchCache caches patches by control-flow transition.
+type PatchCache struct {
+	patches map[Transition]*Patch
+	// Hits and Misses instrument the cache (the paper reports very high
+	// hit rates in practice).
+	Hits   uint64
+	Misses uint64
+}
+
+// NewPatchCache returns an empty cache.
+func NewPatchCache() *PatchCache {
+	return &PatchCache{patches: make(map[Transition]*Patch)}
+}
+
+// Lookup returns a cached patch that correctly fixes viols for the given
+// transition, or nil. Hit/miss counters are updated.
+func (c *PatchCache) Lookup(tr Transition, dir *flow.Directory, viols []Violation) *Patch {
+	if p, ok := c.patches[tr]; ok && p.Covers(dir, viols) {
+		c.Hits++
+		return p
+	}
+	c.Misses++
+	return nil
+}
+
+// Store caches p for the transition, replacing any previous patch.
+func (c *PatchCache) Store(tr Transition, p *Patch) {
+	c.patches[tr] = p
+}
+
+// Len returns the number of cached patches.
+func (c *PatchCache) Len() int { return len(c.patches) }

@@ -1,0 +1,166 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"nimbus/internal/command"
+	"nimbus/internal/flow"
+	"nimbus/internal/ids"
+	"nimbus/internal/params"
+)
+
+// TestBuilderDeterminism: two builds from identical inputs must produce
+// identical assignments — the controller relies on this when rebuilding
+// for a previously seen placement.
+func TestBuilderDeterminism(t *testing.T) {
+	build := func() *Assignment {
+		place := NewStaticPlacement(4)
+		place.Define(1, 8)
+		place.Define(2, 1)
+		place.Define(3, 8)
+		place.Define(4, 2)
+		var alloc ids.ObjectIDs
+		dir := flow.NewDirectory(&alloc)
+		b := NewBuilder(dir, place)
+		for _, s := range lrLikeStages(8, 4) {
+			if err := b.AddStage(s); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return b.Finalize(1)
+	}
+	a1, a2 := build(), build()
+	if !reflect.DeepEqual(a1.Entries, a2.Entries) {
+		t.Fatal("entries differ across identical builds")
+	}
+	if !reflect.DeepEqual(a1.WorkerOf, a2.WorkerOf) {
+		t.Fatal("worker assignment differs across identical builds")
+	}
+	if !reflect.DeepEqual(a1.Preconds, a2.Preconds) {
+		t.Fatal("preconditions differ across identical builds")
+	}
+	if !reflect.DeepEqual(a1.Effects, a2.Effects) {
+		t.Fatal("effects differ across identical builds")
+	}
+}
+
+// TestMaterializedGraphAcyclic: materializing a template instance must
+// yield commands whose before edges reference lower-or-other entries
+// without cycles (every BeforeIdx edge points to an already-emitted
+// entry, since the builder appends in dependency order).
+func TestMaterializedGraphAcyclic(t *testing.T) {
+	a, _, _ := buildLRAssignment(t, 4, 8, 4)
+	for i := range a.Entries {
+		e := &a.Entries[i]
+		if e.Kind == 0 {
+			continue
+		}
+		for _, dep := range e.BeforeIdx {
+			if dep >= e.Index {
+				t.Fatalf("entry %d depends on later entry %d", e.Index, dep)
+			}
+		}
+	}
+}
+
+// TestMaterializeConsistency: a materialized command's IDs must be
+// base-relative and its structure must mirror the entry.
+func TestMaterializeConsistency(t *testing.T) {
+	a, _, _ := buildLRAssignment(t, 4, 8, 4)
+	const base ids.CommandID = 5000
+	var c command.Command
+	for i := range a.Entries {
+		e := &a.Entries[i]
+		if e.Kind == 0 {
+			continue
+		}
+		e.Materialize(base, nil, &c)
+		if c.ID != base+ids.CommandID(e.Index) {
+			t.Fatalf("entry %d: id %v", e.Index, c.ID)
+		}
+		for j, dep := range e.BeforeIdx {
+			if c.Before[j] != base+ids.CommandID(dep) {
+				t.Fatalf("entry %d: before[%d] = %v", e.Index, j, c.Before[j])
+			}
+		}
+		if e.Kind == command.CopySend && c.DstCommand != base+ids.CommandID(e.DstIdx) {
+			t.Fatalf("entry %d: dst %v", e.Index, c.DstCommand)
+		}
+	}
+}
+
+// TestRepeatedMigrationConverges: migrating a partition away and back
+// must return the assignment to an equivalent schedule (same per-worker
+// entry counts), and diffs must stay bounded.
+func TestRepeatedMigrationConverges(t *testing.T) {
+	place := NewStaticPlacement(4)
+	place.Define(1, 8)
+	place.Define(2, 1)
+	place.Define(3, 8)
+	place.Define(4, 2)
+	var alloc ids.ObjectIDs
+	dir := flow.NewDirectory(&alloc)
+	stages := lrLikeStages(8, 4)
+	tmpl := &Template{ID: 1, Name: "t", Stages: stages}
+	b := NewBuilder(dir, place)
+	for _, s := range stages {
+		if err := b.AddStage(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	orig := b.Finalize(1)
+	counts := func(a *Assignment) map[ids.WorkerID]int {
+		out := make(map[ids.WorkerID]int)
+		for w, idxs := range a.PerWorker {
+			out[w] = len(idxs)
+		}
+		return out
+	}
+	origCounts := counts(orig)
+	origWorker := place.WorkerOf(1, 1)
+
+	cur := orig
+	// Away...
+	place.Reassign(1, 1, 1)
+	place.Reassign(3, 1, 1)
+	next, err := tmpl.Rebuild(1, dir, place, cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Diff(cur, next).Changed == 0 {
+		t.Fatal("migration away produced no diff")
+	}
+	cur = next
+	// ...and back.
+	place.Reassign(1, 1, origWorker)
+	place.Reassign(3, 1, origWorker)
+	back, err := tmpl.Rebuild(1, dir, place, cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Diff(cur, back).Changed == 0 {
+		t.Fatal("migration back produced no diff")
+	}
+	if !reflect.DeepEqual(counts(back), origCounts) {
+		t.Fatalf("round-trip migration changed the schedule: %v vs %v",
+			counts(back), origCounts)
+	}
+}
+
+// TestPerTaskParamsRejected: stages with per-task parameters cannot be
+// recorded into templates.
+func TestPerTaskParamsRejected(t *testing.T) {
+	place := NewStaticPlacement(2)
+	place.Define(1, 2)
+	var alloc ids.ObjectIDs
+	dir := flow.NewDirectory(&alloc)
+	b := NewBuilder(dir, place)
+	spec := lrLikeStages(8, 4)[0]
+	bad := *spec
+	bad.Tasks = 2
+	bad.PerTask = []params.Blob{{1}, {2}}
+	if err := b.AddStage(&bad); err == nil {
+		t.Fatal("per-task parameters must be rejected in templates")
+	}
+}

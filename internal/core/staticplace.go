@@ -1,0 +1,79 @@
+package core
+
+import (
+	"nimbus/internal/ids"
+)
+
+// StaticPlacement is a self-contained Placement for standalone runtimes
+// (the dataflow baseline and unit tests): round-robin partition
+// assignment over a fixed worker set with its own logical-ID space.
+type StaticPlacement struct {
+	workers []ids.WorkerID
+	logIDs  ids.LogicalIDs
+	vars    map[ids.VariableID]*staticVar
+}
+
+type staticVar struct {
+	partitions int
+	logicals   []ids.LogicalID
+	assign     []ids.WorkerID
+}
+
+// NewStaticPlacement returns a placement over workers 1..n.
+func NewStaticPlacement(n int) *StaticPlacement {
+	p := &StaticPlacement{vars: make(map[ids.VariableID]*staticVar)}
+	for i := 1; i <= n; i++ {
+		p.workers = append(p.workers, ids.WorkerID(i))
+	}
+	return p
+}
+
+// Define declares a variable with the given partition count and returns
+// its ID unchanged (for chaining).
+func (p *StaticPlacement) Define(v ids.VariableID, partitions int) ids.VariableID {
+	sv := &staticVar{
+		partitions: partitions,
+		logicals:   make([]ids.LogicalID, partitions),
+		assign:     make([]ids.WorkerID, partitions),
+	}
+	for i := 0; i < partitions; i++ {
+		sv.logicals[i] = p.logIDs.Next()
+		sv.assign[i] = p.workers[i%len(p.workers)]
+	}
+	p.vars[v] = sv
+	return v
+}
+
+// Reassign moves one partition to another worker (for edit/migration
+// tests and benchmarks).
+func (p *StaticPlacement) Reassign(v ids.VariableID, partition int, w ids.WorkerID) {
+	if sv, ok := p.vars[v]; ok && partition >= 0 && partition < len(sv.assign) {
+		sv.assign[partition] = w
+	}
+}
+
+// WorkerOf implements Placement.
+func (p *StaticPlacement) WorkerOf(v ids.VariableID, partition int) ids.WorkerID {
+	sv, ok := p.vars[v]
+	if !ok || partition < 0 || partition >= len(sv.assign) {
+		return ids.NoWorker
+	}
+	return sv.assign[partition]
+}
+
+// Logical implements Placement.
+func (p *StaticPlacement) Logical(v ids.VariableID, partition int) ids.LogicalID {
+	sv, ok := p.vars[v]
+	if !ok || partition < 0 || partition >= len(sv.logicals) {
+		return ids.NoLogical
+	}
+	return sv.logicals[partition]
+}
+
+// Partitions implements Placement.
+func (p *StaticPlacement) Partitions(v ids.VariableID) int {
+	if sv, ok := p.vars[v]; ok {
+		return sv.partitions
+	}
+	return 0
+}

@@ -1,0 +1,243 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"nimbus/internal/command"
+	"nimbus/internal/flow"
+	"nimbus/internal/ids"
+	"nimbus/internal/proto"
+)
+
+// Template is a controller template: the cached result of scheduling one
+// basic block (paper §2.2). It owns the recorded stage sequence (so
+// assignments can be rebuilt under new placements) and a cache of
+// assignments — per-placement worker-template sets. Workers cache multiple
+// worker templates, so a controller can move between several schedules by
+// invoking different assignments (paper §2.3).
+type Template struct {
+	ID   ids.TemplateID
+	Name string
+	// Stages is the recorded basic block, in submission order.
+	Stages []*proto.SubmitStage
+	// TaskCount is the number of task commands (not copies) per instance.
+	TaskCount int
+	// Assignments caches every worker-template set generated so far.
+	Assignments []*Assignment
+	// Active is the assignment new instantiations use.
+	Active *Assignment
+}
+
+// Assignment is one worker-template set for a Template: the controller
+// half (paper §4.1) holding the full entry array, the per-worker slices,
+// the preconditions to validate and the cached instantiation effects.
+type Assignment struct {
+	ID ids.TemplateID
+	// Entries is the global command array, indexed by entry Index. Edits
+	// leave tombstones (Kind 0) at removed indexes.
+	Entries  []command.TemplateEntry
+	WorkerOf []ids.WorkerID
+	Prov     []Provenance
+	// PerWorker lists each worker's live entry indexes.
+	PerWorker map[ids.WorkerID][]int32
+	Preconds  []Precond
+	Effects   Effects
+	// Slots is the number of parameter slots (one per parameterized
+	// stage).
+	Slots int
+	// Installed tracks which workers hold this worker template.
+	Installed map[ids.WorkerID]bool
+}
+
+// Size returns the number of live entries.
+func (a *Assignment) Size() int {
+	n := 0
+	for i := range a.Entries {
+		if a.Entries[i].Kind != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Workers returns the sorted set of workers with at least one entry.
+func (a *Assignment) Workers() []ids.WorkerID {
+	out := make([]ids.WorkerID, 0, len(a.PerWorker))
+	for w, idxs := range a.PerWorker {
+		if len(idxs) > 0 {
+			out = append(out, w)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// InstallMessage builds the InstallTemplate message for one worker.
+func (a *Assignment) InstallMessage(w ids.WorkerID, name string) *proto.InstallTemplate {
+	idxs := a.PerWorker[w]
+	entries := make([]command.TemplateEntry, 0, len(idxs))
+	for _, i := range idxs {
+		if a.Entries[i].Kind != 0 {
+			entries = append(entries, a.Entries[i])
+		}
+	}
+	return &proto.InstallTemplate{Template: a.ID, Name: name, Entries: entries}
+}
+
+// Violation reports one failed precondition.
+type Violation struct {
+	Precond
+	// Holder is a worker holding the latest version, or NoWorker if the
+	// object has no live replica (requires recovery, not patching).
+	Holder ids.WorkerID
+}
+
+// Validate checks every precondition against the directory and returns the
+// violations (paper §4.2). A nil result means the assignment can be
+// instantiated as-is.
+func (a *Assignment) Validate(dir *flow.Directory) []Violation {
+	var out []Violation
+	for _, pc := range a.Preconds {
+		if dir.IsLatest(pc.Logical, pc.Worker) {
+			continue
+		}
+		out = append(out, Violation{Precond: pc, Holder: dir.LatestHolder(pc.Logical)})
+	}
+	return out
+}
+
+// ApplyEffects advances the controller's directory and ledgers past one
+// instance of the assignment with the given command-ID base. This replaces
+// the per-task bookkeeping a non-templated controller would do — it is the
+// cached "results of dependency analysis and data lineage" of paper §2.2.
+func (a *Assignment) ApplyEffects(base ids.CommandID, dir *flow.Directory, ledgers map[ids.WorkerID]*flow.Ledger) {
+	for i := range a.Effects.Objects {
+		oe := &a.Effects.Objects[i]
+		dir.ApplyBlockEffect(oe.Logical, oe.Bumps, oe.FinalHolders)
+	}
+	var readers []ids.CommandID
+	for w, les := range a.Effects.Ledger {
+		led := ledgers[w]
+		if led == nil {
+			continue
+		}
+		for i := range les {
+			le := &les[i]
+			readers = readers[:0]
+			for _, r := range le.Readers {
+				readers = append(readers, base+ids.CommandID(r))
+			}
+			if le.LastWriterIdx >= 0 {
+				led.SetState(le.Object, base+ids.CommandID(le.LastWriterIdx), readers)
+			} else if len(readers) > 0 {
+				// Read-only object: keep the pre-instance writer, replace
+				// the reader set (older readers are ordered before the
+				// instance by the worker's block barrier).
+				led.SetState(le.Object, currentWriter(led, le.Object), readers)
+			}
+		}
+	}
+}
+
+// currentWriter reads the ledger's existing last writer for o.
+func currentWriter(led *flow.Ledger, o ids.ObjectID) ids.CommandID {
+	// flow.Ledger does not expose its state directly; SetState with the
+	// same writer is achieved via a read-modify helper.
+	return led.LastWriter(o)
+}
+
+// MaxIndex returns the highest entry index in use plus one (the ID-block
+// size an instantiation must reserve).
+func (a *Assignment) MaxIndex() int {
+	return len(a.Entries)
+}
+
+// NextTemplateOp describes what the controller must do to run an
+// assignment on a worker: nothing (installed), or a full install.
+type NextTemplateOp uint8
+
+// Rebuild constructs a fresh assignment for the template's stages under
+// the given placement, drawing object instances from dir. The new
+// assignment's entry indexes are remapped by provenance against prev (if
+// non-nil) so unchanged entries keep their indexes; see Diff.
+func (t *Template) Rebuild(id ids.TemplateID, dir *flow.Directory, place Placement, prev *Assignment) (*Assignment, error) {
+	b := NewBuilder(dir, place)
+	for _, spec := range t.Stages {
+		if err := b.AddStage(spec); err != nil {
+			return nil, fmt.Errorf("core: rebuilding %q: %w", t.Name, err)
+		}
+	}
+	a := b.Finalize(id)
+	if prev != nil {
+		remapByProvenance(a, prev)
+	}
+	return a, nil
+}
+
+// remapByProvenance renumbers a's entries so that entries with the same
+// provenance as one of prev's keep prev's index. Genuinely new entries get
+// fresh indexes past prev's maximum. BeforeIdx and DstIdx references are
+// rewritten accordingly.
+func remapByProvenance(a, prev *Assignment) {
+	prevByProv := make(map[Provenance]int32, len(prev.Prov))
+	for i := range prev.Prov {
+		if prev.Entries[i].Kind != 0 {
+			prevByProv[prev.Prov[i]] = int32(i)
+		}
+	}
+	next := int32(len(prev.Entries))
+	mapping := make([]int32, len(a.Entries)) // old builder index -> new index
+	for i := range a.Entries {
+		if pi, ok := prevByProv[a.Prov[i]]; ok {
+			mapping[i] = pi
+		} else {
+			mapping[i] = next
+			next++
+		}
+	}
+
+	size := int(next)
+	entries := make([]command.TemplateEntry, size)
+	workerOf := make([]ids.WorkerID, size)
+	prov := make([]Provenance, size)
+	for i := range a.Entries {
+		ni := mapping[i]
+		e := a.Entries[i]
+		e.Index = ni
+		for j, b := range e.BeforeIdx {
+			e.BeforeIdx[j] = mapping[b]
+		}
+		if e.Kind == command.CopySend {
+			e.DstIdx = mapping[e.DstIdx]
+		}
+		entries[ni] = e
+		workerOf[ni] = a.WorkerOf[i]
+		prov[ni] = a.Prov[i]
+	}
+	a.Entries = entries
+	a.WorkerOf = workerOf
+	a.Prov = prov
+
+	perWorker := make(map[ids.WorkerID][]int32)
+	for i := range a.Entries {
+		if a.Entries[i].Kind != 0 {
+			perWorker[workerOf[i]] = append(perWorker[workerOf[i]], int32(i))
+		}
+	}
+	a.PerWorker = perWorker
+
+	// Ledger effect indexes must be remapped too; they were produced by
+	// the builder in pre-remap numbering.
+	for w, les := range a.Effects.Ledger {
+		for i := range les {
+			if les[i].LastWriterIdx >= 0 {
+				les[i].LastWriterIdx = mapping[les[i].LastWriterIdx]
+			}
+			for j, r := range les[i].Readers {
+				les[i].Readers[j] = mapping[r]
+			}
+		}
+		a.Effects.Ledger[w] = les
+	}
+}

@@ -1,0 +1,132 @@
+// Package datastore implements a worker's in-memory physical data object
+// store.
+//
+// Nimbus tasks operate on mutable data objects (paper §3.3): supporting
+// in-place modification avoids copies, lets loop iterations reuse object
+// identifiers (so templates can cache them), and keeps the object
+// population small. A physical object is one worker-resident instance of a
+// logical object; it has a stable ObjectID, a logical identity, a version
+// label and a byte buffer. Received data installs by pointer swap (paper
+// §3.4): the transport reads into a fresh buffer and the store swaps it in
+// once the receive command's before set is satisfied.
+package datastore
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"nimbus/internal/ids"
+)
+
+// Object is one physical data object instance.
+type Object struct {
+	ID      ids.ObjectID
+	Logical ids.LogicalID
+	// Version labels the data currently held, as assigned by the
+	// controller's directory. It is bookkeeping for checkpoints and
+	// debugging; ordering correctness comes from command before sets.
+	Version uint64
+	// Data is the object's buffer. Task functions may mutate it in place
+	// or replace it entirely.
+	Data []byte
+}
+
+// Store holds a worker's physical objects. It is safe for concurrent use:
+// executor goroutines read and write objects while the control loop creates
+// and destroys them.
+//
+// Locking granularity is a single RWMutex over the table. Object *contents*
+// are not protected by the store: the control plane's before sets guarantee
+// exclusive access during writes, which is the same contract Nimbus's C++
+// workers rely on.
+type Store struct {
+	mu      sync.RWMutex
+	objects map[ids.ObjectID]*Object
+}
+
+// New returns an empty store.
+func New() *Store {
+	return &Store{objects: make(map[ids.ObjectID]*Object)}
+}
+
+// Create allocates an object. Creating an existing ID is an error.
+func (s *Store) Create(id ids.ObjectID, logical ids.LogicalID, data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.objects[id]; ok {
+		return fmt.Errorf("datastore: object %s already exists", id)
+	}
+	s.objects[id] = &Object{ID: id, Logical: logical, Data: data}
+	return nil
+}
+
+// Ensure returns the object with the given ID, creating an empty one bound
+// to logical if absent. Copy receives and patches use Ensure so that data
+// movement can materialize instances lazily.
+func (s *Store) Ensure(id ids.ObjectID, logical ids.LogicalID) *Object {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if o, ok := s.objects[id]; ok {
+		return o
+	}
+	o := &Object{ID: id, Logical: logical}
+	s.objects[id] = o
+	return o
+}
+
+// Get returns the object or nil if absent.
+func (s *Store) Get(id ids.ObjectID) *Object {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.objects[id]
+}
+
+// Destroy removes an object. Destroying a missing object is a no-op, which
+// keeps Destroy idempotent across recovery replays.
+func (s *Store) Destroy(id ids.ObjectID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.objects, id)
+}
+
+// Install swaps fresh data into the object, creating it if needed. It
+// implements the receive-side pointer swap of the push-model data plane.
+func (s *Store) Install(id ids.ObjectID, logical ids.LogicalID, version uint64, data []byte) {
+	o := s.Ensure(id, logical)
+	s.mu.Lock()
+	o.Data = data
+	o.Version = version
+	if o.Logical == ids.NoLogical {
+		o.Logical = logical
+	}
+	s.mu.Unlock()
+}
+
+// Len reports the number of live objects.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.objects)
+}
+
+// Snapshot returns the live objects sorted by ID. Checkpointing uses it to
+// enumerate what must be saved; the data slices are shared, so the caller
+// must finish with them before execution resumes.
+func (s *Store) Snapshot() []*Object {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]*Object, 0, len(s.objects))
+	for _, o := range s.objects {
+		out = append(out, o)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Clear removes every object (recovery reload starts from a clean store).
+func (s *Store) Clear() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.objects = make(map[ids.ObjectID]*Object)
+}

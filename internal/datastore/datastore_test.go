@@ -1,0 +1,86 @@
+package datastore
+
+import (
+	"sync"
+	"testing"
+
+	"nimbus/internal/ids"
+)
+
+func TestCreateGetDestroy(t *testing.T) {
+	s := New()
+	if err := s.Create(1, 10, []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Create(1, 10, nil); err == nil {
+		t.Fatal("duplicate create should fail")
+	}
+	o := s.Get(1)
+	if o == nil || o.Logical != 10 || len(o.Data) != 1 {
+		t.Fatalf("object = %+v", o)
+	}
+	s.Destroy(1)
+	if s.Get(1) != nil {
+		t.Fatal("destroyed object still present")
+	}
+	s.Destroy(1) // idempotent
+}
+
+func TestEnsureAndInstall(t *testing.T) {
+	s := New()
+	o := s.Ensure(2, 20)
+	if o.Logical != 20 {
+		t.Fatalf("logical = %v", o.Logical)
+	}
+	if s.Ensure(2, 99) != o {
+		t.Fatal("ensure must be stable")
+	}
+	s.Install(2, 20, 3, []byte{7})
+	if o.Version != 3 || o.Data[0] != 7 {
+		t.Fatalf("install did not swap: %+v", o)
+	}
+	// Install creates when absent.
+	s.Install(3, 30, 1, []byte{8})
+	if s.Get(3) == nil {
+		t.Fatal("install did not create")
+	}
+	if s.Len() != 2 {
+		t.Fatalf("len = %d", s.Len())
+	}
+}
+
+func TestSnapshotSorted(t *testing.T) {
+	s := New()
+	for _, id := range []ids.ObjectID{5, 1, 3} {
+		s.Ensure(id, ids.LogicalID(id))
+	}
+	snap := s.Snapshot()
+	if len(snap) != 3 || snap[0].ID != 1 || snap[2].ID != 5 {
+		t.Fatalf("snapshot order wrong: %v", snap)
+	}
+	s.Clear()
+	if s.Len() != 0 {
+		t.Fatal("clear failed")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	s := New()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				id := ids.ObjectID(g*100 + i)
+				s.Ensure(id, 1)
+				s.Get(id)
+				s.Install(id, 1, uint64(i), []byte{byte(i)})
+			}
+		}(g)
+	}
+	wg.Wait()
+	if s.Len() != 800 {
+		t.Fatalf("len = %d", s.Len())
+	}
+}

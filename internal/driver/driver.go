@@ -1,0 +1,278 @@
+// Package driver is the application-facing Nimbus client library.
+//
+// A driver program declares partitioned variables, submits stages
+// (parallel operations that expand into one task per partition), and marks
+// basic blocks for execution templates: code between BeginTemplate and
+// EndTemplate is recorded by the controller while it executes, and
+// Instantiate re-executes the whole block with a single message
+// (paper §2.2). Data-dependent control flow — while loops over error
+// values — reads back reduced results with Get, which is a
+// synchronization point (paper §2.4).
+//
+// The pseudocode of paper Figure 3 maps onto this API as:
+//
+//	for Get(error) > threshE {
+//	    for Get(gradient) > threshG {
+//	        d.Instantiate("optimize", coeffParams)   // inner basic block
+//	    }
+//	    d.Instantiate("estimate", modelParams)       // outer basic block
+//	}
+//
+// Drivers are single-goroutine clients: methods must not be called
+// concurrently.
+package driver
+
+import (
+	"fmt"
+
+	"nimbus/internal/ids"
+	"nimbus/internal/params"
+	"nimbus/internal/proto"
+	"nimbus/internal/transport"
+)
+
+// Driver is a connected driver session.
+type Driver struct {
+	conn      transport.Conn
+	seq       uint64
+	nextVar   ids.VariableID
+	nextStage ids.StageID
+}
+
+// Var is a declared application variable.
+type Var struct {
+	ID         ids.VariableID
+	Name       string
+	Partitions int
+}
+
+// Ref is one variable access in a stage submission.
+type Ref struct{ proto.VarRef }
+
+// Read accesses partition t of the variable from task t.
+func (v Var) Read() Ref {
+	return Ref{proto.VarRef{Var: v.ID, Pattern: proto.OnePerTask}}
+}
+
+// Write writes partition t of the variable from task t.
+func (v Var) Write() Ref {
+	return Ref{proto.VarRef{Var: v.ID, Write: true, Pattern: proto.OnePerTask}}
+}
+
+// ReadShared reads partition 0 from every task (broadcast reads of
+// scalars such as model parameters).
+func (v Var) ReadShared() Ref {
+	return Ref{proto.VarRef{Var: v.ID, Pattern: proto.Shared}}
+}
+
+// WriteShared writes partition 0 (single-writer scalars; use with
+// one-task stages).
+func (v Var) WriteShared() Ref {
+	return Ref{proto.VarRef{Var: v.ID, Write: true, Pattern: proto.Shared}}
+}
+
+// ReadGrouped reads the contiguous group of partitions assigned to each
+// task (reduction trees: a stage with T tasks over a variable with T*K
+// partitions gives task t partitions [t*K, (t+1)*K)).
+func (v Var) ReadGrouped() Ref {
+	return Ref{proto.VarRef{Var: v.ID, Pattern: proto.Grouped}}
+}
+
+// ReadStencil reads partitions [t-1, t+1] (clamped) from task t — halo
+// exchange for grid codes partitioned into strips.
+func (v Var) ReadStencil() Ref {
+	return Ref{proto.VarRef{Var: v.ID, Pattern: proto.Stencil, Fixed: 1}}
+}
+
+// ReadAt reads one fixed partition from every task.
+func (v Var) ReadAt(p int) Ref {
+	return Ref{proto.VarRef{Var: v.ID, Pattern: proto.FixedPartition, Fixed: p}}
+}
+
+// WriteAt writes one fixed partition (single-writer).
+func (v Var) WriteAt(p int) Ref {
+	return Ref{proto.VarRef{Var: v.ID, Write: true, Pattern: proto.FixedPartition, Fixed: p}}
+}
+
+// Connect dials the controller and registers a driver session.
+func Connect(tr transport.Transport, addr, name string) (*Driver, error) {
+	conn, err := tr.Dial(addr)
+	if err != nil {
+		return nil, fmt.Errorf("driver: dial %s: %w", addr, err)
+	}
+	d := &Driver{conn: conn}
+	if err := d.send(&proto.RegisterDriver{Name: name}); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return d, nil
+}
+
+func (d *Driver) send(m proto.Msg) error {
+	return d.conn.Send(proto.Marshal(m))
+}
+
+// recvUntil reads messages until pred accepts one, surfacing controller
+// errors.
+func (d *Driver) recvUntil(pred func(proto.Msg) bool) (proto.Msg, error) {
+	for {
+		raw, err := d.conn.Recv()
+		if err != nil {
+			return nil, fmt.Errorf("driver: connection lost: %w", err)
+		}
+		m, err := proto.Unmarshal(raw)
+		if err != nil {
+			return nil, err
+		}
+		if e, ok := m.(*proto.ErrorMsg); ok {
+			return nil, fmt.Errorf("driver: controller error: %s", e.Text)
+		}
+		if _, ok := m.(*proto.Shutdown); ok {
+			return nil, fmt.Errorf("driver: controller shut down")
+		}
+		if pred(m) {
+			return m, nil
+		}
+	}
+}
+
+// DefineVariable declares a variable with the given partition count.
+func (d *Driver) DefineVariable(name string, partitions int) (Var, error) {
+	d.nextVar++
+	v := Var{ID: d.nextVar, Name: name, Partitions: partitions}
+	err := d.send(&proto.DefineVariable{Var: v.ID, Name: name, Partitions: partitions})
+	return v, err
+}
+
+// MustVar is DefineVariable that panics on error (setup-time use).
+func (d *Driver) MustVar(name string, partitions int) Var {
+	v, err := d.DefineVariable(name, partitions)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// Put uploads one partition's initial contents. Puts are asynchronous;
+// Barrier or Get forces completion.
+func (d *Driver) Put(v Var, partition int, data []byte) error {
+	return d.send(&proto.Put{Var: v.ID, Partition: partition, Data: data})
+}
+
+// PutFloats uploads a float64 slice via the params encoding.
+func (d *Driver) PutFloats(v Var, partition int, vals []float64) error {
+	return d.Put(v, partition, params.NewEncoder(8*len(vals)+8).Floats(vals).Blob())
+}
+
+// Get reads one partition's current contents. It synchronizes: the result
+// reflects all previously submitted work.
+func (d *Driver) Get(v Var, partition int) ([]byte, error) {
+	d.seq++
+	seq := d.seq
+	if err := d.send(&proto.Get{Seq: seq, Var: v.ID, Partition: partition}); err != nil {
+		return nil, err
+	}
+	m, err := d.recvUntil(func(m proto.Msg) bool {
+		g, ok := m.(*proto.GetResult)
+		return ok && g.Seq == seq
+	})
+	if err != nil {
+		return nil, err
+	}
+	return m.(*proto.GetResult).Data, nil
+}
+
+// GetFloats reads a float64 slice written via the params encoding.
+func (d *Driver) GetFloats(v Var, partition int) ([]float64, error) {
+	raw, err := d.Get(v, partition)
+	if err != nil {
+		return nil, err
+	}
+	if len(raw) == 0 {
+		return nil, nil
+	}
+	dec := params.NewDecoder(params.Blob(raw))
+	vals := dec.Floats()
+	return vals, dec.Err()
+}
+
+// Submit submits one stage: fn runs as one task per partition with the
+// given accesses and a shared parameter blob.
+func (d *Driver) Submit(fnID ids.FunctionID, tasks int, p params.Blob, refs ...Ref) error {
+	d.nextStage++
+	spec := &proto.SubmitStage{
+		Stage: d.nextStage, Fn: fnID, Tasks: tasks, Params: p,
+		Refs: make([]proto.VarRef, len(refs)),
+	}
+	for i, r := range refs {
+		spec.Refs[i] = r.VarRef
+	}
+	return d.send(spec)
+}
+
+// SubmitPerTask submits a stage whose tasks take distinct parameters
+// (data-generation stages; not recordable into templates).
+func (d *Driver) SubmitPerTask(fnID ids.FunctionID, tasks int, perTask []params.Blob, refs ...Ref) error {
+	d.nextStage++
+	spec := &proto.SubmitStage{
+		Stage: d.nextStage, Fn: fnID, Tasks: tasks, PerTask: perTask,
+		Refs: make([]proto.VarRef, len(refs)),
+	}
+	for i, r := range refs {
+		spec.Refs[i] = r.VarRef
+	}
+	return d.send(spec)
+}
+
+// BeginTemplate marks the start of a basic block. The stages submitted
+// until EndTemplate execute normally and are simultaneously recorded.
+func (d *Driver) BeginTemplate(name string) error {
+	return d.send(&proto.TemplateStart{Name: name})
+}
+
+// EndTemplate finishes recording; the controller builds and installs the
+// controller and worker templates.
+func (d *Driver) EndTemplate(name string) error {
+	return d.send(&proto.TemplateEnd{Name: name})
+}
+
+// Instantiate re-executes a recorded basic block. paramArray supplies one
+// blob per parameterized stage, in submission order; pass nothing to reuse
+// the recorded parameters.
+func (d *Driver) Instantiate(name string, paramArray ...params.Blob) error {
+	return d.send(&proto.InstantiateBlock{Name: name, ParamArray: paramArray})
+}
+
+// Barrier blocks until all submitted work has completed.
+func (d *Driver) Barrier() error {
+	d.seq++
+	seq := d.seq
+	if err := d.send(&proto.Barrier{Seq: seq}); err != nil {
+		return err
+	}
+	_, err := d.recvUntil(func(m proto.Msg) bool {
+		b, ok := m.(*proto.BarrierDone)
+		return ok && b.Seq == seq
+	})
+	return err
+}
+
+// Checkpoint requests a checkpoint and blocks until it commits.
+func (d *Driver) Checkpoint() error {
+	d.seq++
+	seq := d.seq
+	if err := d.send(&proto.CheckpointReq{Seq: seq}); err != nil {
+		return err
+	}
+	_, err := d.recvUntil(func(m proto.Msg) bool {
+		b, ok := m.(*proto.BarrierDone)
+		return ok && b.Seq == seq
+	})
+	return err
+}
+
+// Close ends the driver session (the job keeps its state; Close does not
+// shut the cluster down).
+func (d *Driver) Close() error {
+	return d.conn.Close()
+}

@@ -1,0 +1,70 @@
+package durable
+
+import (
+	"testing"
+)
+
+func exerciseStore(t *testing.T, s Store) {
+	t.Helper()
+	if err := s.Save(1, 10, 3, []byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	data, ver, err := s.Load(1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ver != 3 || len(data) != 3 || data[2] != 3 {
+		t.Fatalf("load = %v v%d", data, ver)
+	}
+	// Overwrite within the same checkpoint.
+	if err := s.Save(1, 10, 4, []byte{9}); err != nil {
+		t.Fatal(err)
+	}
+	data, ver, _ = s.Load(1, 10)
+	if ver != 4 || data[0] != 9 {
+		t.Fatalf("overwrite failed: %v v%d", data, ver)
+	}
+	// Distinct checkpoints are independent.
+	if err := s.Save(2, 10, 5, []byte{5}); err != nil {
+		t.Fatal(err)
+	}
+	data, ver, _ = s.Load(1, 10)
+	if ver != 4 {
+		t.Fatal("checkpoint 1 clobbered by checkpoint 2")
+	}
+	if _, _, err := s.Load(9, 10); err == nil {
+		t.Fatal("missing checkpoint should fail")
+	}
+	if _, _, err := s.Load(1, 99); err == nil {
+		t.Fatal("missing object should fail")
+	}
+}
+
+func TestMem(t *testing.T) {
+	s := NewMem()
+	exerciseStore(t, s)
+	if s.Len() != 2 {
+		t.Fatalf("len = %d", s.Len())
+	}
+}
+
+func TestMemCopies(t *testing.T) {
+	s := NewMem()
+	buf := []byte{1}
+	s.Save(1, 1, 1, buf)
+	buf[0] = 99
+	got, _, _ := s.Load(1, 1)
+	if got[0] != 1 {
+		t.Fatal("store aliases caller buffer")
+	}
+	got[0] = 50
+	again, _, _ := s.Load(1, 1)
+	if again[0] != 1 {
+		t.Fatal("load aliases stored buffer")
+	}
+}
+
+func TestFS(t *testing.T) {
+	s := NewFS(t.TempDir())
+	exerciseStore(t, s)
+}

@@ -1,0 +1,154 @@
+package flow
+
+import (
+	"testing"
+	"testing/quick"
+
+	"nimbus/internal/ids"
+)
+
+func TestDirectoryVersioning(t *testing.T) {
+	var alloc ids.ObjectIDs
+	d := NewDirectory(&alloc)
+	const l ids.LogicalID = 1
+	o1 := d.Instance(l, 1)
+	o2 := d.Instance(l, 2)
+	if o1 == o2 {
+		t.Fatal("instances on different workers must differ")
+	}
+	if d.Instance(l, 1) != o1 {
+		t.Fatal("instance must be stable")
+	}
+	// Unwritten object: everyone with a replica is trivially latest.
+	if !d.IsLatest(l, 1) || !d.IsLatest(l, 2) {
+		t.Fatal("latest of unwritten object")
+	}
+	if v := d.RecordWrite(l, 1); v != 1 {
+		t.Fatalf("version = %d", v)
+	}
+	if d.IsLatest(l, 2) {
+		t.Fatal("stale replica considered latest")
+	}
+	if h := d.LatestHolder(l); h != 1 {
+		t.Fatalf("holder = %v", h)
+	}
+	d.RecordCopy(l, 2)
+	if !d.IsLatest(l, 2) {
+		t.Fatal("copy should make replica latest")
+	}
+	if hs := d.Holders(l); len(hs) != 2 {
+		t.Fatalf("holders = %v", hs)
+	}
+	d.RecordWrite(l, 2)
+	if d.IsLatest(l, 1) {
+		t.Fatal("old holder still latest after write elsewhere")
+	}
+}
+
+func TestDirectoryBlockEffect(t *testing.T) {
+	var alloc ids.ObjectIDs
+	d := NewDirectory(&alloc)
+	const l ids.LogicalID = 1
+	d.Instance(l, 1)
+	d.Instance(l, 2)
+	d.RecordWrite(l, 1)
+	d.ApplyBlockEffect(l, 3, []ids.WorkerID{2})
+	if d.Latest(l) != 4 {
+		t.Fatalf("latest = %d", d.Latest(l))
+	}
+	if d.IsLatest(l, 1) || !d.IsLatest(l, 2) {
+		t.Fatal("block effect holders wrong")
+	}
+}
+
+func TestDirectoryDropWorker(t *testing.T) {
+	var alloc ids.ObjectIDs
+	d := NewDirectory(&alloc)
+	const l ids.LogicalID = 1
+	o := d.Instance(l, 1)
+	d.Instance(l, 2)
+	d.RecordWrite(l, 1)
+	d.DropWorker(1)
+	if d.LatestHolder(l) != ids.NoWorker {
+		t.Fatal("dropped worker still a holder")
+	}
+	if d.LookupObject(o) != nil {
+		t.Fatal("dropped replica still resolvable")
+	}
+}
+
+func TestLedgerEdges(t *testing.T) {
+	l := NewLedger(1)
+	const o ids.ObjectID = 1
+	// First reader: no edges.
+	if deps := l.Read(o, 10, nil); len(deps) != 0 {
+		t.Fatalf("deps = %v", deps)
+	}
+	// Writer after readers: write-after-read edges.
+	l.Read(o, 11, nil)
+	deps := l.Write(o, 12, nil)
+	if len(deps) != 2 {
+		t.Fatalf("write deps = %v, want readers 10 and 11", deps)
+	}
+	// Reader after write: read-after-write edge.
+	deps = l.Read(o, 13, nil)
+	if len(deps) != 1 || deps[0] != 12 {
+		t.Fatalf("read deps = %v", deps)
+	}
+	// Writer after write+read: both edges, deduplicated.
+	deps = l.Write(o, 14, nil)
+	if len(deps) != 2 {
+		t.Fatalf("write deps = %v", deps)
+	}
+	if l.LastWriter(o) != 14 {
+		t.Fatalf("last writer = %v", l.LastWriter(o))
+	}
+}
+
+func TestLedgerSetState(t *testing.T) {
+	l := NewLedger(1)
+	const o ids.ObjectID = 1
+	l.SetState(o, 100, []ids.CommandID{101, 102})
+	deps := l.Write(o, 103, nil)
+	if len(deps) != 3 {
+		t.Fatalf("deps = %v, want writer+2 readers", deps)
+	}
+}
+
+// Property: after any sequence of reads and writes, a new writer depends
+// on the last writer (transitively ordering all prior access).
+func TestQuickLedgerWriterOrdering(t *testing.T) {
+	f := func(ops []bool) bool {
+		l := NewLedger(1)
+		const o ids.ObjectID = 1
+		var lastWrite ids.CommandID
+		id := ids.CommandID(1)
+		for _, isWrite := range ops {
+			id++
+			if isWrite {
+				deps := l.Write(o, id, nil)
+				if lastWrite != ids.NoCommand {
+					found := false
+					for _, d := range deps {
+						if d == lastWrite {
+							found = true
+						}
+					}
+					// The previous writer may be ordered transitively
+					// through intervening readers; if there were no
+					// readers, the edge must be direct.
+					if !found && len(deps) == 0 {
+						return false
+					}
+				}
+				lastWrite = id
+			} else {
+				l.Read(o, id, nil)
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,109 @@
+package flow
+
+import (
+	"nimbus/internal/ids"
+)
+
+// objectOrder tracks the access ordering state for one physical object on
+// one worker: the last command that wrote it and the commands that have
+// read it since. From these two pieces the controller derives every
+// same-worker before edge:
+//
+//   - a reader depends on the last writer (read-after-write);
+//   - a writer depends on the last writer (write-after-write) and every
+//     reader since (write-after-read, so in-place mutation cannot clobber
+//     a value still being read).
+type objectOrder struct {
+	lastWriter ids.CommandID
+	readers    []ids.CommandID
+}
+
+// Ledger is the per-worker dependency ledger. The controller keeps one per
+// worker and consults it while emitting commands; execution templates apply
+// cached "ledger effects" in bulk at instantiation time so that commands
+// scheduled after a template instance still pick up correct edges onto the
+// instance's commands.
+type Ledger struct {
+	worker ids.WorkerID
+	orders map[ids.ObjectID]*objectOrder
+}
+
+// NewLedger returns an empty ledger for worker w.
+func NewLedger(w ids.WorkerID) *Ledger {
+	return &Ledger{worker: w, orders: make(map[ids.ObjectID]*objectOrder)}
+}
+
+// Worker returns the worker this ledger orders.
+func (l *Ledger) Worker() ids.WorkerID { return l.worker }
+
+func (l *Ledger) orderOf(o ids.ObjectID) *objectOrder {
+	ord, ok := l.orders[o]
+	if !ok {
+		ord = &objectOrder{}
+		l.orders[o] = ord
+	}
+	return ord
+}
+
+// Read registers command c as a reader of object o and appends the
+// resulting before edges (the last writer, if any) to deps. It returns the
+// extended slice.
+func (l *Ledger) Read(o ids.ObjectID, c ids.CommandID, deps []ids.CommandID) []ids.CommandID {
+	ord := l.orderOf(o)
+	if ord.lastWriter != ids.NoCommand {
+		deps = appendUnique(deps, ord.lastWriter)
+	}
+	ord.readers = append(ord.readers, c)
+	return deps
+}
+
+// Write registers command c as the new last writer of object o and appends
+// the resulting before edges (previous writer plus all readers since) to
+// deps. It returns the extended slice.
+func (l *Ledger) Write(o ids.ObjectID, c ids.CommandID, deps []ids.CommandID) []ids.CommandID {
+	ord := l.orderOf(o)
+	if ord.lastWriter != ids.NoCommand {
+		deps = appendUnique(deps, ord.lastWriter)
+	}
+	for _, r := range ord.readers {
+		if r != c {
+			deps = appendUnique(deps, r)
+		}
+	}
+	ord.lastWriter = c
+	ord.readers = ord.readers[:0]
+	return deps
+}
+
+// SetState overwrites the ordering state of object o. Template
+// instantiation uses it to apply cached ledger effects: after an instance,
+// o's last writer and readers are specific commands of the instance.
+func (l *Ledger) SetState(o ids.ObjectID, lastWriter ids.CommandID, readers []ids.CommandID) {
+	ord := l.orderOf(o)
+	ord.lastWriter = lastWriter
+	ord.readers = append(ord.readers[:0], readers...)
+}
+
+// LastWriter returns the command currently recorded as object o's last
+// writer, or NoCommand.
+func (l *Ledger) LastWriter(o ids.ObjectID) ids.CommandID {
+	if ord, ok := l.orders[o]; ok {
+		return ord.lastWriter
+	}
+	return ids.NoCommand
+}
+
+// Reset drops all ordering state (worker failure recovery restarts the
+// ledger from the checkpoint's quiesced state).
+func (l *Ledger) Reset() {
+	l.orders = make(map[ids.ObjectID]*objectOrder)
+}
+
+func appendUnique(deps []ids.CommandID, c ids.CommandID) []ids.CommandID {
+	for _, d := range deps {
+		if d == c {
+			return deps
+		}
+	}
+	return append(deps, c)
+}

@@ -1,0 +1,72 @@
+package fn
+
+import (
+	"testing"
+	"time"
+
+	"nimbus/internal/ids"
+)
+
+func TestRegistry(t *testing.T) {
+	r := NewRegistry()
+	if r.Lookup(FuncSim) == nil || r.Lookup(FuncNop) == nil {
+		t.Fatal("built-ins missing")
+	}
+	const id ids.FunctionID = FirstAppFunc
+	called := false
+	if err := r.Register(id, "test/f", func(*Ctx) error { called = true; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register(id, "test/other", nil); err == nil {
+		t.Fatal("duplicate id must fail")
+	}
+	if err := r.Register(id+1, "test/f", nil); err == nil {
+		t.Fatal("duplicate name must fail")
+	}
+	if r.ID("test/f") != id || r.Name(id) != "test/f" {
+		t.Fatal("name/id lookup broken")
+	}
+	if err := r.Lookup(id)(nil); err != nil || !called {
+		t.Fatal("lookup did not return the function")
+	}
+}
+
+func TestCtxReadWrite(t *testing.T) {
+	reads := [][]byte{{1}, {2}}
+	writes := [][]byte{{3}}
+	c := NewCtx(1, nil, reads, writes)
+	if c.NumReads() != 2 || c.Read(1)[0] != 2 {
+		t.Fatal("reads broken")
+	}
+	if c.NumWrites() != 1 || c.WriteBuf(0)[0] != 3 {
+		t.Fatal("write buf broken")
+	}
+	// In-place mutation is visible without SetWrite.
+	c.WriteBuf(0)[0] = 9
+	data, replaced := c.Result(0)
+	if replaced || data[0] != 9 {
+		t.Fatal("in-place mutation lost")
+	}
+	c.SetWrite(0, []byte{7, 7})
+	data, replaced = c.Result(0)
+	if !replaced || len(data) != 2 {
+		t.Fatal("SetWrite lost")
+	}
+}
+
+func TestSimSleeps(t *testing.T) {
+	c := NewCtx(1, SimParams(20*time.Millisecond), nil, nil)
+	start := time.Now()
+	if err := Sim(c); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 20*time.Millisecond {
+		t.Fatalf("sim returned after %v", d)
+	}
+}
+
+func TestSimParamsRoundTrip(t *testing.T) {
+	if got := SimDuration(SimParams(3 * time.Second)); got != 3*time.Second {
+		t.Fatalf("duration = %v", got)
+	}
+}

@@ -1,0 +1,135 @@
+// Package ids defines the typed identifiers used across the Nimbus control
+// plane and helpers for allocating them.
+//
+// Nimbus (and this reproduction) gives every control-plane entity a compact
+// integer identity: commands (tasks, copies, ...), physical and logical data
+// objects, workers, stages, templates and registered functions. Keeping the
+// types distinct catches cross-wiring at compile time; keeping them integers
+// keeps the hot control-plane paths allocation-free.
+package ids
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// CommandID identifies a single control-plane command (task, copy, data or
+// file command). Command IDs are allocated by the controller and are unique
+// for the lifetime of a job. Execution templates exploit the allocator's
+// contiguity: a template instantiation carries one base CommandID and every
+// command in the template derives its ID as base + its index.
+type CommandID uint64
+
+// NoCommand is the zero CommandID; it never identifies a real command.
+const NoCommand CommandID = 0
+
+// ObjectID identifies one physical instance of a data object living in a
+// particular worker's memory. Several physical instances (replicas at
+// possibly different versions) may exist for one logical object.
+type ObjectID uint64
+
+// NoObject is the zero ObjectID.
+const NoObject ObjectID = 0
+
+// LogicalID identifies a logical data object: one partition of one
+// application variable. The controller's directory maps a LogicalID to the
+// set of physical replicas holding it.
+type LogicalID uint64
+
+// NoLogical is the zero LogicalID.
+const NoLogical LogicalID = 0
+
+// WorkerID identifies a worker node registered with the controller.
+type WorkerID uint32
+
+// NoWorker is the zero WorkerID; real workers are numbered from 1.
+const NoWorker WorkerID = 0
+
+// StageID identifies one stage submitted by the driver (a parallel
+// operation that expands into one task per partition).
+type StageID uint64
+
+// TemplateID identifies an installed execution template (controller
+// template or worker template) within a controller.
+type TemplateID uint64
+
+// NoTemplate is the zero TemplateID.
+const NoTemplate TemplateID = 0
+
+// PatchID identifies a cached patch (a small block of copy commands that
+// fixes up system state to meet a template's preconditions).
+type PatchID uint64
+
+// NoPatch is the zero PatchID.
+const NoPatch PatchID = 0
+
+// FunctionID identifies an application function registered with the
+// framework. Task commands carry the FunctionID to execute.
+type FunctionID uint32
+
+// VariableID identifies an application variable declared by the driver.
+// A variable with P partitions owns P logical objects.
+type VariableID uint32
+
+// String implementations keep logs and test failures readable.
+
+func (id CommandID) String() string  { return fmt.Sprintf("cmd:%d", uint64(id)) }
+func (id ObjectID) String() string   { return fmt.Sprintf("obj:%d", uint64(id)) }
+func (id LogicalID) String() string  { return fmt.Sprintf("log:%d", uint64(id)) }
+func (id WorkerID) String() string   { return fmt.Sprintf("w:%d", uint32(id)) }
+func (id StageID) String() string    { return fmt.Sprintf("stage:%d", uint64(id)) }
+func (id TemplateID) String() string { return fmt.Sprintf("tmpl:%d", uint64(id)) }
+func (id PatchID) String() string    { return fmt.Sprintf("patch:%d", uint64(id)) }
+func (id FunctionID) String() string { return fmt.Sprintf("fn:%d", uint32(id)) }
+func (id VariableID) String() string { return fmt.Sprintf("var:%d", uint32(id)) }
+
+// Allocator hands out monotonically increasing uint64 identifiers. It is
+// safe for concurrent use. The zero value starts allocating at 1, so the
+// zero of each ID type can always mean "none".
+type Allocator struct {
+	next atomic.Uint64
+}
+
+// Next returns the next identifier.
+func (a *Allocator) Next() uint64 {
+	return a.next.Add(1)
+}
+
+// Block reserves n consecutive identifiers and returns the first. n must be
+// positive. Template instantiation uses Block to reserve one contiguous ID
+// range per instance so that a single base value parameterizes every
+// command in the template.
+func (a *Allocator) Block(n int) uint64 {
+	if n <= 0 {
+		panic(fmt.Sprintf("ids: Block(%d): n must be positive", n))
+	}
+	end := a.next.Add(uint64(n))
+	return end - uint64(n) + 1
+}
+
+// Peek reports the most recently allocated identifier, or 0 if none has
+// been allocated. Intended for tests and introspection only.
+func (a *Allocator) Peek() uint64 {
+	return a.next.Load()
+}
+
+// CommandIDs is a convenience wrapper allocating CommandID values.
+type CommandIDs struct{ Allocator }
+
+// Next returns the next CommandID.
+func (a *CommandIDs) Next() CommandID { return CommandID(a.Allocator.Next()) }
+
+// Block reserves n consecutive CommandIDs and returns the first.
+func (a *CommandIDs) Block(n int) CommandID { return CommandID(a.Allocator.Block(n)) }
+
+// ObjectIDs is a convenience wrapper allocating ObjectID values.
+type ObjectIDs struct{ Allocator }
+
+// Next returns the next ObjectID.
+func (a *ObjectIDs) Next() ObjectID { return ObjectID(a.Allocator.Next()) }
+
+// LogicalIDs is a convenience wrapper allocating LogicalID values.
+type LogicalIDs struct{ Allocator }
+
+// Next returns the next LogicalID.
+func (a *LogicalIDs) Next() LogicalID { return LogicalID(a.Allocator.Next()) }

@@ -1,0 +1,75 @@
+package ids
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestAllocatorSequence(t *testing.T) {
+	var a Allocator
+	if a.Peek() != 0 {
+		t.Fatal("fresh allocator should have allocated nothing")
+	}
+	if a.Next() != 1 || a.Next() != 2 {
+		t.Fatal("allocation must start at 1 and increment")
+	}
+	base := a.Block(5)
+	if base != 3 {
+		t.Fatalf("block base = %d", base)
+	}
+	if a.Next() != 8 {
+		t.Fatal("block must reserve its whole range")
+	}
+}
+
+func TestBlockPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Block(0) must panic")
+		}
+	}()
+	var a Allocator
+	a.Block(0)
+}
+
+func TestAllocatorConcurrent(t *testing.T) {
+	var a CommandIDs
+	const goroutines, per = 8, 1000
+	seen := make([]map[CommandID]bool, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		seen[g] = make(map[CommandID]bool, per)
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				seen[g][a.Next()] = true
+			}
+		}(g)
+	}
+	wg.Wait()
+	all := make(map[CommandID]bool)
+	for _, m := range seen {
+		for id := range m {
+			if all[id] {
+				t.Fatalf("duplicate id %v", id)
+			}
+			all[id] = true
+		}
+	}
+	if len(all) != goroutines*per {
+		t.Fatalf("allocated %d unique ids", len(all))
+	}
+}
+
+func TestStringForms(t *testing.T) {
+	if CommandID(5).String() != "cmd:5" {
+		t.Fatal("command id string")
+	}
+	if WorkerID(2).String() != "w:2" {
+		t.Fatal("worker id string")
+	}
+	if TemplateID(9).String() != "tmpl:9" {
+		t.Fatal("template id string")
+	}
+}

@@ -1,0 +1,316 @@
+// Package params implements the binary parameter blobs passed to tasks.
+//
+// A Nimbus command carries an opaque binary blob of parameters (paper §3.4).
+// Execution templates separate a task's fixed structure from its per
+// iteration parameters; the parameter blob is the part that changes between
+// instantiations (for example the current model coefficients fed to a
+// Gradient task). This package provides a small, allocation-conscious
+// encoder/decoder for the value kinds the applications in this repository
+// need: signed/unsigned integers, float64s, float64 slices, byte slices,
+// bools and durations.
+package params
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"time"
+)
+
+// ErrCorrupt is returned when a blob cannot be decoded.
+var ErrCorrupt = errors.New("params: corrupt parameter blob")
+
+// Blob is an encoded parameter list. A nil Blob decodes as an empty list.
+type Blob []byte
+
+// kind tags for encoded values.
+const (
+	kindUint    = 0x01
+	kindInt     = 0x02
+	kindFloat   = 0x03
+	kindFloats  = 0x04
+	kindBytes   = 0x05
+	kindBool    = 0x06
+	kindDur     = 0x07
+	kindString  = 0x08
+	kindUint64s = 0x09
+)
+
+// Encoder builds a Blob. The zero value is ready to use.
+type Encoder struct {
+	buf []byte
+}
+
+// NewEncoder returns an Encoder with capacity preallocated for n bytes.
+func NewEncoder(n int) *Encoder {
+	return &Encoder{buf: make([]byte, 0, n)}
+}
+
+// Reset discards any encoded values, retaining the buffer.
+func (e *Encoder) Reset() { e.buf = e.buf[:0] }
+
+// Blob returns the encoded blob. The returned slice aliases the encoder's
+// buffer; callers that reuse the encoder must copy it first.
+func (e *Encoder) Blob() Blob { return Blob(e.buf) }
+
+// Uint appends an unsigned integer.
+func (e *Encoder) Uint(v uint64) *Encoder {
+	e.buf = append(e.buf, kindUint)
+	e.buf = binary.AppendUvarint(e.buf, v)
+	return e
+}
+
+// Int appends a signed integer.
+func (e *Encoder) Int(v int64) *Encoder {
+	e.buf = append(e.buf, kindInt)
+	e.buf = binary.AppendVarint(e.buf, v)
+	return e
+}
+
+// Float appends a float64.
+func (e *Encoder) Float(v float64) *Encoder {
+	e.buf = append(e.buf, kindFloat)
+	e.buf = binary.BigEndian.AppendUint64(e.buf, math.Float64bits(v))
+	return e
+}
+
+// Floats appends a float64 slice.
+func (e *Encoder) Floats(v []float64) *Encoder {
+	e.buf = append(e.buf, kindFloats)
+	e.buf = binary.AppendUvarint(e.buf, uint64(len(v)))
+	for _, f := range v {
+		e.buf = binary.BigEndian.AppendUint64(e.buf, math.Float64bits(f))
+	}
+	return e
+}
+
+// Uint64s appends a uint64 slice.
+func (e *Encoder) Uint64s(v []uint64) *Encoder {
+	e.buf = append(e.buf, kindUint64s)
+	e.buf = binary.AppendUvarint(e.buf, uint64(len(v)))
+	for _, u := range v {
+		e.buf = binary.AppendUvarint(e.buf, u)
+	}
+	return e
+}
+
+// Bytes appends a byte slice.
+func (e *Encoder) Bytes(v []byte) *Encoder {
+	e.buf = append(e.buf, kindBytes)
+	e.buf = binary.AppendUvarint(e.buf, uint64(len(v)))
+	e.buf = append(e.buf, v...)
+	return e
+}
+
+// String appends a string.
+func (e *Encoder) String(v string) *Encoder {
+	e.buf = append(e.buf, kindString)
+	e.buf = binary.AppendUvarint(e.buf, uint64(len(v)))
+	e.buf = append(e.buf, v...)
+	return e
+}
+
+// Bool appends a bool.
+func (e *Encoder) Bool(v bool) *Encoder {
+	b := byte(0)
+	if v {
+		b = 1
+	}
+	e.buf = append(e.buf, kindBool, b)
+	return e
+}
+
+// Duration appends a time.Duration. Scaling experiments use durations to
+// describe simulated task compute times.
+func (e *Encoder) Duration(v time.Duration) *Encoder {
+	e.buf = append(e.buf, kindDur)
+	e.buf = binary.AppendVarint(e.buf, int64(v))
+	return e
+}
+
+// Decoder reads values back out of a Blob in the order they were encoded.
+type Decoder struct {
+	buf Blob
+	off int
+	err error
+}
+
+// NewDecoder returns a Decoder over blob.
+func NewDecoder(blob Blob) *Decoder { return &Decoder{buf: blob} }
+
+// Err returns the first decoding error encountered, if any.
+func (d *Decoder) Err() error { return d.err }
+
+// Remaining reports whether undecoded bytes remain.
+func (d *Decoder) Remaining() bool { return d.err == nil && d.off < len(d.buf) }
+
+func (d *Decoder) fail(what string) {
+	if d.err == nil {
+		d.err = fmt.Errorf("%w: decoding %s at offset %d", ErrCorrupt, what, d.off)
+	}
+}
+
+func (d *Decoder) expect(kind byte, what string) bool {
+	if d.err != nil {
+		return false
+	}
+	if d.off >= len(d.buf) || d.buf[d.off] != kind {
+		d.fail(what)
+		return false
+	}
+	d.off++
+	return true
+}
+
+func (d *Decoder) uvarint(what string) uint64 {
+	v, n := binary.Uvarint(d.buf[d.off:])
+	if n <= 0 {
+		d.fail(what)
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *Decoder) varint(what string) int64 {
+	v, n := binary.Varint(d.buf[d.off:])
+	if n <= 0 {
+		d.fail(what)
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+// Uint decodes an unsigned integer.
+func (d *Decoder) Uint() uint64 {
+	if !d.expect(kindUint, "uint") {
+		return 0
+	}
+	return d.uvarint("uint")
+}
+
+// Int decodes a signed integer.
+func (d *Decoder) Int() int64 {
+	if !d.expect(kindInt, "int") {
+		return 0
+	}
+	return d.varint("int")
+}
+
+// Float decodes a float64.
+func (d *Decoder) Float() float64 {
+	if !d.expect(kindFloat, "float") {
+		return 0
+	}
+	if d.off+8 > len(d.buf) {
+		d.fail("float")
+		return 0
+	}
+	v := math.Float64frombits(binary.BigEndian.Uint64(d.buf[d.off:]))
+	d.off += 8
+	return v
+}
+
+// Floats decodes a float64 slice.
+func (d *Decoder) Floats() []float64 {
+	if !d.expect(kindFloats, "floats") {
+		return nil
+	}
+	n := d.uvarint("floats length")
+	if d.err != nil {
+		return nil
+	}
+	if uint64(len(d.buf)-d.off) < n*8 {
+		d.fail("floats body")
+		return nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.BigEndian.Uint64(d.buf[d.off:]))
+		d.off += 8
+	}
+	return out
+}
+
+// Uint64s decodes a uint64 slice.
+func (d *Decoder) Uint64s() []uint64 {
+	if !d.expect(kindUint64s, "uint64s") {
+		return nil
+	}
+	n := d.uvarint("uint64s length")
+	if d.err != nil {
+		return nil
+	}
+	if n > uint64(len(d.buf)-d.off) { // each element is at least one byte
+		d.fail("uint64s body")
+		return nil
+	}
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = d.uvarint("uint64s element")
+		if d.err != nil {
+			return nil
+		}
+	}
+	return out
+}
+
+// Bytes decodes a byte slice. The result aliases the blob.
+func (d *Decoder) Bytes() []byte {
+	if !d.expect(kindBytes, "bytes") {
+		return nil
+	}
+	n := d.uvarint("bytes length")
+	if d.err != nil {
+		return nil
+	}
+	if uint64(len(d.buf)-d.off) < n {
+		d.fail("bytes body")
+		return nil
+	}
+	out := d.buf[d.off : d.off+int(n)]
+	d.off += int(n)
+	return out
+}
+
+// String decodes a string.
+func (d *Decoder) String() string {
+	if !d.expect(kindString, "string") {
+		return ""
+	}
+	n := d.uvarint("string length")
+	if d.err != nil {
+		return ""
+	}
+	if uint64(len(d.buf)-d.off) < n {
+		d.fail("string body")
+		return ""
+	}
+	out := string(d.buf[d.off : d.off+int(n)])
+	d.off += int(n)
+	return out
+}
+
+// Bool decodes a bool.
+func (d *Decoder) Bool() bool {
+	if !d.expect(kindBool, "bool") {
+		return false
+	}
+	if d.off >= len(d.buf) {
+		d.fail("bool")
+		return false
+	}
+	v := d.buf[d.off] != 0
+	d.off++
+	return v
+}
+
+// Duration decodes a time.Duration.
+func (d *Decoder) Duration() time.Duration {
+	if !d.expect(kindDur, "duration") {
+		return 0
+	}
+	return time.Duration(d.varint("duration"))
+}

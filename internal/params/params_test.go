@@ -1,0 +1,98 @@
+package params
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestRoundTrip(t *testing.T) {
+	e := NewEncoder(64)
+	e.Uint(77).Int(-5).Float(2.5).Floats([]float64{1, 2, 3}).
+		Bytes([]byte{9, 8}).Bool(true).Duration(3 * time.Second).
+		String("name").Uint64s([]uint64{4, 5})
+	d := NewDecoder(e.Blob())
+	if d.Uint() != 77 || d.Int() != -5 || d.Float() != 2.5 {
+		t.Fatal("scalar mismatch")
+	}
+	fs := d.Floats()
+	if len(fs) != 3 || fs[2] != 3 {
+		t.Fatalf("floats = %v", fs)
+	}
+	if !bytes.Equal(d.Bytes(), []byte{9, 8}) {
+		t.Fatal("bytes mismatch")
+	}
+	if !d.Bool() || d.Duration() != 3*time.Second {
+		t.Fatal("bool/duration mismatch")
+	}
+	if d.String() != "name" {
+		t.Fatal("string mismatch")
+	}
+	us := d.Uint64s()
+	if len(us) != 2 || us[1] != 5 {
+		t.Fatalf("uint64s = %v", us)
+	}
+	if d.Err() != nil {
+		t.Fatalf("err = %v", d.Err())
+	}
+	if d.Remaining() {
+		t.Fatal("leftover bytes")
+	}
+}
+
+func TestTypeMismatch(t *testing.T) {
+	e := NewEncoder(8)
+	e.Uint(1)
+	d := NewDecoder(e.Blob())
+	if d.Float() != 0 {
+		t.Fatal("mismatched decode should zero")
+	}
+	if d.Err() == nil {
+		t.Fatal("expected type error")
+	}
+}
+
+func TestEmptyBlob(t *testing.T) {
+	d := NewDecoder(nil)
+	if d.Floats() != nil || d.Err() == nil {
+		t.Fatal("empty blob should fail cleanly")
+	}
+}
+
+func TestQuickFloats(t *testing.T) {
+	f := func(vals []float64) bool {
+		for i, v := range vals {
+			if math.IsNaN(v) {
+				vals[i] = 0 // NaN != NaN; exclude from equality check
+			}
+		}
+		e := NewEncoder(8 * len(vals))
+		e.Floats(vals)
+		got := NewDecoder(e.Blob()).Floats()
+		if len(got) != len(vals) {
+			return false
+		}
+		for i := range vals {
+			if got[i] != vals[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncoderReset(t *testing.T) {
+	e := NewEncoder(16)
+	e.Uint(1)
+	e.Reset()
+	e.Uint(2)
+	d := NewDecoder(e.Blob())
+	if d.Uint() != 2 || d.Remaining() {
+		t.Fatal("reset did not clear")
+	}
+}

@@ -1,0 +1,75 @@
+package proto
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestUnmarshalNeverPanics feeds arbitrary bytes to the decoder: network
+// input must produce errors, never panics. Both fully random buffers and
+// corrupted valid messages are exercised.
+func TestUnmarshalNeverPanics(t *testing.T) {
+	f := func(b []byte) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Errorf("panic on %x: %v", b, r)
+			}
+		}()
+		_, _ = Unmarshal(b)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestUnmarshalCorruptedMessages truncates and bit-flips every valid
+// message form.
+func TestUnmarshalCorruptedMessages(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, m := range everyMessage() {
+		raw := Marshal(m)
+		// Every truncation point.
+		for cut := 0; cut <= len(raw); cut++ {
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Fatalf("%s: panic at truncation %d: %v", m.Kind(), cut, r)
+					}
+				}()
+				_, _ = Unmarshal(raw[:cut])
+			}()
+		}
+		// Random bit flips.
+		for trial := 0; trial < 50; trial++ {
+			mut := append([]byte(nil), raw...)
+			if len(mut) == 0 {
+				continue
+			}
+			mut[rng.Intn(len(mut))] ^= byte(1 << rng.Intn(8))
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Fatalf("%s: panic on bit flip: %v", m.Kind(), r)
+					}
+				}()
+				_, _ = Unmarshal(mut)
+			}()
+		}
+	}
+}
+
+// TestMarshalSizes documents the control-message sizes that matter for
+// the paper's message-count arguments: a steady-state instantiation
+// message must be tiny relative to per-task scheduling traffic.
+func TestMarshalSizes(t *testing.T) {
+	inst := Marshal(&InstantiateTemplate{Template: 1000, Instance: 50, Base: 1 << 40, DoneWatermark: 1 << 39})
+	if len(inst) > 64 {
+		t.Errorf("instantiation message is %d bytes; the steady-state cost should stay tens of bytes", len(inst))
+	}
+	blockDone := Marshal(&BlockDone{Worker: 100, Instance: 50})
+	if len(blockDone) > 16 {
+		t.Errorf("block-done message is %d bytes", len(blockDone))
+	}
+}

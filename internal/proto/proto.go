@@ -1,0 +1,1040 @@
+// Package proto defines the Nimbus control-plane and data-plane messages
+// and their binary wire codec.
+//
+// Message flows (paper Figure 2):
+//
+//	driver     → controller : variables, stages, template start/end,
+//	                          block instantiation, gets, barriers
+//	controller → driver     : get results, barrier acks
+//	controller → worker     : command spawning, worker-template install/
+//	                          instantiate (with edits), patch install/
+//	                          instantiate, halt/resume, checkpoint
+//	worker     → controller : registration, batched completions, block
+//	                          completion, heartbeats, fetched objects
+//	worker     → worker     : data payloads (push model)
+//
+// The codec is a one-byte message kind followed by the message body in the
+// wire package's varint encoding. Marshal/Unmarshal round every message
+// through a flat []byte so the same messages flow over the in-memory and
+// TCP transports unchanged.
+package proto
+
+import (
+	"fmt"
+
+	"nimbus/internal/command"
+	"nimbus/internal/ids"
+	"nimbus/internal/params"
+	"nimbus/internal/wire"
+)
+
+// Msg is implemented by every control-plane message.
+type Msg interface {
+	// Kind returns the message discriminator byte.
+	Kind() MsgKind
+	encode(w *wire.Writer)
+	decode(r *wire.Reader) error
+}
+
+// MsgKind discriminates message types on the wire.
+type MsgKind uint8
+
+// Message kinds.
+const (
+	KindRegisterWorker MsgKind = iota + 1
+	KindRegisterWorkerAck
+	KindRegisterDriver
+	KindDefineVariable
+	KindPut
+	KindGet
+	KindGetResult
+	KindSubmitStage
+	KindTemplateStart
+	KindTemplateEnd
+	KindInstantiateBlock
+	KindBarrier
+	KindBarrierDone
+	KindCheckpointReq
+	KindShutdown
+	KindSpawnCommands
+	KindInstallTemplate
+	KindInstantiateTemplate
+	KindInstallPatch
+	KindInstantiatePatch
+	KindComplete
+	KindBlockDone
+	KindHeartbeat
+	KindFetchObject
+	KindObjectData
+	KindHalt
+	KindHaltAck
+	KindResume
+	KindDataPayload
+	KindErrorMsg
+)
+
+// String returns the message kind name.
+func (k MsgKind) String() string {
+	names := map[MsgKind]string{
+		KindRegisterWorker:      "register-worker",
+		KindRegisterWorkerAck:   "register-worker-ack",
+		KindRegisterDriver:      "register-driver",
+		KindDefineVariable:      "define-variable",
+		KindPut:                 "put",
+		KindGet:                 "get",
+		KindGetResult:           "get-result",
+		KindSubmitStage:         "submit-stage",
+		KindTemplateStart:       "template-start",
+		KindTemplateEnd:         "template-end",
+		KindInstantiateBlock:    "instantiate-block",
+		KindBarrier:             "barrier",
+		KindBarrierDone:         "barrier-done",
+		KindCheckpointReq:       "checkpoint",
+		KindShutdown:            "shutdown",
+		KindSpawnCommands:       "spawn-commands",
+		KindInstallTemplate:     "install-template",
+		KindInstantiateTemplate: "instantiate-template",
+		KindInstallPatch:        "install-patch",
+		KindInstantiatePatch:    "instantiate-patch",
+		KindComplete:            "complete",
+		KindBlockDone:           "block-done",
+		KindHeartbeat:           "heartbeat",
+		KindFetchObject:         "fetch-object",
+		KindObjectData:          "object-data",
+		KindHalt:                "halt",
+		KindHaltAck:             "halt-ack",
+		KindResume:              "resume",
+		KindDataPayload:         "data-payload",
+		KindErrorMsg:            "error",
+	}
+	if n, ok := names[k]; ok {
+		return n
+	}
+	return fmt.Sprintf("msg(%d)", uint8(k))
+}
+
+// Marshal encodes m with its kind prefix.
+func Marshal(m Msg) []byte {
+	var w wire.Writer
+	w.Buf = make([]byte, 0, 64)
+	w.Byte(byte(m.Kind()))
+	m.encode(&w)
+	return w.Buf
+}
+
+// MarshalInto encodes m into w (kind prefix included), reusing w's buffer.
+func MarshalInto(m Msg, w *wire.Writer) {
+	w.Byte(byte(m.Kind()))
+	m.encode(w)
+}
+
+// Unmarshal decodes one message from b.
+func Unmarshal(b []byte) (Msg, error) {
+	r := wire.NewReader(b)
+	kind := MsgKind(r.Byte())
+	if r.Err != nil {
+		return nil, r.Err
+	}
+	m := newMsg(kind)
+	if m == nil {
+		return nil, fmt.Errorf("proto: unknown message kind %d", kind)
+	}
+	if err := m.decode(r); err != nil {
+		return nil, fmt.Errorf("proto: decoding %s: %w", kind, err)
+	}
+	return m, nil
+}
+
+func newMsg(kind MsgKind) Msg {
+	switch kind {
+	case KindRegisterWorker:
+		return &RegisterWorker{}
+	case KindRegisterWorkerAck:
+		return &RegisterWorkerAck{}
+	case KindRegisterDriver:
+		return &RegisterDriver{}
+	case KindDefineVariable:
+		return &DefineVariable{}
+	case KindPut:
+		return &Put{}
+	case KindGet:
+		return &Get{}
+	case KindGetResult:
+		return &GetResult{}
+	case KindSubmitStage:
+		return &SubmitStage{}
+	case KindTemplateStart:
+		return &TemplateStart{}
+	case KindTemplateEnd:
+		return &TemplateEnd{}
+	case KindInstantiateBlock:
+		return &InstantiateBlock{}
+	case KindBarrier:
+		return &Barrier{}
+	case KindBarrierDone:
+		return &BarrierDone{}
+	case KindCheckpointReq:
+		return &CheckpointReq{}
+	case KindShutdown:
+		return &Shutdown{}
+	case KindSpawnCommands:
+		return &SpawnCommands{}
+	case KindInstallTemplate:
+		return &InstallTemplate{}
+	case KindInstantiateTemplate:
+		return &InstantiateTemplate{}
+	case KindInstallPatch:
+		return &InstallPatch{}
+	case KindInstantiatePatch:
+		return &InstantiatePatch{}
+	case KindComplete:
+		return &Complete{}
+	case KindBlockDone:
+		return &BlockDone{}
+	case KindHeartbeat:
+		return &Heartbeat{}
+	case KindFetchObject:
+		return &FetchObject{}
+	case KindObjectData:
+		return &ObjectData{}
+	case KindHalt:
+		return &Halt{}
+	case KindHaltAck:
+		return &HaltAck{}
+	case KindResume:
+		return &Resume{}
+	case KindDataPayload:
+		return &DataPayload{}
+	case KindErrorMsg:
+		return &ErrorMsg{}
+	default:
+		return nil
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Registration
+
+// RegisterWorker is the first message a worker sends to the controller.
+// DataAddr is the worker's data-plane listen address, which the controller
+// distributes so workers can exchange data directly (control-plane
+// requirement 2, paper §3.1).
+type RegisterWorker struct {
+	DataAddr string
+	// Slots is the number of tasks the worker executes concurrently
+	// (c3.2xlarge workers in the paper have 8 cores).
+	Slots int
+}
+
+// Kind implements Msg.
+func (*RegisterWorker) Kind() MsgKind { return KindRegisterWorker }
+
+func (m *RegisterWorker) encode(w *wire.Writer) {
+	w.String(m.DataAddr)
+	w.Uvarint(uint64(m.Slots))
+}
+
+func (m *RegisterWorker) decode(r *wire.Reader) error {
+	m.DataAddr = r.String()
+	m.Slots = int(r.Uvarint())
+	return r.Err
+}
+
+// RegisterWorkerAck assigns the worker its ID and tells it about its peers'
+// data-plane addresses. Peers is keyed by worker ID; updates arrive as new
+// workers join.
+type RegisterWorkerAck struct {
+	Worker ids.WorkerID
+	Peers  map[ids.WorkerID]string
+	// Eager selects per-command completion reporting (central/Spark-like
+	// mode, where the controller dispatches successors itself) instead of
+	// batched reporting (Nimbus mode).
+	Eager bool
+}
+
+// Kind implements Msg.
+func (*RegisterWorkerAck) Kind() MsgKind { return KindRegisterWorkerAck }
+
+func (m *RegisterWorkerAck) encode(w *wire.Writer) {
+	w.Uvarint(uint64(m.Worker))
+	w.Uvarint(uint64(len(m.Peers)))
+	for id, addr := range m.Peers {
+		w.Uvarint(uint64(id))
+		w.String(addr)
+	}
+	w.Bool(m.Eager)
+}
+
+func (m *RegisterWorkerAck) decode(r *wire.Reader) error {
+	m.Worker = ids.WorkerID(r.Uvarint())
+	n := r.Count()
+	if r.Err != nil {
+		return r.Err
+	}
+	m.Peers = make(map[ids.WorkerID]string, n)
+	for i := 0; i < n; i++ {
+		id := ids.WorkerID(r.Uvarint())
+		m.Peers[id] = r.String()
+	}
+	m.Eager = r.Bool()
+	return r.Err
+}
+
+// RegisterDriver is the first message a driver sends to the controller.
+type RegisterDriver struct {
+	Name string
+}
+
+// Kind implements Msg.
+func (*RegisterDriver) Kind() MsgKind { return KindRegisterDriver }
+
+func (m *RegisterDriver) encode(w *wire.Writer) { w.String(m.Name) }
+
+func (m *RegisterDriver) decode(r *wire.Reader) error {
+	m.Name = r.String()
+	return r.Err
+}
+
+// ---------------------------------------------------------------------------
+// Driver → controller: data model and stages
+
+// DefineVariable declares an application variable with a partition count.
+type DefineVariable struct {
+	Var        ids.VariableID
+	Name       string
+	Partitions int
+}
+
+// Kind implements Msg.
+func (*DefineVariable) Kind() MsgKind { return KindDefineVariable }
+
+func (m *DefineVariable) encode(w *wire.Writer) {
+	w.Uvarint(uint64(m.Var))
+	w.String(m.Name)
+	w.Uvarint(uint64(m.Partitions))
+}
+
+func (m *DefineVariable) decode(r *wire.Reader) error {
+	m.Var = ids.VariableID(r.Uvarint())
+	m.Name = r.String()
+	m.Partitions = int(r.Uvarint())
+	return r.Err
+}
+
+// Put uploads initial contents for one partition of a variable. The
+// controller forwards the bytes to the owning worker.
+type Put struct {
+	Var       ids.VariableID
+	Partition int
+	Data      []byte
+}
+
+// Kind implements Msg.
+func (*Put) Kind() MsgKind { return KindPut }
+
+func (m *Put) encode(w *wire.Writer) {
+	w.Uvarint(uint64(m.Var))
+	w.Uvarint(uint64(m.Partition))
+	w.Bytes(m.Data)
+}
+
+func (m *Put) decode(r *wire.Reader) error {
+	m.Var = ids.VariableID(r.Uvarint())
+	m.Partition = int(r.Uvarint())
+	m.Data = r.BytesCopy()
+	return r.Err
+}
+
+// Get requests the current contents of one partition. It is a
+// synchronization point: the controller answers after all submitted work
+// that writes the partition has completed. Data-dependent loop conditions
+// (paper §2.4) are driven by Gets.
+type Get struct {
+	Seq       uint64
+	Var       ids.VariableID
+	Partition int
+}
+
+// Kind implements Msg.
+func (*Get) Kind() MsgKind { return KindGet }
+
+func (m *Get) encode(w *wire.Writer) {
+	w.Uvarint(m.Seq)
+	w.Uvarint(uint64(m.Var))
+	w.Uvarint(uint64(m.Partition))
+}
+
+func (m *Get) decode(r *wire.Reader) error {
+	m.Seq = r.Uvarint()
+	m.Var = ids.VariableID(r.Uvarint())
+	m.Partition = int(r.Uvarint())
+	return r.Err
+}
+
+// GetResult answers a Get.
+type GetResult struct {
+	Seq  uint64
+	Data []byte
+}
+
+// Kind implements Msg.
+func (*GetResult) Kind() MsgKind { return KindGetResult }
+
+func (m *GetResult) encode(w *wire.Writer) {
+	w.Uvarint(m.Seq)
+	w.Bytes(m.Data)
+}
+
+func (m *GetResult) decode(r *wire.Reader) error {
+	m.Seq = r.Uvarint()
+	m.Data = r.BytesCopy()
+	return r.Err
+}
+
+// AccessPattern describes how a stage's tasks map onto a variable's
+// partitions.
+type AccessPattern uint8
+
+// Access patterns.
+const (
+	// OnePerTask: task t accesses partition t. Requires the variable's
+	// partition count to equal the stage's task count.
+	OnePerTask AccessPattern = iota + 1
+	// Shared: every task accesses partition 0 (broadcast reads of scalars
+	// such as model parameters; single-writer scalars when Tasks == 1).
+	Shared
+	// Grouped: task t accesses the contiguous group of partitions
+	// [t*K, (t+1)*K) where K = partitions/tasks. Reduction trees use this.
+	Grouped
+	// FixedPartition: every task accesses the partition named in the ref.
+	FixedPartition
+	// Stencil: task t accesses partitions [t-r, t+r] clamped to the
+	// variable's range, where r is the ref's Fixed field (default radius
+	// 1 when Fixed is 0). Grid codes use it for halo exchange between
+	// neighboring strips; the copies it implies live inside templates.
+	Stencil
+)
+
+// VarRef names one variable access of a stage.
+type VarRef struct {
+	Var     ids.VariableID
+	Write   bool
+	Pattern AccessPattern
+	// Fixed is the partition for FixedPartition.
+	Fixed int
+}
+
+func (v *VarRef) encode(w *wire.Writer) {
+	w.Uvarint(uint64(v.Var))
+	w.Bool(v.Write)
+	w.Byte(byte(v.Pattern))
+	w.Uvarint(uint64(v.Fixed))
+}
+
+func (v *VarRef) decode(r *wire.Reader) error {
+	v.Var = ids.VariableID(r.Uvarint())
+	v.Write = r.Bool()
+	v.Pattern = AccessPattern(r.Byte())
+	v.Fixed = int(r.Uvarint())
+	return r.Err
+}
+
+// SubmitStage submits one parallel operation. The controller expands it
+// into Tasks task commands plus whatever copy commands data placement
+// requires.
+type SubmitStage struct {
+	Stage ids.StageID
+	Fn    ids.FunctionID
+	Tasks int
+	Refs  []VarRef
+	// Params is the shared parameter blob passed to every task. Inside a
+	// template recording it becomes a parameter slot (re-supplied on each
+	// instantiation); outside, it is sent as-is.
+	Params params.Blob
+	// PerTask optionally carries distinct parameters per task (used by
+	// data-generation stages). Stages with PerTask parameters cannot be
+	// recorded into templates.
+	PerTask []params.Blob
+}
+
+// Kind implements Msg.
+func (*SubmitStage) Kind() MsgKind { return KindSubmitStage }
+
+func (m *SubmitStage) encode(w *wire.Writer) {
+	w.Uvarint(uint64(m.Stage))
+	w.Uvarint(uint64(m.Fn))
+	w.Uvarint(uint64(m.Tasks))
+	w.Uvarint(uint64(len(m.Refs)))
+	for i := range m.Refs {
+		m.Refs[i].encode(w)
+	}
+	w.Bytes(m.Params)
+	w.Uvarint(uint64(len(m.PerTask)))
+	for _, p := range m.PerTask {
+		w.Bytes(p)
+	}
+}
+
+func (m *SubmitStage) decode(r *wire.Reader) error {
+	m.Stage = ids.StageID(r.Uvarint())
+	m.Fn = ids.FunctionID(r.Uvarint())
+	m.Tasks = int(r.Uvarint())
+	n := r.Count()
+	if r.Err != nil {
+		return r.Err
+	}
+	m.Refs = make([]VarRef, n)
+	for i := range m.Refs {
+		if err := m.Refs[i].decode(r); err != nil {
+			return err
+		}
+	}
+	m.Params = params.Blob(r.BytesCopy())
+	np := r.Count()
+	if r.Err != nil {
+		return r.Err
+	}
+	if np > 0 {
+		m.PerTask = make([]params.Blob, np)
+		for i := range m.PerTask {
+			m.PerTask[i] = params.Blob(r.BytesCopy())
+		}
+	}
+	return r.Err
+}
+
+// TemplateStart marks the beginning of a basic block in the driver's task
+// stream (paper §4.1: the programmer marks basic blocks explicitly).
+type TemplateStart struct {
+	Name string
+}
+
+// Kind implements Msg.
+func (*TemplateStart) Kind() MsgKind { return KindTemplateStart }
+
+func (m *TemplateStart) encode(w *wire.Writer) { w.String(m.Name) }
+
+func (m *TemplateStart) decode(r *wire.Reader) error {
+	m.Name = r.String()
+	return r.Err
+}
+
+// TemplateEnd marks the end of a basic block. On receipt the controller
+// post-processes the recorded task graph into a controller template and
+// generates the associated worker templates.
+type TemplateEnd struct {
+	Name string
+}
+
+// Kind implements Msg.
+func (*TemplateEnd) Kind() MsgKind { return KindTemplateEnd }
+
+func (m *TemplateEnd) encode(w *wire.Writer) { w.String(m.Name) }
+
+func (m *TemplateEnd) decode(r *wire.Reader) error {
+	m.Name = r.String()
+	return r.Err
+}
+
+// InstantiateBlock asks the controller to execute an installed controller
+// template again. ParamArray is indexed by the parameter slots recorded at
+// install time (one slot per parameterized stage).
+type InstantiateBlock struct {
+	Name       string
+	ParamArray []params.Blob
+}
+
+// Kind implements Msg.
+func (*InstantiateBlock) Kind() MsgKind { return KindInstantiateBlock }
+
+func (m *InstantiateBlock) encode(w *wire.Writer) {
+	w.String(m.Name)
+	w.Uvarint(uint64(len(m.ParamArray)))
+	for _, p := range m.ParamArray {
+		w.Bytes(p)
+	}
+}
+
+func (m *InstantiateBlock) decode(r *wire.Reader) error {
+	m.Name = r.String()
+	n := r.Count()
+	if r.Err != nil {
+		return r.Err
+	}
+	m.ParamArray = make([]params.Blob, n)
+	for i := range m.ParamArray {
+		m.ParamArray[i] = params.Blob(r.BytesCopy())
+	}
+	return r.Err
+}
+
+// Barrier asks the controller to reply (BarrierDone) once all previously
+// submitted work has completed.
+type Barrier struct {
+	Seq uint64
+}
+
+// Kind implements Msg.
+func (*Barrier) Kind() MsgKind { return KindBarrier }
+
+func (m *Barrier) encode(w *wire.Writer) { w.Uvarint(m.Seq) }
+
+func (m *Barrier) decode(r *wire.Reader) error {
+	m.Seq = r.Uvarint()
+	return r.Err
+}
+
+// BarrierDone answers a Barrier.
+type BarrierDone struct {
+	Seq uint64
+}
+
+// Kind implements Msg.
+func (*BarrierDone) Kind() MsgKind { return KindBarrierDone }
+
+func (m *BarrierDone) encode(w *wire.Writer) { w.Uvarint(m.Seq) }
+
+func (m *BarrierDone) decode(r *wire.Reader) error {
+	m.Seq = r.Uvarint()
+	return r.Err
+}
+
+// CheckpointReq asks the controller to take a checkpoint (paper §4.4):
+// drain worker queues, snapshot the execution state, save live objects.
+type CheckpointReq struct {
+	Seq uint64
+}
+
+// Kind implements Msg.
+func (*CheckpointReq) Kind() MsgKind { return KindCheckpointReq }
+
+func (m *CheckpointReq) encode(w *wire.Writer) { w.Uvarint(m.Seq) }
+
+func (m *CheckpointReq) decode(r *wire.Reader) error {
+	m.Seq = r.Uvarint()
+	return r.Err
+}
+
+// Shutdown terminates a node.
+type Shutdown struct{}
+
+// Kind implements Msg.
+func (*Shutdown) Kind() MsgKind { return KindShutdown }
+
+func (m *Shutdown) encode(*wire.Writer)         {}
+func (m *Shutdown) decode(r *wire.Reader) error { return r.Err }
+
+// ---------------------------------------------------------------------------
+// Controller → worker
+
+// SpawnCommands dispatches concrete commands to a worker. This is the
+// non-template path (and the uncached-patch path). In central mode it
+// carries one command at a time; in Nimbus mode whole stages are batched.
+type SpawnCommands struct {
+	Cmds []*command.Command
+	// Barrier orders the batch as a unit: its commands activate only after
+	// all previously enqueued work on the worker completes. Patches use
+	// it, which is why patch commands need no before sets.
+	Barrier bool
+}
+
+// Kind implements Msg.
+func (*SpawnCommands) Kind() MsgKind { return KindSpawnCommands }
+
+func (m *SpawnCommands) encode(w *wire.Writer) {
+	w.Bool(m.Barrier)
+	w.Uvarint(uint64(len(m.Cmds)))
+	for _, c := range m.Cmds {
+		c.Encode(w)
+	}
+}
+
+func (m *SpawnCommands) decode(r *wire.Reader) error {
+	m.Barrier = r.Bool()
+	n := r.Count()
+	if r.Err != nil {
+		return r.Err
+	}
+	m.Cmds = make([]*command.Command, n)
+	for i := range m.Cmds {
+		m.Cmds[i] = &command.Command{}
+		if err := m.Cmds[i].Decode(r); err != nil {
+			return err
+		}
+	}
+	return r.Err
+}
+
+// InstallTemplate installs a worker template: the worker's slice of a basic
+// block with index-based dependencies (paper §4.1, Figure 5b).
+type InstallTemplate struct {
+	Template ids.TemplateID
+	Name     string
+	Entries  []command.TemplateEntry
+}
+
+// Kind implements Msg.
+func (*InstallTemplate) Kind() MsgKind { return KindInstallTemplate }
+
+func (m *InstallTemplate) encode(w *wire.Writer) {
+	w.Uvarint(uint64(m.Template))
+	w.String(m.Name)
+	w.Uvarint(uint64(len(m.Entries)))
+	for i := range m.Entries {
+		m.Entries[i].Encode(w)
+	}
+}
+
+func (m *InstallTemplate) decode(r *wire.Reader) error {
+	m.Template = ids.TemplateID(r.Uvarint())
+	m.Name = r.String()
+	n := r.Count()
+	if r.Err != nil {
+		return r.Err
+	}
+	m.Entries = make([]command.TemplateEntry, n)
+	for i := range m.Entries {
+		if err := m.Entries[i].Decode(r); err != nil {
+			return err
+		}
+	}
+	return r.Err
+}
+
+// InstantiateTemplate executes an installed worker template: one message
+// per worker per block in the steady state (paper §2.2). Edits, if present,
+// are applied to the installed template before materialization (paper
+// §4.3). DoneWatermark tells the worker that every command with an ID below
+// it has been fully accounted for, letting it prune its completion set.
+type InstantiateTemplate struct {
+	Template ids.TemplateID
+	// Instance identifies this instantiation for BlockDone reporting.
+	Instance uint64
+	// Base is the first CommandID of the instance's contiguous ID block.
+	Base ids.CommandID
+	// ParamArray is indexed by the entries' ParamSlot values.
+	ParamArray []params.Blob
+	// Edits are applied (persistently) before materialization.
+	Edits []command.Edit
+	// DoneWatermark allows pruning the worker's completed-command set.
+	DoneWatermark ids.CommandID
+}
+
+// Kind implements Msg.
+func (*InstantiateTemplate) Kind() MsgKind { return KindInstantiateTemplate }
+
+func (m *InstantiateTemplate) encode(w *wire.Writer) {
+	w.Uvarint(uint64(m.Template))
+	w.Uvarint(m.Instance)
+	w.Uvarint(uint64(m.Base))
+	w.Uvarint(uint64(len(m.ParamArray)))
+	for _, p := range m.ParamArray {
+		w.Bytes(p)
+	}
+	w.Uvarint(uint64(len(m.Edits)))
+	for i := range m.Edits {
+		m.Edits[i].Encode(w)
+	}
+	w.Uvarint(uint64(m.DoneWatermark))
+}
+
+func (m *InstantiateTemplate) decode(r *wire.Reader) error {
+	m.Template = ids.TemplateID(r.Uvarint())
+	m.Instance = r.Uvarint()
+	m.Base = ids.CommandID(r.Uvarint())
+	n := r.Count()
+	if r.Err != nil {
+		return r.Err
+	}
+	m.ParamArray = make([]params.Blob, n)
+	for i := range m.ParamArray {
+		m.ParamArray[i] = params.Blob(r.BytesCopy())
+	}
+	ne := r.Count()
+	if r.Err != nil {
+		return r.Err
+	}
+	m.Edits = make([]command.Edit, ne)
+	for i := range m.Edits {
+		if err := m.Edits[i].Decode(r); err != nil {
+			return err
+		}
+	}
+	m.DoneWatermark = ids.CommandID(r.Uvarint())
+	return r.Err
+}
+
+// InstallPatch caches a patch (a small block of copy commands that
+// satisfies template preconditions) on a worker so later instantiations of
+// the same control-flow transition cost one message (paper §4.2).
+type InstallPatch struct {
+	Patch   ids.PatchID
+	Entries []command.TemplateEntry
+}
+
+// Kind implements Msg.
+func (*InstallPatch) Kind() MsgKind { return KindInstallPatch }
+
+func (m *InstallPatch) encode(w *wire.Writer) {
+	w.Uvarint(uint64(m.Patch))
+	w.Uvarint(uint64(len(m.Entries)))
+	for i := range m.Entries {
+		m.Entries[i].Encode(w)
+	}
+}
+
+func (m *InstallPatch) decode(r *wire.Reader) error {
+	m.Patch = ids.PatchID(r.Uvarint())
+	n := r.Count()
+	if r.Err != nil {
+		return r.Err
+	}
+	m.Entries = make([]command.TemplateEntry, n)
+	for i := range m.Entries {
+		if err := m.Entries[i].Decode(r); err != nil {
+			return err
+		}
+	}
+	return r.Err
+}
+
+// InstantiatePatch executes a cached patch.
+type InstantiatePatch struct {
+	Patch ids.PatchID
+	Base  ids.CommandID
+}
+
+// Kind implements Msg.
+func (*InstantiatePatch) Kind() MsgKind { return KindInstantiatePatch }
+
+func (m *InstantiatePatch) encode(w *wire.Writer) {
+	w.Uvarint(uint64(m.Patch))
+	w.Uvarint(uint64(m.Base))
+}
+
+func (m *InstantiatePatch) decode(r *wire.Reader) error {
+	m.Patch = ids.PatchID(r.Uvarint())
+	m.Base = ids.CommandID(r.Uvarint())
+	return r.Err
+}
+
+// Halt tells a worker to stop executing, flush its queues and acknowledge
+// (fault recovery, paper §4.4).
+type Halt struct {
+	Seq uint64
+}
+
+// Kind implements Msg.
+func (*Halt) Kind() MsgKind { return KindHalt }
+
+func (m *Halt) encode(w *wire.Writer) { w.Uvarint(m.Seq) }
+
+func (m *Halt) decode(r *wire.Reader) error {
+	m.Seq = r.Uvarint()
+	return r.Err
+}
+
+// HaltAck acknowledges a Halt.
+type HaltAck struct {
+	Seq    uint64
+	Worker ids.WorkerID
+}
+
+// Kind implements Msg.
+func (*HaltAck) Kind() MsgKind { return KindHaltAck }
+
+func (m *HaltAck) encode(w *wire.Writer) {
+	w.Uvarint(m.Seq)
+	w.Uvarint(uint64(m.Worker))
+}
+
+func (m *HaltAck) decode(r *wire.Reader) error {
+	m.Seq = r.Uvarint()
+	m.Worker = ids.WorkerID(r.Uvarint())
+	return r.Err
+}
+
+// Resume lifts a Halt.
+type Resume struct{}
+
+// Kind implements Msg.
+func (*Resume) Kind() MsgKind { return KindResume }
+
+func (m *Resume) encode(*wire.Writer)         {}
+func (m *Resume) decode(r *wire.Reader) error { return r.Err }
+
+// ---------------------------------------------------------------------------
+// Worker → controller
+
+// Complete reports finished commands. Workers batch completions to keep
+// control traffic proportional to progress, not task count; in central
+// (Spark-like) mode every command is reported individually because the
+// controller dispatches successors itself.
+type Complete struct {
+	Worker ids.WorkerID
+	IDs    []ids.CommandID
+}
+
+// Kind implements Msg.
+func (*Complete) Kind() MsgKind { return KindComplete }
+
+func (m *Complete) encode(w *wire.Writer) {
+	w.Uvarint(uint64(m.Worker))
+	w.Uvarint(uint64(len(m.IDs)))
+	for _, id := range m.IDs {
+		w.Uvarint(uint64(id))
+	}
+}
+
+func (m *Complete) decode(r *wire.Reader) error {
+	m.Worker = ids.WorkerID(r.Uvarint())
+	n := r.Count()
+	if r.Err != nil {
+		return r.Err
+	}
+	m.IDs = make([]ids.CommandID, n)
+	for i := range m.IDs {
+		m.IDs[i] = ids.CommandID(r.Uvarint())
+	}
+	return r.Err
+}
+
+// BlockDone reports that every command of a template instance assigned to
+// this worker has completed.
+type BlockDone struct {
+	Worker   ids.WorkerID
+	Instance uint64
+}
+
+// Kind implements Msg.
+func (*BlockDone) Kind() MsgKind { return KindBlockDone }
+
+func (m *BlockDone) encode(w *wire.Writer) {
+	w.Uvarint(uint64(m.Worker))
+	w.Uvarint(m.Instance)
+}
+
+func (m *BlockDone) decode(r *wire.Reader) error {
+	m.Worker = ids.WorkerID(r.Uvarint())
+	m.Instance = r.Uvarint()
+	return r.Err
+}
+
+// Heartbeat carries liveness and load statistics. Missed heartbeats mark a
+// worker failed (paper §4.4).
+type Heartbeat struct {
+	Worker  ids.WorkerID
+	Pending int
+	Done    uint64
+}
+
+// Kind implements Msg.
+func (*Heartbeat) Kind() MsgKind { return KindHeartbeat }
+
+func (m *Heartbeat) encode(w *wire.Writer) {
+	w.Uvarint(uint64(m.Worker))
+	w.Uvarint(uint64(m.Pending))
+	w.Uvarint(m.Done)
+}
+
+func (m *Heartbeat) decode(r *wire.Reader) error {
+	m.Worker = ids.WorkerID(r.Uvarint())
+	m.Pending = int(r.Uvarint())
+	m.Done = r.Uvarint()
+	return r.Err
+}
+
+// FetchObject asks a worker for a physical object's contents (serving
+// driver Gets and checkpoint verification).
+type FetchObject struct {
+	Seq    uint64
+	Object ids.ObjectID
+}
+
+// Kind implements Msg.
+func (*FetchObject) Kind() MsgKind { return KindFetchObject }
+
+func (m *FetchObject) encode(w *wire.Writer) {
+	w.Uvarint(m.Seq)
+	w.Uvarint(uint64(m.Object))
+}
+
+func (m *FetchObject) decode(r *wire.Reader) error {
+	m.Seq = r.Uvarint()
+	m.Object = ids.ObjectID(r.Uvarint())
+	return r.Err
+}
+
+// ObjectData answers FetchObject.
+type ObjectData struct {
+	Seq     uint64
+	Object  ids.ObjectID
+	Version uint64
+	Data    []byte
+}
+
+// Kind implements Msg.
+func (*ObjectData) Kind() MsgKind { return KindObjectData }
+
+func (m *ObjectData) encode(w *wire.Writer) {
+	w.Uvarint(m.Seq)
+	w.Uvarint(uint64(m.Object))
+	w.Uvarint(m.Version)
+	w.Bytes(m.Data)
+}
+
+func (m *ObjectData) decode(r *wire.Reader) error {
+	m.Seq = r.Uvarint()
+	m.Object = ids.ObjectID(r.Uvarint())
+	m.Version = r.Uvarint()
+	m.Data = r.BytesCopy()
+	return r.Err
+}
+
+// ---------------------------------------------------------------------------
+// Worker ↔ worker (data plane)
+
+// DataPayload pushes object contents to the worker running the matching
+// CopyRecv command (paper §3.4: asynchronous push model).
+type DataPayload struct {
+	DstCommand ids.CommandID
+	Object     ids.ObjectID
+	Logical    ids.LogicalID
+	Version    uint64
+	Data       []byte
+}
+
+// Kind implements Msg.
+func (*DataPayload) Kind() MsgKind { return KindDataPayload }
+
+func (m *DataPayload) encode(w *wire.Writer) {
+	w.Uvarint(uint64(m.DstCommand))
+	w.Uvarint(uint64(m.Object))
+	w.Uvarint(uint64(m.Logical))
+	w.Uvarint(m.Version)
+	w.Bytes(m.Data)
+}
+
+func (m *DataPayload) decode(r *wire.Reader) error {
+	m.DstCommand = ids.CommandID(r.Uvarint())
+	m.Object = ids.ObjectID(r.Uvarint())
+	m.Logical = ids.LogicalID(r.Uvarint())
+	m.Version = r.Uvarint()
+	m.Data = r.BytesCopy()
+	return r.Err
+}
+
+// ErrorMsg reports a fatal error to the peer.
+type ErrorMsg struct {
+	Text string
+}
+
+// Kind implements Msg.
+func (*ErrorMsg) Kind() MsgKind { return KindErrorMsg }
+
+func (m *ErrorMsg) encode(w *wire.Writer) { w.String(m.Text) }
+
+func (m *ErrorMsg) decode(r *wire.Reader) error {
+	m.Text = r.String()
+	return r.Err
+}

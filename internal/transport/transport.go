@@ -1,0 +1,234 @@
+// Package transport abstracts the message transport connecting Nimbus
+// nodes: driver ↔ controller, controller ↔ workers, and worker ↔ worker
+// (the data plane).
+//
+// Two implementations are provided:
+//
+//   - Mem: an in-process transport with configurable one-way latency. This
+//     is the cluster substitute used by the scaling experiments — the
+//     control-plane code paths (encoding, queueing, dispatch) are identical
+//     to a real deployment; only the wire is a channel plus a latency
+//     model.
+//   - TCP: a length-prefixed framing layer over net.TCPConn for real
+//     multi-process deployments (cmd/nimbus-controller, cmd/nimbus-worker).
+//
+// Both present the same Conn interface: ordered, reliable, message-oriented
+// byte frames.
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// ErrClosed is returned by operations on a closed connection or listener.
+var ErrClosed = errors.New("transport: closed")
+
+// Conn is an ordered, reliable, message-oriented connection.
+type Conn interface {
+	// Send enqueues one message. It must not retain b after returning.
+	Send(b []byte) error
+	// Recv blocks until a message arrives or the connection closes.
+	Recv() ([]byte, error)
+	// Close releases the connection. Pending Recv calls return ErrClosed.
+	Close() error
+}
+
+// Listener accepts inbound connections at an address.
+type Listener interface {
+	// Accept blocks until an inbound connection arrives.
+	Accept() (Conn, error)
+	// Close stops the listener.
+	Close() error
+	// Addr returns the listen address.
+	Addr() string
+}
+
+// Transport creates and accepts connections.
+type Transport interface {
+	// Dial connects to the listener at addr.
+	Dial(addr string) (Conn, error)
+	// Listen starts accepting connections at addr.
+	Listen(addr string) (Listener, error)
+}
+
+// Mem is an in-process Transport. Connections deliver messages after the
+// configured one-way Latency while preserving per-connection FIFO order.
+// The zero value is usable with zero latency; use NewMem to set one.
+type Mem struct {
+	// Latency is the one-way message delay. The default of zero delivers
+	// immediately. 100µs approximates an EC2 placement-group hop (the
+	// paper's testbed).
+	Latency time.Duration
+
+	mu        sync.Mutex
+	listeners map[string]*memListener
+}
+
+// NewMem returns an in-process transport with the given one-way latency.
+func NewMem(latency time.Duration) *Mem {
+	return &Mem{Latency: latency}
+}
+
+// Listen implements Transport.
+func (m *Mem) Listen(addr string) (Listener, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.listeners == nil {
+		m.listeners = make(map[string]*memListener)
+	}
+	if _, ok := m.listeners[addr]; ok {
+		return nil, fmt.Errorf("transport: address %q already in use", addr)
+	}
+	l := &memListener{
+		mem:    m,
+		addr:   addr,
+		accept: make(chan Conn, 16),
+		done:   make(chan struct{}),
+	}
+	m.listeners[addr] = l
+	return l, nil
+}
+
+// Dial implements Transport.
+func (m *Mem) Dial(addr string) (Conn, error) {
+	m.mu.Lock()
+	l := m.listeners[addr]
+	m.mu.Unlock()
+	if l == nil {
+		return nil, fmt.Errorf("transport: no listener at %q", addr)
+	}
+	a, b := Pipe(m.Latency)
+	select {
+	case l.accept <- b:
+		return a, nil
+	case <-l.done:
+		return nil, ErrClosed
+	}
+}
+
+type memListener struct {
+	mem    *Mem
+	addr   string
+	accept chan Conn
+	done   chan struct{}
+	once   sync.Once
+}
+
+func (l *memListener) Accept() (Conn, error) {
+	select {
+	case c := <-l.accept:
+		return c, nil
+	case <-l.done:
+		return nil, ErrClosed
+	}
+}
+
+func (l *memListener) Close() error {
+	l.once.Do(func() {
+		close(l.done)
+		l.mem.mu.Lock()
+		delete(l.mem.listeners, l.addr)
+		l.mem.mu.Unlock()
+	})
+	return nil
+}
+
+func (l *memListener) Addr() string { return l.addr }
+
+// Pipe returns a connected pair of in-process connections with the given
+// one-way latency. It is exported for tests and for wiring single-process
+// clusters without going through Listen/Dial.
+func Pipe(latency time.Duration) (Conn, Conn) {
+	ab := newMemQueue(latency)
+	ba := newMemQueue(latency)
+	a := &memConn{in: ba, out: ab}
+	b := &memConn{in: ab, out: ba}
+	return a, b
+}
+
+// memQueue is an unbounded FIFO that releases messages after a latency.
+// Senders never block (matching the asynchronous push model of the Nimbus
+// data plane) and delivery order is preserved because due times are
+// monotone in enqueue order.
+type memQueue struct {
+	latency time.Duration
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []memItem
+	closed bool
+}
+
+type memItem struct {
+	due     time.Time
+	payload []byte
+}
+
+func newMemQueue(latency time.Duration) *memQueue {
+	q := &memQueue{latency: latency}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+func (q *memQueue) push(b []byte) error {
+	buf := make([]byte, len(b))
+	copy(buf, b)
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return ErrClosed
+	}
+	q.queue = append(q.queue, memItem{due: time.Now().Add(q.latency), payload: buf})
+	q.cond.Signal()
+	return nil
+}
+
+func (q *memQueue) pop() ([]byte, error) {
+	q.mu.Lock()
+	for {
+		if len(q.queue) > 0 {
+			item := q.queue[0]
+			now := time.Now()
+			if wait := item.due.Sub(now); wait > 0 {
+				// Sleep outside the lock, then re-check; only this reader
+				// pops, so the head cannot change out from under us except
+				// by growing.
+				q.mu.Unlock()
+				time.Sleep(wait)
+				q.mu.Lock()
+				continue
+			}
+			q.queue = q.queue[1:]
+			q.mu.Unlock()
+			return item.payload, nil
+		}
+		if q.closed {
+			q.mu.Unlock()
+			return nil, ErrClosed
+		}
+		q.cond.Wait()
+	}
+}
+
+func (q *memQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.cond.Broadcast()
+	q.mu.Unlock()
+}
+
+type memConn struct {
+	in  *memQueue
+	out *memQueue
+}
+
+func (c *memConn) Send(b []byte) error   { return c.out.push(b) }
+func (c *memConn) Recv() ([]byte, error) { return c.in.pop() }
+func (c *memConn) Close() error {
+	c.in.close()
+	c.out.close()
+	return nil
+}

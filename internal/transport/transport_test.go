@@ -1,0 +1,144 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func testConnPair(t *testing.T, tr Transport, addr string) (Conn, Conn) {
+	t.Helper()
+	l, err := tr.Listen(addr)
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	t.Cleanup(func() { l.Close() })
+	var server Conn
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		server, _ = l.Accept()
+	}()
+	client, err := tr.Dial(l.Addr())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	<-done
+	if server == nil {
+		t.Fatal("accept failed")
+	}
+	return client, server
+}
+
+func exerciseConn(t *testing.T, a, b Conn) {
+	t.Helper()
+	const n = 100
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			if err := a.Send([]byte(fmt.Sprintf("msg-%d", i))); err != nil {
+				t.Errorf("send %d: %v", i, err)
+				return
+			}
+		}
+	}()
+	for i := 0; i < n; i++ {
+		got, err := b.Recv()
+		if err != nil {
+			t.Fatalf("recv %d: %v", i, err)
+		}
+		if want := fmt.Sprintf("msg-%d", i); string(got) != want {
+			t.Fatalf("message %d = %q, want %q (ordering broken)", i, got, want)
+		}
+	}
+	wg.Wait()
+	a.Close()
+	if _, err := b.Recv(); err == nil {
+		t.Fatal("recv after close should fail")
+	}
+}
+
+func TestMemOrderingAndClose(t *testing.T) {
+	a, b := testConnPair(t, NewMem(0), "t1")
+	exerciseConn(t, a, b)
+}
+
+func TestTCPOrderingAndClose(t *testing.T) {
+	a, b := testConnPair(t, TCP{}, "127.0.0.1:0")
+	exerciseConn(t, a, b)
+}
+
+func TestMemLatency(t *testing.T) {
+	const lat = 5 * time.Millisecond
+	a, b := Pipe(lat)
+	defer a.Close()
+	defer b.Close()
+	start := time.Now()
+	if err := a.Send([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Recv(); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < lat {
+		t.Fatalf("delivered in %v, want >= %v", d, lat)
+	}
+}
+
+func TestMemSendDoesNotRetainBuffer(t *testing.T) {
+	a, b := Pipe(0)
+	defer a.Close()
+	defer b.Close()
+	buf := []byte{1, 2, 3}
+	if err := a.Send(buf); err != nil {
+		t.Fatal(err)
+	}
+	buf[0] = 99
+	got, err := b.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 1 {
+		t.Fatal("transport aliases the sender's buffer")
+	}
+}
+
+func TestMemDuplicateListen(t *testing.T) {
+	m := NewMem(0)
+	if _, err := m.Listen("dup"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Listen("dup"); err == nil {
+		t.Fatal("duplicate listen should fail")
+	}
+}
+
+func TestMemDialUnknown(t *testing.T) {
+	m := NewMem(0)
+	if _, err := m.Dial("nowhere"); err == nil {
+		t.Fatal("dial to unknown address should fail")
+	}
+}
+
+func TestTCPLargeFrame(t *testing.T) {
+	a, b := testConnPair(t, TCP{}, "127.0.0.1:0")
+	defer a.Close()
+	defer b.Close()
+	big := make([]byte, 1<<20)
+	for i := range big {
+		big[i] = byte(i)
+	}
+	if err := a.Send(big); err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(big) || got[12345] != big[12345] {
+		t.Fatal("large frame corrupted")
+	}
+}

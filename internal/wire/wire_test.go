@@ -1,0 +1,128 @@
+package wire
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTrip(t *testing.T) {
+	var w Writer
+	w.Byte(7)
+	w.Uvarint(0)
+	w.Uvarint(1<<63 + 5)
+	w.Varint(-42)
+	w.Uint32(0xdeadbeef)
+	w.Uint64(1 << 60)
+	w.Float64(math.Pi)
+	w.Bool(true)
+	w.Bool(false)
+	w.Bytes([]byte("hello"))
+	w.String("world")
+	w.Uvarints([]uint64{1, 2, 3})
+	w.Float64s([]float64{0.5, -0.5})
+
+	r := NewReader(w.Buf)
+	if got := r.Byte(); got != 7 {
+		t.Fatalf("byte = %d", got)
+	}
+	if got := r.Uvarint(); got != 0 {
+		t.Fatalf("uvarint = %d", got)
+	}
+	if got := r.Uvarint(); got != 1<<63+5 {
+		t.Fatalf("uvarint = %d", got)
+	}
+	if got := r.Varint(); got != -42 {
+		t.Fatalf("varint = %d", got)
+	}
+	if got := r.Uint32(); got != 0xdeadbeef {
+		t.Fatalf("uint32 = %x", got)
+	}
+	if got := r.Uint64(); got != 1<<60 {
+		t.Fatalf("uint64 = %x", got)
+	}
+	if got := r.Float64(); got != math.Pi {
+		t.Fatalf("float = %v", got)
+	}
+	if !r.Bool() || r.Bool() {
+		t.Fatalf("bools wrong")
+	}
+	if got := r.Bytes(); !bytes.Equal(got, []byte("hello")) {
+		t.Fatalf("bytes = %q", got)
+	}
+	if got := r.String(); got != "world" {
+		t.Fatalf("string = %q", got)
+	}
+	u := r.Uvarints()
+	if len(u) != 3 || u[0] != 1 || u[2] != 3 {
+		t.Fatalf("uvarints = %v", u)
+	}
+	f := r.Float64s()
+	if len(f) != 2 || f[0] != 0.5 || f[1] != -0.5 {
+		t.Fatalf("float64s = %v", f)
+	}
+	if r.Err != nil {
+		t.Fatalf("reader error: %v", r.Err)
+	}
+	if r.Remaining() != 0 {
+		t.Fatalf("remaining = %d", r.Remaining())
+	}
+}
+
+func TestTruncation(t *testing.T) {
+	var w Writer
+	w.Bytes([]byte("payload"))
+	for cut := 0; cut < w.Len(); cut++ {
+		r := NewReader(w.Buf[:cut])
+		r.Bytes()
+		if r.Err == nil {
+			t.Fatalf("no error at cut %d", cut)
+		}
+	}
+}
+
+func TestErrLatched(t *testing.T) {
+	r := NewReader(nil)
+	_ = r.Uint64()
+	if r.Err == nil {
+		t.Fatal("expected error")
+	}
+	first := r.Err
+	_ = r.Byte()
+	_ = r.String()
+	if r.Err != first {
+		t.Fatalf("error replaced: %v", r.Err)
+	}
+}
+
+// Property: any (uvarint, bytes, varint) triple round-trips.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(u uint64, b []byte, i int64, s string) bool {
+		var w Writer
+		w.Uvarint(u)
+		w.Bytes(b)
+		w.Varint(i)
+		w.String(s)
+		r := NewReader(w.Buf)
+		gu := r.Uvarint()
+		gb := r.Bytes()
+		gi := r.Varint()
+		gs := r.String()
+		return r.Err == nil && gu == u && bytes.Equal(gb, b) && gi == i && gs == s
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBytesCopyIndependence(t *testing.T) {
+	var w Writer
+	w.Bytes([]byte{1, 2, 3})
+	r := NewReader(w.Buf)
+	got := r.BytesCopy()
+	w.Buf[len(w.Buf)-1] = 99
+	if got[2] != 3 {
+		t.Fatalf("BytesCopy aliases the buffer")
+	}
+}

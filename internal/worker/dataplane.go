@@ -1,0 +1,96 @@
+package worker
+
+import (
+	"sync"
+
+	"nimbus/internal/ids"
+	"nimbus/internal/proto"
+)
+
+// peerConn is an asynchronous outbound data-plane connection to one peer
+// worker. Sends enqueue without blocking the event loop (the paper's copy
+// commands use asynchronous I/O so they never block a worker thread,
+// §3.4); a writer goroutine drains the queue.
+type peerConn struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  [][]byte
+	closed bool
+}
+
+func newPeerConn() *peerConn {
+	pc := &peerConn{}
+	pc.cond = sync.NewCond(&pc.mu)
+	return pc
+}
+
+func (pc *peerConn) send(b []byte) {
+	pc.mu.Lock()
+	if !pc.closed {
+		pc.queue = append(pc.queue, b)
+		pc.cond.Signal()
+	}
+	pc.mu.Unlock()
+}
+
+func (pc *peerConn) next() ([]byte, bool) {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	for len(pc.queue) == 0 && !pc.closed {
+		pc.cond.Wait()
+	}
+	if len(pc.queue) == 0 {
+		return nil, false
+	}
+	b := pc.queue[0]
+	pc.queue = pc.queue[1:]
+	return b, true
+}
+
+func (pc *peerConn) close() {
+	pc.mu.Lock()
+	pc.closed = true
+	pc.cond.Broadcast()
+	pc.mu.Unlock()
+}
+
+// sendPeer routes one payload to a peer worker, dialing its data-plane
+// address on first use. Workers exchange data directly — the controller is
+// never on the data path (control-plane requirement 2, paper §3.1).
+func (w *Worker) sendPeer(dst ids.WorkerID, p *proto.DataPayload) {
+	pc, ok := w.peerConns[dst]
+	if !ok {
+		addr, have := w.peers[dst]
+		if !have {
+			w.cfg.Logf("worker %s: no data-plane address for peer %s", w.id, dst)
+			return
+		}
+		pc = newPeerConn()
+		w.peerConns[dst] = pc
+		w.wg.Add(1)
+		go w.peerWriter(pc, addr, dst)
+	}
+	pc.send(proto.Marshal(p))
+}
+
+func (w *Worker) peerWriter(pc *peerConn, addr string, dst ids.WorkerID) {
+	defer w.wg.Done()
+	conn, err := w.cfg.Transport.Dial(addr)
+	if err != nil {
+		w.cfg.Logf("worker %s: dialing peer %s at %s: %v", w.id, dst, addr, err)
+		pc.close()
+		return
+	}
+	defer conn.Close()
+	for {
+		b, ok := pc.next()
+		if !ok {
+			return
+		}
+		if err := conn.Send(b); err != nil {
+			w.cfg.Logf("worker %s: sending to peer %s: %v", w.id, dst, err)
+			pc.close()
+			return
+		}
+	}
+}

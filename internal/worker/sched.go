@@ -1,0 +1,357 @@
+package worker
+
+import (
+	"nimbus/internal/command"
+	"nimbus/internal/datastore"
+	"nimbus/internal/fn"
+	"nimbus/internal/ids"
+	"nimbus/internal/params"
+	"nimbus/internal/proto"
+)
+
+// enqueue admits a unit of work. Non-barrier batches activate immediately;
+// barrier units (template instances and patches) wait until every command
+// that arrived before them has completed. The per-unit wait count is
+// maintained against arrival sequence numbers so that commands arriving
+// *after* a queued unit — which may legitimately depend on the unit's own
+// commands — can never deadlock its activation.
+func (w *Worker) enqueue(u *unit) {
+	if w.halted {
+		return
+	}
+	u.seq = w.arrival
+	w.arrival++
+	u.remaining = len(u.cmds)
+	if !u.barrier {
+		w.activate(u)
+		w.dispatch()
+		return
+	}
+	u.waitCount = w.unfin
+	for _, q := range w.units {
+		if !q.activated {
+			u.waitCount += len(q.cmds)
+		}
+	}
+	if u.waitCount == 0 && len(w.units) == 0 {
+		w.activate(u)
+	} else {
+		w.units = append(w.units, u)
+	}
+	w.dispatch()
+}
+
+// activate admits a unit's commands into the pending set, resolving their
+// before sets against the local completion state (control-plane
+// requirement 1: workers determine runnability locally).
+func (w *Worker) activate(u *unit) {
+	u.activated = true
+	if len(u.cmds) == 0 {
+		w.completeUnit(u)
+		return
+	}
+	for _, c := range u.cmds {
+		pc := &pcmd{cmd: c, seq: u.seq, unit: u, epoch: w.haltEpoch}
+		w.pending[c.ID] = pc
+		w.unfin++
+		for _, dep := range c.Before {
+			if w.isDone(dep) {
+				continue
+			}
+			w.waiters[dep] = append(w.waiters[dep], pc)
+			pc.missing++
+		}
+		if c.Kind == command.CopyRecv {
+			if _, ok := w.payloads[c.ID]; !ok {
+				pc.needPayload = true
+				w.payWait[c.ID] = pc
+				pc.missing++
+			}
+		}
+		if pc.missing == 0 {
+			w.makeRunnable(pc)
+		}
+	}
+}
+
+func (w *Worker) isDone(id ids.CommandID) bool {
+	if id < w.doneLow {
+		return true
+	}
+	_, ok := w.done[id]
+	return ok
+}
+
+// makeRunnable routes a dependency-free command: tasks queue for executor
+// slots; control commands (copies, data, file) execute inline — they are
+// bookkeeping and I/O initiation, not computation.
+func (w *Worker) makeRunnable(pc *pcmd) {
+	if pc.cmd.Kind == command.Task {
+		w.runnable = append(w.runnable, pc)
+		return
+	}
+	w.execInline(pc)
+}
+
+// dispatch starts queued tasks while executor slots are free.
+func (w *Worker) dispatch() {
+	for w.freeSlots > 0 && len(w.runnable) > 0 {
+		pc := w.runnable[0]
+		w.runnable = w.runnable[1:]
+		w.freeSlots--
+		w.wg.Add(1)
+		go w.runTask(pc)
+	}
+}
+
+// runTask executes one task command on an executor goroutine.
+func (w *Worker) runTask(pc *pcmd) {
+	defer w.wg.Done()
+	c := pc.cmd
+	f := w.reg.Lookup(c.Function)
+	if f == nil {
+		w.cfg.Logf("worker %s: unknown function %s", w.id, c.Function)
+		w.postDone(pc)
+		return
+	}
+	reads := make([][]byte, len(c.Reads))
+	for i, obj := range c.Reads {
+		reads[i] = w.store.Ensure(obj, ids.NoLogical).Data
+	}
+	writeObjs := make([]*datastore.Object, len(c.Writes))
+	writes := make([][]byte, len(c.Writes))
+	for i, obj := range c.Writes {
+		o := w.store.Ensure(obj, ids.NoLogical)
+		writeObjs[i] = o
+		writes[i] = o.Data
+	}
+	ctx := fn.NewCtx(w.id, c.Params, reads, writes)
+	if err := f(ctx); err != nil {
+		w.cfg.Logf("worker %s: task %s (%s) failed: %v", w.id, c.ID, c.Function, err)
+	}
+	for i, o := range writeObjs {
+		data, _ := ctx.Result(i)
+		o.Data = data
+		o.Version++
+	}
+	w.Stats.TasksRun.Add(1)
+	w.postDone(pc)
+}
+
+// postDone reports a command completion back to the event loop.
+func (w *Worker) postDone(pc *pcmd) {
+	select {
+	case w.events <- event{kind: evDone, cmd: pc}:
+	case <-w.stopped:
+	}
+}
+
+// execInline runs a non-task command synchronously on the event loop and
+// completes it. Completion cascades (handleDone may make further inline
+// commands runnable) are handled by direct recursion.
+func (w *Worker) execInline(pc *pcmd) {
+	c := pc.cmd
+	switch c.Kind {
+	case command.CopySend:
+		w.execSend(c)
+	case command.CopyRecv:
+		w.execRecv(c)
+	case command.LocalCopy:
+		if src := w.store.Get(c.Reads[0]); src != nil {
+			buf := make([]byte, len(src.Data))
+			copy(buf, src.Data)
+			w.store.Install(c.Writes[0], c.Logical, src.Version, buf)
+		}
+	case command.Create:
+		buf := make([]byte, len(c.Params))
+		copy(buf, c.Params)
+		w.store.Install(c.Writes[0], c.Logical, c.Version, buf)
+	case command.Destroy:
+		w.store.Destroy(c.Writes[0])
+	case command.Save:
+		w.execSave(c)
+	case command.Load:
+		w.execLoad(c)
+	default:
+		w.cfg.Logf("worker %s: inline command %s has unexpected kind %s", w.id, c.ID, c.Kind)
+	}
+	w.handleDone(pc)
+}
+
+func (w *Worker) execSend(c *command.Command) {
+	obj := w.store.Get(c.Reads[0])
+	if obj == nil {
+		w.cfg.Logf("worker %s: copy-send %s: missing object %s", w.id, c.ID, c.Reads[0])
+		obj = w.store.Ensure(c.Reads[0], c.Logical)
+	}
+	p := &proto.DataPayload{
+		DstCommand: c.DstCommand,
+		Object:     c.Reads[0],
+		Logical:    c.Logical,
+		Version:    obj.Version,
+		Data:       obj.Data,
+	}
+	w.Stats.CopiesSent.Add(1)
+	if c.DstWorker == w.id {
+		// Self-delivery without a network round trip.
+		buf := make([]byte, len(obj.Data))
+		copy(buf, obj.Data)
+		p.Data = buf
+		w.handlePayload(p)
+		return
+	}
+	w.sendPeer(c.DstWorker, p)
+}
+
+func (w *Worker) execRecv(c *command.Command) {
+	p, ok := w.payloads[c.ID]
+	if !ok {
+		w.cfg.Logf("worker %s: copy-recv %s activated without payload", w.id, c.ID)
+		return
+	}
+	delete(w.payloads, c.ID)
+	logical := c.Logical
+	if logical == ids.NoLogical {
+		logical = p.Logical
+	}
+	w.store.Install(c.Writes[0], logical, p.Version, p.Data)
+	w.Stats.CopiesRecv.Add(1)
+}
+
+func (w *Worker) execSave(c *command.Command) {
+	if w.durable == nil {
+		w.cfg.Logf("worker %s: save %s: no durable store configured", w.id, c.ID)
+		return
+	}
+	ckpt := params.NewDecoder(c.Params).Uint()
+	obj := w.store.Get(c.Reads[0])
+	if obj == nil {
+		w.cfg.Logf("worker %s: save %s: missing object %s", w.id, c.ID, c.Reads[0])
+		return
+	}
+	if err := w.durable.Save(ckpt, c.Logical, obj.Version, obj.Data); err != nil {
+		w.cfg.Logf("worker %s: save %s: %v", w.id, c.ID, err)
+	}
+}
+
+func (w *Worker) execLoad(c *command.Command) {
+	if w.durable == nil {
+		w.cfg.Logf("worker %s: load %s: no durable store configured", w.id, c.ID)
+		return
+	}
+	ckpt := params.NewDecoder(c.Params).Uint()
+	data, version, err := w.durable.Load(ckpt, c.Logical)
+	if err != nil {
+		w.cfg.Logf("worker %s: load %s: %v", w.id, c.ID, err)
+		return
+	}
+	w.store.Install(c.Writes[0], c.Logical, version, data)
+}
+
+// handlePayload routes an arriving data payload: wake the waiting receive
+// command, or buffer the payload until its command activates (payloads may
+// outrun commands because the data plane is independent of the control
+// plane).
+func (w *Worker) handlePayload(p *proto.DataPayload) {
+	if pc, ok := w.payWait[p.DstCommand]; ok {
+		delete(w.payWait, p.DstCommand)
+		w.payloads[p.DstCommand] = p
+		pc.missing--
+		if pc.missing == 0 {
+			w.makeRunnable(pc)
+			w.dispatch()
+		}
+		return
+	}
+	w.payloads[p.DstCommand] = p
+}
+
+// handleDone retires a completed command: record completion, wake waiters,
+// advance barrier counts, credit the executor slot, report to the
+// controller, and activate any unit whose barrier cleared.
+func (w *Worker) handleDone(pc *pcmd) {
+	if pc.epoch != w.haltEpoch {
+		// Completed after a halt flushed the queues; the command's state
+		// was already discarded.
+		if pc.cmd.Kind == command.Task {
+			w.freeSlots++
+			w.dispatch()
+		}
+		return
+	}
+	id := pc.cmd.ID
+	delete(w.pending, id)
+	w.done[id] = struct{}{}
+	w.unfin--
+	w.Stats.CommandsDone.Add(1)
+	if pc.cmd.Kind == command.Task {
+		w.freeSlots++
+	}
+
+	// Advance barriers of units that arrived after this command.
+	for _, u := range w.units {
+		if !u.activated && u.seq > pc.seq {
+			u.waitCount--
+		}
+	}
+
+	if ws := w.waiters[id]; len(ws) > 0 {
+		delete(w.waiters, id)
+		for _, wpc := range ws {
+			wpc.missing--
+			if wpc.missing == 0 {
+				w.makeRunnable(wpc)
+			}
+		}
+	}
+
+	if u := pc.unit; u != nil {
+		u.remaining--
+		if u.remaining == 0 {
+			w.completeUnit(u)
+		}
+	}
+
+	// Completion reporting: per-command in eager (central) mode; batched
+	// in Nimbus mode, with instance commands elided entirely — BlockDone
+	// subsumes them (paper §2.2: n+1 messages per steady-state block).
+	if pc.unit == nil || pc.unit.instance == 0 {
+		w.completions = append(w.completions, id)
+		if w.eager || len(w.completions) >= w.cfg.CompletionBatch || w.unfin == 0 {
+			w.flushCompletions()
+		}
+	} else if w.unfin == 0 && len(w.completions) > 0 {
+		w.flushCompletions()
+	}
+
+	w.tryActivateUnits()
+	w.dispatch()
+}
+
+func (w *Worker) completeUnit(u *unit) {
+	if u.instance != 0 {
+		_ = w.sendCtrl(&proto.BlockDone{Worker: w.id, Instance: u.instance})
+	}
+}
+
+func (w *Worker) flushCompletions() {
+	if len(w.completions) == 0 {
+		return
+	}
+	msg := &proto.Complete{Worker: w.id, IDs: w.completions}
+	_ = w.sendCtrl(msg)
+	w.completions = nil
+}
+
+// tryActivateUnits activates queued units, in order, whose barriers have
+// cleared.
+func (w *Worker) tryActivateUnits() {
+	for len(w.units) > 0 {
+		head := w.units[0]
+		if head.waitCount > 0 {
+			return
+		}
+		w.units = w.units[1:]
+		w.activate(head)
+	}
+}

@@ -1,0 +1,112 @@
+package worker
+
+import (
+	"time"
+
+	"nimbus/internal/command"
+	"nimbus/internal/ids"
+	"nimbus/internal/proto"
+)
+
+// wtemplate is an installed worker template: the worker's slice of a basic
+// block with index-based structure, cached for cheap re-instantiation
+// (paper §4.1, Figure 5b). Entries are addressed by their global index;
+// removed entries (edits) leave nil holes.
+type wtemplate struct {
+	id      ids.TemplateID
+	name    string
+	entries map[int32]*command.TemplateEntry
+}
+
+func (w *Worker) installTemplate(m *proto.InstallTemplate) {
+	start := time.Now()
+	t := &wtemplate{
+		id:      m.Template,
+		name:    m.Name,
+		entries: make(map[int32]*command.TemplateEntry, len(m.Entries)),
+	}
+	for i := range m.Entries {
+		e := m.Entries[i]
+		t.entries[e.Index] = &e
+	}
+	w.templates[m.Template] = t
+	w.Stats.TemplatesSeen.Add(1)
+	w.Stats.InstallNanos.Add(uint64(time.Since(start)))
+}
+
+// instantiate materializes one template instance: apply edits (persistent,
+// paper §4.3), prune the completion set by the watermark, translate every
+// cached entry into a concrete command with IDs base+index, and enqueue
+// the lot as one barrier unit.
+func (w *Worker) instantiate(m *proto.InstantiateTemplate) {
+	start := time.Now()
+	t, ok := w.templates[m.Template]
+	if !ok {
+		w.cfg.Logf("worker %s: instantiate of unknown template %s", w.id, m.Template)
+		_ = w.sendCtrl(&proto.ErrorMsg{Text: "unknown template"})
+		return
+	}
+	for i := range m.Edits {
+		w.applyEdit(t, &m.Edits[i])
+	}
+	if m.DoneWatermark > w.doneLow {
+		w.pruneDone(m.DoneWatermark)
+	}
+	cmds := make([]*command.Command, 0, len(t.entries))
+	for _, e := range t.entries {
+		c := &command.Command{}
+		e.Materialize(m.Base, m.ParamArray, c)
+		cmds = append(cmds, c)
+	}
+	w.Stats.Instantiations.Add(1)
+	w.Stats.InstantiateNanos.Add(uint64(time.Since(start)))
+	w.enqueue(&unit{barrier: true, instance: m.Instance, cmds: cmds})
+}
+
+func (w *Worker) applyEdit(t *wtemplate, e *command.Edit) {
+	for _, idx := range e.Remove {
+		delete(t.entries, idx)
+	}
+	for i := range e.Add {
+		ne := e.Add[i]
+		t.entries[ne.Index] = &ne
+	}
+	w.Stats.EditsApplied.Add(uint64(len(e.Remove) + len(e.Add)))
+}
+
+// instantiatePatch materializes a cached patch as a barrier unit; patch
+// entries carry no before sets because the barrier orders them against
+// surrounding template instances (paper §4.2).
+func (w *Worker) instantiatePatch(m *proto.InstantiatePatch) {
+	entries, ok := w.patches[m.Patch]
+	if !ok {
+		w.cfg.Logf("worker %s: instantiate of unknown patch %s", w.id, m.Patch)
+		_ = w.sendCtrl(&proto.ErrorMsg{Text: "unknown patch"})
+		return
+	}
+	cmds := make([]*command.Command, 0, len(entries))
+	for i := range entries {
+		c := &command.Command{}
+		entries[i].Materialize(m.Base, nil, c)
+		cmds = append(cmds, c)
+	}
+	w.Stats.PatchesRun.Add(1)
+	w.enqueue(&unit{barrier: true, cmds: cmds})
+}
+
+// pruneDone drops completion records below the watermark: the controller
+// guarantees every command with a lower ID has been fully accounted for,
+// so membership tests can answer by comparison.
+func (w *Worker) pruneDone(mark ids.CommandID) {
+	w.doneLow = mark
+	for id := range w.done {
+		if id < mark {
+			delete(w.done, id)
+		}
+	}
+	for id := range w.payloads {
+		if id < mark {
+			delete(w.payloads, id)
+		}
+	}
+}

@@ -1,0 +1,466 @@
+// Package worker implements the Nimbus worker node.
+//
+// A worker satisfies the control-plane requirements of paper §3.1:
+//
+//  1. It maintains a queue of commands and determines locally when they
+//     are runnable, by resolving before sets against its own completion
+//     set — no round trips to the controller.
+//  2. It exchanges data directly with peer workers over the data plane,
+//     using the explicit routing carried by copy commands.
+//  3. It executes fine-grained tasks through a slot-limited executor pool.
+//
+// The worker also caches worker templates and patches: an
+// InstantiateTemplate message materializes thousands of commands from the
+// cached structure with a single base ID and a parameter array
+// (paper §4.1), applying any attached edits first (paper §4.3).
+//
+// All mutable state is confined to a single event loop goroutine; executor
+// goroutines, connection pumps and timers communicate with it through the
+// event channel.
+package worker
+
+import (
+	"fmt"
+	"log"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"nimbus/internal/command"
+	"nimbus/internal/datastore"
+	"nimbus/internal/durable"
+	"nimbus/internal/fn"
+	"nimbus/internal/ids"
+	"nimbus/internal/proto"
+	"nimbus/internal/transport"
+)
+
+// Config configures a worker.
+type Config struct {
+	// ControlAddr is the controller's control-plane address.
+	ControlAddr string
+	// DataAddr is this worker's data-plane listen address.
+	DataAddr string
+	// Transport connects the control and data planes.
+	Transport transport.Transport
+	// Slots is the executor concurrency (paper testbed: 8 cores). Zero
+	// defaults to 8.
+	Slots int
+	// Registry resolves task functions. Nil defaults to the built-ins.
+	Registry *fn.Registry
+	// Durable backs checkpoint save/load commands.
+	Durable durable.Store
+	// HeartbeatEvery is the heartbeat period (zero disables heartbeats;
+	// the controller then relies on connection liveness).
+	HeartbeatEvery time.Duration
+	// CompletionBatch caps how many completions accumulate before a
+	// report is flushed in batched mode. Zero defaults to 64.
+	CompletionBatch int
+	// Logf receives diagnostics. Nil defaults to log.Printf.
+	Logf func(format string, args ...any)
+}
+
+// Stats exposes worker counters (read with atomic loads).
+type Stats struct {
+	TasksRun       atomic.Uint64
+	CopiesSent     atomic.Uint64
+	CopiesRecv     atomic.Uint64
+	CommandsDone   atomic.Uint64
+	TemplatesSeen  atomic.Uint64
+	Instantiations atomic.Uint64
+	EditsApplied   atomic.Uint64
+	PatchesRun     atomic.Uint64
+
+	// InstallNanos / InstantiateNanos accumulate worker-side time in
+	// template install and instantiation (paper Tables 1-2).
+	InstallNanos     atomic.Uint64
+	InstantiateNanos atomic.Uint64
+}
+
+// Worker is one Nimbus worker node.
+type Worker struct {
+	cfg   Config
+	id    ids.WorkerID
+	eager bool
+
+	ctrl    transport.Conn
+	events  chan event
+	stopped chan struct{}
+	stopErr error
+	wg      sync.WaitGroup
+
+	store   *datastore.Store
+	reg     *fn.Registry
+	durable durable.Store
+
+	// Control state (event-loop confined).
+	pending   map[ids.CommandID]*pcmd
+	waiters   map[ids.CommandID][]*pcmd
+	done      map[ids.CommandID]struct{}
+	doneLow   ids.CommandID
+	payloads  map[ids.CommandID]*proto.DataPayload
+	payWait   map[ids.CommandID]*pcmd
+	units     []*unit // queued barrier units awaiting activation
+	arrival   uint64  // arrival sequence counter
+	unfin     int     // activated, unfinished commands
+	runnable  []*pcmd
+	freeSlots int
+	haltEpoch uint64
+	halted    bool
+
+	templates map[ids.TemplateID]*wtemplate
+	patches   map[ids.PatchID][]command.TemplateEntry
+
+	peers     map[ids.WorkerID]string
+	peerConns map[ids.WorkerID]*peerConn
+
+	// dataMu guards dataConns, the accepted inbound data-plane
+	// connections, closed at shutdown so their pumps exit.
+	dataMu    sync.Mutex
+	dataConns []transport.Conn
+
+	completions []ids.CommandID
+
+	// Stats is exported for tests and metrics.
+	Stats Stats
+}
+
+// pcmd is a command in flight on the worker.
+type pcmd struct {
+	cmd     *command.Command
+	seq     uint64
+	missing int
+	unit    *unit
+	epoch   uint64
+	// needPayload marks a CopyRecv still waiting for its data.
+	needPayload bool
+}
+
+// unit groups commands that entered together. Instance and barrier units
+// activate only after every command that arrived before them completes.
+type unit struct {
+	barrier   bool
+	instance  uint64 // template instance ID for BlockDone (0 for batches)
+	seq       uint64 // arrival sequence
+	waitCount int    // unfinished commands that arrived earlier
+	cmds      []*command.Command
+	remaining int
+	activated bool
+}
+
+type event struct {
+	kind eventKind
+	msg  proto.Msg
+	cmd  *pcmd
+	err  error
+}
+
+type eventKind uint8
+
+const (
+	evCtrl eventKind = iota + 1
+	evData
+	evDone
+	evTick
+	evClosed
+)
+
+// New creates a worker; Start connects and runs it.
+func New(cfg Config) *Worker {
+	if cfg.Slots <= 0 {
+		cfg.Slots = 8
+	}
+	if cfg.Registry == nil {
+		cfg.Registry = fn.NewRegistry()
+	}
+	if cfg.CompletionBatch <= 0 {
+		cfg.CompletionBatch = 64
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = log.Printf
+	}
+	return &Worker{
+		cfg:       cfg,
+		events:    make(chan event, 1024),
+		stopped:   make(chan struct{}),
+		store:     datastore.New(),
+		reg:       cfg.Registry,
+		durable:   cfg.Durable,
+		pending:   make(map[ids.CommandID]*pcmd),
+		waiters:   make(map[ids.CommandID][]*pcmd),
+		done:      make(map[ids.CommandID]struct{}),
+		payloads:  make(map[ids.CommandID]*proto.DataPayload),
+		payWait:   make(map[ids.CommandID]*pcmd),
+		freeSlots: cfg.Slots,
+		templates: make(map[ids.TemplateID]*wtemplate),
+		patches:   make(map[ids.PatchID][]command.TemplateEntry),
+		peers:     make(map[ids.WorkerID]string),
+		peerConns: make(map[ids.WorkerID]*peerConn),
+	}
+}
+
+// ID returns the controller-assigned worker ID (valid after Start).
+func (w *Worker) ID() ids.WorkerID { return w.id }
+
+// Store exposes the object store (tests and Gets).
+func (w *Worker) Store() *datastore.Store { return w.store }
+
+// Start connects to the controller, registers, and launches the event
+// loop. It returns once registration completes.
+func (w *Worker) Start() error {
+	// Data plane first, so the address is live before the controller
+	// distributes it.
+	dl, err := w.cfg.Transport.Listen(w.cfg.DataAddr)
+	if err != nil {
+		return fmt.Errorf("worker: data listen: %w", err)
+	}
+	ctrl, err := w.cfg.Transport.Dial(w.cfg.ControlAddr)
+	if err != nil {
+		dl.Close()
+		return fmt.Errorf("worker: control dial: %w", err)
+	}
+	w.ctrl = ctrl
+	if err := w.sendCtrl(&proto.RegisterWorker{DataAddr: w.cfg.DataAddr, Slots: w.cfg.Slots}); err != nil {
+		dl.Close()
+		return fmt.Errorf("worker: register: %w", err)
+	}
+	raw, err := ctrl.Recv()
+	if err != nil {
+		dl.Close()
+		return fmt.Errorf("worker: awaiting registration ack: %w", err)
+	}
+	msg, err := proto.Unmarshal(raw)
+	if err != nil {
+		dl.Close()
+		return err
+	}
+	ack, ok := msg.(*proto.RegisterWorkerAck)
+	if !ok {
+		dl.Close()
+		return fmt.Errorf("worker: expected registration ack, got %s", msg.Kind())
+	}
+	w.id = ack.Worker
+	w.eager = ack.Eager
+	for id, addr := range ack.Peers {
+		w.peers[id] = addr
+	}
+
+	w.wg.Add(3)
+	go w.ctrlPump()
+	go w.acceptLoop(dl)
+	go w.run(dl)
+	if w.cfg.HeartbeatEvery > 0 {
+		w.wg.Add(1)
+		go w.heartbeatLoop()
+	}
+	return nil
+}
+
+// Stop shuts the worker down and waits for its goroutines.
+func (w *Worker) Stop() {
+	select {
+	case w.events <- event{kind: evClosed}:
+	case <-w.stopped:
+	}
+	w.wg.Wait()
+}
+
+// Wait blocks until the worker stops (controller shutdown or error).
+func (w *Worker) Wait() error {
+	<-w.stopped
+	w.wg.Wait()
+	return w.stopErr
+}
+
+func (w *Worker) sendCtrl(m proto.Msg) error {
+	return w.ctrl.Send(proto.Marshal(m))
+}
+
+func (w *Worker) ctrlPump() {
+	defer w.wg.Done()
+	for {
+		raw, err := w.ctrl.Recv()
+		if err != nil {
+			select {
+			case w.events <- event{kind: evClosed, err: err}:
+			case <-w.stopped:
+			}
+			return
+		}
+		msg, err := proto.Unmarshal(raw)
+		if err != nil {
+			w.cfg.Logf("worker %s: bad control message: %v", w.id, err)
+			continue
+		}
+		select {
+		case w.events <- event{kind: evCtrl, msg: msg}:
+		case <-w.stopped:
+			return
+		}
+	}
+}
+
+func (w *Worker) acceptLoop(dl transport.Listener) {
+	defer w.wg.Done()
+	for {
+		conn, err := dl.Accept()
+		if err != nil {
+			return
+		}
+		w.dataMu.Lock()
+		w.dataConns = append(w.dataConns, conn)
+		w.dataMu.Unlock()
+		w.wg.Add(1)
+		go w.dataPump(conn)
+	}
+}
+
+func (w *Worker) dataPump(conn transport.Conn) {
+	defer w.wg.Done()
+	for {
+		raw, err := conn.Recv()
+		if err != nil {
+			return
+		}
+		msg, err := proto.Unmarshal(raw)
+		if err != nil {
+			w.cfg.Logf("worker %s: bad data message: %v", w.id, err)
+			continue
+		}
+		select {
+		case w.events <- event{kind: evData, msg: msg}:
+		case <-w.stopped:
+			return
+		}
+	}
+}
+
+func (w *Worker) heartbeatLoop() {
+	defer w.wg.Done()
+	t := time.NewTicker(w.cfg.HeartbeatEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			select {
+			case w.events <- event{kind: evTick}:
+			case <-w.stopped:
+				return
+			}
+		case <-w.stopped:
+			return
+		}
+	}
+}
+
+// run is the event loop owning all control state.
+func (w *Worker) run(dl transport.Listener) {
+	defer w.wg.Done()
+	defer func() {
+		dl.Close()
+		w.closePeers()
+		w.dataMu.Lock()
+		conns := w.dataConns
+		w.dataConns = nil
+		w.dataMu.Unlock()
+		for _, conn := range conns {
+			conn.Close()
+		}
+	}()
+	for ev := range w.events {
+		switch ev.kind {
+		case evCtrl:
+			if shutdown := w.handleCtrl(ev.msg); shutdown {
+				w.finish(nil)
+				return
+			}
+		case evData:
+			if p, ok := ev.msg.(*proto.DataPayload); ok {
+				w.handlePayload(p)
+			}
+		case evDone:
+			w.handleDone(ev.cmd)
+		case evTick:
+			_ = w.sendCtrl(&proto.Heartbeat{
+				Worker:  w.id,
+				Pending: len(w.pending),
+				Done:    w.Stats.CommandsDone.Load(),
+			})
+		case evClosed:
+			w.finish(ev.err)
+			return
+		}
+	}
+}
+
+func (w *Worker) finish(err error) {
+	w.stopErr = err
+	close(w.stopped)
+	w.ctrl.Close()
+}
+
+func (w *Worker) closePeers() {
+	for _, pc := range w.peerConns {
+		pc.close()
+	}
+}
+
+// handleCtrl dispatches one controller message; it reports whether the
+// worker should shut down.
+func (w *Worker) handleCtrl(msg proto.Msg) bool {
+	switch m := msg.(type) {
+	case *proto.RegisterWorkerAck:
+		// Peer updates arrive as repeated acks with the full peer map.
+		for id, addr := range m.Peers {
+			w.peers[id] = addr
+		}
+	case *proto.SpawnCommands:
+		w.enqueue(&unit{barrier: m.Barrier, cmds: m.Cmds})
+	case *proto.InstallTemplate:
+		w.installTemplate(m)
+	case *proto.InstantiateTemplate:
+		w.instantiate(m)
+	case *proto.InstallPatch:
+		w.patches[m.Patch] = m.Entries
+	case *proto.InstantiatePatch:
+		w.instantiatePatch(m)
+	case *proto.FetchObject:
+		w.fetchObject(m)
+	case *proto.Halt:
+		w.halt(m)
+	case *proto.Resume:
+		w.halted = false
+	case *proto.Shutdown:
+		return true
+	default:
+		w.cfg.Logf("worker %s: unexpected control message %s", w.id, msg.Kind())
+	}
+	return false
+}
+
+// halt implements the recovery protocol (paper §4.4): terminate ongoing
+// work, flush queues, acknowledge.
+func (w *Worker) halt(m *proto.Halt) {
+	w.haltEpoch++
+	w.halted = true
+	w.pending = make(map[ids.CommandID]*pcmd)
+	w.waiters = make(map[ids.CommandID][]*pcmd)
+	w.payloads = make(map[ids.CommandID]*proto.DataPayload)
+	w.payWait = make(map[ids.CommandID]*pcmd)
+	w.units = nil
+	w.runnable = nil
+	w.unfin = 0
+	w.freeSlots = w.cfg.Slots
+	w.completions = w.completions[:0]
+	_ = w.sendCtrl(&proto.HaltAck{Seq: m.Seq, Worker: w.id})
+}
+
+func (w *Worker) fetchObject(m *proto.FetchObject) {
+	var data []byte
+	var version uint64
+	if o := w.store.Get(m.Object); o != nil {
+		data = o.Data
+		version = o.Version
+	}
+	_ = w.sendCtrl(&proto.ObjectData{Seq: m.Seq, Object: m.Object, Version: version, Data: data})
+}
