@@ -343,6 +343,79 @@ func BenchmarkEndToEndIteration(b *testing.B) {
 	b.ReportMetric(float64(tasksPerIter)*float64(b.N)/b.Elapsed().Seconds(), "tasks/s")
 }
 
+// ---------------------------------------------------------------------------
+// Control-plane fast path (DESIGN.md §"Control-plane fast path"). The
+// companion smoke tests (internal/proto TestMarshalSteadyStateZeroAlloc,
+// internal/cluster TestSteadyStateFanoutOneFramePerWorker) assert the two
+// properties these benchmarks measure; BenchmarkWatermark lives next to the
+// tracker in internal/controller.
+
+// BenchmarkMarshalSteadyState measures re-encoding the steady-state
+// instantiation message into a pooled buffer — the controller's per-worker
+// marshal cost during templated iteration. Run with -benchmem: the point of
+// the pooled path is 0 allocs/op.
+func BenchmarkMarshalSteadyState(b *testing.B) {
+	msg := &proto.InstantiateTemplate{
+		Template: 7, Instance: 941, Base: 1 << 40, DoneWatermark: 1<<40 - 8101,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf := proto.GetBuf()
+		buf = proto.MarshalAppend(buf, msg)
+		proto.PutBuf(buf)
+	}
+}
+
+// BenchmarkInstantiateFanout measures a steady-state InstantiateBlock
+// fan-out over a Mem cluster end to end, reporting the frames each
+// instantiation puts on the wire (one per participating worker).
+func BenchmarkInstantiateFanout(b *testing.B) {
+	const workers = 16
+	reg := fn.NewRegistry()
+	lr.Register(reg)
+	c, err := cluster.Start(cluster.Options{Workers: workers, Slots: 8, Registry: reg})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Stop()
+	d, err := c.Driver("bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	j, err := lr.Setup(d, lr.Config{
+		Partitions: 64, ReduceFan: 4, Simulated: true,
+		TaskDuration: 50 * time.Microsecond, ReduceDuration: 20 * time.Microsecond,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := j.InstallTemplates(); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 2; i++ { // warm-up: validation + patching
+		if err := j.Optimize(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := d.Barrier(); err != nil {
+		b.Fatal(err)
+	}
+	frames0 := c.Controller.Stats.FramesToWorkers.Load()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := j.Optimize(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := d.Barrier(); err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	frames := c.Controller.Stats.FramesToWorkers.Load() - frames0
+	b.ReportMetric(float64(frames)/float64(b.N), "frames/op")
+}
+
 // BenchmarkProtoCodec measures the wire codec on the hot instantiation
 // message.
 func BenchmarkProtoCodec(b *testing.B) {

@@ -1,0 +1,3 @@
+module nimbus
+
+go 1.21

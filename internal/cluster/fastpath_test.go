@@ -1,0 +1,125 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"nimbus/internal/app/lr"
+	"nimbus/internal/fn"
+)
+
+// TestSteadyStateFanoutOneFramePerWorker asserts the paper's "n+1 control
+// messages in the steady state" at the transport-frame level: after warm-up
+// (validation and patching done), one InstantiateBlock over a Mem cluster
+// of N workers produces exactly N transport frames — the coalescer packs
+// everything staged per worker into a single frame.
+func TestSteadyStateFanoutOneFramePerWorker(t *testing.T) {
+	const workers = 4
+	reg := fn.NewRegistry()
+	lr.Register(reg)
+	c, err := Start(Options{Workers: workers, Slots: 2, Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	d, err := c.Driver("fastpath")
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := lr.Setup(d, lr.Config{
+		Partitions: 8, ReduceFan: 2, Simulated: true,
+		TaskDuration: 100 * time.Microsecond, ReduceDuration: 50 * time.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.InstallTemplates(); err != nil {
+		t.Fatal(err)
+	}
+	// Warm-up: the first instantiation validates preconditions and may
+	// install and run a patch; the second runs auto-validated.
+	for i := 0; i < 2; i++ {
+		if err := j.Optimize(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.Barrier(); err != nil {
+		t.Fatal(err)
+	}
+
+	stats := &c.Controller.Stats
+	frames0 := stats.FramesToWorkers.Load()
+	msgs0 := stats.MsgsToWorkers.Load()
+	const iters = 3
+	for i := 0; i < iters; i++ {
+		if err := j.Optimize(); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Barrier(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	frames := stats.FramesToWorkers.Load() - frames0
+	msgs := stats.MsgsToWorkers.Load() - msgs0
+	if got, want := frames, uint64(workers*iters); got != want {
+		t.Fatalf("steady-state fan-out sent %d frames over %d instantiations, want exactly %d (%d workers); %d messages",
+			got, iters, want, workers, msgs)
+	}
+	// Steady state sends exactly one InstantiateTemplate per worker, so
+	// messages == frames here; a mismatch means something extra leaked
+	// into the steady-state path.
+	if msgs != frames {
+		t.Fatalf("steady state staged %d messages into %d frames; expected 1:1", msgs, frames)
+	}
+}
+
+// TestInstallFanoutCoalesces asserts the coalescer packs the first-use
+// burst — patch install, patch instantiate, and template instantiate for a
+// worker — into one frame per worker: frames stay at one per worker even
+// when multiple messages are staged.
+func TestInstallFanoutCoalesces(t *testing.T) {
+	const workers = 3
+	reg := fn.NewRegistry()
+	lr.Register(reg)
+	c, err := Start(Options{Workers: workers, Slots: 2, Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	d, err := c.Driver("fastpath")
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := lr.Setup(d, lr.Config{
+		Partitions: 6, ReduceFan: 2, Simulated: true,
+		TaskDuration: 100 * time.Microsecond, ReduceDuration: 50 * time.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.InstallTemplates(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Barrier(); err != nil {
+		t.Fatal(err)
+	}
+
+	stats := &c.Controller.Stats
+	frames0 := stats.FramesToWorkers.Load()
+	msgs0 := stats.MsgsToWorkers.Load()
+	// First instantiation after install: validation fails over the
+	// recording's leftovers, so workers receive patch + instantiation
+	// messages in one event.
+	if err := j.Optimize(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Barrier(); err != nil {
+		t.Fatal(err)
+	}
+	frames := stats.FramesToWorkers.Load() - frames0
+	msgs := stats.MsgsToWorkers.Load() - msgs0
+	if frames > workers {
+		t.Fatalf("first instantiation sent %d frames for %d workers (%d messages); the fan-out must coalesce to at most one frame per worker",
+			frames, workers, msgs)
+	}
+}

@@ -22,6 +22,7 @@
 package controller
 
 import (
+	"errors"
 	"fmt"
 	"log"
 	"sort"
@@ -77,9 +78,15 @@ type Config struct {
 // controller CPU time in the corresponding operations; the
 // microbenchmarks (paper Tables 1-3) divide them by task counts.
 type Stats struct {
-	TasksScheduled  atomic.Uint64
-	CopiesInserted  atomic.Uint64
-	MsgsToWorkers   atomic.Uint64
+	TasksScheduled atomic.Uint64
+	CopiesInserted atomic.Uint64
+	MsgsToWorkers  atomic.Uint64
+	// FramesToWorkers counts transport frames actually sent: the send
+	// coalescer packs all messages staged for a worker during one event
+	// into one frame, so FramesToWorkers <= MsgsToWorkers. In the
+	// steady state an InstantiateBlock fan-out is exactly one frame per
+	// participating worker.
+	FramesToWorkers atomic.Uint64
 	BytesToWorkers  atomic.Uint64
 	Instantiations  atomic.Uint64
 	TemplatesBuilt  atomic.Uint64
@@ -138,10 +145,16 @@ type Controller struct {
 	// instantiation of each assignment.
 	pendingEdits map[ids.TemplateID]map[ids.WorkerID][]editStaged
 
-	// Outstanding work.
+	// Outstanding work. wm incrementally tracks the minimum outstanding
+	// command ID / instance base so doneWatermark never rescans the maps.
 	outstanding  map[ids.CommandID]ids.WorkerID
 	instances    map[uint64]*instState
 	nextInstance uint64
+	wm           *wmTracker
+
+	// dirty lists workers with staged messages awaiting the end-of-event
+	// coalesced flush.
+	dirty []*workerState
 
 	// Central-mode dispatch graph.
 	central *centralGraph
@@ -171,6 +184,9 @@ type workerState struct {
 	slots    int
 	alive    bool
 	lastBeat time.Time
+	// outq stages messages for the coalesced per-event flush (event-loop
+	// confined between flushes; a flush goroutine owns it transiently).
+	outq []proto.Msg
 }
 
 type driverState struct {
@@ -260,6 +276,7 @@ func New(cfg Config) *Controller {
 		pendingEdits: make(map[ids.TemplateID]map[ids.WorkerID][]editStaged),
 		outstanding:  make(map[ids.CommandID]ids.WorkerID),
 		instances:    make(map[uint64]*instState),
+		wm:           newWMTracker(),
 		fetches:      make(map[uint64]*pendingFetch),
 	}
 	c.dir = flow.NewDirectory(&c.objIDs)
@@ -293,10 +310,14 @@ func (c *Controller) Stop() {
 			if ws.alive {
 				c.sendWorker(ws, &proto.Shutdown{})
 			}
+		}
+		c.sendDriver(&proto.Shutdown{})
+		// Flush before closing: staged shutdowns must hit the wire.
+		c.flushSends()
+		for _, ws := range c.workers {
 			ws.conn.Close()
 		}
 		if c.driver != nil {
-			_ = c.driver.conn.Send(proto.Marshal(&proto.Shutdown{}))
 			c.driver.conn.Close()
 		}
 	})
@@ -361,6 +382,7 @@ func (c *Controller) handshake(conn transport.Conn) {
 		return
 	}
 	msg, err := proto.Unmarshal(raw)
+	proto.PutBuf(raw)
 	if err != nil {
 		c.cfg.Logf("controller: bad handshake: %v", err)
 		conn.Close()
@@ -379,7 +401,12 @@ func (c *Controller) handshake(conn transport.Conn) {
 	}
 }
 
-// pump forwards a registered connection's messages into the event loop.
+// errPumpStopped aborts a frame iteration when the node shuts down
+// mid-batch.
+var errPumpStopped = errors.New("pump stopped")
+
+// pump forwards a registered connection's messages into the event loop,
+// unpacking batch frames and recycling each frame buffer after decode.
 func (c *Controller) pump(conn transport.Conn, from ids.WorkerID, isDriver bool) {
 	defer c.wg.Done()
 	for {
@@ -391,15 +418,20 @@ func (c *Controller) pump(conn transport.Conn, from ids.WorkerID, isDriver bool)
 			}
 			return
 		}
-		msg, err := proto.Unmarshal(raw)
+		err = proto.ForEachMsg(raw, func(msg proto.Msg) error {
+			select {
+			case c.events <- cevent{kind: cevMsg, msg: msg, from: from, isDrv: isDriver}:
+				return nil
+			case <-c.stopped:
+				return errPumpStopped
+			}
+		})
+		proto.PutBuf(raw)
+		if errors.Is(err, errPumpStopped) {
+			return
+		}
 		if err != nil {
 			c.cfg.Logf("controller: bad message from %s: %v", from, err)
-			continue
-		}
-		select {
-		case c.events <- cevent{kind: cevMsg, msg: msg, from: from, isDrv: isDriver}:
-		case <-c.stopped:
-			return
 		}
 	}
 }
@@ -419,6 +451,9 @@ func (c *Controller) run() {
 			case cevTick:
 				c.checkHeartbeats()
 			}
+			// Everything one event staged goes out as one frame per
+			// worker before the next event is considered.
+			c.flushSends()
 		case <-c.stopped:
 			return
 		}
@@ -518,24 +553,96 @@ func (c *Controller) registerDriver(m *proto.RegisterDriver, conn transport.Conn
 	go c.pump(conn, ids.NoWorker, true)
 }
 
+// sendWorker stages m for ws. Messages staged while handling one event are
+// coalesced into a single transport frame at the end-of-event flush, so an
+// InstantiateBlock fan-out (install + patch + instantiate per worker) costs
+// one frame — one syscall on TCP — per worker. The staged message must not
+// be mutated afterwards.
 func (c *Controller) sendWorker(ws *workerState, m proto.Msg) {
 	if ws == nil || !ws.alive {
 		return
 	}
-	raw := proto.Marshal(m)
-	if err := ws.conn.Send(raw); err != nil {
+	if len(ws.outq) == 0 {
+		c.dirty = append(c.dirty, ws)
+	}
+	ws.outq = append(ws.outq, m)
+	c.Stats.MsgsToWorkers.Add(1)
+}
+
+// parallelFlushMin is the dirty-worker count at which flushSends fans the
+// per-worker frame encodes out to goroutines. Below it the goroutine
+// handoff costs more than the encodes.
+const parallelFlushMin = 4
+
+// flushSends encodes and sends one frame per dirty worker. It runs on the
+// event loop after every event (and explicitly in Stop, before connections
+// close). Wide fan-outs encode in parallel: per-worker frames touch
+// disjoint state, so only the shared Stats counters (atomics) and the pools
+// (sync.Pool) are contended.
+func (c *Controller) flushSends() {
+	if len(c.dirty) == 0 {
+		return
+	}
+	dirty := c.dirty
+	c.dirty = c.dirty[:0]
+	if len(dirty) < parallelFlushMin {
+		for _, ws := range dirty {
+			c.flushWorker(ws)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(len(dirty))
+	for _, ws := range dirty {
+		go func(ws *workerState) {
+			defer wg.Done()
+			c.flushWorker(ws)
+		}(ws)
+	}
+	wg.Wait()
+}
+
+// flushWorker packs ws's staged messages into one frame and sends it,
+// transferring the pooled buffer to the transport when it can take
+// ownership (Mem) and recycling it otherwise (TCP).
+func (c *Controller) flushWorker(ws *workerState) {
+	msgs := ws.outq
+	if len(msgs) == 0 {
+		return
+	}
+	defer func() {
+		for i := range msgs {
+			msgs[i] = nil
+		}
+		ws.outq = msgs[:0]
+	}()
+	if !ws.alive {
+		return
+	}
+	buf := proto.GetBuf()
+	buf = proto.AppendBatch(buf, msgs)
+	c.Stats.FramesToWorkers.Add(1)
+	c.Stats.BytesToWorkers.Add(uint64(len(buf)))
+	owned, err := transport.SendOwned(ws.conn, buf)
+	if err != nil {
 		c.cfg.Logf("controller: send to %s failed: %v", ws.id, err)
 	}
-	c.Stats.MsgsToWorkers.Add(1)
-	c.Stats.BytesToWorkers.Add(uint64(len(raw)))
+	if !owned {
+		proto.PutBuf(buf)
+	}
 }
 
 func (c *Controller) sendDriver(m proto.Msg) {
 	if c.driver == nil {
 		return
 	}
-	if err := c.driver.conn.Send(proto.Marshal(m)); err != nil {
+	buf := proto.MarshalAppend(proto.GetBuf(), m)
+	owned, err := transport.SendOwned(c.driver.conn, buf)
+	if err != nil {
 		c.cfg.Logf("controller: send to driver failed: %v", err)
+	}
+	if !owned {
+		proto.PutBuf(buf)
 	}
 }
 

@@ -145,6 +145,7 @@ func (c *Controller) finishRecovery() {
 	// Flush execution state.
 	c.outstanding = make(map[ids.CommandID]ids.WorkerID)
 	c.instances = make(map[uint64]*instState)
+	c.wm.reset()
 	c.central = newCentralGraph(c)
 	// Requeue interrupted fetches as fresh gets.
 	for _, pf := range c.fetches {

@@ -286,7 +286,7 @@ func (c *Controller) dispatchCommands(batches map[ids.WorkerID][]*command.Comman
 	}
 	for w, cmds := range batches {
 		for _, cmd := range cmds {
-			c.outstanding[cmd.ID] = w
+			c.trackOutstanding(cmd.ID, w)
 		}
 		c.sendWorker(c.workers[w], &proto.SpawnCommands{Cmds: cmds})
 	}
@@ -296,14 +296,24 @@ func (c *Controller) dispatchCommands(batches map[ids.WorkerID][]*command.Comman
 // (uncached patches).
 func (c *Controller) spawnBarrierBatch(w ids.WorkerID, cmds []*command.Command) {
 	for _, cmd := range cmds {
-		c.outstanding[cmd.ID] = w
+		c.trackOutstanding(cmd.ID, w)
 	}
 	c.sendWorker(c.workers[w], &proto.SpawnCommands{Cmds: cmds, Barrier: true})
 }
 
+// trackOutstanding records a dispatched command, feeding the watermark
+// tracker alongside the outstanding map.
+func (c *Controller) trackOutstanding(id ids.CommandID, w ids.WorkerID) {
+	c.outstanding[id] = w
+	c.wm.add(id)
+}
+
 func (c *Controller) handleComplete(m *proto.Complete) {
 	for _, id := range m.IDs {
-		delete(c.outstanding, id)
+		if _, ok := c.outstanding[id]; ok {
+			delete(c.outstanding, id)
+			c.wm.remove(id)
+		}
 	}
 	if c.cfg.Mode == ModeCentral {
 		c.central.complete(m.IDs)
@@ -320,6 +330,7 @@ func (c *Controller) handleBlockDone(m *proto.BlockDone) {
 	delete(inst.pending, m.Worker)
 	if len(inst.pending) == 0 {
 		delete(c.instances, m.Instance)
+		c.wm.remove(inst.base)
 		c.resolveIfQuiet()
 	}
 }

@@ -129,6 +129,7 @@ func (c *Controller) handleInstantiateBlock(m *proto.InstantiateBlock) {
 	}
 	if len(inst.pending) > 0 {
 		c.instances[c.nextInstance] = inst
+		c.wm.add(base)
 	}
 	a.ApplyEffects(base, c.dir, c.ledgers)
 	c.lastBlock = a.ID
@@ -172,7 +173,7 @@ func (c *Controller) applyPatch(a *core.Assignment, viols []core.Violation) bool
 		}
 		c.sendWorker(ws, &proto.InstantiatePatch{Patch: p.ID, Base: base})
 		for _, i := range idxs {
-			c.outstanding[base+ids.CommandID(i)] = w
+			c.trackOutstanding(base+ids.CommandID(i), w)
 		}
 	}
 	p.ApplyEffects(base, c.dir, c.ledgers)
@@ -180,20 +181,12 @@ func (c *Controller) applyPatch(a *core.Assignment, viols []core.Violation) bool
 }
 
 // doneWatermark returns a command ID below which every command is known
-// complete, letting workers prune their completion sets.
+// complete, letting workers prune their completion sets. The minimum over
+// outstanding commands and live instance bases is maintained incrementally
+// by the wm tracker — this used to be an O(outstanding) scan on every
+// block instantiation.
 func (c *Controller) doneWatermark() ids.CommandID {
-	low := ids.CommandID(c.cmdIDs.Peek()) + 1
-	for id := range c.outstanding {
-		if id < low {
-			low = id
-		}
-	}
-	for _, inst := range c.instances {
-		if inst.base < low {
-			low = inst.base
-		}
-	}
-	return low
+	return c.wm.min(ids.CommandID(c.cmdIDs.Peek()) + 1)
 }
 
 // Templates returns the installed template names (call via Do).

@@ -1,0 +1,131 @@
+package controller
+
+import "nimbus/internal/ids"
+
+// wmTracker incrementally maintains the done-watermark: the smallest
+// command ID still covered by outstanding work. The controller previously
+// recomputed it by scanning every outstanding command and instance on each
+// block instantiation — O(outstanding) on the hottest control-plane path.
+// The tracker replaces the scan with a lazy-deletion min-heap: add/remove
+// are O(log n), and min is amortized O(log n) (each stale entry is popped
+// exactly once). All operations are allocation-free once the heap slice and
+// refcount map have reached steady-state size.
+type wmTracker struct {
+	// h is a min-heap of candidate IDs. Removed IDs are not deleted from
+	// the heap; they linger as stale entries until they surface at the top.
+	h []uint64
+	// live refcounts the IDs currently tracked. A heap entry whose
+	// refcount is zero is stale. Refcounts (not a set) make re-adding an ID
+	// whose stale copy is still heap-resident harmless: the stale copy
+	// simply becomes a duplicate of a live value.
+	live map[uint64]int32
+	// refs is the total live reference count (sum of the refcounts).
+	// remove compacts the heap when stale entries dominate, bounding heap
+	// memory even in workloads that never query min (e.g. central mode,
+	// where nothing ever instantiates a template).
+	refs int
+}
+
+func newWMTracker() *wmTracker {
+	return &wmTracker{live: make(map[uint64]int32)}
+}
+
+// add starts tracking id as live outstanding work.
+func (t *wmTracker) add(id ids.CommandID) {
+	v := uint64(id)
+	t.live[v]++
+	t.refs++
+	t.push(v)
+}
+
+// remove stops tracking one reference to id. Removing an untracked id is a
+// no-op so callers need not pre-check membership on duplicate completions.
+func (t *wmTracker) remove(id ids.CommandID) {
+	v := uint64(id)
+	rc, ok := t.live[v]
+	if !ok {
+		return
+	}
+	t.refs--
+	if rc <= 1 {
+		delete(t.live, v)
+	} else {
+		t.live[v] = rc - 1
+	}
+	// Mostly-stale heap: rebuild with one entry per live key. min only
+	// needs every live key present, and the O(live) rebuild is amortized
+	// against the removes that made the entries stale.
+	if len(t.h) > 2*t.refs+64 {
+		t.compact()
+	}
+}
+
+// compact rebuilds the heap from the live set, dropping stale entries and
+// duplicates.
+func (t *wmTracker) compact() {
+	t.h = t.h[:0]
+	for v := range t.live {
+		t.push(v)
+	}
+}
+
+// min returns the smallest live ID, or def when nothing is tracked. Stale
+// heap tops are pruned on the way.
+func (t *wmTracker) min(def ids.CommandID) ids.CommandID {
+	for len(t.h) > 0 {
+		top := t.h[0]
+		if t.live[top] > 0 {
+			return ids.CommandID(top)
+		}
+		t.pop()
+	}
+	return def
+}
+
+// reset drops all tracked work (recovery flushes execution state).
+func (t *wmTracker) reset() {
+	t.h = t.h[:0]
+	clear(t.live)
+	t.refs = 0
+}
+
+// len reports the number of live tracked references (tests).
+func (t *wmTracker) len() int { return t.refs }
+
+// push and pop are a hand-rolled binary min-heap over the raw slice;
+// container/heap would force every value through an interface.
+
+func (t *wmTracker) push(v uint64) {
+	t.h = append(t.h, v)
+	i := len(t.h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if t.h[parent] <= t.h[i] {
+			break
+		}
+		t.h[parent], t.h[i] = t.h[i], t.h[parent]
+		i = parent
+	}
+}
+
+func (t *wmTracker) pop() {
+	n := len(t.h) - 1
+	t.h[0] = t.h[n]
+	t.h = t.h[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && t.h[l] < t.h[smallest] {
+			smallest = l
+		}
+		if r < n && t.h[r] < t.h[smallest] {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		t.h[i], t.h[smallest] = t.h[smallest], t.h[i]
+		i = smallest
+	}
+}

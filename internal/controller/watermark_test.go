@@ -1,0 +1,165 @@
+package controller
+
+import (
+	"math/rand"
+	"testing"
+
+	"nimbus/internal/ids"
+)
+
+// TestWMTrackerAgainstScan drives the tracker with a randomized
+// add/remove/min workload and checks every min against a brute-force scan
+// of the live multiset — the scan the tracker replaced.
+func TestWMTrackerAgainstScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tr := newWMTracker()
+	ref := make(map[uint64]int)
+	refMin := func(def ids.CommandID) ids.CommandID {
+		low := def
+		first := true
+		for id := range ref {
+			if first || ids.CommandID(id) < low {
+				low = ids.CommandID(id)
+				first = false
+			}
+		}
+		return low
+	}
+	var livePool []uint64
+	for op := 0; op < 20000; op++ {
+		switch r := rng.Intn(10); {
+		case r < 5: // add a fresh ID
+			id := uint64(rng.Intn(5000) + 1)
+			tr.add(ids.CommandID(id))
+			ref[id]++
+			livePool = append(livePool, id)
+		case r < 8 && len(livePool) > 0: // remove a live ID
+			i := rng.Intn(len(livePool))
+			id := livePool[i]
+			livePool[i] = livePool[len(livePool)-1]
+			livePool = livePool[:len(livePool)-1]
+			tr.remove(ids.CommandID(id))
+			if ref[id] <= 1 {
+				delete(ref, id)
+			} else {
+				ref[id]--
+			}
+		case r == 8: // remove an untracked ID: must be a no-op
+			tr.remove(ids.CommandID(1 << 50))
+		default:
+			def := ids.CommandID(uint64(rng.Intn(10000)) + 1)
+			if got, want := tr.min(def), refMin(def); got != want {
+				t.Fatalf("op %d: min(%d) = %d, want %d (live %d)",
+					op, def, got, want, len(ref))
+			}
+		}
+	}
+	if got, want := tr.len(), len(livePool); got != want {
+		t.Fatalf("tracker len = %d, want %d", got, want)
+	}
+	tr.reset()
+	if got := tr.min(42); got != 42 {
+		t.Fatalf("min after reset = %d, want default 42", got)
+	}
+	if tr.len() != 0 {
+		t.Fatalf("len after reset = %d, want 0", tr.len())
+	}
+}
+
+// TestWMTrackerDuplicateIDs checks the refcount semantics: an ID added
+// twice stays the min until both references are removed.
+func TestWMTrackerDuplicateIDs(t *testing.T) {
+	tr := newWMTracker()
+	tr.add(10)
+	tr.add(10)
+	tr.add(20)
+	tr.remove(10)
+	if got := tr.min(99); got != 10 {
+		t.Fatalf("min = %d, want 10 (one reference still live)", got)
+	}
+	tr.remove(10)
+	if got := tr.min(99); got != 20 {
+		t.Fatalf("min = %d, want 20", got)
+	}
+	// Re-add while a stale heap copy exists.
+	tr.add(10)
+	if got := tr.min(99); got != 10 {
+		t.Fatalf("min after re-add = %d, want 10", got)
+	}
+	tr.remove(10)
+	tr.remove(20)
+	if got := tr.min(99); got != 99 {
+		t.Fatalf("min when empty = %d, want default", got)
+	}
+}
+
+// TestWMTrackerHeapBounded drives the central-mode shape — heavy
+// add/remove churn with min never queried — and checks the lazy heap
+// compacts instead of accumulating one stale entry per removed command.
+func TestWMTrackerHeapBounded(t *testing.T) {
+	tr := newWMTracker()
+	for i := 1; i <= 200000; i++ {
+		tr.add(ids.CommandID(i))
+		tr.remove(ids.CommandID(i))
+	}
+	if len(tr.h) > 128 {
+		t.Fatalf("heap holds %d entries after draining every command", len(tr.h))
+	}
+	if got := tr.min(7); got != 7 {
+		t.Fatalf("min = %d, want default 7", got)
+	}
+	// Live entries survive compaction.
+	for i := 1; i <= 1000; i++ {
+		tr.add(ids.CommandID(1000 + i))
+	}
+	for i := 1; i <= 20000; i++ {
+		tr.add(ids.CommandID(100000 + i))
+		tr.remove(ids.CommandID(100000 + i))
+	}
+	if got := tr.min(7); got != 1001 {
+		t.Fatalf("min after churn = %d, want 1001", got)
+	}
+}
+
+// BenchmarkWatermark measures the done-watermark query with K outstanding
+// commands, comparing the incremental tracker against the O(K) scan it
+// replaced. "tracker" is the shipped path: steady-state instantiation adds
+// one base, completes one, and queries the min.
+func BenchmarkWatermark(b *testing.B) {
+	const outstanding = 8192
+	b.Run("tracker", func(b *testing.B) {
+		tr := newWMTracker()
+		for i := 1; i <= outstanding; i++ {
+			tr.add(ids.CommandID(i * 10))
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			id := ids.CommandID((outstanding + i + 1) * 10)
+			tr.add(id)
+			if tr.min(id) == 0 {
+				b.Fatal("empty tracker")
+			}
+			tr.remove(id)
+		}
+	})
+	b.Run("scan", func(b *testing.B) {
+		m := make(map[ids.CommandID]ids.WorkerID, outstanding)
+		for i := 1; i <= outstanding; i++ {
+			m[ids.CommandID(i*10)] = 1
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			low := ids.CommandID(1 << 62)
+			for id := range m {
+				if id < low {
+					low = id
+				}
+			}
+			if low == 0 {
+				b.Fatal("empty map")
+			}
+		}
+	})
+}

@@ -37,6 +37,11 @@ type Driver struct {
 	seq       uint64
 	nextVar   ids.VariableID
 	nextStage ids.StageID
+	// inbox holds messages decoded from a batch frame but not yet
+	// consumed by recvUntil; inboxHead indexes the next message so
+	// consumption is O(1) without shifting.
+	inbox     []proto.Msg
+	inboxHead int
 }
 
 // Var is a declared application variable.
@@ -109,18 +114,43 @@ func Connect(tr transport.Transport, addr, name string) (*Driver, error) {
 }
 
 func (d *Driver) send(m proto.Msg) error {
-	return d.conn.Send(proto.Marshal(m))
+	buf := proto.MarshalAppend(proto.GetBuf(), m)
+	owned, err := transport.SendOwned(d.conn, buf)
+	if !owned {
+		proto.PutBuf(buf)
+	}
+	return err
+}
+
+// recvMsg returns the next controller message, unpacking batch frames.
+func (d *Driver) recvMsg() (proto.Msg, error) {
+	for d.inboxHead >= len(d.inbox) {
+		d.inbox = d.inbox[:0]
+		d.inboxHead = 0
+		raw, err := d.conn.Recv()
+		if err != nil {
+			return nil, fmt.Errorf("driver: connection lost: %w", err)
+		}
+		err = proto.ForEachMsg(raw, func(m proto.Msg) error {
+			d.inbox = append(d.inbox, m)
+			return nil
+		})
+		proto.PutBuf(raw)
+		if err != nil {
+			return nil, err
+		}
+	}
+	m := d.inbox[d.inboxHead]
+	d.inbox[d.inboxHead] = nil
+	d.inboxHead++
+	return m, nil
 }
 
 // recvUntil reads messages until pred accepts one, surfacing controller
 // errors.
 func (d *Driver) recvUntil(pred func(proto.Msg) bool) (proto.Msg, error) {
 	for {
-		raw, err := d.conn.Recv()
-		if err != nil {
-			return nil, fmt.Errorf("driver: connection lost: %w", err)
-		}
-		m, err := proto.Unmarshal(raw)
+		m, err := d.recvMsg()
 		if err != nil {
 			return nil, err
 		}

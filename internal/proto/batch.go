@@ -1,0 +1,144 @@
+package proto
+
+import (
+	"fmt"
+	"sync"
+
+	"nimbus/internal/wire"
+)
+
+// This file implements the control-plane fast path's two codec pieces
+// (DESIGN.md §"Control-plane fast path"):
+//
+//   - a sync.Pool-backed encode-buffer pool (GetBuf/PutBuf) so steady-state
+//     frame encoding allocates nothing, and
+//   - the Batch frame: one KindBatch byte, a message count, and the
+//     concatenated kind-prefixed messages. The controller's per-worker send
+//     coalescer uses it to turn an InstantiateBlock fan-out into exactly
+//     one transport frame per worker.
+//
+// Messages are self-delimiting (every decoder consumes exactly the bytes
+// its encoder produced), so a batch needs no per-message length prefixes.
+
+// maxPooledBuf caps the capacity of buffers accepted back into the pool.
+// Data-plane payloads can be megabytes; pinning them in the pool would
+// trade allocation rate for resident memory.
+const maxPooledBuf = 1 << 18
+
+// pooledBuf wraps a byte slice so pool round trips move only pointers.
+// Spent headers (B == nil) park in hdrPool, so neither GetBuf nor PutBuf
+// allocates once both pools are warm.
+type pooledBuf struct{ b []byte }
+
+var bufPool = sync.Pool{New: func() any { return &pooledBuf{b: make([]byte, 0, 1024)} }}
+var hdrPool = sync.Pool{New: func() any { return new(pooledBuf) }}
+
+// writerPool recycles wire.Writers for MarshalAppend/AppendBatch: encode is
+// an interface method, so a stack-allocated Writer would escape.
+var writerPool = sync.Pool{New: func() any { return new(wire.Writer) }}
+
+func getWriter(buf []byte) *wire.Writer {
+	w := writerPool.Get().(*wire.Writer)
+	w.Buf = buf
+	return w
+}
+
+// putWriter detaches and returns the writer's buffer, recycling the writer.
+func putWriter(w *wire.Writer) []byte {
+	buf := w.Buf
+	w.Buf = nil
+	writerPool.Put(w)
+	return buf
+}
+
+// GetBuf returns an empty encode buffer from the pool. Pass it to
+// MarshalAppend/AppendBatch and release it with PutBuf — or hand it to a
+// transport via SendOwned, in which case the receiver releases it.
+func GetBuf() []byte {
+	h := bufPool.Get().(*pooledBuf)
+	b := h.b[:0]
+	h.b = nil
+	hdrPool.Put(h)
+	return b
+}
+
+// PutBuf returns a buffer to the pool. The caller must not use b after.
+// Oversized buffers are dropped so payload-sized frames do not pin memory.
+func PutBuf(b []byte) {
+	if cap(b) == 0 || cap(b) > maxPooledBuf {
+		return
+	}
+	h := hdrPool.Get().(*pooledBuf)
+	h.b = b
+	bufPool.Put(h)
+}
+
+// AppendBatch encodes msgs as a single batch frame onto buf and returns
+// the extended slice. A one-message batch is encoded as the bare message —
+// the frame tax is only paid when there is something to coalesce. Decoders
+// must therefore accept both forms; ForEachMsg does.
+func AppendBatch(buf []byte, msgs []Msg) []byte {
+	if len(msgs) == 1 {
+		return MarshalAppend(buf, msgs[0])
+	}
+	w := getWriter(buf)
+	w.Byte(byte(KindBatch))
+	w.Uvarint(uint64(len(msgs)))
+	for _, m := range msgs {
+		w.Byte(byte(m.Kind()))
+		m.encode(w)
+	}
+	return putWriter(w)
+}
+
+// ForEachMsg decodes a received frame — either a single message or a batch
+// — invoking fn for each message in order. Decoded messages do not alias b,
+// so the caller may recycle b (PutBuf) once ForEachMsg returns. A decode
+// error aborts the iteration; fn errors propagate unchanged.
+func ForEachMsg(b []byte, fn func(Msg) error) error {
+	r := wire.NewReader(b)
+	kind := MsgKind(r.Byte())
+	if r.Err != nil {
+		return r.Err
+	}
+	if kind != KindBatch {
+		m, err := unmarshalBody(kind, r)
+		if err != nil {
+			return err
+		}
+		return fn(m)
+	}
+	n := r.Count()
+	if r.Err != nil {
+		return fmt.Errorf("proto: batch count: %w", r.Err)
+	}
+	for i := 0; i < n; i++ {
+		k := MsgKind(r.Byte())
+		if r.Err != nil {
+			return fmt.Errorf("proto: batch message %d/%d: %w", i, n, r.Err)
+		}
+		m, err := unmarshalBody(k, r)
+		if err != nil {
+			return fmt.Errorf("proto: batch message %d/%d: %w", i, n, err)
+		}
+		if err := fn(m); err != nil {
+			return err
+		}
+	}
+	if r.Remaining() != 0 {
+		return fmt.Errorf("proto: batch frame has %d trailing bytes", r.Remaining())
+	}
+	return nil
+}
+
+// unmarshalBody decodes one message body of the given kind from r.
+func unmarshalBody(kind MsgKind, r *wire.Reader) (Msg, error) {
+	m := newMsg(kind)
+	if m == nil {
+		return nil, fmt.Errorf("proto: unknown message kind %d", kind)
+	}
+	if err := m.decode(r); err != nil {
+		return nil, fmt.Errorf("proto: decoding %s: %w", kind, err)
+	}
+	return m, nil
+}

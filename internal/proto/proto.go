@@ -73,42 +73,54 @@ const (
 	KindErrorMsg
 )
 
+// KindBatch is the frame-level discriminator for a coalesced batch of
+// messages (see batch.go). It is not a Msg kind: newMsg rejects it, and it
+// is deliberately far from the iota block so future message kinds cannot
+// collide with it.
+const KindBatch MsgKind = 0xFF
+
+// kindNames is the static name table indexed by MsgKind; it exists so
+// String never allocates on the hot logging/error paths.
+var kindNames = [...]string{
+	KindRegisterWorker:      "register-worker",
+	KindRegisterWorkerAck:   "register-worker-ack",
+	KindRegisterDriver:      "register-driver",
+	KindDefineVariable:      "define-variable",
+	KindPut:                 "put",
+	KindGet:                 "get",
+	KindGetResult:           "get-result",
+	KindSubmitStage:         "submit-stage",
+	KindTemplateStart:       "template-start",
+	KindTemplateEnd:         "template-end",
+	KindInstantiateBlock:    "instantiate-block",
+	KindBarrier:             "barrier",
+	KindBarrierDone:         "barrier-done",
+	KindCheckpointReq:       "checkpoint",
+	KindShutdown:            "shutdown",
+	KindSpawnCommands:       "spawn-commands",
+	KindInstallTemplate:     "install-template",
+	KindInstantiateTemplate: "instantiate-template",
+	KindInstallPatch:        "install-patch",
+	KindInstantiatePatch:    "instantiate-patch",
+	KindComplete:            "complete",
+	KindBlockDone:           "block-done",
+	KindHeartbeat:           "heartbeat",
+	KindFetchObject:         "fetch-object",
+	KindObjectData:          "object-data",
+	KindHalt:                "halt",
+	KindHaltAck:             "halt-ack",
+	KindResume:              "resume",
+	KindDataPayload:         "data-payload",
+	KindErrorMsg:            "error",
+}
+
 // String returns the message kind name.
 func (k MsgKind) String() string {
-	names := map[MsgKind]string{
-		KindRegisterWorker:      "register-worker",
-		KindRegisterWorkerAck:   "register-worker-ack",
-		KindRegisterDriver:      "register-driver",
-		KindDefineVariable:      "define-variable",
-		KindPut:                 "put",
-		KindGet:                 "get",
-		KindGetResult:           "get-result",
-		KindSubmitStage:         "submit-stage",
-		KindTemplateStart:       "template-start",
-		KindTemplateEnd:         "template-end",
-		KindInstantiateBlock:    "instantiate-block",
-		KindBarrier:             "barrier",
-		KindBarrierDone:         "barrier-done",
-		KindCheckpointReq:       "checkpoint",
-		KindShutdown:            "shutdown",
-		KindSpawnCommands:       "spawn-commands",
-		KindInstallTemplate:     "install-template",
-		KindInstantiateTemplate: "instantiate-template",
-		KindInstallPatch:        "install-patch",
-		KindInstantiatePatch:    "instantiate-patch",
-		KindComplete:            "complete",
-		KindBlockDone:           "block-done",
-		KindHeartbeat:           "heartbeat",
-		KindFetchObject:         "fetch-object",
-		KindObjectData:          "object-data",
-		KindHalt:                "halt",
-		KindHaltAck:             "halt-ack",
-		KindResume:              "resume",
-		KindDataPayload:         "data-payload",
-		KindErrorMsg:            "error",
+	if k == KindBatch {
+		return "batch"
 	}
-	if n, ok := names[k]; ok {
-		return n
+	if int(k) < len(kindNames) && kindNames[k] != "" {
+		return kindNames[k]
 	}
 	return fmt.Sprintf("msg(%d)", uint8(k))
 }
@@ -122,27 +134,33 @@ func Marshal(m Msg) []byte {
 	return w.Buf
 }
 
+// MarshalAppend encodes m (kind prefix included) onto buf and returns the
+// extended slice. With a buffer of sufficient capacity — e.g. one from
+// GetBuf — it performs no allocations, which is what keeps the controller's
+// steady-state instantiation path allocation-free. (The Writer is pooled:
+// encode is an interface call, so a stack Writer would escape and cost one
+// allocation per message.)
+func MarshalAppend(buf []byte, m Msg) []byte {
+	w := getWriter(buf)
+	w.Byte(byte(m.Kind()))
+	m.encode(w)
+	return putWriter(w)
+}
+
 // MarshalInto encodes m into w (kind prefix included), reusing w's buffer.
 func MarshalInto(m Msg, w *wire.Writer) {
 	w.Byte(byte(m.Kind()))
 	m.encode(w)
 }
 
-// Unmarshal decodes one message from b.
+// Unmarshal decodes one message from b. Batch frames need ForEachMsg.
 func Unmarshal(b []byte) (Msg, error) {
 	r := wire.NewReader(b)
 	kind := MsgKind(r.Byte())
 	if r.Err != nil {
 		return nil, r.Err
 	}
-	m := newMsg(kind)
-	if m == nil {
-		return nil, fmt.Errorf("proto: unknown message kind %d", kind)
-	}
-	if err := m.decode(r); err != nil {
-		return nil, fmt.Errorf("proto: decoding %s: %w", kind, err)
-	}
-	return m, nil
+	return unmarshalBody(kind, r)
 }
 
 func newMsg(kind MsgKind) Msg {

@@ -59,6 +59,11 @@ func (l *tcpListener) Addr() string { return l.nl.Addr().String() }
 // tcpConn frames messages over a net.Conn. Sends are serialized by a mutex
 // and flushed immediately: control-plane messages are small and latency
 // sensitive, so batching is left to callers.
+//
+// tcpConn deliberately does not implement OwnedSender: Send copies into the
+// bufio writer and returns without retaining b, so a pooled caller buffer
+// is already reusable the moment Send returns — taking ownership would only
+// move the recycle from the sender (which has the pool warm) to nobody.
 type tcpConn struct {
 	nc net.Conn
 

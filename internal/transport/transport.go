@@ -36,6 +36,28 @@ type Conn interface {
 	Close() error
 }
 
+// OwnedSender is implemented by Conns that can take ownership of a send
+// buffer instead of copying it. Mem implements it: Send's must-not-retain
+// contract forces a defensive copy of every frame, which is pure overhead
+// when the caller hands over a pooled buffer it will never touch again.
+type OwnedSender interface {
+	// SendOwned enqueues b, taking ownership. The caller must not use b
+	// afterwards, even on error. Delivery hands the same slice to the
+	// receiver's Recv.
+	SendOwned(b []byte) error
+}
+
+// SendOwned sends b over c, transferring buffer ownership when c supports
+// it. It reports whether ownership moved: true means the receiver now owns
+// b (recycle it there); false means the Conn copied (or flushed) b and the
+// caller still owns it — typically to return it to a pool.
+func SendOwned(c Conn, b []byte) (owned bool, err error) {
+	if os, ok := c.(OwnedSender); ok {
+		return true, os.SendOwned(b)
+	}
+	return false, c.Send(b)
+}
+
 // Listener accepts inbound connections at an address.
 type Listener interface {
 	// Accept blocks until an inbound connection arrives.
@@ -176,12 +198,18 @@ func newMemQueue(latency time.Duration) *memQueue {
 func (q *memQueue) push(b []byte) error {
 	buf := make([]byte, len(b))
 	copy(buf, b)
+	return q.pushOwned(buf)
+}
+
+// pushOwned enqueues b without copying; the queue owns it from here and
+// delivery hands the same slice to the reader.
+func (q *memQueue) pushOwned(b []byte) error {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	if q.closed {
 		return ErrClosed
 	}
-	q.queue = append(q.queue, memItem{due: time.Now().Add(q.latency), payload: buf})
+	q.queue = append(q.queue, memItem{due: time.Now().Add(q.latency), payload: b})
 	q.cond.Signal()
 	return nil
 }
@@ -225,8 +253,9 @@ type memConn struct {
 	out *memQueue
 }
 
-func (c *memConn) Send(b []byte) error   { return c.out.push(b) }
-func (c *memConn) Recv() ([]byte, error) { return c.in.pop() }
+func (c *memConn) Send(b []byte) error      { return c.out.push(b) }
+func (c *memConn) SendOwned(b []byte) error { return c.out.pushOwned(b) }
+func (c *memConn) Recv() ([]byte, error)    { return c.in.pop() }
 func (c *memConn) Close() error {
 	c.in.close()
 	c.out.close()

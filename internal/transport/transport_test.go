@@ -142,3 +142,109 @@ func TestTCPLargeFrame(t *testing.T) {
 		t.Fatal("large frame corrupted")
 	}
 }
+
+// TestSendOwnedMem verifies the zero-copy hand-off: Mem takes ownership of
+// the buffer and delivers the identical slice to the receiver, interleaved
+// in order with copied Sends.
+func TestSendOwnedMem(t *testing.T) {
+	a, b := Pipe(0)
+	defer a.Close()
+	defer b.Close()
+
+	owned := []byte("owned-frame")
+	taken, err := SendOwned(a, owned)
+	if err != nil {
+		t.Fatalf("SendOwned: %v", err)
+	}
+	if !taken {
+		t.Fatal("Mem conn did not take ownership")
+	}
+	if err := a.Send([]byte("copied-frame")); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := b.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &got[0] != &owned[0] {
+		t.Error("owned frame was copied in transit")
+	}
+	got2, err := b.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got2) != "copied-frame" {
+		t.Fatalf("second frame = %q; ordering broken", got2)
+	}
+}
+
+// TestSendOwnedFallback verifies the helper's contract on conns without
+// OwnedSender support: the caller keeps ownership (owned=false) and the
+// receiver sees an independent copy.
+func TestSendOwnedFallback(t *testing.T) {
+	a, b := Pipe(0)
+	defer a.Close()
+	defer b.Close()
+	// sendOnlyConn (not embedding) hides memConn's SendOwned method.
+	c := sendOnlyConn{a}
+	buf := []byte("frame")
+	taken, err := SendOwned(c, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if taken {
+		t.Fatal("non-OwnedSender reported ownership transfer")
+	}
+	buf[0] = 'X' // caller still owns the buffer; receiver must be unaffected
+	got, err := b.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "frame" {
+		t.Fatalf("got %q, want %q (copy-on-send violated)", got, "frame")
+	}
+}
+
+// sendOnlyConn narrows a Conn to hide any OwnedSender implementation.
+type sendOnlyConn struct{ c Conn }
+
+func (s sendOnlyConn) Send(b []byte) error   { return s.c.Send(b) }
+func (s sendOnlyConn) Recv() ([]byte, error) { return s.c.Recv() }
+func (s sendOnlyConn) Close() error          { return s.c.Close() }
+
+// BenchmarkMemSend quantifies what SendOwned saves: Send pays a defensive
+// copy of every frame to honor the must-not-retain contract; SendOwned
+// moves the slice.
+func BenchmarkMemSend(b *testing.B) {
+	frame := make([]byte, 512)
+	run := func(b *testing.B, send func(Conn, []byte) error) {
+		a, peer := Pipe(0)
+		defer a.Close()
+		defer peer.Close()
+		go func() {
+			for {
+				if _, err := peer.Recv(); err != nil {
+					return
+				}
+			}
+		}()
+		b.SetBytes(int64(len(frame)))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := send(a, frame); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("copy", func(b *testing.B) {
+		run(b, func(c Conn, buf []byte) error { return c.Send(buf) })
+	})
+	b.Run("owned", func(b *testing.B) {
+		run(b, func(c Conn, buf []byte) error {
+			_, err := SendOwned(c, buf)
+			return err
+		})
+	})
+}

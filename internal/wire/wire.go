@@ -258,7 +258,8 @@ func (r *Reader) Float64s() []float64 {
 	if r.Err != nil {
 		return nil
 	}
-	if n*8 > uint64(r.Remaining()) {
+	// Divide instead of multiplying: n*8 can wrap uint64 on hostile input.
+	if n > uint64(r.Remaining())/8 {
 		r.fail("float64s body")
 		return nil
 	}

@@ -126,3 +126,105 @@ func TestBytesCopyIndependence(t *testing.T) {
 		t.Fatalf("BytesCopy aliases the buffer")
 	}
 }
+
+// TestHostileCounts verifies the allocation guards: length prefixes far
+// larger than the remaining input must fail instead of sizing an
+// allocation from attacker-controlled bytes.
+func TestHostileCounts(t *testing.T) {
+	huge := func() Writer {
+		var w Writer
+		w.Uvarint(1 << 50)
+		return w
+	}
+
+	w := huge()
+	r := NewReader(w.Buf)
+	if r.Count(); r.Err == nil {
+		t.Fatal("Count accepted a 2^50 prefix over an empty tail")
+	}
+
+	w = huge()
+	r = NewReader(w.Buf)
+	if got := r.Bytes(); got != nil || r.Err == nil {
+		t.Fatalf("Bytes accepted a 2^50 prefix: %v, err %v", got, r.Err)
+	}
+
+	w = huge()
+	r = NewReader(w.Buf)
+	if got := r.BytesCopy(); got != nil || r.Err == nil {
+		t.Fatalf("BytesCopy accepted a 2^50 prefix: %v, err %v", got, r.Err)
+	}
+
+	w = huge()
+	r = NewReader(w.Buf)
+	if got := r.Uvarints(); got != nil || r.Err == nil {
+		t.Fatalf("Uvarints accepted a 2^50 prefix: %v, err %v", got, r.Err)
+	}
+
+	w = huge()
+	r = NewReader(w.Buf)
+	if got := r.Float64s(); got != nil || r.Err == nil {
+		t.Fatalf("Float64s accepted a 2^50 prefix: %v, err %v", got, r.Err)
+	}
+
+	// A count that fits the remaining bytes but whose elements then run
+	// out must fail on the element reads, not panic.
+	var w2 Writer
+	w2.Uvarint(3)
+	w2.Uvarint(1) // only one element present
+	r = NewReader(w2.Buf)
+	n := r.Count()
+	for i := 0; i < n; i++ {
+		r.Uvarint()
+	}
+	if r.Err == nil {
+		t.Fatal("expected error reading past the declared count")
+	}
+}
+
+// TestFloat64sOverflowCount guards the n*8 length check against uvarint
+// values whose multiplication by eight wraps uint64.
+func TestFloat64sOverflowCount(t *testing.T) {
+	var w Writer
+	w.Uvarint(1<<61 + 1) // *8 wraps to 8
+	w.Float64(1.0)
+	r := NewReader(w.Buf)
+	if got := r.Float64s(); got != nil || r.Err == nil {
+		t.Fatalf("Float64s accepted an overflowing count: %v, err %v", got, r.Err)
+	}
+}
+
+// TestTruncatedEveryPrimitive truncates a buffer holding one of each
+// primitive at every byte offset; every read sequence must end in an error
+// without panicking.
+func TestTruncatedEveryPrimitive(t *testing.T) {
+	var w Writer
+	w.Byte(1)
+	w.Uvarint(300)
+	w.Varint(-300)
+	w.Uint32(7)
+	w.Uint64(9)
+	w.Float64(2.5)
+	w.Bool(true)
+	w.Bytes([]byte("abc"))
+	w.String("de")
+	w.Uvarints([]uint64{1, 2})
+	w.Float64s([]float64{3.5})
+	for cut := 0; cut < w.Len(); cut++ {
+		r := NewReader(w.Buf[:cut])
+		r.Byte()
+		r.Uvarint()
+		r.Varint()
+		r.Uint32()
+		r.Uint64()
+		r.Float64()
+		r.Bool()
+		r.Bytes()
+		_ = r.String()
+		r.Uvarints()
+		r.Float64s()
+		if r.Err == nil {
+			t.Fatalf("no error with %d of %d bytes", cut, w.Len())
+		}
+	}
+}

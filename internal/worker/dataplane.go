@@ -5,6 +5,7 @@ import (
 
 	"nimbus/internal/ids"
 	"nimbus/internal/proto"
+	"nimbus/internal/transport"
 )
 
 // peerConn is an asynchronous outbound data-plane connection to one peer
@@ -70,7 +71,10 @@ func (w *Worker) sendPeer(dst ids.WorkerID, p *proto.DataPayload) {
 		w.wg.Add(1)
 		go w.peerWriter(pc, addr, dst)
 	}
-	pc.send(proto.Marshal(p))
+	// The queue owns the encoded frame; the writer transfers it to the
+	// transport when possible (Mem) so megabyte payloads are not copied a
+	// second time, and recycles it otherwise.
+	pc.send(proto.MarshalAppend(proto.GetBuf(), p))
 }
 
 func (w *Worker) peerWriter(pc *peerConn, addr string, dst ids.WorkerID) {
@@ -87,7 +91,11 @@ func (w *Worker) peerWriter(pc *peerConn, addr string, dst ids.WorkerID) {
 		if !ok {
 			return
 		}
-		if err := conn.Send(b); err != nil {
+		owned, err := transport.SendOwned(conn, b)
+		if !owned {
+			proto.PutBuf(b)
+		}
+		if err != nil {
 			w.cfg.Logf("worker %s: sending to peer %s: %v", w.id, dst, err)
 			pc.close()
 			return

@@ -20,6 +20,7 @@
 package worker
 
 import (
+	"errors"
 	"fmt"
 	"log"
 	"sync"
@@ -230,6 +231,7 @@ func (w *Worker) Start() error {
 		return fmt.Errorf("worker: awaiting registration ack: %w", err)
 	}
 	msg, err := proto.Unmarshal(raw)
+	proto.PutBuf(raw)
 	if err != nil {
 		dl.Close()
 		return err
@@ -273,29 +275,52 @@ func (w *Worker) Wait() error {
 }
 
 func (w *Worker) sendCtrl(m proto.Msg) error {
-	return w.ctrl.Send(proto.Marshal(m))
+	buf := proto.MarshalAppend(proto.GetBuf(), m)
+	owned, err := transport.SendOwned(w.ctrl, buf)
+	if !owned {
+		proto.PutBuf(buf)
+	}
+	return err
 }
+
+// errPumpStopped aborts a frame iteration when the worker shuts down
+// mid-batch.
+var errPumpStopped = errors.New("pump stopped")
 
 func (w *Worker) ctrlPump() {
 	defer w.wg.Done()
+	w.pump(w.ctrl, evCtrl, "control")
+}
+
+// pump forwards a connection's messages into the event loop, unpacking
+// batch frames and recycling each frame buffer after decode. Only the
+// control connection's loss is an event; data connections come and go.
+func (w *Worker) pump(conn transport.Conn, kind eventKind, label string) {
 	for {
-		raw, err := w.ctrl.Recv()
+		raw, err := conn.Recv()
 		if err != nil {
-			select {
-			case w.events <- event{kind: evClosed, err: err}:
-			case <-w.stopped:
+			if kind == evCtrl {
+				select {
+				case w.events <- event{kind: evClosed, err: err}:
+				case <-w.stopped:
+				}
 			}
 			return
 		}
-		msg, err := proto.Unmarshal(raw)
-		if err != nil {
-			w.cfg.Logf("worker %s: bad control message: %v", w.id, err)
-			continue
-		}
-		select {
-		case w.events <- event{kind: evCtrl, msg: msg}:
-		case <-w.stopped:
+		err = proto.ForEachMsg(raw, func(msg proto.Msg) error {
+			select {
+			case w.events <- event{kind: kind, msg: msg}:
+				return nil
+			case <-w.stopped:
+				return errPumpStopped
+			}
+		})
+		proto.PutBuf(raw)
+		if errors.Is(err, errPumpStopped) {
 			return
+		}
+		if err != nil {
+			w.cfg.Logf("worker %s: bad %s message: %v", w.id, label, err)
 		}
 	}
 }
@@ -317,22 +342,7 @@ func (w *Worker) acceptLoop(dl transport.Listener) {
 
 func (w *Worker) dataPump(conn transport.Conn) {
 	defer w.wg.Done()
-	for {
-		raw, err := conn.Recv()
-		if err != nil {
-			return
-		}
-		msg, err := proto.Unmarshal(raw)
-		if err != nil {
-			w.cfg.Logf("worker %s: bad data message: %v", w.id, err)
-			continue
-		}
-		select {
-		case w.events <- event{kind: evData, msg: msg}:
-		case <-w.stopped:
-			return
-		}
-	}
+	w.pump(conn, evData, "data")
 }
 
 func (w *Worker) heartbeatLoop() {
