@@ -12,6 +12,7 @@
 package nimbus_bench
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 	"time"
@@ -61,14 +62,10 @@ func BenchmarkFig11WaterSim(b *testing.B)              { runTable(b, "fig11", be
 // Micro-benchmarks of the core template operations (no cluster, pure
 // controller-side costs). These are the tightest loops behind Table 2.
 
-func buildAssignment(b *testing.B, workers, parts, fan int) (*core.Assignment, *flow.Directory, map[ids.WorkerID]*flow.Ledger) {
-	b.Helper()
-	place := core.NewStaticPlacement(workers)
-	place.Define(1, parts)
-	place.Define(2, 1)
-	place.Define(3, parts)
-	place.Define(4, parts/fan)
-	stages := []*proto.SubmitStage{
+// benchStages is the LR-shaped stage triple the template micro-benchmarks
+// build (gradient, reduce, apply).
+func benchStages(parts, fan int) []*proto.SubmitStage {
+	return []*proto.SubmitStage{
 		{Stage: 1, Fn: fn.FuncSim, Tasks: parts,
 			Refs: []proto.VarRef{
 				{Var: 1, Pattern: proto.OnePerTask},
@@ -87,10 +84,24 @@ func buildAssignment(b *testing.B, workers, parts, fan int) (*core.Assignment, *
 				{Var: 2, Write: true, Pattern: proto.Shared},
 			}},
 	}
+}
+
+func benchPlacement(workers, parts, fan int) *core.StaticPlacement {
+	place := core.NewStaticPlacement(workers)
+	place.Define(1, parts)
+	place.Define(2, 1)
+	place.Define(3, parts)
+	place.Define(4, parts/fan)
+	return place
+}
+
+func buildAssignment(b *testing.B, workers, parts, fan int) (*core.Assignment, *flow.Directory, map[ids.WorkerID]*flow.Ledger) {
+	b.Helper()
+	place := benchPlacement(workers, parts, fan)
 	var alloc ids.ObjectIDs
 	dir := flow.NewDirectory(&alloc)
 	bld := core.NewBuilder(dir, place)
-	for _, s := range stages {
+	for _, s := range benchStages(parts, fan) {
 		if err := bld.AddStage(s); err != nil {
 			b.Fatal(err)
 		}
@@ -111,12 +122,88 @@ func buildAssignment(b *testing.B, workers, parts, fan int) (*core.Assignment, *
 }
 
 // BenchmarkTemplateBuild measures building an 8000-task template (the
-// controller-template install cost of Table 1).
+// controller-template install cost of Table 1), serial against the
+// sharded multi-core build the off-loop pipeline uses.
 func BenchmarkTemplateBuild(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		buildAssignment(b, 100, 8000, 80)
+	run := func(b *testing.B, par int) {
+		place := benchPlacement(100, 8000, 80)
+		stages := benchStages(8000, 80)
+		var alloc ids.ObjectIDs
+		dir := flow.NewDirectory(&alloc)
+		// Warm the instance table so iterations measure construction, not
+		// first-touch allocation.
+		if _, err := core.BuildAssignment(1, dir, place, stages, par); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.BuildAssignment(1, dir, place, stages, par); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/8101, "ns/task")
 	}
-	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/8101, "ns/task")
+	b.Run("serial", func(b *testing.B) { run(b, 1) })
+	b.Run("parallel", func(b *testing.B) { run(b, 0) })
+}
+
+// BenchmarkRetargetAll measures SetActive over a cluster with several
+// installed templates — the Figure 9 revoke/restore slow path — with the
+// assignment cache invalidated every iteration so each SetActive rebuilds
+// every template. serial pins the controller's build pool to one
+// goroutine; parallel uses the default GOMAXPROCS pool.
+func BenchmarkRetargetAll(b *testing.B) {
+	run := func(b *testing.B, par int) {
+		c, err := cluster.Start(cluster.Options{
+			Workers: 8, Slots: 8, BuildParallelism: par,
+			Registry: fn.NewRegistry(),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer c.Stop()
+		d, err := c.Driver("retarget-bench")
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer d.Close()
+		const tmpls, parts = 8, 512
+		for i := 0; i < tmpls; i++ {
+			name := fmt.Sprintf("blk%d", i)
+			v := d.MustVar(name, parts)
+			if err := d.BeginTemplate(name); err != nil {
+				b.Fatal(err)
+			}
+			if err := d.Submit(fn.FuncNop, parts, nil, v.Write()); err != nil {
+				b.Fatal(err)
+			}
+			if err := d.EndTemplate(name); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := d.Barrier(); err != nil {
+			b.Fatal(err)
+		}
+		var all []ids.WorkerID
+		c.Controller.Do(func() { all = c.Controller.ActiveWorkers() })
+		sets := [][]ids.WorkerID{all, all[:len(all)/2]}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			var rerr error
+			set := sets[i%2]
+			c.Controller.Do(func() {
+				c.Controller.InvalidateAssignmentCache()
+				rerr = c.Controller.SetActive(set)
+			})
+			if rerr != nil {
+				b.Fatal(rerr)
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(tmpls*parts), "ns/task")
+	}
+	b.Run("serial", func(b *testing.B) { run(b, 1) })
+	b.Run("parallel", func(b *testing.B) { run(b, 0) })
 }
 
 // BenchmarkTemplateValidate measures full precondition validation.

@@ -43,6 +43,11 @@ type Options struct {
 	// HeartbeatEvery / HeartbeatTimeout enable failure detection.
 	HeartbeatEvery   time.Duration
 	HeartbeatTimeout time.Duration
+	// BuildParallelism bounds the controller's template-build goroutine
+	// pool (0 = GOMAXPROCS, 1 = serial; see controller.Config).
+	BuildParallelism int
+	// Hooks forwards controller test/fault-injection hooks.
+	Hooks controller.Hooks
 	// Logf receives diagnostics from all nodes (default: discard).
 	Logf func(format string, args ...any)
 }
@@ -86,6 +91,8 @@ func Start(opts Options) (*Cluster, error) {
 		CentralPerTaskCost: opts.CentralPerTaskCost,
 		LivePerTaskCost:    opts.LivePerTaskCost,
 		HeartbeatTimeout:   opts.HeartbeatTimeout,
+		BuildParallelism:   opts.BuildParallelism,
+		Hooks:              opts.Hooks,
 		Logf:               opts.Logf,
 	})
 	if err := c.Controller.Start(); err != nil {

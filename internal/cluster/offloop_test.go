@@ -1,0 +1,445 @@
+package cluster
+
+import (
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"nimbus/internal/controller"
+	"nimbus/internal/fn"
+	"nimbus/internal/ids"
+)
+
+// waitUntil polls cond through the controller's event loop until it holds
+// or the deadline passes. Every successful poll is itself proof the loop
+// is serving events.
+func waitUntil(t *testing.T, c *Cluster, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for {
+		var ok bool
+		c.Controller.Do(func() { ok = cond() })
+		if ok {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestEventLoopLiveDuringBuild is the off-loop pipeline's headline
+// property: while a large (>=4k-entry) template build is in flight, the
+// event loop keeps processing heartbeats and completion reports. The build
+// is stalled via the OnBuildStart hook; during the stall the test observes
+// (a) Do round trips served, (b) the completions of 4096 live tasks
+// drained to zero, and (c) heartbeats processed across several timeout
+// windows without any worker being declared failed.
+func TestEventLoopLiveDuringBuild(t *testing.T) {
+	release := make(chan struct{})
+	entered := make(chan struct{})
+	var stalls atomic.Int32
+	hooks := controller.Hooks{OnBuildStart: func(name string) {
+		if name == "big" && stalls.Add(1) == 1 {
+			close(entered)
+			<-release
+		}
+	}}
+	defer func() {
+		select {
+		case <-release:
+		default:
+			close(release)
+		}
+	}()
+
+	c := startTestCluster(t, Options{
+		Workers:          4,
+		HeartbeatEvery:   5 * time.Millisecond,
+		HeartbeatTimeout: 50 * time.Millisecond,
+		Hooks:            hooks,
+	})
+	d, err := c.Driver("test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	const bigParts = 4096
+	big := d.MustVar("big", bigParts)
+	xs := d.MustVar("xs", 4)
+	for p := 0; p < 4; p++ {
+		if err := d.PutFloats(xs, p, []float64{1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.Barrier(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Record a >=4k-entry block. The stages execute live while recording;
+	// their 4096 completions arrive while the build is stalled.
+	if err := d.BeginTemplate("big"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Submit(fn.FuncNop, bigParts, nil, big.Write()); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Submit(fnDouble, 4, nil, xs.Read(), xs.Write()); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.EndTemplate("big"); err != nil {
+		t.Fatal(err)
+	}
+
+	select {
+	case <-entered:
+	case <-time.After(5 * time.Second):
+		t.Fatal("build never started")
+	}
+	if got := c.Controller.Stats.BuildsInFlight.Load(); got != 1 {
+		t.Fatalf("builds in flight = %d, want 1", got)
+	}
+
+	// (b) Completion reports drain while the build is stalled.
+	waitUntil(t, c, 5*time.Second, "live-task completions during build",
+		func() bool { return c.Controller.OutstandingCommands() == 0 })
+
+	// Queue an instantiation behind the build fence.
+	if err := d.Instantiate("big"); err != nil {
+		t.Fatal(err)
+	}
+	waitUntil(t, c, 5*time.Second, "instantiation to queue behind the build",
+		func() bool { return c.Controller.BuildQueueDepth() == 1 })
+
+	// (c) Ride out several heartbeat-timeout windows mid-build. If the
+	// loop were blocked, beats would go unprocessed and the workers would
+	// be declared failed once the stall ended.
+	time.Sleep(150 * time.Millisecond)
+	if got := c.Controller.Stats.BuildsInFlight.Load(); got != 1 {
+		t.Fatalf("builds in flight after stall = %d, want 1", got)
+	}
+
+	close(release)
+	if err := d.Barrier(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := d.GetFloats(xs, 0)
+	if err != nil || len(got) != 1 || got[0] != 4 {
+		t.Fatalf("xs after queued instantiation = %v (err %v), want [4]", got, err)
+	}
+
+	var size, workers int
+	var recoveries, built, insts uint64
+	c.Controller.Do(func() {
+		size = c.Controller.TemplateByName("big").Active.Size()
+		workers = c.Controller.WorkerCount()
+		recoveries = c.Controller.Stats.Recoveries.Load()
+		built = c.Controller.Stats.TemplatesBuilt.Load()
+		insts = c.Controller.Stats.Instantiations.Load()
+	})
+	if size < 4096 {
+		t.Errorf("template has %d entries, want >= 4096", size)
+	}
+	if workers != 4 || recoveries != 0 {
+		t.Errorf("workers=%d recoveries=%d: heartbeats were not processed during the build", workers, recoveries)
+	}
+	if built != 1 || insts != 1 {
+		t.Errorf("built=%d instantiations=%d, want 1/1", built, insts)
+	}
+	if c.Controller.Stats.BuildNanos.Load() == 0 {
+		t.Error("BuildNanos not accounted")
+	}
+}
+
+// TestSetActiveAtomicOnFailure: when any template's rebuild fails,
+// SetActive must commit nothing — placement, active set and every
+// template's assignment stay exactly as they were.
+func TestSetActiveAtomicOnFailure(t *testing.T) {
+	var failing atomic.Bool
+	hooks := controller.Hooks{RetargetError: func(name string) error {
+		if failing.Load() && name == "B" {
+			return errors.New("injected retarget failure")
+		}
+		return nil
+	}}
+	c := startTestCluster(t, Options{Workers: 4, Hooks: hooks})
+	d, err := c.Driver("test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	const parts = 8
+	x := d.MustVar("x", parts)
+	y := d.MustVar("y", parts)
+	sum := d.MustVar("sum", 1)
+	for p := 0; p < parts; p++ {
+		if err := d.PutFloats(x, p, []float64{1}); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.PutFloats(y, p, []float64{1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, blk := range []struct {
+		name string
+		vr   func() error
+	}{
+		{"A", func() error { return d.Submit(fnDouble, parts, nil, x.Read(), x.Write()) }},
+		{"B", func() error { return d.Submit(fnSumAll, 1, nil, y.ReadGrouped(), sum.WriteShared()) }},
+	} {
+		if err := d.BeginTemplate(blk.name); err != nil {
+			t.Fatal(err)
+		}
+		if err := blk.vr(); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.EndTemplate(blk.name); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.Barrier(); err != nil {
+		t.Fatal(err)
+	}
+
+	var all []ids.WorkerID
+	var builtBefore uint64
+	c.Controller.Do(func() {
+		all = c.Controller.ActiveWorkers()
+		builtBefore = c.Controller.Stats.TemplatesBuilt.Load()
+	})
+
+	failing.Store(true)
+	var rerr error
+	c.Controller.Do(func() { rerr = c.Controller.SetActive(all[:2]) })
+	if rerr == nil || !strings.Contains(rerr.Error(), "injected") {
+		t.Fatalf("SetActive error = %v, want injected failure", rerr)
+	}
+
+	var active []ids.WorkerID
+	var builtAfter uint64
+	c.Controller.Do(func() {
+		active = c.Controller.ActiveWorkers()
+		builtAfter = c.Controller.Stats.TemplatesBuilt.Load()
+	})
+	if len(active) != len(all) {
+		t.Fatalf("failed SetActive changed active set: %v -> %v", all, active)
+	}
+	if builtAfter != builtBefore {
+		t.Fatalf("failed SetActive built templates: %d -> %d", builtBefore, builtAfter)
+	}
+
+	// Both templates still run correctly under the untouched placement.
+	if err := d.Instantiate("A"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Instantiate("B"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := d.GetFloats(sum, 0)
+	if err != nil || len(got) != 1 || got[0] != parts {
+		t.Fatalf("sum after failed SetActive = %v (err %v), want [%d]", got, err, parts)
+	}
+
+	// Clearing the fault, the same SetActive commits and the job keeps
+	// producing correct results on the shrunk set.
+	failing.Store(false)
+	c.Controller.Do(func() { rerr = c.Controller.SetActive(all[:2]) })
+	if rerr != nil {
+		t.Fatalf("SetActive after clearing fault: %v", rerr)
+	}
+	if err := d.Instantiate("A"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Instantiate("B"); err != nil {
+		t.Fatal(err)
+	}
+	got, err = d.GetFloats(sum, 0)
+	if err != nil || len(got) != 1 || got[0] != parts {
+		t.Fatalf("sum after committed SetActive = %v (err %v), want [%d]", got, err, parts)
+	}
+}
+
+// TestBuildRetryOnPlacementChange: a SetActive racing an in-flight build
+// stales its snapshot; the commit must discard the result and rebuild
+// under the new placement (revalidate-and-retry), never install a template
+// built for a dead placement.
+func TestBuildRetryOnPlacementChange(t *testing.T) {
+	release := make(chan struct{})
+	entered := make(chan struct{})
+	var stalls atomic.Int32
+	hooks := controller.Hooks{OnBuildStart: func(name string) {
+		if stalls.Add(1) == 1 {
+			close(entered)
+			<-release
+		}
+	}}
+	defer func() {
+		select {
+		case <-release:
+		default:
+			close(release)
+		}
+	}()
+
+	c := startTestCluster(t, Options{Workers: 4, Hooks: hooks})
+	d, err := c.Driver("test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	const parts = 8
+	x := d.MustVar("x", parts)
+	sum := d.MustVar("sum", 1)
+	for p := 0; p < parts; p++ {
+		if err := d.PutFloats(x, p, []float64{1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.Barrier(); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := d.BeginTemplate("blk"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Submit(fnDouble, parts, nil, x.Read(), x.Write()); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Submit(fnSumAll, 1, nil, x.ReadGrouped(), sum.WriteShared()); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.EndTemplate("blk"); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-entered:
+	case <-time.After(5 * time.Second):
+		t.Fatal("build never started")
+	}
+
+	// Shrink the worker set while the build is stalled.
+	var all []ids.WorkerID
+	var rerr error
+	c.Controller.Do(func() {
+		all = c.Controller.ActiveWorkers()
+		rerr = c.Controller.SetActive(all[:2])
+	})
+	if rerr != nil {
+		t.Fatalf("SetActive during build: %v", rerr)
+	}
+	close(release)
+
+	// The queued-free instantiation path: instantiate after the retry
+	// commits and verify results under the new placement.
+	for i := 0; i < 2; i++ {
+		if err := d.Instantiate("blk"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := d.GetFloats(sum, 0)
+	if err != nil || len(got) != 1 || got[0] != 8*parts {
+		t.Fatalf("sum = %v (err %v), want [%d]", got, err, 8*parts)
+	}
+	if retries := c.Controller.Stats.BuildRetries.Load(); retries == 0 {
+		t.Error("expected the stalled build to be discarded and retried")
+	}
+}
+
+// TestMigrateAtomicOnFailure: a failed rebuild during Migrate must leave
+// placement and templates fully unchanged (the rebuilds run against a
+// prospective placement snapshot; the move commits only after every
+// template built).
+func TestMigrateAtomicOnFailure(t *testing.T) {
+	var failing atomic.Bool
+	hooks := controller.Hooks{RetargetError: func(name string) error {
+		if failing.Load() {
+			return errors.New("injected migrate failure")
+		}
+		return nil
+	}}
+	c := startTestCluster(t, Options{Workers: 4, Hooks: hooks})
+	d, err := c.Driver("test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	const parts = 8
+	x := d.MustVar("x", parts)
+	sum := d.MustVar("sum", 1)
+	for p := 0; p < parts; p++ {
+		if err := d.PutFloats(x, p, []float64{1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.BeginTemplate("blk"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Submit(fnDouble, parts, nil, x.Read(), x.Write()); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Submit(fnSumAll, 1, nil, x.ReadGrouped(), sum.WriteShared()); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.EndTemplate("blk"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Barrier(); err != nil {
+		t.Fatal(err)
+	}
+
+	var w1 ids.WorkerID
+	var migErr error
+	failing.Store(true)
+	c.Controller.Do(func() {
+		w1 = c.Controller.ActiveWorkers()[0]
+		migErr = c.Controller.Migrate([]ids.VariableID{x.ID}, []int{1}, w1)
+	})
+	if migErr == nil || !strings.Contains(migErr.Error(), "injected") {
+		t.Fatalf("Migrate error = %v, want injected failure", migErr)
+	}
+	// Nothing moved: the next instantiations need no edits and produce
+	// the untouched-placement results.
+	var edits uint64
+	c.Controller.Do(func() { edits = c.Controller.Stats.EditsSent.Load() })
+	if edits != 0 {
+		t.Fatalf("failed Migrate staged %d edits, want 0", edits)
+	}
+	if err := d.Instantiate("blk"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := d.GetFloats(sum, 0)
+	if err != nil || len(got) != 1 || got[0] != 4*parts {
+		t.Fatalf("sum after failed Migrate = %v (err %v), want [%d]", got, err, 4*parts)
+	}
+
+	// Clearing the fault, the same Migrate commits and edits flow.
+	failing.Store(false)
+	c.Controller.Do(func() {
+		migErr = c.Controller.Migrate([]ids.VariableID{x.ID}, []int{1}, w1)
+	})
+	if migErr != nil {
+		t.Fatalf("Migrate after clearing fault: %v", migErr)
+	}
+	want := float64(4 * parts)
+	for i := 0; i < 2; i++ {
+		if err := d.Instantiate("blk"); err != nil {
+			t.Fatal(err)
+		}
+		want *= 2
+		got, err = d.GetFloats(sum, 0)
+		if err != nil || len(got) != 1 || got[0] != want {
+			t.Fatalf("post-migration iteration %d: sum = %v (err %v), want [%v]", i, got, err, want)
+		}
+	}
+	c.Controller.Do(func() { edits = c.Controller.Stats.EditsSent.Load() })
+	if edits == 0 {
+		t.Error("committed Migrate sent no edits")
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"nimbus/internal/core"
+	"nimbus/internal/flow"
 	"nimbus/internal/ids"
 )
 
@@ -15,14 +16,20 @@ import (
 // partitions between workers (template edits, paper Figure 10). Both are
 // invoked by the cluster harness through Controller.Do, playing the role
 // of the cluster resource manager in Figure 2.
+//
+// Both operations rebuild every installed template. The rebuilds run as
+// one parallel group over a shared directory-snapshot view (builds.go):
+// validate and build everything first, then commit atomically — an error
+// in any template's rebuild leaves the controller fully unchanged.
 
 // SetActive changes the set of workers the job runs on (call via Do). All
 // named workers must be registered and alive. Variables are repartitioned
 // round-robin over the new set; every installed template switches to an
 // assignment for the new placement — reusing a cached one when this worker
 // set has been active before (Figure 9's restore path revalidates cached
-// templates instead of reinstalling). Data moves lazily via patches at the
-// next instantiation.
+// templates instead of reinstalling). Templates are rebuilt in parallel
+// and committed atomically: on error no placement or template state
+// changes. Data moves lazily via patches at the next instantiation.
 func (c *Controller) SetActive(workersWanted []ids.WorkerID) error {
 	if len(workersWanted) == 0 {
 		return fmt.Errorf("controller: cannot run with zero workers")
@@ -35,63 +42,61 @@ func (c *Controller) SetActive(workersWanted []ids.WorkerID) error {
 			return fmt.Errorf("controller: worker %s not available", id)
 		}
 	}
-	c.active = set
-	c.reassignAll()
-	for name, t := range c.templates {
-		if err := c.retargetTemplate(name, t); err != nil {
-			return err
+	// Plan every retarget against the prospective placement before
+	// touching live state.
+	sig := workerSigOf(set)
+	plans, view := c.planRetargets(set, sig)
+	for i := range plans {
+		if plans[i].err != nil {
+			return fmt.Errorf("controller: retargeting %q: %w", plans[i].name, plans[i].err)
 		}
 	}
+	// Commit.
+	c.active = set
+	c.reassignAll()
+	c.commitRetargets(plans, view, sig)
 	c.autoValid = false
 	return nil
 }
 
 // reassignAll recomputes every variable's partition placement over the
-// active workers.
+// active workers and bumps the placement epoch, staling any in-flight
+// build snapshot.
 func (c *Controller) reassignAll() {
 	for _, vm := range c.vars {
 		for p := range vm.assign {
 			vm.assign[p] = c.active[p%len(c.active)]
 		}
 	}
+	c.placeEpoch++
 }
 
 // workerSig canonically names the active worker set for the assignment
 // cache.
-func (c *Controller) workerSig() string {
+func (c *Controller) workerSig() string { return workerSigOf(c.active) }
+
+// workerSigOf canonically names a sorted worker set.
+func workerSigOf(set []ids.WorkerID) string {
 	var b strings.Builder
-	for _, w := range c.active {
+	for _, w := range set {
 		fmt.Fprintf(&b, "%d,", uint32(w))
 	}
 	return b.String()
 }
 
-// retargetTemplate points a template at an assignment matching the current
-// placement: a cached assignment when available, otherwise a fresh build
-// (generating new worker templates, paper Figure 9 iterations 20-21).
-func (c *Controller) retargetTemplate(name string, t *core.Template) error {
+// retargetAll points every installed template at an assignment matching
+// the current placement (recovery's rebuild step): cached assignments when
+// available, parallel fresh builds otherwise. Failures are logged per
+// template and do not block the others.
+func (c *Controller) retargetAll() {
 	sig := c.workerSig()
-	if c.assignCache == nil {
-		c.assignCache = make(map[string]map[string]*core.Assignment)
+	plans, view := c.planRetargets(c.active, sig)
+	for i := range plans {
+		if plans[i].err != nil {
+			c.cfg.Logf("controller: recovery rebuild of %q: %v", plans[i].name, plans[i].err)
+		}
 	}
-	bySig := c.assignCache[name]
-	if bySig == nil {
-		bySig = make(map[string]*core.Assignment)
-		c.assignCache[name] = bySig
-	}
-	if a, ok := bySig[sig]; ok {
-		t.Active = a
-		return nil
-	}
-	a, err := t.Rebuild(ids.TemplateID(c.tmplIDs.Next()), c.dir, c.placement(), nil)
-	if err != nil {
-		return err
-	}
-	t.Assignments = append(t.Assignments, a)
-	t.Active = a
-	bySig[sig] = a
-	c.Stats.TemplatesBuilt.Add(1)
-	return nil
+	c.commitRetargets(plans, view, sig)
 }
 
 // cacheActiveAssignments snapshots each template's current assignment
@@ -117,10 +122,10 @@ func (c *Controller) cacheActiveAssignments() {
 // Migrate moves the given partitions of the given variables to worker dst
 // (call via Do). Installed templates are updated in place through edits:
 // the controller rebuilds each template's entry array under the new
-// placement, keeps unchanged entries' indexes via provenance matching, and
-// stages the per-worker deltas to ride the next instantiation message
-// (paper §4.3, Figure 6). Partition data moves lazily via the next
-// validation's patch.
+// placement (in parallel, over a shared snapshot view), keeps unchanged
+// entries' indexes via provenance matching, and stages the per-worker
+// deltas to ride the next instantiation message (paper §4.3, Figure 6).
+// Partition data moves lazily via the next validation's patch.
 func (c *Controller) Migrate(vars []ids.VariableID, parts []int, dst ids.WorkerID) error {
 	ws := c.workers[dst]
 	if ws == nil || !ws.alive {
@@ -136,31 +141,75 @@ func (c *Controller) Migrate(vars []ids.VariableID, parts []int, dst ids.WorkerI
 				return fmt.Errorf("controller: migrate of %s partition %d out of %d",
 					v, p, vm.partitions)
 			}
-			vm.assign[p] = dst
 		}
 	}
 	start := time.Now()
+	// Build every installed template's rebuilt assignment against the
+	// *prospective* placement (a snapshot with the moves applied) before
+	// mutating anything: an error in any rebuild leaves the controller
+	// fully unchanged, like SetActive.
+	type editPlan struct {
+		name string
+		t    *core.Template
+		old  *core.Assignment
+		next *core.Assignment
+		err  error
+	}
+	var plans []editPlan
 	for name, t := range c.templates {
 		if t.Active == nil {
-			continue
+			continue // build in flight; its commit rebuilds under the new placement
 		}
-		if err := c.editTemplate(name, t); err != nil {
+		plans = append(plans, editPlan{name: name, t: t, old: t.Active})
+	}
+	sort.Slice(plans, func(i, j int) bool { return plans[i].name < plans[j].name })
+	var view *flow.BuildView
+	if len(plans) > 0 {
+		view = c.dir.Snapshot().View()
+		place := c.placementSnapshot(nil)
+		for _, v := range vars {
+			for _, p := range parts {
+				place.vars[v].assign[p] = dst
+			}
+		}
+		c.groupBuild(len(plans), func(i, inner int) {
+			p := &plans[i]
+			if err := c.retargetFault(p.name); err != nil {
+				p.err = err
+				return
+			}
+			p.next, p.err = p.t.RebuildPar(p.old.ID, view, place, p.old, inner)
+		})
+		for i := range plans {
+			if plans[i].err != nil {
+				return fmt.Errorf("controller: migrating %q: %w", plans[i].name, plans[i].err)
+			}
+		}
+		if err := view.Commit(c.dir); err != nil {
+			// Unreachable: snapshot, build and commit happen within one
+			// event-loop call.
 			return err
 		}
+	}
+	// Commit: apply the placement change, then stage the diffs.
+	for _, v := range vars {
+		vm := c.vars[v]
+		for _, p := range parts {
+			vm.assign[p] = dst
+		}
+	}
+	c.placeEpoch++
+	for i := range plans {
+		c.stageEdits(plans[i].name, plans[i].t, plans[i].old, plans[i].next)
 	}
 	c.Stats.MigrateNanos.Add(uint64(time.Since(start)))
 	c.autoValid = false
 	return nil
 }
 
-// editTemplate rebuilds the template's active assignment under the current
-// placement and stages the diff as edits.
-func (c *Controller) editTemplate(name string, t *core.Template) error {
-	old := t.Active
-	next, err := t.Rebuild(old.ID, c.dir, c.placement(), old)
-	if err != nil {
-		return err
-	}
+// stageEdits swaps a rebuilt assignment in for its predecessor and stages
+// the per-worker deltas as edits riding the next instantiation.
+func (c *Controller) stageEdits(name string, t *core.Template, old, next *core.Assignment) {
 	diff := core.Diff(old, next)
 	next.Installed = make(map[ids.WorkerID]bool, len(old.Installed))
 	for w, in := range old.Installed {
@@ -201,5 +250,4 @@ func (c *Controller) editTemplate(name string, t *core.Template) error {
 		}
 		staged[w] = append(staged[w], *e)
 	}
-	return nil
 }

@@ -1,0 +1,453 @@
+package controller
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"nimbus/internal/core"
+	"nimbus/internal/flow"
+	"nimbus/internal/ids"
+	"nimbus/internal/proto"
+)
+
+// This file implements the off-loop template build pipeline
+// (snapshot -> build -> commit). Template assignment construction is
+// O(tasks) and used to run inside the event loop, freezing heartbeats,
+// completion processing and every other template's dispatch while it ran.
+// Now:
+//
+//   - TemplateEnd snapshots the directory and placement, enqueues a build
+//     on a bounded background executor, and returns to the loop. The
+//     finished assignment comes back as a commit event; if placement or
+//     the directory moved underneath the build, it is discarded and
+//     retried from a fresh snapshot (revalidate-and-retry).
+//   - While a build is in flight, driver operations that mutate execution
+//     state (defines, puts, stage submissions, template ops,
+//     instantiations) queue in arrival order behind it, preserving the
+//     driver's program order; heartbeats, completions, gets and barriers
+//     keep flowing through the loop.
+//   - SetActive / Migrate / recovery retarget every installed template in
+//     one parallel group build over a shared snapshot view, then commit
+//     atomically on the loop.
+
+// maxBuildRetries bounds revalidate-and-retry; after it the build runs
+// synchronously on the loop, which cannot be invalidated.
+const maxBuildRetries = 4
+
+// Hooks are optional instrumentation points for tests and fault
+// injection. They are called from build goroutines, off the event loop.
+type Hooks struct {
+	// OnBuildStart runs in the build goroutine before an off-loop
+	// template build begins (tests stall here to hold a build in flight).
+	OnBuildStart func(template string)
+	// RetargetError, when non-nil, can veto one template's rebuild during
+	// a group retarget (SetActive/Migrate/recovery), exercising the
+	// atomic-commit failure path.
+	RetargetError func(template string) error
+}
+
+// buildJob is one in-flight off-loop template build.
+type buildJob struct {
+	name       string
+	tmpl       *core.Template
+	id         ids.TemplateID
+	view       *flow.BuildView
+	place      *placeSnap
+	placeEpoch uint64
+	dir        *flow.Directory // directory identity at snapshot time
+	retries    int
+}
+
+// placeSnap is an immutable copy of the controller's placement, readable
+// by build goroutines while the loop keeps mutating the live tables.
+type placeSnap struct {
+	vars map[ids.VariableID]placeVar
+}
+
+type placeVar struct {
+	partitions int
+	logicals   []ids.LogicalID // shared: immutable after DefineVariable
+	assign     []ids.WorkerID  // copied
+}
+
+func (p *placeSnap) WorkerOf(v ids.VariableID, partition int) ids.WorkerID {
+	pv, ok := p.vars[v]
+	if !ok || partition < 0 || partition >= len(pv.assign) {
+		return ids.NoWorker
+	}
+	return pv.assign[partition]
+}
+
+func (p *placeSnap) Logical(v ids.VariableID, partition int) ids.LogicalID {
+	pv, ok := p.vars[v]
+	if !ok || partition < 0 || partition >= len(pv.logicals) {
+		return ids.NoLogical
+	}
+	return pv.logicals[partition]
+}
+
+func (p *placeSnap) Partitions(v ids.VariableID) int {
+	if pv, ok := p.vars[v]; ok {
+		return pv.partitions
+	}
+	return 0
+}
+
+// placementSnapshot copies the placement. With a non-nil override the
+// assignment is the round-robin layout over that worker set — the
+// placement SetActive would commit — without touching live state.
+func (c *Controller) placementSnapshot(override []ids.WorkerID) *placeSnap {
+	vars := make(map[ids.VariableID]placeVar, len(c.vars))
+	for id, vm := range c.vars {
+		assign := make([]ids.WorkerID, vm.partitions)
+		if override != nil {
+			for p := range assign {
+				assign[p] = override[p%len(override)]
+			}
+		} else {
+			copy(assign, vm.assign)
+		}
+		vars[id] = placeVar{partitions: vm.partitions, logicals: vm.logicals, assign: assign}
+	}
+	return &placeSnap{vars: vars}
+}
+
+// post injects fn into the event loop without waiting for it to run
+// (build goroutines hand their results back through it).
+func (c *Controller) post(fn func()) {
+	select {
+	case c.events <- cevent{kind: cevDo, fn: fn}:
+	case <-c.stopped:
+	}
+}
+
+// driverOp routes one driver operation through the build fence: while any
+// off-loop build is in flight (or earlier operations are still queued
+// behind one), operations that mutate execution state queue in arrival
+// order so the driver's program order is preserved.
+func (c *Controller) driverOp(m proto.Msg) {
+	if len(c.building) > 0 || len(c.opq) > 0 {
+		c.opq = append(c.opq, m)
+		return
+	}
+	c.dispatchDriverOp(m)
+}
+
+// dispatchDriverOp executes one fenced driver operation.
+func (c *Controller) dispatchDriverOp(m proto.Msg) {
+	switch op := m.(type) {
+	case *proto.DefineVariable:
+		c.handleDefineVariable(op)
+	case *proto.Put:
+		c.handlePut(op)
+	case *proto.SubmitStage:
+		c.handleSubmitStage(op)
+	case *proto.TemplateStart:
+		c.handleTemplateStart(op)
+	case *proto.TemplateEnd:
+		c.handleTemplateEnd(op)
+	case *proto.InstantiateBlock:
+		c.handleInstantiateBlock(op)
+	default:
+		c.cfg.Logf("controller: unexpected fenced operation %s", m.Kind())
+	}
+}
+
+// drainOps runs queued driver operations until the queue empties or one of
+// them starts another build (re-raising the fence).
+func (c *Controller) drainOps() {
+	for len(c.opq) > 0 && len(c.building) == 0 {
+		m := c.opq[0]
+		c.opq[0] = nil
+		c.opq = c.opq[1:]
+		if len(c.opq) == 0 {
+			c.opq = nil
+		}
+		c.dispatchDriverOp(m)
+	}
+}
+
+// startTemplateBuild begins the off-loop build of a just-recorded
+// template: snapshot directory + placement on the loop, build in the
+// background, commit via a posted event.
+func (c *Controller) startTemplateBuild(name string, t *core.Template) {
+	job := &buildJob{
+		name: name,
+		tmpl: t,
+		id:   ids.TemplateID(c.tmplIDs.Next()),
+	}
+	c.snapshotFor(job)
+	c.building[name] = job
+	c.Stats.BuildsInFlight.Add(1)
+	c.wg.Add(1)
+	go c.runBuild(job)
+}
+
+// snapshotFor (re)stamps the job with the loop's current snapshot state.
+func (c *Controller) snapshotFor(job *buildJob) {
+	job.view = c.dir.Snapshot().View()
+	job.place = c.placementSnapshot(nil)
+	job.placeEpoch = c.placeEpoch
+	job.dir = c.dir
+}
+
+// runBuild executes one build job off the loop and posts its result back.
+func (c *Controller) runBuild(job *buildJob) {
+	defer c.wg.Done()
+	c.buildSem <- struct{}{}
+	defer func() { <-c.buildSem }()
+	if h := c.cfg.Hooks.OnBuildStart; h != nil {
+		h(job.name)
+	}
+	start := time.Now()
+	a, err := core.BuildAssignment(job.id, job.view, job.place, job.tmpl.Stages, c.buildPar)
+	nanos := uint64(time.Since(start))
+	c.post(func() { c.commitBuild(job, a, err, nanos) })
+}
+
+// commitBuild runs on the event loop when a background build finishes:
+// revalidate the snapshot, then either install the assignment, retry from
+// a fresh snapshot, or surface the failure.
+func (c *Controller) commitBuild(job *buildJob, a *core.Assignment, err error, nanos uint64) {
+	c.Stats.BuildNanos.Add(nanos)
+	if c.building[job.name] != job {
+		// Superseded (e.g. the template was rebuilt by recovery while this
+		// build was in flight and the job already resolved another way).
+		return
+	}
+	if err != nil {
+		delete(c.templates, job.name)
+		c.finishBuild(job.name)
+		c.driverError(fmt.Sprintf("building template %q: %v", job.name, err))
+		return
+	}
+	// Revalidate: if placement changed, the directory was replaced
+	// (recovery), or the directory allocated conflicting instances while
+	// we built, the result describes a world that no longer exists —
+	// discard and retry against fresh state.
+	if job.placeEpoch != c.placeEpoch || job.dir != c.dir || job.view.Commit(c.dir) != nil {
+		c.Stats.BuildRetries.Add(1)
+		c.retryBuild(job)
+		return
+	}
+	c.adoptAssignment(job.tmpl, a)
+	c.finishBuild(job.name)
+}
+
+// adoptAssignment commits a freshly built assignment as the template's
+// active one and installs it.
+func (c *Controller) adoptAssignment(t *core.Template, a *core.Assignment) {
+	start := time.Now()
+	t.Assignments = append(t.Assignments, a)
+	t.Active = a
+	c.Stats.TemplatesBuilt.Add(1)
+	c.installAssignment(t, a)
+	c.Stats.FinalizeNanos.Add(uint64(time.Since(start)))
+	c.cacheActiveAssignments()
+}
+
+// retryBuild re-snapshots and requeues a discarded build. If another path
+// (recovery's retarget) already produced an assignment for the current
+// worker set, that one is adopted instead; past the retry budget the build
+// runs synchronously on the loop, which cannot be invalidated.
+func (c *Controller) retryBuild(job *buildJob) {
+	if bySig := c.assignCache[job.name]; bySig != nil {
+		if a, ok := bySig[c.workerSig()]; ok {
+			job.tmpl.Active = a
+			c.finishBuild(job.name)
+			return
+		}
+	}
+	job.retries++
+	if job.retries >= maxBuildRetries {
+		a, err := core.BuildAssignment(job.id, c.dir, c.placement(), job.tmpl.Stages, c.buildPar)
+		if err != nil {
+			delete(c.templates, job.name)
+			c.finishBuild(job.name)
+			c.driverError(fmt.Sprintf("building template %q: %v", job.name, err))
+			return
+		}
+		c.adoptAssignment(job.tmpl, a)
+		c.finishBuild(job.name)
+		return
+	}
+	c.snapshotFor(job)
+	c.wg.Add(1)
+	go c.runBuild(job)
+}
+
+// finishBuild retires a job and lowers the fence: queued driver operations
+// drain in order, and quiescence (barriers, gets, checkpoints) is
+// re-evaluated.
+func (c *Controller) finishBuild(name string) {
+	delete(c.building, name)
+	c.Stats.BuildsInFlight.Add(-1)
+	c.drainOps()
+	c.resolveIfQuiet()
+}
+
+// retargetPlan is one template's planned outcome of a group retarget.
+type retargetPlan struct {
+	name   string
+	t      *core.Template
+	cached *core.Assignment // restore path: reuse a cached assignment
+	built  *core.Assignment // fresh build for the new placement
+	err    error
+}
+
+// planRetargets builds (in parallel, over one shared snapshot view) or
+// cache-restores an assignment per installed template for the worker set,
+// without mutating any controller state. Templates whose build is still in
+// flight are skipped: their commit will revalidate against the new
+// placement and rebuild. The returned view holds the builds' instance
+// allocations, to be committed with commitRetargets.
+func (c *Controller) planRetargets(set []ids.WorkerID, sig string) ([]retargetPlan, *flow.BuildView) {
+	names := make([]string, 0, len(c.templates))
+	for name, t := range c.templates {
+		if t.Active == nil {
+			continue // build in flight; its commit re-resolves
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var plans []retargetPlan
+	var toBuild []int
+	for _, name := range names {
+		p := retargetPlan{name: name, t: c.templates[name]}
+		if bySig := c.assignCache[name]; bySig != nil {
+			if a, ok := bySig[sig]; ok {
+				p.cached = a
+			}
+		}
+		if p.cached == nil {
+			toBuild = append(toBuild, len(plans))
+		}
+		plans = append(plans, p)
+	}
+	if len(toBuild) == 0 {
+		return plans, nil
+	}
+
+	view := c.dir.Snapshot().View()
+	place := c.placementSnapshot(set)
+	ivals := make([]ids.TemplateID, len(toBuild))
+	for i := range toBuild {
+		ivals[i] = ids.TemplateID(c.tmplIDs.Next())
+	}
+	c.groupBuild(len(toBuild), func(i, inner int) {
+		p := &plans[toBuild[i]]
+		if err := c.retargetFault(p.name); err != nil {
+			p.err = err
+			return
+		}
+		p.built, p.err = p.t.RebuildPar(ivals[i], view, place, nil, inner)
+	})
+	return plans, view
+}
+
+// groupBuild runs n independent build closures, splitting the build pool
+// between group concurrency and intra-build sharding so the group uses
+// ~buildPar goroutines total. fn receives the item index and its
+// per-build parallelism bound.
+func (c *Controller) groupBuild(n int, fn func(i, inner int)) {
+	if n == 0 {
+		return
+	}
+	conc := c.buildPar
+	if conc > n {
+		conc = n
+	}
+	inner := c.buildPar / conc
+	if inner < 1 {
+		inner = 1
+	}
+	sem := make(chan struct{}, conc)
+	done := make(chan struct{})
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			sem <- struct{}{}
+			defer func() { <-sem; done <- struct{}{} }()
+			fn(i, inner)
+		}(i)
+	}
+	for i := 0; i < n; i++ {
+		<-done
+	}
+}
+
+// retargetFault consults the fault-injection hook for one template's
+// rebuild within a group retarget.
+func (c *Controller) retargetFault(name string) error {
+	if h := c.cfg.Hooks.RetargetError; h != nil {
+		return h(name)
+	}
+	return nil
+}
+
+// commitRetargets applies a planned group retarget: adopt the view's
+// instance allocations and switch every successfully planned template.
+// Plans with errors are skipped (the caller decides whether that aborts
+// the whole operation; SetActive does, recovery logs and continues).
+func (c *Controller) commitRetargets(plans []retargetPlan, view *flow.BuildView, sig string) {
+	if view != nil {
+		if err := view.Commit(c.dir); err != nil {
+			// Unreachable: the snapshot, builds and commit all happen
+			// within one event-loop call, so nothing can move underneath.
+			c.cfg.Logf("controller: retarget commit conflict: %v", err)
+			return
+		}
+	}
+	if c.assignCache == nil {
+		c.assignCache = make(map[string]map[string]*core.Assignment)
+	}
+	for i := range plans {
+		p := &plans[i]
+		switch {
+		case p.err != nil:
+		case p.cached != nil:
+			p.t.Active = p.cached
+		default:
+			p.t.Assignments = append(p.t.Assignments, p.built)
+			p.t.Active = p.built
+			bySig := c.assignCache[p.name]
+			if bySig == nil {
+				bySig = make(map[string]*core.Assignment)
+				c.assignCache[p.name] = bySig
+			}
+			bySig[sig] = p.built
+			c.Stats.TemplatesBuilt.Add(1)
+		}
+	}
+}
+
+// OutstandingCommands returns the number of dispatched-but-unfinished
+// data-plane commands and template instances (call via Do). Unlike
+// barriers it does not count in-flight template builds, so tests can
+// observe completion processing while a build is stalled.
+func (c *Controller) OutstandingCommands() int {
+	return len(c.outstanding) + len(c.instances) + c.central.pendingCount()
+}
+
+// BuildQueueDepth returns the number of driver operations fenced behind
+// in-flight template builds (call via Do).
+func (c *Controller) BuildQueueDepth() int { return len(c.opq) }
+
+// InvalidateAssignmentCache drops the per-worker-set assignment cache so
+// the next retarget rebuilds every template (benchmarks and operational
+// tooling use it to force the rebuild path; call via Do). Non-active
+// assignments are released too: without the cache they can never be
+// restored.
+func (c *Controller) InvalidateAssignmentCache() {
+	c.assignCache = nil
+	for _, t := range c.templates {
+		// Fresh slice: re-truncating would keep the dropped assignments
+		// reachable through the old backing array.
+		if t.Active != nil {
+			t.Assignments = []*core.Assignment{t.Active}
+		} else {
+			t.Assignments = nil
+		}
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"errors"
 	"fmt"
 	"log"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -70,6 +71,12 @@ type Config struct {
 	// HeartbeatTimeout marks a worker failed after silence (zero disables
 	// heartbeat-based detection; connection errors still trigger it).
 	HeartbeatTimeout time.Duration
+	// BuildParallelism bounds the goroutine pool template builds use,
+	// both the background executor and the intra-build sharding (0 =
+	// GOMAXPROCS, 1 = serial builds).
+	BuildParallelism int
+	// Hooks are optional test/fault-injection instrumentation points.
+	Hooks Hooks
 	// Logf receives diagnostics. Nil defaults to log.Printf.
 	Logf func(format string, args ...any)
 }
@@ -96,10 +103,16 @@ type Stats struct {
 	AutoValidations atomic.Uint64
 	EditsSent       atomic.Uint64
 	Recoveries      atomic.Uint64
+	// BuildRetries counts off-loop builds discarded at commit because
+	// placement or the directory moved underneath them.
+	BuildRetries atomic.Uint64
+	// BuildsInFlight gauges template builds currently running off-loop.
+	BuildsInFlight atomic.Int64
 
 	ScheduleNanos    atomic.Uint64 // live per-task scheduling
-	RecordNanos      atomic.Uint64 // template recording (builder) time
-	FinalizeNanos    atomic.Uint64 // controller-template finalize + install
+	RecordNanos      atomic.Uint64 // template recording (stage capture) time
+	BuildNanos       atomic.Uint64 // off-loop assignment construction time
+	FinalizeNanos    atomic.Uint64 // controller-template commit + install
 	InstantiateNanos atomic.Uint64 // block instantiation (controller side)
 	ValidateNanos    atomic.Uint64 // precondition validation
 	PatchBuildNanos  atomic.Uint64 // patch construction
@@ -144,6 +157,14 @@ type Controller struct {
 	// pendingEdits stages per-worker edits to attach to the next
 	// instantiation of each assignment.
 	pendingEdits map[ids.TemplateID]map[ids.WorkerID][]editStaged
+	// Off-loop builds: in-flight jobs by template name, the driver-op
+	// fence queue, the bounded build executor, and the placement epoch
+	// that stales snapshots (bumped by reassignment and migration).
+	building   map[string]*buildJob
+	opq        []proto.Msg
+	buildSem   chan struct{}
+	buildPar   int
+	placeEpoch uint64
 
 	// Outstanding work. wm incrementally tracks the minimum outstanding
 	// command ID / instance base so doneWatermark never rescans the maps.
@@ -202,9 +223,11 @@ type varMeta struct {
 	assign     []ids.WorkerID // partition -> owning worker
 }
 
+// recordingState captures the basic block being recorded. Only the stage
+// specs are kept: assignment construction is a pure function over them and
+// runs off-loop at TemplateEnd.
 type recordingState struct {
-	tmpl    *core.Template
-	builder *core.Builder
+	tmpl *core.Template
 }
 
 type instState struct {
@@ -264,6 +287,9 @@ func New(cfg Config) *Controller {
 	if cfg.Logf == nil {
 		cfg.Logf = log.Printf
 	}
+	if cfg.BuildParallelism <= 0 {
+		cfg.BuildParallelism = runtime.GOMAXPROCS(0)
+	}
 	c := &Controller{
 		cfg:          cfg,
 		events:       make(chan cevent, 4096),
@@ -278,6 +304,9 @@ func New(cfg Config) *Controller {
 		instances:    make(map[uint64]*instState),
 		wm:           newWMTracker(),
 		fetches:      make(map[uint64]*pendingFetch),
+		building:     make(map[string]*buildJob),
+		buildSem:     make(chan struct{}, cfg.BuildParallelism),
+		buildPar:     cfg.BuildParallelism,
 	}
 	c.dir = flow.NewDirectory(&c.objIDs)
 	c.central = newCentralGraph(c)
@@ -480,21 +509,16 @@ func (c *Controller) handleMsg(ev cevent) {
 		c.handleHaltAck(m)
 	case *proto.ErrorMsg:
 		c.cfg.Logf("controller: error from %s: %s", ev.from, m.Text)
-	// Driver operations.
-	case *proto.DefineVariable:
-		c.handleDefineVariable(m)
-	case *proto.Put:
-		c.handlePut(m)
+	// Driver operations that mutate execution state go through the build
+	// fence: while an off-loop template build is in flight they queue in
+	// arrival order so driver program order is preserved. Gets, barriers
+	// and checkpoints stay un-fenced — they park on quiescence, which
+	// counts in-flight builds and queued operations.
+	case *proto.DefineVariable, *proto.Put, *proto.SubmitStage,
+		*proto.TemplateStart, *proto.TemplateEnd, *proto.InstantiateBlock:
+		c.driverOp(m)
 	case *proto.Get:
 		c.handleGet(m)
-	case *proto.SubmitStage:
-		c.handleSubmitStage(m)
-	case *proto.TemplateStart:
-		c.handleTemplateStart(m)
-	case *proto.TemplateEnd:
-		c.handleTemplateEnd(m)
-	case *proto.InstantiateBlock:
-		c.handleInstantiateBlock(m)
 	case *proto.Barrier:
 		c.handleBarrier(m)
 	case *proto.CheckpointReq:

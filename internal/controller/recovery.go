@@ -184,13 +184,12 @@ func (c *Controller) finishRecovery() {
 	}
 	c.dispatchCommands(batches)
 
-	// Rebuild template assignments for the new placement and replay the
-	// operations since the checkpoint.
-	for name, t := range c.templates {
-		if err := c.retargetTemplate(name, t); err != nil {
-			c.cfg.Logf("controller: recovery rebuild of %q: %v", name, err)
-		}
-	}
+	// Rebuild template assignments for the new placement (parallel group
+	// build) and replay the operations since the checkpoint. Templates
+	// whose original build is still in flight are skipped here; those
+	// zombie builds fail revalidation at commit (the directory object
+	// changed) and resolve against the recovered state.
+	c.retargetAll()
 	c.lastBlock = ids.NoTemplate
 	c.autoValid = false
 	c.recovering = false

@@ -105,9 +105,13 @@ func (c *Controller) handleBarrier(m *proto.Barrier) {
 	c.resolveIfQuiet()
 }
 
-// totalOutstanding counts unfinished dispatched work.
+// totalOutstanding counts unfinished work: dispatched commands and
+// instances, plus in-flight template builds and the driver operations
+// queued behind them — barriers, gets and checkpoints must not resolve
+// while queued operations still have effects to apply.
 func (c *Controller) totalOutstanding() int {
-	return len(c.outstanding) + len(c.instances) + c.central.pendingCount()
+	return len(c.outstanding) + len(c.instances) + c.central.pendingCount() +
+		len(c.building) + len(c.opq)
 }
 
 // resolveIfQuiet answers barriers and gets once the system has drained.
@@ -165,7 +169,11 @@ func (c *Controller) handleObjectData(m *proto.ObjectData) {
 func (c *Controller) handleSubmitStage(m *proto.SubmitStage) {
 	if c.recording != nil {
 		rstart := time.Now()
-		if err := c.recording.builder.AddStage(m); err != nil {
+		// Recording only validates and captures the stage spec; the
+		// O(tasks) assignment construction happens off-loop at
+		// TemplateEnd. Every build-time error is shape-dependent, so
+		// validation here guarantees the deferred build cannot fail.
+		if err := core.ValidateStage(m, c.placement()); err != nil {
 			c.driverError(err.Error())
 			c.recording = nil
 		} else {

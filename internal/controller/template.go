@@ -28,14 +28,17 @@ func (c *Controller) handleTemplateStart(m *proto.TemplateStart) {
 		return
 	}
 	c.recording = &recordingState{
-		tmpl:    &core.Template{ID: ids.TemplateID(c.tmplIDs.Next()), Name: m.Name},
-		builder: core.NewBuilder(c.dir, c.placement()),
+		tmpl: &core.Template{ID: ids.TemplateID(c.tmplIDs.Next()), Name: m.Name},
 	}
 	c.logOp(m)
 }
 
-// handleTemplateEnd post-processes the recorded block into a controller
-// template, generates the worker templates, and installs them.
+// handleTemplateEnd finishes recording and hands the block to the
+// background build executor: the event loop only snapshots state and
+// registers the in-flight build; the O(tasks) assignment construction runs
+// off-loop and comes back as a commit event (builds.go). Instantiations
+// arriving before the commit queue behind the build fence instead of
+// stalling the loop.
 func (c *Controller) handleTemplateEnd(m *proto.TemplateEnd) {
 	rec := c.recording
 	if rec == nil || rec.tmpl.Name != m.Name {
@@ -43,16 +46,9 @@ func (c *Controller) handleTemplateEnd(m *proto.TemplateEnd) {
 		return
 	}
 	c.recording = nil
-	start := time.Now()
-	a := rec.builder.Finalize(ids.TemplateID(c.tmplIDs.Next()))
-	rec.tmpl.Assignments = []*core.Assignment{a}
-	rec.tmpl.Active = a
 	c.templates[m.Name] = rec.tmpl
-	c.Stats.TemplatesBuilt.Add(1)
-	c.installAssignment(rec.tmpl, a)
-	c.Stats.FinalizeNanos.Add(uint64(time.Since(start)))
-	c.cacheActiveAssignments()
 	c.logOp(m)
+	c.startTemplateBuild(m.Name, rec.tmpl)
 }
 
 // installAssignment pushes worker templates to every worker that does not
@@ -78,6 +74,12 @@ func (c *Controller) handleInstantiateBlock(m *proto.InstantiateBlock) {
 		return
 	}
 	a := t.Active
+	if a == nil {
+		// Unreachable through the build fence (instantiations queue while
+		// the template's build is in flight), kept as a guard.
+		c.driverError(fmt.Sprintf("instantiate of template %q before its build finished", m.Name))
+		return
+	}
 	start := time.Now()
 
 	// Validation. A template instantiated immediately after itself

@@ -2,10 +2,11 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
 
 	"nimbus/internal/command"
-	"nimbus/internal/flow"
 	"nimbus/internal/ids"
 	"nimbus/internal/proto"
 )
@@ -20,7 +21,7 @@ const (
 )
 
 // restoreStage is the pseudo stage index of the restoring copies appended
-// by Finalize so that a template's postcondition satisfies its own
+// by the build so that a template's postcondition satisfies its own
 // precondition (paper §4.2, optimization 1).
 const restoreStage = -1
 
@@ -80,13 +81,48 @@ type Effects struct {
 	Ledger  map[ids.WorkerID][]LedgerEffect
 }
 
-// Builder constructs an Assignment (the controller half of a worker
-// template set plus the controller template's command array) from a
-// sequence of stages under a fixed placement. The controller runs a
-// Builder while recording a basic block (paper §4.1) and again when
-// rebuilding an assignment for a new placement.
-type Builder struct {
-	dir   *flow.Directory
+// Instances resolves the stable physical instance of a logical object on a
+// worker, allocating one on first use. *flow.Directory implements it for
+// on-loop builds; *flow.BuildView implements it for off-loop builds over a
+// directory snapshot.
+type Instances interface {
+	Instance(l ids.LogicalID, w ids.WorkerID) ids.ObjectID
+}
+
+// ValidateStage checks that a stage can be recorded into a template under
+// the given placement. Every build-time error is shape-dependent, not
+// task-dependent (partition-count mismatches, divisibility, fixed-index
+// bounds), so validating task 0 of each reference covers the whole stage;
+// after ValidateStage succeeds a build of the stage cannot fail.
+func ValidateStage(spec *proto.SubmitStage, place Placement) error {
+	if len(spec.PerTask) > 0 {
+		return fmt.Errorf("core: stage %s has per-task parameters and cannot be templated", spec.Stage)
+	}
+	if spec.Tasks <= 0 {
+		// A degenerate zero-task stage records (and builds) to nothing,
+		// matching the live scheduling path.
+		return nil
+	}
+	if _, _, err := TaskAccesses(spec, place, 0); err != nil {
+		return err
+	}
+	if _, err := AnchorWorker(spec, place, 0); err != nil {
+		return err
+	}
+	return nil
+}
+
+// taskPlan is one task's resolved placement: what it reads and writes and
+// where it runs. Pass A of the build produces one per task, in parallel.
+type taskPlan struct {
+	reads  []ids.LogicalID
+	writes []ids.LogicalID
+	worker ids.WorkerID
+}
+
+// buildState is the serial (pass B) state of one assignment build.
+type buildState struct {
+	inst  Instances
 	place Placement
 
 	entries  []command.TemplateEntry
@@ -94,11 +130,9 @@ type Builder struct {
 	prov     []Provenance
 
 	holders  map[ids.LogicalID]*holderState
-	ledgers  map[ids.WorkerID]*idxLedger
 	preconds []Precond
 	precondS map[precondKey]bool
 	slots    int
-	stages   []*proto.SubmitStage
 }
 
 type precondKey struct {
@@ -116,6 +150,8 @@ type holderState struct {
 }
 
 // idxLedger mirrors flow.Ledger with entry indexes instead of command IDs.
+// Pass C keeps one per worker; per-worker ledgers are disjoint, which is
+// what makes the dependency pass shardable.
 type idxLedger struct {
 	orders map[ids.ObjectID]*idxOrder
 }
@@ -123,27 +159,6 @@ type idxLedger struct {
 type idxOrder struct {
 	lastWriter int32 // -1: no in-template writer
 	readers    []int32
-}
-
-// NewBuilder returns a Builder allocating object instances from dir and
-// resolving placement through place.
-func NewBuilder(dir *flow.Directory, place Placement) *Builder {
-	return &Builder{
-		dir:      dir,
-		place:    place,
-		holders:  make(map[ids.LogicalID]*holderState),
-		ledgers:  make(map[ids.WorkerID]*idxLedger),
-		precondS: make(map[precondKey]bool),
-	}
-}
-
-func (b *Builder) ledger(w ids.WorkerID) *idxLedger {
-	l, ok := b.ledgers[w]
-	if !ok {
-		l = &idxLedger{orders: make(map[ids.ObjectID]*idxOrder)}
-		b.ledgers[w] = l
-	}
-	return l
 }
 
 func (l *idxLedger) orderOf(o ids.ObjectID) *idxOrder {
@@ -188,71 +203,251 @@ func appendUniqueIdx(deps []int32, idx int32) []int32 {
 	return append(deps, idx)
 }
 
-// AddStage appends one stage's tasks (and any data movement they imply) to
-// the template under construction.
-func (b *Builder) AddStage(spec *proto.SubmitStage) error {
-	if len(spec.PerTask) > 0 {
-		return fmt.Errorf("core: stage %s has per-task parameters and cannot be templated", spec.Stage)
+// BuildAssignment constructs an Assignment (the controller half of a
+// worker-template set plus the controller template's command array) for the
+// given stage sequence under a fixed placement. It is a pure function over
+// its inputs: inst and place are only read (inst may allocate fresh
+// instance IDs), so it can run off the controller's event loop against a
+// directory snapshot while the loop keeps serving heartbeats, completions
+// and other templates' dispatch.
+//
+// The build is a three-pass pipeline, sharded where state is disjoint:
+//
+//	A. resolve every task's accesses and anchor worker (pure over place) —
+//	   parallel over tasks;
+//	B. lay out the entry array: copy insertion, index assignment, instance
+//	   resolution, preconditions and object effects (global holder state) —
+//	   serial, but only map lookups per entry;
+//	C. derive every entry's before set and the per-worker ledger effects —
+//	   parallel over workers, since each entry depends only on its home
+//	   worker's index ledger.
+//
+// par bounds the goroutine pool; par <= 0 uses GOMAXPROCS, par == 1 runs
+// fully serially (no goroutines). Output is deterministic and identical
+// across par values.
+func BuildAssignment(id ids.TemplateID, inst Instances, place Placement, stages []*proto.SubmitStage, par int) (*Assignment, error) {
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
 	}
-	slot := command.NoParamSlot
-	if len(spec.Params) > 0 {
-		slot = int32(b.slots)
-		b.slots++
-	}
-	stageIdx := int32(len(b.stages))
-	b.stages = append(b.stages, spec)
 
-	for t := 0; t < spec.Tasks; t++ {
-		reads, writes, err := TaskAccesses(spec, b.place, t)
-		if err != nil {
-			return err
+	// Pass A: per-task placement resolution, sharded over the flattened
+	// task list.
+	total := 0
+	offsets := make([]int, len(stages))
+	for i, spec := range stages {
+		if len(spec.PerTask) > 0 {
+			return nil, fmt.Errorf("core: stage %s has per-task parameters and cannot be templated", spec.Stage)
 		}
-		w, err := AnchorWorker(spec, b.place, t)
-		if err != nil {
-			return err
-		}
-		// First, materialize any copies the reads require so that copy
-		// entries precede the task entry.
-		for _, l := range reads {
-			b.ensureReadable(l, w, stageIdx)
-		}
-		taskIdx := int32(len(b.entries))
-		var deps []int32
-		led := b.ledger(w)
-		readObjs := make([]ids.ObjectID, len(reads))
-		for i, l := range reads {
-			obj := b.dir.Instance(l, w)
-			readObjs[i] = obj
-			deps = led.read(obj, taskIdx, deps)
-		}
-		writeObjs := make([]ids.ObjectID, len(writes))
-		for i, l := range writes {
-			obj := b.dir.Instance(l, w)
-			writeObjs[i] = obj
-			deps = led.write(obj, taskIdx, deps)
-			hs := b.holderOf(l)
-			hs.written = true
-			hs.bumps++
-			for h := range hs.holders {
-				delete(hs.holders, h)
-			}
-			hs.holders[w] = true
-		}
-		b.append(command.TemplateEntry{
-			Index:     taskIdx,
-			Kind:      command.Task,
-			Function:  spec.Fn,
-			Reads:     readObjs,
-			Writes:    writeObjs,
-			BeforeIdx: deps,
-			ParamSlot: slot,
-			Fixed:     spec.Params,
-		}, w, Provenance{Kind: provTask, Stage: stageIdx, Task: int32(t)})
+		offsets[i] = total
+		total += spec.Tasks
 	}
-	return nil
+	plans := make([]taskPlan, total)
+	var firstErr error
+	var errMu sync.Mutex
+	fail := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+	}
+	shard(total, par, func(lo, hi int) {
+		si := sort.Search(len(offsets), func(i int) bool { return offsets[i] > lo }) - 1
+		for flat := lo; flat < hi; flat++ {
+			for si+1 < len(offsets) && flat >= offsets[si+1] {
+				si++
+			}
+			spec, t := stages[si], flat-offsets[si]
+			reads, writes, err := TaskAccesses(spec, place, t)
+			if err != nil {
+				fail(err)
+				return
+			}
+			w, err := AnchorWorker(spec, place, t)
+			if err != nil {
+				fail(err)
+				return
+			}
+			plans[flat] = taskPlan{reads: reads, writes: writes, worker: w}
+		}
+	})
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	// Pass B: serial entry layout.
+	b := &buildState{
+		inst:     inst,
+		place:    place,
+		entries:  make([]command.TemplateEntry, 0, total+total/4),
+		holders:  make(map[ids.LogicalID]*holderState),
+		precondS: make(map[precondKey]bool),
+	}
+	for si, spec := range stages {
+		slot := command.NoParamSlot
+		if len(spec.Params) > 0 {
+			slot = int32(b.slots)
+			b.slots++
+		}
+		stageIdx := int32(si)
+		for t := 0; t < spec.Tasks; t++ {
+			p := &plans[offsets[si]+t]
+			w := p.worker
+			// First, materialize any copies the reads require so that copy
+			// entries precede the task entry.
+			for _, l := range p.reads {
+				b.ensureReadable(l, w, stageIdx)
+			}
+			taskIdx := int32(len(b.entries))
+			readObjs := make([]ids.ObjectID, len(p.reads))
+			for i, l := range p.reads {
+				readObjs[i] = b.inst.Instance(l, w)
+			}
+			writeObjs := make([]ids.ObjectID, len(p.writes))
+			for i, l := range p.writes {
+				writeObjs[i] = b.inst.Instance(l, w)
+				hs := b.holderOf(l)
+				hs.written = true
+				hs.bumps++
+				for h := range hs.holders {
+					delete(hs.holders, h)
+				}
+				hs.holders[w] = true
+			}
+			b.append(command.TemplateEntry{
+				Index:     taskIdx,
+				Kind:      command.Task,
+				Function:  spec.Fn,
+				Reads:     readObjs,
+				Writes:    writeObjs,
+				ParamSlot: slot,
+				Fixed:     spec.Params,
+			}, w, Provenance{Kind: provTask, Stage: stageIdx, Task: int32(t)})
+		}
+	}
+	// Restoring copies: a precondition (l, w) whose logical object the
+	// template wrote must end with w holding the final version, so tight
+	// loops auto-validate (paper §4.2).
+	for _, pc := range b.preconds {
+		hs, ok := b.holders[pc.Logical]
+		if !ok || !hs.written || hs.holders[pc.Worker] {
+			continue
+		}
+		b.insertCopy(pc.Logical, minHolder(hs.holders), pc.Worker, restoreStage)
+		hs.holders[pc.Worker] = true
+	}
+
+	perWorker := make(map[ids.WorkerID][]int32)
+	for i, w := range b.workerOf {
+		perWorker[w] = append(perWorker[w], int32(i))
+	}
+	workers := make([]ids.WorkerID, 0, len(perWorker))
+	for w := range perWorker {
+		workers = append(workers, w)
+	}
+	sort.Slice(workers, func(i, j int) bool { return workers[i] < workers[j] })
+
+	// Pass C: before sets and ledger effects, sharded over workers. Every
+	// entry's dependencies come from its home worker's index ledger only,
+	// so per-worker goroutines touch disjoint entries and ledgers.
+	ledgerEff := make([][]LedgerEffect, len(workers))
+	shard(len(workers), par, func(lo, hi int) {
+		for wi := lo; wi < hi; wi++ {
+			led := &idxLedger{orders: make(map[ids.ObjectID]*idxOrder)}
+			for _, idx := range perWorker[workers[wi]] {
+				e := &b.entries[idx]
+				var deps []int32
+				for _, o := range e.Reads {
+					deps = led.read(o, idx, deps)
+				}
+				for _, o := range e.Writes {
+					deps = led.write(o, idx, deps)
+				}
+				e.BeforeIdx = deps
+			}
+			objs := make([]ids.ObjectID, 0, len(led.orders))
+			for o := range led.orders {
+				objs = append(objs, o)
+			}
+			sort.Slice(objs, func(i, j int) bool { return objs[i] < objs[j] })
+			les := make([]LedgerEffect, 0, len(objs))
+			for _, o := range objs {
+				ord := led.orders[o]
+				les = append(les, LedgerEffect{
+					Object:        o,
+					LastWriterIdx: ord.lastWriter,
+					Readers:       append([]int32(nil), ord.readers...),
+				})
+			}
+			ledgerEff[wi] = les
+		}
+	})
+
+	eff := Effects{Ledger: make(map[ids.WorkerID][]LedgerEffect, len(workers))}
+	for wi, w := range workers {
+		eff.Ledger[w] = ledgerEff[wi]
+	}
+	logicals := make([]ids.LogicalID, 0, len(b.holders))
+	for l, hs := range b.holders {
+		if hs.written {
+			logicals = append(logicals, l)
+		}
+	}
+	sort.Slice(logicals, func(i, j int) bool { return logicals[i] < logicals[j] })
+	for _, l := range logicals {
+		hs := b.holders[l]
+		holders := make([]ids.WorkerID, 0, len(hs.holders))
+		for w := range hs.holders {
+			holders = append(holders, w)
+		}
+		sort.Slice(holders, func(i, j int) bool { return holders[i] < holders[j] })
+		eff.Objects = append(eff.Objects, ObjectEffect{Logical: l, Bumps: hs.bumps, FinalHolders: holders})
+	}
+
+	return &Assignment{
+		ID:        id,
+		Entries:   b.entries,
+		WorkerOf:  b.workerOf,
+		Prov:      b.prov,
+		PerWorker: perWorker,
+		Preconds:  b.preconds,
+		Effects:   eff,
+		Slots:     b.slots,
+		Installed: make(map[ids.WorkerID]bool),
+		live:      len(b.entries),
+	}, nil
 }
 
-func (b *Builder) holderOf(l ids.LogicalID) *holderState {
+// shard splits [0, n) into at most par contiguous chunks and runs fn over
+// them, inline when par == 1 or the range is trivial.
+func shard(n, par int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if par > n {
+		par = n
+	}
+	if par <= 1 {
+		fn(0, n)
+		return
+	}
+	chunk := (n + par - 1) / par
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+func (b *buildState) holderOf(l ids.LogicalID) *holderState {
 	hs, ok := b.holders[l]
 	if !ok {
 		hs = &holderState{holders: make(map[ids.WorkerID]bool)}
@@ -266,7 +461,7 @@ func (b *Builder) holderOf(l ids.LogicalID) *holderState {
 // w, so a copy pair is inserted when missing. Otherwise the read is an
 // entry read: it becomes a worker-template precondition — patches, not
 // cached copies, handle entry-time data movement (paper §2.4).
-func (b *Builder) ensureReadable(l ids.LogicalID, w ids.WorkerID, stage int32) {
+func (b *buildState) ensureReadable(l ids.LogicalID, w ids.WorkerID, stage int32) {
 	hs, ok := b.holders[l]
 	if !ok || !hs.written {
 		key := precondKey{l, w}
@@ -275,7 +470,7 @@ func (b *Builder) ensureReadable(l ids.LogicalID, w ids.WorkerID, stage int32) {
 			b.preconds = append(b.preconds, Precond{
 				Logical: l,
 				Worker:  w,
-				Object:  b.dir.Instance(l, w),
+				Object:  b.inst.Instance(l, w),
 			})
 		}
 		return
@@ -298,108 +493,79 @@ func minHolder(holders map[ids.WorkerID]bool) ids.WorkerID {
 }
 
 // insertCopy appends a send/receive pair moving the template-current
-// version of l from src to dst.
-func (b *Builder) insertCopy(l ids.LogicalID, src, dst ids.WorkerID, stage int32) (sendIdx, recvIdx int32) {
-	srcObj := b.dir.Instance(l, src)
-	dstObj := b.dir.Instance(l, dst)
+// version of l from src to dst. Before sets are filled by pass C.
+func (b *buildState) insertCopy(l ids.LogicalID, src, dst ids.WorkerID, stage int32) (sendIdx, recvIdx int32) {
+	srcObj := b.inst.Instance(l, src)
+	dstObj := b.inst.Instance(l, dst)
 	sendIdx = int32(len(b.entries))
 	recvIdx = sendIdx + 1
 
-	sendDeps := b.ledger(src).read(srcObj, sendIdx, nil)
 	b.append(command.TemplateEntry{
 		Index:     sendIdx,
 		Kind:      command.CopySend,
 		Reads:     []ids.ObjectID{srcObj},
-		BeforeIdx: sendDeps,
 		ParamSlot: command.NoParamSlot,
 		Logical:   l,
 		DstWorker: dst,
 		DstIdx:    recvIdx,
 	}, src, Provenance{Kind: provSend, Stage: stage, Logical: l, From: src, To: dst})
 
-	recvDeps := b.ledger(dst).write(dstObj, recvIdx, nil)
 	b.append(command.TemplateEntry{
 		Index:     recvIdx,
 		Kind:      command.CopyRecv,
 		Writes:    []ids.ObjectID{dstObj},
-		BeforeIdx: recvDeps,
 		ParamSlot: command.NoParamSlot,
 		Logical:   l,
 	}, dst, Provenance{Kind: provRecv, Stage: stage, Logical: l, To: dst})
 	return sendIdx, recvIdx
 }
 
-func (b *Builder) append(e command.TemplateEntry, w ids.WorkerID, p Provenance) {
+func (b *buildState) append(e command.TemplateEntry, w ids.WorkerID, p Provenance) {
 	b.entries = append(b.entries, e)
 	b.workerOf = append(b.workerOf, w)
 	b.prov = append(b.prov, p)
 }
 
-// Finalize completes the build: it appends restoring copies so every
-// precondition holds again when the template finishes (making tight loops
-// auto-validate, paper §4.2), then assembles the Assignment with its
-// per-worker entry lists, preconditions and instantiation effects.
+// Builder accumulates a stage sequence and builds it into an Assignment.
+// It is the recording-time facade over BuildAssignment: AddStage validates
+// each stage as the controller records it (so the driver hears about a
+// non-templatable stage at submission time), and Finalize runs the full
+// sharded construction.
+type Builder struct {
+	inst   Instances
+	place  Placement
+	stages []*proto.SubmitStage
+	par    int
+}
+
+// NewBuilder returns a Builder resolving object instances from inst and
+// placement through place.
+func NewBuilder(inst Instances, place Placement) *Builder {
+	return &Builder{inst: inst, place: place}
+}
+
+// SetParallelism bounds the goroutine pool Finalize uses (0 = GOMAXPROCS,
+// 1 = fully serial).
+func (b *Builder) SetParallelism(par int) { b.par = par }
+
+// AddStage appends one stage to the template under construction after
+// validating it can be templated under the builder's placement.
+func (b *Builder) AddStage(spec *proto.SubmitStage) error {
+	if err := ValidateStage(spec, b.place); err != nil {
+		return err
+	}
+	b.stages = append(b.stages, spec)
+	return nil
+}
+
+// Finalize builds the accumulated stages into an Assignment. Stages were
+// validated by AddStage, so the build cannot fail.
 func (b *Builder) Finalize(id ids.TemplateID) *Assignment {
-	// Restoring copies: a precondition (l, w) whose logical object the
-	// template wrote must end with w holding the final version.
-	for _, pc := range b.preconds {
-		hs, ok := b.holders[pc.Logical]
-		if !ok || !hs.written || hs.holders[pc.Worker] {
-			continue
-		}
-		b.insertCopy(pc.Logical, minHolder(hs.holders), pc.Worker, restoreStage)
-		hs.holders[pc.Worker] = true
+	a, err := BuildAssignment(id, b.inst, b.place, b.stages, b.par)
+	if err != nil {
+		// Unreachable: every build-time error is caught by AddStage's
+		// ValidateStage (errors are shape-, not task-dependent).
+		panic(fmt.Sprintf("core: validated build failed: %v", err))
 	}
-
-	perWorker := make(map[ids.WorkerID][]int32)
-	for i, w := range b.workerOf {
-		perWorker[w] = append(perWorker[w], int32(i))
-	}
-
-	eff := Effects{Ledger: make(map[ids.WorkerID][]LedgerEffect, len(b.ledgers))}
-	logicals := make([]ids.LogicalID, 0, len(b.holders))
-	for l, hs := range b.holders {
-		if hs.written {
-			logicals = append(logicals, l)
-		}
-	}
-	sort.Slice(logicals, func(i, j int) bool { return logicals[i] < logicals[j] })
-	for _, l := range logicals {
-		hs := b.holders[l]
-		holders := make([]ids.WorkerID, 0, len(hs.holders))
-		for w := range hs.holders {
-			holders = append(holders, w)
-		}
-		sort.Slice(holders, func(i, j int) bool { return holders[i] < holders[j] })
-		eff.Objects = append(eff.Objects, ObjectEffect{Logical: l, Bumps: hs.bumps, FinalHolders: holders})
-	}
-	for w, led := range b.ledgers {
-		objs := make([]ids.ObjectID, 0, len(led.orders))
-		for o := range led.orders {
-			objs = append(objs, o)
-		}
-		sort.Slice(objs, func(i, j int) bool { return objs[i] < objs[j] })
-		les := make([]LedgerEffect, 0, len(objs))
-		for _, o := range objs {
-			ord := led.orders[o]
-			les = append(les, LedgerEffect{
-				Object:        o,
-				LastWriterIdx: ord.lastWriter,
-				Readers:       append([]int32(nil), ord.readers...),
-			})
-		}
-		eff.Ledger[w] = les
-	}
-
-	return &Assignment{
-		ID:        id,
-		Entries:   b.entries,
-		WorkerOf:  b.workerOf,
-		Prov:      b.prov,
-		PerWorker: perWorker,
-		Preconds:  b.preconds,
-		Effects:   eff,
-		Slots:     b.slots,
-		Installed: make(map[ids.WorkerID]bool),
-	}
+	return a
 }

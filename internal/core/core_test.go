@@ -1,6 +1,7 @@
 package core
 
 import (
+	"reflect"
 	"testing"
 
 	"nimbus/internal/command"
@@ -264,5 +265,113 @@ func TestGroupedMismatch(t *testing.T) {
 	}
 	if _, _, err := TaskAccesses(spec, place, 0); err == nil {
 		t.Fatal("grouped access with non-divisible partitions must fail")
+	}
+}
+
+// TestBuildParallelMatchesSerial: the sharded build must be bit-identical
+// to the serial build at every parallelism level — the controller relies
+// on this when committing off-loop builds and diffing rebuilds.
+func TestBuildParallelMatchesSerial(t *testing.T) {
+	build := func(par int) *Assignment {
+		place := NewStaticPlacement(8)
+		place.Define(1, 64)
+		place.Define(2, 1)
+		place.Define(3, 64)
+		place.Define(4, 16)
+		var alloc ids.ObjectIDs
+		dir := flow.NewDirectory(&alloc)
+		a, err := BuildAssignment(1, dir, place, lrLikeStages(64, 4), par)
+		if err != nil {
+			t.Fatalf("par=%d: %v", par, err)
+		}
+		return a
+	}
+	serial := build(1)
+	for _, par := range []int{2, 4, 8, 0} {
+		p := build(par)
+		if !reflect.DeepEqual(serial.Entries, p.Entries) {
+			t.Fatalf("par=%d: entries differ from serial build", par)
+		}
+		if !reflect.DeepEqual(serial.Effects, p.Effects) {
+			t.Fatalf("par=%d: effects differ from serial build", par)
+		}
+		if !reflect.DeepEqual(serial.Preconds, p.Preconds) {
+			t.Fatalf("par=%d: preconditions differ from serial build", par)
+		}
+		if !reflect.DeepEqual(serial.PerWorker, p.PerWorker) {
+			t.Fatalf("par=%d: per-worker lists differ from serial build", par)
+		}
+		if serial.Size() != p.Size() {
+			t.Fatalf("par=%d: size %d != %d", par, p.Size(), serial.Size())
+		}
+	}
+}
+
+// TestAssignmentSizeLiveCount: Size must stay correct through edit and
+// tombstone churn without rescanning the entry array.
+func TestAssignmentSizeLiveCount(t *testing.T) {
+	a, _, _ := buildLRAssignment(t, 4, 8, 4)
+	recount := func() int {
+		n := 0
+		for i := range a.Entries {
+			if a.Entries[i].Kind != 0 {
+				n++
+			}
+		}
+		return n
+	}
+	if a.Size() != recount() {
+		t.Fatalf("fresh build: Size=%d recount=%d", a.Size(), recount())
+	}
+
+	next := int32(len(a.Entries))
+	prov := map[int32]Provenance{}
+	// Churn: remove a window, re-add one removed entry at its old index,
+	// append fresh entries, double-remove, remove-missing, and overwrite a
+	// live index in place.
+	steps := []command.Edit{
+		{Remove: []int32{0, 1, 2, 3}},
+		{Add: []command.TemplateEntry{func() command.TemplateEntry {
+			e := a.Entries[5]
+			e.Index = 2
+			e.Kind = command.Task
+			return e
+		}()}},
+		{Add: []command.TemplateEntry{
+			{Index: next, Kind: command.Task},
+			{Index: next + 1, Kind: command.CopySend},
+		}},
+		{Remove: []int32{0, 0}},              // 0 already tombstoned
+		{Remove: []int32{next + 100}},        // out of range: ignored
+		{Remove: []int32{5}, Add: []command.TemplateEntry{{Index: 5, Kind: command.Task}}},
+	}
+	for i, e := range steps {
+		a.ApplyEdit(1, &e, prov)
+		if a.Size() != recount() {
+			t.Fatalf("step %d: Size=%d recount=%d", i, a.Size(), recount())
+		}
+	}
+}
+
+// TestZeroTaskStageRecordable: a degenerate zero-task stage must validate
+// and build to nothing, matching the live scheduling path.
+func TestZeroTaskStageRecordable(t *testing.T) {
+	place := NewStaticPlacement(2)
+	place.Define(1, 4)
+	spec := &proto.SubmitStage{
+		Stage: 1, Fn: fn.FuncSim, Tasks: 0,
+		Refs: []proto.VarRef{{Var: 1, Pattern: proto.OnePerTask}},
+	}
+	if err := ValidateStage(spec, place); err != nil {
+		t.Fatalf("zero-task stage rejected: %v", err)
+	}
+	var alloc ids.ObjectIDs
+	dir := flow.NewDirectory(&alloc)
+	a, err := BuildAssignment(1, dir, place, []*proto.SubmitStage{spec}, 0)
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	if a.Size() != 0 || len(a.Entries) != 0 {
+		t.Fatalf("zero-task stage built %d entries", len(a.Entries))
 	}
 }

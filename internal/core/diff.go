@@ -148,6 +148,9 @@ func objectsEqual(a, b []ids.ObjectID) bool {
 func (a *Assignment) ApplyEdit(w ids.WorkerID, e *command.Edit, prov map[int32]Provenance) {
 	for _, idx := range e.Remove {
 		if int(idx) < len(a.Entries) {
+			if a.Entries[idx].Kind != 0 {
+				a.live--
+			}
 			a.Entries[idx] = command.TemplateEntry{}
 		}
 	}
@@ -157,6 +160,11 @@ func (a *Assignment) ApplyEdit(w ids.WorkerID, e *command.Edit, prov map[int32]P
 			a.Entries = append(a.Entries, command.TemplateEntry{})
 			a.WorkerOf = append(a.WorkerOf, ids.NoWorker)
 			a.Prov = append(a.Prov, Provenance{})
+		}
+		if a.Entries[ne.Index].Kind == 0 && ne.Kind != 0 {
+			a.live++
+		} else if a.Entries[ne.Index].Kind != 0 && ne.Kind == 0 {
+			a.live--
 		}
 		a.Entries[ne.Index] = ne
 		a.WorkerOf[ne.Index] = w

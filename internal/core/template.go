@@ -48,17 +48,25 @@ type Assignment struct {
 	Slots int
 	// Installed tracks which workers hold this worker template.
 	Installed map[ids.WorkerID]bool
+	// live counts non-tombstone entries, maintained incrementally by the
+	// build, remap and edit paths so Size is O(1) instead of an
+	// O(entries) tombstone scan.
+	live int
 }
 
 // Size returns the number of live entries.
-func (a *Assignment) Size() int {
+func (a *Assignment) Size() int { return a.live }
+
+// recountLive recomputes the live-entry count from scratch (used by bulk
+// rewrites of the entry array).
+func (a *Assignment) recountLive() {
 	n := 0
 	for i := range a.Entries {
 		if a.Entries[i].Kind != 0 {
 			n++
 		}
 	}
-	return n
+	a.live = n
 }
 
 // Workers returns the sorted set of workers with at least one entry.
@@ -158,17 +166,22 @@ func (a *Assignment) MaxIndex() int {
 type NextTemplateOp uint8
 
 // Rebuild constructs a fresh assignment for the template's stages under
-// the given placement, drawing object instances from dir. The new
+// the given placement, drawing object instances from inst (the live
+// directory on-loop, or a snapshot build view off-loop). The new
 // assignment's entry indexes are remapped by provenance against prev (if
 // non-nil) so unchanged entries keep their indexes; see Diff.
-func (t *Template) Rebuild(id ids.TemplateID, dir *flow.Directory, place Placement, prev *Assignment) (*Assignment, error) {
-	b := NewBuilder(dir, place)
-	for _, spec := range t.Stages {
-		if err := b.AddStage(spec); err != nil {
-			return nil, fmt.Errorf("core: rebuilding %q: %w", t.Name, err)
-		}
+func (t *Template) Rebuild(id ids.TemplateID, inst Instances, place Placement, prev *Assignment) (*Assignment, error) {
+	return t.RebuildPar(id, inst, place, prev, 0)
+}
+
+// RebuildPar is Rebuild with an explicit goroutine-pool bound (0 =
+// GOMAXPROCS, 1 = serial); the controller's build executor uses it to
+// split cores between concurrent template builds.
+func (t *Template) RebuildPar(id ids.TemplateID, inst Instances, place Placement, prev *Assignment, par int) (*Assignment, error) {
+	a, err := BuildAssignment(id, inst, place, t.Stages, par)
+	if err != nil {
+		return nil, fmt.Errorf("core: rebuilding %q: %w", t.Name, err)
 	}
-	a := b.Finalize(id)
 	if prev != nil {
 		remapByProvenance(a, prev)
 	}
@@ -240,4 +253,5 @@ func remapByProvenance(a, prev *Assignment) {
 		}
 		a.Effects.Ledger[w] = les
 	}
+	a.recountLive()
 }

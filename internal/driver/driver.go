@@ -137,6 +137,11 @@ func (d *Driver) recvMsg() (proto.Msg, error) {
 		})
 		proto.PutBuf(raw)
 		if err != nil {
+			// Drop any messages decoded before the frame was rejected:
+			// delivering a corrupt frame's prefix as valid would
+			// desynchronize request/response matching.
+			d.inbox = d.inbox[:0]
+			d.inboxHead = 0
 			return nil, err
 		}
 	}

@@ -37,13 +37,19 @@ type entry struct {
 }
 
 // Directory tracks every logical object's replicas. It is confined to the
-// controller's event loop and is not safe for concurrent use.
+// controller's event loop and is not safe for concurrent use; Snapshot
+// produces immutable views that background builds may read concurrently.
 type Directory struct {
 	objectIDs *ids.ObjectIDs
 	entries   map[ids.LogicalID]*entry
 	// byObject maps physical instances back to their logical identity,
 	// serving driver Gets and checkpoint manifests.
 	byObject map[ids.ObjectID]*Replica
+	// snap caches the snapshot of the current instance table; any
+	// instance-table mutation (allocation, adoption, worker drop) drops
+	// it, so repeat snapshots between mutations are free. Version bumps
+	// deliberately do not: template builds read only the instance table.
+	snap *Snapshot
 }
 
 // NewDirectory returns an empty directory drawing physical object IDs from
@@ -78,7 +84,51 @@ func (d *Directory) Instance(l ids.LogicalID, w ids.WorkerID) ids.ObjectID {
 	// logical object has never been written (latest == 0).
 	e.replicas[w] = r
 	d.byObject[r.Object] = r
+	d.mutated()
 	return r.Object
+}
+
+// AdoptInstance installs a pre-allocated physical instance for (l, w) —
+// the commit half of an off-loop build, replaying the build view's overlay
+// allocations. It panics if the pair already has a different instance; the
+// caller must have checked for conflicts (BuildView.Commit does).
+func (d *Directory) AdoptInstance(l ids.LogicalID, w ids.WorkerID, o ids.ObjectID) {
+	e := d.entryOf(l)
+	if r, ok := e.replicas[w]; ok {
+		if r.Object != o {
+			panic(fmt.Sprintf("flow: adopt of %s at %s conflicts: have %s, adopting %s",
+				l, w, r.Object, o))
+		}
+		return
+	}
+	r := &Replica{Worker: w, Object: o}
+	e.replicas[w] = r
+	d.byObject[o] = r
+	d.mutated()
+}
+
+// mutated drops the cached snapshot after an instance-table mutation.
+func (d *Directory) mutated() {
+	d.snap = nil
+}
+
+// Snapshot returns an immutable copy of the instance table for off-loop
+// template builds. The copy is cached: in a mutation-free steady state
+// repeated snapshots return the same object without copying.
+func (d *Directory) Snapshot() *Snapshot {
+	if d.snap != nil {
+		return d.snap
+	}
+	base := make(map[ids.LogicalID]map[ids.WorkerID]ids.ObjectID, len(d.entries))
+	for l, e := range d.entries {
+		m := make(map[ids.WorkerID]ids.ObjectID, len(e.replicas))
+		for w, r := range e.replicas {
+			m[w] = r.Object
+		}
+		base[l] = m
+	}
+	d.snap = &Snapshot{base: base, alloc: d.objectIDs}
+	return d.snap
 }
 
 // Lookup returns the replica of l on w, or nil.
@@ -208,11 +258,16 @@ func (d *Directory) ReplicasOf(l ids.LogicalID) []*Replica {
 // Logical objects whose only live replica was on w are left without a
 // latest holder; recovery reloads them from the checkpoint.
 func (d *Directory) DropWorker(w ids.WorkerID) {
+	dropped := false
 	for _, e := range d.entries {
 		if r, ok := e.replicas[w]; ok {
 			delete(e.replicas, w)
 			delete(d.byObject, r.Object)
+			dropped = true
 		}
+	}
+	if dropped {
+		d.mutated()
 	}
 }
 

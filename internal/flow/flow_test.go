@@ -152,3 +152,100 @@ func TestQuickLedgerWriterOrdering(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestDirectorySnapshotEpochCache: snapshots are cached per epoch and
+// invalidated by instance-table mutations, not version bumps.
+func TestDirectorySnapshotEpochCache(t *testing.T) {
+	var alloc ids.ObjectIDs
+	d := NewDirectory(&alloc)
+	const l ids.LogicalID = 1
+	o1 := d.Instance(l, 1)
+
+	s1 := d.Snapshot()
+	if s2 := d.Snapshot(); s2 != s1 {
+		t.Fatal("mutation-free snapshot was recopied")
+	}
+	// Version bumps must not stale the snapshot: builds read only the
+	// instance table.
+	d.RecordWrite(l, 1)
+	if s2 := d.Snapshot(); s2 != s1 {
+		t.Fatal("version bump invalidated the snapshot")
+	}
+	// A new instance must.
+	o2 := d.Instance(l, 2)
+	s3 := d.Snapshot()
+	if s3 == s1 {
+		t.Fatal("instance allocation did not invalidate the cached snapshot")
+	}
+
+	// The view resolves existing pairs to their stable IDs and stages
+	// fresh pairs in its overlay.
+	v := s3.View()
+	if got := v.Instance(l, 1); got != o1 {
+		t.Fatalf("view resolved (l,1) to %s, want %s", got, o1)
+	}
+	fresh := v.Instance(l, 3)
+	if again := v.Instance(l, 3); again != fresh {
+		t.Fatal("overlay allocation not stable within the view")
+	}
+	if got := v.Instance(l, 2); got != o2 {
+		t.Fatalf("view resolved (l,2) to %s, want %s", got, o2)
+	}
+	if err := v.Commit(d); err != nil {
+		t.Fatalf("commit: %v", err)
+	}
+	if got := d.Instance(l, 3); got != fresh {
+		t.Fatalf("directory did not adopt the view's allocation: %s != %s", got, fresh)
+	}
+}
+
+// TestSnapshotCommitConflict: if the directory allocates a different
+// instance for a pair the build also allocated, the commit must fail so
+// the controller rebuilds from a fresh snapshot.
+func TestSnapshotCommitConflict(t *testing.T) {
+	var alloc ids.ObjectIDs
+	d := NewDirectory(&alloc)
+	const l ids.LogicalID = 7
+	d.Instance(l, 1)
+
+	v := d.Snapshot().View()
+	buildObj := v.Instance(l, 2) // staged off-loop
+	liveObj := d.Instance(l, 2)  // racing on-loop allocation
+	if buildObj == liveObj {
+		t.Fatal("distinct allocations collided")
+	}
+	if err := v.Commit(d); err == nil {
+		t.Fatal("conflicting commit succeeded")
+	}
+	// The live allocation must be untouched.
+	if got := d.Instance(l, 2); got != liveObj {
+		t.Fatalf("conflict clobbered the live instance: %s != %s", got, liveObj)
+	}
+}
+
+// TestLedgerSnapshot: ledger snapshots are immutable copies.
+func TestLedgerSnapshot(t *testing.T) {
+	led := NewLedger(1)
+	const o ids.ObjectID = 9
+	led.Write(o, 10, nil)
+	led.Read(o, 11, nil)
+
+	s := led.Snapshot()
+	if s.Worker() != 1 {
+		t.Fatalf("snapshot worker = %s, want w:1", s.Worker())
+	}
+	if s.LastWriter(o) != 10 {
+		t.Fatalf("snapshot last writer = %s, want cmd:10", s.LastWriter(o))
+	}
+	if rs := s.Readers(o); len(rs) != 1 || rs[0] != 11 {
+		t.Fatalf("snapshot readers = %v, want [cmd:11]", rs)
+	}
+	// Later mutations must not leak into the taken snapshot.
+	led.Write(o, 12, nil)
+	if s.LastWriter(o) != 10 {
+		t.Fatal("snapshot mutated by later ledger write")
+	}
+	if s2 := led.Snapshot(); s2.LastWriter(o) != 12 {
+		t.Fatal("fresh snapshot missing later write")
+	}
+}

@@ -99,6 +99,45 @@ func (l *Ledger) Reset() {
 	l.orders = make(map[ids.ObjectID]*objectOrder)
 }
 
+// LedgerSnapshot is an immutable copy of a ledger's ordering state, safe
+// to read off the event loop. Template builds do not need it (they derive
+// dependencies index-relatively from the directory alone), so taking one
+// is a plain copy and the ledger's hot-path Read/Write pay nothing for
+// its existence; it is the sanctioned way for any future off-loop
+// consumer to read ordering state without racing the loop.
+type LedgerSnapshot struct {
+	worker ids.WorkerID
+	orders map[ids.ObjectID]objectOrder
+}
+
+// Snapshot returns an immutable copy of the ledger's ordering state.
+func (l *Ledger) Snapshot() *LedgerSnapshot {
+	s := &LedgerSnapshot{
+		worker: l.worker,
+		orders: make(map[ids.ObjectID]objectOrder, len(l.orders)),
+	}
+	for o, ord := range l.orders {
+		s.orders[o] = objectOrder{
+			lastWriter: ord.lastWriter,
+			readers:    append([]ids.CommandID(nil), ord.readers...),
+		}
+	}
+	return s
+}
+
+// Worker returns the worker the snapshot orders.
+func (s *LedgerSnapshot) Worker() ids.WorkerID { return s.worker }
+
+// LastWriter returns the last writer of o at snapshot time, or NoCommand.
+func (s *LedgerSnapshot) LastWriter(o ids.ObjectID) ids.CommandID {
+	return s.orders[o].lastWriter
+}
+
+// Readers returns the readers of o since its last write, at snapshot time.
+func (s *LedgerSnapshot) Readers(o ids.ObjectID) []ids.CommandID {
+	return s.orders[o].readers
+}
+
 func appendUnique(deps []ids.CommandID, c ids.CommandID) []ids.CommandID {
 	for _, d := range deps {
 		if d == c {

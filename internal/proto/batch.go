@@ -112,6 +112,13 @@ func ForEachMsg(b []byte, fn func(Msg) error) error {
 	if r.Err != nil {
 		return fmt.Errorf("proto: batch count: %w", r.Err)
 	}
+	if n == 0 {
+		// No sender coalesces zero messages (a one-message batch is the
+		// bare message); an empty batch is a malformed frame, and
+		// rejecting it keeps the invariant that every accepted frame
+		// yields at least one message.
+		return fmt.Errorf("proto: empty batch frame")
+	}
 	for i := 0; i < n; i++ {
 		k := MsgKind(r.Byte())
 		if r.Err != nil {

@@ -158,6 +158,9 @@ func TestBufPool(t *testing.T) {
 // fast path: re-encoding the steady-state instantiation message into a
 // pooled buffer must not allocate.
 func TestMarshalSteadyStateZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-mode sync.Pool randomly drops puts; zero-alloc is unverifiable")
+	}
 	msg := steadyStateInstantiate()
 	// Warm the buffer and header pools.
 	for i := 0; i < 64; i++ {

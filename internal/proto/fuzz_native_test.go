@@ -1,0 +1,95 @@
+package proto
+
+import (
+	"testing"
+
+	"nimbus/internal/wire"
+)
+
+// Native Go fuzz targets for the two decoders that face the network:
+// single-frame Unmarshal and the batch iterator ForEachMsg. Hostile frames
+// must return errors, never panic and never hand a nil message to the
+// caller. `go test` runs the seed corpus below as regular tests; CI runs
+// exactly that as decode smoke, and `go test -fuzz=FuzzForEachMsg
+// ./internal/proto/` explores from the seeds.
+
+// hostileSeeds is the wire-level hostile-input corpus: the attack shapes
+// wire's hostile-count tests guard against (length prefixes far larger
+// than the remaining input), expressed as frames, plus malformed frame
+// scaffolding.
+func hostileSeeds() [][]byte {
+	huge := func(prefix ...byte) []byte {
+		var w wire.Writer
+		w.Buf = append(w.Buf, prefix...)
+		w.Uvarint(1 << 50) // hostile count over an empty tail
+		return w.Buf
+	}
+	seeds := [][]byte{
+		{},                             // empty frame
+		{0xff},                         // unknown kind
+		{byte(KindBatch)},              // batch with no count
+		huge(byte(KindBatch)),          // batch claiming 2^50 messages
+		append(huge(byte(KindBatch)), 0x01, 0x02, 0x03), // hostile count + junk tail
+		{byte(KindBatch), 0x02, 0xff},  // batch of 2 with an unknown kind inside
+		{byte(KindBatch), 0x00, 0x00},  // empty batch with trailing bytes
+		huge(),                         // hostile count as a bare kind stream
+	}
+	// Every valid message, marshaled, plus a truncated and a corrupted
+	// variant: the fuzzer mutates from realistic frames, not just noise.
+	for _, m := range everyMessage() {
+		raw := Marshal(m)
+		seeds = append(seeds, raw)
+		if len(raw) > 1 {
+			seeds = append(seeds, raw[:len(raw)/2])
+			mut := append([]byte(nil), raw...)
+			mut[len(mut)-1] ^= 0x80
+			seeds = append(seeds, mut)
+		}
+	}
+	// A well-formed multi-message batch frame and truncations of it.
+	msgs := everyMessage()
+	batch := AppendBatch(nil, msgs[:len(msgs)/2])
+	seeds = append(seeds, batch, batch[:len(batch)/2], batch[:1])
+	return seeds
+}
+
+// FuzzUnmarshal: single-frame decode must never panic and must return
+// exactly one of (message, error).
+func FuzzUnmarshal(f *testing.F) {
+	for _, s := range hostileSeeds() {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, b []byte) {
+		m, err := Unmarshal(b)
+		if err == nil && m == nil {
+			t.Fatalf("Unmarshal(%x) returned neither message nor error", b)
+		}
+	})
+}
+
+// FuzzForEachMsg: batch-frame iteration must never panic, never yield a
+// nil message, and must error out instead of over-reading on hostile
+// counts.
+func FuzzForEachMsg(f *testing.F) {
+	for _, s := range hostileSeeds() {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, b []byte) {
+		n := 0
+		err := ForEachMsg(b, func(m Msg) error {
+			if m == nil {
+				t.Fatal("ForEachMsg yielded a nil message")
+			}
+			n++
+			return nil
+		})
+		if err == nil && n == 0 {
+			t.Fatalf("ForEachMsg(%x) yielded nothing and no error", b)
+		}
+		// Hostile counts must not turn into unbounded yields: a frame can
+		// hold at most one message per remaining payload byte.
+		if n > len(b) {
+			t.Fatalf("ForEachMsg(%x) yielded %d messages from %d bytes", b, n, len(b))
+		}
+	})
+}

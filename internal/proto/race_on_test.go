@@ -1,0 +1,8 @@
+//go:build race
+
+package proto
+
+// raceEnabled reports that this build runs under the race detector, whose
+// sync.Pool instrumentation randomly drops puts — making pool-based
+// zero-allocation guarantees unverifiable.
+const raceEnabled = true
