@@ -130,12 +130,13 @@ func Table2(s Scale) (*Table, error) {
 		taskCount = m.c.Controller.TemplateByName(lr.OptimizeBlock).TaskCount
 	})
 
-	snapshot := func() (ctrlNanos, valNanos, wNanos uint64, insts uint64) {
+	snapshot := func() (ctrlNanos, valNanos, wNanos uint64, insts, wCmds uint64) {
 		ctrlNanos = m.c.Controller.Stats.InstantiateNanos.Load()
 		valNanos = m.c.Controller.Stats.ValidateNanos.Load()
 		insts = m.c.Controller.Stats.Instantiations.Load()
 		for _, w := range m.c.Workers {
 			wNanos += w.Stats.InstantiateNanos.Load()
+			wCmds += w.Stats.InstantiateCmds.Load()
 		}
 		return
 	}
@@ -148,7 +149,7 @@ func Table2(s Scale) (*Table, error) {
 	if err := m.j.D.Barrier(); err != nil {
 		return nil, err
 	}
-	c0, _, w0, i0 := snapshot()
+	c0, _, w0, i0, k0 := snapshot()
 	for i := 0; i < n; i++ {
 		if err := m.j.Optimize(); err != nil {
 			return nil, err
@@ -157,12 +158,16 @@ func Table2(s Scale) (*Table, error) {
 	if err := m.j.D.Barrier(); err != nil {
 		return nil, err
 	}
-	c1, _, w1, i1 := snapshot()
+	c1, _, w1, i1, k1 := snapshot()
 	autoCtrl := perTask(c1-c0, int(i1-i0)*taskCount)
 	autoWorker := perTask(w1-w0, int(i1-i0)*taskCount)
+	// Per materialized command (tasks and copies), the worker-side cost of
+	// the compiled fast path — the per-instance instantiation cost
+	// cmd/nimbus-bench reports alongside the paper's per-task figures.
+	perCmd := perTask(w1-w0, int(k1-k0))
 
 	// Control-flow switches: alternating blocks force full validation.
-	c2, v2, w2, i2 := snapshot()
+	c2, v2, w2, i2, _ := snapshot()
 	for i := 0; i < n; i++ {
 		if err := m.j.Optimize(); err != nil {
 			return nil, err
@@ -174,7 +179,7 @@ func Table2(s Scale) (*Table, error) {
 	if err := m.j.D.Barrier(); err != nil {
 		return nil, err
 	}
-	c3, v3, w3, i3 := snapshot()
+	c3, v3, w3, i3, _ := snapshot()
 	valCtrl := perTask((c3-c2)+(v3-v2), int(i3-i2)*taskCount)
 	valWorker := perTask(w3-w2, int(i3-i2)*taskCount)
 
@@ -191,6 +196,7 @@ func Table2(s Scale) (*Table, error) {
 			{"Instantiate controller template", us(autoCtrl)},
 			{"Instantiate worker template (auto-validation)", us(autoWorker)},
 			{"Instantiate worker template (validation)", us(valCtrl + valWorker)},
+			{"Worker materialize per command (compiled path)", us(perCmd)},
 		},
 		Notes: []string{
 			fmt.Sprintf("implied steady-state scheduling throughput: %.0f tasks/second", throughput),

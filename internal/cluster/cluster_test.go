@@ -156,6 +156,27 @@ func TestTemplateInstantiation(t *testing.T) {
 	if auto == 0 {
 		t.Errorf("expected auto-validations on repeated instantiation, got 0")
 	}
+
+	// The workers must have served the repeated instantiations from the
+	// compiled fast path: commands materialized through compiled arenas,
+	// one compilation per install (never per instance), and pooled arenas
+	// after the first instance.
+	var cmds, compiles, reused, insts uint64
+	for _, w := range c.Workers {
+		cmds += w.Stats.InstantiateCmds.Load()
+		compiles += w.Stats.TemplateCompiles.Load()
+		reused += w.Stats.UnitsReused.Load()
+		insts += w.Stats.Instantiations.Load()
+	}
+	if cmds == 0 {
+		t.Errorf("no commands materialized through the compiled path")
+	}
+	if compiles > uint64(len(c.Workers)) {
+		t.Errorf("templates recompiled per instantiation: %d compiles for %d workers", compiles, len(c.Workers))
+	}
+	if insts > uint64(len(c.Workers)) && reused == 0 {
+		t.Errorf("no arena reuse across %d instantiations", insts)
+	}
 }
 
 func TestCentralMode(t *testing.T) {

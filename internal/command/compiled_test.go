@@ -1,0 +1,217 @@
+package command
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"nimbus/internal/ids"
+	"nimbus/internal/params"
+)
+
+// randTemplate builds a random template shape: n entries at (possibly
+// sparse) global indexes, random kinds, random before edges — including,
+// with probability extProb, dangling edges to indexes that are not in the
+// template (the hole case edits create).
+func randTemplate(r *rand.Rand, n int, sparse bool, extProb float64) []*TemplateEntry {
+	idxs := make([]int32, n)
+	next := int32(0)
+	for i := range idxs {
+		if sparse && r.Intn(3) == 0 {
+			next += int32(r.Intn(3)) // leave holes
+		}
+		idxs[i] = next
+		next++
+	}
+	kinds := []Kind{Task, Create, LocalCopy, Destroy, CopySend, CopyRecv}
+	entries := make([]*TemplateEntry, n)
+	for i := range entries {
+		e := &TemplateEntry{
+			Index:     idxs[i],
+			Kind:      kinds[r.Intn(len(kinds))],
+			Function:  ids.FunctionID(r.Intn(5) + 1),
+			Logical:   ids.LogicalID(r.Intn(100)),
+			ParamSlot: int32(r.Intn(4)) - 1, // NoParamSlot..2
+			DstWorker: ids.WorkerID(r.Intn(4) + 1),
+			DstIdx:    idxs[r.Intn(n)],
+		}
+		for k := 0; k < r.Intn(3); k++ {
+			e.Reads = append(e.Reads, ids.ObjectID(r.Intn(50)+1))
+		}
+		for k := 0; k < r.Intn(2)+1; k++ {
+			e.Writes = append(e.Writes, ids.ObjectID(r.Intn(50)+1))
+		}
+		if e.ParamSlot == NoParamSlot {
+			e.Fixed = params.Blob{byte(i), byte(i >> 8)}
+		}
+		// Random backward edges keep the DAG acyclic; occasionally a
+		// dangling edge beyond the template's span.
+		for k := 0; k < r.Intn(4); k++ {
+			if r.Float64() < extProb {
+				e.BeforeIdx = append(e.BeforeIdx, next+int32(r.Intn(5)))
+			} else if i > 0 {
+				e.BeforeIdx = append(e.BeforeIdx, idxs[r.Intn(i)])
+			}
+		}
+		entries[i] = e
+	}
+	return entries
+}
+
+// beforeSet reconstructs the concrete before set a compiled entry implies:
+// local positions translate back through entry indexes, external edges stay
+// raw index arithmetic — exactly what Materialize computes from BeforeIdx.
+func beforeSet(ct *CompiledTemplate, pos int, base ids.CommandID) []ids.CommandID {
+	ce := &ct.Entries[pos]
+	var out []ids.CommandID
+	for _, lp := range ce.LocalBefore {
+		out = append(out, base+ids.CommandID(ct.Entries[lp].Index))
+	}
+	for _, gi := range ce.ExtBefore {
+		out = append(out, base+ids.CommandID(gi))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// TestCompiledMatchesMaterialize is the command-level half of the
+// equivalence property: for random templates (sparse indexes, dangling
+// edges, varied param slots), the compiled path must produce the same
+// command set — IDs, kinds, access sets, params, routing and before-set
+// semantics — as the map-based Materialize path.
+func TestCompiledMatchesMaterialize(t *testing.T) {
+	r := rand.New(rand.NewSource(41))
+	paramArray := []params.Blob{{1}, {2, 2}, {3, 3, 3}}
+	for trial := 0; trial < 200; trial++ {
+		n := r.Intn(40) + 1
+		entries := randTemplate(r, n, trial%2 == 0, 0.15)
+		ct := Compile(entries)
+		if len(ct.Entries) != n {
+			t.Fatalf("trial %d: compiled %d entries, want %d", trial, len(ct.Entries), n)
+		}
+		base := ids.CommandID(r.Intn(1<<20) + 1)
+		var pa []params.Blob
+		if trial%3 != 0 {
+			pa = paramArray
+		}
+		for _, e := range entries {
+			pos := ct.PosOf(e.Index)
+			if pos < 0 {
+				t.Fatalf("trial %d: entry %d missing from position table", trial, e.Index)
+			}
+			var want, got Command
+			e.Materialize(base, pa, &want)
+			ct.Entries[pos].MaterializeInto(base, pa, &got)
+
+			wantBefore := append([]ids.CommandID(nil), want.Before...)
+			sort.Slice(wantBefore, func(i, j int) bool { return wantBefore[i] < wantBefore[j] })
+			gotBefore := beforeSet(ct, int(pos), base)
+			if !reflect.DeepEqual(wantBefore, gotBefore) {
+				t.Fatalf("trial %d idx %d: before %v, want %v", trial, e.Index, gotBefore, wantBefore)
+			}
+			want.Before, got.Before = nil, nil
+			if !reflect.DeepEqual(want, got) {
+				t.Fatalf("trial %d idx %d:\n got %+v\nwant %+v", trial, e.Index, got, want)
+			}
+		}
+	}
+}
+
+// TestCompileStructure pins the structural invariants DESIGN.md documents:
+// ascending index order, correct reverse edges, Has() membership.
+func TestCompileStructure(t *testing.T) {
+	entries := []*TemplateEntry{
+		{Index: 4, Kind: Task, BeforeIdx: []int32{0, 2, 9}},
+		{Index: 0, Kind: Create},
+		{Index: 2, Kind: Task, BeforeIdx: []int32{0}},
+	}
+	ct := Compile(entries)
+	if ct.Span != 5 {
+		t.Fatalf("span = %d", ct.Span)
+	}
+	order := []int32{0, 2, 4}
+	for i, want := range order {
+		if ct.Entries[i].Index != want {
+			t.Fatalf("entry %d has index %d, want %d", i, ct.Entries[i].Index, want)
+		}
+	}
+	for _, idx := range []int32{0, 2, 4} {
+		if !ct.Has(idx) {
+			t.Fatalf("Has(%d) = false", idx)
+		}
+	}
+	for _, idx := range []int32{-1, 1, 3, 5, 9} {
+		if ct.Has(idx) {
+			t.Fatalf("Has(%d) = true", idx)
+		}
+	}
+	// Entry 4 (pos 2): local deps on 0 and 2, external on 9.
+	e4 := ct.Entries[2]
+	if !reflect.DeepEqual(e4.LocalBefore, []int32{0, 1}) {
+		t.Fatalf("local before = %v", e4.LocalBefore)
+	}
+	if !reflect.DeepEqual(e4.ExtBefore, []int32{9}) {
+		t.Fatalf("ext before = %v", e4.ExtBefore)
+	}
+	// Entry 0 (pos 0) is waited on by positions 1 and 2.
+	w0 := append([]int32(nil), ct.Entries[0].LocalWaiters...)
+	sort.Slice(w0, func(i, j int) bool { return w0[i] < w0[j] })
+	if !reflect.DeepEqual(w0, []int32{1, 2}) {
+		t.Fatalf("waiters of 0 = %v", w0)
+	}
+	if ct.Tasks != 2 {
+		t.Fatalf("tasks = %d", ct.Tasks)
+	}
+}
+
+// TestCompileHostileIndexes pins tolerance of protocol-invalid entries:
+// negative indexes must not panic (the map-based path tolerated them),
+// and absurdly sparse index ranges must not cause huge dense-table
+// allocations — the sparse fallback answers the same queries.
+func TestCompileHostileIndexes(t *testing.T) {
+	// Negative index, including as an edge target.
+	ct := Compile([]*TemplateEntry{
+		{Index: -5, Kind: Create},
+		{Index: 3, Kind: Task, BeforeIdx: []int32{-5, 1}},
+	})
+	if !ct.Has(-5) || !ct.Has(3) || ct.Has(0) || ct.Has(-4) {
+		t.Fatalf("membership wrong: %v %v %v %v", ct.Has(-5), ct.Has(3), ct.Has(0), ct.Has(-4))
+	}
+	e3 := ct.Entries[ct.PosOf(3)]
+	if !reflect.DeepEqual(e3.LocalBefore, []int32{int32(ct.PosOf(-5))}) {
+		t.Fatalf("local before = %v", e3.LocalBefore)
+	}
+	if !reflect.DeepEqual(e3.ExtBefore, []int32{1}) {
+		t.Fatalf("ext before = %v", e3.ExtBefore)
+	}
+	// All-negative indexes: Span must still be MaxIndex+1 (modular ID
+	// arithmetic makes base+Span the end of the instance's range even
+	// when it is negative).
+	if neg := Compile([]*TemplateEntry{{Index: -5, Kind: Create}}); neg.Span != -4 {
+		t.Fatalf("all-negative span = %d, want -4", neg.Span)
+	}
+	// Extreme sparse range: must compile in bounded memory and still
+	// resolve edges across the whole range.
+	ct = Compile([]*TemplateEntry{
+		{Index: -1 << 31, Kind: Create},
+		{Index: 1<<31 - 1, Kind: Task, BeforeIdx: []int32{-1 << 31}},
+	})
+	if !ct.Has(-1<<31) || !ct.Has(1<<31-1) || ct.Has(0) {
+		t.Fatal("sparse membership wrong")
+	}
+	top := ct.Entries[ct.PosOf(1<<31-1)]
+	if len(top.LocalBefore) != 1 || ct.Entries[top.LocalBefore[0]].Index != -1<<31 {
+		t.Fatalf("sparse edge not resolved: %v", top.LocalBefore)
+	}
+	// A negative ParamSlot other than NoParamSlot must fall back to Fixed
+	// (not index the parameter array) on both materialize paths.
+	hostile := &TemplateEntry{Index: 0, Kind: Task, ParamSlot: -2, Fixed: params.Blob{7}}
+	pa := []params.Blob{{1}, {2}}
+	var c1, c2 Command
+	hostile.Materialize(10, pa, &c1)
+	Compile([]*TemplateEntry{hostile}).Entries[0].MaterializeInto(10, pa, &c2)
+	if len(c1.Params) != 1 || c1.Params[0] != 7 || len(c2.Params) != 1 || c2.Params[0] != 7 {
+		t.Fatalf("negative param slot not treated as fixed: %v %v", c1.Params, c2.Params)
+	}
+}

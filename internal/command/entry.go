@@ -67,7 +67,7 @@ func (e *TemplateEntry) Materialize(base ids.CommandID, paramArray []params.Blob
 	for i, idx := range e.BeforeIdx {
 		out.Before[i] = base + ids.CommandID(idx)
 	}
-	if e.ParamSlot != NoParamSlot && int(e.ParamSlot) < len(paramArray) {
+	if e.ParamSlot >= 0 && int(e.ParamSlot) < len(paramArray) {
 		out.Params = paramArray[e.ParamSlot]
 	} else {
 		out.Params = e.Fixed

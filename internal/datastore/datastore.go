@@ -32,32 +32,66 @@ type Object struct {
 	Data []byte
 }
 
+// DefaultShards is the shard count New uses. Executor goroutines resolve
+// read/write sets concurrently with the control loop's creates and
+// installs; sharding keeps them off a single mutex.
+const DefaultShards = 16
+
+// shard is one lock domain of the table. The padding rounds the struct to
+// 128 bytes so neighbouring shards' mutexes never share a cache line.
+type shard struct {
+	mu      sync.RWMutex
+	objects map[ids.ObjectID]*Object
+	_       [128 - 32]byte
+}
+
 // Store holds a worker's physical objects. It is safe for concurrent use:
 // executor goroutines read and write objects while the control loop creates
 // and destroys them.
 //
-// Locking granularity is a single RWMutex over the table. Object *contents*
-// are not protected by the store: the control plane's before sets guarantee
-// exclusive access during writes, which is the same contract Nimbus's C++
-// workers rely on.
+// The table is split into power-of-two shards keyed by a multiplicative
+// hash of the ObjectID, so parallel executors resolving disjoint objects do
+// not serialize on one RWMutex. Object *contents* are not protected by the
+// store: the control plane's before sets guarantee exclusive access during
+// writes, which is the same contract Nimbus's C++ workers rely on.
 type Store struct {
-	mu      sync.RWMutex
-	objects map[ids.ObjectID]*Object
+	shards []shard
+	mask   uint64
 }
 
-// New returns an empty store.
-func New() *Store {
-	return &Store{objects: make(map[ids.ObjectID]*Object)}
+// New returns an empty store with DefaultShards shards.
+func New() *Store { return NewSharded(DefaultShards) }
+
+// NewSharded returns an empty store with n shards, rounded up to a power of
+// two (n <= 1 gives a single-lock store, which benchmarks use as the
+// pre-sharding baseline).
+func NewSharded(n int) *Store {
+	size := 1
+	for size < n {
+		size <<= 1
+	}
+	s := &Store{shards: make([]shard, size), mask: uint64(size - 1)}
+	for i := range s.shards {
+		s.shards[i].objects = make(map[ids.ObjectID]*Object)
+	}
+	return s
+}
+
+// shardOf picks the lock domain for an object. Fibonacci hashing spreads
+// the controller's sequentially allocated ObjectIDs across shards.
+func (s *Store) shardOf(id ids.ObjectID) *shard {
+	return &s.shards[(uint64(id)*0x9E3779B97F4A7C15)>>32&s.mask]
 }
 
 // Create allocates an object. Creating an existing ID is an error.
 func (s *Store) Create(id ids.ObjectID, logical ids.LogicalID, data []byte) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, ok := s.objects[id]; ok {
+	sh := s.shardOf(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, ok := sh.objects[id]; ok {
 		return fmt.Errorf("datastore: object %s already exists", id)
 	}
-	s.objects[id] = &Object{ID: id, Logical: logical, Data: data}
+	sh.objects[id] = &Object{ID: id, Logical: logical, Data: data}
 	return nil
 }
 
@@ -65,60 +99,87 @@ func (s *Store) Create(id ids.ObjectID, logical ids.LogicalID, data []byte) erro
 // to logical if absent. Copy receives and patches use Ensure so that data
 // movement can materialize instances lazily.
 func (s *Store) Ensure(id ids.ObjectID, logical ids.LogicalID) *Object {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if o, ok := s.objects[id]; ok {
+	sh := s.shardOf(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.ensureLocked(id, logical)
+}
+
+func (sh *shard) ensureLocked(id ids.ObjectID, logical ids.LogicalID) *Object {
+	if o, ok := sh.objects[id]; ok {
 		return o
 	}
 	o := &Object{ID: id, Logical: logical}
-	s.objects[id] = o
+	sh.objects[id] = o
 	return o
 }
 
 // Get returns the object or nil if absent.
 func (s *Store) Get(id ids.ObjectID) *Object {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.objects[id]
+	sh := s.shardOf(id)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return sh.objects[id]
 }
 
 // Destroy removes an object. Destroying a missing object is a no-op, which
 // keeps Destroy idempotent across recovery replays.
 func (s *Store) Destroy(id ids.ObjectID) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	delete(s.objects, id)
+	sh := s.shardOf(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	delete(sh.objects, id)
 }
 
-// Install swaps fresh data into the object, creating it if needed. It
-// implements the receive-side pointer swap of the push-model data plane.
+// Install swaps fresh data into the object, creating it if needed, in one
+// critical section — lookup, creation and mutation hold the shard lock
+// together, so no concurrent Install can interleave between the ensure and
+// the swap. It implements the receive-side pointer swap of the push-model
+// data plane.
 func (s *Store) Install(id ids.ObjectID, logical ids.LogicalID, version uint64, data []byte) {
-	o := s.Ensure(id, logical)
-	s.mu.Lock()
+	sh := s.shardOf(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	o := sh.ensureLocked(id, logical)
 	o.Data = data
 	o.Version = version
 	if o.Logical == ids.NoLogical {
 		o.Logical = logical
 	}
-	s.mu.Unlock()
 }
 
 // Len reports the number of live objects.
 func (s *Store) Len() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.objects)
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		n += len(sh.objects)
+		sh.mu.RUnlock()
+	}
+	return n
 }
 
-// Snapshot returns the live objects sorted by ID. Checkpointing uses it to
-// enumerate what must be saved; the data slices are shared, so the caller
-// must finish with them before execution resumes.
+// Snapshot returns the live objects sorted by ID, as one point-in-time
+// view: all shard locks are held together (in index order) while
+// collecting, so concurrent creates and destroys cannot produce a
+// membership set that never existed. Checkpointing uses it to enumerate
+// what must be saved; the data slices are shared, so the caller must
+// finish with them before execution resumes.
 func (s *Store) Snapshot() []*Object {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make([]*Object, 0, len(s.objects))
-	for _, o := range s.objects {
-		out = append(out, o)
+	n := 0
+	for i := range s.shards {
+		s.shards[i].mu.RLock()
+		n += len(s.shards[i].objects)
+	}
+	out := make([]*Object, 0, n)
+	for i := range s.shards {
+		for _, o := range s.shards[i].objects {
+			out = append(out, o)
+		}
+	}
+	for i := range s.shards {
+		s.shards[i].mu.RUnlock()
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
@@ -126,7 +187,10 @@ func (s *Store) Snapshot() []*Object {
 
 // Clear removes every object (recovery reload starts from a clean store).
 func (s *Store) Clear() {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.objects = make(map[ids.ObjectID]*Object)
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		sh.objects = make(map[ids.ObjectID]*Object)
+		sh.mu.Unlock()
+	}
 }

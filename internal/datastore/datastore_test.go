@@ -64,6 +64,68 @@ func TestSnapshotSorted(t *testing.T) {
 	}
 }
 
+// TestShardCounts verifies shard rounding and that every shard count
+// presents the same single-store semantics.
+func TestShardCounts(t *testing.T) {
+	for _, n := range []int{0, 1, 3, 16} {
+		s := NewSharded(n)
+		for id := ids.ObjectID(1); id <= 100; id++ {
+			s.Install(id, ids.LogicalID(id), uint64(id), []byte{byte(id)})
+		}
+		if s.Len() != 100 {
+			t.Fatalf("shards=%d: len = %d", n, s.Len())
+		}
+		snap := s.Snapshot()
+		for i, o := range snap {
+			if o.ID != ids.ObjectID(i+1) {
+				t.Fatalf("shards=%d: snapshot[%d] = %s", n, i, o.ID)
+			}
+		}
+		s.Destroy(50)
+		if s.Get(50) != nil || s.Len() != 99 {
+			t.Fatalf("shards=%d: destroy failed", n)
+		}
+		s.Clear()
+		if s.Len() != 0 {
+			t.Fatalf("shards=%d: clear failed", n)
+		}
+	}
+}
+
+// TestInstallSingleCriticalSection hammers Install and Ensure on the same
+// object from many goroutines. With the old ensure-unlock-relock window, a
+// concurrent Install could interleave between lookup and mutation and the
+// final object could hold one call's data with another's version; with one
+// critical section, whichever Install runs last leaves a consistent
+// (version, data) pair.
+func TestInstallSingleCriticalSection(t *testing.T) {
+	s := New()
+	const goroutines, rounds = 8, 500
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				v := uint64(g*rounds + i + 1)
+				s.Install(7, 70, v, []byte{byte(v), byte(v >> 8), byte(v >> 16)})
+				s.Ensure(7, 70)
+			}
+		}(g)
+	}
+	wg.Wait()
+	o := s.Get(7)
+	if o == nil || o.Logical != 70 {
+		t.Fatalf("object = %+v", o)
+	}
+	// The surviving data must be the buffer installed with the surviving
+	// version — a torn install would pair them inconsistently.
+	want := []byte{byte(o.Version), byte(o.Version >> 8), byte(o.Version >> 16)}
+	if len(o.Data) != 3 || o.Data[0] != want[0] || o.Data[1] != want[1] || o.Data[2] != want[2] {
+		t.Fatalf("version %d paired with data %v", o.Version, o.Data)
+	}
+}
+
 func TestConcurrentAccess(t *testing.T) {
 	s := New()
 	var wg sync.WaitGroup

@@ -33,12 +33,26 @@ type Ctx struct {
 
 // NewCtx builds a context; the worker runtime uses it.
 func NewCtx(worker ids.WorkerID, p params.Blob, reads, writes [][]byte) *Ctx {
-	return &Ctx{
-		Worker: worker,
-		Params: p,
-		reads:  reads,
-		writes: writes,
-		wrote:  make([]bool, len(writes)),
+	c := &Ctx{}
+	c.Reset(worker, p, reads, writes)
+	return c
+}
+
+// Reset re-initializes a context in place, reusing its tracking storage,
+// so worker runtimes can pool Ctx values across tasks. Functions must not
+// retain the context (or its buffers) after returning.
+func (c *Ctx) Reset(worker ids.WorkerID, p params.Blob, reads, writes [][]byte) {
+	c.Worker = worker
+	c.Params = p
+	c.reads = reads
+	c.writes = writes
+	if n := len(writes); cap(c.wrote) < n {
+		c.wrote = make([]bool, n)
+	} else {
+		c.wrote = c.wrote[:n]
+		for i := range c.wrote {
+			c.wrote[i] = false
+		}
 	}
 }
 

@@ -1,0 +1,63 @@
+package worker
+
+import (
+	"nimbus/internal/proto"
+	"nimbus/internal/transport"
+)
+
+// BenchLoop drives a single worker's scheduler synchronously, without the
+// event-loop goroutine: control messages are applied directly on the
+// caller's goroutine, so benchmarks and allocation-ceiling tests can
+// measure the instantiate→activate→complete path in isolation. Outbound
+// control traffic (BlockDone, Complete) goes to a drain goroutine that
+// recycles the frame buffers, keeping the codec pool primed exactly as a
+// live controller connection would.
+//
+// BenchLoop is for measurement only: it must not be mixed with Start, and
+// templates should avoid Task entries unless the caller dispatches the
+// resulting executor goroutines itself.
+type BenchLoop struct {
+	W     *Worker
+	drain transport.Conn
+}
+
+// NewBenchLoop builds a loopback worker with the given executor slot
+// count.
+func NewBenchLoop(slots int) *BenchLoop {
+	w := New(Config{Slots: slots})
+	local, remote := transport.Pipe(0)
+	w.ctrl = local
+	w.id = 1
+	b := &BenchLoop{W: w, drain: remote}
+	go func() {
+		for {
+			raw, err := remote.Recv()
+			if err != nil {
+				return
+			}
+			proto.PutBuf(raw)
+		}
+	}()
+	return b
+}
+
+// Apply feeds one controller message straight into the worker's handler
+// on the caller's goroutine.
+func (b *BenchLoop) Apply(m proto.Msg) { b.W.handleCtrl(m) }
+
+// Drain processes completion events posted by executor goroutines until
+// the worker has no unfinished commands (for callers that do run tasks).
+func (b *BenchLoop) Drain() {
+	for b.W.unfin > 0 || b.W.runnable.n > 0 || len(b.W.units) > 0 {
+		ev := <-b.W.events
+		if ev.kind == evDone {
+			b.W.handleDone(ev.cmd)
+		}
+	}
+}
+
+// Close tears the loopback down.
+func (b *BenchLoop) Close() {
+	b.drain.Close()
+	b.W.ctrl.Close()
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package worker
+
+// raceEnabled reports that this build runs under the race detector, whose
+// sync.Pool instrumentation randomly drops puts — making pool-based
+// allocation-ceiling guarantees unverifiable.
+const raceEnabled = true

@@ -1,6 +1,9 @@
 package worker
 
 import (
+	"math"
+	"sync"
+
 	"nimbus/internal/command"
 	"nimbus/internal/datastore"
 	"nimbus/internal/fn"
@@ -11,29 +14,42 @@ import (
 
 // enqueue admits a unit of work. Non-barrier batches activate immediately;
 // barrier units (template instances and patches) wait until every command
-// that arrived before them has completed. The per-unit wait count is
-// maintained against arrival sequence numbers so that commands arriving
-// *after* a queued unit — which may legitimately depend on the unit's own
-// commands — can never deadlock its activation.
+// that arrived before them has completed. Barrier accounting uses prefix
+// arrival counters: every command takes the next arrival index, a barrier
+// unit records the prefix it must outwait (mark), and the completion
+// watermark arrLow advances over completed indexes — so a completion costs
+// O(1) amortized instead of a scan over the queued units, and commands
+// arriving *after* a queued unit (which may legitimately depend on the
+// unit's own commands) can never deadlock its activation.
 func (w *Worker) enqueue(u *unit) {
 	if w.halted {
+		w.releaseUnit(u)
 		return
 	}
-	u.seq = w.arrival
-	w.arrival++
-	u.remaining = len(u.cmds)
+	n := len(u.pcs)
+	u.mark = w.cmdArrived
+	u.remaining = n
+	u.activated = false
+	w.arrReserve(n)
+	for i := range u.pcs {
+		pc := &u.pcs[i]
+		pc.unit = u
+		pc.epoch = w.haltEpoch
+		pc.arrIdx = u.mark + uint64(i)
+		pc.state = psInit
+		pc.missing = 0
+		pc.needPayload = false
+	}
+	w.cmdArrived += uint64(n)
+	if u.ct != nil {
+		w.liveUnits = append(w.liveUnits, u)
+	}
 	if !u.barrier {
 		w.activate(u)
 		w.dispatch()
 		return
 	}
-	u.waitCount = w.unfin
-	for _, q := range w.units {
-		if !q.activated {
-			u.waitCount += len(q.cmds)
-		}
-	}
-	if u.waitCount == 0 && len(w.units) == 0 {
+	if len(w.units) == 0 && w.arrLow >= u.mark {
 		w.activate(u)
 	} else {
 		w.units = append(w.units, u)
@@ -41,45 +57,166 @@ func (w *Worker) enqueue(u *unit) {
 	w.dispatch()
 }
 
-// activate admits a unit's commands into the pending set, resolving their
-// before sets against the local completion state (control-plane
+// arrReserve grows the arrival ring so the next n indexes have slots. The
+// ring must cover [arrLow, cmdArrived+n).
+func (w *Worker) arrReserve(n int) {
+	need := w.cmdArrived + uint64(n) - w.arrLow
+	if need <= uint64(len(w.arrRing)) {
+		return
+	}
+	size := uint64(len(w.arrRing))
+	for size < need {
+		size *= 2
+	}
+	ring := make([]bool, size)
+	oldMask := uint64(len(w.arrRing) - 1)
+	for i := w.arrLow; i < w.cmdArrived; i++ {
+		ring[i&(size-1)] = w.arrRing[i&oldMask]
+	}
+	w.arrRing = ring
+}
+
+// arrDone marks an arrival index complete and advances the low watermark
+// over the completed prefix.
+func (w *Worker) arrDone(idx uint64) {
+	mask := uint64(len(w.arrRing) - 1)
+	w.arrRing[idx&mask] = true
+	for w.arrLow < w.cmdArrived && w.arrRing[w.arrLow&mask] {
+		w.arrRing[w.arrLow&mask] = false
+		w.arrLow++
+	}
+}
+
+// activate admits a unit's commands into the unfinished set, resolving
+// their before sets against the local completion state (control-plane
 // requirement 1: workers determine runnability locally).
 func (w *Worker) activate(u *unit) {
 	u.activated = true
-	if len(u.cmds) == 0 {
+	if len(u.pcs) == 0 {
 		w.completeUnit(u)
 		return
 	}
-	for _, c := range u.cmds {
-		pc := &pcmd{cmd: c, seq: u.seq, unit: u, epoch: w.haltEpoch}
-		w.pending[c.ID] = pc
+	if u.ct != nil {
+		w.activateCompiled(u)
+		return
+	}
+	for i := range u.pcs {
+		pc := &u.pcs[i]
+		pc.state = psActive
 		w.unfin++
-		for _, dep := range c.Before {
+		for _, dep := range pc.cmd.Before {
 			if w.isDone(dep) {
 				continue
 			}
 			w.waiters[dep] = append(w.waiters[dep], pc)
 			pc.missing++
 		}
-		if c.Kind == command.CopyRecv {
-			if _, ok := w.payloads[c.ID]; !ok {
-				pc.needPayload = true
-				w.payWait[c.ID] = pc
-				pc.missing++
-			}
-		}
+		w.checkPayload(pc)
 		if pc.missing == 0 {
 			w.makeRunnable(pc)
 		}
 	}
 }
 
+// activateCompiled resolves a template/patch instance's dependencies
+// against the arena: intra-instance edges are pre-resolved entry positions
+// (no map traffic), external edges — dangling references edits can leave —
+// fall back to the completion state like any other before set. Inline
+// commands may complete while later slots are still being activated; their
+// psDone state is what a later slot's local-edge check observes, mirroring
+// the isDone check of the map-based path.
+func (w *Worker) activateCompiled(u *unit) {
+	entries := u.ct.Entries
+	for i := range u.pcs {
+		pc := &u.pcs[i]
+		pc.state = psActive
+		w.unfin++
+		e := &entries[i]
+		for _, lp := range e.LocalBefore {
+			if u.pcs[lp].state != psDone {
+				pc.missing++
+			}
+		}
+		for _, gi := range e.ExtBefore {
+			dep := u.base + ids.CommandID(gi)
+			if w.isDone(dep) {
+				continue
+			}
+			w.waiters[dep] = append(w.waiters[dep], pc)
+			pc.missing++
+		}
+		w.checkPayload(pc)
+		if pc.missing == 0 {
+			w.makeRunnable(pc)
+		}
+	}
+}
+
+// checkPayload registers a CopyRecv for its data payload if it has not
+// already arrived (payloads may outrun commands because the data plane is
+// independent of the control plane).
+func (w *Worker) checkPayload(pc *pcmd) {
+	if pc.cmd.Kind != command.CopyRecv {
+		return
+	}
+	if _, ok := w.payloads[pc.cmd.ID]; !ok {
+		pc.needPayload = true
+		w.payWait[pc.cmd.ID] = pc
+		pc.missing++
+	}
+}
+
+// isDone reports whether a command is known complete: below the watermark,
+// recorded in the done map (non-template commands), inside a completed
+// instance's range, or completed within a live arena. The instance cases
+// answer by ID arithmetic and a position-table probe — no hashing.
 func (w *Worker) isDone(id ids.CommandID) bool {
 	if id < w.doneLow {
 		return true
 	}
-	_, ok := w.done[id]
-	return ok
+	if _, ok := w.done[id]; ok {
+		return true
+	}
+	// doneRanges is sorted by base and instance ID blocks are disjoint,
+	// so one binary search finds the only candidate range — the probe at
+	// lo covers hostile negative entry indexes (IDs just below a base).
+	lo, hi := 0, len(w.doneRanges)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if w.doneRanges[mid].base <= id {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	for _, i := range [2]int{lo - 1, lo} {
+		if i < 0 || i >= len(w.doneRanges) {
+			continue
+		}
+		dr := &w.doneRanges[i]
+		if idx, ok := entryIndex(id, dr.base); ok && dr.ct.Has(idx) {
+			return true
+		}
+	}
+	for _, u := range w.liveUnits {
+		if idx, ok := entryIndex(id, u.base); ok {
+			if p := u.ct.PosOf(idx); p >= 0 && u.pcs[p].state == psDone {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// entryIndex recovers the template entry index a command ID encodes
+// relative to an instance base (ID arithmetic is modular, so a negative
+// index — hostile but tolerated — round-trips too).
+func entryIndex(id, base ids.CommandID) (int32, bool) {
+	off := int64(id - base)
+	if off < math.MinInt32 || off > math.MaxInt32 {
+		return 0, false
+	}
+	return int32(off), true
 }
 
 // makeRunnable routes a dependency-free command: tasks queue for executor
@@ -87,7 +224,7 @@ func (w *Worker) isDone(id ids.CommandID) bool {
 // bookkeeping and I/O initiation, not computation.
 func (w *Worker) makeRunnable(pc *pcmd) {
 	if pc.cmd.Kind == command.Task {
-		w.runnable = append(w.runnable, pc)
+		w.runnable.push(pc)
 		return
 	}
 	w.execInline(pc)
@@ -95,45 +232,78 @@ func (w *Worker) makeRunnable(pc *pcmd) {
 
 // dispatch starts queued tasks while executor slots are free.
 func (w *Worker) dispatch() {
-	for w.freeSlots > 0 && len(w.runnable) > 0 {
-		pc := w.runnable[0]
-		w.runnable = w.runnable[1:]
+	for w.freeSlots > 0 && w.runnable.n > 0 {
+		pc := w.runnable.pop()
 		w.freeSlots--
 		w.wg.Add(1)
 		go w.runTask(pc)
 	}
 }
 
+// taskScratch is an executor goroutine's reusable working set: resolved
+// read/write buffers and the function context. Pooled so steady-state task
+// execution does not allocate per command.
+type taskScratch struct {
+	reads  [][]byte
+	objs   []*datastore.Object
+	writes [][]byte
+	ctx    fn.Ctx
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(taskScratch) }}
+
 // runTask executes one task command on an executor goroutine.
 func (w *Worker) runTask(pc *pcmd) {
 	defer w.wg.Done()
-	c := pc.cmd
+	c := &pc.cmd
 	f := w.reg.Lookup(c.Function)
 	if f == nil {
 		w.cfg.Logf("worker %s: unknown function %s", w.id, c.Function)
 		w.postDone(pc)
 		return
 	}
-	reads := make([][]byte, len(c.Reads))
-	for i, obj := range c.Reads {
-		reads[i] = w.store.Ensure(obj, ids.NoLogical).Data
+	sc := scratchPool.Get().(*taskScratch)
+	nr, nw := len(c.Reads), len(c.Writes)
+	if cap(sc.reads) < nr {
+		sc.reads = make([][]byte, nr)
 	}
-	writeObjs := make([]*datastore.Object, len(c.Writes))
-	writes := make([][]byte, len(c.Writes))
+	sc.reads = sc.reads[:nr]
+	for i, obj := range c.Reads {
+		sc.reads[i] = w.store.Ensure(obj, ids.NoLogical).Data
+	}
+	if cap(sc.objs) < nw {
+		sc.objs = make([]*datastore.Object, nw)
+		sc.writes = make([][]byte, nw)
+	}
+	sc.objs = sc.objs[:nw]
+	sc.writes = sc.writes[:nw]
 	for i, obj := range c.Writes {
 		o := w.store.Ensure(obj, ids.NoLogical)
-		writeObjs[i] = o
-		writes[i] = o.Data
+		sc.objs[i] = o
+		sc.writes[i] = o.Data
 	}
-	ctx := fn.NewCtx(w.id, c.Params, reads, writes)
-	if err := f(ctx); err != nil {
+	sc.ctx.Reset(w.id, c.Params, sc.reads, sc.writes)
+	if err := f(&sc.ctx); err != nil {
 		w.cfg.Logf("worker %s: task %s (%s) failed: %v", w.id, c.ID, c.Function, err)
 	}
-	for i, o := range writeObjs {
-		data, _ := ctx.Result(i)
+	for i, o := range sc.objs {
+		data, _ := sc.ctx.Result(i)
 		o.Data = data
 		o.Version++
 	}
+	// Drop buffer references before pooling so an idle scratch pins no
+	// object data.
+	for i := range sc.reads {
+		sc.reads[i] = nil
+	}
+	for i := range sc.writes {
+		sc.writes[i] = nil
+	}
+	for i := range sc.objs {
+		sc.objs[i] = nil
+	}
+	sc.ctx.Reset(0, nil, nil, nil)
+	scratchPool.Put(sc)
 	w.Stats.TasksRun.Add(1)
 	w.postDone(pc)
 }
@@ -150,7 +320,7 @@ func (w *Worker) postDone(pc *pcmd) {
 // completes it. Completion cascades (handleDone may make further inline
 // commands runnable) are handled by direct recursion.
 func (w *Worker) execInline(pc *pcmd) {
-	c := pc.cmd
+	c := &pc.cmd
 	switch c.Kind {
 	case command.CopySend:
 		w.execSend(c)
@@ -266,13 +436,18 @@ func (w *Worker) handlePayload(p *proto.DataPayload) {
 	w.payloads[p.DstCommand] = p
 }
 
-// handleDone retires a completed command: record completion, wake waiters,
-// advance barrier counts, credit the executor slot, report to the
-// controller, and activate any unit whose barrier cleared.
+// handleDone retires a completed command: record completion, wake waiters
+// (intra-instance ones through the compiled reverse edges, cross-unit ones
+// through the waiter map), advance the arrival watermark, credit the
+// executor slot, report to the controller, and activate any unit whose
+// barrier cleared.
 func (w *Worker) handleDone(pc *pcmd) {
 	if pc.epoch != w.haltEpoch {
 		// Completed after a halt flushed the queues; the command's state
-		// was already discarded.
+		// was already discarded, but the task still held its executor
+		// slot — return it now. Halt leaves freeSlots alone for exactly
+		// this reason (invariant: freeSlots + running tasks == Slots), so
+		// stale completions cannot push the count past the limit.
 		if pc.cmd.Kind == command.Task {
 			w.freeSlots++
 			w.dispatch()
@@ -280,42 +455,55 @@ func (w *Worker) handleDone(pc *pcmd) {
 		return
 	}
 	id := pc.cmd.ID
-	delete(w.pending, id)
-	w.done[id] = struct{}{}
+	pc.state = psDone
 	w.unfin--
 	w.Stats.CommandsDone.Add(1)
 	if pc.cmd.Kind == command.Task {
 		w.freeSlots++
 	}
+	w.arrDone(pc.arrIdx)
 
-	// Advance barriers of units that arrived after this command.
-	for _, u := range w.units {
-		if !u.activated && u.seq > pc.seq {
-			u.waitCount--
-		}
-	}
-
-	if ws := w.waiters[id]; len(ws) > 0 {
-		delete(w.waiters, id)
-		for _, wpc := range ws {
+	u := pc.unit
+	if u.ct != nil {
+		for _, wi := range u.ct.Entries[pc.local].LocalWaiters {
+			wpc := &u.pcs[wi]
+			if wpc.state != psActive {
+				// Not yet activated: it will observe this completion
+				// through the psDone state instead.
+				continue
+			}
 			wpc.missing--
 			if wpc.missing == 0 {
 				w.makeRunnable(wpc)
 			}
 		}
+	} else {
+		w.done[id] = struct{}{}
+	}
+	if len(w.waiters) > 0 {
+		if ws := w.waiters[id]; len(ws) > 0 {
+			delete(w.waiters, id)
+			for _, wpc := range ws {
+				wpc.missing--
+				if wpc.missing == 0 {
+					w.makeRunnable(wpc)
+				}
+			}
+		}
 	}
 
-	if u := pc.unit; u != nil {
-		u.remaining--
-		if u.remaining == 0 {
-			w.completeUnit(u)
-		}
+	// The unit may be recycled by completeUnit; capture what the
+	// completion report needs first.
+	instance := u.instance
+	u.remaining--
+	if u.remaining == 0 {
+		w.completeUnit(u)
 	}
 
 	// Completion reporting: per-command in eager (central) mode; batched
 	// in Nimbus mode, with instance commands elided entirely — BlockDone
 	// subsumes them (paper §2.2: n+1 messages per steady-state block).
-	if pc.unit == nil || pc.unit.instance == 0 {
+	if instance == 0 {
 		w.completions = append(w.completions, id)
 		if w.eager || len(w.completions) >= w.cfg.CompletionBatch || w.unfin == 0 {
 			w.flushCompletions()
@@ -328,10 +516,37 @@ func (w *Worker) handleDone(pc *pcmd) {
 	w.dispatch()
 }
 
+// completeUnit retires a finished unit: report BlockDone for template
+// instances, fold instance completions into a done range, and recycle the
+// arena. No references to the unit's pcmds survive this point (every
+// command has completed and been unregistered), so pooling is safe.
 func (w *Worker) completeUnit(u *unit) {
 	if u.instance != 0 {
-		_ = w.sendCtrl(&proto.BlockDone{Worker: w.id, Instance: u.instance})
+		w.bdMsg = proto.BlockDone{Worker: w.id, Instance: u.instance}
+		_ = w.sendCtrl(&w.bdMsg)
 	}
+	if u.ct != nil {
+		// Insert keeping doneRanges sorted by base (isDone binary-searches
+		// it). Instances usually complete in base order, so the insertion
+		// point is almost always the end.
+		i := len(w.doneRanges)
+		for i > 0 && w.doneRanges[i-1].base > u.base {
+			i--
+		}
+		w.doneRanges = append(w.doneRanges, doneRange{})
+		copy(w.doneRanges[i+1:], w.doneRanges[i:])
+		w.doneRanges[i] = doneRange{base: u.base, ct: u.ct}
+		for i, lu := range w.liveUnits {
+			if lu == u {
+				last := len(w.liveUnits) - 1
+				w.liveUnits[i] = w.liveUnits[last]
+				w.liveUnits[last] = nil
+				w.liveUnits = w.liveUnits[:last]
+				break
+			}
+		}
+	}
+	w.releaseUnit(u)
 }
 
 func (w *Worker) flushCompletions() {
@@ -340,18 +555,25 @@ func (w *Worker) flushCompletions() {
 	}
 	msg := &proto.Complete{Worker: w.id, IDs: w.completions}
 	_ = w.sendCtrl(msg)
-	w.completions = nil
+	// sendCtrl marshals synchronously, so the backing array can be
+	// reused for the next batch.
+	w.completions = w.completions[:0]
 }
 
 // tryActivateUnits activates queued units, in order, whose barriers have
-// cleared.
+// cleared: the head's arrival-prefix mark has been overtaken by the
+// completion watermark.
 func (w *Worker) tryActivateUnits() {
 	for len(w.units) > 0 {
 		head := w.units[0]
-		if head.waitCount > 0 {
+		if w.arrLow < head.mark {
 			return
 		}
+		w.units[0] = nil
 		w.units = w.units[1:]
+		if len(w.units) == 0 {
+			w.units = nil
+		}
 		w.activate(head)
 	}
 }

@@ -10,12 +10,16 @@ import (
 
 // wtemplate is an installed worker template: the worker's slice of a basic
 // block with index-based structure, cached for cheap re-instantiation
-// (paper §4.1, Figure 5b). Entries are addressed by their global index;
-// removed entries (edits) leave nil holes.
+// (paper §4.1, Figure 5b). The entry map (addressed by global index;
+// removed entries leave holes) is the editable master; compiled is the
+// dense immutable form instantiation runs from, rebuilt lazily after
+// edits. Compilations are never mutated in place, so completed-instance
+// records can safely outlive an edit.
 type wtemplate struct {
-	id      ids.TemplateID
-	name    string
-	entries map[int32]*command.TemplateEntry
+	id       ids.TemplateID
+	name     string
+	entries  map[int32]*command.TemplateEntry
+	compiled *command.CompiledTemplate
 }
 
 func (w *Worker) installTemplate(m *proto.InstallTemplate) {
@@ -32,12 +36,35 @@ func (w *Worker) installTemplate(m *proto.InstallTemplate) {
 	w.templates[m.Template] = t
 	w.Stats.TemplatesSeen.Add(1)
 	w.Stats.InstallNanos.Add(uint64(time.Since(start)))
+	// Compile at install time so the first instantiation is already on
+	// the fast path (compile time is accounted separately).
+	t.compile(w)
+}
+
+// compile returns the template's dense form, rebuilding it if edits
+// invalidated the cache. Compilation happens at install/edit time only —
+// steady-state instantiation always finds it cached.
+func (t *wtemplate) compile(w *Worker) *command.CompiledTemplate {
+	if t.compiled == nil {
+		start := time.Now()
+		list := make([]*command.TemplateEntry, 0, len(t.entries))
+		for _, e := range t.entries {
+			list = append(list, e)
+		}
+		t.compiled = command.Compile(list)
+		w.Stats.TemplateCompiles.Add(1)
+		w.Stats.CompileNanos.Add(uint64(time.Since(start)))
+	}
+	return t.compiled
 }
 
 // instantiate materializes one template instance: apply edits (persistent,
-// paper §4.3), prune the completion set by the watermark, translate every
-// cached entry into a concrete command with IDs base+index, and enqueue
-// the lot as one barrier unit.
+// paper §4.3), prune the completion set by the watermark, then patch base
+// ID and parameters into a pooled arena of pre-shaped commands — one slot
+// per compiled entry, intra-instance ordering already wired by index — and
+// enqueue the arena as one barrier unit. Steady state is O(parameters)
+// bookkeeping plus a memcpy-shaped pass over the arena: no per-command
+// allocation, no map inserts.
 func (w *Worker) instantiate(m *proto.InstantiateTemplate) {
 	start := time.Now()
 	t, ok := w.templates[m.Template]
@@ -52,15 +79,25 @@ func (w *Worker) instantiate(m *proto.InstantiateTemplate) {
 	if m.DoneWatermark > w.doneLow {
 		w.pruneDone(m.DoneWatermark)
 	}
-	cmds := make([]*command.Command, 0, len(t.entries))
-	for _, e := range t.entries {
-		c := &command.Command{}
-		e.Materialize(m.Base, m.ParamArray, c)
-		cmds = append(cmds, c)
+	// Recompiles (edit-carrying instantiations) are accounted in
+	// CompileNanos only; keep InstantiateNanos disjoint so the two
+	// stats sum meaningfully.
+	cs := time.Now()
+	ct := t.compile(w)
+	compileDur := time.Since(cs)
+	u := w.getUnit(len(ct.Entries))
+	u.barrier = true
+	u.instance = m.Instance
+	u.ct = ct
+	u.base = m.Base
+	for i := range ct.Entries {
+		ct.Entries[i].MaterializeInto(m.Base, m.ParamArray, &u.pcs[i].cmd)
+		u.pcs[i].local = int32(i)
 	}
 	w.Stats.Instantiations.Add(1)
-	w.Stats.InstantiateNanos.Add(uint64(time.Since(start)))
-	w.enqueue(&unit{barrier: true, instance: m.Instance, cmds: cmds})
+	w.Stats.InstantiateCmds.Add(uint64(len(ct.Entries)))
+	w.Stats.InstantiateNanos.Add(uint64(time.Since(start) - compileDur))
+	w.enqueue(u)
 }
 
 func (w *Worker) applyEdit(t *wtemplate, e *command.Edit) {
@@ -71,32 +108,47 @@ func (w *Worker) applyEdit(t *wtemplate, e *command.Edit) {
 		ne := e.Add[i]
 		t.entries[ne.Index] = &ne
 	}
+	t.compiled = nil
 	w.Stats.EditsApplied.Add(uint64(len(e.Remove) + len(e.Add)))
+}
+
+func (w *Worker) installPatch(m *proto.InstallPatch) {
+	list := make([]*command.TemplateEntry, len(m.Entries))
+	for i := range m.Entries {
+		list[i] = &m.Entries[i]
+	}
+	w.patches[m.Patch] = command.Compile(list)
 }
 
 // instantiatePatch materializes a cached patch as a barrier unit; patch
 // entries carry no before sets because the barrier orders them against
-// surrounding template instances (paper §4.2).
+// surrounding template instances (paper §4.2). Patches share the compiled
+// arena path (compiled once at install — patches have no edits).
 func (w *Worker) instantiatePatch(m *proto.InstantiatePatch) {
-	entries, ok := w.patches[m.Patch]
+	ct, ok := w.patches[m.Patch]
 	if !ok {
 		w.cfg.Logf("worker %s: instantiate of unknown patch %s", w.id, m.Patch)
 		_ = w.sendCtrl(&proto.ErrorMsg{Text: "unknown patch"})
 		return
 	}
-	cmds := make([]*command.Command, 0, len(entries))
-	for i := range entries {
-		c := &command.Command{}
-		entries[i].Materialize(m.Base, nil, c)
-		cmds = append(cmds, c)
+	u := w.getUnit(len(ct.Entries))
+	u.barrier = true
+	u.ct = ct
+	u.base = m.Base
+	for i := range ct.Entries {
+		ct.Entries[i].MaterializeInto(m.Base, nil, &u.pcs[i].cmd)
+		u.pcs[i].local = int32(i)
 	}
 	w.Stats.PatchesRun.Add(1)
-	w.enqueue(&unit{barrier: true, cmds: cmds})
+	w.enqueue(u)
 }
 
 // pruneDone drops completion records below the watermark: the controller
 // guarantees every command with a lower ID has been fully accounted for,
-// so membership tests can answer by comparison.
+// so membership tests can answer by comparison. Instance done-ranges
+// retire wholesale once their ID block sinks below the mark; buffered
+// payloads addressed below the mark are stale (their receive has been
+// accounted for) and must not resurrect a completed command.
 func (w *Worker) pruneDone(mark ids.CommandID) {
 	w.doneLow = mark
 	for id := range w.done {
@@ -104,6 +156,16 @@ func (w *Worker) pruneDone(mark ids.CommandID) {
 			delete(w.done, id)
 		}
 	}
+	kept := w.doneRanges[:0]
+	for _, dr := range w.doneRanges {
+		if dr.base+ids.CommandID(dr.ct.Span) > mark {
+			kept = append(kept, dr)
+		}
+	}
+	for i := len(kept); i < len(w.doneRanges); i++ {
+		w.doneRanges[i] = doneRange{}
+	}
+	w.doneRanges = kept
 	for id := range w.payloads {
 		if id < mark {
 			delete(w.payloads, id)

@@ -14,6 +14,13 @@
 // cached structure with a single base ID and a parameter array
 // (paper §4.1), applying any attached edits first (paper §4.3).
 //
+// Instantiation runs on a compiled fast path (DESIGN.md "Worker
+// instantiation fast path"): templates are compiled to a dense immutable
+// form at install/edit time, instances are materialized into pooled arenas
+// of inline command slots, intra-instance dependencies are wired by array
+// index, and barrier accounting uses prefix arrival counters — the
+// steady-state path performs no per-command allocation and no map inserts.
+//
 // All mutable state is confined to a single event loop goroutine; executor
 // goroutines, connection pumps and timers communicate with it through the
 // event channel.
@@ -76,6 +83,19 @@ type Stats struct {
 	// template install and instantiation (paper Tables 1-2).
 	InstallNanos     atomic.Uint64
 	InstantiateNanos atomic.Uint64
+
+	// InstantiateCmds counts commands materialized through the compiled
+	// fast path; InstantiateNanos/InstantiateCmds is the per-command
+	// instantiation cost cmd/nimbus-bench reports.
+	InstantiateCmds atomic.Uint64
+	// TemplateCompiles / CompileNanos account (re)compilations of
+	// installed templates into their dense immutable form (once per
+	// install or edit batch, never in steady state).
+	TemplateCompiles atomic.Uint64
+	CompileNanos     atomic.Uint64
+	// UnitsReused counts instantiations served from the arena pool
+	// (steady state: every instantiation after the first few).
+	UnitsReused atomic.Uint64
 }
 
 // Worker is one Nimbus worker node.
@@ -95,22 +115,46 @@ type Worker struct {
 	durable durable.Store
 
 	// Control state (event-loop confined).
-	pending   map[ids.CommandID]*pcmd
-	waiters   map[ids.CommandID][]*pcmd
-	done      map[ids.CommandID]struct{}
-	doneLow   ids.CommandID
-	payloads  map[ids.CommandID]*proto.DataPayload
-	payWait   map[ids.CommandID]*pcmd
-	units     []*unit // queued barrier units awaiting activation
-	arrival   uint64  // arrival sequence counter
-	unfin     int     // activated, unfinished commands
-	runnable  []*pcmd
-	freeSlots int
-	haltEpoch uint64
-	halted    bool
+	//
+	// Completion tracking is split by command provenance. Non-template
+	// commands record completions in the done map, as before. Template
+	// and patch instance commands never touch the maps: while an instance
+	// is in flight its completion state lives in the arena (liveUnits);
+	// once it finishes, the whole instance is summarized as one
+	// doneRange, and the watermark eventually retires the range. waiters
+	// holds only cross-unit and non-template dependents — intra-instance
+	// edges are wired through the compiled template's index lists.
+	waiters    map[ids.CommandID][]*pcmd
+	done       map[ids.CommandID]struct{}
+	doneLow    ids.CommandID
+	doneRanges []doneRange
+	liveUnits  []*unit
+	payloads   map[ids.CommandID]*proto.DataPayload
+	payWait    map[ids.CommandID]*pcmd
+	units      []*unit // queued barrier units awaiting activation, FIFO
+	unfin      int     // activated, unfinished commands
+	runnable   pcmdRing
+	freeSlots  int
+	haltEpoch  uint64
+	halted     bool
+
+	// Prefix arrival counters (barrier accounting). Every admitted
+	// command takes the next arrival index; arrRing marks completed
+	// indexes and arrLow is the low watermark: every command with index
+	// < arrLow is done. A queued barrier unit stores the arrival prefix
+	// it must outwait (mark); it activates exactly when arrLow reaches
+	// its mark — O(1) amortized per completion, against the old
+	// O(queued-units) scan.
+	cmdArrived uint64
+	arrLow     uint64
+	arrRing    []bool // power-of-two capacity, indexed by arrival index
+
+	// unitPool recycles instance arenas (units and their pcmd slots).
+	// Event-loop confined: units are only acquired and released there.
+	unitPool []*unit
 
 	templates map[ids.TemplateID]*wtemplate
-	patches   map[ids.PatchID][]command.TemplateEntry
+	patches   map[ids.PatchID]*command.CompiledTemplate
 
 	peers     map[ids.WorkerID]string
 	peerConns map[ids.WorkerID]*peerConn
@@ -121,30 +165,60 @@ type Worker struct {
 	dataConns []transport.Conn
 
 	completions []ids.CommandID
+	// bdMsg is the reused BlockDone scratch message (event-loop
+	// confined; sendCtrl marshals synchronously).
+	bdMsg proto.BlockDone
 
 	// Stats is exported for tests and metrics.
 	Stats Stats
 }
 
-// pcmd is a command in flight on the worker.
+// doneRange summarizes one completed template/patch instance: command id
+// is done iff id-base indexes a real entry of the compilation the instance
+// ran with. Compilations are immutable, so edits applied after the
+// instance completed cannot disturb the record.
+type doneRange struct {
+	base ids.CommandID
+	ct   *command.CompiledTemplate
+}
+
+// pcmd is a command in flight on the worker. The command itself is stored
+// inline — template instantiation materializes directly into the slot, so
+// the steady-state path allocates neither Command nor pcmd.
 type pcmd struct {
-	cmd     *command.Command
-	seq     uint64
-	missing int
-	unit    *unit
-	epoch   uint64
+	cmd    command.Command
+	arrIdx uint64 // global arrival index (barrier accounting)
+	epoch  uint64
+	unit   *unit
+	// local is the command's position in unit.ct.Entries, or -1 for
+	// non-template commands.
+	local   int32
+	missing int32
+	state   uint8
 	// needPayload marks a CopyRecv still waiting for its data.
 	needPayload bool
 }
 
-// unit groups commands that entered together. Instance and barrier units
-// activate only after every command that arrived before them completes.
+// pcmd states. A pcmd participates in dependency accounting only while
+// active; completions observed before a sibling activates are seen through
+// the psDone state instead of a waiter registration.
+const (
+	psInit uint8 = iota
+	psActive
+	psDone
+)
+
+// unit groups commands that entered together: a template or patch
+// instance (ct != nil, arena-backed and pooled) or a spawned batch.
+// Barrier units activate only after every command that arrived before
+// them completes.
 type unit struct {
-	barrier   bool
-	instance  uint64 // template instance ID for BlockDone (0 for batches)
-	seq       uint64 // arrival sequence
-	waitCount int    // unfinished commands that arrived earlier
-	cmds      []*command.Command
+	barrier  bool
+	instance uint64 // template instance ID for BlockDone (0 otherwise)
+	mark     uint64 // arrival prefix this barrier unit must outwait
+	base     ids.CommandID
+	ct       *command.CompiledTemplate
+	pcs      []pcmd
 	remaining int
 	activated bool
 }
@@ -165,6 +239,47 @@ const (
 	evTick
 	evClosed
 )
+
+// pcmdRing is the runnable queue: a growable power-of-two ring buffer.
+// Slots are cleared on pop so a drained queue pins no completed pcmds
+// (the old slice-pop-front retained the whole backing array).
+type pcmdRing struct {
+	buf  []*pcmd
+	head int
+	n    int
+}
+
+func (r *pcmdRing) push(pc *pcmd) {
+	if r.n == len(r.buf) {
+		size := len(r.buf) * 2
+		if size == 0 {
+			size = 64
+		}
+		buf := make([]*pcmd, size)
+		for i := 0; i < r.n; i++ {
+			buf[i] = r.buf[(r.head+i)&(len(r.buf)-1)]
+		}
+		r.buf = buf
+		r.head = 0
+	}
+	r.buf[(r.head+r.n)&(len(r.buf)-1)] = pc
+	r.n++
+}
+
+func (r *pcmdRing) pop() *pcmd {
+	pc := r.buf[r.head]
+	r.buf[r.head] = nil
+	r.head = (r.head + 1) & (len(r.buf) - 1)
+	r.n--
+	return pc
+}
+
+func (r *pcmdRing) reset() {
+	for i := range r.buf {
+		r.buf[i] = nil
+	}
+	r.head, r.n = 0, 0
+}
 
 // New creates a worker; Start connects and runs it.
 func New(cfg Config) *Worker {
@@ -187,14 +302,14 @@ func New(cfg Config) *Worker {
 		store:     datastore.New(),
 		reg:       cfg.Registry,
 		durable:   cfg.Durable,
-		pending:   make(map[ids.CommandID]*pcmd),
 		waiters:   make(map[ids.CommandID][]*pcmd),
 		done:      make(map[ids.CommandID]struct{}),
 		payloads:  make(map[ids.CommandID]*proto.DataPayload),
 		payWait:   make(map[ids.CommandID]*pcmd),
+		arrRing:   make([]bool, 1024),
 		freeSlots: cfg.Slots,
 		templates: make(map[ids.TemplateID]*wtemplate),
-		patches:   make(map[ids.PatchID][]command.TemplateEntry),
+		patches:   make(map[ids.PatchID]*command.CompiledTemplate),
 		peers:     make(map[ids.WorkerID]string),
 		peerConns: make(map[ids.WorkerID]*peerConn),
 	}
@@ -393,7 +508,7 @@ func (w *Worker) run(dl transport.Listener) {
 		case evTick:
 			_ = w.sendCtrl(&proto.Heartbeat{
 				Worker:  w.id,
-				Pending: len(w.pending),
+				Pending: w.unfin,
 				Done:    w.Stats.CommandsDone.Load(),
 			})
 		case evClosed:
@@ -425,13 +540,13 @@ func (w *Worker) handleCtrl(msg proto.Msg) bool {
 			w.peers[id] = addr
 		}
 	case *proto.SpawnCommands:
-		w.enqueue(&unit{barrier: m.Barrier, cmds: m.Cmds})
+		w.enqueue(w.newBatchUnit(m.Cmds, m.Barrier))
 	case *proto.InstallTemplate:
 		w.installTemplate(m)
 	case *proto.InstantiateTemplate:
 		w.instantiate(m)
 	case *proto.InstallPatch:
-		w.patches[m.Patch] = m.Entries
+		w.installPatch(m)
 	case *proto.InstantiatePatch:
 		w.instantiatePatch(m)
 	case *proto.FetchObject:
@@ -448,20 +563,102 @@ func (w *Worker) handleCtrl(msg proto.Msg) bool {
 	return false
 }
 
+// getUnit acquires an arena of n command slots, reusing a pooled unit when
+// possible (steady state: always, after the first instantiation at a given
+// shape).
+func (w *Worker) getUnit(n int) *unit {
+	var u *unit
+	if k := len(w.unitPool); k > 0 {
+		u = w.unitPool[k-1]
+		w.unitPool[k-1] = nil
+		w.unitPool = w.unitPool[:k-1]
+		w.Stats.UnitsReused.Add(1)
+	} else {
+		u = &unit{}
+	}
+	if cap(u.pcs) < n {
+		u.pcs = make([]pcmd, n)
+	} else {
+		u.pcs = u.pcs[:n]
+	}
+	return u
+}
+
+// releaseUnit returns an arena to the pool. Callers must guarantee no
+// outstanding references to the unit's pcmds: a unit is released only when
+// remaining hits zero, at which point every executor goroutine has posted
+// its completion and every waiter registration has been consumed.
+func (w *Worker) releaseUnit(u *unit) {
+	u.ct = nil
+	u.base = 0
+	u.instance = 0
+	u.barrier = false
+	u.activated = false
+	u.remaining = 0
+	u.mark = 0
+	// Zero the slots so a pooled arena pins no command payloads (param
+	// blobs, access sets) from its previous instance — same discipline
+	// as the runnable ring and the task scratch.
+	for i := range u.pcs {
+		u.pcs[i] = pcmd{}
+	}
+	u.pcs = u.pcs[:0]
+	w.unitPool = append(w.unitPool, u)
+}
+
+// newBatchUnit wraps decoded spawn commands in an arena unit. The commands
+// are copied into the arena's inline slots, so the batch path shares the
+// template path's scheduling machinery (one slab instead of two heap
+// objects per command).
+func (w *Worker) newBatchUnit(cmds []*command.Command, barrier bool) *unit {
+	u := w.getUnit(len(cmds))
+	u.barrier = barrier
+	for i, c := range cmds {
+		u.pcs[i].cmd = *c
+		u.pcs[i].local = -1
+	}
+	return u
+}
+
 // halt implements the recovery protocol (paper §4.4): terminate ongoing
 // work, flush queues, acknowledge.
 func (w *Worker) halt(m *proto.Halt) {
 	w.haltEpoch++
 	w.halted = true
-	w.pending = make(map[ids.CommandID]*pcmd)
+	// Completions recorded inside flushed in-flight arenas must survive
+	// the flush (the map-based path kept them in the done map): sweep
+	// them into the done map before dropping the arenas. Queued units
+	// have no completions yet. Flushed arenas are abandoned to the GC,
+	// not pooled — stale executor goroutines may still hold their pcmds.
+	for _, u := range w.liveUnits {
+		if !u.activated {
+			continue
+		}
+		for i := range u.pcs {
+			if u.pcs[i].state == psDone {
+				w.done[u.pcs[i].cmd.ID] = struct{}{}
+			}
+		}
+	}
+	w.liveUnits = nil
 	w.waiters = make(map[ids.CommandID][]*pcmd)
 	w.payloads = make(map[ids.CommandID]*proto.DataPayload)
 	w.payWait = make(map[ids.CommandID]*pcmd)
 	w.units = nil
-	w.runnable = nil
+	w.runnable.reset()
 	w.unfin = 0
-	w.freeSlots = w.cfg.Slots
+	// freeSlots is NOT reset: in-flight tasks still occupy real executor
+	// goroutines and return their slots through the stale-epoch path as
+	// they drain, preserving freeSlots + running == Slots. (The old
+	// reset-plus-credit double-counted and let the concurrency limit
+	// creep past cfg.Slots after every recovery.)
 	w.completions = w.completions[:0]
+	// Arrival accounting restarts empty: nothing admitted before the
+	// halt can complete anymore.
+	w.arrLow = w.cmdArrived
+	for i := range w.arrRing {
+		w.arrRing[i] = false
+	}
 	_ = w.sendCtrl(&proto.HaltAck{Seq: m.Seq, Worker: w.id})
 }
 
