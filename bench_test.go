@@ -24,6 +24,7 @@ import (
 	"nimbus/internal/controller"
 	"nimbus/internal/core"
 	"nimbus/internal/datastore"
+	"nimbus/internal/driver"
 	"nimbus/internal/flow"
 	"nimbus/internal/fn"
 	"nimbus/internal/ids"
@@ -458,51 +459,69 @@ func BenchmarkMarshalSteadyState(b *testing.B) {
 
 // BenchmarkInstantiateFanout measures a steady-state InstantiateBlock
 // fan-out over a Mem cluster end to end, reporting the frames each
-// instantiation puts on the wire (one per participating worker).
+// instantiation puts on the wire (one per participating worker). The
+// 4job variant runs four concurrent LR jobs on the same cluster,
+// round-robining instantiations across them: multi-tenancy must not
+// change the per-instantiation frame count (the job rides in each frame
+// as one varint).
 func BenchmarkInstantiateFanout(b *testing.B) {
-	const workers = 16
-	reg := fn.NewRegistry()
-	lr.Register(reg)
-	c, err := cluster.Start(cluster.Options{Workers: workers, Slots: 8, Registry: reg})
-	if err != nil {
-		b.Fatal(err)
+	for _, jobs := range []int{1, 4} {
+		b.Run(fmt.Sprintf("%djob", jobs), func(b *testing.B) {
+			const workers = 16
+			reg := fn.NewRegistry()
+			lr.Register(reg)
+			c, err := cluster.Start(cluster.Options{Workers: workers, Slots: 8, Registry: reg})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer c.Stop()
+			type tenant struct {
+				d *driver.Driver
+				j *lr.Job
+			}
+			ts := make([]tenant, jobs)
+			for k := range ts {
+				d, err := c.Driver(fmt.Sprintf("bench-%d", k))
+				if err != nil {
+					b.Fatal(err)
+				}
+				j, err := lr.Setup(d, lr.Config{
+					Partitions: 64, ReduceFan: 4, Simulated: true,
+					TaskDuration: 50 * time.Microsecond, ReduceDuration: 20 * time.Microsecond,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := j.InstallTemplates(); err != nil {
+					b.Fatal(err)
+				}
+				for i := 0; i < 2; i++ { // warm-up: validation + patching
+					if err := j.Optimize(); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if err := d.Barrier(); err != nil {
+					b.Fatal(err)
+				}
+				ts[k] = tenant{d: d, j: j}
+			}
+			frames0 := c.Controller.Stats.FramesToWorkers.Load()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := ts[i%jobs].j.Optimize(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			for _, t := range ts {
+				if err := t.d.Barrier(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			frames := c.Controller.Stats.FramesToWorkers.Load() - frames0
+			b.ReportMetric(float64(frames)/float64(b.N), "frames/op")
+		})
 	}
-	defer c.Stop()
-	d, err := c.Driver("bench")
-	if err != nil {
-		b.Fatal(err)
-	}
-	j, err := lr.Setup(d, lr.Config{
-		Partitions: 64, ReduceFan: 4, Simulated: true,
-		TaskDuration: 50 * time.Microsecond, ReduceDuration: 20 * time.Microsecond,
-	})
-	if err != nil {
-		b.Fatal(err)
-	}
-	if err := j.InstallTemplates(); err != nil {
-		b.Fatal(err)
-	}
-	for i := 0; i < 2; i++ { // warm-up: validation + patching
-		if err := j.Optimize(); err != nil {
-			b.Fatal(err)
-		}
-	}
-	if err := d.Barrier(); err != nil {
-		b.Fatal(err)
-	}
-	frames0 := c.Controller.Stats.FramesToWorkers.Load()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if err := j.Optimize(); err != nil {
-			b.Fatal(err)
-		}
-	}
-	if err := d.Barrier(); err != nil {
-		b.Fatal(err)
-	}
-	b.StopTimer()
-	frames := c.Controller.Stats.FramesToWorkers.Load() - frames0
-	b.ReportMetric(float64(frames)/float64(b.N), "frames/op")
 }
 
 // ---------------------------------------------------------------------------
@@ -622,6 +641,43 @@ func BenchmarkWorkerInstantiate(b *testing.B) {
 			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(n), "ns/cmd")
 		})
 	}
+	// compiled-4job: the multi-tenant steady state — four jobs installed
+	// the same-shaped (and same-ID) template in their own namespaces, and
+	// instantiations round-robin across them. Per-job cost must match the
+	// single-job compiled path: the namespace lookup is one map probe and
+	// the arena pool is shared, so allocs/op and ns/cmd hold the
+	// single-job ceiling.
+	b.Run("compiled-4job-1024", func(b *testing.B) {
+		bl := worker.NewBenchLoop(1)
+		defer bl.Close()
+		const n = 1024
+		const jobs = 4
+		for j := 1; j <= jobs; j++ {
+			msg := workerTemplate(1, n)
+			msg.Job = ids.JobID(j)
+			bl.Apply(msg)
+		}
+		span := uint64(n)
+		insts := make([]uint64, jobs+1)
+		run := func(k int) {
+			job := ids.JobID(k%jobs + 1)
+			insts[job]++
+			i := insts[job]
+			bl.Apply(&proto.InstantiateTemplate{
+				Job: job, Template: 1, Instance: i, Base: ids.CommandID(1 + i*span),
+				DoneWatermark: ids.CommandID(1 + i*span),
+			})
+		}
+		for k := 0; k < 8*jobs; k++ {
+			run(k)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for k := 0; k < b.N; k++ {
+			run(k)
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(n), "ns/cmd")
+	})
 	b.Run("edited-1024", func(b *testing.B) {
 		bl := worker.NewBenchLoop(1)
 		defer bl.Close()

@@ -1,0 +1,303 @@
+package cluster
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"nimbus/internal/app/kmeans"
+	"nimbus/internal/app/lr"
+	"nimbus/internal/driver"
+	"nimbus/internal/fn"
+	"nimbus/internal/ids"
+)
+
+// multiRegistry registers both application workloads on one shared
+// worker pool.
+func multiRegistry(t testing.TB) *fn.Registry {
+	t.Helper()
+	reg := fn.NewRegistry()
+	kmeans.Register(reg)
+	lr.Register(reg)
+	return reg
+}
+
+// TestTwoJobsKillOneRecoverIsolated is the tentpole isolation proof: two
+// driver jobs (k-means and logistic regression) run concurrently over one
+// shared cluster; the k-means job is abruptly killed mid-run (driver
+// crash, no graceful JobEnd) and later re-admitted as a fresh job, while
+// the LR job's completion stream keeps flowing throughout — no cross-job
+// halt or flush ever touches it.
+func TestTwoJobsKillOneRecoverIsolated(t *testing.T) {
+	c := startTestCluster(t, Options{Workers: 4, Slots: 4, Registry: multiRegistry(t)})
+
+	// Job B: logistic regression, iterating continuously in the
+	// background. Every iteration ends in a barrier, so progress counts
+	// completed instantiation rounds.
+	db, err := c.Driver("lr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	jb, err := lr.Setup(db, lr.Config{
+		Partitions: 8, ReduceFan: 2, Simulated: true,
+		TaskDuration: 200 * time.Microsecond, ReduceDuration: 100 * time.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := jb.InstallTemplates(); err != nil {
+		t.Fatal(err)
+	}
+	var lrIters atomic.Int64
+	lrStop := make(chan struct{})
+	lrDone := make(chan error, 1)
+	go func() {
+		for {
+			select {
+			case <-lrStop:
+				lrDone <- nil
+				return
+			default:
+			}
+			if err := jb.Optimize(); err != nil {
+				lrDone <- err
+				return
+			}
+			if err := db.Barrier(); err != nil {
+				lrDone <- err
+				return
+			}
+			lrIters.Add(1)
+		}
+	}()
+
+	// Job A: k-means on the same cluster, same workers.
+	kmCfg := kmeans.Config{
+		Partitions: 8, K: 2, Simulated: true,
+		TaskDuration: 200 * time.Microsecond, ReduceDuration: 100 * time.Microsecond,
+	}
+	da, err := c.Driver("kmeans")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ja, err := kmeans.Setup(da, kmCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ja.InstallTemplate(); err != nil {
+		t.Fatal(err)
+	}
+	if da.Job() == db.Job() || da.Job() == ids.NoJob {
+		t.Fatalf("bad job handles: kmeans=%s lr=%s", da.Job(), db.Job())
+	}
+	for i := 0; i < 3; i++ {
+		if err := ja.Iterate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Kill job A mid-run: instantiations are in flight, no barrier, no
+	// graceful JobEnd. The controller must tear down exactly job A.
+	if err := da.Abort(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Job B keeps completing rounds after the kill. Waiting for the
+	// counter to advance past its at-kill value proves B's in-flight and
+	// future instantiations were not flushed by A's teardown.
+	atKill := lrIters.Load()
+	deadline := time.After(10 * time.Second)
+	for lrIters.Load() < atKill+3 {
+		select {
+		case err := <-lrDone:
+			t.Fatalf("lr job stopped after kill: %v", err)
+		case <-deadline:
+			t.Fatalf("lr job made no progress after job kill (stuck at %d rounds)", lrIters.Load())
+		case <-time.After(time.Millisecond):
+		}
+	}
+
+	// The controller eventually tears job A down (disconnect detection is
+	// asynchronous) and keeps serving job B.
+	waitUntil(t, c, 5*time.Second, "job A teardown", func() bool {
+		jobs := c.Controller.Jobs()
+		return len(jobs) == 1 && jobs[0] == db.Job()
+	})
+
+	// Recover job A: a fresh driver session re-runs k-means to completion
+	// on the same shared cluster.
+	da2, err := c.Driver("kmeans-recovered")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer da2.Close()
+	ja2, err := kmeans.Setup(da2, kmCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ja2.InstallTemplate(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := ja2.Iterate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := da2.Barrier(); err != nil {
+		t.Fatalf("recovered kmeans job did not complete: %v", err)
+	}
+
+	// And job B still never missed a beat.
+	close(lrStop)
+	if err := <-lrDone; err != nil {
+		t.Fatalf("lr job: %v", err)
+	}
+	if final := lrIters.Load(); final < atKill+3 {
+		t.Fatalf("lr rounds = %d, want > %d", final, atKill+3)
+	}
+}
+
+// tenant is one raw-driver job used by the same-name isolation test.
+type tenant struct {
+	d   *driver.Driver
+	x   driver.Var
+	sum driver.Var
+}
+
+// setupTenant declares x/sum (identical driver-local VariableIDs in every
+// job), seeds x, and records a template named "blk" that doubles x and
+// reduces it into sum.
+func setupTenant(t *testing.T, c *Cluster, name string, parts int, seed float64) *tenant {
+	t.Helper()
+	d, err := c.Driver(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { d.Close() })
+	tn := &tenant{d: d, x: d.MustVar("x", parts), sum: d.MustVar("sum", 1)}
+	for p := 0; p < parts; p++ {
+		if err := d.PutFloats(tn.x, p, []float64{seed}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.BeginTemplate("blk"); err != nil { // same name in every job
+		t.Fatal(err)
+	}
+	if err := d.Submit(fnDouble, parts, nil, tn.x.Read(), tn.x.Write()); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Submit(fnSumAll, 1, nil, tn.x.ReadGrouped(), tn.sum.WriteShared()); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.EndTemplate("blk"); err != nil {
+		t.Fatal(err)
+	}
+	return tn
+}
+
+func (tn *tenant) sumValue(t *testing.T) float64 {
+	t.Helper()
+	got, err := tn.d.GetFloats(tn.sum, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("sum = %v", got)
+	}
+	return got[0]
+}
+
+// TestSameNameTemplatesIsolated: two jobs install templates under the
+// same name ("blk") over identically-numbered variables (driver-local
+// VariableIDs collide across jobs by construction) and instantiate them
+// interleaved. Each job must see only its own data and its own template —
+// the numeric results prove the directory, datastore, template and
+// command-ID namespaces never cross.
+func TestSameNameTemplatesIsolated(t *testing.T) {
+	c := startTestCluster(t, Options{Workers: 3})
+	const parts = 6
+	a := setupTenant(t, c, "job-a", parts, 1)
+	b := setupTenant(t, c, "job-b", parts, 10)
+
+	wantA, wantB := 2.0*parts, 20.0*parts
+	if got := a.sumValue(t); got != wantA {
+		t.Fatalf("job A after recording: %v, want %v", got, wantA)
+	}
+	if got := b.sumValue(t); got != wantB {
+		t.Fatalf("job B after recording: %v, want %v", got, wantB)
+	}
+	// Interleaved instantiations of the same-named template, asymmetric
+	// counts so cross-wiring cannot cancel out: A runs 2 more doublings,
+	// B runs 3.
+	for i := 0; i < 2; i++ {
+		if err := a.d.Instantiate("blk"); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.d.Instantiate("blk"); err != nil {
+			t.Fatal(err)
+		}
+		wantA *= 2
+		wantB *= 2
+	}
+	if err := b.d.Instantiate("blk"); err != nil {
+		t.Fatal(err)
+	}
+	wantB *= 2
+	if got := a.sumValue(t); got != wantA {
+		t.Fatalf("job A = %v, want %v (cross-job template or data leak)", got, wantA)
+	}
+	if got := b.sumValue(t); got != wantB {
+		t.Fatalf("job B = %v, want %v (cross-job template or data leak)", got, wantB)
+	}
+}
+
+// TestWorkerFailureRecoversEveryJob: with two checkpointed jobs running,
+// a worker failure triggers an independent recovery per job — both revert
+// to their own (job-keyed) checkpoints, replay their own logs, and finish
+// with correct values.
+func TestWorkerFailureRecoversEveryJob(t *testing.T) {
+	c := startTestCluster(t, Options{Workers: 3})
+	const parts = 6
+	a := setupTenant(t, c, "job-a", parts, 1)
+	b := setupTenant(t, c, "job-b", parts, 10)
+	wantA, wantB := 2.0*parts, 20.0*parts
+
+	// Checkpoint both jobs, then make more progress that the checkpoints
+	// do not cover (it is replayed from each job's own log).
+	if err := a.d.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.d.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.d.Instantiate("blk"); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.d.Instantiate("blk"); err != nil {
+		t.Fatal(err)
+	}
+	wantA *= 2
+	wantB *= 2
+
+	c.KillWorker(1)
+
+	if got := a.sumValue(t); got != wantA {
+		t.Fatalf("job A after recovery = %v, want %v", got, wantA)
+	}
+	if got := b.sumValue(t); got != wantB {
+		t.Fatalf("job B after recovery = %v, want %v", got, wantB)
+	}
+	// Both jobs keep working on the shrunken pool.
+	if err := a.d.Instantiate("blk"); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.d.Instantiate("blk"); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.sumValue(t); got != 2*wantA {
+		t.Fatalf("job A post-recovery iterate = %v, want %v", got, 2*wantA)
+	}
+	if got := b.sumValue(t); got != 2*wantB {
+		t.Fatalf("job B post-recovery iterate = %v, want %v", got, 2*wantB)
+	}
+}

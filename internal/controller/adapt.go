@@ -17,19 +17,22 @@ import (
 // invoked by the cluster harness through Controller.Do, playing the role
 // of the cluster resource manager in Figure 2.
 //
-// Both operations rebuild every installed template. The rebuilds run as
-// one parallel group over a shared directory-snapshot view (builds.go):
-// validate and build everything first, then commit atomically — an error
-// in any template's rebuild leaves the controller fully unchanged.
+// The worker set is shared by every admitted job, so SetActive retargets
+// every job's installed templates; Migrate moves partitions within one
+// job (variable IDs are per-job). Rebuilds run as parallel groups over a
+// shared directory-snapshot view per job (builds.go): validate and build
+// everything first, then commit atomically — an error in any template's
+// rebuild leaves the controller fully unchanged.
 
-// SetActive changes the set of workers the job runs on (call via Do). All
-// named workers must be registered and alive. Variables are repartitioned
-// round-robin over the new set; every installed template switches to an
-// assignment for the new placement — reusing a cached one when this worker
-// set has been active before (Figure 9's restore path revalidates cached
-// templates instead of reinstalling). Templates are rebuilt in parallel
-// and committed atomically: on error no placement or template state
-// changes. Data moves lazily via patches at the next instantiation.
+// SetActive changes the set of workers the cluster runs on (call via Do).
+// All named workers must be registered and alive. Every job's variables
+// are repartitioned round-robin over the new set; every installed template
+// of every job switches to an assignment for the new placement — reusing a
+// cached one when this worker set has been active before (Figure 9's
+// restore path revalidates cached templates instead of reinstalling).
+// Templates are rebuilt in parallel and committed atomically across all
+// jobs: on error no placement or template state changes anywhere. Data
+// moves lazily via patches at the next instantiation.
 func (c *Controller) SetActive(workersWanted []ids.WorkerID) error {
 	if len(workersWanted) == 0 {
 		return fmt.Errorf("controller: cannot run with zero workers")
@@ -42,37 +45,45 @@ func (c *Controller) SetActive(workersWanted []ids.WorkerID) error {
 			return fmt.Errorf("controller: worker %s not available", id)
 		}
 	}
-	// Plan every retarget against the prospective placement before
+	// Plan every job's retargets against the prospective placement before
 	// touching live state.
 	sig := workerSigOf(set)
-	plans, view := c.planRetargets(set, sig)
-	for i := range plans {
-		if plans[i].err != nil {
-			return fmt.Errorf("controller: retargeting %q: %w", plans[i].name, plans[i].err)
+	jobs := c.jobList()
+	plansByJob := make([][]retargetPlan, len(jobs))
+	viewsByJob := make([]*flow.BuildView, len(jobs))
+	for i, j := range jobs {
+		plans, view := c.planRetargets(j, set, sig)
+		for k := range plans {
+			if plans[k].err != nil {
+				return fmt.Errorf("controller: retargeting %s %q: %w", j.id, plans[k].name, plans[k].err)
+			}
 		}
+		plansByJob[i], viewsByJob[i] = plans, view
 	}
 	// Commit.
 	c.active = set
-	c.reassignAll()
-	c.commitRetargets(plans, view, sig)
-	c.autoValid = false
+	for i, j := range jobs {
+		c.reassignAll(j)
+		c.commitRetargets(j, plansByJob[i], viewsByJob[i], sig)
+		j.autoValid = false
+	}
 	return nil
 }
 
-// reassignAll recomputes every variable's partition placement over the
-// active workers and bumps the placement epoch, staling any in-flight
+// reassignAll recomputes one job's partition placement over the active
+// workers and bumps the job's placement epoch, staling any in-flight
 // build snapshot.
-func (c *Controller) reassignAll() {
-	for _, vm := range c.vars {
+func (c *Controller) reassignAll(j *jobState) {
+	for _, vm := range j.vars {
 		for p := range vm.assign {
 			vm.assign[p] = c.active[p%len(c.active)]
 		}
 	}
-	c.placeEpoch++
+	j.placeEpoch++
 }
 
 // workerSig canonically names the active worker set for the assignment
-// cache.
+// caches.
 func (c *Controller) workerSig() string { return workerSigOf(c.active) }
 
 // workerSigOf canonically names a sorted worker set.
@@ -84,34 +95,34 @@ func workerSigOf(set []ids.WorkerID) string {
 	return b.String()
 }
 
-// retargetAll points every installed template at an assignment matching
-// the current placement (recovery's rebuild step): cached assignments when
-// available, parallel fresh builds otherwise. Failures are logged per
-// template and do not block the others.
-func (c *Controller) retargetAll() {
+// retargetAll points every installed template of one job at an assignment
+// matching the current placement (recovery's rebuild step): cached
+// assignments when available, parallel fresh builds otherwise. Failures
+// are logged per template and do not block the others.
+func (c *Controller) retargetAll(j *jobState) {
 	sig := c.workerSig()
-	plans, view := c.planRetargets(c.active, sig)
+	plans, view := c.planRetargets(j, c.active, sig)
 	for i := range plans {
 		if plans[i].err != nil {
-			c.cfg.Logf("controller: recovery rebuild of %q: %v", plans[i].name, plans[i].err)
+			c.cfg.Logf("controller: recovery rebuild of %s %q: %v", j.id, plans[i].name, plans[i].err)
 		}
 	}
-	c.commitRetargets(plans, view, sig)
+	c.commitRetargets(j, plans, view, sig)
 }
 
-// cacheActiveAssignments snapshots each template's current assignment
-// under the current worker signature so SetActive can restore it later.
-// Called after template installation.
-func (c *Controller) cacheActiveAssignments() {
-	if c.assignCache == nil {
-		c.assignCache = make(map[string]map[string]*core.Assignment)
+// cacheActiveAssignments snapshots each of one job's templates' current
+// assignment under the current worker signature so SetActive can restore
+// it later. Called after template installation.
+func (c *Controller) cacheActiveAssignments(j *jobState) {
+	if j.assignCache == nil {
+		j.assignCache = make(map[string]map[string]*core.Assignment)
 	}
 	sig := c.workerSig()
-	for name, t := range c.templates {
-		bySig := c.assignCache[name]
+	for name, t := range j.templates {
+		bySig := j.assignCache[name]
 		if bySig == nil {
 			bySig = make(map[string]*core.Assignment)
-			c.assignCache[name] = bySig
+			j.assignCache[name] = bySig
 		}
 		if _, ok := bySig[sig]; !ok && t.Active != nil {
 			bySig[sig] = t.Active
@@ -120,19 +131,35 @@ func (c *Controller) cacheActiveAssignments() {
 }
 
 // Migrate moves the given partitions of the given variables to worker dst
-// (call via Do). Installed templates are updated in place through edits:
-// the controller rebuilds each template's entry array under the new
-// placement (in parallel, over a shared snapshot view), keeps unchanged
-// entries' indexes via provenance matching, and stages the per-worker
-// deltas to ride the next instantiation message (paper §4.3, Figure 6).
-// Partition data moves lazily via the next validation's patch.
+// within the sole admitted job (call via Do). Variable IDs are per-job;
+// with several jobs admitted, use MigrateJob. Installed templates are
+// updated in place through edits: the controller rebuilds each template's
+// entry array under the new placement (in parallel, over a shared snapshot
+// view), keeps unchanged entries' indexes via provenance matching, and
+// stages the per-worker deltas to ride the next instantiation message
+// (paper §4.3, Figure 6). Partition data moves lazily via the next
+// validation's patch.
 func (c *Controller) Migrate(vars []ids.VariableID, parts []int, dst ids.WorkerID) error {
+	j := c.soleJob()
+	if j == nil {
+		return fmt.Errorf("controller: Migrate needs exactly one admitted job (have %d); use MigrateJob", len(c.jobs))
+	}
+	return c.MigrateJob(j.id, vars, parts, dst)
+}
+
+// MigrateJob moves the given partitions of one job's variables to worker
+// dst (call via Do).
+func (c *Controller) MigrateJob(job ids.JobID, vars []ids.VariableID, parts []int, dst ids.WorkerID) error {
+	j := c.jobs[job]
+	if j == nil {
+		return fmt.Errorf("controller: migrate for unknown %s", job)
+	}
 	ws := c.workers[dst]
 	if ws == nil || !ws.alive {
 		return fmt.Errorf("controller: migration target %s not available", dst)
 	}
 	for _, v := range vars {
-		vm := c.vars[v]
+		vm := j.vars[v]
 		if vm == nil {
 			return fmt.Errorf("controller: migrate of unknown variable %s", v)
 		}
@@ -156,17 +183,17 @@ func (c *Controller) Migrate(vars []ids.VariableID, parts []int, dst ids.WorkerI
 		err  error
 	}
 	var plans []editPlan
-	for name, t := range c.templates {
+	for name, t := range j.templates {
 		if t.Active == nil {
 			continue // build in flight; its commit rebuilds under the new placement
 		}
 		plans = append(plans, editPlan{name: name, t: t, old: t.Active})
 	}
-	sort.Slice(plans, func(i, j int) bool { return plans[i].name < plans[j].name })
+	sort.Slice(plans, func(i, k int) bool { return plans[i].name < plans[k].name })
 	var view *flow.BuildView
 	if len(plans) > 0 {
-		view = c.dir.Snapshot().View()
-		place := c.placementSnapshot(nil)
+		view = j.dir.Snapshot().View()
+		place := j.placementSnapshot(nil)
 		for _, v := range vars {
 			for _, p := range parts {
 				place.vars[v].assign[p] = dst
@@ -185,7 +212,7 @@ func (c *Controller) Migrate(vars []ids.VariableID, parts []int, dst ids.WorkerI
 				return fmt.Errorf("controller: migrating %q: %w", plans[i].name, plans[i].err)
 			}
 		}
-		if err := view.Commit(c.dir); err != nil {
+		if err := view.Commit(j.dir); err != nil {
 			// Unreachable: snapshot, build and commit happen within one
 			// event-loop call.
 			return err
@@ -193,23 +220,23 @@ func (c *Controller) Migrate(vars []ids.VariableID, parts []int, dst ids.WorkerI
 	}
 	// Commit: apply the placement change, then stage the diffs.
 	for _, v := range vars {
-		vm := c.vars[v]
+		vm := j.vars[v]
 		for _, p := range parts {
 			vm.assign[p] = dst
 		}
 	}
-	c.placeEpoch++
+	j.placeEpoch++
 	for i := range plans {
-		c.stageEdits(plans[i].name, plans[i].t, plans[i].old, plans[i].next)
+		c.stageEdits(j, plans[i].name, plans[i].t, plans[i].old, plans[i].next)
 	}
 	c.Stats.MigrateNanos.Add(uint64(time.Since(start)))
-	c.autoValid = false
+	j.autoValid = false
 	return nil
 }
 
 // stageEdits swaps a rebuilt assignment in for its predecessor and stages
-// the per-worker deltas as edits riding the next instantiation.
-func (c *Controller) stageEdits(name string, t *core.Template, old, next *core.Assignment) {
+// the per-worker deltas as edits riding the job's next instantiation.
+func (c *Controller) stageEdits(j *jobState, name string, t *core.Template, old, next *core.Assignment) {
 	diff := core.Diff(old, next)
 	next.Installed = make(map[ids.WorkerID]bool, len(old.Installed))
 	for w, in := range old.Installed {
@@ -232,17 +259,17 @@ func (c *Controller) stageEdits(name string, t *core.Template, old, next *core.A
 			t.Assignments[i] = next
 		}
 	}
-	if c.assignCache != nil {
-		for sig, a := range c.assignCache[name] {
+	if j.assignCache != nil {
+		for sig, a := range j.assignCache[name] {
 			if a == old {
-				c.assignCache[name][sig] = next
+				j.assignCache[name][sig] = next
 			}
 		}
 	}
-	staged := c.pendingEdits[next.ID]
+	staged := j.pendingEdits[next.ID]
 	if staged == nil {
 		staged = make(map[ids.WorkerID][]editStaged)
-		c.pendingEdits[next.ID] = staged
+		j.pendingEdits[next.ID] = staged
 	}
 	for w, e := range diff.Edits {
 		if len(e.Remove) == 0 && len(e.Add) == 0 {

@@ -17,19 +17,21 @@ import (
 // completion processing and every other template's dispatch while it ran.
 // Now:
 //
-//   - TemplateEnd snapshots the directory and placement, enqueues a build
-//     on a bounded background executor, and returns to the loop. The
-//     finished assignment comes back as a commit event; if placement or
-//     the directory moved underneath the build, it is discarded and
-//     retried from a fresh snapshot (revalidate-and-retry).
-//   - While a build is in flight, driver operations that mutate execution
-//     state (defines, puts, stage submissions, template ops,
-//     instantiations) queue in arrival order behind it, preserving the
-//     driver's program order; heartbeats, completions, gets and barriers
-//     keep flowing through the loop.
-//   - SetActive / Migrate / recovery retarget every installed template in
-//     one parallel group build over a shared snapshot view, then commit
-//     atomically on the loop.
+//   - TemplateEnd snapshots the job's directory and placement, enqueues a
+//     build on a bounded background executor (shared by all jobs), and
+//     returns to the loop. The finished assignment comes back as a commit
+//     event; if placement or the directory moved underneath the build, it
+//     is discarded and retried from a fresh snapshot
+//     (revalidate-and-retry). A build whose job was torn down while it ran
+//     is simply dropped at commit.
+//   - While a job's build is in flight, that job's driver operations that
+//     mutate execution state (defines, puts, stage submissions, template
+//     ops, instantiations) queue in arrival order behind it, preserving
+//     the driver's program order; heartbeats, completions, gets, barriers
+//     — and every other job's traffic — keep flowing through the loop.
+//   - SetActive / Migrate / recovery retarget every installed template of
+//     the affected job(s) in one parallel group build over a shared
+//     snapshot view, then commit atomically on the loop.
 
 // maxBuildRetries bounds revalidate-and-retry; after it the build runs
 // synchronously on the loop, which cannot be invalidated.
@@ -47,8 +49,10 @@ type Hooks struct {
 	RetargetError func(template string) error
 }
 
-// buildJob is one in-flight off-loop template build.
+// buildJob is one in-flight off-loop template build, pinned to the job
+// that recorded the template.
 type buildJob struct {
+	j          *jobState
 	name       string
 	tmpl       *core.Template
 	id         ids.TemplateID
@@ -59,8 +63,8 @@ type buildJob struct {
 	retries    int
 }
 
-// placeSnap is an immutable copy of the controller's placement, readable
-// by build goroutines while the loop keeps mutating the live tables.
+// placeSnap is an immutable copy of one job's placement, readable by build
+// goroutines while the loop keeps mutating the live tables.
 type placeSnap struct {
 	vars map[ids.VariableID]placeVar
 }
@@ -94,12 +98,12 @@ func (p *placeSnap) Partitions(v ids.VariableID) int {
 	return 0
 }
 
-// placementSnapshot copies the placement. With a non-nil override the
-// assignment is the round-robin layout over that worker set — the
+// placementSnapshot copies one job's placement. With a non-nil override
+// the assignment is the round-robin layout over that worker set — the
 // placement SetActive would commit — without touching live state.
-func (c *Controller) placementSnapshot(override []ids.WorkerID) *placeSnap {
-	vars := make(map[ids.VariableID]placeVar, len(c.vars))
-	for id, vm := range c.vars {
+func (j *jobState) placementSnapshot(override []ids.WorkerID) *placeSnap {
+	vars := make(map[ids.VariableID]placeVar, len(j.vars))
+	for id, vm := range j.vars {
 		assign := make([]ids.WorkerID, vm.partitions)
 		if override != nil {
 			for p := range assign {
@@ -122,63 +126,66 @@ func (c *Controller) post(fn func()) {
 	}
 }
 
-// driverOp routes one driver operation through the build fence: while any
-// off-loop build is in flight (or earlier operations are still queued
-// behind one), operations that mutate execution state queue in arrival
-// order so the driver's program order is preserved.
-func (c *Controller) driverOp(m proto.Msg) {
-	if len(c.building) > 0 || len(c.opq) > 0 {
-		c.opq = append(c.opq, m)
+// driverOp routes one driver operation through its job's build fence:
+// while any of the job's off-loop builds is in flight (or earlier
+// operations are still queued behind one), operations that mutate
+// execution state queue in arrival order so the driver's program order is
+// preserved. The fence is per-job: one job's build never delays another
+// job's operations.
+func (c *Controller) driverOp(j *jobState, m proto.Msg) {
+	if len(j.building) > 0 || len(j.opq) > 0 {
+		j.opq = append(j.opq, m)
 		return
 	}
-	c.dispatchDriverOp(m)
+	c.dispatchDriverOp(j, m)
 }
 
 // dispatchDriverOp executes one fenced driver operation.
-func (c *Controller) dispatchDriverOp(m proto.Msg) {
+func (c *Controller) dispatchDriverOp(j *jobState, m proto.Msg) {
 	switch op := m.(type) {
 	case *proto.DefineVariable:
-		c.handleDefineVariable(op)
+		c.handleDefineVariable(j, op)
 	case *proto.Put:
-		c.handlePut(op)
+		c.handlePut(j, op)
 	case *proto.SubmitStage:
-		c.handleSubmitStage(op)
+		c.handleSubmitStage(j, op)
 	case *proto.TemplateStart:
-		c.handleTemplateStart(op)
+		c.handleTemplateStart(j, op)
 	case *proto.TemplateEnd:
-		c.handleTemplateEnd(op)
+		c.handleTemplateEnd(j, op)
 	case *proto.InstantiateBlock:
-		c.handleInstantiateBlock(op)
+		c.handleInstantiateBlock(j, op)
 	default:
 		c.cfg.Logf("controller: unexpected fenced operation %s", m.Kind())
 	}
 }
 
-// drainOps runs queued driver operations until the queue empties or one of
-// them starts another build (re-raising the fence).
-func (c *Controller) drainOps() {
-	for len(c.opq) > 0 && len(c.building) == 0 {
-		m := c.opq[0]
-		c.opq[0] = nil
-		c.opq = c.opq[1:]
-		if len(c.opq) == 0 {
-			c.opq = nil
+// drainOps runs a job's queued driver operations until the queue empties
+// or one of them starts another build (re-raising the fence).
+func (c *Controller) drainOps(j *jobState) {
+	for len(j.opq) > 0 && len(j.building) == 0 {
+		m := j.opq[0]
+		j.opq[0] = nil
+		j.opq = j.opq[1:]
+		if len(j.opq) == 0 {
+			j.opq = nil
 		}
-		c.dispatchDriverOp(m)
+		c.dispatchDriverOp(j, m)
 	}
 }
 
 // startTemplateBuild begins the off-loop build of a just-recorded
-// template: snapshot directory + placement on the loop, build in the
-// background, commit via a posted event.
-func (c *Controller) startTemplateBuild(name string, t *core.Template) {
+// template: snapshot the job's directory + placement on the loop, build in
+// the background, commit via a posted event.
+func (c *Controller) startTemplateBuild(j *jobState, name string, t *core.Template) {
 	job := &buildJob{
+		j:    j,
 		name: name,
 		tmpl: t,
-		id:   ids.TemplateID(c.tmplIDs.Next()),
+		id:   ids.TemplateID(j.tmplIDs.Next()),
 	}
 	c.snapshotFor(job)
-	c.building[name] = job
+	j.building[name] = job
 	c.Stats.BuildsInFlight.Add(1)
 	c.wg.Add(1)
 	go c.runBuild(job)
@@ -186,10 +193,10 @@ func (c *Controller) startTemplateBuild(name string, t *core.Template) {
 
 // snapshotFor (re)stamps the job with the loop's current snapshot state.
 func (c *Controller) snapshotFor(job *buildJob) {
-	job.view = c.dir.Snapshot().View()
-	job.place = c.placementSnapshot(nil)
-	job.placeEpoch = c.placeEpoch
-	job.dir = c.dir
+	job.view = job.j.dir.Snapshot().View()
+	job.place = job.j.placementSnapshot(nil)
+	job.placeEpoch = job.j.placeEpoch
+	job.dir = job.j.dir
 }
 
 // runBuild executes one build job off the loop and posts its result back.
@@ -208,43 +215,49 @@ func (c *Controller) runBuild(job *buildJob) {
 
 // commitBuild runs on the event loop when a background build finishes:
 // revalidate the snapshot, then either install the assignment, retry from
-// a fresh snapshot, or surface the failure.
+// a fresh snapshot, or surface the failure. A torn-down job's build is
+// dropped outright.
 func (c *Controller) commitBuild(job *buildJob, a *core.Assignment, err error, nanos uint64) {
 	c.Stats.BuildNanos.Add(nanos)
-	if c.building[job.name] != job {
+	j := job.j
+	if j.dead {
+		c.Stats.BuildsInFlight.Add(-1)
+		return
+	}
+	if j.building[job.name] != job {
 		// Superseded (e.g. the template was rebuilt by recovery while this
 		// build was in flight and the job already resolved another way).
 		return
 	}
 	if err != nil {
-		delete(c.templates, job.name)
-		c.finishBuild(job.name)
-		c.driverError(fmt.Sprintf("building template %q: %v", job.name, err))
+		delete(j.templates, job.name)
+		c.finishBuild(j, job.name)
+		c.driverError(j, fmt.Sprintf("building template %q: %v", job.name, err))
 		return
 	}
 	// Revalidate: if placement changed, the directory was replaced
 	// (recovery), or the directory allocated conflicting instances while
 	// we built, the result describes a world that no longer exists —
 	// discard and retry against fresh state.
-	if job.placeEpoch != c.placeEpoch || job.dir != c.dir || job.view.Commit(c.dir) != nil {
+	if job.placeEpoch != j.placeEpoch || job.dir != j.dir || job.view.Commit(j.dir) != nil {
 		c.Stats.BuildRetries.Add(1)
 		c.retryBuild(job)
 		return
 	}
-	c.adoptAssignment(job.tmpl, a)
-	c.finishBuild(job.name)
+	c.adoptAssignment(j, job.tmpl, a)
+	c.finishBuild(j, job.name)
 }
 
 // adoptAssignment commits a freshly built assignment as the template's
 // active one and installs it.
-func (c *Controller) adoptAssignment(t *core.Template, a *core.Assignment) {
+func (c *Controller) adoptAssignment(j *jobState, t *core.Template, a *core.Assignment) {
 	start := time.Now()
 	t.Assignments = append(t.Assignments, a)
 	t.Active = a
 	c.Stats.TemplatesBuilt.Add(1)
-	c.installAssignment(t, a)
+	c.installAssignment(j, t, a)
 	c.Stats.FinalizeNanos.Add(uint64(time.Since(start)))
-	c.cacheActiveAssignments()
+	c.cacheActiveAssignments(j)
 }
 
 // retryBuild re-snapshots and requeues a discarded build. If another path
@@ -252,24 +265,25 @@ func (c *Controller) adoptAssignment(t *core.Template, a *core.Assignment) {
 // worker set, that one is adopted instead; past the retry budget the build
 // runs synchronously on the loop, which cannot be invalidated.
 func (c *Controller) retryBuild(job *buildJob) {
-	if bySig := c.assignCache[job.name]; bySig != nil {
+	j := job.j
+	if bySig := j.assignCache[job.name]; bySig != nil {
 		if a, ok := bySig[c.workerSig()]; ok {
 			job.tmpl.Active = a
-			c.finishBuild(job.name)
+			c.finishBuild(j, job.name)
 			return
 		}
 	}
 	job.retries++
 	if job.retries >= maxBuildRetries {
-		a, err := core.BuildAssignment(job.id, c.dir, c.placement(), job.tmpl.Stages, c.buildPar)
+		a, err := core.BuildAssignment(job.id, j.dir, j.placement(), job.tmpl.Stages, c.buildPar)
 		if err != nil {
-			delete(c.templates, job.name)
-			c.finishBuild(job.name)
-			c.driverError(fmt.Sprintf("building template %q: %v", job.name, err))
+			delete(j.templates, job.name)
+			c.finishBuild(j, job.name)
+			c.driverError(j, fmt.Sprintf("building template %q: %v", job.name, err))
 			return
 		}
-		c.adoptAssignment(job.tmpl, a)
-		c.finishBuild(job.name)
+		c.adoptAssignment(j, job.tmpl, a)
+		c.finishBuild(j, job.name)
 		return
 	}
 	c.snapshotFor(job)
@@ -277,14 +291,14 @@ func (c *Controller) retryBuild(job *buildJob) {
 	go c.runBuild(job)
 }
 
-// finishBuild retires a job and lowers the fence: queued driver operations
-// drain in order, and quiescence (barriers, gets, checkpoints) is
-// re-evaluated.
-func (c *Controller) finishBuild(name string) {
-	delete(c.building, name)
+// finishBuild retires a job's build and lowers its fence: queued driver
+// operations drain in order, and quiescence (barriers, gets, checkpoints)
+// is re-evaluated.
+func (c *Controller) finishBuild(j *jobState, name string) {
+	delete(j.building, name)
 	c.Stats.BuildsInFlight.Add(-1)
-	c.drainOps()
-	c.resolveIfQuiet()
+	c.drainOps(j)
+	c.resolveIfQuiet(j)
 }
 
 // retargetPlan is one template's planned outcome of a group retarget.
@@ -297,14 +311,14 @@ type retargetPlan struct {
 }
 
 // planRetargets builds (in parallel, over one shared snapshot view) or
-// cache-restores an assignment per installed template for the worker set,
-// without mutating any controller state. Templates whose build is still in
-// flight are skipped: their commit will revalidate against the new
-// placement and rebuild. The returned view holds the builds' instance
+// cache-restores an assignment per installed template of one job for the
+// worker set, without mutating any controller state. Templates whose build
+// is still in flight are skipped: their commit will revalidate against the
+// new placement and rebuild. The returned view holds the builds' instance
 // allocations, to be committed with commitRetargets.
-func (c *Controller) planRetargets(set []ids.WorkerID, sig string) ([]retargetPlan, *flow.BuildView) {
-	names := make([]string, 0, len(c.templates))
-	for name, t := range c.templates {
+func (c *Controller) planRetargets(j *jobState, set []ids.WorkerID, sig string) ([]retargetPlan, *flow.BuildView) {
+	names := make([]string, 0, len(j.templates))
+	for name, t := range j.templates {
 		if t.Active == nil {
 			continue // build in flight; its commit re-resolves
 		}
@@ -315,8 +329,8 @@ func (c *Controller) planRetargets(set []ids.WorkerID, sig string) ([]retargetPl
 	var plans []retargetPlan
 	var toBuild []int
 	for _, name := range names {
-		p := retargetPlan{name: name, t: c.templates[name]}
-		if bySig := c.assignCache[name]; bySig != nil {
+		p := retargetPlan{name: name, t: j.templates[name]}
+		if bySig := j.assignCache[name]; bySig != nil {
 			if a, ok := bySig[sig]; ok {
 				p.cached = a
 			}
@@ -330,11 +344,11 @@ func (c *Controller) planRetargets(set []ids.WorkerID, sig string) ([]retargetPl
 		return plans, nil
 	}
 
-	view := c.dir.Snapshot().View()
-	place := c.placementSnapshot(set)
+	view := j.dir.Snapshot().View()
+	place := j.placementSnapshot(set)
 	ivals := make([]ids.TemplateID, len(toBuild))
 	for i := range toBuild {
-		ivals[i] = ids.TemplateID(c.tmplIDs.Next())
+		ivals[i] = ids.TemplateID(j.tmplIDs.Next())
 	}
 	c.groupBuild(len(toBuild), func(i, inner int) {
 		p := &plans[toBuild[i]]
@@ -386,21 +400,22 @@ func (c *Controller) retargetFault(name string) error {
 	return nil
 }
 
-// commitRetargets applies a planned group retarget: adopt the view's
-// instance allocations and switch every successfully planned template.
-// Plans with errors are skipped (the caller decides whether that aborts
-// the whole operation; SetActive does, recovery logs and continues).
-func (c *Controller) commitRetargets(plans []retargetPlan, view *flow.BuildView, sig string) {
+// commitRetargets applies a planned group retarget to one job: adopt the
+// view's instance allocations and switch every successfully planned
+// template. Plans with errors are skipped (the caller decides whether that
+// aborts the whole operation; SetActive does, recovery logs and
+// continues).
+func (c *Controller) commitRetargets(j *jobState, plans []retargetPlan, view *flow.BuildView, sig string) {
 	if view != nil {
-		if err := view.Commit(c.dir); err != nil {
+		if err := view.Commit(j.dir); err != nil {
 			// Unreachable: the snapshot, builds and commit all happen
 			// within one event-loop call, so nothing can move underneath.
-			c.cfg.Logf("controller: retarget commit conflict: %v", err)
+			c.cfg.Logf("controller: %s retarget commit conflict: %v", j.id, err)
 			return
 		}
 	}
-	if c.assignCache == nil {
-		c.assignCache = make(map[string]map[string]*core.Assignment)
+	if j.assignCache == nil {
+		j.assignCache = make(map[string]map[string]*core.Assignment)
 	}
 	for i := range plans {
 		p := &plans[i]
@@ -411,10 +426,10 @@ func (c *Controller) commitRetargets(plans []retargetPlan, view *flow.BuildView,
 		default:
 			p.t.Assignments = append(p.t.Assignments, p.built)
 			p.t.Active = p.built
-			bySig := c.assignCache[p.name]
+			bySig := j.assignCache[p.name]
 			if bySig == nil {
 				bySig = make(map[string]*core.Assignment)
-				c.assignCache[p.name] = bySig
+				j.assignCache[p.name] = bySig
 			}
 			bySig[sig] = p.built
 			c.Stats.TemplatesBuilt.Add(1)
@@ -423,31 +438,43 @@ func (c *Controller) commitRetargets(plans []retargetPlan, view *flow.BuildView,
 }
 
 // OutstandingCommands returns the number of dispatched-but-unfinished
-// data-plane commands and template instances (call via Do). Unlike
-// barriers it does not count in-flight template builds, so tests can
-// observe completion processing while a build is stalled.
+// data-plane commands and template instances across all jobs (call via
+// Do). Unlike barriers it does not count in-flight template builds, so
+// tests can observe completion processing while a build is stalled.
 func (c *Controller) OutstandingCommands() int {
-	return len(c.outstanding) + len(c.instances) + c.central.pendingCount()
+	n := 0
+	for _, j := range c.jobs {
+		n += len(j.outstanding) + len(j.instances) + j.central.pendingCount()
+	}
+	return n
 }
 
 // BuildQueueDepth returns the number of driver operations fenced behind
-// in-flight template builds (call via Do).
-func (c *Controller) BuildQueueDepth() int { return len(c.opq) }
+// in-flight template builds, summed across jobs (call via Do).
+func (c *Controller) BuildQueueDepth() int {
+	n := 0
+	for _, j := range c.jobs {
+		n += len(j.opq)
+	}
+	return n
+}
 
-// InvalidateAssignmentCache drops the per-worker-set assignment cache so
-// the next retarget rebuilds every template (benchmarks and operational
-// tooling use it to force the rebuild path; call via Do). Non-active
-// assignments are released too: without the cache they can never be
-// restored.
+// InvalidateAssignmentCache drops every job's per-worker-set assignment
+// cache so the next retarget rebuilds every template (benchmarks and
+// operational tooling use it to force the rebuild path; call via Do).
+// Non-active assignments are released too: without the cache they can
+// never be restored.
 func (c *Controller) InvalidateAssignmentCache() {
-	c.assignCache = nil
-	for _, t := range c.templates {
-		// Fresh slice: re-truncating would keep the dropped assignments
-		// reachable through the old backing array.
-		if t.Active != nil {
-			t.Assignments = []*core.Assignment{t.Active}
-		} else {
-			t.Assignments = nil
+	for _, j := range c.jobs {
+		j.assignCache = nil
+		for _, t := range j.templates {
+			// Fresh slice: re-truncating would keep the dropped assignments
+			// reachable through the old backing array.
+			if t.Active != nil {
+				t.Assignments = []*core.Assignment{t.Active}
+			} else {
+				t.Assignments = nil
+			}
 		}
 	}
 }

@@ -1,11 +1,25 @@
 // Package controller implements the Nimbus controller node.
 //
-// The controller receives the driver's task stream, transforms it into an
-// execution plan (assigning tasks to workers and inserting explicit copy
-// commands for cross-worker data movement, paper §3.2), and dispatches
-// commands to workers. It owns the object directory (mutable-object
-// versioning, §3.3), the per-worker dependency ledgers, the execution
-// template machinery (§4), checkpointing and failure recovery (§4.4).
+// The controller is multi-tenant: it admits N concurrent driver jobs and
+// multiplexes them over one shared worker pool. Each RegisterDriver
+// admission creates a job — identified by an ids.JobID — that owns a full
+// copy of the mutable control-plane machinery: object directory
+// (mutable-object versioning, §3.3), per-worker dependency ledgers,
+// execution templates (§4), watermark tracking, checkpointing and failure
+// recovery (§4.4), the off-loop build pipeline, and all ID allocators.
+// Jobs cannot observe each other: their command, object and template IDs
+// live in disjoint per-job namespaces carried on every worker-bound
+// message, worker halts are job-scoped (recovering one job never flushes
+// another's in-flight work), and checkpoints are keyed by job in durable
+// storage. Executor capacity is split by a weighted fair-share slot
+// allocator, rebalanced on job arrival and exit, so one hot tenant cannot
+// starve the rest. Driver disconnect or JobEnd tears down exactly that
+// job's templates, outstanding builds, directory and worker-side state.
+//
+// Per job, the controller receives the driver's task stream, transforms it
+// into an execution plan (assigning tasks to workers and inserting
+// explicit copy commands for cross-worker data movement, paper §3.2), and
+// dispatches commands to workers.
 //
 // Scheduling modes:
 //
@@ -73,7 +87,7 @@ type Config struct {
 	HeartbeatTimeout time.Duration
 	// BuildParallelism bounds the goroutine pool template builds use,
 	// both the background executor and the intra-build sharding (0 =
-	// GOMAXPROCS, 1 = serial builds).
+	// GOMAXPROCS, 1 = serial builds). The pool is shared by all jobs.
 	BuildParallelism int
 	// Hooks are optional test/fault-injection instrumentation points.
 	Hooks Hooks
@@ -81,9 +95,9 @@ type Config struct {
 	Logf func(format string, args ...any)
 }
 
-// Stats exposes controller counters. The *Nanos fields accumulate
-// controller CPU time in the corresponding operations; the
-// microbenchmarks (paper Tables 1-3) divide them by task counts.
+// Stats exposes controller counters, aggregated across jobs. The *Nanos
+// fields accumulate controller CPU time in the corresponding operations;
+// the microbenchmarks (paper Tables 1-3) divide them by task counts.
 type Stats struct {
 	TasksScheduled atomic.Uint64
 	CopiesInserted atomic.Uint64
@@ -108,6 +122,12 @@ type Stats struct {
 	BuildRetries atomic.Uint64
 	// BuildsInFlight gauges template builds currently running off-loop.
 	BuildsInFlight atomic.Int64
+	// JobsAdmitted / JobsEnded count driver-job lifecycle events;
+	// SlotRebalances counts fair-share recomputations of the per-worker
+	// executor-slot quotas.
+	JobsAdmitted   atomic.Uint64
+	JobsEnded      atomic.Uint64
+	SlotRebalances atomic.Uint64
 
 	ScheduleNanos    atomic.Uint64 // live per-task scheduling
 	RecordNanos      atomic.Uint64 // template recording (stage capture) time
@@ -128,11 +148,44 @@ type Controller struct {
 	wg      sync.WaitGroup
 	lis     transport.Listener
 
-	// Cluster state.
+	// Cluster state (shared by all jobs).
 	workers    map[ids.WorkerID]*workerState
 	active     []ids.WorkerID
 	nextWorker ids.WorkerID
-	driver     *driverState
+
+	// Admitted jobs, by ID. jobSeq allocates JobIDs; totalWeight is the
+	// fair-share denominator.
+	jobs        map[ids.JobID]*jobState
+	jobSeq      uint32
+	totalWeight int
+
+	// Shared build executor: per-job builds contend for one bounded pool.
+	buildSem chan struct{}
+	buildPar int
+
+	// Driver fetches in flight, keyed by a global sequence (the worker
+	// echo carries no job; the table does).
+	fetchSeq uint64
+	fetches  map[uint64]*pendingFetch
+
+	// dirty lists workers with staged messages awaiting the end-of-event
+	// coalesced flush.
+	dirty []*workerState
+
+	// Stats is exported for benchmarks and tests.
+	Stats Stats
+}
+
+// jobState is one admitted driver job: a complete, isolated copy of the
+// mutable control plane. Everything in it is event-loop confined.
+type jobState struct {
+	id     ids.JobID
+	name   string
+	weight int
+	conn   transport.Conn
+	// dead marks a torn-down job so late build commits and stray events
+	// drop instead of resurrecting state.
+	dead bool
 
 	// Data model.
 	vars     map[ids.VariableID]*varMeta
@@ -158,12 +211,10 @@ type Controller struct {
 	// instantiation of each assignment.
 	pendingEdits map[ids.TemplateID]map[ids.WorkerID][]editStaged
 	// Off-loop builds: in-flight jobs by template name, the driver-op
-	// fence queue, the bounded build executor, and the placement epoch
-	// that stales snapshots (bumped by reassignment and migration).
+	// fence queue, and the placement epoch that stales snapshots (bumped
+	// by reassignment and migration).
 	building   map[string]*buildJob
 	opq        []proto.Msg
-	buildSem   chan struct{}
-	buildPar   int
 	placeEpoch uint64
 
 	// Outstanding work. wm incrementally tracks the minimum outstanding
@@ -173,18 +224,12 @@ type Controller struct {
 	nextInstance uint64
 	wm           *wmTracker
 
-	// dirty lists workers with staged messages awaiting the end-of-event
-	// coalesced flush.
-	dirty []*workerState
-
 	// Central-mode dispatch graph.
 	central *centralGraph
 
 	// Driver synchronization.
 	barriers []pendingBarrier
 	gets     []pendingGet
-	fetchSeq uint64
-	fetches  map[uint64]*pendingFetch
 
 	// Checkpoint / recovery.
 	ckpt        ckptState
@@ -193,9 +238,6 @@ type Controller struct {
 	haltSeq     uint64
 	haltPending map[ids.WorkerID]bool
 	recovering  bool
-
-	// Stats is exported for benchmarks and tests.
-	Stats Stats
 }
 
 type workerState struct {
@@ -208,10 +250,6 @@ type workerState struct {
 	// outq stages messages for the coalesced per-event flush (event-loop
 	// confined between flushes; a flush goroutine owns it transiently).
 	outq []proto.Msg
-}
-
-type driverState struct {
-	conn transport.Conn
 }
 
 // varMeta is the controller's record of one application variable.
@@ -247,6 +285,7 @@ type pendingGet struct {
 }
 
 type pendingFetch struct {
+	job       ids.JobID
 	driverSeq uint64
 	v         ids.VariableID
 	p         int
@@ -267,6 +306,7 @@ type cevent struct {
 	kind  ceventKind
 	msg   proto.Msg
 	from  ids.WorkerID
+	job   ids.JobID
 	conn  transport.Conn
 	fn    func()
 	rerr  error
@@ -291,27 +331,47 @@ func New(cfg Config) *Controller {
 		cfg.BuildParallelism = runtime.GOMAXPROCS(0)
 	}
 	c := &Controller{
-		cfg:          cfg,
-		events:       make(chan cevent, 4096),
-		stopped:      make(chan struct{}),
-		workers:      make(map[ids.WorkerID]*workerState),
+		cfg:      cfg,
+		events:   make(chan cevent, 4096),
+		stopped:  make(chan struct{}),
+		workers:  make(map[ids.WorkerID]*workerState),
+		jobs:     make(map[ids.JobID]*jobState),
+		fetches:  make(map[uint64]*pendingFetch),
+		buildSem: make(chan struct{}, cfg.BuildParallelism),
+		buildPar: cfg.BuildParallelism,
+	}
+	return c
+}
+
+// newJobState admits one driver job, wiring up its isolated control-plane
+// machinery.
+func (c *Controller) newJobState(name string, weight int, conn transport.Conn) *jobState {
+	if weight <= 0 {
+		weight = 1
+	}
+	c.jobSeq++
+	j := &jobState{
+		id:           ids.JobID(c.jobSeq),
+		name:         name,
+		weight:       weight,
+		conn:         conn,
 		vars:         make(map[ids.VariableID]*varMeta),
 		ledgers:      make(map[ids.WorkerID]*flow.Ledger),
 		templates:    make(map[string]*core.Template),
 		patchCache:   core.NewPatchCache(),
 		pendingEdits: make(map[ids.TemplateID]map[ids.WorkerID][]editStaged),
+		building:     make(map[string]*buildJob),
 		outstanding:  make(map[ids.CommandID]ids.WorkerID),
 		instances:    make(map[uint64]*instState),
 		wm:           newWMTracker(),
-		fetches:      make(map[uint64]*pendingFetch),
-		building:     make(map[string]*buildJob),
-		buildSem:     make(chan struct{}, cfg.BuildParallelism),
-		buildPar:     cfg.BuildParallelism,
 	}
-	c.dir = flow.NewDirectory(&c.objIDs)
-	c.central = newCentralGraph(c)
-	c.ckpt.manifest = make(map[ids.LogicalID]uint64)
-	return c
+	j.dir = flow.NewDirectory(&j.objIDs)
+	j.central = newCentralGraph(c, j)
+	j.ckpt.manifest = make(map[ids.LogicalID]uint64)
+	for _, wid := range c.active {
+		j.ledgers[wid] = flow.NewLedger(wid)
+	}
+	return j
 }
 
 // Start begins listening and runs the event loop.
@@ -331,8 +391,8 @@ func (c *Controller) Start() error {
 	return nil
 }
 
-// Stop shuts the controller down: workers and the driver receive Shutdown
-// and every connection is closed so pump goroutines exit.
+// Stop shuts the controller down: workers and every driver receive
+// Shutdown and every connection is closed so pump goroutines exit.
 func (c *Controller) Stop() {
 	c.Do(func() {
 		for _, ws := range c.workers {
@@ -340,14 +400,16 @@ func (c *Controller) Stop() {
 				c.sendWorker(ws, &proto.Shutdown{})
 			}
 		}
-		c.sendDriver(&proto.Shutdown{})
+		for _, j := range c.jobs {
+			c.sendDriver(j, &proto.Shutdown{})
+		}
 		// Flush before closing: staged shutdowns must hit the wire.
 		c.flushSends()
 		for _, ws := range c.workers {
 			ws.conn.Close()
 		}
-		if c.driver != nil {
-			c.driver.conn.Close()
+		for _, j := range c.jobs {
+			j.conn.Close()
 		}
 	})
 	close(c.stopped)
@@ -436,20 +498,22 @@ var errPumpStopped = errors.New("pump stopped")
 
 // pump forwards a registered connection's messages into the event loop,
 // unpacking batch frames and recycling each frame buffer after decode.
-func (c *Controller) pump(conn transport.Conn, from ids.WorkerID, isDriver bool) {
+// Driver pumps stamp events with their job so every operation on the
+// connection is scoped to the job admitted at registration.
+func (c *Controller) pump(conn transport.Conn, from ids.WorkerID, job ids.JobID, isDriver bool) {
 	defer c.wg.Done()
 	for {
 		raw, err := conn.Recv()
 		if err != nil {
 			select {
-			case c.events <- cevent{kind: cevConnClosed, from: from, isDrv: isDriver, rerr: err}:
+			case c.events <- cevent{kind: cevConnClosed, from: from, job: job, isDrv: isDriver, rerr: err}:
 			case <-c.stopped:
 			}
 			return
 		}
 		err = proto.ForEachMsg(raw, func(msg proto.Msg) error {
 			select {
-			case c.events <- cevent{kind: cevMsg, msg: msg, from: from, isDrv: isDriver}:
+			case c.events <- cevent{kind: cevMsg, msg: msg, from: from, job: job, isDrv: isDriver}:
 				return nil
 			case <-c.stopped:
 				return errPumpStopped
@@ -490,41 +554,71 @@ func (c *Controller) run() {
 }
 
 func (c *Controller) handleMsg(ev cevent) {
+	// Worker-originated and registration messages route themselves; every
+	// driver operation resolves its job from the connection that carried
+	// it. A nil job means the job was torn down while the message was in
+	// flight — drop it.
 	switch m := ev.msg.(type) {
 	case *proto.RegisterWorker:
 		c.registerWorker(m, ev.conn)
+		return
 	case *proto.RegisterDriver:
 		c.registerDriver(m, ev.conn)
+		return
 	case *proto.Complete:
-		c.handleComplete(m)
+		if j := c.jobs[m.Job]; j != nil {
+			c.handleComplete(j, m)
+		}
+		return
 	case *proto.BlockDone:
-		c.handleBlockDone(m)
+		if j := c.jobs[m.Job]; j != nil {
+			c.handleBlockDone(j, m)
+		}
+		return
 	case *proto.Heartbeat:
 		if ws := c.workers[m.Worker]; ws != nil {
 			ws.lastBeat = time.Now()
 		}
+		return
 	case *proto.ObjectData:
 		c.handleObjectData(m)
+		return
 	case *proto.HaltAck:
-		c.handleHaltAck(m)
+		if j := c.jobs[m.Job]; j != nil {
+			c.handleHaltAck(j, m)
+		}
+		return
 	case *proto.ErrorMsg:
 		c.cfg.Logf("controller: error from %s: %s", ev.from, m.Text)
-	// Driver operations that mutate execution state go through the build
-	// fence: while an off-loop template build is in flight they queue in
-	// arrival order so driver program order is preserved. Gets, barriers
-	// and checkpoints stay un-fenced — they park on quiescence, which
-	// counts in-flight builds and queued operations.
+		return
+	}
+
+	j := c.jobs[ev.job]
+	if j == nil {
+		c.cfg.Logf("controller: %s for unknown %s dropped", ev.msg.Kind(), ev.job)
+		return
+	}
+	switch m := ev.msg.(type) {
+	// Driver operations that mutate execution state go through the job's
+	// build fence: while one of its off-loop template builds is in flight
+	// they queue in arrival order so driver program order is preserved.
+	// Gets, barriers and checkpoints stay un-fenced — they park on the
+	// job's quiescence, which counts in-flight builds and queued
+	// operations.
 	case *proto.DefineVariable, *proto.Put, *proto.SubmitStage,
 		*proto.TemplateStart, *proto.TemplateEnd, *proto.InstantiateBlock:
-		c.driverOp(m)
+		c.driverOp(j, m)
 	case *proto.Get:
-		c.handleGet(m)
+		c.handleGet(j, m)
 	case *proto.Barrier:
-		c.handleBarrier(m)
+		c.handleBarrier(j, m)
 	case *proto.CheckpointReq:
-		c.handleCheckpointReq(m)
+		c.handleCheckpointReq(j, m)
+	case *proto.JobEnd:
+		c.endJob(j, "driver ended job")
 	case *proto.Shutdown:
-		// Driver-initiated job end; workers are shut down by Stop.
+		// Graceful driver exit; equivalent to JobEnd.
+		c.endJob(j, "driver shutdown")
 	default:
 		c.cfg.Logf("controller: unexpected message %s", ev.msg.Kind())
 	}
@@ -540,7 +634,9 @@ func (c *Controller) registerWorker(m *proto.RegisterWorker, conn transport.Conn
 	c.workers[id] = ws
 	c.active = append(c.active, id)
 	sort.Slice(c.active, func(i, j int) bool { return c.active[i] < c.active[j] })
-	c.ledgers[id] = flow.NewLedger(id)
+	for _, j := range c.jobs {
+		j.ledgers[id] = flow.NewLedger(id)
+	}
 
 	peers := c.peerMap()
 	c.sendWorker(ws, &proto.RegisterWorkerAck{
@@ -554,8 +650,12 @@ func (c *Controller) registerWorker(m *proto.RegisterWorker, conn transport.Conn
 			})
 		}
 	}
+	// The new worker needs every admitted job's slot quota. Existing
+	// workers' shares are unchanged by a join (shares are per-worker
+	// slots × weight / totalWeight), so only the newcomer is told.
+	c.sendQuotas(ws)
 	c.wg.Add(1)
-	go c.pump(conn, id, false)
+	go c.pump(conn, id, ids.NoJob, false)
 }
 
 func (c *Controller) peerMap() map[ids.WorkerID]string {
@@ -568,13 +668,81 @@ func (c *Controller) peerMap() map[ids.WorkerID]string {
 	return peers
 }
 
+// registerDriver admits a job: allocate its JobID and state, hand the
+// driver its job handle, rebalance slot quotas, and start pumping the
+// connection under the job's scope.
 func (c *Controller) registerDriver(m *proto.RegisterDriver, conn transport.Conn) {
-	if c.driver != nil {
-		c.cfg.Logf("controller: replacing driver connection (%s)", m.Name)
-	}
-	c.driver = &driverState{conn: conn}
+	j := c.newJobState(m.Name, m.Weight, conn)
+	c.jobs[j.id] = j
+	c.totalWeight += j.weight
+	c.Stats.JobsAdmitted.Add(1)
+	c.sendDriver(j, &proto.RegisterDriverAck{Job: j.id})
+	c.rebalanceSlots()
 	c.wg.Add(1)
-	go c.pump(conn, ids.NoWorker, true)
+	go c.pump(conn, ids.NoWorker, j.id, true)
+}
+
+// endJob tears one job down: worker-side namespaces are dropped, in-flight
+// builds are orphaned (their commits see dead and drop), fetches for the
+// job will no longer resolve, and slot quotas rebalance over the
+// survivors. Only this job's state is touched — that containment is the
+// tenancy contract.
+func (c *Controller) endJob(j *jobState, reason string) {
+	if j.dead {
+		return
+	}
+	j.dead = true
+	delete(c.jobs, j.id)
+	c.totalWeight -= j.weight
+	c.Stats.JobsEnded.Add(1)
+	c.cfg.Logf("controller: %s ended (%s): %d templates, %d outstanding dropped",
+		j.id, reason, len(j.templates), len(j.outstanding))
+	for _, ws := range c.workers {
+		if ws.alive {
+			c.sendWorker(ws, &proto.JobEnd{Job: j.id})
+		}
+	}
+	// Drop the job's in-flight fetches: no driver is left to receive the
+	// results, and if the fetch's worker dies the echo never comes — the
+	// entries would otherwise sit in the global table forever.
+	for seq, pf := range c.fetches {
+		if pf.job == j.id {
+			delete(c.fetches, seq)
+		}
+	}
+	j.conn.Close()
+	c.rebalanceSlots()
+}
+
+// rebalanceSlots recomputes the weighted fair-share executor-slot quota of
+// every admitted job on every worker and pushes the assignments. Shares
+// are proportional to job weight, floored at one slot so every tenant can
+// make progress; the worker-side dispatcher is work-conserving, so slots a
+// tenant leaves idle are still usable by others.
+func (c *Controller) rebalanceSlots() {
+	if len(c.jobs) == 0 || c.totalWeight <= 0 {
+		return
+	}
+	c.Stats.SlotRebalances.Add(1)
+	for _, ws := range c.workers {
+		if ws.alive {
+			c.sendQuotas(ws)
+		}
+	}
+}
+
+// sendQuotas pushes every admitted job's fair-share quota to one worker.
+func (c *Controller) sendQuotas(ws *workerState) {
+	if c.totalWeight <= 0 {
+		return
+	}
+	for _, j := range c.jobs {
+		share := ws.slots * j.weight / c.totalWeight
+		if share < 1 {
+			share = 1
+		}
+		c.sendWorker(ws, &proto.JobQuota{Job: j.id, Slots: share})
+	}
 }
 
 // sendWorker stages m for ws. Messages staged while handling one event are
@@ -656,14 +824,14 @@ func (c *Controller) flushWorker(ws *workerState) {
 	}
 }
 
-func (c *Controller) sendDriver(m proto.Msg) {
-	if c.driver == nil {
+func (c *Controller) sendDriver(j *jobState, m proto.Msg) {
+	if j == nil || j.dead {
 		return
 	}
 	buf := proto.MarshalAppend(proto.GetBuf(), m)
-	owned, err := transport.SendOwned(c.driver.conn, buf)
+	owned, err := transport.SendOwned(j.conn, buf)
 	if err != nil {
-		c.cfg.Logf("controller: send to driver failed: %v", err)
+		c.cfg.Logf("controller: send to %s driver failed: %v", j.id, err)
 	}
 	if !owned {
 		proto.PutBuf(buf)
@@ -672,7 +840,9 @@ func (c *Controller) sendDriver(m proto.Msg) {
 
 func (c *Controller) handleClosed(ev cevent) {
 	if ev.isDrv {
-		c.driver = nil
+		if j := c.jobs[ev.job]; j != nil {
+			c.endJob(j, "driver disconnected")
+		}
 		return
 	}
 	ws := c.workers[ev.from]
@@ -705,3 +875,36 @@ func (c *Controller) ActiveWorkers() []ids.WorkerID {
 
 // WorkerCount returns the number of active workers (call via Do).
 func (c *Controller) WorkerCount() int { return len(c.active) }
+
+// Jobs returns the admitted job IDs in ascending order (call via Do).
+func (c *Controller) Jobs() []ids.JobID {
+	out := make([]ids.JobID, 0, len(c.jobs))
+	for id := range c.jobs {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i] < out[k] })
+	return out
+}
+
+// jobList returns admitted jobs in ID order (deterministic iteration for
+// multi-job operations).
+func (c *Controller) jobList() []*jobState {
+	out := make([]*jobState, 0, len(c.jobs))
+	for _, j := range c.jobs {
+		out = append(out, j)
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].id < out[k].id })
+	return out
+}
+
+// soleJob returns the only admitted job, or nil when zero or several are
+// admitted (single-tenant compatibility APIs use it).
+func (c *Controller) soleJob() *jobState {
+	if len(c.jobs) != 1 {
+		return nil
+	}
+	for _, j := range c.jobs {
+		return j
+	}
+	return nil
+}

@@ -8,37 +8,41 @@ import (
 	"nimbus/internal/proto"
 )
 
-// This file implements checkpoint-based fault recovery (paper §4.4):
+// This file implements checkpoint-based fault recovery (paper §4.4),
+// scoped per job:
 //
-//	checkpoint: wait until worker queues drain, snapshot the execution
-//	state (directory manifest + driver-operation log), and have every
-//	worker save its live latest objects to durable storage;
+//	checkpoint: wait until the job's worker queues drain, snapshot its
+//	execution state (directory manifest + driver-operation log), and have
+//	every worker save the job's live latest objects to durable storage,
+//	keyed by (job, checkpoint);
 //
-//	recovery: on worker failure, halt every worker, flush queues, revert
-//	to the checkpoint (reload objects onto the surviving workers), rebuild
-//	template assignments for the new placement, and replay the driver
-//	operations logged since the checkpoint.
+//	recovery: on worker failure, every job that was running recovers
+//	independently — halt its slice of every surviving worker (halts are
+//	job-scoped, so other jobs' in-flight arenas are untouched), flush the
+//	job's queues, revert to the job's checkpoint (reload objects onto the
+//	surviving workers), rebuild its template assignments for the new
+//	placement, and replay only that job's driver-operation log.
 
-func (c *Controller) handleCheckpointReq(m *proto.CheckpointReq) {
-	c.ckpt.requested = append(c.ckpt.requested, m.Seq)
+func (c *Controller) handleCheckpointReq(j *jobState, m *proto.CheckpointReq) {
+	j.ckpt.requested = append(j.ckpt.requested, m.Seq)
 	c.logOpBeforeCheckpoint()
-	c.resolveIfQuiet()
+	c.resolveIfQuiet(j)
 }
 
 // logOpBeforeCheckpoint is a marker hook: checkpoint requests themselves
 // are not logged (a replay must not re-checkpoint).
 func (c *Controller) logOpBeforeCheckpoint() {}
 
-// beginCheckpoint runs at a quiesce point: every live latest object is
-// saved to durable storage.
-func (c *Controller) beginCheckpoint() {
-	c.ckpt.saving = true
-	c.ckpt.count++
-	id := c.ckpt.count
-	c.ckpt.pendingManifest = make(map[ids.LogicalID]uint64)
+// beginCheckpoint runs at one job's quiesce point: every live latest
+// object of the job is saved to durable storage under the job's namespace.
+func (c *Controller) beginCheckpoint(j *jobState) {
+	j.ckpt.saving = true
+	j.ckpt.count++
+	id := j.ckpt.count
+	j.ckpt.pendingManifest = make(map[ids.LogicalID]uint64)
 	key := params.NewEncoder(8).Uint(id).Blob()
 	batches := make(map[ids.WorkerID][]*command.Command)
-	c.dir.Logicals(func(l ids.LogicalID, latest uint64, replicas map[ids.WorkerID]*flow.Replica) {
+	j.dir.Logicals(func(l ids.LogicalID, latest uint64, replicas map[ids.WorkerID]*flow.Replica) {
 		if latest == 0 {
 			return
 		}
@@ -50,38 +54,40 @@ func (c *Controller) beginCheckpoint() {
 			}
 		}
 		if holder == ids.NoWorker {
-			c.cfg.Logf("controller: checkpoint %d: %s has no live replica", id, l)
+			c.cfg.Logf("controller: %s checkpoint %d: %s has no live replica", j.id, id, l)
 			return
 		}
-		cmdID := c.cmdIDs.Next()
-		before := c.ledgers[holder].Read(obj, cmdID, nil)
+		cmdID := j.cmdIDs.Next()
+		before := j.ledgers[holder].Read(obj, cmdID, nil)
 		batches[holder] = append(batches[holder], &command.Command{
 			ID: cmdID, Kind: command.Save,
 			Reads: []ids.ObjectID{obj}, Before: before,
 			Params: key, Logical: l, Version: latest,
 		})
-		c.ckpt.pendingManifest[l] = latest
+		j.ckpt.pendingManifest[l] = latest
 	})
-	c.dispatchCommands(batches)
+	c.dispatchCommands(j, batches)
 	// With nothing to save, commit immediately.
-	c.resolveIfQuiet()
+	c.resolveIfQuiet(j)
 }
 
-// commitCheckpoint finalizes a checkpoint once its saves drained.
-func (c *Controller) commitCheckpoint() {
-	c.ckpt.saving = false
-	c.ckpt.last = c.ckpt.count
-	c.ckpt.manifest = c.ckpt.pendingManifest
-	c.ckpt.pendingManifest = nil
-	c.oplog = nil
-	for _, seq := range c.ckpt.requested {
-		c.sendDriver(&proto.BarrierDone{Seq: seq})
+// commitCheckpoint finalizes a job's checkpoint once its saves drained.
+func (c *Controller) commitCheckpoint(j *jobState) {
+	j.ckpt.saving = false
+	j.ckpt.last = j.ckpt.count
+	j.ckpt.manifest = j.ckpt.pendingManifest
+	j.ckpt.pendingManifest = nil
+	j.oplog = nil
+	for _, seq := range j.ckpt.requested {
+		c.sendDriver(j, &proto.BarrierDone{Seq: seq})
 	}
-	c.ckpt.requested = nil
+	j.ckpt.requested = nil
 }
 
-// failWorker handles a worker failure: remove it, halt the survivors,
-// revert to the last checkpoint and replay (paper §4.4).
+// failWorker handles a worker failure: remove it from the shared pool,
+// then start an independent recovery for every admitted job (paper §4.4,
+// per tenant). Jobs that lose nothing still rebuild placement, because
+// their variables were spread over the failed worker too.
 func (c *Controller) failWorker(id ids.WorkerID) {
 	ws := c.workers[id]
 	if ws == nil || !ws.alive {
@@ -95,119 +101,131 @@ func (c *Controller) failWorker(id ids.WorkerID) {
 			break
 		}
 	}
-	if c.recovering {
+	for _, j := range c.jobList() {
+		c.failWorkerForJob(j, id)
+	}
+}
+
+// failWorkerForJob runs one job's reaction to a worker failure: halt the
+// job on every surviving worker, then revert and replay once the halts
+// ack. Halts carry the job, so no other tenant's state is flushed.
+func (c *Controller) failWorkerForJob(j *jobState, id ids.WorkerID) {
+	if j.recovering {
 		// A second failure during recovery: drop it from the halt set and
 		// let the in-progress recovery continue over the smaller set.
-		delete(c.haltPending, id)
-		if len(c.haltPending) == 0 {
-			c.finishRecovery()
+		delete(j.haltPending, id)
+		if len(j.haltPending) == 0 {
+			c.finishRecovery(j)
 		}
 		return
 	}
 	c.Stats.Recoveries.Add(1)
 	if len(c.active) == 0 {
-		c.cfg.Logf("controller: all workers lost; job cannot recover")
+		c.cfg.Logf("controller: all workers lost; %s cannot recover", j.id)
 		return
 	}
-	if c.ckpt.last == 0 {
-		c.cfg.Logf("controller: worker %s failed with no checkpoint; data on it is lost", id)
+	if j.ckpt.last == 0 {
+		c.cfg.Logf("controller: worker %s failed with no %s checkpoint; the job's data on it is lost", id, j.id)
 	}
-	c.recovering = true
-	c.haltSeq++
-	c.haltPending = make(map[ids.WorkerID]bool)
+	j.recovering = true
+	j.haltSeq++
+	j.haltPending = make(map[ids.WorkerID]bool)
 	for _, wid := range c.active {
-		c.haltPending[wid] = true
-		c.sendWorker(c.workers[wid], &proto.Halt{Seq: c.haltSeq})
+		j.haltPending[wid] = true
+		c.sendWorker(c.workers[wid], &proto.Halt{Job: j.id, Seq: j.haltSeq})
 	}
-	if len(c.haltPending) == 0 {
-		c.finishRecovery()
+	if len(j.haltPending) == 0 {
+		c.finishRecovery(j)
 	}
 }
 
-func (c *Controller) handleHaltAck(m *proto.HaltAck) {
-	if !c.recovering || m.Seq != c.haltSeq {
+func (c *Controller) handleHaltAck(j *jobState, m *proto.HaltAck) {
+	if !j.recovering || m.Seq != j.haltSeq {
 		return
 	}
-	delete(c.haltPending, m.Worker)
-	if len(c.haltPending) == 0 {
-		c.finishRecovery()
+	delete(j.haltPending, m.Worker)
+	if len(j.haltPending) == 0 {
+		c.finishRecovery(j)
 	}
 }
 
-// finishRecovery reverts to the checkpoint and replays the logged driver
-// operations.
-func (c *Controller) finishRecovery() {
+// finishRecovery reverts one job to its checkpoint and replays its logged
+// driver operations.
+func (c *Controller) finishRecovery(j *jobState) {
 	if len(c.active) == 0 {
-		c.cfg.Logf("controller: all workers lost during recovery; job halted")
-		c.recovering = false
+		c.cfg.Logf("controller: all workers lost during recovery; %s halted", j.id)
+		j.recovering = false
 		return
 	}
-	// Flush execution state.
-	c.outstanding = make(map[ids.CommandID]ids.WorkerID)
-	c.instances = make(map[uint64]*instState)
-	c.wm.reset()
-	c.central = newCentralGraph(c)
-	// Requeue interrupted fetches as fresh gets.
-	for _, pf := range c.fetches {
-		c.gets = append(c.gets, pendingGet{seq: pf.driverSeq, v: pf.v, p: pf.p})
+	// Flush the job's execution state.
+	j.outstanding = make(map[ids.CommandID]ids.WorkerID)
+	j.instances = make(map[uint64]*instState)
+	j.wm.reset()
+	j.central = newCentralGraph(c, j)
+	// Requeue the job's interrupted fetches as fresh gets.
+	for seq, pf := range c.fetches {
+		if pf.job != j.id {
+			continue
+		}
+		j.gets = append(j.gets, pendingGet{seq: pf.driverSeq, v: pf.v, p: pf.p})
+		delete(c.fetches, seq)
 	}
-	c.fetches = make(map[uint64]*pendingFetch)
 
 	// Fresh directory and ledgers; repartition over the survivors.
-	c.dir = flow.NewDirectory(&c.objIDs)
+	j.dir = flow.NewDirectory(&j.objIDs)
 	for _, wid := range c.active {
-		c.ledgers[wid] = flow.NewLedger(wid)
+		j.ledgers[wid] = flow.NewLedger(wid)
 	}
-	c.reassignAll()
+	c.reassignAll(j)
 
 	// Reload checkpointed objects onto their new owners.
-	logicalOwner := c.logicalOwners()
-	key := params.NewEncoder(8).Uint(c.ckpt.last).Blob()
+	logicalOwner := j.logicalOwners()
+	key := params.NewEncoder(8).Uint(j.ckpt.last).Blob()
 	batches := make(map[ids.WorkerID][]*command.Command)
-	for l, ver := range c.ckpt.manifest {
+	for l, ver := range j.ckpt.manifest {
 		owner, ok := logicalOwner[l]
 		if !ok {
 			continue
 		}
-		obj := c.dir.Instance(l, owner)
-		cmdID := c.cmdIDs.Next()
-		before := c.ledgers[owner].Write(obj, cmdID, nil)
+		obj := j.dir.Instance(l, owner)
+		cmdID := j.cmdIDs.Next()
+		before := j.ledgers[owner].Write(obj, cmdID, nil)
 		batches[owner] = append(batches[owner], &command.Command{
 			ID: cmdID, Kind: command.Load,
 			Writes: []ids.ObjectID{obj}, Before: before,
 			Params: key, Logical: l, Version: ver,
 		})
-		c.dir.ApplyBlockEffect(l, ver, []ids.WorkerID{owner})
+		j.dir.ApplyBlockEffect(l, ver, []ids.WorkerID{owner})
 	}
 	for _, wid := range c.active {
-		c.sendWorker(c.workers[wid], &proto.Resume{})
+		c.sendWorker(c.workers[wid], &proto.Resume{Job: j.id})
 	}
-	c.dispatchCommands(batches)
+	c.dispatchCommands(j, batches)
 
-	// Rebuild template assignments for the new placement (parallel group
-	// build) and replay the operations since the checkpoint. Templates
-	// whose original build is still in flight are skipped here; those
-	// zombie builds fail revalidation at commit (the directory object
-	// changed) and resolve against the recovered state.
-	c.retargetAll()
-	c.lastBlock = ids.NoTemplate
-	c.autoValid = false
-	c.recovering = false
+	// Rebuild the job's template assignments for the new placement
+	// (parallel group build) and replay the operations since the
+	// checkpoint. Templates whose original build is still in flight are
+	// skipped here; those zombie builds fail revalidation at commit (the
+	// directory object changed) and resolve against the recovered state.
+	c.retargetAll(j)
+	j.lastBlock = ids.NoTemplate
+	j.autoValid = false
+	j.recovering = false
 
-	replay := c.oplog
-	c.replaying = true
+	replay := j.oplog
+	j.replaying = true
 	for _, m := range replay {
-		c.replayOp(m)
+		c.replayOp(j, m)
 	}
-	c.replaying = false
-	c.resolveIfQuiet()
+	j.replaying = false
+	c.resolveIfQuiet(j)
 }
 
-// logicalOwners maps every logical object to its owning worker under the
-// current placement.
-func (c *Controller) logicalOwners() map[ids.LogicalID]ids.WorkerID {
+// logicalOwners maps every logical object of one job to its owning worker
+// under the current placement.
+func (j *jobState) logicalOwners() map[ids.LogicalID]ids.WorkerID {
 	out := make(map[ids.LogicalID]ids.WorkerID)
-	for _, vm := range c.vars {
+	for _, vm := range j.vars {
 		for p, l := range vm.logicals {
 			out[l] = vm.assign[p]
 		}
@@ -218,20 +236,20 @@ func (c *Controller) logicalOwners() map[ids.LogicalID]ids.WorkerID {
 // replayOp re-executes one logged driver operation against the restored
 // state. Definitions and template installs are idempotent and skipped;
 // data and execution operations re-run.
-func (c *Controller) replayOp(m proto.Msg) {
+func (c *Controller) replayOp(j *jobState, m proto.Msg) {
 	switch op := m.(type) {
 	case *proto.DefineVariable:
 		// Variables persist across recovery.
 	case *proto.TemplateStart, *proto.TemplateEnd:
 		// Templates persist; the block's stages were already recorded.
 	case *proto.Put:
-		c.handlePut(op)
+		c.handlePut(j, op)
 	case *proto.SubmitStage:
-		if err := c.scheduleStageLive(op); err != nil {
-			c.cfg.Logf("controller: replaying stage %s: %v", op.Stage, err)
+		if err := c.scheduleStageLive(j, op); err != nil {
+			c.cfg.Logf("controller: %s replaying stage %s: %v", j.id, op.Stage, err)
 		}
 	case *proto.InstantiateBlock:
-		c.handleInstantiateBlock(op)
+		c.handleInstantiateBlock(j, op)
 	default:
 		c.cfg.Logf("controller: unexpected logged operation %s", m.Kind())
 	}

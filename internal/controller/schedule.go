@@ -11,11 +11,11 @@ import (
 	"nimbus/internal/proto"
 )
 
-// placement adapts the controller's variable table to core.Placement.
-type placement struct{ c *Controller }
+// placement adapts one job's variable table to core.Placement.
+type placement struct{ j *jobState }
 
 func (p placement) WorkerOf(v ids.VariableID, partition int) ids.WorkerID {
-	vm := p.c.vars[v]
+	vm := p.j.vars[v]
 	if vm == nil || partition < 0 || partition >= len(vm.assign) {
 		return ids.NoWorker
 	}
@@ -23,7 +23,7 @@ func (p placement) WorkerOf(v ids.VariableID, partition int) ids.WorkerID {
 }
 
 func (p placement) Logical(v ids.VariableID, partition int) ids.LogicalID {
-	vm := p.c.vars[v]
+	vm := p.j.vars[v]
 	if vm == nil || partition < 0 || partition >= len(vm.logicals) {
 		return ids.NoLogical
 	}
@@ -31,21 +31,21 @@ func (p placement) Logical(v ids.VariableID, partition int) ids.LogicalID {
 }
 
 func (p placement) Partitions(v ids.VariableID) int {
-	if vm := p.c.vars[v]; vm != nil {
+	if vm := p.j.vars[v]; vm != nil {
 		return vm.partitions
 	}
 	return 0
 }
 
-func (c *Controller) placement() core.Placement { return placement{c} }
+func (j *jobState) placement() core.Placement { return placement{j} }
 
-func (c *Controller) handleDefineVariable(m *proto.DefineVariable) {
+func (c *Controller) handleDefineVariable(j *jobState, m *proto.DefineVariable) {
 	if m.Partitions <= 0 {
-		c.driverError(fmt.Sprintf("variable %q: partition count %d", m.Name, m.Partitions))
+		c.driverError(j, fmt.Sprintf("variable %q: partition count %d", m.Name, m.Partitions))
 		return
 	}
 	if len(c.active) == 0 {
-		c.driverError(fmt.Sprintf("variable %q defined with no workers", m.Name))
+		c.driverError(j, fmt.Sprintf("variable %q defined with no workers", m.Name))
 		return
 	}
 	vm := &varMeta{
@@ -56,101 +56,103 @@ func (c *Controller) handleDefineVariable(m *proto.DefineVariable) {
 		assign:     make([]ids.WorkerID, m.Partitions),
 	}
 	for p := 0; p < m.Partitions; p++ {
-		vm.logicals[p] = c.logIDs.Next()
+		vm.logicals[p] = j.logIDs.Next()
 		vm.assign[p] = c.active[p%len(c.active)]
 	}
-	c.vars[m.Var] = vm
-	c.logOp(m)
+	j.vars[m.Var] = vm
+	j.logOp(m)
 }
 
-func (c *Controller) driverError(text string) {
-	c.cfg.Logf("controller: driver error: %s", text)
-	c.sendDriver(&proto.ErrorMsg{Text: text})
+func (c *Controller) driverError(j *jobState, text string) {
+	c.cfg.Logf("controller: %s driver error: %s", j.id, text)
+	c.sendDriver(j, &proto.ErrorMsg{Text: text})
 }
 
 // handlePut uploads initial data for one partition as a Create command on
-// the owning worker, ordered by the worker's ledger like any other write.
-func (c *Controller) handlePut(m *proto.Put) {
-	vm := c.vars[m.Var]
+// the owning worker, ordered by the job's worker ledger like any other
+// write.
+func (c *Controller) handlePut(j *jobState, m *proto.Put) {
+	vm := j.vars[m.Var]
 	if vm == nil || m.Partition < 0 || m.Partition >= vm.partitions {
-		c.driverError(fmt.Sprintf("put to unknown variable %s partition %d", m.Var, m.Partition))
+		c.driverError(j, fmt.Sprintf("put to unknown variable %s partition %d", m.Var, m.Partition))
 		return
 	}
 	l := vm.logicals[m.Partition]
 	w := vm.assign[m.Partition]
-	obj := c.dir.Instance(l, w)
-	id := c.cmdIDs.Next()
-	before := c.ledgers[w].Write(obj, id, nil)
-	version := c.dir.RecordWrite(l, w)
+	obj := j.dir.Instance(l, w)
+	id := j.cmdIDs.Next()
+	before := j.ledgers[w].Write(obj, id, nil)
+	version := j.dir.RecordWrite(l, w)
 	cmd := &command.Command{
 		ID: id, Kind: command.Create,
 		Writes: []ids.ObjectID{obj}, Before: before,
 		Params: params.Blob(m.Data), Logical: l, Version: version,
 	}
-	c.autoValid = false
-	c.dispatchCommands(map[ids.WorkerID][]*command.Command{w: {cmd}})
-	c.logOp(m)
+	j.autoValid = false
+	c.dispatchCommands(j, map[ids.WorkerID][]*command.Command{w: {cmd}})
+	j.logOp(m)
 }
 
-// handleGet registers a synchronized read: the reply is sent once all
-// outstanding work has drained (Gets are the synchronization points that
-// drive data-dependent control flow, paper §2.4).
-func (c *Controller) handleGet(m *proto.Get) {
-	c.gets = append(c.gets, pendingGet{seq: m.Seq, v: m.Var, p: m.Partition})
-	c.resolveIfQuiet()
+// handleGet registers a synchronized read: the reply is sent once all the
+// job's outstanding work has drained (Gets are the synchronization points
+// that drive data-dependent control flow, paper §2.4). Another job's
+// outstanding work never delays a Get.
+func (c *Controller) handleGet(j *jobState, m *proto.Get) {
+	j.gets = append(j.gets, pendingGet{seq: m.Seq, v: m.Var, p: m.Partition})
+	c.resolveIfQuiet(j)
 }
 
-func (c *Controller) handleBarrier(m *proto.Barrier) {
-	c.barriers = append(c.barriers, pendingBarrier{seq: m.Seq})
-	c.resolveIfQuiet()
+func (c *Controller) handleBarrier(j *jobState, m *proto.Barrier) {
+	j.barriers = append(j.barriers, pendingBarrier{seq: m.Seq})
+	c.resolveIfQuiet(j)
 }
 
-// totalOutstanding counts unfinished work: dispatched commands and
-// instances, plus in-flight template builds and the driver operations
+// totalOutstanding counts one job's unfinished work: dispatched commands
+// and instances, plus in-flight template builds and the driver operations
 // queued behind them — barriers, gets and checkpoints must not resolve
 // while queued operations still have effects to apply.
-func (c *Controller) totalOutstanding() int {
-	return len(c.outstanding) + len(c.instances) + c.central.pendingCount() +
-		len(c.building) + len(c.opq)
+func (j *jobState) totalOutstanding() int {
+	return len(j.outstanding) + len(j.instances) + j.central.pendingCount() +
+		len(j.building) + len(j.opq)
 }
 
-// resolveIfQuiet answers barriers and gets once the system has drained.
-func (c *Controller) resolveIfQuiet() {
-	if c.totalOutstanding() > 0 {
+// resolveIfQuiet answers a job's barriers and gets once it has drained.
+func (c *Controller) resolveIfQuiet(j *jobState) {
+	if j.totalOutstanding() > 0 {
 		return
 	}
-	for _, b := range c.barriers {
-		c.sendDriver(&proto.BarrierDone{Seq: b.seq})
+	for _, b := range j.barriers {
+		c.sendDriver(j, &proto.BarrierDone{Seq: b.seq})
 	}
-	c.barriers = nil
-	gets := c.gets
-	c.gets = nil
+	j.barriers = nil
+	gets := j.gets
+	j.gets = nil
 	for _, g := range gets {
-		c.startFetch(g)
+		c.startFetch(j, g)
 	}
-	if c.ckpt.saving {
-		c.commitCheckpoint()
-	} else if len(c.ckpt.requested) > 0 {
-		c.beginCheckpoint()
+	if j.ckpt.saving {
+		c.commitCheckpoint(j)
+	} else if len(j.ckpt.requested) > 0 {
+		c.beginCheckpoint(j)
 	}
 }
 
-func (c *Controller) startFetch(g pendingGet) {
-	vm := c.vars[g.v]
+func (c *Controller) startFetch(j *jobState, g pendingGet) {
+	vm := j.vars[g.v]
 	if vm == nil || g.p < 0 || g.p >= vm.partitions {
-		c.sendDriver(&proto.GetResult{Seq: g.seq})
+		c.sendDriver(j, &proto.GetResult{Seq: g.seq})
 		return
 	}
 	l := vm.logicals[g.p]
-	holder := c.dir.LatestHolder(l)
+	holder := j.dir.LatestHolder(l)
 	if holder == ids.NoWorker {
-		c.sendDriver(&proto.GetResult{Seq: g.seq})
+		c.sendDriver(j, &proto.GetResult{Seq: g.seq})
 		return
 	}
-	rep := c.dir.Lookup(l, holder)
+	rep := j.dir.Lookup(l, holder)
 	c.fetchSeq++
-	c.fetches[c.fetchSeq] = &pendingFetch{driverSeq: g.seq}
-	c.sendWorker(c.workers[holder], &proto.FetchObject{Seq: c.fetchSeq, Object: rep.Object})
+	c.fetches[c.fetchSeq] = &pendingFetch{job: j.id, driverSeq: g.seq, v: g.v, p: g.p}
+	c.sendWorker(c.workers[holder], &proto.FetchObject{Job: j.id, Seq: c.fetchSeq, Object: rep.Object})
 }
 
 func (c *Controller) handleObjectData(m *proto.ObjectData) {
@@ -159,45 +161,49 @@ func (c *Controller) handleObjectData(m *proto.ObjectData) {
 		return
 	}
 	delete(c.fetches, m.Seq)
-	c.sendDriver(&proto.GetResult{Seq: pf.driverSeq, Data: m.Data})
+	j := c.jobs[pf.job]
+	if j == nil {
+		return // job torn down while the fetch was in flight
+	}
+	c.sendDriver(j, &proto.GetResult{Seq: pf.driverSeq, Data: m.Data})
 }
 
 // handleSubmitStage expands one stage into commands. In Nimbus mode whole
 // per-worker batches are pushed at once; in central mode commands enter
-// the central dispatch graph. If a template is recording, the stage is
-// additionally recorded into the builder.
-func (c *Controller) handleSubmitStage(m *proto.SubmitStage) {
-	if c.recording != nil {
+// the job's central dispatch graph. If the job is recording a template,
+// the stage is additionally recorded into the builder.
+func (c *Controller) handleSubmitStage(j *jobState, m *proto.SubmitStage) {
+	if j.recording != nil {
 		rstart := time.Now()
 		// Recording only validates and captures the stage spec; the
 		// O(tasks) assignment construction happens off-loop at
 		// TemplateEnd. Every build-time error is shape-dependent, so
 		// validation here guarantees the deferred build cannot fail.
-		if err := core.ValidateStage(m, c.placement()); err != nil {
-			c.driverError(err.Error())
-			c.recording = nil
+		if err := core.ValidateStage(m, j.placement()); err != nil {
+			c.driverError(j, err.Error())
+			j.recording = nil
 		} else {
-			c.recording.tmpl.Stages = append(c.recording.tmpl.Stages, m)
-			c.recording.tmpl.TaskCount += m.Tasks
+			j.recording.tmpl.Stages = append(j.recording.tmpl.Stages, m)
+			j.recording.tmpl.TaskCount += m.Tasks
 			c.Stats.RecordNanos.Add(uint64(time.Since(rstart)))
 		}
 	}
-	if err := c.scheduleStageLive(m); err != nil {
-		c.driverError(err.Error())
+	if err := c.scheduleStageLive(j, m); err != nil {
+		c.driverError(j, err.Error())
 		return
 	}
-	c.logOp(m)
+	j.logOp(m)
 }
 
 // scheduleStageLive schedules a stage the non-templated way: per-task
-// dependency analysis against the live directory and ledgers, with eager
-// copies for any data a task needs that is not latest on its worker.
-func (c *Controller) scheduleStageLive(m *proto.SubmitStage) error {
+// dependency analysis against the job's live directory and ledgers, with
+// eager copies for any data a task needs that is not latest on its worker.
+func (c *Controller) scheduleStageLive(j *jobState, m *proto.SubmitStage) error {
 	start := time.Now()
 	defer func() { c.Stats.ScheduleNanos.Add(uint64(time.Since(start))) }()
-	place := c.placement()
+	place := j.placement()
 	batches := make(map[ids.WorkerID][]*command.Command)
-	c.autoValid = false
+	j.autoValid = false
 	for t := 0; t < m.Tasks; t++ {
 		reads, writes, err := core.TaskAccesses(m, place, t)
 		if err != nil {
@@ -212,23 +218,23 @@ func (c *Controller) scheduleStageLive(m *proto.SubmitStage) error {
 		}
 		// Data movement first, so copies precede the task per worker.
 		for _, l := range reads {
-			c.ensureLatestAt(l, w, batches)
+			c.ensureLatestAt(j, l, w, batches)
 		}
-		id := c.cmdIDs.Next()
-		led := c.ledgers[w]
+		id := j.cmdIDs.Next()
+		led := j.ledgers[w]
 		var before []ids.CommandID
 		readObjs := make([]ids.ObjectID, len(reads))
 		for i, l := range reads {
-			obj := c.dir.Instance(l, w)
+			obj := j.dir.Instance(l, w)
 			readObjs[i] = obj
 			before = led.Read(obj, id, before)
 		}
 		writeObjs := make([]ids.ObjectID, len(writes))
 		for i, l := range writes {
-			obj := c.dir.Instance(l, w)
+			obj := j.dir.Instance(l, w)
 			writeObjs[i] = obj
 			before = led.Write(obj, id, before)
-			c.dir.RecordWrite(l, w)
+			j.dir.RecordWrite(l, w)
 		}
 		p := m.Params
 		if t < len(m.PerTask) {
@@ -243,28 +249,29 @@ func (c *Controller) scheduleStageLive(m *proto.SubmitStage) error {
 			spinWait(c.cfg.LivePerTaskCost)
 		}
 	}
-	c.dispatchCommands(batches)
+	c.dispatchCommands(j, batches)
 	return nil
 }
 
 // ensureLatestAt inserts a copy pair if worker w does not hold the latest
-// version of l. Objects that have never been written need no movement.
-func (c *Controller) ensureLatestAt(l ids.LogicalID, w ids.WorkerID, batches map[ids.WorkerID][]*command.Command) {
-	if c.dir.Latest(l) == 0 || c.dir.IsLatest(l, w) {
+// version of l within the job. Objects that have never been written need
+// no movement.
+func (c *Controller) ensureLatestAt(j *jobState, l ids.LogicalID, w ids.WorkerID, batches map[ids.WorkerID][]*command.Command) {
+	if j.dir.Latest(l) == 0 || j.dir.IsLatest(l, w) {
 		return
 	}
-	src := c.dir.LatestHolder(l)
+	src := j.dir.LatestHolder(l)
 	if src == ids.NoWorker {
-		c.cfg.Logf("controller: %s has no live replica; reader at %s gets stale data", l, w)
+		c.cfg.Logf("controller: %s %s has no live replica; reader at %s gets stale data", j.id, l, w)
 		return
 	}
-	srcObj := c.dir.Instance(l, src)
-	dstObj := c.dir.Instance(l, w)
-	sendID := c.cmdIDs.Next()
-	recvID := c.cmdIDs.Next()
-	sendBefore := c.ledgers[src].Read(srcObj, sendID, nil)
-	recvBefore := c.ledgers[w].Write(dstObj, recvID, nil)
-	version := c.dir.Latest(l)
+	srcObj := j.dir.Instance(l, src)
+	dstObj := j.dir.Instance(l, w)
+	sendID := j.cmdIDs.Next()
+	recvID := j.cmdIDs.Next()
+	sendBefore := j.ledgers[src].Read(srcObj, sendID, nil)
+	recvBefore := j.ledgers[w].Write(dstObj, recvID, nil)
+	version := j.dir.Latest(l)
 	batches[src] = append(batches[src], &command.Command{
 		ID: sendID, Kind: command.CopySend,
 		Reads: []ids.ObjectID{srcObj}, Before: sendBefore,
@@ -275,80 +282,82 @@ func (c *Controller) ensureLatestAt(l ids.LogicalID, w ids.WorkerID, batches map
 		Writes: []ids.ObjectID{dstObj}, Before: recvBefore,
 		Logical: l, Version: version,
 	})
-	c.dir.RecordCopy(l, w)
+	j.dir.RecordCopy(l, w)
 	c.Stats.CopiesInserted.Add(1)
 }
 
 // dispatchCommands routes generated commands according to the mode:
 // batched pushes in Nimbus mode, graph-driven per-task dispatch in central
-// mode. All commands are tracked as outstanding.
-func (c *Controller) dispatchCommands(batches map[ids.WorkerID][]*command.Command) {
+// mode. All commands are tracked as the job's outstanding work, and every
+// frame carries the job so the worker lands them in the right namespace.
+func (c *Controller) dispatchCommands(j *jobState, batches map[ids.WorkerID][]*command.Command) {
 	if c.cfg.Mode == ModeCentral {
 		for w, cmds := range batches {
 			for _, cmd := range cmds {
-				c.central.add(cmd, w)
+				j.central.add(cmd, w)
 			}
 		}
-		c.central.dispatchReady()
+		j.central.dispatchReady()
 		return
 	}
 	for w, cmds := range batches {
 		for _, cmd := range cmds {
-			c.trackOutstanding(cmd.ID, w)
+			c.trackOutstanding(j, cmd.ID, w)
 		}
-		c.sendWorker(c.workers[w], &proto.SpawnCommands{Cmds: cmds})
+		c.sendWorker(c.workers[w], &proto.SpawnCommands{Job: j.id, Cmds: cmds})
 	}
 }
 
 // spawnBarrierBatch sends commands to one worker as a barrier unit
 // (uncached patches).
-func (c *Controller) spawnBarrierBatch(w ids.WorkerID, cmds []*command.Command) {
+func (c *Controller) spawnBarrierBatch(j *jobState, w ids.WorkerID, cmds []*command.Command) {
 	for _, cmd := range cmds {
-		c.trackOutstanding(cmd.ID, w)
+		c.trackOutstanding(j, cmd.ID, w)
 	}
-	c.sendWorker(c.workers[w], &proto.SpawnCommands{Cmds: cmds, Barrier: true})
+	c.sendWorker(c.workers[w], &proto.SpawnCommands{Job: j.id, Cmds: cmds, Barrier: true})
 }
 
-// trackOutstanding records a dispatched command, feeding the watermark
-// tracker alongside the outstanding map.
-func (c *Controller) trackOutstanding(id ids.CommandID, w ids.WorkerID) {
-	c.outstanding[id] = w
-	c.wm.add(id)
+// trackOutstanding records a dispatched command, feeding the job's
+// watermark tracker alongside its outstanding map.
+func (c *Controller) trackOutstanding(j *jobState, id ids.CommandID, w ids.WorkerID) {
+	j.outstanding[id] = w
+	j.wm.add(id)
 }
 
-func (c *Controller) handleComplete(m *proto.Complete) {
+func (c *Controller) handleComplete(j *jobState, m *proto.Complete) {
 	for _, id := range m.IDs {
-		if _, ok := c.outstanding[id]; ok {
-			delete(c.outstanding, id)
-			c.wm.remove(id)
+		if _, ok := j.outstanding[id]; ok {
+			delete(j.outstanding, id)
+			j.wm.remove(id)
 		}
 	}
 	if c.cfg.Mode == ModeCentral {
-		c.central.complete(m.IDs)
-		c.central.dispatchReady()
+		j.central.complete(m.IDs)
+		j.central.dispatchReady()
 	}
-	c.resolveIfQuiet()
+	c.resolveIfQuiet(j)
 }
 
-func (c *Controller) handleBlockDone(m *proto.BlockDone) {
-	inst := c.instances[m.Instance]
+func (c *Controller) handleBlockDone(j *jobState, m *proto.BlockDone) {
+	inst := j.instances[m.Instance]
 	if inst == nil {
 		return
 	}
 	delete(inst.pending, m.Worker)
 	if len(inst.pending) == 0 {
-		delete(c.instances, m.Instance)
-		c.wm.remove(inst.base)
-		c.resolveIfQuiet()
+		delete(j.instances, m.Instance)
+		j.wm.remove(inst.base)
+		c.resolveIfQuiet(j)
 	}
 }
 
-// centralGraph is the Spark-like dispatcher: it holds every undispatched
-// or in-flight command and releases a command to its worker only when all
-// predecessors have completed, paying a per-task scheduling cost. This is
-// the control-plane bottleneck Figures 1, 7 and 8 measure.
+// centralGraph is the Spark-like dispatcher for one job: it holds every
+// undispatched or in-flight command and releases a command to its worker
+// only when all predecessors have completed, paying a per-task scheduling
+// cost. This is the control-plane bottleneck Figures 1, 7 and 8 measure.
 type centralGraph struct {
 	c     *Controller
+	j     *jobState
 	nodes map[ids.CommandID]*cnode
 }
 
@@ -361,8 +370,8 @@ type cnode struct {
 	ready      bool
 }
 
-func newCentralGraph(c *Controller) *centralGraph {
-	return &centralGraph{c: c, nodes: make(map[ids.CommandID]*cnode)}
+func newCentralGraph(c *Controller, j *jobState) *centralGraph {
+	return &centralGraph{c: c, j: j, nodes: make(map[ids.CommandID]*cnode)}
 }
 
 func (g *centralGraph) pendingCount() int { return len(g.nodes) }
@@ -419,6 +428,7 @@ func (g *centralGraph) dispatchReady() {
 				spinWait(cost)
 			}
 			g.c.sendWorker(g.c.workers[n.worker], &proto.SpawnCommands{
+				Job:  g.j.id,
 				Cmds: []*command.Command{n.cmd},
 			})
 			_ = id

@@ -14,51 +14,54 @@ import (
 // instantiation of its assignment.
 type editStaged = command.Edit
 
-// handleTemplateStart begins recording a basic block (paper §4.1: the
-// driver marks basic blocks; the controller schedules the block normally
-// while simultaneously storing it into a template).
-func (c *Controller) handleTemplateStart(m *proto.TemplateStart) {
-	if c.recording != nil {
-		c.driverError(fmt.Sprintf("template %q started while %q is recording",
-			m.Name, c.recording.tmpl.Name))
+// handleTemplateStart begins recording a basic block for one job (paper
+// §4.1: the driver marks basic blocks; the controller schedules the block
+// normally while simultaneously storing it into a template). Template
+// names are per-job: two jobs may record same-named templates.
+func (c *Controller) handleTemplateStart(j *jobState, m *proto.TemplateStart) {
+	if j.recording != nil {
+		c.driverError(j, fmt.Sprintf("template %q started while %q is recording",
+			m.Name, j.recording.tmpl.Name))
 		return
 	}
-	if _, ok := c.templates[m.Name]; ok {
-		c.driverError(fmt.Sprintf("template %q already installed", m.Name))
+	if _, ok := j.templates[m.Name]; ok {
+		c.driverError(j, fmt.Sprintf("template %q already installed", m.Name))
 		return
 	}
-	c.recording = &recordingState{
-		tmpl: &core.Template{ID: ids.TemplateID(c.tmplIDs.Next()), Name: m.Name},
+	j.recording = &recordingState{
+		tmpl: &core.Template{ID: ids.TemplateID(j.tmplIDs.Next()), Name: m.Name},
 	}
-	c.logOp(m)
+	j.logOp(m)
 }
 
 // handleTemplateEnd finishes recording and hands the block to the
 // background build executor: the event loop only snapshots state and
 // registers the in-flight build; the O(tasks) assignment construction runs
 // off-loop and comes back as a commit event (builds.go). Instantiations
-// arriving before the commit queue behind the build fence instead of
-// stalling the loop.
-func (c *Controller) handleTemplateEnd(m *proto.TemplateEnd) {
-	rec := c.recording
+// arriving before the commit queue behind the job's build fence instead of
+// stalling the loop — or any other job.
+func (c *Controller) handleTemplateEnd(j *jobState, m *proto.TemplateEnd) {
+	rec := j.recording
 	if rec == nil || rec.tmpl.Name != m.Name {
-		c.driverError(fmt.Sprintf("template end for %q without matching start", m.Name))
+		c.driverError(j, fmt.Sprintf("template end for %q without matching start", m.Name))
 		return
 	}
-	c.recording = nil
-	c.templates[m.Name] = rec.tmpl
-	c.logOp(m)
-	c.startTemplateBuild(m.Name, rec.tmpl)
+	j.recording = nil
+	j.templates[m.Name] = rec.tmpl
+	j.logOp(m)
+	c.startTemplateBuild(j, m.Name, rec.tmpl)
 }
 
 // installAssignment pushes worker templates to every worker that does not
-// hold them yet.
-func (c *Controller) installAssignment(t *core.Template, a *core.Assignment) {
+// hold them yet, tagged with the owning job's namespace.
+func (c *Controller) installAssignment(j *jobState, t *core.Template, a *core.Assignment) {
 	for _, w := range a.Workers() {
 		if a.Installed[w] {
 			continue
 		}
-		c.sendWorker(c.workers[w], a.InstallMessage(w, t.Name))
+		msg := a.InstallMessage(w, t.Name)
+		msg.Job = j.id
+		c.sendWorker(c.workers[w], msg)
 		a.Installed[w] = true
 	}
 }
@@ -66,18 +69,19 @@ func (c *Controller) installAssignment(t *core.Template, a *core.Assignment) {
 // handleInstantiateBlock executes one cached basic block: validate (or
 // auto-validate) the active assignment's preconditions, patch if needed,
 // then send one instantiation message per participating worker
-// (paper §2.2: n+1 control messages in the steady state).
-func (c *Controller) handleInstantiateBlock(m *proto.InstantiateBlock) {
-	t := c.templates[m.Name]
+// (paper §2.2: n+1 control messages in the steady state; multi-tenancy
+// adds one varint — the job — per message).
+func (c *Controller) handleInstantiateBlock(j *jobState, m *proto.InstantiateBlock) {
+	t := j.templates[m.Name]
 	if t == nil {
-		c.driverError(fmt.Sprintf("instantiate of unknown template %q", m.Name))
+		c.driverError(j, fmt.Sprintf("instantiate of unknown template %q", m.Name))
 		return
 	}
 	a := t.Active
 	if a == nil {
 		// Unreachable through the build fence (instantiations queue while
 		// the template's build is in flight), kept as a guard.
-		c.driverError(fmt.Sprintf("instantiate of template %q before its build finished", m.Name))
+		c.driverError(j, fmt.Sprintf("instantiate of template %q before its build finished", m.Name))
 		return
 	}
 	start := time.Now()
@@ -85,38 +89,39 @@ func (c *Controller) handleInstantiateBlock(m *proto.InstantiateBlock) {
 	// Validation. A template instantiated immediately after itself
 	// auto-validates because its construction guarantees its postcondition
 	// covers its precondition (paper §4.2).
-	if c.lastBlock == a.ID && c.autoValid {
+	if j.lastBlock == a.ID && j.autoValid {
 		c.Stats.AutoValidations.Add(1)
 	} else {
 		c.Stats.Validations.Add(1)
 		vstart := time.Now()
-		viols := a.Validate(c.dir)
+		viols := a.Validate(j.dir)
 		c.Stats.ValidateNanos.Add(uint64(time.Since(vstart)))
 		if len(viols) > 0 {
-			if !c.applyPatch(a, viols) {
+			if !c.applyPatch(j, a, viols) {
 				return
 			}
 		}
 	}
 
 	// Stage any pending edits for this assignment.
-	edits := c.pendingEdits[a.ID]
-	delete(c.pendingEdits, a.ID)
+	edits := j.pendingEdits[a.ID]
+	delete(j.pendingEdits, a.ID)
 
-	c.installAssignment(t, a)
+	c.installAssignment(j, t, a)
 	// The watermark must be computed before reserving the instance's ID
 	// block: it promises that every ID below it is fully accounted for,
 	// which must not cover the IDs about to be issued.
-	watermark := c.doneWatermark()
-	base := c.cmdIDs.Block(a.MaxIndex())
-	c.nextInstance++
+	watermark := j.doneWatermark()
+	base := j.cmdIDs.Block(a.MaxIndex())
+	j.nextInstance++
 	inst := &instState{assignment: a, base: base, pending: make(map[ids.WorkerID]bool)}
 	paramArray := m.ParamArray
 	for _, w := range a.Workers() {
 		inst.pending[w] = true
 		msg := &proto.InstantiateTemplate{
+			Job:           j.id,
 			Template:      a.ID,
-			Instance:      c.nextInstance,
+			Instance:      j.nextInstance,
 			Base:          base,
 			ParamArray:    paramArray,
 			DoneWatermark: watermark,
@@ -130,37 +135,37 @@ func (c *Controller) handleInstantiateBlock(m *proto.InstantiateBlock) {
 		c.sendWorker(c.workers[w], msg)
 	}
 	if len(inst.pending) > 0 {
-		c.instances[c.nextInstance] = inst
-		c.wm.add(base)
+		j.instances[j.nextInstance] = inst
+		j.wm.add(base)
 	}
-	a.ApplyEffects(base, c.dir, c.ledgers)
-	c.lastBlock = a.ID
-	c.autoValid = true
+	a.ApplyEffects(base, j.dir, j.ledgers)
+	j.lastBlock = a.ID
+	j.autoValid = true
 	c.Stats.Instantiations.Add(1)
 	c.Stats.InstantiateNanos.Add(uint64(time.Since(start)))
-	c.logOp(m)
+	j.logOp(m)
 }
 
 // applyPatch fixes precondition violations, preferring a cached patch for
 // this control-flow transition (paper §4.2). It reports success.
-func (c *Controller) applyPatch(a *core.Assignment, viols []core.Violation) bool {
-	tr := core.Transition{Prev: c.lastBlock, Next: a.ID}
-	p := c.patchCache.Lookup(tr, c.dir, viols)
+func (c *Controller) applyPatch(j *jobState, a *core.Assignment, viols []core.Violation) bool {
+	tr := core.Transition{Prev: j.lastBlock, Next: a.ID}
+	p := j.patchCache.Lookup(tr, j.dir, viols)
 	if p == nil {
 		pstart := time.Now()
 		var err error
-		p, err = core.BuildPatch(ids.PatchID(c.patchIDs.Next()), c.dir, viols)
+		p, err = core.BuildPatch(ids.PatchID(j.patchIDs.Next()), j.dir, viols)
 		if err != nil {
-			c.driverError(err.Error())
+			c.driverError(j, err.Error())
 			return false
 		}
 		c.Stats.PatchBuildNanos.Add(uint64(time.Since(pstart)))
-		c.patchCache.Store(tr, p)
+		j.patchCache.Store(tr, p)
 		c.Stats.PatchesBuilt.Add(1)
 	} else {
 		c.Stats.PatchCacheHits.Add(1)
 	}
-	base := c.cmdIDs.Block(len(p.Entries))
+	base := j.cmdIDs.Block(len(p.Entries))
 	for w, idxs := range p.PerWorker {
 		ws := c.workers[w]
 		if !p.Installed[w] {
@@ -170,48 +175,59 @@ func (c *Controller) applyPatch(a *core.Assignment, viols []core.Violation) bool
 			for _, i := range idxs {
 				entries = append(entries, p.Entries[i])
 			}
-			c.sendWorker(ws, &proto.InstallPatch{Patch: p.ID, Entries: entries})
+			c.sendWorker(ws, &proto.InstallPatch{Job: j.id, Patch: p.ID, Entries: entries})
 			p.Installed[w] = true
 		}
-		c.sendWorker(ws, &proto.InstantiatePatch{Patch: p.ID, Base: base})
+		c.sendWorker(ws, &proto.InstantiatePatch{Job: j.id, Patch: p.ID, Base: base})
 		for _, i := range idxs {
-			c.trackOutstanding(base+ids.CommandID(i), w)
+			c.trackOutstanding(j, base+ids.CommandID(i), w)
 		}
 	}
-	p.ApplyEffects(base, c.dir, c.ledgers)
+	p.ApplyEffects(base, j.dir, j.ledgers)
 	return true
 }
 
-// doneWatermark returns a command ID below which every command is known
-// complete, letting workers prune their completion sets. The minimum over
-// outstanding commands and live instance bases is maintained incrementally
-// by the wm tracker — this used to be an O(outstanding) scan on every
-// block instantiation.
-func (c *Controller) doneWatermark() ids.CommandID {
-	return c.wm.min(ids.CommandID(c.cmdIDs.Peek()) + 1)
+// doneWatermark returns a command ID below which every one of the job's
+// commands is known complete, letting workers prune the job's completion
+// records. Per-job command IDs make the per-job watermark sound: another
+// job's older outstanding IDs live in a different namespace entirely. The
+// minimum over outstanding commands and live instance bases is maintained
+// incrementally by the job's wm tracker — this used to be an
+// O(outstanding) scan on every block instantiation.
+func (j *jobState) doneWatermark() ids.CommandID {
+	return j.wm.min(ids.CommandID(j.cmdIDs.Peek()) + 1)
 }
 
-// Templates returns the installed template names (call via Do).
+// Templates returns the installed template names across all jobs (call
+// via Do).
 func (c *Controller) Templates() []string {
-	names := make([]string, 0, len(c.templates))
-	for n := range c.templates {
-		names = append(names, n)
+	var names []string
+	for _, j := range c.jobList() {
+		for n := range j.templates {
+			names = append(names, n)
+		}
 	}
 	return names
 }
 
-// TemplateByName returns the installed template (call via Do; nil if
-// absent). Exposed for the adaptation APIs and tests.
+// TemplateByName returns an installed template by name, searching jobs in
+// admission order (call via Do; nil if absent). Exposed for the adaptation
+// APIs and tests.
 func (c *Controller) TemplateByName(name string) *core.Template {
-	return c.templates[name]
+	for _, j := range c.jobList() {
+		if t := j.templates[name]; t != nil {
+			return t
+		}
+	}
+	return nil
 }
 
-// logOp appends a driver operation to the recovery log (paper §4.4: the
-// controller replays execution since the last checkpoint after reverting
-// to it). Replayed operations are not re-logged.
-func (c *Controller) logOp(m proto.Msg) {
-	if c.replaying {
+// logOp appends a driver operation to the job's recovery log (paper §4.4:
+// the controller replays a job's execution since its last checkpoint after
+// reverting to it). Replayed operations are not re-logged.
+func (j *jobState) logOp(m proto.Msg) {
+	if j.replaying {
 		return
 	}
-	c.oplog = append(c.oplog, m)
+	j.oplog = append(j.oplog, m)
 }

@@ -31,9 +31,13 @@ import (
 	"nimbus/internal/transport"
 )
 
-// Driver is a connected driver session.
+// Driver is a connected driver session. Each session is one job on the
+// controller: admission hands back a JobID, and every piece of
+// control-plane state the session creates is scoped to it, isolated from
+// other concurrent driver sessions sharing the same cluster.
 type Driver struct {
 	conn      transport.Conn
+	job       ids.JobID
 	seq       uint64
 	nextVar   ids.VariableID
 	nextStage ids.StageID
@@ -99,19 +103,40 @@ func (v Var) WriteAt(p int) Ref {
 	return Ref{proto.VarRef{Var: v.ID, Write: true, Pattern: proto.FixedPartition, Fixed: p}}
 }
 
-// Connect dials the controller and registers a driver session.
+// Connect dials the controller and registers a driver session with the
+// default fair-share weight. It blocks until the controller admits the
+// job and returns its handle.
 func Connect(tr transport.Transport, addr, name string) (*Driver, error) {
+	return ConnectWeighted(tr, addr, name, 1)
+}
+
+// ConnectWeighted is Connect with an explicit fair-share weight: a job
+// with weight 2 receives twice the executor-slot share of a weight-1 job
+// on every worker.
+func ConnectWeighted(tr transport.Transport, addr, name string, weight int) (*Driver, error) {
 	conn, err := tr.Dial(addr)
 	if err != nil {
 		return nil, fmt.Errorf("driver: dial %s: %w", addr, err)
 	}
 	d := &Driver{conn: conn}
-	if err := d.send(&proto.RegisterDriver{Name: name}); err != nil {
+	if err := d.send(&proto.RegisterDriver{Name: name, Weight: weight}); err != nil {
 		conn.Close()
 		return nil, err
 	}
+	m, err := d.recvUntil(func(m proto.Msg) bool {
+		_, ok := m.(*proto.RegisterDriverAck)
+		return ok
+	})
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("driver: awaiting admission: %w", err)
+	}
+	d.job = m.(*proto.RegisterDriverAck).Job
 	return d, nil
 }
+
+// Job returns the controller-assigned job handle for this session.
+func (d *Driver) Job() ids.JobID { return d.job }
 
 func (d *Driver) send(m proto.Msg) error {
 	buf := proto.MarshalAppend(proto.GetBuf(), m)
@@ -306,8 +331,20 @@ func (d *Driver) Checkpoint() error {
 	return err
 }
 
-// Close ends the driver session (the job keeps its state; Close does not
-// shut the cluster down).
+// Close ends the driver session and its job: the controller tears down
+// the job's templates, outstanding builds, directory entries and
+// worker-side namespaces. Other jobs sharing the cluster are unaffected,
+// and Close does not shut the cluster down. The explicit JobEnd makes
+// teardown deterministic; a dropped connection triggers the same teardown
+// on the controller's side.
 func (d *Driver) Close() error {
+	_ = d.send(&proto.JobEnd{Job: d.job})
+	return d.conn.Close()
+}
+
+// Abort drops the connection without the graceful JobEnd, simulating a
+// crashed driver. The controller detects the disconnect and tears the job
+// down the same way (fault-injection and tests).
+func (d *Driver) Abort() error {
 	return d.conn.Close()
 }

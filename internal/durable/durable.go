@@ -2,6 +2,10 @@
 // (paper §4.4: on a checkpoint, every worker writes its live data objects
 // to durable storage; recovery loads the latest checkpoint back).
 //
+// Storage is addressed by (job, checkpoint, logical object): checkpoints
+// are per-job so recovery of one failed job replays only that job's state
+// and teardown of a job cannot disturb another's saved data.
+//
 // The in-memory implementation plays the role of the paper's shared
 // storage service; a filesystem implementation is provided for the
 // standalone daemons.
@@ -17,16 +21,17 @@ import (
 	"nimbus/internal/ids"
 )
 
-// Store is durable object storage addressed by (checkpoint, logical
+// Store is durable object storage addressed by (job, checkpoint, logical
 // object).
 type Store interface {
-	// Save persists one logical object's data under a checkpoint.
-	Save(ckpt uint64, logical ids.LogicalID, version uint64, data []byte) error
-	// Load retrieves one logical object from a checkpoint.
-	Load(ckpt uint64, logical ids.LogicalID) (data []byte, version uint64, err error)
+	// Save persists one logical object's data under a job's checkpoint.
+	Save(job ids.JobID, ckpt uint64, logical ids.LogicalID, version uint64, data []byte) error
+	// Load retrieves one logical object from a job's checkpoint.
+	Load(job ids.JobID, ckpt uint64, logical ids.LogicalID) (data []byte, version uint64, err error)
 }
 
 type memKey struct {
+	job     ids.JobID
 	ckpt    uint64
 	logical ids.LogicalID
 }
@@ -49,29 +54,29 @@ func NewMem() *Mem {
 }
 
 // Save implements Store.
-func (s *Mem) Save(ckpt uint64, logical ids.LogicalID, version uint64, data []byte) error {
+func (s *Mem) Save(job ids.JobID, ckpt uint64, logical ids.LogicalID, version uint64, data []byte) error {
 	buf := make([]byte, len(data))
 	copy(buf, data)
 	s.mu.Lock()
-	s.m[memKey{ckpt, logical}] = memVal{version: version, data: buf}
+	s.m[memKey{job, ckpt, logical}] = memVal{version: version, data: buf}
 	s.mu.Unlock()
 	return nil
 }
 
 // Load implements Store.
-func (s *Mem) Load(ckpt uint64, logical ids.LogicalID) ([]byte, uint64, error) {
+func (s *Mem) Load(job ids.JobID, ckpt uint64, logical ids.LogicalID) ([]byte, uint64, error) {
 	s.mu.RLock()
-	v, ok := s.m[memKey{ckpt, logical}]
+	v, ok := s.m[memKey{job, ckpt, logical}]
 	s.mu.RUnlock()
 	if !ok {
-		return nil, 0, fmt.Errorf("durable: no object %s in checkpoint %d", logical, ckpt)
+		return nil, 0, fmt.Errorf("durable: no object %s in %s checkpoint %d", logical, job, ckpt)
 	}
 	out := make([]byte, len(v.data))
 	copy(out, v.data)
 	return out, v.version, nil
 }
 
-// Len reports the number of saved objects across all checkpoints.
+// Len reports the number of saved objects across all jobs and checkpoints.
 func (s *Mem) Len() int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -79,45 +84,116 @@ func (s *Mem) Len() int {
 }
 
 // FS is a filesystem-backed Store rooted at a directory. Object files are
-// named <ckpt>/<logical> and carry an 8-byte version header.
+// named <job>/<ckpt>/<logical> and carry an 8-byte version header.
 type FS struct {
 	Root string
+	// rootSync makes the one-time durability walk above Root (Save may
+	// have created Root and missing ancestors itself) happen once per
+	// process instead of per object.
+	rootSync sync.Once
 }
 
 // NewFS returns a filesystem store rooted at dir.
 func NewFS(dir string) *FS { return &FS{Root: dir} }
 
-func (s *FS) path(ckpt uint64, logical ids.LogicalID) string {
-	return filepath.Join(s.Root, fmt.Sprintf("%d", ckpt), fmt.Sprintf("%d", uint64(logical)))
+func (s *FS) dir(job ids.JobID, ckpt uint64) string {
+	return filepath.Join(s.Root, fmt.Sprintf("%d", uint32(job)), fmt.Sprintf("%d", ckpt))
 }
 
-// Save implements Store.
-func (s *FS) Save(ckpt uint64, logical ids.LogicalID, version uint64, data []byte) error {
-	p := s.path(ckpt, logical)
-	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+func (s *FS) path(job ids.JobID, ckpt uint64, logical ids.LogicalID) string {
+	return filepath.Join(s.dir(job, ckpt), fmt.Sprintf("%d", uint64(logical)))
+}
+
+// Save implements Store. It is crash-safe: the object bytes are written to
+// a temporary file, fsynced, renamed over the final name, and the
+// checkpoint directory is fsynced so the rename itself is durable — a
+// checkpoint must not be able to survive a power loss as an empty or
+// truncated file.
+func (s *FS) Save(job ids.JobID, ckpt uint64, logical ids.LogicalID, version uint64, data []byte) error {
+	p := s.path(job, ckpt, logical)
+	dir := filepath.Dir(p)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("durable: %w", err)
 	}
 	buf := make([]byte, 8+len(data))
 	binary.BigEndian.PutUint64(buf, version)
 	copy(buf[8:], data)
 	tmp := p + ".tmp"
-	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("durable: %w", err)
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("durable: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("durable: sync: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
 		return fmt.Errorf("durable: %w", err)
 	}
 	if err := os.Rename(tmp, p); err != nil {
+		os.Remove(tmp)
 		return fmt.Errorf("durable: %w", err)
+	}
+	// The rename is durable only once the checkpoint dir is synced — and
+	// the checkpoint and job dirs themselves (possibly just created by
+	// MkdirAll) only once *their* parents are synced. Checkpoints are
+	// rare; three fsyncs buy "a successful Save survives power loss".
+	if err := syncDir(dir); err != nil {
+		return err
+	}
+	if err := syncDir(filepath.Dir(dir)); err != nil {
+		return err
+	}
+	if err := syncDir(s.Root); err != nil {
+		return err
+	}
+	// MkdirAll may have created Root itself and missing ancestors above
+	// it; their directory entries need flushing too or the whole store
+	// can vanish on power loss. Pre-existing ancestors ("/", "/tmp") are
+	// not ours — walk upward best-effort, once per process.
+	s.rootSync.Do(func() {
+		for d := filepath.Dir(filepath.Clean(s.Root)); ; {
+			if syncDir(d) != nil {
+				return
+			}
+			parent := filepath.Dir(d)
+			if parent == d {
+				return
+			}
+			d = parent
+		}
+	})
+	return nil
+}
+
+// syncDir fsyncs a directory so a preceding rename within it is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("durable: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("durable: sync %s: %w", dir, err)
 	}
 	return nil
 }
 
 // Load implements Store.
-func (s *FS) Load(ckpt uint64, logical ids.LogicalID) ([]byte, uint64, error) {
-	buf, err := os.ReadFile(s.path(ckpt, logical))
+func (s *FS) Load(job ids.JobID, ckpt uint64, logical ids.LogicalID) ([]byte, uint64, error) {
+	buf, err := os.ReadFile(s.path(job, ckpt, logical))
 	if err != nil {
 		return nil, 0, fmt.Errorf("durable: %w", err)
 	}
 	if len(buf) < 8 {
-		return nil, 0, fmt.Errorf("durable: corrupt object %s in checkpoint %d", logical, ckpt)
+		return nil, 0, fmt.Errorf("durable: corrupt object %s in %s checkpoint %d", logical, job, ckpt)
 	}
 	return buf[8:], binary.BigEndian.Uint64(buf), nil
 }

@@ -1,15 +1,17 @@
 package durable
 
 import (
+	"os"
+	"path/filepath"
 	"testing"
 )
 
 func exerciseStore(t *testing.T, s Store) {
 	t.Helper()
-	if err := s.Save(1, 10, 3, []byte{1, 2, 3}); err != nil {
+	if err := s.Save(1, 1, 10, 3, []byte{1, 2, 3}); err != nil {
 		t.Fatal(err)
 	}
-	data, ver, err := s.Load(1, 10)
+	data, ver, err := s.Load(1, 1, 10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -17,33 +19,49 @@ func exerciseStore(t *testing.T, s Store) {
 		t.Fatalf("load = %v v%d", data, ver)
 	}
 	// Overwrite within the same checkpoint.
-	if err := s.Save(1, 10, 4, []byte{9}); err != nil {
+	if err := s.Save(1, 1, 10, 4, []byte{9}); err != nil {
 		t.Fatal(err)
 	}
-	data, ver, _ = s.Load(1, 10)
+	data, ver, _ = s.Load(1, 1, 10)
 	if ver != 4 || data[0] != 9 {
 		t.Fatalf("overwrite failed: %v v%d", data, ver)
 	}
 	// Distinct checkpoints are independent.
-	if err := s.Save(2, 10, 5, []byte{5}); err != nil {
+	if err := s.Save(1, 2, 10, 5, []byte{5}); err != nil {
 		t.Fatal(err)
 	}
-	data, ver, _ = s.Load(1, 10)
+	data, ver, _ = s.Load(1, 1, 10)
 	if ver != 4 {
 		t.Fatal("checkpoint 1 clobbered by checkpoint 2")
 	}
-	if _, _, err := s.Load(9, 10); err == nil {
+	// Distinct jobs are independent namespaces: the same (ckpt, logical)
+	// under another job is a different object.
+	if err := s.Save(2, 1, 10, 7, []byte{7, 7}); err != nil {
+		t.Fatal(err)
+	}
+	data, ver, _ = s.Load(1, 1, 10)
+	if ver != 4 {
+		t.Fatal("job 1 checkpoint clobbered by job 2")
+	}
+	data, ver, err = s.Load(2, 1, 10)
+	if err != nil || ver != 7 || len(data) != 2 {
+		t.Fatalf("job 2 load = %v v%d (%v)", data, ver, err)
+	}
+	if _, _, err := s.Load(1, 9, 10); err == nil {
 		t.Fatal("missing checkpoint should fail")
 	}
-	if _, _, err := s.Load(1, 99); err == nil {
+	if _, _, err := s.Load(1, 1, 99); err == nil {
 		t.Fatal("missing object should fail")
+	}
+	if _, _, err := s.Load(9, 1, 10); err == nil {
+		t.Fatal("missing job should fail")
 	}
 }
 
 func TestMem(t *testing.T) {
 	s := NewMem()
 	exerciseStore(t, s)
-	if s.Len() != 2 {
+	if s.Len() != 3 {
 		t.Fatalf("len = %d", s.Len())
 	}
 }
@@ -51,14 +69,14 @@ func TestMem(t *testing.T) {
 func TestMemCopies(t *testing.T) {
 	s := NewMem()
 	buf := []byte{1}
-	s.Save(1, 1, 1, buf)
+	s.Save(1, 1, 1, 1, buf)
 	buf[0] = 99
-	got, _, _ := s.Load(1, 1)
+	got, _, _ := s.Load(1, 1, 1)
 	if got[0] != 1 {
 		t.Fatal("store aliases caller buffer")
 	}
 	got[0] = 50
-	again, _, _ := s.Load(1, 1)
+	again, _, _ := s.Load(1, 1, 1)
 	if again[0] != 1 {
 		t.Fatal("load aliases stored buffer")
 	}
@@ -67,4 +85,92 @@ func TestMemCopies(t *testing.T) {
 func TestFS(t *testing.T) {
 	s := NewFS(t.TempDir())
 	exerciseStore(t, s)
+}
+
+// TestFSSaveOverExisting pins overwrite semantics: a Save over an existing
+// object replaces it atomically (no partial or appended state), and no
+// temporary file survives.
+func TestFSSaveOverExisting(t *testing.T) {
+	s := NewFS(t.TempDir())
+	if err := s.Save(1, 1, 5, 1, []byte("a long first payload")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Save(1, 1, 5, 2, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	data, ver, err := s.Load(1, 1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ver != 2 || string(data) != "x" {
+		t.Fatalf("after overwrite: %q v%d", data, ver)
+	}
+	if _, err := os.Stat(s.path(1, 1, 5) + ".tmp"); !os.IsNotExist(err) {
+		t.Fatalf("temp file left behind: %v", err)
+	}
+}
+
+// TestFSCorruptHeader covers the failure paths Load must reject instead of
+// returning garbage: a file shorter than the version header and a
+// zero-byte file (what a non-durable rename could leave after power loss).
+func TestFSCorruptHeader(t *testing.T) {
+	s := NewFS(t.TempDir())
+	if err := s.Save(3, 1, 7, 9, []byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	p := s.path(3, 1, 7)
+	for _, tc := range []struct {
+		name  string
+		bytes []byte
+	}{
+		{"truncated-header", []byte{0, 0, 1}},
+		{"empty-file", nil},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := os.WriteFile(p, tc.bytes, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if _, _, err := s.Load(3, 1, 7); err == nil {
+				t.Fatal("corrupt object loaded without error")
+			}
+		})
+	}
+	// Exactly 8 bytes is a valid, empty object.
+	if err := os.WriteFile(p, []byte{0, 0, 0, 0, 0, 0, 0, 42}, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	data, ver, err := s.Load(3, 1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ver != 42 || len(data) != 0 {
+		t.Fatalf("header-only object = %v v%d", data, ver)
+	}
+}
+
+// TestFSMissingDir covers Save/Load against a root that does not exist:
+// Save creates the hierarchy; Load of anything unsaved fails cleanly. A
+// root that cannot be created surfaces the error instead of panicking.
+func TestFSMissingDir(t *testing.T) {
+	root := filepath.Join(t.TempDir(), "not", "yet", "created")
+	s := NewFS(root)
+	if _, _, err := s.Load(1, 1, 1); err == nil {
+		t.Fatal("load from missing root should fail")
+	}
+	if err := s.Save(1, 1, 1, 1, []byte{1}); err != nil {
+		t.Fatalf("save should create the hierarchy: %v", err)
+	}
+	if _, _, err := s.Load(1, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	// A file where a directory must go makes MkdirAll fail: Save must
+	// return the error.
+	blocked := filepath.Join(t.TempDir(), "blocked")
+	if err := os.WriteFile(blocked, []byte{1}, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sb := NewFS(blocked)
+	if err := sb.Save(1, 1, 1, 1, []byte{1}); err == nil {
+		t.Fatal("save under a file-as-root should fail")
+	}
 }

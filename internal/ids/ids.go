@@ -45,6 +45,18 @@ type WorkerID uint32
 // NoWorker is the zero WorkerID; real workers are numbered from 1.
 const NoWorker WorkerID = 0
 
+// JobID identifies one admitted driver job. Every piece of mutable
+// control-plane state — directory entries, ledgers, templates, watermarks,
+// checkpoints, worker-side arenas and datastore objects — is scoped by the
+// JobID of the driver that created it, so concurrent jobs multiplexed over
+// one worker pool cannot observe or disturb each other.
+type JobID uint32
+
+// NoJob is the zero JobID. The controller admits real jobs from 1; job 0
+// is the implicit namespace used when a worker is driven without a
+// controller (tests and benchmarks).
+const NoJob JobID = 0
+
 // StageID identifies one stage submitted by the driver (a parallel
 // operation that expands into one task per partition).
 type StageID uint64
@@ -77,6 +89,7 @@ func (id CommandID) String() string  { return fmt.Sprintf("cmd:%d", uint64(id)) 
 func (id ObjectID) String() string   { return fmt.Sprintf("obj:%d", uint64(id)) }
 func (id LogicalID) String() string  { return fmt.Sprintf("log:%d", uint64(id)) }
 func (id WorkerID) String() string   { return fmt.Sprintf("w:%d", uint32(id)) }
+func (id JobID) String() string      { return fmt.Sprintf("job:%d", uint32(id)) }
 func (id StageID) String() string    { return fmt.Sprintf("stage:%d", uint64(id)) }
 func (id TemplateID) String() string { return fmt.Sprintf("tmpl:%d", uint64(id)) }
 func (id PatchID) String() string    { return fmt.Sprintf("patch:%d", uint64(id)) }

@@ -71,6 +71,9 @@ const (
 	KindResume
 	KindDataPayload
 	KindErrorMsg
+	KindRegisterDriverAck
+	KindJobEnd
+	KindJobQuota
 )
 
 // KindBatch is the frame-level discriminator for a coalesced batch of
@@ -112,6 +115,9 @@ var kindNames = [...]string{
 	KindResume:              "resume",
 	KindDataPayload:         "data-payload",
 	KindErrorMsg:            "error",
+	KindRegisterDriverAck:   "register-driver-ack",
+	KindJobEnd:              "job-end",
+	KindJobQuota:            "job-quota",
 }
 
 // String returns the message kind name.
@@ -225,6 +231,12 @@ func newMsg(kind MsgKind) Msg {
 		return &DataPayload{}
 	case KindErrorMsg:
 		return &ErrorMsg{}
+	case KindRegisterDriverAck:
+		return &RegisterDriverAck{}
+	case KindJobEnd:
+		return &JobEnd{}
+	case KindJobQuota:
+		return &JobQuota{}
 	default:
 		return nil
 	}
@@ -299,17 +311,85 @@ func (m *RegisterWorkerAck) decode(r *wire.Reader) error {
 }
 
 // RegisterDriver is the first message a driver sends to the controller.
+// Admission creates a new job: the controller replies with a
+// RegisterDriverAck carrying the job handle, and every operation on the
+// connection thereafter is scoped to that job.
 type RegisterDriver struct {
 	Name string
+	// Weight biases the fair-share slot allocator (zero means 1). A job
+	// with weight 2 receives twice the executor-slot share of a weight-1
+	// job on every worker.
+	Weight int
 }
 
 // Kind implements Msg.
 func (*RegisterDriver) Kind() MsgKind { return KindRegisterDriver }
 
-func (m *RegisterDriver) encode(w *wire.Writer) { w.String(m.Name) }
+func (m *RegisterDriver) encode(w *wire.Writer) {
+	w.String(m.Name)
+	w.Uvarint(uint64(m.Weight))
+}
 
 func (m *RegisterDriver) decode(r *wire.Reader) error {
 	m.Name = r.String()
+	m.Weight = int(r.Uvarint())
+	return r.Err
+}
+
+// RegisterDriverAck admits a driver and hands it its job handle.
+type RegisterDriverAck struct {
+	Job ids.JobID
+}
+
+// Kind implements Msg.
+func (*RegisterDriverAck) Kind() MsgKind { return KindRegisterDriverAck }
+
+func (m *RegisterDriverAck) encode(w *wire.Writer) { w.Uvarint(uint64(m.Job)) }
+
+func (m *RegisterDriverAck) decode(r *wire.Reader) error {
+	m.Job = ids.JobID(r.Uvarint())
+	return r.Err
+}
+
+// JobEnd ends a job. Driver → controller it is the graceful variant of a
+// disconnect (the controller tears the job down either way); controller →
+// worker it tells the worker to drop the job's entire namespace —
+// templates, patches, arenas, completion records and datastore objects.
+type JobEnd struct {
+	Job ids.JobID
+}
+
+// Kind implements Msg.
+func (*JobEnd) Kind() MsgKind { return KindJobEnd }
+
+func (m *JobEnd) encode(w *wire.Writer) { w.Uvarint(uint64(m.Job)) }
+
+func (m *JobEnd) decode(r *wire.Reader) error {
+	m.Job = ids.JobID(r.Uvarint())
+	return r.Err
+}
+
+// JobQuota sets one job's executor-slot share on a worker. The controller
+// recomputes shares whenever a job arrives or exits (weighted fair share
+// over the admitted jobs) so one hot tenant cannot starve the rest.
+type JobQuota struct {
+	Job ids.JobID
+	// Slots is the number of executor slots the job may occupy
+	// concurrently on this worker.
+	Slots int
+}
+
+// Kind implements Msg.
+func (*JobQuota) Kind() MsgKind { return KindJobQuota }
+
+func (m *JobQuota) encode(w *wire.Writer) {
+	w.Uvarint(uint64(m.Job))
+	w.Uvarint(uint64(m.Slots))
+}
+
+func (m *JobQuota) decode(r *wire.Reader) error {
+	m.Job = ids.JobID(r.Uvarint())
+	m.Slots = int(r.Uvarint())
 	return r.Err
 }
 
@@ -649,10 +729,14 @@ func (m *Shutdown) decode(r *wire.Reader) error { return r.Err }
 // non-template path (and the uncached-patch path). In central mode it
 // carries one command at a time; in Nimbus mode whole stages are batched.
 type SpawnCommands struct {
+	// Job scopes the commands: they execute in, and record completions
+	// against, the job's namespace on the worker.
+	Job  ids.JobID
 	Cmds []*command.Command
 	// Barrier orders the batch as a unit: its commands activate only after
-	// all previously enqueued work on the worker completes. Patches use
-	// it, which is why patch commands need no before sets.
+	// all previously enqueued work of the same job on the worker
+	// completes. Patches use it, which is why patch commands need no
+	// before sets.
 	Barrier bool
 }
 
@@ -660,6 +744,7 @@ type SpawnCommands struct {
 func (*SpawnCommands) Kind() MsgKind { return KindSpawnCommands }
 
 func (m *SpawnCommands) encode(w *wire.Writer) {
+	w.Uvarint(uint64(m.Job))
 	w.Bool(m.Barrier)
 	w.Uvarint(uint64(len(m.Cmds)))
 	for _, c := range m.Cmds {
@@ -668,6 +753,7 @@ func (m *SpawnCommands) encode(w *wire.Writer) {
 }
 
 func (m *SpawnCommands) decode(r *wire.Reader) error {
+	m.Job = ids.JobID(r.Uvarint())
 	m.Barrier = r.Bool()
 	n := r.Count()
 	if r.Err != nil {
@@ -686,6 +772,10 @@ func (m *SpawnCommands) decode(r *wire.Reader) error {
 // InstallTemplate installs a worker template: the worker's slice of a basic
 // block with index-based dependencies (paper §4.1, Figure 5b).
 type InstallTemplate struct {
+	// Job namespaces the installed template: two jobs may install
+	// templates with the same name (and, with per-job ID allocators, the
+	// same TemplateID) without colliding.
+	Job      ids.JobID
 	Template ids.TemplateID
 	Name     string
 	Entries  []command.TemplateEntry
@@ -695,6 +785,7 @@ type InstallTemplate struct {
 func (*InstallTemplate) Kind() MsgKind { return KindInstallTemplate }
 
 func (m *InstallTemplate) encode(w *wire.Writer) {
+	w.Uvarint(uint64(m.Job))
 	w.Uvarint(uint64(m.Template))
 	w.String(m.Name)
 	w.Uvarint(uint64(len(m.Entries)))
@@ -704,6 +795,7 @@ func (m *InstallTemplate) encode(w *wire.Writer) {
 }
 
 func (m *InstallTemplate) decode(r *wire.Reader) error {
+	m.Job = ids.JobID(r.Uvarint())
 	m.Template = ids.TemplateID(r.Uvarint())
 	m.Name = r.String()
 	n := r.Count()
@@ -725,6 +817,10 @@ func (m *InstallTemplate) decode(r *wire.Reader) error {
 // §4.3). DoneWatermark tells the worker that every command with an ID below
 // it has been fully accounted for, letting it prune its completion set.
 type InstantiateTemplate struct {
+	// Job selects the namespace the template was installed under. It is
+	// the only multi-tenancy cost on the steady-state fan-out path: one
+	// varint per message.
+	Job      ids.JobID
 	Template ids.TemplateID
 	// Instance identifies this instantiation for BlockDone reporting.
 	Instance uint64
@@ -742,6 +838,7 @@ type InstantiateTemplate struct {
 func (*InstantiateTemplate) Kind() MsgKind { return KindInstantiateTemplate }
 
 func (m *InstantiateTemplate) encode(w *wire.Writer) {
+	w.Uvarint(uint64(m.Job))
 	w.Uvarint(uint64(m.Template))
 	w.Uvarint(m.Instance)
 	w.Uvarint(uint64(m.Base))
@@ -757,6 +854,7 @@ func (m *InstantiateTemplate) encode(w *wire.Writer) {
 }
 
 func (m *InstantiateTemplate) decode(r *wire.Reader) error {
+	m.Job = ids.JobID(r.Uvarint())
 	m.Template = ids.TemplateID(r.Uvarint())
 	m.Instance = r.Uvarint()
 	m.Base = ids.CommandID(r.Uvarint())
@@ -786,6 +884,7 @@ func (m *InstantiateTemplate) decode(r *wire.Reader) error {
 // satisfies template preconditions) on a worker so later instantiations of
 // the same control-flow transition cost one message (paper §4.2).
 type InstallPatch struct {
+	Job     ids.JobID
 	Patch   ids.PatchID
 	Entries []command.TemplateEntry
 }
@@ -794,6 +893,7 @@ type InstallPatch struct {
 func (*InstallPatch) Kind() MsgKind { return KindInstallPatch }
 
 func (m *InstallPatch) encode(w *wire.Writer) {
+	w.Uvarint(uint64(m.Job))
 	w.Uvarint(uint64(m.Patch))
 	w.Uvarint(uint64(len(m.Entries)))
 	for i := range m.Entries {
@@ -802,6 +902,7 @@ func (m *InstallPatch) encode(w *wire.Writer) {
 }
 
 func (m *InstallPatch) decode(r *wire.Reader) error {
+	m.Job = ids.JobID(r.Uvarint())
 	m.Patch = ids.PatchID(r.Uvarint())
 	n := r.Count()
 	if r.Err != nil {
@@ -818,6 +919,7 @@ func (m *InstallPatch) decode(r *wire.Reader) error {
 
 // InstantiatePatch executes a cached patch.
 type InstantiatePatch struct {
+	Job   ids.JobID
 	Patch ids.PatchID
 	Base  ids.CommandID
 }
@@ -826,34 +928,44 @@ type InstantiatePatch struct {
 func (*InstantiatePatch) Kind() MsgKind { return KindInstantiatePatch }
 
 func (m *InstantiatePatch) encode(w *wire.Writer) {
+	w.Uvarint(uint64(m.Job))
 	w.Uvarint(uint64(m.Patch))
 	w.Uvarint(uint64(m.Base))
 }
 
 func (m *InstantiatePatch) decode(r *wire.Reader) error {
+	m.Job = ids.JobID(r.Uvarint())
 	m.Patch = ids.PatchID(r.Uvarint())
 	m.Base = ids.CommandID(r.Uvarint())
 	return r.Err
 }
 
-// Halt tells a worker to stop executing, flush its queues and acknowledge
-// (fault recovery, paper §4.4).
+// Halt tells a worker to stop executing one job's work, flush that job's
+// queues and acknowledge (fault recovery, paper §4.4). Halts are
+// job-scoped: recovery of one failed job must not flush another job's
+// in-flight arenas.
 type Halt struct {
+	Job ids.JobID
 	Seq uint64
 }
 
 // Kind implements Msg.
 func (*Halt) Kind() MsgKind { return KindHalt }
 
-func (m *Halt) encode(w *wire.Writer) { w.Uvarint(m.Seq) }
+func (m *Halt) encode(w *wire.Writer) {
+	w.Uvarint(uint64(m.Job))
+	w.Uvarint(m.Seq)
+}
 
 func (m *Halt) decode(r *wire.Reader) error {
+	m.Job = ids.JobID(r.Uvarint())
 	m.Seq = r.Uvarint()
 	return r.Err
 }
 
 // HaltAck acknowledges a Halt.
 type HaltAck struct {
+	Job    ids.JobID
 	Seq    uint64
 	Worker ids.WorkerID
 }
@@ -862,24 +974,32 @@ type HaltAck struct {
 func (*HaltAck) Kind() MsgKind { return KindHaltAck }
 
 func (m *HaltAck) encode(w *wire.Writer) {
+	w.Uvarint(uint64(m.Job))
 	w.Uvarint(m.Seq)
 	w.Uvarint(uint64(m.Worker))
 }
 
 func (m *HaltAck) decode(r *wire.Reader) error {
+	m.Job = ids.JobID(r.Uvarint())
 	m.Seq = r.Uvarint()
 	m.Worker = ids.WorkerID(r.Uvarint())
 	return r.Err
 }
 
-// Resume lifts a Halt.
-type Resume struct{}
+// Resume lifts one job's Halt.
+type Resume struct {
+	Job ids.JobID
+}
 
 // Kind implements Msg.
 func (*Resume) Kind() MsgKind { return KindResume }
 
-func (m *Resume) encode(*wire.Writer)         {}
-func (m *Resume) decode(r *wire.Reader) error { return r.Err }
+func (m *Resume) encode(w *wire.Writer) { w.Uvarint(uint64(m.Job)) }
+
+func (m *Resume) decode(r *wire.Reader) error {
+	m.Job = ids.JobID(r.Uvarint())
+	return r.Err
+}
 
 // ---------------------------------------------------------------------------
 // Worker → controller
@@ -889,6 +1009,9 @@ func (m *Resume) decode(r *wire.Reader) error { return r.Err }
 // (Spark-like) mode every command is reported individually because the
 // controller dispatches successors itself.
 type Complete struct {
+	// Job scopes the completions: command IDs are allocated per job, so
+	// the controller must route them to the right job's outstanding set.
+	Job    ids.JobID
 	Worker ids.WorkerID
 	IDs    []ids.CommandID
 }
@@ -897,6 +1020,7 @@ type Complete struct {
 func (*Complete) Kind() MsgKind { return KindComplete }
 
 func (m *Complete) encode(w *wire.Writer) {
+	w.Uvarint(uint64(m.Job))
 	w.Uvarint(uint64(m.Worker))
 	w.Uvarint(uint64(len(m.IDs)))
 	for _, id := range m.IDs {
@@ -905,6 +1029,7 @@ func (m *Complete) encode(w *wire.Writer) {
 }
 
 func (m *Complete) decode(r *wire.Reader) error {
+	m.Job = ids.JobID(r.Uvarint())
 	m.Worker = ids.WorkerID(r.Uvarint())
 	n := r.Count()
 	if r.Err != nil {
@@ -920,6 +1045,7 @@ func (m *Complete) decode(r *wire.Reader) error {
 // BlockDone reports that every command of a template instance assigned to
 // this worker has completed.
 type BlockDone struct {
+	Job      ids.JobID
 	Worker   ids.WorkerID
 	Instance uint64
 }
@@ -928,11 +1054,13 @@ type BlockDone struct {
 func (*BlockDone) Kind() MsgKind { return KindBlockDone }
 
 func (m *BlockDone) encode(w *wire.Writer) {
+	w.Uvarint(uint64(m.Job))
 	w.Uvarint(uint64(m.Worker))
 	w.Uvarint(m.Instance)
 }
 
 func (m *BlockDone) decode(r *wire.Reader) error {
+	m.Job = ids.JobID(r.Uvarint())
 	m.Worker = ids.WorkerID(r.Uvarint())
 	m.Instance = r.Uvarint()
 	return r.Err
@@ -965,6 +1093,9 @@ func (m *Heartbeat) decode(r *wire.Reader) error {
 // FetchObject asks a worker for a physical object's contents (serving
 // driver Gets and checkpoint verification).
 type FetchObject struct {
+	// Job selects the datastore namespace to read from (object IDs are
+	// allocated per job).
+	Job    ids.JobID
 	Seq    uint64
 	Object ids.ObjectID
 }
@@ -973,11 +1104,13 @@ type FetchObject struct {
 func (*FetchObject) Kind() MsgKind { return KindFetchObject }
 
 func (m *FetchObject) encode(w *wire.Writer) {
+	w.Uvarint(uint64(m.Job))
 	w.Uvarint(m.Seq)
 	w.Uvarint(uint64(m.Object))
 }
 
 func (m *FetchObject) decode(r *wire.Reader) error {
+	m.Job = ids.JobID(r.Uvarint())
 	m.Seq = r.Uvarint()
 	m.Object = ids.ObjectID(r.Uvarint())
 	return r.Err
@@ -1015,6 +1148,10 @@ func (m *ObjectData) decode(r *wire.Reader) error {
 // DataPayload pushes object contents to the worker running the matching
 // CopyRecv command (paper §3.4: asynchronous push model).
 type DataPayload struct {
+	// Job routes the payload to the destination command's namespace:
+	// command and object IDs are per-job, so the data plane must carry
+	// the job alongside them.
+	Job        ids.JobID
 	DstCommand ids.CommandID
 	Object     ids.ObjectID
 	Logical    ids.LogicalID
@@ -1026,6 +1163,7 @@ type DataPayload struct {
 func (*DataPayload) Kind() MsgKind { return KindDataPayload }
 
 func (m *DataPayload) encode(w *wire.Writer) {
+	w.Uvarint(uint64(m.Job))
 	w.Uvarint(uint64(m.DstCommand))
 	w.Uvarint(uint64(m.Object))
 	w.Uvarint(uint64(m.Logical))
@@ -1034,6 +1172,7 @@ func (m *DataPayload) encode(w *wire.Writer) {
 }
 
 func (m *DataPayload) decode(r *wire.Reader) error {
+	m.Job = ids.JobID(r.Uvarint())
 	m.DstCommand = ids.CommandID(r.Uvarint())
 	m.Object = ids.ObjectID(r.Uvarint())
 	m.Logical = ids.LogicalID(r.Uvarint())

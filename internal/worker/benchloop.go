@@ -1,6 +1,7 @@
 package worker
 
 import (
+	"nimbus/internal/ids"
 	"nimbus/internal/proto"
 	"nimbus/internal/transport"
 )
@@ -45,10 +46,26 @@ func NewBenchLoop(slots int) *BenchLoop {
 // on the caller's goroutine.
 func (b *BenchLoop) Apply(m proto.Msg) { b.W.handleCtrl(m) }
 
+// Job exposes one job's namespace (created on first use), for assertions
+// on per-job scheduler state. Messages without an explicit Job land in
+// namespace 0.
+func (b *BenchLoop) Job(id ids.JobID) *jstate { return b.W.job(id) }
+
+// busy reports whether any job still has unfinished, runnable or queued
+// work.
+func (b *BenchLoop) busy() bool {
+	for _, js := range b.W.jobList {
+		if js.unfin > 0 || js.runnable.n > 0 || len(js.units) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
 // Drain processes completion events posted by executor goroutines until
-// the worker has no unfinished commands (for callers that do run tasks).
+// no job has unfinished commands (for callers that do run tasks).
 func (b *BenchLoop) Drain() {
-	for b.W.unfin > 0 || b.W.runnable.n > 0 || len(b.W.units) > 0 {
+	for b.busy() {
 		ev := <-b.W.events
 		if ev.kind == evDone {
 			b.W.handleDone(ev.cmd)

@@ -12,10 +12,18 @@ import (
 // worker. Sends enqueue without blocking the event loop (the paper's copy
 // commands use asynchronous I/O so they never block a worker thread,
 // §3.4); a writer goroutine drains the queue.
+//
+// The queue is consumed head-index-first with slot nil'ing (same
+// discipline as the scheduler's runnable ring): popping by reslicing kept
+// every sent payload reachable through the backing array until append
+// happened to wrap, pinning megabytes of drained frames. When the queue
+// empties, head and length reset so the backing array is reused instead of
+// regrown.
 type peerConn struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
 	queue  [][]byte
+	head   int
 	closed bool
 }
 
@@ -27,37 +35,58 @@ func newPeerConn() *peerConn {
 
 func (pc *peerConn) send(b []byte) {
 	pc.mu.Lock()
-	if !pc.closed {
-		pc.queue = append(pc.queue, b)
-		pc.cond.Signal()
+	if pc.closed {
+		pc.mu.Unlock()
+		// The queue owns frames it accepts; a rejected frame is recycled
+		// here instead of leaking.
+		proto.PutBuf(b)
+		return
 	}
+	pc.queue = append(pc.queue, b)
+	pc.cond.Signal()
 	pc.mu.Unlock()
 }
 
 func (pc *peerConn) next() ([]byte, bool) {
 	pc.mu.Lock()
 	defer pc.mu.Unlock()
-	for len(pc.queue) == 0 && !pc.closed {
+	for pc.head == len(pc.queue) && !pc.closed {
 		pc.cond.Wait()
 	}
-	if len(pc.queue) == 0 {
+	if pc.head == len(pc.queue) {
 		return nil, false
 	}
-	b := pc.queue[0]
-	pc.queue = pc.queue[1:]
+	b := pc.queue[pc.head]
+	pc.queue[pc.head] = nil // do not pin the frame once sent
+	pc.head++
+	if pc.head == len(pc.queue) {
+		// Drained: reuse the backing array from the start.
+		pc.queue = pc.queue[:0]
+		pc.head = 0
+	}
 	return b, true
 }
 
+// close shuts the queue down and recycles any frames that will never be
+// sent.
 func (pc *peerConn) close() {
 	pc.mu.Lock()
 	pc.closed = true
+	for i := pc.head; i < len(pc.queue); i++ {
+		proto.PutBuf(pc.queue[i])
+		pc.queue[i] = nil
+	}
+	pc.queue = pc.queue[:0]
+	pc.head = 0
 	pc.cond.Broadcast()
 	pc.mu.Unlock()
 }
 
 // sendPeer routes one payload to a peer worker, dialing its data-plane
 // address on first use. Workers exchange data directly — the controller is
-// never on the data path (control-plane requirement 2, paper §3.1).
+// never on the data path (control-plane requirement 2, paper §3.1). The
+// payload carries its JobID so the receiver lands it in the right
+// namespace.
 func (w *Worker) sendPeer(dst ids.WorkerID, p *proto.DataPayload) {
 	pc, ok := w.peerConns[dst]
 	if !ok {

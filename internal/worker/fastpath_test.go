@@ -60,7 +60,7 @@ func TestInstantiateAllocCeiling(t *testing.T) {
 	for i := 0; i < 16; i++ { // warm pools and ring capacities
 		run()
 	}
-	if got := len(b.W.doneRanges); got > 2 {
+	if got := len(b.Job(0).doneRanges); got > 2 {
 		t.Fatalf("done ranges not pruned by watermark: %d", got)
 	}
 	avg := testing.AllocsPerRun(64, run)
@@ -262,8 +262,8 @@ func TestBarrierIgnoresLateArrivals(t *testing.T) {
 	}})
 	b.Apply(destroyTemplate(3, 4))
 	b.Apply(&proto.InstantiateTemplate{Template: 3, Instance: 1, Base: 100})
-	if len(b.W.units) != 1 {
-		t.Fatalf("queued units = %d, want 1", len(b.W.units))
+	if len(b.Job(0).units) != 1 {
+		t.Fatalf("queued units = %d, want 1", len(b.Job(0).units))
 	}
 	// Late non-barrier commands complete immediately — and must not
 	// unblock the queued instance.
@@ -272,7 +272,7 @@ func TestBarrierIgnoresLateArrivals(t *testing.T) {
 			{ID: ids.CommandID(20 + i), Kind: command.Destroy, Writes: []ids.ObjectID{1}},
 		}})
 	}
-	if len(b.W.units) != 1 || b.W.units[0].activated {
+	if len(b.Job(0).units) != 1 || b.Job(0).units[0].activated {
 		t.Fatal("barrier unit activated by late arrivals")
 	}
 	// Satisfy the stalled task's dependency; the cascade must activate
@@ -281,10 +281,10 @@ func TestBarrierIgnoresLateArrivals(t *testing.T) {
 		{ID: 9999, Kind: command.Destroy, Writes: []ids.ObjectID{2}},
 	}})
 	b.Drain()
-	if len(b.W.units) != 0 {
-		t.Fatalf("queued units = %d after drain", len(b.W.units))
+	if len(b.Job(0).units) != 0 {
+		t.Fatalf("queued units = %d after drain", len(b.Job(0).units))
 	}
-	if !b.W.isDone(100) || !b.W.isDone(103) {
+	if !b.Job(0).isDone(100) || !b.Job(0).isDone(103) {
 		t.Fatal("instance commands not recorded done")
 	}
 }
@@ -310,11 +310,11 @@ func TestCrossUnitWaitOnInstanceCommand(t *testing.T) {
 	b.Apply(&proto.SpawnCommands{Cmds: []*command.Command{
 		{ID: 900, Kind: command.Destroy, Writes: []ids.ObjectID{41}, Before: []ids.CommandID{500}},
 	}})
-	if b.W.isDone(900) {
+	if b.Job(0).isDone(900) {
 		t.Fatal("dependent ran before the receive completed")
 	}
 	b.W.handlePayload(&proto.DataPayload{DstCommand: 500, Object: 41, Logical: 41, Version: 3, Data: []byte{9}})
-	if !b.W.isDone(900) {
+	if !b.Job(0).isDone(900) {
 		t.Fatal("dependent did not wake on instance completion")
 	}
 	// A later dependency on the completed instance resolves through the
@@ -322,7 +322,7 @@ func TestCrossUnitWaitOnInstanceCommand(t *testing.T) {
 	b.Apply(&proto.SpawnCommands{Cmds: []*command.Command{
 		{ID: 901, Kind: command.Destroy, Writes: []ids.ObjectID{41}, Before: []ids.CommandID{500}},
 	}})
-	if !b.W.isDone(901) {
+	if !b.Job(0).isDone(901) {
 		t.Fatal("dependency on completed instance did not resolve")
 	}
 }
@@ -348,11 +348,11 @@ func TestHostilePayloadOrdering(t *testing.T) {
 		b.Apply(recvTemplate(1, 11))
 		b.W.handlePayload(&proto.DataPayload{DstCommand: 100, Object: 11, Version: 7, Data: []byte{1}})
 		b.Apply(&proto.InstantiateTemplate{Template: 1, Instance: 1, Base: 100})
-		o := b.W.store.Get(11)
+		o := b.Job(0).store.Get(11)
 		if o == nil || o.Version != 7 {
 			t.Fatalf("buffered payload not consumed: %+v", o)
 		}
-		if len(b.W.payloads) != 0 || len(b.W.payWait) != 0 {
+		if len(b.Job(0).payloads) != 0 || len(b.Job(0).payWait) != 0 {
 			t.Fatal("payload bookkeeping leaked")
 		}
 	})
@@ -362,11 +362,11 @@ func TestHostilePayloadOrdering(t *testing.T) {
 		defer b.Close()
 		b.Apply(recvTemplate(1, 12))
 		b.Apply(&proto.InstantiateTemplate{Template: 1, Instance: 1, Base: 200})
-		if b.W.store.Get(12) != nil {
+		if b.Job(0).store.Get(12) != nil {
 			t.Fatal("receive ran without payload")
 		}
 		b.W.handlePayload(&proto.DataPayload{DstCommand: 200, Object: 12, Version: 9, Data: []byte{2}})
-		o := b.W.store.Get(12)
+		o := b.Job(0).store.Get(12)
 		if o == nil || o.Version != 9 {
 			t.Fatalf("late payload not installed: %+v", o)
 		}
@@ -378,25 +378,25 @@ func TestHostilePayloadOrdering(t *testing.T) {
 		b.Apply(recvTemplate(1, 13))
 		b.Apply(&proto.InstantiateTemplate{Template: 1, Instance: 1, Base: 300})
 		b.W.handlePayload(&proto.DataPayload{DstCommand: 300, Object: 13, Version: 5, Data: []byte{3}})
-		if o := b.W.store.Get(13); o == nil || o.Version != 5 {
+		if o := b.Job(0).store.Get(13); o == nil || o.Version != 5 {
 			t.Fatalf("first payload not installed: %+v", o)
 		}
 		// Duplicate for the completed receive: buffers, must not
 		// re-install.
 		b.W.handlePayload(&proto.DataPayload{DstCommand: 300, Object: 13, Version: 99, Data: []byte{9}})
-		if o := b.W.store.Get(13); o.Version != 5 {
+		if o := b.Job(0).store.Get(13); o.Version != 5 {
 			t.Fatalf("duplicate payload resurrected completed receive: version %d", o.Version)
 		}
 		// The watermark retires both the completion record and the stale
 		// buffer.
 		b.Apply(&proto.InstantiateTemplate{Template: 1, Instance: 2, Base: 400, DoneWatermark: 301})
-		if len(b.W.payloads) != 0 {
-			t.Fatalf("stale payload survived the watermark: %d buffered", len(b.W.payloads))
+		if len(b.Job(0).payloads) != 0 {
+			t.Fatalf("stale payload survived the watermark: %d buffered", len(b.Job(0).payloads))
 		}
-		if !b.W.isDone(300) { // below doneLow now
+		if !b.Job(0).isDone(300) { // below doneLow now
 			t.Fatal("watermark lost the completion")
 		}
-		if o := b.W.store.Get(13); o.Version != 5 {
+		if o := b.Job(0).store.Get(13); o.Version != 5 {
 			t.Fatalf("pruning re-ran the receive: version %d", o.Version)
 		}
 		// Complete the second instance for a tidy shutdown.
@@ -413,14 +413,14 @@ func TestHostilePayloadOrdering(t *testing.T) {
 		// dropped, and the new receive must still wait for its own
 		// payload rather than consume the stale one.
 		b.Apply(&proto.InstantiateTemplate{Template: 1, Instance: 1, Base: 600, DoneWatermark: 100})
-		if len(b.W.payloads) != 0 {
+		if len(b.Job(0).payloads) != 0 {
 			t.Fatal("stale payload survived the watermark")
 		}
-		if b.W.store.Get(14) != nil {
+		if b.Job(0).store.Get(14) != nil {
 			t.Fatal("receive consumed a stale payload")
 		}
 		b.W.handlePayload(&proto.DataPayload{DstCommand: 600, Object: 14, Version: 2, Data: []byte{6}})
-		if o := b.W.store.Get(14); o == nil || o.Version != 2 {
+		if o := b.Job(0).store.Get(14); o == nil || o.Version != 2 {
 			t.Fatalf("fresh payload not installed: %+v", o)
 		}
 	})

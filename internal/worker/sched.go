@@ -12,85 +12,89 @@ import (
 	"nimbus/internal/proto"
 )
 
-// enqueue admits a unit of work. Non-barrier batches activate immediately;
-// barrier units (template instances and patches) wait until every command
-// that arrived before them has completed. Barrier accounting uses prefix
-// arrival counters: every command takes the next arrival index, a barrier
+// enqueue admits a unit of work into its job's namespace. Non-barrier
+// batches activate immediately; barrier units (template instances and
+// patches) wait until every command of the same job that arrived before
+// them has completed. Barrier accounting uses per-job prefix arrival
+// counters: every command takes the job's next arrival index, a barrier
 // unit records the prefix it must outwait (mark), and the completion
 // watermark arrLow advances over completed indexes — so a completion costs
-// O(1) amortized instead of a scan over the queued units, and commands
+// O(1) amortized instead of a scan over the queued units, commands
 // arriving *after* a queued unit (which may legitimately depend on the
-// unit's own commands) can never deadlock its activation.
+// unit's own commands) can never deadlock its activation, and one job's
+// barrier never waits on another job's in-flight work.
 func (w *Worker) enqueue(u *unit) {
-	if w.halted {
+	js := u.js
+	if js.halted {
 		w.releaseUnit(u)
 		return
 	}
 	n := len(u.pcs)
-	u.mark = w.cmdArrived
+	u.mark = js.cmdArrived
 	u.remaining = n
 	u.activated = false
-	w.arrReserve(n)
+	js.arrReserve(n)
 	for i := range u.pcs {
 		pc := &u.pcs[i]
 		pc.unit = u
-		pc.epoch = w.haltEpoch
+		pc.epoch = js.haltEpoch
 		pc.arrIdx = u.mark + uint64(i)
 		pc.state = psInit
 		pc.missing = 0
 		pc.needPayload = false
 	}
-	w.cmdArrived += uint64(n)
+	js.cmdArrived += uint64(n)
 	if u.ct != nil {
-		w.liveUnits = append(w.liveUnits, u)
+		js.liveUnits = append(js.liveUnits, u)
 	}
 	if !u.barrier {
 		w.activate(u)
 		w.dispatch()
 		return
 	}
-	if len(w.units) == 0 && w.arrLow >= u.mark {
+	if len(js.units) == 0 && js.arrLow >= u.mark {
 		w.activate(u)
 	} else {
-		w.units = append(w.units, u)
+		js.units = append(js.units, u)
 	}
 	w.dispatch()
 }
 
-// arrReserve grows the arrival ring so the next n indexes have slots. The
-// ring must cover [arrLow, cmdArrived+n).
-func (w *Worker) arrReserve(n int) {
-	need := w.cmdArrived + uint64(n) - w.arrLow
-	if need <= uint64(len(w.arrRing)) {
+// arrReserve grows the job's arrival ring so the next n indexes have
+// slots. The ring must cover [arrLow, cmdArrived+n).
+func (js *jstate) arrReserve(n int) {
+	need := js.cmdArrived + uint64(n) - js.arrLow
+	if need <= uint64(len(js.arrRing)) {
 		return
 	}
-	size := uint64(len(w.arrRing))
+	size := uint64(len(js.arrRing))
 	for size < need {
 		size *= 2
 	}
 	ring := make([]bool, size)
-	oldMask := uint64(len(w.arrRing) - 1)
-	for i := w.arrLow; i < w.cmdArrived; i++ {
-		ring[i&(size-1)] = w.arrRing[i&oldMask]
+	oldMask := uint64(len(js.arrRing) - 1)
+	for i := js.arrLow; i < js.cmdArrived; i++ {
+		ring[i&(size-1)] = js.arrRing[i&oldMask]
 	}
-	w.arrRing = ring
+	js.arrRing = ring
 }
 
-// arrDone marks an arrival index complete and advances the low watermark
-// over the completed prefix.
-func (w *Worker) arrDone(idx uint64) {
-	mask := uint64(len(w.arrRing) - 1)
-	w.arrRing[idx&mask] = true
-	for w.arrLow < w.cmdArrived && w.arrRing[w.arrLow&mask] {
-		w.arrRing[w.arrLow&mask] = false
-		w.arrLow++
+// arrDone marks an arrival index complete and advances the job's low
+// watermark over the completed prefix.
+func (js *jstate) arrDone(idx uint64) {
+	mask := uint64(len(js.arrRing) - 1)
+	js.arrRing[idx&mask] = true
+	for js.arrLow < js.cmdArrived && js.arrRing[js.arrLow&mask] {
+		js.arrRing[js.arrLow&mask] = false
+		js.arrLow++
 	}
 }
 
-// activate admits a unit's commands into the unfinished set, resolving
-// their before sets against the local completion state (control-plane
-// requirement 1: workers determine runnability locally).
+// activate admits a unit's commands into its job's unfinished set,
+// resolving their before sets against the job's completion state
+// (control-plane requirement 1: workers determine runnability locally).
 func (w *Worker) activate(u *unit) {
+	js := u.js
 	u.activated = true
 	if len(u.pcs) == 0 {
 		w.completeUnit(u)
@@ -103,15 +107,15 @@ func (w *Worker) activate(u *unit) {
 	for i := range u.pcs {
 		pc := &u.pcs[i]
 		pc.state = psActive
-		w.unfin++
+		js.unfin++
 		for _, dep := range pc.cmd.Before {
-			if w.isDone(dep) {
+			if js.isDone(dep) {
 				continue
 			}
-			w.waiters[dep] = append(w.waiters[dep], pc)
+			js.waiters[dep] = append(js.waiters[dep], pc)
 			pc.missing++
 		}
-		w.checkPayload(pc)
+		js.checkPayload(pc)
 		if pc.missing == 0 {
 			w.makeRunnable(pc)
 		}
@@ -121,16 +125,17 @@ func (w *Worker) activate(u *unit) {
 // activateCompiled resolves a template/patch instance's dependencies
 // against the arena: intra-instance edges are pre-resolved entry positions
 // (no map traffic), external edges — dangling references edits can leave —
-// fall back to the completion state like any other before set. Inline
-// commands may complete while later slots are still being activated; their
-// psDone state is what a later slot's local-edge check observes, mirroring
-// the isDone check of the map-based path.
+// fall back to the job's completion state like any other before set.
+// Inline commands may complete while later slots are still being
+// activated; their psDone state is what a later slot's local-edge check
+// observes, mirroring the isDone check of the map-based path.
 func (w *Worker) activateCompiled(u *unit) {
+	js := u.js
 	entries := u.ct.Entries
 	for i := range u.pcs {
 		pc := &u.pcs[i]
 		pc.state = psActive
-		w.unfin++
+		js.unfin++
 		e := &entries[i]
 		for _, lp := range e.LocalBefore {
 			if u.pcs[lp].state != psDone {
@@ -139,13 +144,13 @@ func (w *Worker) activateCompiled(u *unit) {
 		}
 		for _, gi := range e.ExtBefore {
 			dep := u.base + ids.CommandID(gi)
-			if w.isDone(dep) {
+			if js.isDone(dep) {
 				continue
 			}
-			w.waiters[dep] = append(w.waiters[dep], pc)
+			js.waiters[dep] = append(js.waiters[dep], pc)
 			pc.missing++
 		}
-		w.checkPayload(pc)
+		js.checkPayload(pc)
 		if pc.missing == 0 {
 			w.makeRunnable(pc)
 		}
@@ -155,50 +160,51 @@ func (w *Worker) activateCompiled(u *unit) {
 // checkPayload registers a CopyRecv for its data payload if it has not
 // already arrived (payloads may outrun commands because the data plane is
 // independent of the control plane).
-func (w *Worker) checkPayload(pc *pcmd) {
+func (js *jstate) checkPayload(pc *pcmd) {
 	if pc.cmd.Kind != command.CopyRecv {
 		return
 	}
-	if _, ok := w.payloads[pc.cmd.ID]; !ok {
+	if _, ok := js.payloads[pc.cmd.ID]; !ok {
 		pc.needPayload = true
-		w.payWait[pc.cmd.ID] = pc
+		js.payWait[pc.cmd.ID] = pc
 		pc.missing++
 	}
 }
 
-// isDone reports whether a command is known complete: below the watermark,
-// recorded in the done map (non-template commands), inside a completed
-// instance's range, or completed within a live arena. The instance cases
-// answer by ID arithmetic and a position-table probe — no hashing.
-func (w *Worker) isDone(id ids.CommandID) bool {
-	if id < w.doneLow {
+// isDone reports whether a command is known complete within this job:
+// below the watermark, recorded in the done map (non-template commands),
+// inside a completed instance's range, or completed within a live arena.
+// The instance cases answer by ID arithmetic and a position-table probe —
+// no hashing.
+func (js *jstate) isDone(id ids.CommandID) bool {
+	if id < js.doneLow {
 		return true
 	}
-	if _, ok := w.done[id]; ok {
+	if _, ok := js.done[id]; ok {
 		return true
 	}
 	// doneRanges is sorted by base and instance ID blocks are disjoint,
 	// so one binary search finds the only candidate range — the probe at
 	// lo covers hostile negative entry indexes (IDs just below a base).
-	lo, hi := 0, len(w.doneRanges)
+	lo, hi := 0, len(js.doneRanges)
 	for lo < hi {
 		mid := (lo + hi) / 2
-		if w.doneRanges[mid].base <= id {
+		if js.doneRanges[mid].base <= id {
 			lo = mid + 1
 		} else {
 			hi = mid
 		}
 	}
 	for _, i := range [2]int{lo - 1, lo} {
-		if i < 0 || i >= len(w.doneRanges) {
+		if i < 0 || i >= len(js.doneRanges) {
 			continue
 		}
-		dr := &w.doneRanges[i]
+		dr := &js.doneRanges[i]
 		if idx, ok := entryIndex(id, dr.base); ok && dr.ct.Has(idx) {
 			return true
 		}
 	}
-	for _, u := range w.liveUnits {
+	for _, u := range js.liveUnits {
 		if idx, ok := entryIndex(id, u.base); ok {
 			if p := u.ct.PosOf(idx); p >= 0 && u.pcs[p].state == psDone {
 				return true
@@ -220,24 +226,88 @@ func entryIndex(id, base ids.CommandID) (int32, bool) {
 }
 
 // makeRunnable routes a dependency-free command: tasks queue for executor
-// slots; control commands (copies, data, file) execute inline — they are
-// bookkeeping and I/O initiation, not computation.
+// slots in their job's runnable ring; control commands (copies, data,
+// file) execute inline — they are bookkeeping and I/O initiation, not
+// computation.
 func (w *Worker) makeRunnable(pc *pcmd) {
 	if pc.cmd.Kind == command.Task {
-		w.runnable.push(pc)
+		pc.unit.js.runnable.push(pc)
 		return
 	}
 	w.execInline(pc)
 }
 
-// dispatch starts queued tasks while executor slots are free.
+// dispatch starts queued tasks while executor slots are free, visiting
+// jobs round-robin so the shared pool is split fairly. A job at its quota
+// is skipped while free slots exist — that headroom belongs to tenants
+// below their share — but the dispatcher is work-conserving: once no
+// under-quota job wants a slot, remaining slots are handed out
+// round-robin past quota rather than idling (quota floors and fair-share
+// truncation can leave the shares summing below the slot count).
 func (w *Worker) dispatch() {
-	for w.freeSlots > 0 && w.runnable.n > 0 {
-		pc := w.runnable.pop()
-		w.freeSlots--
-		w.wg.Add(1)
-		go w.runTask(pc)
+	n := len(w.jobList)
+	if n == 0 {
+		return
 	}
+	for w.freeSlots > 0 {
+		progressed := false
+		deferred := false
+		for k := 0; k < n; k++ {
+			js := w.jobList[(w.rr+k)%n]
+			if js.runnable.n == 0 {
+				continue
+			}
+			if js.running >= js.quota {
+				// Only a skip while slots were actually free is a
+				// deferral; with the pool exhausted the job lost nothing
+				// to fairness enforcement.
+				if w.freeSlots > 0 {
+					deferred = true
+				}
+				continue
+			}
+			if w.freeSlots == 0 {
+				break
+			}
+			w.startTask(js.runnable.pop())
+			progressed = true
+		}
+		w.rr = (w.rr + 1) % n
+		if progressed {
+			// An at-quota job was passed over while another actually took
+			// a slot: fairness enforcement happened. (A skip that the
+			// work-conserving overflow below immediately overrides is not
+			// a deferral and is not counted.)
+			if deferred {
+				w.Stats.QuotaDeferrals.Add(1)
+			}
+			continue
+		}
+		if !deferred || w.freeSlots == 0 {
+			return
+		}
+		// Work-conserving overflow: every runnable job is at (or past)
+		// its quota and slots are still free — hand them out round-robin
+		// past quota. Idle slots help no one.
+		for k := 0; k < n && w.freeSlots > 0; k++ {
+			js := w.jobList[(w.rr+k)%n]
+			if js.runnable.n > 0 {
+				w.startTask(js.runnable.pop())
+				progressed = true
+			}
+		}
+		if !progressed {
+			return
+		}
+	}
+}
+
+// startTask claims a slot and launches one task on an executor goroutine.
+func (w *Worker) startTask(pc *pcmd) {
+	pc.unit.js.running++
+	w.freeSlots--
+	w.wg.Add(1)
+	go w.runTask(pc)
 }
 
 // taskScratch is an executor goroutine's reusable working set: resolved
@@ -252,10 +322,12 @@ type taskScratch struct {
 
 var scratchPool = sync.Pool{New: func() any { return new(taskScratch) }}
 
-// runTask executes one task command on an executor goroutine.
+// runTask executes one task command on an executor goroutine, against its
+// job's object store.
 func (w *Worker) runTask(pc *pcmd) {
 	defer w.wg.Done()
 	c := &pc.cmd
+	store := pc.unit.js.store
 	f := w.reg.Lookup(c.Function)
 	if f == nil {
 		w.cfg.Logf("worker %s: unknown function %s", w.id, c.Function)
@@ -269,7 +341,7 @@ func (w *Worker) runTask(pc *pcmd) {
 	}
 	sc.reads = sc.reads[:nr]
 	for i, obj := range c.Reads {
-		sc.reads[i] = w.store.Ensure(obj, ids.NoLogical).Data
+		sc.reads[i] = store.Ensure(obj, ids.NoLogical).Data
 	}
 	if cap(sc.objs) < nw {
 		sc.objs = make([]*datastore.Object, nw)
@@ -278,7 +350,7 @@ func (w *Worker) runTask(pc *pcmd) {
 	sc.objs = sc.objs[:nw]
 	sc.writes = sc.writes[:nw]
 	for i, obj := range c.Writes {
-		o := w.store.Ensure(obj, ids.NoLogical)
+		o := store.Ensure(obj, ids.NoLogical)
 		sc.objs[i] = o
 		sc.writes[i] = o.Data
 	}
@@ -321,40 +393,42 @@ func (w *Worker) postDone(pc *pcmd) {
 // commands runnable) are handled by direct recursion.
 func (w *Worker) execInline(pc *pcmd) {
 	c := &pc.cmd
+	js := pc.unit.js
 	switch c.Kind {
 	case command.CopySend:
-		w.execSend(c)
+		w.execSend(js, c)
 	case command.CopyRecv:
-		w.execRecv(c)
+		w.execRecv(js, c)
 	case command.LocalCopy:
-		if src := w.store.Get(c.Reads[0]); src != nil {
+		if src := js.store.Get(c.Reads[0]); src != nil {
 			buf := make([]byte, len(src.Data))
 			copy(buf, src.Data)
-			w.store.Install(c.Writes[0], c.Logical, src.Version, buf)
+			js.store.Install(c.Writes[0], c.Logical, src.Version, buf)
 		}
 	case command.Create:
 		buf := make([]byte, len(c.Params))
 		copy(buf, c.Params)
-		w.store.Install(c.Writes[0], c.Logical, c.Version, buf)
+		js.store.Install(c.Writes[0], c.Logical, c.Version, buf)
 	case command.Destroy:
-		w.store.Destroy(c.Writes[0])
+		js.store.Destroy(c.Writes[0])
 	case command.Save:
-		w.execSave(c)
+		w.execSave(js, c)
 	case command.Load:
-		w.execLoad(c)
+		w.execLoad(js, c)
 	default:
 		w.cfg.Logf("worker %s: inline command %s has unexpected kind %s", w.id, c.ID, c.Kind)
 	}
 	w.handleDone(pc)
 }
 
-func (w *Worker) execSend(c *command.Command) {
-	obj := w.store.Get(c.Reads[0])
+func (w *Worker) execSend(js *jstate, c *command.Command) {
+	obj := js.store.Get(c.Reads[0])
 	if obj == nil {
 		w.cfg.Logf("worker %s: copy-send %s: missing object %s", w.id, c.ID, c.Reads[0])
-		obj = w.store.Ensure(c.Reads[0], c.Logical)
+		obj = js.store.Ensure(c.Reads[0], c.Logical)
 	}
 	p := &proto.DataPayload{
+		Job:        js.id,
 		DstCommand: c.DstCommand,
 		Object:     c.Reads[0],
 		Logical:    c.Logical,
@@ -373,59 +447,63 @@ func (w *Worker) execSend(c *command.Command) {
 	w.sendPeer(c.DstWorker, p)
 }
 
-func (w *Worker) execRecv(c *command.Command) {
-	p, ok := w.payloads[c.ID]
+func (w *Worker) execRecv(js *jstate, c *command.Command) {
+	p, ok := js.payloads[c.ID]
 	if !ok {
 		w.cfg.Logf("worker %s: copy-recv %s activated without payload", w.id, c.ID)
 		return
 	}
-	delete(w.payloads, c.ID)
+	delete(js.payloads, c.ID)
 	logical := c.Logical
 	if logical == ids.NoLogical {
 		logical = p.Logical
 	}
-	w.store.Install(c.Writes[0], logical, p.Version, p.Data)
+	js.store.Install(c.Writes[0], logical, p.Version, p.Data)
 	w.Stats.CopiesRecv.Add(1)
 }
 
-func (w *Worker) execSave(c *command.Command) {
+func (w *Worker) execSave(js *jstate, c *command.Command) {
 	if w.durable == nil {
 		w.cfg.Logf("worker %s: save %s: no durable store configured", w.id, c.ID)
 		return
 	}
 	ckpt := params.NewDecoder(c.Params).Uint()
-	obj := w.store.Get(c.Reads[0])
+	obj := js.store.Get(c.Reads[0])
 	if obj == nil {
 		w.cfg.Logf("worker %s: save %s: missing object %s", w.id, c.ID, c.Reads[0])
 		return
 	}
-	if err := w.durable.Save(ckpt, c.Logical, obj.Version, obj.Data); err != nil {
+	if err := w.durable.Save(js.id, ckpt, c.Logical, obj.Version, obj.Data); err != nil {
 		w.cfg.Logf("worker %s: save %s: %v", w.id, c.ID, err)
 	}
 }
 
-func (w *Worker) execLoad(c *command.Command) {
+func (w *Worker) execLoad(js *jstate, c *command.Command) {
 	if w.durable == nil {
 		w.cfg.Logf("worker %s: load %s: no durable store configured", w.id, c.ID)
 		return
 	}
 	ckpt := params.NewDecoder(c.Params).Uint()
-	data, version, err := w.durable.Load(ckpt, c.Logical)
+	data, version, err := w.durable.Load(js.id, ckpt, c.Logical)
 	if err != nil {
 		w.cfg.Logf("worker %s: load %s: %v", w.id, c.ID, err)
 		return
 	}
-	w.store.Install(c.Writes[0], c.Logical, version, data)
+	js.store.Install(c.Writes[0], c.Logical, version, data)
 }
 
-// handlePayload routes an arriving data payload: wake the waiting receive
-// command, or buffer the payload until its command activates (payloads may
-// outrun commands because the data plane is independent of the control
-// plane).
+// handlePayload routes an arriving data payload into its job's namespace:
+// wake the waiting receive command, or buffer the payload until its
+// command activates (payloads may outrun commands because the data plane
+// is independent of the control plane).
 func (w *Worker) handlePayload(p *proto.DataPayload) {
-	if pc, ok := w.payWait[p.DstCommand]; ok {
-		delete(w.payWait, p.DstCommand)
-		w.payloads[p.DstCommand] = p
+	if _, dead := w.deadJobs[p.Job]; dead {
+		return // late data for a torn-down job; never resurrect it
+	}
+	js := w.job(p.Job)
+	if pc, ok := js.payWait[p.DstCommand]; ok {
+		delete(js.payWait, p.DstCommand)
+		js.payloads[p.DstCommand] = p
 		pc.missing--
 		if pc.missing == 0 {
 			w.makeRunnable(pc)
@@ -433,35 +511,39 @@ func (w *Worker) handlePayload(p *proto.DataPayload) {
 		}
 		return
 	}
-	w.payloads[p.DstCommand] = p
+	js.payloads[p.DstCommand] = p
 }
 
-// handleDone retires a completed command: record completion, wake waiters
-// (intra-instance ones through the compiled reverse edges, cross-unit ones
-// through the waiter map), advance the arrival watermark, credit the
-// executor slot, report to the controller, and activate any unit whose
-// barrier cleared.
+// handleDone retires a completed command: record completion in its job's
+// namespace, wake waiters (intra-instance ones through the compiled
+// reverse edges, cross-unit ones through the job's waiter map), advance
+// the job's arrival watermark, credit the executor slot, report to the
+// controller, and activate any unit whose barrier cleared.
 func (w *Worker) handleDone(pc *pcmd) {
-	if pc.epoch != w.haltEpoch {
-		// Completed after a halt flushed the queues; the command's state
-		// was already discarded, but the task still held its executor
-		// slot — return it now. Halt leaves freeSlots alone for exactly
-		// this reason (invariant: freeSlots + running tasks == Slots), so
-		// stale completions cannot push the count past the limit.
+	js := pc.unit.js
+	if pc.epoch != js.haltEpoch {
+		// Completed after a halt (or teardown) flushed the job's queues;
+		// the command's state was already discarded, but the task still
+		// held its executor slot — return it now. Halt leaves freeSlots
+		// alone for exactly this reason (invariant: freeSlots + running
+		// tasks == Slots), so stale completions cannot push the count
+		// past the limit.
 		if pc.cmd.Kind == command.Task {
 			w.freeSlots++
+			js.running--
 			w.dispatch()
 		}
 		return
 	}
 	id := pc.cmd.ID
 	pc.state = psDone
-	w.unfin--
+	js.unfin--
 	w.Stats.CommandsDone.Add(1)
 	if pc.cmd.Kind == command.Task {
 		w.freeSlots++
+		js.running--
 	}
-	w.arrDone(pc.arrIdx)
+	js.arrDone(pc.arrIdx)
 
 	u := pc.unit
 	if u.ct != nil {
@@ -478,11 +560,11 @@ func (w *Worker) handleDone(pc *pcmd) {
 			}
 		}
 	} else {
-		w.done[id] = struct{}{}
+		js.done[id] = struct{}{}
 	}
-	if len(w.waiters) > 0 {
-		if ws := w.waiters[id]; len(ws) > 0 {
-			delete(w.waiters, id)
+	if len(js.waiters) > 0 {
+		if ws := js.waiters[id]; len(ws) > 0 {
+			delete(js.waiters, id)
 			for _, wpc := range ws {
 				wpc.missing--
 				if wpc.missing == 0 {
@@ -504,44 +586,45 @@ func (w *Worker) handleDone(pc *pcmd) {
 	// in Nimbus mode, with instance commands elided entirely — BlockDone
 	// subsumes them (paper §2.2: n+1 messages per steady-state block).
 	if instance == 0 {
-		w.completions = append(w.completions, id)
-		if w.eager || len(w.completions) >= w.cfg.CompletionBatch || w.unfin == 0 {
-			w.flushCompletions()
+		js.completions = append(js.completions, id)
+		if w.eager || len(js.completions) >= w.cfg.CompletionBatch || js.unfin == 0 {
+			w.flushCompletions(js)
 		}
-	} else if w.unfin == 0 && len(w.completions) > 0 {
-		w.flushCompletions()
+	} else if js.unfin == 0 && len(js.completions) > 0 {
+		w.flushCompletions(js)
 	}
 
-	w.tryActivateUnits()
+	w.tryActivateUnits(js)
 	w.dispatch()
 }
 
 // completeUnit retires a finished unit: report BlockDone for template
-// instances, fold instance completions into a done range, and recycle the
-// arena. No references to the unit's pcmds survive this point (every
-// command has completed and been unregistered), so pooling is safe.
+// instances, fold instance completions into the job's done ranges, and
+// recycle the arena. No references to the unit's pcmds survive this point
+// (every command has completed and been unregistered), so pooling is safe.
 func (w *Worker) completeUnit(u *unit) {
+	js := u.js
 	if u.instance != 0 {
-		w.bdMsg = proto.BlockDone{Worker: w.id, Instance: u.instance}
+		w.bdMsg = proto.BlockDone{Job: js.id, Worker: w.id, Instance: u.instance}
 		_ = w.sendCtrl(&w.bdMsg)
 	}
 	if u.ct != nil {
 		// Insert keeping doneRanges sorted by base (isDone binary-searches
 		// it). Instances usually complete in base order, so the insertion
 		// point is almost always the end.
-		i := len(w.doneRanges)
-		for i > 0 && w.doneRanges[i-1].base > u.base {
+		i := len(js.doneRanges)
+		for i > 0 && js.doneRanges[i-1].base > u.base {
 			i--
 		}
-		w.doneRanges = append(w.doneRanges, doneRange{})
-		copy(w.doneRanges[i+1:], w.doneRanges[i:])
-		w.doneRanges[i] = doneRange{base: u.base, ct: u.ct}
-		for i, lu := range w.liveUnits {
+		js.doneRanges = append(js.doneRanges, doneRange{})
+		copy(js.doneRanges[i+1:], js.doneRanges[i:])
+		js.doneRanges[i] = doneRange{base: u.base, ct: u.ct}
+		for i, lu := range js.liveUnits {
 			if lu == u {
-				last := len(w.liveUnits) - 1
-				w.liveUnits[i] = w.liveUnits[last]
-				w.liveUnits[last] = nil
-				w.liveUnits = w.liveUnits[:last]
+				last := len(js.liveUnits) - 1
+				js.liveUnits[i] = js.liveUnits[last]
+				js.liveUnits[last] = nil
+				js.liveUnits = js.liveUnits[:last]
 				break
 			}
 		}
@@ -549,30 +632,30 @@ func (w *Worker) completeUnit(u *unit) {
 	w.releaseUnit(u)
 }
 
-func (w *Worker) flushCompletions() {
-	if len(w.completions) == 0 {
+func (w *Worker) flushCompletions(js *jstate) {
+	if len(js.completions) == 0 {
 		return
 	}
-	msg := &proto.Complete{Worker: w.id, IDs: w.completions}
+	msg := &proto.Complete{Job: js.id, Worker: w.id, IDs: js.completions}
 	_ = w.sendCtrl(msg)
 	// sendCtrl marshals synchronously, so the backing array can be
 	// reused for the next batch.
-	w.completions = w.completions[:0]
+	js.completions = js.completions[:0]
 }
 
-// tryActivateUnits activates queued units, in order, whose barriers have
-// cleared: the head's arrival-prefix mark has been overtaken by the
-// completion watermark.
-func (w *Worker) tryActivateUnits() {
-	for len(w.units) > 0 {
-		head := w.units[0]
-		if w.arrLow < head.mark {
+// tryActivateUnits activates one job's queued units, in order, whose
+// barriers have cleared: the head's arrival-prefix mark has been overtaken
+// by the job's completion watermark.
+func (w *Worker) tryActivateUnits(js *jstate) {
+	for len(js.units) > 0 {
+		head := js.units[0]
+		if js.arrLow < head.mark {
 			return
 		}
-		w.units[0] = nil
-		w.units = w.units[1:]
-		if len(w.units) == 0 {
-			w.units = nil
+		js.units[0] = nil
+		js.units = js.units[1:]
+		if len(js.units) == 0 {
+			js.units = nil
 		}
 		w.activate(head)
 	}

@@ -10,11 +10,13 @@ import (
 
 // wtemplate is an installed worker template: the worker's slice of a basic
 // block with index-based structure, cached for cheap re-instantiation
-// (paper §4.1, Figure 5b). The entry map (addressed by global index;
-// removed entries leave holes) is the editable master; compiled is the
-// dense immutable form instantiation runs from, rebuilt lazily after
-// edits. Compilations are never mutated in place, so completed-instance
-// records can safely outlive an edit.
+// (paper §4.1, Figure 5b). Templates live inside one job's namespace, so
+// two jobs may install same-named (or same-ID) templates without
+// colliding. The entry map (addressed by global index; removed entries
+// leave holes) is the editable master; compiled is the dense immutable
+// form instantiation runs from, rebuilt lazily after edits. Compilations
+// are never mutated in place, so completed-instance records can safely
+// outlive an edit.
 type wtemplate struct {
 	id       ids.TemplateID
 	name     string
@@ -22,7 +24,7 @@ type wtemplate struct {
 	compiled *command.CompiledTemplate
 }
 
-func (w *Worker) installTemplate(m *proto.InstallTemplate) {
+func (w *Worker) installTemplate(js *jstate, m *proto.InstallTemplate) {
 	start := time.Now()
 	t := &wtemplate{
 		id:      m.Template,
@@ -33,7 +35,7 @@ func (w *Worker) installTemplate(m *proto.InstallTemplate) {
 		e := m.Entries[i]
 		t.entries[e.Index] = &e
 	}
-	w.templates[m.Template] = t
+	js.templates[m.Template] = t
 	w.Stats.TemplatesSeen.Add(1)
 	w.Stats.InstallNanos.Add(uint64(time.Since(start)))
 	// Compile at install time so the first instantiation is already on
@@ -58,26 +60,28 @@ func (t *wtemplate) compile(w *Worker) *command.CompiledTemplate {
 	return t.compiled
 }
 
-// instantiate materializes one template instance: apply edits (persistent,
-// paper §4.3), prune the completion set by the watermark, then patch base
-// ID and parameters into a pooled arena of pre-shaped commands — one slot
-// per compiled entry, intra-instance ordering already wired by index — and
-// enqueue the arena as one barrier unit. Steady state is O(parameters)
-// bookkeeping plus a memcpy-shaped pass over the arena: no per-command
-// allocation, no map inserts.
-func (w *Worker) instantiate(m *proto.InstantiateTemplate) {
+// instantiate materializes one template instance in its job's namespace:
+// apply edits (persistent, paper §4.3), prune the job's completion set by
+// the watermark, then patch base ID and parameters into a pooled arena of
+// pre-shaped commands — one slot per compiled entry, intra-instance
+// ordering already wired by index — and enqueue the arena as one barrier
+// unit. Steady state is O(parameters) bookkeeping plus a memcpy-shaped
+// pass over the arena: no per-command allocation, no map inserts, and the
+// only multi-tenancy overhead is the job-namespace lookup already done by
+// the dispatcher.
+func (w *Worker) instantiate(js *jstate, m *proto.InstantiateTemplate) {
 	start := time.Now()
-	t, ok := w.templates[m.Template]
+	t, ok := js.templates[m.Template]
 	if !ok {
-		w.cfg.Logf("worker %s: instantiate of unknown template %s", w.id, m.Template)
+		w.cfg.Logf("worker %s: instantiate of unknown template %s (%s)", w.id, m.Template, js.id)
 		_ = w.sendCtrl(&proto.ErrorMsg{Text: "unknown template"})
 		return
 	}
 	for i := range m.Edits {
 		w.applyEdit(t, &m.Edits[i])
 	}
-	if m.DoneWatermark > w.doneLow {
-		w.pruneDone(m.DoneWatermark)
+	if m.DoneWatermark > js.doneLow {
+		js.pruneDone(m.DoneWatermark)
 	}
 	// Recompiles (edit-carrying instantiations) are accounted in
 	// CompileNanos only; keep InstantiateNanos disjoint so the two
@@ -85,7 +89,7 @@ func (w *Worker) instantiate(m *proto.InstantiateTemplate) {
 	cs := time.Now()
 	ct := t.compile(w)
 	compileDur := time.Since(cs)
-	u := w.getUnit(len(ct.Entries))
+	u := w.getUnit(js, len(ct.Entries))
 	u.barrier = true
 	u.instance = m.Instance
 	u.ct = ct
@@ -112,26 +116,27 @@ func (w *Worker) applyEdit(t *wtemplate, e *command.Edit) {
 	w.Stats.EditsApplied.Add(uint64(len(e.Remove) + len(e.Add)))
 }
 
-func (w *Worker) installPatch(m *proto.InstallPatch) {
+func (w *Worker) installPatch(js *jstate, m *proto.InstallPatch) {
 	list := make([]*command.TemplateEntry, len(m.Entries))
 	for i := range m.Entries {
 		list[i] = &m.Entries[i]
 	}
-	w.patches[m.Patch] = command.Compile(list)
+	js.patches[m.Patch] = command.Compile(list)
 }
 
 // instantiatePatch materializes a cached patch as a barrier unit; patch
 // entries carry no before sets because the barrier orders them against
-// surrounding template instances (paper §4.2). Patches share the compiled
-// arena path (compiled once at install — patches have no edits).
-func (w *Worker) instantiatePatch(m *proto.InstantiatePatch) {
-	ct, ok := w.patches[m.Patch]
+// surrounding template instances of the same job (paper §4.2). Patches
+// share the compiled arena path (compiled once at install — patches have
+// no edits).
+func (w *Worker) instantiatePatch(js *jstate, m *proto.InstantiatePatch) {
+	ct, ok := js.patches[m.Patch]
 	if !ok {
-		w.cfg.Logf("worker %s: instantiate of unknown patch %s", w.id, m.Patch)
+		w.cfg.Logf("worker %s: instantiate of unknown patch %s (%s)", w.id, m.Patch, js.id)
 		_ = w.sendCtrl(&proto.ErrorMsg{Text: "unknown patch"})
 		return
 	}
-	u := w.getUnit(len(ct.Entries))
+	u := w.getUnit(js, len(ct.Entries))
 	u.barrier = true
 	u.ct = ct
 	u.base = m.Base
@@ -143,32 +148,34 @@ func (w *Worker) instantiatePatch(m *proto.InstantiatePatch) {
 	w.enqueue(u)
 }
 
-// pruneDone drops completion records below the watermark: the controller
-// guarantees every command with a lower ID has been fully accounted for,
-// so membership tests can answer by comparison. Instance done-ranges
-// retire wholesale once their ID block sinks below the mark; buffered
-// payloads addressed below the mark are stale (their receive has been
-// accounted for) and must not resurrect a completed command.
-func (w *Worker) pruneDone(mark ids.CommandID) {
-	w.doneLow = mark
-	for id := range w.done {
+// pruneDone drops one job's completion records below the watermark: the
+// controller guarantees every command of the job with a lower ID has been
+// fully accounted for, so membership tests can answer by comparison.
+// Instance done-ranges retire wholesale once their ID block sinks below
+// the mark; buffered payloads addressed below the mark are stale (their
+// receive has been accounted for) and must not resurrect a completed
+// command. Per-job command IDs make the per-job watermark sound: another
+// job's older IDs live in a different namespace entirely.
+func (js *jstate) pruneDone(mark ids.CommandID) {
+	js.doneLow = mark
+	for id := range js.done {
 		if id < mark {
-			delete(w.done, id)
+			delete(js.done, id)
 		}
 	}
-	kept := w.doneRanges[:0]
-	for _, dr := range w.doneRanges {
+	kept := js.doneRanges[:0]
+	for _, dr := range js.doneRanges {
 		if dr.base+ids.CommandID(dr.ct.Span) > mark {
 			kept = append(kept, dr)
 		}
 	}
-	for i := len(kept); i < len(w.doneRanges); i++ {
-		w.doneRanges[i] = doneRange{}
+	for i := len(kept); i < len(js.doneRanges); i++ {
+		js.doneRanges[i] = doneRange{}
 	}
-	w.doneRanges = kept
-	for id := range w.payloads {
+	js.doneRanges = kept
+	for id := range js.payloads {
 		if id < mark {
-			delete(w.payloads, id)
+			delete(js.payloads, id)
 		}
 	}
 }

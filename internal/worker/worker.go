@@ -9,6 +9,17 @@
 //     using the explicit routing carried by copy commands.
 //  3. It executes fine-grained tasks through a slot-limited executor pool.
 //
+// The worker is multi-tenant: it serves every job admitted by the
+// controller from one executor pool. All mutable scheduling state —
+// installed templates and patches, in-flight arenas, completion records,
+// buffered payloads, barrier arrival counters and the datastore — lives in
+// a per-job namespace (jstate), so two jobs can install same-named
+// templates, reuse the same per-job command and object IDs, and a
+// job-scoped halt (one job's recovery) never flushes another job's
+// in-flight arenas. The executor pool is shared, with per-job slot quotas
+// assigned by the controller's fair-share allocator and enforced by a
+// round-robin dispatcher, so one hot tenant cannot starve the rest.
+//
 // The worker also caches worker templates and patches: an
 // InstantiateTemplate message materializes thousands of commands from the
 // cached structure with a single base ID and a parameter array
@@ -78,6 +89,13 @@ type Stats struct {
 	Instantiations atomic.Uint64
 	EditsApplied   atomic.Uint64
 	PatchesRun     atomic.Uint64
+	// JobsEnded counts job namespaces dropped by JobEnd teardown.
+	JobsEnded atomic.Uint64
+	// QuotaDeferrals counts dispatch decisions that skipped a job with
+	// runnable tasks, while free executor slots existed, because the
+	// job's quota was exhausted — the fairness mechanism visibly doing
+	// its work.
+	QuotaDeferrals atomic.Uint64
 
 	// InstallNanos / InstantiateNanos accumulate worker-side time in
 	// template install and instantiation (paper Tables 1-2).
@@ -110,20 +128,66 @@ type Worker struct {
 	stopErr error
 	wg      sync.WaitGroup
 
-	store   *datastore.Store
 	reg     *fn.Registry
 	durable durable.Store
 
-	// Control state (event-loop confined).
-	//
-	// Completion tracking is split by command provenance. Non-template
-	// commands record completions in the done map, as before. Template
-	// and patch instance commands never touch the maps: while an instance
-	// is in flight its completion state lives in the arena (liveUnits);
-	// once it finishes, the whole instance is summarized as one
-	// doneRange, and the watermark eventually retires the range. waiters
-	// holds only cross-unit and non-template dependents — intra-instance
-	// edges are wired through the compiled template's index lists.
+	// Per-job namespaces. The event loop is the only writer; jobsMu
+	// exists so accessors (Store, tests) can read the map from other
+	// goroutines. jobList mirrors the map for the round-robin dispatcher
+	// and is event-loop confined.
+	jobsMu  sync.RWMutex
+	jobs    map[ids.JobID]*jstate
+	jobList []*jstate
+	rr      int
+	// deadJobs tombstones ended jobs (the controller never reuses a
+	// JobID). Control-channel messages are FIFO behind the JobEnd, so
+	// only the independent data plane can race teardown: a late payload
+	// for a tombstoned job is dropped instead of resurrecting an empty
+	// namespace that nothing would ever tear down again.
+	deadJobs map[ids.JobID]struct{}
+
+	// Shared executor accounting: freeSlots counts unoccupied executor
+	// slots across all jobs; per-job concurrency is additionally bounded
+	// by each jstate's quota.
+	freeSlots int
+
+	// unitPool recycles instance arenas (units and their pcmd slots)
+	// across jobs. Event-loop confined: units are only acquired and
+	// released there.
+	unitPool []*unit
+
+	peers     map[ids.WorkerID]string
+	peerConns map[ids.WorkerID]*peerConn
+
+	// dataMu guards dataConns, the accepted inbound data-plane
+	// connections, closed at shutdown so their pumps exit.
+	dataMu    sync.Mutex
+	dataConns []transport.Conn
+
+	// bdMsg is the reused BlockDone scratch message (event-loop
+	// confined; sendCtrl marshals synchronously).
+	bdMsg proto.BlockDone
+
+	// Stats is exported for tests and metrics.
+	Stats Stats
+}
+
+// jstate is one job's namespace on the worker. Everything the scheduler
+// mutates on behalf of a job lives here, so job teardown is a map delete
+// and a job-scoped halt touches nothing outside it.
+//
+// Completion tracking is split by command provenance. Non-template
+// commands record completions in the done map. Template and patch
+// instance commands never touch the maps: while an instance is in flight
+// its completion state lives in the arena (liveUnits); once it finishes,
+// the whole instance is summarized as one doneRange, and the job's
+// watermark eventually retires the range. waiters holds only cross-unit
+// and non-template dependents — intra-instance edges are wired through
+// the compiled template's index lists.
+type jstate struct {
+	id    ids.JobID
+	store *datastore.Store
+
 	waiters    map[ids.CommandID][]*pcmd
 	done       map[ids.CommandID]struct{}
 	doneLow    ids.CommandID
@@ -134,43 +198,31 @@ type Worker struct {
 	units      []*unit // queued barrier units awaiting activation, FIFO
 	unfin      int     // activated, unfinished commands
 	runnable   pcmdRing
-	freeSlots  int
 	haltEpoch  uint64
 	halted     bool
 
-	// Prefix arrival counters (barrier accounting). Every admitted
-	// command takes the next arrival index; arrRing marks completed
-	// indexes and arrLow is the low watermark: every command with index
-	// < arrLow is done. A queued barrier unit stores the arrival prefix
-	// it must outwait (mark); it activates exactly when arrLow reaches
-	// its mark — O(1) amortized per completion, against the old
-	// O(queued-units) scan.
+	// Prefix arrival counters (barrier accounting), per job so one job's
+	// barrier never waits on — and one job's halt never discards — another
+	// job's arrivals. Every admitted command takes the job's next arrival
+	// index; arrRing marks completed indexes and arrLow is the low
+	// watermark: every command with index < arrLow is done. A queued
+	// barrier unit stores the arrival prefix it must outwait (mark); it
+	// activates exactly when arrLow reaches its mark — O(1) amortized per
+	// completion.
 	cmdArrived uint64
 	arrLow     uint64
 	arrRing    []bool // power-of-two capacity, indexed by arrival index
 
-	// unitPool recycles instance arenas (units and their pcmd slots).
-	// Event-loop confined: units are only acquired and released there.
-	unitPool []*unit
-
 	templates map[ids.TemplateID]*wtemplate
 	patches   map[ids.PatchID]*command.CompiledTemplate
 
-	peers     map[ids.WorkerID]string
-	peerConns map[ids.WorkerID]*peerConn
-
-	// dataMu guards dataConns, the accepted inbound data-plane
-	// connections, closed at shutdown so their pumps exit.
-	dataMu    sync.Mutex
-	dataConns []transport.Conn
-
 	completions []ids.CommandID
-	// bdMsg is the reused BlockDone scratch message (event-loop
-	// confined; sendCtrl marshals synchronously).
-	bdMsg proto.BlockDone
 
-	// Stats is exported for tests and metrics.
-	Stats Stats
+	// quota is the job's executor-slot share (fair-share assigned by the
+	// controller; defaults to the full slot count until a JobQuota
+	// arrives). running counts the job's tasks currently on executors.
+	quota   int
+	running int
 }
 
 // doneRange summarizes one completed template/patch instance: command id
@@ -187,7 +239,7 @@ type doneRange struct {
 // the steady-state path allocates neither Command nor pcmd.
 type pcmd struct {
 	cmd    command.Command
-	arrIdx uint64 // global arrival index (barrier accounting)
+	arrIdx uint64 // job-local arrival index (barrier accounting)
 	epoch  uint64
 	unit   *unit
 	// local is the command's position in unit.ct.Entries, or -1 for
@@ -209,16 +261,17 @@ const (
 )
 
 // unit groups commands that entered together: a template or patch
-// instance (ct != nil, arena-backed and pooled) or a spawned batch.
-// Barrier units activate only after every command that arrived before
-// them completes.
+// instance (ct != nil, arena-backed and pooled) or a spawned batch. Every
+// unit belongs to exactly one job (js). Barrier units activate only after
+// every command of the same job that arrived before them completes.
 type unit struct {
-	barrier  bool
-	instance uint64 // template instance ID for BlockDone (0 otherwise)
-	mark     uint64 // arrival prefix this barrier unit must outwait
-	base     ids.CommandID
-	ct       *command.CompiledTemplate
-	pcs      []pcmd
+	js        *jstate
+	barrier   bool
+	instance  uint64 // template instance ID for BlockDone (0 otherwise)
+	mark      uint64 // arrival prefix this barrier unit must outwait
+	base      ids.CommandID
+	ct        *command.CompiledTemplate
+	pcs       []pcmd
 	remaining int
 	activated bool
 }
@@ -240,7 +293,7 @@ const (
 	evClosed
 )
 
-// pcmdRing is the runnable queue: a growable power-of-two ring buffer.
+// pcmdRing is a job's runnable queue: a growable power-of-two ring buffer.
 // Slots are cleared on pop so a drained queue pins no completed pcmds
 // (the old slice-pop-front retained the whole backing array).
 type pcmdRing struct {
@@ -299,27 +352,89 @@ func New(cfg Config) *Worker {
 		cfg:       cfg,
 		events:    make(chan event, 1024),
 		stopped:   make(chan struct{}),
-		store:     datastore.New(),
 		reg:       cfg.Registry,
 		durable:   cfg.Durable,
-		waiters:   make(map[ids.CommandID][]*pcmd),
-		done:      make(map[ids.CommandID]struct{}),
-		payloads:  make(map[ids.CommandID]*proto.DataPayload),
-		payWait:   make(map[ids.CommandID]*pcmd),
-		arrRing:   make([]bool, 1024),
+		jobs:      make(map[ids.JobID]*jstate),
+		deadJobs:  make(map[ids.JobID]struct{}),
 		freeSlots: cfg.Slots,
-		templates: make(map[ids.TemplateID]*wtemplate),
-		patches:   make(map[ids.PatchID]*command.CompiledTemplate),
 		peers:     make(map[ids.WorkerID]string),
 		peerConns: make(map[ids.WorkerID]*peerConn),
 	}
 }
 
+// job returns the namespace for one job, creating it on first use (event
+// loop only).
+func (w *Worker) job(id ids.JobID) *jstate {
+	if js, ok := w.jobs[id]; ok {
+		return js
+	}
+	js := &jstate{
+		id:        id,
+		store:     datastore.New(),
+		waiters:   make(map[ids.CommandID][]*pcmd),
+		done:      make(map[ids.CommandID]struct{}),
+		payloads:  make(map[ids.CommandID]*proto.DataPayload),
+		payWait:   make(map[ids.CommandID]*pcmd),
+		arrRing:   make([]bool, 1024),
+		templates: make(map[ids.TemplateID]*wtemplate),
+		patches:   make(map[ids.PatchID]*command.CompiledTemplate),
+		quota:     w.cfg.Slots,
+	}
+	w.jobsMu.Lock()
+	w.jobs[id] = js
+	w.jobsMu.Unlock()
+	w.jobList = append(w.jobList, js)
+	return js
+}
+
+// dropJob tears one job's namespace down (event loop only). In-flight
+// executor tasks of the job drain through the stale-epoch path.
+func (w *Worker) dropJob(id ids.JobID) {
+	js, ok := w.jobs[id]
+	if !ok {
+		return
+	}
+	js.haltEpoch++
+	js.halted = true
+	js.runnable.reset()
+	w.deadJobs[id] = struct{}{}
+	// Bound the tombstone map under sustained job churn: JobIDs are
+	// monotonic and a dead job's late payloads are in flight only
+	// briefly, so tombstones far below the newest ended job can go. A
+	// payload outliving this horizon would recreate a phantom namespace,
+	// which is the lesser evil against unbounded growth.
+	if len(w.deadJobs) > 4096 {
+		for old := range w.deadJobs {
+			if old+1024 < id {
+				delete(w.deadJobs, old)
+			}
+		}
+	}
+	w.jobsMu.Lock()
+	delete(w.jobs, id)
+	w.jobsMu.Unlock()
+	for i, j := range w.jobList {
+		if j == js {
+			w.jobList = append(w.jobList[:i], w.jobList[i+1:]...)
+			break
+		}
+	}
+	w.Stats.JobsEnded.Add(1)
+}
+
 // ID returns the controller-assigned worker ID (valid after Start).
 func (w *Worker) ID() ids.WorkerID { return w.id }
 
-// Store exposes the object store (tests and Gets).
-func (w *Worker) Store() *datastore.Store { return w.store }
+// StoreOf exposes one job's object store (tests and Gets); nil if the job
+// has no namespace on this worker.
+func (w *Worker) StoreOf(job ids.JobID) *datastore.Store {
+	w.jobsMu.RLock()
+	defer w.jobsMu.RUnlock()
+	if js, ok := w.jobs[job]; ok {
+		return js.store
+	}
+	return nil
+}
 
 // Start connects to the controller, registers, and launches the event
 // loop. It returns once registration completes.
@@ -506,9 +621,13 @@ func (w *Worker) run(dl transport.Listener) {
 		case evDone:
 			w.handleDone(ev.cmd)
 		case evTick:
+			pending := 0
+			for _, js := range w.jobList {
+				pending += js.unfin
+			}
 			_ = w.sendCtrl(&proto.Heartbeat{
 				Worker:  w.id,
-				Pending: w.unfin,
+				Pending: pending,
 				Done:    w.Stats.CommandsDone.Load(),
 			})
 		case evClosed:
@@ -531,7 +650,8 @@ func (w *Worker) closePeers() {
 }
 
 // handleCtrl dispatches one controller message; it reports whether the
-// worker should shut down.
+// worker should shut down. Job-scoped messages resolve their namespace
+// here, creating it on first use.
 func (w *Worker) handleCtrl(msg proto.Msg) bool {
 	switch m := msg.(type) {
 	case *proto.RegisterWorkerAck:
@@ -540,21 +660,26 @@ func (w *Worker) handleCtrl(msg proto.Msg) bool {
 			w.peers[id] = addr
 		}
 	case *proto.SpawnCommands:
-		w.enqueue(w.newBatchUnit(m.Cmds, m.Barrier))
+		js := w.job(m.Job)
+		w.enqueue(w.newBatchUnit(js, m.Cmds, m.Barrier))
 	case *proto.InstallTemplate:
-		w.installTemplate(m)
+		w.installTemplate(w.job(m.Job), m)
 	case *proto.InstantiateTemplate:
-		w.instantiate(m)
+		w.instantiate(w.job(m.Job), m)
 	case *proto.InstallPatch:
-		w.installPatch(m)
+		w.installPatch(w.job(m.Job), m)
 	case *proto.InstantiatePatch:
-		w.instantiatePatch(m)
+		w.instantiatePatch(w.job(m.Job), m)
 	case *proto.FetchObject:
 		w.fetchObject(m)
 	case *proto.Halt:
-		w.halt(m)
+		w.halt(w.job(m.Job), m)
 	case *proto.Resume:
-		w.halted = false
+		w.job(m.Job).halted = false
+	case *proto.JobQuota:
+		w.setQuota(m)
+	case *proto.JobEnd:
+		w.dropJob(m.Job)
 	case *proto.Shutdown:
 		return true
 	default:
@@ -563,10 +688,27 @@ func (w *Worker) handleCtrl(msg proto.Msg) bool {
 	return false
 }
 
-// getUnit acquires an arena of n command slots, reusing a pooled unit when
-// possible (steady state: always, after the first instantiation at a given
-// shape).
-func (w *Worker) getUnit(n int) *unit {
+// setQuota applies a fair-share slot assignment. A quota below 1 is
+// clamped: every admitted job must be able to make progress.
+func (w *Worker) setQuota(m *proto.JobQuota) {
+	js := w.job(m.Job)
+	q := m.Slots
+	if q < 1 {
+		q = 1
+	}
+	if q > w.cfg.Slots {
+		q = w.cfg.Slots
+	}
+	js.quota = q
+	// A raised quota may unblock deferred tasks immediately.
+	w.dispatch()
+}
+
+// getUnit acquires an arena of n command slots for one job, reusing a
+// pooled unit when possible (steady state: always, after the first
+// instantiation at a given shape). The pool is shared across jobs: arenas
+// are zeroed on release, so reuse leaks nothing between tenants.
+func (w *Worker) getUnit(js *jstate, n int) *unit {
 	var u *unit
 	if k := len(w.unitPool); k > 0 {
 		u = w.unitPool[k-1]
@@ -576,6 +718,7 @@ func (w *Worker) getUnit(n int) *unit {
 	} else {
 		u = &unit{}
 	}
+	u.js = js
 	if cap(u.pcs) < n {
 		u.pcs = make([]pcmd, n)
 	} else {
@@ -589,6 +732,7 @@ func (w *Worker) getUnit(n int) *unit {
 // remaining hits zero, at which point every executor goroutine has posted
 // its completion and every waiter registration has been consumed.
 func (w *Worker) releaseUnit(u *unit) {
+	u.js = nil
 	u.ct = nil
 	u.base = 0
 	u.instance = 0
@@ -610,8 +754,8 @@ func (w *Worker) releaseUnit(u *unit) {
 // are copied into the arena's inline slots, so the batch path shares the
 // template path's scheduling machinery (one slab instead of two heap
 // objects per command).
-func (w *Worker) newBatchUnit(cmds []*command.Command, barrier bool) *unit {
-	u := w.getUnit(len(cmds))
+func (w *Worker) newBatchUnit(js *jstate, cmds []*command.Command, barrier bool) *unit {
+	u := w.getUnit(js, len(cmds))
 	u.barrier = barrier
 	for i, c := range cmds {
 		u.pcs[i].cmd = *c
@@ -620,54 +764,58 @@ func (w *Worker) newBatchUnit(cmds []*command.Command, barrier bool) *unit {
 	return u
 }
 
-// halt implements the recovery protocol (paper §4.4): terminate ongoing
-// work, flush queues, acknowledge.
-func (w *Worker) halt(m *proto.Halt) {
-	w.haltEpoch++
-	w.halted = true
+// halt implements the recovery protocol (paper §4.4) for one job:
+// terminate the job's ongoing work, flush its queues, acknowledge. Other
+// jobs' arenas, payloads and barriers are untouched — that containment is
+// the point of job-scoped halts.
+func (w *Worker) halt(js *jstate, m *proto.Halt) {
+	js.haltEpoch++
+	js.halted = true
 	// Completions recorded inside flushed in-flight arenas must survive
 	// the flush (the map-based path kept them in the done map): sweep
 	// them into the done map before dropping the arenas. Queued units
 	// have no completions yet. Flushed arenas are abandoned to the GC,
 	// not pooled — stale executor goroutines may still hold their pcmds.
-	for _, u := range w.liveUnits {
+	for _, u := range js.liveUnits {
 		if !u.activated {
 			continue
 		}
 		for i := range u.pcs {
 			if u.pcs[i].state == psDone {
-				w.done[u.pcs[i].cmd.ID] = struct{}{}
+				js.done[u.pcs[i].cmd.ID] = struct{}{}
 			}
 		}
 	}
-	w.liveUnits = nil
-	w.waiters = make(map[ids.CommandID][]*pcmd)
-	w.payloads = make(map[ids.CommandID]*proto.DataPayload)
-	w.payWait = make(map[ids.CommandID]*pcmd)
-	w.units = nil
-	w.runnable.reset()
-	w.unfin = 0
-	// freeSlots is NOT reset: in-flight tasks still occupy real executor
-	// goroutines and return their slots through the stale-epoch path as
-	// they drain, preserving freeSlots + running == Slots. (The old
-	// reset-plus-credit double-counted and let the concurrency limit
-	// creep past cfg.Slots after every recovery.)
-	w.completions = w.completions[:0]
+	js.liveUnits = nil
+	js.waiters = make(map[ids.CommandID][]*pcmd)
+	js.payloads = make(map[ids.CommandID]*proto.DataPayload)
+	js.payWait = make(map[ids.CommandID]*pcmd)
+	js.units = nil
+	js.runnable.reset()
+	js.unfin = 0
+	// freeSlots and js.running are NOT reset: in-flight tasks still occupy
+	// real executor goroutines and return their slots through the
+	// stale-epoch path as they drain, preserving freeSlots + running ==
+	// Slots. (The old reset-plus-credit double-counted and let the
+	// concurrency limit creep past cfg.Slots after every recovery.)
+	js.completions = js.completions[:0]
 	// Arrival accounting restarts empty: nothing admitted before the
 	// halt can complete anymore.
-	w.arrLow = w.cmdArrived
-	for i := range w.arrRing {
-		w.arrRing[i] = false
+	js.arrLow = js.cmdArrived
+	for i := range js.arrRing {
+		js.arrRing[i] = false
 	}
-	_ = w.sendCtrl(&proto.HaltAck{Seq: m.Seq, Worker: w.id})
+	_ = w.sendCtrl(&proto.HaltAck{Job: js.id, Seq: m.Seq, Worker: w.id})
 }
 
 func (w *Worker) fetchObject(m *proto.FetchObject) {
 	var data []byte
 	var version uint64
-	if o := w.store.Get(m.Object); o != nil {
-		data = o.Data
-		version = o.Version
+	if js, ok := w.jobs[m.Job]; ok {
+		if o := js.store.Get(m.Object); o != nil {
+			data = o.Data
+			version = o.Version
+		}
 	}
 	_ = w.sendCtrl(&proto.ObjectData{Seq: m.Seq, Object: m.Object, Version: version, Data: data})
 }
