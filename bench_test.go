@@ -17,6 +17,7 @@ import (
 	"testing"
 	"time"
 
+	"nimbus/internal/app/kmeans"
 	"nimbus/internal/app/lr"
 	"nimbus/internal/bench"
 	"nimbus/internal/cluster"
@@ -29,6 +30,7 @@ import (
 	"nimbus/internal/fn"
 	"nimbus/internal/ids"
 	"nimbus/internal/proto"
+	"nimbus/internal/transport"
 	"nimbus/internal/worker"
 )
 
@@ -709,6 +711,117 @@ func BenchmarkWorkerInstantiate(b *testing.B) {
 			})
 		}
 		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(n+1), "ns/cmd")
+	})
+}
+
+// BenchmarkDriverLoop measures the three ways a driver can run an
+// N-iteration data-dependent loop over one template (driver API v2,
+// DESIGN.md §"Driver API v2"):
+//
+//	sync      — v1 pattern: Instantiate + blocking Get per iteration
+//	            (one driver↔controller round trip each);
+//	pipelined — Instantiate + GetAsync per iteration, futures awaited at
+//	            the end (requests overlap; replies resolve out of order);
+//	predicate — one InstantiateWhile: the controller evaluates the loop
+//	            predicate after each iteration and replies once.
+//
+// The probe variable is Put once and never written by the template, so
+// the predicate always holds and every variant runs exactly loopIters
+// iterations. drvframes/op counts frames the driver put on the wire per
+// loop: 2N sync/pipelined, 1 predicate.
+func BenchmarkDriverLoop(b *testing.B) {
+	const loopIters = 8
+	reg := fn.NewRegistry()
+	kmeans.Register(reg)
+	c, err := cluster.Start(cluster.Options{Workers: 4, Slots: 4, Registry: reg})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Stop()
+	ct := transport.NewCounting(c.Transport)
+	d, err := driver.Connect(ct, cluster.ControlAddr, "loop-bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer d.Close()
+	j, err := kmeans.Setup(d, kmeans.Config{
+		Partitions: 8, Simulated: true,
+		TaskDuration: 20 * time.Microsecond, ReduceDuration: 10 * time.Microsecond,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	probe := d.MustVar("loop-probe", 1)
+	if err := d.PutFloats(probe, 0, []float64{1}); err != nil {
+		b.Fatal(err)
+	}
+	if err := j.InstallTemplate(); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 2; i++ { // warm-up: validation + patching
+		if err := j.Iterate(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := d.Barrier(); err != nil {
+		b.Fatal(err)
+	}
+
+	run := func(b *testing.B, loop func() error) {
+		b.Helper()
+		frames0 := ct.Sends()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := loop(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(ct.Sends()-frames0)/float64(b.N), "drvframes/op")
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/loopIters, "ns/iter")
+	}
+	b.Run("sync", func(b *testing.B) {
+		run(b, func() error {
+			for k := 0; k < loopIters; k++ {
+				if err := j.Iterate(); err != nil {
+					return err
+				}
+				if _, err := d.GetFloats(probe, 0); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	})
+	b.Run("pipelined", func(b *testing.B) {
+		futs := make([]*driver.Future[[]float64], 0, loopIters)
+		run(b, func() error {
+			futs = futs[:0]
+			for k := 0; k < loopIters; k++ {
+				if err := j.Iterate(); err != nil {
+					return err
+				}
+				futs = append(futs, d.GetFloatsAsync(probe, 0))
+			}
+			for _, f := range futs {
+				if _, err := f.Wait(); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	})
+	b.Run("predicate", func(b *testing.B) {
+		run(b, func() error {
+			res, err := d.InstantiateWhile(kmeans.IterateBlock, probe.AtLeast(0, 0.5), loopIters)
+			if err != nil {
+				return err
+			}
+			if res.Iters != loopIters {
+				return fmt.Errorf("predicate loop ran %d iterations, want %d", res.Iters, loopIters)
+			}
+			return nil
+		})
 	})
 }
 

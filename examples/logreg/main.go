@@ -3,6 +3,11 @@
 // where both loop conditions are data-dependent and both loop bodies are
 // execution templates.
 //
+// The inner loop uses the v2 driver surface: OptimizeUntil submits the
+// whole loop in one message and the controller re-instantiates the
+// optimize template while the gradient norm stays above the threshold,
+// so N iterations cost one driver↔controller round trip instead of N.
+//
 //	go run ./examples/logreg
 package main
 
@@ -42,24 +47,15 @@ func main() {
 
 	// The nested loop of Figure 3a: optimize until the gradient is small,
 	// then estimate the held-out error; repeat until it is low enough.
-	fmt.Println("training (inner loop = optimize template, outer = estimate template)")
+	// The inner loop is one InstantiateWhile — the controller evaluates
+	// "gradient norm >= 0.01" after each iteration and reports back once.
+	fmt.Println("training (inner loop = one controller-evaluated predicate loop per outer round)")
 	for outer := 1; outer <= 4; outer++ {
-		inner := 0
-		for {
-			if err := job.Optimize(); err != nil {
-				log.Fatal(err)
-			}
-			inner++
-			g, err := job.GradNorm()
-			if err != nil {
-				log.Fatal(err)
-			}
-			if g < 0.01 || inner >= 30 {
-				fmt.Printf("  outer %d: %2d inner iterations, gradient norm %.4f\n",
-					outer, inner, g)
-				break
-			}
+		inner, g, err := job.OptimizeUntil(0.01, 30)
+		if err != nil {
+			log.Fatal(err)
 		}
+		fmt.Printf("  outer %d: %2d inner iterations, gradient norm %.4f\n", outer, inner, g)
 		if err := job.Estimate(); err != nil {
 			log.Fatal(err)
 		}
@@ -79,11 +75,12 @@ func main() {
 	}
 	fmt.Printf("learned coefficients: %.3f\n", coeff)
 
-	var auto, full uint64
+	var auto, full, evals uint64
 	c.Controller.Do(func() {
 		auto = c.Controller.Stats.AutoValidations.Load()
 		full = c.Controller.Stats.Validations.Load()
+		evals = c.Controller.Stats.PredicateEvals.Load()
 	})
-	fmt.Printf("control plane: %d auto-validated instantiations, %d full validations\n",
-		auto, full)
+	fmt.Printf("control plane: %d auto-validated instantiations, %d full validations, %d controller-side predicate evaluations\n",
+		auto, full, evals)
 }

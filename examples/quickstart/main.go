@@ -1,6 +1,8 @@
 // Quickstart: start an in-process Nimbus cluster, run a parallel
 // map+reduce job, record it into an execution template, and re-execute it
-// with single-message instantiations.
+// with single-message instantiations — reading results back through the
+// v2 async surface, so the instantiate/read pairs pipeline instead of
+// paying one round trip each.
 //
 //	go run ./examples/quickstart
 package main
@@ -10,6 +12,7 @@ import (
 	"log"
 
 	"nimbus/internal/cluster"
+	"nimbus/internal/driver"
 	"nimbus/internal/fn"
 	"nimbus/internal/ids"
 	"nimbus/internal/params"
@@ -97,5 +100,21 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("after instantiation %d: sum = %.6g\n", i+1, v[0])
+	}
+
+	// Finally, read every partition back through the async surface: all
+	// eight reads go out before the first reply is consumed, so the
+	// whole read-back costs one synchronization instead of eight
+	// request/reply round trips.
+	futs := make([]*driver.Future[[]float64], parts)
+	for p := 0; p < parts; p++ {
+		futs[p] = d.GetFloatsAsync(x, p)
+	}
+	for p, fut := range futs {
+		vals, err := fut.Wait()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("x[%d] = %.6g\n", p, vals)
 	}
 }

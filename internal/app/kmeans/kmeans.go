@@ -233,8 +233,23 @@ func (j *Job) CentroidValues() ([]float64, error) {
 }
 
 // Cluster runs until the centroid shift falls below threshold (a
-// data-dependent loop) or maxIters is hit; it returns the iteration count.
+// data-dependent loop) or maxIters is hit; it returns the iteration
+// count. The whole loop is submitted to the controller (driver API v2
+// InstantiateWhile): the predicate "shift >= threshold" is evaluated
+// controller-side after each instantiation, so the loop costs one
+// driver↔controller round trip regardless of how many iterations run.
 func (j *Job) Cluster(threshold float64, maxIters int) (int, error) {
+	if err := j.InstallTemplate(); err != nil {
+		return 0, err
+	}
+	res, err := j.D.InstantiateWhile(IterateBlock, j.Shift.AtLeast(0, threshold), maxIters)
+	return res.Iters, err
+}
+
+// ClusterExplicit is the v1 form of the same loop — one Get round trip
+// per iteration — kept as the reference Cluster is tested against: both
+// must run the same iterations and land on the same centroids.
+func (j *Job) ClusterExplicit(threshold float64, maxIters int) (int, error) {
 	if err := j.InstallTemplate(); err != nil {
 		return 0, err
 	}

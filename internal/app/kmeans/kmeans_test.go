@@ -2,6 +2,7 @@ package kmeans_test
 
 import (
 	"math"
+	"reflect"
 	"testing"
 
 	"nimbus/internal/app/kmeans"
@@ -61,6 +62,50 @@ func TestClusteringConverges(t *testing.T) {
 	c.Controller.Do(func() { auto = c.Controller.Stats.AutoValidations.Load() })
 	if auto == 0 {
 		t.Errorf("repeated iteration should auto-validate")
+	}
+}
+
+// TestClusterPredicateMatchesExplicit runs the same job twice on fresh
+// clusters with the same seed: once through the controller-evaluated
+// predicate loop (Cluster) and once through the per-iteration Get loop
+// (ClusterExplicit). Both must run the same number of iterations and land
+// on bit-identical centroids.
+func TestClusterPredicateMatchesExplicit(t *testing.T) {
+	cfg := kmeans.Config{Partitions: 6, K: 3, Dims: 2, PointsPerPart: 120, Seed: 11}
+	const threshold, maxIters = 1e-3, 30
+
+	c1, j1 := startKMeans(t, 3, cfg)
+	predIters, err := j1.Cluster(threshold, maxIters)
+	if err != nil {
+		t.Fatalf("predicate cluster: %v", err)
+	}
+	predCents, err := j1.CentroidValues()
+	if err != nil {
+		t.Fatalf("predicate centroids: %v", err)
+	}
+
+	_, j2 := startKMeans(t, 3, cfg)
+	explIters, err := j2.ClusterExplicit(threshold, maxIters)
+	if err != nil {
+		t.Fatalf("explicit cluster: %v", err)
+	}
+	explCents, err := j2.CentroidValues()
+	if err != nil {
+		t.Fatalf("explicit centroids: %v", err)
+	}
+
+	if predIters != explIters {
+		t.Fatalf("predicate loop ran %d iterations, explicit loop %d", predIters, explIters)
+	}
+	if !reflect.DeepEqual(predCents, explCents) {
+		t.Fatalf("centroids diverge:\n predicate %v\n explicit  %v", predCents, explCents)
+	}
+	// The controller evaluated the predicate once per iteration, and the
+	// whole loop cost the driver a single request.
+	var evals uint64
+	c1.Controller.Do(func() { evals = c1.Controller.Stats.PredicateEvals.Load() })
+	if evals != uint64(predIters) {
+		t.Errorf("predicate evaluated %d times for %d iterations", evals, predIters)
 	}
 }
 

@@ -317,9 +317,50 @@ func (j *Job) scalar(v Var) (float64, error) {
 	return vals[0], nil
 }
 
+// OptimizeUntil submits the whole inner loop of Figure 3a to the
+// controller (driver API v2): optimize until the gradient norm drops
+// below gradThreshold or maxInner iterations ran, with the predicate
+// evaluated controller-side after each instantiation. One
+// driver↔controller round trip covers the entire loop. It returns the
+// iteration count and the last gradient norm.
+func (j *Job) OptimizeUntil(gradThreshold float64, maxInner int) (int, float64, error) {
+	res, err := j.D.InstantiateWhile(OptimizeBlock, j.GNorm.AtLeast(0, gradThreshold), maxInner)
+	return res.Iters, res.LastValue, err
+}
+
 // Train runs the full nested loop of Figure 3a with data-dependent exit
-// conditions, using templates. It returns (outer, inner) iteration counts.
+// conditions, using templates. The inner loop is a controller-evaluated
+// predicate loop (OptimizeUntil); the outer loop stays driver-side
+// because its body spans two templates. It returns (outer, inner)
+// iteration counts.
 func (j *Job) Train(gradThreshold, errThreshold float64, maxOuter, maxInner int) (int, int, error) {
+	if err := j.InstallTemplates(); err != nil {
+		return 0, 0, err
+	}
+	totalInner := 0
+	for outer := 1; ; outer++ {
+		inner, _, err := j.OptimizeUntil(gradThreshold, maxInner)
+		totalInner += inner
+		if err != nil {
+			return outer, totalInner, err
+		}
+		if err := j.Estimate(); err != nil {
+			return outer, totalInner, err
+		}
+		e, err := j.ErrorValue()
+		if err != nil {
+			return outer, totalInner, err
+		}
+		if e < errThreshold || outer >= maxOuter {
+			return outer, totalInner, nil
+		}
+	}
+}
+
+// TrainExplicit is the v1 form of Train — every inner iteration gated on
+// a GradNorm round trip — kept as the reference Train is tested against:
+// both must run the same iterations and learn the same coefficients.
+func (j *Job) TrainExplicit(gradThreshold, errThreshold float64, maxOuter, maxInner int) (int, int, error) {
 	if err := j.InstallTemplates(); err != nil {
 		return 0, 0, err
 	}

@@ -1,6 +1,7 @@
 package lr_test
 
 import (
+	"reflect"
 	"testing"
 	"time"
 
@@ -87,6 +88,44 @@ func TestNestedLoopTrain(t *testing.T) {
 	})
 	if auto == 0 {
 		t.Errorf("inner loop iterations should auto-validate (got 0 auto, %d full)", validations)
+	}
+}
+
+// TestTrainPredicateMatchesExplicit runs the same training job twice on
+// fresh clusters with the same seed: once with the controller-evaluated
+// inner loop (Train) and once with the per-iteration GradNorm Get loop
+// (TrainExplicit). Iteration counts and learned coefficients must match
+// exactly.
+func TestTrainPredicateMatchesExplicit(t *testing.T) {
+	cfg := lr.Config{Partitions: 8, Features: 4, RowsPerPart: 150, Seed: 5}
+	const gradTh, errTh, maxOuter, maxInner = 0.02, 0.2, 5, 25
+
+	_, j1 := startLR(t, 4, cfg)
+	predOuter, predInner, err := j1.Train(gradTh, errTh, maxOuter, maxInner)
+	if err != nil {
+		t.Fatalf("predicate train: %v", err)
+	}
+	predCoeff, err := j1.CoeffValue()
+	if err != nil {
+		t.Fatalf("predicate coeff: %v", err)
+	}
+
+	_, j2 := startLR(t, 4, cfg)
+	explOuter, explInner, err := j2.TrainExplicit(gradTh, errTh, maxOuter, maxInner)
+	if err != nil {
+		t.Fatalf("explicit train: %v", err)
+	}
+	explCoeff, err := j2.CoeffValue()
+	if err != nil {
+		t.Fatalf("explicit coeff: %v", err)
+	}
+
+	if predOuter != explOuter || predInner != explInner {
+		t.Fatalf("predicate train ran outer=%d inner=%d, explicit outer=%d inner=%d",
+			predOuter, predInner, explOuter, explInner)
+	}
+	if !reflect.DeepEqual(predCoeff, explCoeff) {
+		t.Fatalf("coefficients diverge:\n predicate %v\n explicit  %v", predCoeff, explCoeff)
 	}
 }
 

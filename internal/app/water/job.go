@@ -412,6 +412,13 @@ func (j *Job) scalarValue(v Var) (float64, error) {
 // RunSubstep executes one CFL substep with data-dependent solver loops
 // (or fixed trip counts in the simulated profile). Templates must be
 // installed.
+//
+// The solver loops deliberately stay on the v1 explicit Get-per-iteration
+// surface, as the counter-example to kmeans/lr's InstantiateWhile: the
+// simulated profile's trip counts are not predicate-driven at all, and
+// the real profile's exits mix a residual threshold with per-loop
+// iteration statistics the driver wants to observe — control flow a
+// single controller-evaluated predicate cannot express.
 func (j *Job) RunSubstep() (SubstepStats, error) {
 	var st SubstepStats
 	cfg := j.Cfg

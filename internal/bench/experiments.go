@@ -203,6 +203,31 @@ func Table2(s Scale) (*Table, error) {
 			"paper: 0.2us + 1.7us auto (>500k tasks/s), 7.5us validated (~130k tasks/s)",
 		},
 	}
+
+	// Driver iteration RTTs (driver API v2): the v1 Get loop pays one
+	// driver↔controller round trip per iteration; a controller-evaluated
+	// predicate loop pays one per loop. The probe variable is Put once
+	// and never written by the block, so the predicate always holds and
+	// the loop runs to its iteration bound.
+	probe, err := m.j.D.DefineVariable("table2/rtt-probe", 1)
+	if err != nil {
+		return nil, err
+	}
+	if err := m.j.D.PutFloats(probe, 0, []float64{1}); err != nil {
+		return nil, err
+	}
+	const loopIters = 20
+	res, err := m.j.D.InstantiateWhile(lr.OptimizeBlock, probe.AtLeast(0, 0.5), loopIters)
+	if err != nil {
+		return nil, err
+	}
+	if res.Iters != loopIters {
+		return nil, fmt.Errorf("table2: predicate loop ran %d iterations, want %d", res.Iters, loopIters)
+	}
+	t.Rows = append(t.Rows,
+		[]string{"Driver iteration RTTs (v1 Get loop)", "1.00 /iter"},
+		[]string{"Driver iteration RTTs (predicate loop)", fmt.Sprintf("%.2f /iter", 1/float64(res.Iters))},
+	)
 	return t, nil
 }
 

@@ -1,0 +1,294 @@
+package cluster
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"nimbus/internal/app/kmeans"
+	"nimbus/internal/driver"
+	"nimbus/internal/fn"
+	"nimbus/internal/params"
+	"nimbus/internal/transport"
+)
+
+// TestLoopOneMessagePerPredicate asserts the headline property of
+// controller-evaluated loops (driver API v2): N template iterations cost
+// exactly one driver→controller frame — the InstantiateWhile itself —
+// against the v1 pattern's one Instantiate plus one Get round trip per
+// iteration. The driver's connection is wrapped in a counting transport
+// so the assertion is at the frame level, not inferred from stats.
+func TestLoopOneMessagePerPredicate(t *testing.T) {
+	reg := fn.NewRegistry()
+	kmeans.Register(reg)
+	c, err := Start(Options{Workers: 3, Slots: 4, Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+
+	ct := transport.NewCounting(c.Transport)
+	d, err := driver.Connect(ct, ControlAddr, "loop-frames")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	j, err := kmeans.Setup(d, kmeans.Config{Partitions: 6, K: 2, Dims: 2, PointsPerPart: 40, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.InstallTemplate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Barrier(); err != nil {
+		t.Fatal(err)
+	}
+
+	const iters = 6
+	stats := &c.Controller.Stats
+	evals0 := stats.PredicateEvals.Load()
+	insts0 := stats.Instantiations.Load()
+	sends0 := ct.Sends()
+	// The centroid shift is a norm, so "shift >= 0" always holds and the
+	// loop runs to MaxIters — a fixed-trip loop expressed as a predicate.
+	res, err := d.InstantiateWhile(kmeans.IterateBlock, j.Shift.AtLeast(0, 0), iters)
+	if err != nil {
+		t.Fatalf("loop: %v", err)
+	}
+	sends := ct.Sends() - sends0
+	if res.Iters != iters {
+		t.Fatalf("loop ran %d iterations, want %d", res.Iters, iters)
+	}
+	if res.LastValue < 0 {
+		t.Fatalf("loop's last shift = %v, want >= 0", res.LastValue)
+	}
+	if sends != 1 {
+		t.Fatalf("driver sent %d frames for a %d-iteration loop; a predicate loop must cost exactly 1", sends, iters)
+	}
+	var evals, insts uint64
+	c.Controller.Do(func() {
+		evals = stats.PredicateEvals.Load() - evals0
+		insts = stats.Instantiations.Load() - insts0
+	})
+	if evals != iters {
+		t.Errorf("controller evaluated the predicate %d times for %d iterations", evals, iters)
+	}
+	if insts != iters {
+		t.Errorf("controller ran %d instantiations for %d loop iterations", insts, iters)
+	}
+}
+
+// TestFailedLoopResolvesPipelinedFutures: a rejected or aborted loop
+// answers on its own seq (LoopDone.Err), so a driver that pipelined more
+// operations behind it gets every future resolved — the failing loop's
+// with the error, the others with their real results — instead of
+// hanging on a reply that would never come.
+func TestFailedLoopResolvesPipelinedFutures(t *testing.T) {
+	reg := fn.NewRegistry()
+	kmeans.Register(reg)
+	c, err := Start(Options{Workers: 2, Slots: 4, Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	d, err := c.Driver("loop-fail")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	x := d.MustVar("x", 2)
+	if err := d.PutFloats(x, 0, []float64{7}); err != nil {
+		t.Fatal(err)
+	}
+
+	loopFut := d.InstantiateWhileAsync("no-such-template", x.AtLeast(0, 0), 4)
+	getFut := d.GetFloatsAsync(x, 0)
+	// Wait the get FIRST: under the v1 error model the controller error
+	// would surface here and the loop future would hang forever.
+	got, err := getFut.Wait()
+	if err != nil || len(got) != 1 || got[0] != 7 {
+		t.Fatalf("pipelined get = %v (err %v), want [7]", got, err)
+	}
+	if _, err := loopFut.Wait(); err == nil || !strings.Contains(err.Error(), "unknown template") {
+		t.Fatalf("failed loop error = %v, want unknown template", err)
+	}
+}
+
+// TestLoopFencesLaterDriverOps: operations pipelined behind an
+// InstantiateWhile must not interleave with its iterations — the get
+// below must observe the loop's final state.
+func TestLoopFencesLaterDriverOps(t *testing.T) {
+	reg := fn.NewRegistry()
+	kmeans.Register(reg)
+	c, err := Start(Options{Workers: 3, Slots: 4, Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	d, err := c.Driver("loop-fence")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	j, err := kmeans.Setup(d, kmeans.Config{Partitions: 6, K: 2, Dims: 2, PointsPerPart: 40, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.InstallTemplate(); err != nil {
+		t.Fatal(err)
+	}
+
+	const iters = 5
+	// Pipeline: loop, then a fenced execution-mutating op (Put), then a
+	// read of the centroids — without waiting for the loop first. The Put
+	// must queue behind the loop (not interleave with, or deadlock, its
+	// iterations) and the read must see the post-loop centroids.
+	marker := d.MustVar("fence-marker", 1)
+	loopFut := d.InstantiateWhileAsync(kmeans.IterateBlock, j.Shift.AtLeast(0, 0), iters)
+	if err := d.PutFloats(marker, 0, []float64{42}); err != nil {
+		t.Fatal(err)
+	}
+	centsFut := d.GetFloatsAsync(j.Centroids, 0)
+	res, err := loopFut.Wait()
+	if err != nil || res.Iters != iters {
+		t.Fatalf("loop = %+v (err %v), want %d iters", res, err, iters)
+	}
+	pipelined, err := centsFut.Wait()
+	if err != nil {
+		t.Fatalf("pipelined get: %v", err)
+	}
+	after, err := j.CentroidValues()
+	if err != nil {
+		t.Fatalf("get after loop: %v", err)
+	}
+	if len(pipelined) == 0 || len(pipelined) != len(after) {
+		t.Fatalf("pipelined read returned %d floats, follow-up %d", len(pipelined), len(after))
+	}
+	for i := range pipelined {
+		if pipelined[i] != after[i] {
+			t.Fatalf("pipelined read diverges from post-loop state at %d: %v vs %v", i, pipelined[i], after[i])
+		}
+	}
+	mv, err := d.GetFloats(marker, 0)
+	if err != nil || len(mv) != 1 || mv[0] != 42 {
+		t.Fatalf("fenced put behind the loop = %v (err %v), want [42]", mv, err)
+	}
+}
+
+// TestOpsDuringCheckpointSurviveRecovery: the async surface lets driver
+// operations arrive between a checkpoint's begin and commit. Such an op
+// executed live but is absent from the saved manifest, so its oplog
+// entry must survive the commit — otherwise recovery reverts to the
+// checkpoint and silently loses the op's writes. The commit clears only
+// the log prefix the manifest covers.
+func TestOpsDuringCheckpointSurviveRecovery(t *testing.T) {
+	reg := fn.NewRegistry()
+	// Heartbeat detection is how the kill below is noticed (a stopped
+	// worker leaves its control conn open). The timeout is deliberately
+	// generous: under -race on a loaded box a tight budget can starve
+	// heartbeats long enough to spuriously fail the surviving workers,
+	// wedging the job and hanging the test.
+	c, err := Start(Options{
+		Workers: 3, Slots: 4, Registry: reg,
+		HeartbeatEvery:   25 * time.Millisecond,
+		HeartbeatTimeout: time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	reg.MustRegister(fn.FirstAppFunc+50, "loop/double", func(fc *fn.Ctx) error {
+		in, err := parseOne(fc.Read(0))
+		if err != nil {
+			return err
+		}
+		return writeOne(fc, 2*in)
+	})
+	d, err := c.Driver("ckpt-window")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	const parts = 8
+	x := d.MustVar("x", parts)
+	for p := 0; p < parts; p++ {
+		if err := d.PutFloats(x, p, []float64{1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.Barrier(); err != nil {
+		t.Fatal(err)
+	}
+	// Checkpoint asynchronously and pipeline a double behind it. Whether
+	// the submit lands before begin, mid-save, or after commit, its
+	// effect must survive the recovery below.
+	ckptFut := d.CheckpointAsync()
+	if err := d.Submit(fn.FirstAppFunc+50, parts, nil, x.Read(), x.Write()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ckptFut.Wait(); err != nil {
+		t.Fatalf("checkpoint: %v", err)
+	}
+	if err := d.Barrier(); err != nil {
+		t.Fatal(err)
+	}
+
+	c.KillWorker(1)
+	waitUntil(t, c, 10*time.Second, "worker failure detected and recovery started",
+		func() bool { return c.Controller.Stats.Recoveries.Load() >= 1 })
+	got, err := d.GetFloats(x, 0)
+	if err != nil {
+		t.Fatalf("get after recovery: %v", err)
+	}
+	if len(got) != 1 || got[0] != 2 {
+		t.Fatalf("x[0] after recovery = %v, want [2] (pipelined double lost by checkpoint commit)", got)
+	}
+}
+
+func parseOne(raw []byte) (float64, error) {
+	vals, err := params.DecodeFloats(raw)
+	if err != nil || len(vals) != 1 {
+		return 0, fmt.Errorf("expected one float, got %v (err %v)", vals, err)
+	}
+	return vals[0], nil
+}
+
+func writeOne(fc *fn.Ctx, v float64) error {
+	fc.SetWrite(0, params.NewEncoder(16).Floats([]float64{v}).Blob())
+	return nil
+}
+
+// TestUnevaluablePredicateFailsLoop: a predicate over a partition that
+// was never written cannot be mistaken for convergence — the loop future
+// fails instead of silently reporting success after one iteration.
+func TestUnevaluablePredicateFailsLoop(t *testing.T) {
+	reg := fn.NewRegistry()
+	kmeans.Register(reg)
+	c, err := Start(Options{Workers: 2, Slots: 4, Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	d, err := c.Driver("loop-noval")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	j, err := kmeans.Setup(d, kmeans.Config{Partitions: 4, K: 2, Dims: 2, PointsPerPart: 20, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.InstallTemplate(); err != nil {
+		t.Fatal(err)
+	}
+	unwritten := d.MustVar("never-written", 2)
+	res, err := d.InstantiateWhile(kmeans.IterateBlock, unwritten.AtLeast(1, 0), 4)
+	if err == nil || !strings.Contains(err.Error(), "no live value") {
+		t.Fatalf("unevaluable predicate: err = %v (res %+v), want no-live-value error", err, res)
+	}
+	if res.Iters != 1 {
+		t.Fatalf("unevaluable predicate ran %d iterations before failing, want 1", res.Iters)
+	}
+}

@@ -126,14 +126,16 @@ func (c *Controller) post(fn func()) {
 	}
 }
 
-// driverOp routes one driver operation through its job's build fence:
-// while any of the job's off-loop builds is in flight (or earlier
-// operations are still queued behind one), operations that mutate
-// execution state queue in arrival order so the driver's program order is
-// preserved. The fence is per-job: one job's build never delays another
-// job's operations.
+// driverOp routes one driver operation through its job's op fence: while
+// any of the job's off-loop builds or controller-evaluated loops is in
+// flight (or earlier operations are still queued behind one), operations
+// that mutate execution state queue in arrival order so the driver's
+// program order is preserved — an async driver may pipeline operations
+// behind an InstantiateWhile, and they must not interleave with its
+// iterations. The fence is per-job: one job's build or loop never delays
+// another job's operations.
 func (c *Controller) driverOp(j *jobState, m proto.Msg) {
-	if len(j.building) > 0 || len(j.opq) > 0 {
+	if len(j.building) > 0 || len(j.opq) > 0 || len(j.loops) > 0 {
 		j.opq = append(j.opq, m)
 		return
 	}
@@ -155,15 +157,17 @@ func (c *Controller) dispatchDriverOp(j *jobState, m proto.Msg) {
 		c.handleTemplateEnd(j, op)
 	case *proto.InstantiateBlock:
 		c.handleInstantiateBlock(j, op)
+	case *proto.InstantiateWhile:
+		c.handleInstantiateWhile(j, op)
 	default:
 		c.cfg.Logf("controller: unexpected fenced operation %s", m.Kind())
 	}
 }
 
 // drainOps runs a job's queued driver operations until the queue empties
-// or one of them starts another build (re-raising the fence).
+// or one of them starts another build or loop (re-raising the fence).
 func (c *Controller) drainOps(j *jobState) {
-	for len(j.opq) > 0 && len(j.building) == 0 {
+	for len(j.opq) > 0 && len(j.building) == 0 && len(j.loops) == 0 {
 		m := j.opq[0]
 		j.opq[0] = nil
 		j.opq = j.opq[1:]

@@ -128,6 +128,12 @@ type Stats struct {
 	JobsAdmitted   atomic.Uint64
 	JobsEnded      atomic.Uint64
 	SlotRebalances atomic.Uint64
+	// PredicateEvals counts controller-side loop-predicate evaluations
+	// (driver API v2 InstantiateWhile); PipelinedGets counts driver Gets
+	// that arrived while earlier Gets of the same job were still
+	// unresolved — overlap only possible with the async driver surface.
+	PredicateEvals atomic.Uint64
+	PipelinedGets  atomic.Uint64
 
 	ScheduleNanos    atomic.Uint64 // live per-task scheduling
 	RecordNanos      atomic.Uint64 // template recording (stage capture) time
@@ -230,6 +236,10 @@ type jobState struct {
 	// Driver synchronization.
 	barriers []pendingBarrier
 	gets     []pendingGet
+	// loops holds in-flight controller-evaluated loops (loops.go). The
+	// op fence admits at most one at a time; queued InstantiateWhiles
+	// wait in opq, so the slice is effectively 0 or 1 long.
+	loops []*loopState
 
 	// Checkpoint / recovery.
 	ckpt        ckptState
@@ -289,6 +299,9 @@ type pendingFetch struct {
 	driverSeq uint64
 	v         ids.VariableID
 	p         int
+	// loop, when non-nil, marks a predicate fetch: the echo feeds the
+	// loop's evaluation instead of a driver GetResult.
+	loop *loopState
 }
 
 type ckptState struct {
@@ -296,6 +309,11 @@ type ckptState struct {
 	last      uint64
 	requested []uint64 // driver seqs awaiting the next checkpoint commit
 	saving    bool
+	// logMark is the oplog length at beginCheckpoint: the manifest covers
+	// exactly those entries, so commit must clear only them. Ops arriving
+	// while the saves drain (reachable since the async driver surface)
+	// stay logged for replay on top of the reverted state.
+	logMark int
 	// pendingManifest collects what the in-progress checkpoint saves;
 	// manifest is the committed one recovery loads from.
 	pendingManifest map[ids.LogicalID]uint64
@@ -606,7 +624,8 @@ func (c *Controller) handleMsg(ev cevent) {
 	// job's quiescence, which counts in-flight builds and queued
 	// operations.
 	case *proto.DefineVariable, *proto.Put, *proto.SubmitStage,
-		*proto.TemplateStart, *proto.TemplateEnd, *proto.InstantiateBlock:
+		*proto.TemplateStart, *proto.TemplateEnd, *proto.InstantiateBlock,
+		*proto.InstantiateWhile:
 		c.driverOp(j, m)
 	case *proto.Get:
 		c.handleGet(j, m)

@@ -1,0 +1,174 @@
+package controller
+
+import (
+	"fmt"
+
+	"nimbus/internal/ids"
+	"nimbus/internal/params"
+	"nimbus/internal/proto"
+)
+
+// This file implements controller-evaluated loop predicates (driver API
+// v2). An InstantiateWhile submits a whole data-dependent loop: the
+// controller instantiates the template, waits for the job's work to
+// drain (the same quiesce point a driver Get synchronizes on), fetches
+// the predicate variable's reduced scalar from its holder, evaluates the
+// predicate, and either instantiates again or answers with one LoopDone —
+// turning one driver↔controller round trip per basic-block iteration
+// into one per loop. Predicate evaluation rides the job's existing
+// completion/watermark path: every completion that quiesces the job
+// advances its loop through resolveIfQuiet.
+//
+// Loops participate in the job's driver-op fence: while a loop is in
+// flight, later execution-mutating driver operations queue behind it in
+// arrival order, preserving driver program order exactly as the off-loop
+// build fence does. Each iteration is logged as an InstantiateBlock so
+// failure recovery replays the iterations that already ran.
+
+// loopState is one in-flight controller-evaluated loop.
+type loopState struct {
+	seq       uint64
+	name      string
+	pred      proto.Pred
+	maxIters  int
+	params    []params.Blob
+	iters     int
+	lastValue float64
+	// fetching marks a predicate fetch in flight so repeated quiesce
+	// events do not issue duplicate fetches.
+	fetching bool
+}
+
+// handleInstantiateWhile starts a loop. It arrives through the job's op
+// fence like any other execution-mutating driver operation, so the
+// template's off-loop build is already committed when it runs.
+func (c *Controller) handleInstantiateWhile(j *jobState, m *proto.InstantiateWhile) {
+	reject := func(text string) {
+		// A rejected loop still answers on its own seq: a seq-less
+		// ErrorMsg alone would fail whatever future the driver happens to
+		// be waiting on and leave the loop's future unresolvable.
+		c.cfg.Logf("controller: %s loop error: %s", j.id, text)
+		c.sendDriver(j, &proto.LoopDone{Seq: m.Seq, Err: text})
+	}
+	if j.templates[m.Name] == nil {
+		reject(fmt.Sprintf("loop over unknown template %q", m.Name))
+		return
+	}
+	if m.MaxIters <= 0 {
+		reject(fmt.Sprintf("loop over %q: MaxIters must be >= 1, got %d", m.Name, m.MaxIters))
+		return
+	}
+	if !m.Pred.Op.Valid() {
+		reject(fmt.Sprintf("loop over %q: unknown predicate op %d", m.Name, m.Pred.Op))
+		return
+	}
+	vm := j.vars[m.Pred.Var]
+	if vm == nil || m.Pred.Partition < 0 || m.Pred.Partition >= vm.partitions {
+		reject(fmt.Sprintf("loop over %q: predicate names unknown %s[%d]",
+			m.Name, m.Pred.Var, m.Pred.Partition))
+		return
+	}
+	lp := &loopState{seq: m.Seq, name: m.Name, pred: m.Pred, maxIters: m.MaxIters, params: m.ParamArray}
+	j.loops = append(j.loops, lp)
+	if c.stepLoop(j, lp) {
+		// A template whose slice of work is empty quiesces immediately;
+		// re-check so the loop cannot stall waiting for completions that
+		// will never come.
+		c.resolveIfQuiet(j)
+	}
+}
+
+// stepLoop runs one more iteration of lp, logging it as an
+// InstantiateBlock so recovery replays the iterations that already ran.
+// It reports whether the instantiation succeeded; on failure the loop is
+// aborted (the instantiation path already surfaced the driver error).
+func (c *Controller) stepLoop(j *jobState, lp *loopState) bool {
+	if !c.handleInstantiateBlock(j, &proto.InstantiateBlock{Name: lp.name, ParamArray: lp.params}) {
+		c.abortLoop(j, lp)
+		return false
+	}
+	lp.iters++
+	return true
+}
+
+// advanceLoop fires the head loop's predicate fetch at a quiesce point
+// (called from resolveIfQuiet once the job's work has drained).
+func (c *Controller) advanceLoop(j *jobState) {
+	lp := j.loops[0]
+	if lp.fetching {
+		return
+	}
+	vm := j.vars[lp.pred.Var]
+	l := vm.logicals[lp.pred.Partition]
+	holder := j.dir.LatestHolder(l)
+	if holder == ids.NoWorker {
+		// The predicate variable has never been written: the predicate
+		// cannot be evaluated, which the driver must be able to tell
+		// apart from a genuine predicate-false exit.
+		c.finishLoop(j, lp, fmt.Sprintf("predicate %s[%d] has no live value",
+			lp.pred.Var, lp.pred.Partition))
+		return
+	}
+	rep := j.dir.Lookup(l, holder)
+	c.fetchSeq++
+	c.fetches[c.fetchSeq] = &pendingFetch{job: j.id, loop: lp}
+	lp.fetching = true
+	c.sendWorker(c.workers[holder], &proto.FetchObject{Job: j.id, Seq: c.fetchSeq, Object: rep.Object})
+}
+
+// evalLoopPred evaluates the head loop's predicate against the fetched
+// scalar and either re-instantiates the template or finishes the loop.
+func (c *Controller) evalLoopPred(j *jobState, lp *loopState, data []byte) {
+	lp.fetching = false
+	if len(j.loops) == 0 || j.loops[0] != lp {
+		return // loop aborted while the fetch was in flight
+	}
+	c.Stats.PredicateEvals.Add(1)
+	vals, err := params.DecodeFloats(data)
+	if err != nil || len(vals) == 0 {
+		c.finishLoop(j, lp, fmt.Sprintf("predicate %s[%d] value empty or unreadable (%v)",
+			lp.pred.Var, lp.pred.Partition, err))
+		return
+	}
+	lp.lastValue = vals[0]
+	if lp.iters < lp.maxIters && lp.pred.Holds(lp.lastValue) {
+		if c.stepLoop(j, lp) {
+			c.resolveIfQuiet(j) // zero-work templates quiesce immediately
+		}
+		return
+	}
+	c.finishLoop(j, lp, "")
+}
+
+// finishLoop pops lp and reports its outcome in one message — the single
+// driver-bound reply that replaces one RTT per iteration — then lowers
+// the fence for the driver operations queued behind the loop. A non-empty
+// errText marks the loop unevaluable rather than converged; the driver's
+// future fails with it.
+func (c *Controller) finishLoop(j *jobState, lp *loopState, errText string) {
+	if errText != "" {
+		c.cfg.Logf("controller: %s loop %q: %s", j.id, lp.name, errText)
+	}
+	c.removeLoop(j, lp)
+	c.sendDriver(j, &proto.LoopDone{Seq: lp.seq, Iters: lp.iters, LastValue: lp.lastValue, Err: errText})
+	c.drainOps(j)
+	c.resolveIfQuiet(j)
+}
+
+// abortLoop drops a loop whose iteration failed and lowers the fence.
+// The instantiation path already sent the driver an ErrorMsg; the
+// seq-addressed LoopDone (via finishLoop) guarantees the loop's own
+// future resolves even if that ErrorMsg was attributed to a different
+// pipelined operation's wait.
+func (c *Controller) abortLoop(j *jobState, lp *loopState) {
+	c.finishLoop(j, lp, fmt.Sprintf("aborted after %d iterations", lp.iters))
+}
+
+func (c *Controller) removeLoop(j *jobState, lp *loopState) {
+	for i, l := range j.loops {
+		if l == lp {
+			j.loops = append(j.loops[:i], j.loops[i+1:]...)
+			return
+		}
+	}
+}

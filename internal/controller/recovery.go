@@ -38,6 +38,7 @@ func (c *Controller) logOpBeforeCheckpoint() {}
 func (c *Controller) beginCheckpoint(j *jobState) {
 	j.ckpt.saving = true
 	j.ckpt.count++
+	j.ckpt.logMark = len(j.oplog)
 	id := j.ckpt.count
 	j.ckpt.pendingManifest = make(map[ids.LogicalID]uint64)
 	key := params.NewEncoder(8).Uint(id).Blob()
@@ -72,12 +73,24 @@ func (c *Controller) beginCheckpoint(j *jobState) {
 }
 
 // commitCheckpoint finalizes a job's checkpoint once its saves drained.
+// Only the oplog prefix the manifest covers (stamped at begin) is
+// cleared: a driver op pipelined in between executed live but is absent
+// from the saved state, so its entry must survive for replay — the
+// ledgers order each Save before any later write to the same object, so
+// the manifest is exactly the at-begin state and replaying the suffix
+// reapplies those ops consistently. With v1's blocking Checkpoint the
+// window was unreachable; the async surface opens it.
 func (c *Controller) commitCheckpoint(j *jobState) {
 	j.ckpt.saving = false
 	j.ckpt.last = j.ckpt.count
 	j.ckpt.manifest = j.ckpt.pendingManifest
 	j.ckpt.pendingManifest = nil
-	j.oplog = nil
+	if tail := j.oplog[j.ckpt.logMark:]; len(tail) > 0 {
+		j.oplog = append([]proto.Msg(nil), tail...)
+	} else {
+		j.oplog = nil
+	}
+	j.ckpt.logMark = 0
 	for _, seq := range j.ckpt.requested {
 		c.sendDriver(j, &proto.BarrierDone{Seq: seq})
 	}
@@ -162,12 +175,30 @@ func (c *Controller) finishRecovery(j *jobState) {
 	j.instances = make(map[uint64]*instState)
 	j.wm.reset()
 	j.central = newCentralGraph(c, j)
-	// Requeue the job's interrupted fetches as fresh gets.
+	// Discard an in-progress checkpoint: its Save commands were just
+	// flushed with the rest of the outstanding work, so committing it at
+	// the next quiesce would pin a manifest referencing objects that were
+	// never durably written (and trim the oplog prefix that compensates
+	// for them). The driver's request stays queued in ckpt.requested, so
+	// a fresh checkpoint — under a new id, never reusing the abandoned
+	// one's durable keys — runs once the recovered job drains.
+	if j.ckpt.saving {
+		j.ckpt.saving = false
+		j.ckpt.pendingManifest = nil
+		j.ckpt.logMark = 0
+	}
+	// Requeue the job's interrupted fetches: driver gets go back on the
+	// get queue, and an interrupted predicate fetch re-arms its loop so
+	// the next quiesce point re-fetches against the recovered state.
 	for seq, pf := range c.fetches {
 		if pf.job != j.id {
 			continue
 		}
-		j.gets = append(j.gets, pendingGet{seq: pf.driverSeq, v: pf.v, p: pf.p})
+		if pf.loop != nil {
+			pf.loop.fetching = false
+		} else {
+			j.gets = append(j.gets, pendingGet{seq: pf.driverSeq, v: pf.v, p: pf.p})
+		}
 		delete(c.fetches, seq)
 	}
 

@@ -98,6 +98,11 @@ func (c *Controller) handlePut(j *jobState, m *proto.Put) {
 // that drive data-dependent control flow, paper §2.4). Another job's
 // outstanding work never delays a Get.
 func (c *Controller) handleGet(j *jobState, m *proto.Get) {
+	if len(j.gets) > 0 {
+		// Another read is already parked: the driver pipelined its Gets
+		// (v2 GetAsync) instead of gating each on the previous reply.
+		c.Stats.PipelinedGets.Add(1)
+	}
 	j.gets = append(j.gets, pendingGet{seq: m.Seq, v: m.Var, p: m.Partition})
 	c.resolveIfQuiet(j)
 }
@@ -107,18 +112,35 @@ func (c *Controller) handleBarrier(j *jobState, m *proto.Barrier) {
 	c.resolveIfQuiet(j)
 }
 
-// totalOutstanding counts one job's unfinished work: dispatched commands
-// and instances, plus in-flight template builds and the driver operations
-// queued behind them — barriers, gets and checkpoints must not resolve
-// while queued operations still have effects to apply.
+// workOutstanding counts one job's unfinished execution: dispatched
+// commands and template instances.
+func (j *jobState) workOutstanding() int {
+	return len(j.outstanding) + len(j.instances) + j.central.pendingCount()
+}
+
+// totalOutstanding adds in-flight template builds and the driver
+// operations queued behind the op fence — barriers, gets and checkpoints
+// must not resolve while queued operations still have effects to apply.
 func (j *jobState) totalOutstanding() int {
-	return len(j.outstanding) + len(j.instances) + j.central.pendingCount() +
-		len(j.building) + len(j.opq)
+	return j.workOutstanding() + len(j.building) + len(j.opq)
 }
 
 // resolveIfQuiet answers a job's barriers and gets once it has drained.
+// In-flight predicate loops advance as soon as execution drains — before
+// the opq check, NOT behind it: ops queued in opq are fenced precisely
+// because the loop is in flight, so gating the loop on an empty opq
+// would deadlock the job (the loop waits for the queue, the queue waits
+// for the loop). Barriers and gets still wait for everything, loops
+// included, so they observe the loop's final state.
 func (c *Controller) resolveIfQuiet(j *jobState) {
-	if j.totalOutstanding() > 0 {
+	if j.workOutstanding() > 0 {
+		return
+	}
+	if len(j.loops) > 0 {
+		c.advanceLoop(j)
+		return
+	}
+	if len(j.building) > 0 || len(j.opq) > 0 {
 		return
 	}
 	for _, b := range j.barriers {
@@ -164,6 +186,10 @@ func (c *Controller) handleObjectData(m *proto.ObjectData) {
 	j := c.jobs[pf.job]
 	if j == nil {
 		return // job torn down while the fetch was in flight
+	}
+	if pf.loop != nil {
+		c.evalLoopPred(j, pf.loop, m.Data)
+		return
 	}
 	c.sendDriver(j, &proto.GetResult{Seq: pf.driverSeq, Data: m.Data})
 }

@@ -70,19 +70,21 @@ func (c *Controller) installAssignment(j *jobState, t *core.Template, a *core.As
 // auto-validate) the active assignment's preconditions, patch if needed,
 // then send one instantiation message per participating worker
 // (paper §2.2: n+1 control messages in the steady state; multi-tenancy
-// adds one varint — the job — per message).
-func (c *Controller) handleInstantiateBlock(j *jobState, m *proto.InstantiateBlock) {
+// adds one varint — the job — per message). It reports success so the
+// predicate-loop machinery (loops.go) can abort a loop whose iteration
+// failed; the error itself already went to the driver.
+func (c *Controller) handleInstantiateBlock(j *jobState, m *proto.InstantiateBlock) bool {
 	t := j.templates[m.Name]
 	if t == nil {
 		c.driverError(j, fmt.Sprintf("instantiate of unknown template %q", m.Name))
-		return
+		return false
 	}
 	a := t.Active
 	if a == nil {
 		// Unreachable through the build fence (instantiations queue while
 		// the template's build is in flight), kept as a guard.
 		c.driverError(j, fmt.Sprintf("instantiate of template %q before its build finished", m.Name))
-		return
+		return false
 	}
 	start := time.Now()
 
@@ -98,7 +100,7 @@ func (c *Controller) handleInstantiateBlock(j *jobState, m *proto.InstantiateBlo
 		c.Stats.ValidateNanos.Add(uint64(time.Since(vstart)))
 		if len(viols) > 0 {
 			if !c.applyPatch(j, a, viols) {
-				return
+				return false
 			}
 		}
 	}
@@ -144,6 +146,7 @@ func (c *Controller) handleInstantiateBlock(j *jobState, m *proto.InstantiateBlo
 	c.Stats.Instantiations.Add(1)
 	c.Stats.InstantiateNanos.Add(uint64(time.Since(start)))
 	j.logOp(m)
+	return true
 }
 
 // applyPatch fixes precondition violations, preferring a cached patch for

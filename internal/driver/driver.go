@@ -1,4 +1,5 @@
-// Package driver is the application-facing Nimbus client library.
+// Package driver is the application-facing Nimbus client library (API
+// v2: asynchronous).
 //
 // A driver program declares partitioned variables, submits stages
 // (parallel operations that expand into one task per partition), and marks
@@ -9,21 +10,36 @@
 // values — reads back reduced results with Get, which is a
 // synchronization point (paper §2.4).
 //
+// The v2 surface removes the two round-trip taxes v1 paid for that
+// control flow:
+//
+//   - Futures. Get, Barrier and Checkpoint have non-blocking variants
+//     (GetAsync, BarrierAsync, CheckpointAsync) returning a Future[T]
+//     backed by a seq-keyed pending-reply table, so many reads pipeline
+//     in flight and resolve in whatever order the controller answers.
+//     The blocking methods are thin wrappers (Async().Wait()).
+//   - Controller-evaluated predicates. InstantiateWhile submits a whole
+//     loop: the controller re-instantiates the template back-to-back,
+//     evaluating a predicate over the reduced scalar after each
+//     completion, and reports once — one round trip per loop instead of
+//     one per iteration.
+//
 // The pseudocode of paper Figure 3 maps onto this API as:
 //
-//	for Get(error) > threshE {
-//	    for Get(gradient) > threshG {
-//	        d.Instantiate("optimize", coeffParams)   // inner basic block
-//	    }
-//	    d.Instantiate("estimate", modelParams)       // outer basic block
+//	for Get(error) > threshE {                            // outer loop
+//	    d.InstantiateWhile("optimize",                    // inner loop:
+//	        gradient.AtLeast(0, threshG), maxInner)       // one message
+//	    d.Instantiate("estimate", modelParams)
 //	}
 //
-// Drivers are single-goroutine clients: methods must not be called
-// concurrently.
+// Drivers are single-goroutine clients: methods — including Future.Wait —
+// must not be called concurrently.
 package driver
 
 import (
+	"context"
 	"fmt"
+	"sync"
 
 	"nimbus/internal/ids"
 	"nimbus/internal/params"
@@ -42,10 +58,16 @@ type Driver struct {
 	nextVar   ids.VariableID
 	nextStage ids.StageID
 	// inbox holds messages decoded from a batch frame but not yet
-	// consumed by recvUntil; inboxHead indexes the next message so
-	// consumption is O(1) without shifting.
+	// consumed; inboxHead indexes the next message so consumption is O(1)
+	// without shifting.
 	inbox     []proto.Msg
 	inboxHead int
+	// pending is the seq-keyed reply table: every in-flight Get, Barrier,
+	// Checkpoint and InstantiateWhile awaits its reply here.
+	pending map[uint64]*pendingReply
+	// dead is the sticky fatal session error (connection lost, controller
+	// shutdown); once set, every pending and future request fails with it.
+	dead error
 }
 
 // Var is a declared application variable.
@@ -103,36 +125,124 @@ func (v Var) WriteAt(p int) Ref {
 	return Ref{proto.VarRef{Var: v.ID, Write: true, Pattern: proto.FixedPartition, Fixed: p}}
 }
 
+// Pred is a controller-evaluated loop predicate: the first float64 of one
+// partition's contents compared against a threshold. Construct one with
+// Var.AtLeast/Above/AtMost/Below; the comparison is the loop's CONTINUE
+// condition.
+type Pred struct{ proto.Pred }
+
+// AtLeast continues the loop while partition p's scalar is >= threshold.
+func (v Var) AtLeast(p int, threshold float64) Pred {
+	return Pred{proto.Pred{Var: v.ID, Partition: p, Op: proto.PredGE, Threshold: threshold}}
+}
+
+// Above continues the loop while partition p's scalar is > threshold.
+func (v Var) Above(p int, threshold float64) Pred {
+	return Pred{proto.Pred{Var: v.ID, Partition: p, Op: proto.PredGT, Threshold: threshold}}
+}
+
+// AtMost continues the loop while partition p's scalar is <= threshold.
+func (v Var) AtMost(p int, threshold float64) Pred {
+	return Pred{proto.Pred{Var: v.ID, Partition: p, Op: proto.PredLE, Threshold: threshold}}
+}
+
+// Below continues the loop while partition p's scalar is < threshold.
+func (v Var) Below(p int, threshold float64) Pred {
+	return Pred{proto.Pred{Var: v.ID, Partition: p, Op: proto.PredLT, Threshold: threshold}}
+}
+
 // Connect dials the controller and registers a driver session with the
 // default fair-share weight. It blocks until the controller admits the
 // job and returns its handle.
 func Connect(tr transport.Transport, addr, name string) (*Driver, error) {
-	return ConnectWeighted(tr, addr, name, 1)
+	return ConnectContext(context.Background(), tr, addr, name, 1)
 }
 
 // ConnectWeighted is Connect with an explicit fair-share weight: a job
 // with weight 2 receives twice the executor-slot share of a weight-1 job
 // on every worker.
 func ConnectWeighted(tr transport.Transport, addr, name string, weight int) (*Driver, error) {
-	conn, err := tr.Dial(addr)
-	if err != nil {
-		return nil, fmt.Errorf("driver: dial %s: %w", addr, err)
+	return ConnectContext(context.Background(), tr, addr, name, weight)
+}
+
+// ConnectContext is ConnectWeighted with a deadline over the whole
+// connection handshake — dial plus admission. v1's Connect blocked
+// forever when the controller accepted the connection but never acked
+// admission; cancelling ctx closes the half-open connection and returns
+// ctx's error. Transports' Dial is not context-aware: if ctx fires while
+// the dial itself is still blocked, ConnectContext returns immediately
+// but the dialing goroutine lingers until the transport's own dial
+// timeout (the OS's, for TCP) fires, at which point it closes any
+// connection it made and exits.
+func ConnectContext(ctx context.Context, tr transport.Transport, addr, name string, weight int) (*Driver, error) {
+	type result struct {
+		d   *Driver
+		err error
 	}
-	d := &Driver{conn: conn}
-	if err := d.send(&proto.RegisterDriver{Name: name, Weight: weight}); err != nil {
-		conn.Close()
-		return nil, err
+	ch := make(chan result, 1)
+	var mu sync.Mutex
+	var conn transport.Conn
+	var abandoned bool
+	go func() {
+		c, err := tr.Dial(addr)
+		if err != nil {
+			ch <- result{err: fmt.Errorf("driver: dial %s: %w", addr, err)}
+			return
+		}
+		mu.Lock()
+		if abandoned {
+			mu.Unlock()
+			c.Close()
+			return
+		}
+		conn = c
+		mu.Unlock()
+		d := &Driver{conn: c, pending: make(map[uint64]*pendingReply)}
+		if err := d.send(&proto.RegisterDriver{Name: name, Weight: weight}); err != nil {
+			c.Close()
+			ch <- result{err: err}
+			return
+		}
+		job, err := d.awaitAdmission()
+		if err != nil {
+			c.Close()
+			ch <- result{err: fmt.Errorf("driver: awaiting admission: %w", err)}
+			return
+		}
+		d.job = job
+		ch <- result{d: d}
+	}()
+	select {
+	case r := <-ch:
+		return r.d, r.err
+	case <-ctx.Done():
+		mu.Lock()
+		abandoned = true
+		c := conn
+		mu.Unlock()
+		if c != nil {
+			c.Close() // unblocks the admission Recv; the goroutine exits
+		}
+		return nil, fmt.Errorf("driver: connect %s: %w", addr, ctx.Err())
 	}
-	m, err := d.recvUntil(func(m proto.Msg) bool {
-		_, ok := m.(*proto.RegisterDriverAck)
-		return ok
-	})
-	if err != nil {
-		conn.Close()
-		return nil, fmt.Errorf("driver: awaiting admission: %w", err)
+}
+
+// awaitAdmission reads until the controller's RegisterDriverAck.
+func (d *Driver) awaitAdmission() (ids.JobID, error) {
+	for {
+		m, err := d.recvMsg()
+		if err != nil {
+			return ids.NoJob, err
+		}
+		switch m := m.(type) {
+		case *proto.RegisterDriverAck:
+			return m.Job, nil
+		case *proto.ErrorMsg:
+			return ids.NoJob, fmt.Errorf("controller error: %s", m.Text)
+		case *proto.Shutdown:
+			return ids.NoJob, fmt.Errorf("controller shut down")
+		}
 	}
-	d.job = m.(*proto.RegisterDriverAck).Job
-	return d, nil
 }
 
 // Job returns the controller-assigned job handle for this session.
@@ -148,13 +258,18 @@ func (d *Driver) send(m proto.Msg) error {
 }
 
 // recvMsg returns the next controller message, unpacking batch frames.
+// Connection loss is fatal (the session fails); a corrupt frame is a
+// transient error — its decoded prefix is dropped so a half-valid frame
+// cannot desynchronize reply matching.
 func (d *Driver) recvMsg() (proto.Msg, error) {
 	for d.inboxHead >= len(d.inbox) {
 		d.inbox = d.inbox[:0]
 		d.inboxHead = 0
 		raw, err := d.conn.Recv()
 		if err != nil {
-			return nil, fmt.Errorf("driver: connection lost: %w", err)
+			err = fmt.Errorf("driver: connection lost: %w", err)
+			d.fail(err)
+			return nil, err
 		}
 		err = proto.ForEachMsg(raw, func(m proto.Msg) error {
 			d.inbox = append(d.inbox, m)
@@ -162,9 +277,6 @@ func (d *Driver) recvMsg() (proto.Msg, error) {
 		})
 		proto.PutBuf(raw)
 		if err != nil {
-			// Drop any messages decoded before the frame was rejected:
-			// delivering a corrupt frame's prefix as valid would
-			// desynchronize request/response matching.
 			d.inbox = d.inbox[:0]
 			d.inboxHead = 0
 			return nil, err
@@ -174,26 +286,6 @@ func (d *Driver) recvMsg() (proto.Msg, error) {
 	d.inbox[d.inboxHead] = nil
 	d.inboxHead++
 	return m, nil
-}
-
-// recvUntil reads messages until pred accepts one, surfacing controller
-// errors.
-func (d *Driver) recvUntil(pred func(proto.Msg) bool) (proto.Msg, error) {
-	for {
-		m, err := d.recvMsg()
-		if err != nil {
-			return nil, err
-		}
-		if e, ok := m.(*proto.ErrorMsg); ok {
-			return nil, fmt.Errorf("driver: controller error: %s", e.Text)
-		}
-		if _, ok := m.(*proto.Shutdown); ok {
-			return nil, fmt.Errorf("driver: controller shut down")
-		}
-		if pred(m) {
-			return m, nil
-		}
-	}
 }
 
 // DefineVariable declares a variable with the given partition count.
@@ -224,36 +316,37 @@ func (d *Driver) PutFloats(v Var, partition int, vals []float64) error {
 	return d.Put(v, partition, params.NewEncoder(8*len(vals)+8).Floats(vals).Blob())
 }
 
+// GetAsync requests one partition's current contents without blocking.
+// The controller answers after all previously submitted work that writes
+// the partition has completed; many GetAsyncs may be in flight at once
+// and resolve out of order.
+func (d *Driver) GetAsync(v Var, partition int) *Future[[]byte] {
+	p := d.register()
+	d.request(p, &proto.Get{Seq: p.seq, Var: v.ID, Partition: partition})
+	return &Future[[]byte]{d: d, p: p, conv: func(p *pendingReply) ([]byte, error) {
+		return p.data, nil
+	}}
+}
+
 // Get reads one partition's current contents. It synchronizes: the result
 // reflects all previously submitted work.
 func (d *Driver) Get(v Var, partition int) ([]byte, error) {
-	d.seq++
-	seq := d.seq
-	if err := d.send(&proto.Get{Seq: seq, Var: v.ID, Partition: partition}); err != nil {
-		return nil, err
-	}
-	m, err := d.recvUntil(func(m proto.Msg) bool {
-		g, ok := m.(*proto.GetResult)
-		return ok && g.Seq == seq
-	})
-	if err != nil {
-		return nil, err
-	}
-	return m.(*proto.GetResult).Data, nil
+	return d.GetAsync(v, partition).Wait()
+}
+
+// GetFloatsAsync is GetAsync decoding the result through the params
+// encoding.
+func (d *Driver) GetFloatsAsync(v Var, partition int) *Future[[]float64] {
+	p := d.register()
+	d.request(p, &proto.Get{Seq: p.seq, Var: v.ID, Partition: partition})
+	return &Future[[]float64]{d: d, p: p, conv: func(p *pendingReply) ([]float64, error) {
+		return params.DecodeFloats(p.data)
+	}}
 }
 
 // GetFloats reads a float64 slice written via the params encoding.
 func (d *Driver) GetFloats(v Var, partition int) ([]float64, error) {
-	raw, err := d.Get(v, partition)
-	if err != nil {
-		return nil, err
-	}
-	if len(raw) == 0 {
-		return nil, nil
-	}
-	dec := params.NewDecoder(params.Blob(raw))
-	vals := dec.Floats()
-	return vals, dec.Err()
+	return d.GetFloatsAsync(v, partition).Wait()
 }
 
 // Submit submits one stage: fn runs as one task per partition with the
@@ -303,31 +396,65 @@ func (d *Driver) Instantiate(name string, paramArray ...params.Blob) error {
 	return d.send(&proto.InstantiateBlock{Name: name, ParamArray: paramArray})
 }
 
+// LoopResult reports a finished controller-evaluated loop: how many
+// template iterations ran and the scalar the final predicate evaluation
+// saw.
+type LoopResult struct {
+	Iters     int
+	LastValue float64
+}
+
+// InstantiateWhileAsync submits a whole data-dependent loop without
+// blocking: the controller instantiates the named template back-to-back,
+// re-evaluating pred against the reduced scalar after each completion,
+// and answers once. The loop runs at least one and at most maxIters
+// (>= 1) iterations, continuing while pred holds; paramArray is passed to
+// every iteration.
+func (d *Driver) InstantiateWhileAsync(name string, pred Pred, maxIters int, paramArray ...params.Blob) *Future[LoopResult] {
+	p := d.register()
+	d.request(p, &proto.InstantiateWhile{
+		Seq: p.seq, Name: name, Pred: pred.Pred, MaxIters: maxIters, ParamArray: paramArray,
+	})
+	return &Future[LoopResult]{d: d, p: p, conv: func(p *pendingReply) (LoopResult, error) {
+		res := LoopResult{Iters: p.iters, LastValue: p.lastValue}
+		if p.loopErr != "" {
+			return res, fmt.Errorf("driver: loop failed: %s", p.loopErr)
+		}
+		return res, nil
+	}}
+}
+
+// InstantiateWhile submits a loop and blocks until it exits. Against the
+// v1 pattern — Instantiate + Get per iteration — it costs one
+// driver↔controller round trip for the whole loop instead of one per
+// iteration.
+func (d *Driver) InstantiateWhile(name string, pred Pred, maxIters int, paramArray ...params.Blob) (LoopResult, error) {
+	return d.InstantiateWhileAsync(name, pred, maxIters, paramArray...).Wait()
+}
+
+// BarrierAsync asks for completion of all submitted work without blocking.
+func (d *Driver) BarrierAsync() *Future[struct{}] {
+	p := d.register()
+	d.request(p, &proto.Barrier{Seq: p.seq})
+	return &Future[struct{}]{d: d, p: p}
+}
+
 // Barrier blocks until all submitted work has completed.
 func (d *Driver) Barrier() error {
-	d.seq++
-	seq := d.seq
-	if err := d.send(&proto.Barrier{Seq: seq}); err != nil {
-		return err
-	}
-	_, err := d.recvUntil(func(m proto.Msg) bool {
-		b, ok := m.(*proto.BarrierDone)
-		return ok && b.Seq == seq
-	})
+	_, err := d.BarrierAsync().Wait()
 	return err
+}
+
+// CheckpointAsync requests a checkpoint without blocking.
+func (d *Driver) CheckpointAsync() *Future[struct{}] {
+	p := d.register()
+	d.request(p, &proto.CheckpointReq{Seq: p.seq})
+	return &Future[struct{}]{d: d, p: p}
 }
 
 // Checkpoint requests a checkpoint and blocks until it commits.
 func (d *Driver) Checkpoint() error {
-	d.seq++
-	seq := d.seq
-	if err := d.send(&proto.CheckpointReq{Seq: seq}); err != nil {
-		return err
-	}
-	_, err := d.recvUntil(func(m proto.Msg) bool {
-		b, ok := m.(*proto.BarrierDone)
-		return ok && b.Seq == seq
-	})
+	_, err := d.CheckpointAsync().Wait()
 	return err
 }
 
@@ -335,11 +462,19 @@ func (d *Driver) Checkpoint() error {
 // the job's templates, outstanding builds, directory entries and
 // worker-side namespaces. Other jobs sharing the cluster are unaffected,
 // and Close does not shut the cluster down. The explicit JobEnd makes
-// teardown deterministic; a dropped connection triggers the same teardown
-// on the controller's side.
+// teardown deterministic, and its send error is propagated so callers
+// learn when the goodbye never reached the controller — the connection
+// drop still triggers the same teardown there.
 func (d *Driver) Close() error {
-	_ = d.send(&proto.JobEnd{Job: d.job})
-	return d.conn.Close()
+	var sendErr error
+	if d.dead == nil {
+		sendErr = d.send(&proto.JobEnd{Job: d.job})
+	}
+	closeErr := d.conn.Close()
+	if sendErr != nil {
+		return fmt.Errorf("driver: sending job end: %w", sendErr)
+	}
+	return closeErr
 }
 
 // Abort drops the connection without the graceful JobEnd, simulating a

@@ -1,0 +1,178 @@
+package driver
+
+import (
+	"fmt"
+
+	"nimbus/internal/proto"
+)
+
+// This file implements the v2 reply machinery: a seq-keyed pending-reply
+// table and typed futures over it. Every request that expects a reply
+// (Get, Barrier, Checkpoint, InstantiateWhile) registers a table entry;
+// replies resolve entries by Seq, in whatever order they arrive, so many
+// reads can pipeline in flight. The table replaces the v1 recvUntil
+// scan-and-drop loop, which silently discarded any reply whose Seq the
+// caller was no longer waiting on and desynchronized every concurrent-read
+// pattern.
+
+// pendingReply is one in-flight request in the driver's reply table.
+type pendingReply struct {
+	seq      uint64
+	resolved bool
+	err      error
+	// Reply payloads, by kind: data for GetResult, iters/lastValue/
+	// loopErr for LoopDone. BarrierDone carries nothing.
+	data      []byte
+	iters     int
+	lastValue float64
+	loopErr   string
+}
+
+// Future is the pending result of an asynchronous driver operation. Like
+// the Driver itself it is single-goroutine: Wait pumps the connection on
+// the caller's goroutine, resolving every reply it reads along the way,
+// so other in-flight futures may become Ready while one is waited on.
+type Future[T any] struct {
+	d    *Driver
+	p    *pendingReply
+	conv func(*pendingReply) (T, error)
+	done bool
+	val  T
+	err  error
+}
+
+// Ready reports whether Wait would return without reading the connection.
+func (f *Future[T]) Ready() bool { return f.done || f.p.resolved }
+
+// Wait blocks until the reply arrives and returns the result. Transient
+// receive problems (a corrupt frame, an orphan reply) are returned as
+// errors without consuming the future: the request is still in flight and
+// Wait may be called again. Connection loss and controller errors resolve
+// the future permanently.
+func (f *Future[T]) Wait() (T, error) {
+	if !f.done {
+		if !f.p.resolved {
+			if err := f.d.waitFor(f.p); err != nil {
+				var zero T
+				return zero, err
+			}
+		}
+		f.done = true
+		if f.p.err != nil {
+			f.err = f.p.err
+		} else if f.conv != nil {
+			f.val, f.err = f.conv(f.p)
+		}
+	}
+	return f.val, f.err
+}
+
+// register allocates the next request seq and its table entry.
+func (d *Driver) register() *pendingReply {
+	d.seq++
+	p := &pendingReply{seq: d.seq}
+	d.pending[d.seq] = p
+	return p
+}
+
+// request sends an expect-reply message for p, resolving p immediately
+// when the session is already dead or the send fails.
+func (d *Driver) request(p *pendingReply, m proto.Msg) {
+	if d.dead != nil {
+		delete(d.pending, p.seq)
+		d.resolve(p, d.dead)
+		return
+	}
+	if err := d.send(m); err != nil {
+		delete(d.pending, p.seq)
+		d.resolve(p, err)
+	}
+}
+
+func (d *Driver) resolve(p *pendingReply, err error) {
+	p.resolved = true
+	p.err = err
+}
+
+// fail marks the session dead and resolves every pending reply with the
+// fatal error. Later requests resolve immediately with the same error.
+func (d *Driver) fail(err error) {
+	if d.dead == nil {
+		d.dead = err
+	}
+	for seq, p := range d.pending {
+		if !p.resolved {
+			d.resolve(p, d.dead)
+		}
+		delete(d.pending, seq)
+	}
+}
+
+// waitFor pumps the connection until p resolves. A nil return means p is
+// resolved (possibly with an error recorded in it); a non-nil return is a
+// transient condition — corrupt frame, orphan reply — that leaves p in
+// flight.
+func (d *Driver) waitFor(p *pendingReply) error {
+	for !p.resolved {
+		if d.dead != nil {
+			d.resolve(p, d.dead)
+			return nil
+		}
+		m, err := d.recvMsg()
+		if err != nil {
+			if d.dead != nil {
+				continue // fail() already resolved p; loop exits
+			}
+			return err
+		}
+		if err := d.dispatch(m, p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// dispatch routes one controller message through the pending table.
+// waiting is the entry the caller is blocked on: controller-level errors
+// are not seq-addressed, so they resolve it — matching v1, where errors
+// surfaced on the blocked operation.
+func (d *Driver) dispatch(m proto.Msg, waiting *pendingReply) error {
+	switch m := m.(type) {
+	case *proto.GetResult:
+		return d.deliver(m.Seq, m.Kind(), func(p *pendingReply) { p.data = m.Data })
+	case *proto.BarrierDone:
+		return d.deliver(m.Seq, m.Kind(), func(*pendingReply) {})
+	case *proto.LoopDone:
+		return d.deliver(m.Seq, m.Kind(), func(p *pendingReply) {
+			p.iters, p.lastValue, p.loopErr = m.Iters, m.LastValue, m.Err
+		})
+	case *proto.ErrorMsg:
+		// The entry stays in the table as a resolved tombstone: if the
+		// controller later answers the request anyway, the reply is
+		// swallowed instead of surfacing as an orphan.
+		d.resolve(waiting, fmt.Errorf("driver: controller error: %s", m.Text))
+		return nil
+	case *proto.Shutdown:
+		d.fail(fmt.Errorf("driver: controller shut down"))
+		return nil
+	default:
+		return fmt.Errorf("driver: unexpected %s from controller", m.Kind())
+	}
+}
+
+// deliver resolves the table entry for seq. A reply with no entry is an
+// orphan — the controller answered a request this session never made (or
+// already consumed), which v1 silently dropped and v2 surfaces.
+func (d *Driver) deliver(seq uint64, kind proto.MsgKind, fill func(*pendingReply)) error {
+	p := d.pending[seq]
+	if p == nil {
+		return fmt.Errorf("driver: orphan %s for seq %d (no pending request)", kind, seq)
+	}
+	delete(d.pending, seq)
+	if p.resolved {
+		return nil // tombstone: the request already failed; drop the late reply
+	}
+	fill(p)
+	p.resolved = true
+	return nil
+}

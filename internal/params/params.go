@@ -213,6 +213,19 @@ func (d *Decoder) Float() float64 {
 	return v
 }
 
+// DecodeFloats decodes a raw buffer written via the Floats encoding;
+// empty input decodes to nil. It is the one definition of the scalar
+// framing both the driver's GetFloats and the controller's loop-predicate
+// evaluation read, so the two can never disagree on the same bytes.
+func DecodeFloats(raw []byte) ([]float64, error) {
+	if len(raw) == 0 {
+		return nil, nil
+	}
+	dec := NewDecoder(Blob(raw))
+	vals := dec.Floats()
+	return vals, dec.Err()
+}
+
 // Floats decodes a float64 slice.
 func (d *Decoder) Floats() []float64 {
 	if !d.expect(kindFloats, "floats") {

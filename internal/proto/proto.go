@@ -74,6 +74,11 @@ const (
 	KindRegisterDriverAck
 	KindJobEnd
 	KindJobQuota
+	KindInstantiateWhile
+	KindLoopDone
+	// KindMax is one past the last registered message kind; coverage
+	// tests iterate [KindRegisterWorker, KindMax).
+	KindMax
 )
 
 // KindBatch is the frame-level discriminator for a coalesced batch of
@@ -118,6 +123,8 @@ var kindNames = [...]string{
 	KindRegisterDriverAck:   "register-driver-ack",
 	KindJobEnd:              "job-end",
 	KindJobQuota:            "job-quota",
+	KindInstantiateWhile:    "instantiate-while",
+	KindLoopDone:            "loop-done",
 }
 
 // String returns the message kind name.
@@ -237,6 +244,10 @@ func newMsg(kind MsgKind) Msg {
 		return &JobEnd{}
 	case KindJobQuota:
 		return &JobQuota{}
+	case KindInstantiateWhile:
+		return &InstantiateWhile{}
+	case KindLoopDone:
+		return &LoopDone{}
 	default:
 		return nil
 	}
@@ -663,6 +674,143 @@ func (m *InstantiateBlock) decode(r *wire.Reader) error {
 	for i := range m.ParamArray {
 		m.ParamArray[i] = params.Blob(r.BytesCopy())
 	}
+	return r.Err
+}
+
+// PredOp is a loop predicate's comparison operator.
+type PredOp uint8
+
+// Predicate operators. A loop continues while `value <op> threshold`
+// holds.
+const (
+	PredLT PredOp = iota + 1 // value < threshold
+	PredLE                   // value <= threshold
+	PredGT                   // value > threshold
+	PredGE                   // value >= threshold
+)
+
+// Valid reports whether op is a known comparison.
+func (op PredOp) Valid() bool { return op >= PredLT && op <= PredGE }
+
+// Holds evaluates `v <op> threshold`.
+func (op PredOp) Holds(v, threshold float64) bool {
+	switch op {
+	case PredLT:
+		return v < threshold
+	case PredLE:
+		return v <= threshold
+	case PredGT:
+		return v > threshold
+	case PredGE:
+		return v >= threshold
+	}
+	return false
+}
+
+// Pred is a controller-evaluated loop predicate: the first float64 of one
+// partition's contents (the reduced scalar a basic block writes, paper
+// §2.4) compared against a threshold.
+type Pred struct {
+	Var       ids.VariableID
+	Partition int
+	Op        PredOp
+	Threshold float64
+}
+
+// Holds evaluates the predicate against a fetched scalar.
+func (p Pred) Holds(v float64) bool { return p.Op.Holds(v, p.Threshold) }
+
+func (p *Pred) encode(w *wire.Writer) {
+	w.Uvarint(uint64(p.Var))
+	w.Uvarint(uint64(p.Partition))
+	w.Byte(byte(p.Op))
+	w.Float64(p.Threshold)
+}
+
+func (p *Pred) decode(r *wire.Reader) error {
+	p.Var = ids.VariableID(r.Uvarint())
+	p.Partition = int(r.Uvarint())
+	p.Op = PredOp(r.Byte())
+	p.Threshold = r.Float64()
+	return r.Err
+}
+
+// InstantiateWhile submits a whole data-dependent loop in one message
+// (driver API v2): the controller instantiates the named template
+// back-to-back, evaluating Pred against the reduced scalar after each
+// completion, and answers with a single LoopDone — turning one
+// driver↔controller round trip per iteration (the Figure 3 Get loop) into
+// one per loop. The loop runs at least once and at most MaxIters times,
+// continuing while Pred holds.
+type InstantiateWhile struct {
+	Seq      uint64
+	Name     string
+	Pred     Pred
+	MaxIters int
+	// ParamArray is passed to every iteration's instantiation.
+	ParamArray []params.Blob
+}
+
+// Kind implements Msg.
+func (*InstantiateWhile) Kind() MsgKind { return KindInstantiateWhile }
+
+func (m *InstantiateWhile) encode(w *wire.Writer) {
+	w.Uvarint(m.Seq)
+	w.String(m.Name)
+	m.Pred.encode(w)
+	w.Uvarint(uint64(m.MaxIters))
+	w.Uvarint(uint64(len(m.ParamArray)))
+	for _, p := range m.ParamArray {
+		w.Bytes(p)
+	}
+}
+
+func (m *InstantiateWhile) decode(r *wire.Reader) error {
+	m.Seq = r.Uvarint()
+	m.Name = r.String()
+	if err := m.Pred.decode(r); err != nil {
+		return err
+	}
+	m.MaxIters = int(r.Uvarint())
+	n := r.Count()
+	if r.Err != nil {
+		return r.Err
+	}
+	m.ParamArray = make([]params.Blob, n)
+	for i := range m.ParamArray {
+		m.ParamArray[i] = params.Blob(r.BytesCopy())
+	}
+	return r.Err
+}
+
+// LoopDone answers an InstantiateWhile once its loop exits: how many
+// iterations ran and the scalar the final predicate evaluation saw. A
+// loop that could not run (or failed mid-iteration) still answers, with
+// Err set: the reply is seq-addressed, so the driver's loop future always
+// resolves even when the driver is currently waiting on a different
+// pipelined operation.
+type LoopDone struct {
+	Seq       uint64
+	Iters     int
+	LastValue float64
+	Err       string
+}
+
+// Kind implements Msg.
+func (*LoopDone) Kind() MsgKind { return KindLoopDone }
+
+func (m *LoopDone) encode(w *wire.Writer) {
+	w.Uvarint(m.Seq)
+	w.Uvarint(uint64(m.Iters))
+	w.Float64(m.LastValue)
+	w.String(m.Err)
+}
+
+func (m *LoopDone) decode(r *wire.Reader) error {
+	m.Seq = r.Uvarint()
+	m.Iters = int(r.Uvarint())
+	m.LastValue = r.Float64()
+	m.Err = r.String()
 	return r.Err
 }
 

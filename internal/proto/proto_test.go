@@ -15,6 +15,9 @@ func everyMessage() []Msg {
 		&RegisterWorker{DataAddr: "data/1", Slots: 8},
 		&RegisterWorkerAck{Worker: 3, Peers: map[ids.WorkerID]string{1: "a", 2: "b"}, Eager: true},
 		&RegisterDriver{Name: "drv"},
+		&RegisterDriverAck{Job: 2},
+		&JobEnd{Job: 2},
+		&JobQuota{Job: 2, Slots: 4},
 		&DefineVariable{Var: 4, Name: "x", Partitions: 16},
 		&Put{Var: 4, Partition: 2, Data: []byte{1, 2, 3}},
 		&Get{Seq: 9, Var: 4, Partition: 1},
@@ -32,6 +35,12 @@ func everyMessage() []Msg {
 		&TemplateStart{Name: "blk"},
 		&TemplateEnd{Name: "blk"},
 		&InstantiateBlock{Name: "blk", ParamArray: []params.Blob{{4}, nil}},
+		&InstantiateWhile{
+			Seq: 21, Name: "blk",
+			Pred:     Pred{Var: 4, Partition: 1, Op: PredGE, Threshold: 0.125},
+			MaxIters: 30, ParamArray: []params.Blob{{6}},
+		},
+		&LoopDone{Seq: 21, Iters: 7, LastValue: 0.0625, Err: "bad loop"},
 		&Barrier{Seq: 11},
 		&BarrierDone{Seq: 11},
 		&CheckpointReq{Seq: 12},
@@ -89,7 +98,7 @@ func TestAllKindsCovered(t *testing.T) {
 	for _, m := range everyMessage() {
 		seen[m.Kind()] = true
 	}
-	for k := KindRegisterWorker; k <= KindErrorMsg; k++ {
+	for k := KindRegisterWorker; k < KindMax; k++ {
 		if newMsg(k) == nil {
 			continue
 		}
@@ -120,7 +129,7 @@ func TestTruncatedMessage(t *testing.T) {
 }
 
 func TestKindStrings(t *testing.T) {
-	for k := KindRegisterWorker; k <= KindErrorMsg; k++ {
+	for k := KindRegisterWorker; k < KindMax; k++ {
 		if s := k.String(); s == "" {
 			t.Errorf("kind %d has empty name", k)
 		}

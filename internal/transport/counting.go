@@ -1,0 +1,50 @@
+package transport
+
+import "sync/atomic"
+
+// Counting wraps a Transport and counts the frames sent over connections
+// it dialed. Tests and benchmarks use it to assert frame budgets — e.g.
+// that a controller-evaluated loop costs the driver one frame regardless
+// of iteration count — without instrumenting the nodes themselves.
+type Counting struct {
+	Inner Transport
+	sends atomic.Uint64
+}
+
+// NewCounting wraps inner.
+func NewCounting(inner Transport) *Counting { return &Counting{Inner: inner} }
+
+// Sends returns the number of frames sent over dialed connections.
+func (c *Counting) Sends() uint64 { return c.sends.Load() }
+
+// Dial implements Transport, wrapping the resulting connection.
+func (c *Counting) Dial(addr string) (Conn, error) {
+	conn, err := c.Inner.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	return &countingConn{Conn: conn, sends: &c.sends}, nil
+}
+
+// Listen implements Transport. Accepted connections are not counted: the
+// wrapper meters the dialing side only.
+func (c *Counting) Listen(addr string) (Listener, error) { return c.Inner.Listen(addr) }
+
+type countingConn struct {
+	Conn
+	sends *atomic.Uint64
+}
+
+func (c *countingConn) Send(b []byte) error {
+	c.sends.Add(1)
+	return c.Conn.Send(b)
+}
+
+// SendOwned preserves the inner connection's zero-copy hand-off.
+func (c *countingConn) SendOwned(b []byte) error {
+	c.sends.Add(1)
+	if os, ok := c.Conn.(OwnedSender); ok {
+		return os.SendOwned(b)
+	}
+	return c.Conn.Send(b)
+}
