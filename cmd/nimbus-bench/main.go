@@ -6,6 +6,12 @@
 //	nimbus-bench -exp fig7
 //	nimbus-bench -scale paper -exp table2
 //	nimbus-bench -list
+//
+// With -json, the selected tables plus a fixed set of hot-path
+// micro-benchmarks (ns/op, allocs/op) are also written to the given file
+// as a machine-readable report — the committed BENCH_<n>.json files:
+//
+//	nimbus-bench -exp table2 -json BENCH_6.json
 package main
 
 import (
@@ -36,6 +42,7 @@ var experiments = []struct {
 func main() {
 	scaleName := flag.String("scale", "quick", "experiment scale: quick or paper")
 	exp := flag.String("exp", "all", "experiment to run (or 'all')")
+	jsonPath := flag.String("json", "", "write tables + micro-benchmarks (ns/op, allocs/op) to this JSON file")
 	list := flag.Bool("list", false, "list experiments and exit")
 	flag.Parse()
 
@@ -56,6 +63,7 @@ func main() {
 		os.Exit(2)
 	}
 
+	var tables []*bench.Table
 	ran := 0
 	for _, e := range experiments {
 		if *exp != "all" && *exp != e.name {
@@ -70,9 +78,29 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("%s(completed in %v)\n\n", t.Format(), time.Since(start).Round(time.Millisecond))
+		tables = append(tables, t)
 	}
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *exp)
 		os.Exit(2)
+	}
+	if *jsonPath != "" {
+		fmt.Printf("running micro-benchmarks...\n")
+		micro := bench.Micro()
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "json: %v\n", err)
+			os.Exit(1)
+		}
+		if err := bench.WriteJSON(f, scale.Name, tables, micro); err == nil {
+			err = f.Close()
+		} else {
+			f.Close()
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "json: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *jsonPath)
 	}
 }

@@ -1,0 +1,112 @@
+// Controller failover walkthrough: run k-means with a hot-standby
+// controller attached, kill the primary mid-run, and let the standby take
+// the cluster over — the job finishes with the same centroids an
+// uninterrupted run produces, the driver reattaches transparently, and
+// the workers keep executing through the outage.
+//
+//	go run ./examples/failover
+//
+// See examples/README.md for a step-by-step narration and DESIGN.md
+// ("Controller failover") for the protocol.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"nimbus/internal/app/kmeans"
+	"nimbus/internal/cluster"
+	"nimbus/internal/fn"
+)
+
+func main() {
+	reg := fn.NewRegistry()
+	kmeans.Register(reg)
+
+	// A short lease makes the demo snappy; production would keep the
+	// one-second default. The standby attaches to the running primary,
+	// receives a full snapshot, and tails every logged driver op from
+	// then on.
+	c, err := cluster.Start(cluster.Options{
+		Workers: 4, Registry: reg, LeaseTTL: 200 * time.Millisecond,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Stop()
+	if _, err := c.StartStandby(); err != nil {
+		log.Fatal(err)
+	}
+
+	d, err := c.Driver("failover-demo")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer d.Close()
+
+	job, err := kmeans.Setup(d, kmeans.Config{
+		Partitions: 8, K: 3, Dims: 2, PointsPerPart: 250, Seed: 7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := job.InstallTemplate(); err != nil {
+		log.Fatal(err)
+	}
+
+	const iters = 12
+	const killAt = 5
+	fmt.Printf("clustering for %d iterations; killing the primary after iteration %d\n", iters, killAt)
+	for i := 1; i <= iters; i++ {
+		// Iterate is fire-and-forget: the instantiation is journaled
+		// driver-side before it is sent, so even an op the dying primary
+		// never logged is resent to the promoted controller.
+		if err := job.Iterate(); err != nil {
+			log.Fatal(err)
+		}
+		if i == killAt {
+			fmt.Println("  >> killing the primary controller (no shutdown handshake)")
+			c.KillController()
+			// Nothing else to do: the standby's lease expires, it rebuilds
+			// the control plane from its shadow and re-binds the listen
+			// address; workers reconnect and replay buffered completions;
+			// the driver's next blocked read reattaches and resends its
+			// unapplied journal suffix.
+		}
+		shift, err := job.ShiftValue()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  iteration %2d: centroid shift %.5f\n", i, shift)
+	}
+
+	cents, err := job.CentroidValues()
+	if err != nil {
+		log.Fatal(err)
+	}
+	for k := 0; k+1 < len(cents); k += 2 {
+		fmt.Printf("centroid %d: (%.2f, %.2f)\n", k/2, cents[k], cents[k+1])
+	}
+
+	// Adopt the promoted controller and show the failover ledger.
+	promoted, err := c.AwaitPromotion(5 * time.Second)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nfailover ledger:\n")
+	fmt.Printf("  takeovers: %d, oplog ops replayed: %d\n",
+		promoted.Stats.Takeovers.Load(), promoted.Stats.OpsReplayed.Load())
+	fmt.Printf("  job applied ops %d == driver ops sent %d: %v\n",
+		promoted.JobApplied(d.Job()), d.OpsSent(),
+		promoted.JobApplied(d.Job()) == d.OpsSent())
+	var outage, replayed, dropped, reconnects uint64
+	for _, w := range c.Workers {
+		outage += w.Stats.OutageDone.Load()
+		replayed += w.Stats.ReplayedReports.Load()
+		dropped += w.Stats.DroppedReports.Load()
+		reconnects += w.Stats.Reconnects.Load()
+	}
+	fmt.Printf("  worker reconnects: %d, commands executed during outage: %d\n", reconnects, outage)
+	fmt.Printf("  completion reports replayed: %d, dropped: %d\n", replayed, dropped)
+}

@@ -1,0 +1,238 @@
+// JSON report output: cmd/nimbus-bench -json writes the regenerated
+// tables plus a fixed set of hot-path micro-benchmarks (ns/op and
+// allocs/op via testing.Benchmark) as a machine-readable document, so the
+// perf trajectory is diffable across PRs instead of living only in
+// scrollback. The committed BENCH_<n>.json files at the repo root are
+// these documents, one per growth PR.
+
+package bench
+
+import (
+	"encoding/json"
+	"io"
+	"testing"
+
+	"nimbus/internal/command"
+	"nimbus/internal/core"
+	"nimbus/internal/flow"
+	"nimbus/internal/fn"
+	"nimbus/internal/ids"
+	"nimbus/internal/proto"
+	"nimbus/internal/worker"
+)
+
+// Report is the JSON document cmd/nimbus-bench -json emits.
+type Report struct {
+	Scale  string        `json:"scale"`
+	Tables []TableJSON   `json:"tables"`
+	Micro  []BenchResult `json:"micro"`
+}
+
+// TableJSON is one regenerated table in machine-readable form.
+type TableJSON struct {
+	ID      string     `json:"id"`
+	Title   string     `json:"title"`
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+	Notes   []string   `json:"notes,omitempty"`
+}
+
+// BenchResult is one micro-benchmark measurement.
+type BenchResult struct {
+	Name        string  `json:"name"`
+	N           int     `json:"n"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// WriteJSON renders tables and micro-benchmark results as an indented
+// JSON report.
+func WriteJSON(w io.Writer, scale string, tables []*Table, micro []BenchResult) error {
+	rep := Report{Scale: scale, Micro: micro}
+	for _, t := range tables {
+		rep.Tables = append(rep.Tables, TableJSON{
+			ID: t.ID, Title: t.Title, Columns: t.Columns, Rows: t.Rows, Notes: t.Notes,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// Micro runs the hot-path micro-benchmarks behind Tables 1/2 — the
+// tightest loops whose regressions the tables would smear across cluster
+// noise — under testing.Benchmark and returns ns/op + allocs/op for each.
+func Micro() []BenchResult {
+	specs := []struct {
+		name string
+		fn   func(b *testing.B)
+	}{
+		{"MarshalSteadyState", microMarshalSteadyState},
+		{"UnmarshalSteadyState", microUnmarshalSteadyState},
+		{"TemplateApplyEffects", microApplyEffects},
+		{"TemplateValidate", microValidate},
+		{"WorkerMaterialize", microMaterialize},
+		{"WorkerInstantiateCompiled", microWorkerInstantiate},
+	}
+	out := make([]BenchResult, 0, len(specs))
+	for _, s := range specs {
+		r := testing.Benchmark(s.fn)
+		out = append(out, BenchResult{
+			Name:        s.name,
+			N:           r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		})
+	}
+	return out
+}
+
+// microStages is the LR-shaped stage triple (gradient, reduce, apply) the
+// micro-benchmarks build, matching the root bench_test.go shapes.
+func microStages(parts, fan int) []*proto.SubmitStage {
+	return []*proto.SubmitStage{
+		{Stage: 1, Fn: fn.FuncSim, Tasks: parts,
+			Refs: []proto.VarRef{
+				{Var: 1, Pattern: proto.OnePerTask},
+				{Var: 2, Pattern: proto.Shared},
+				{Var: 3, Write: true, Pattern: proto.OnePerTask},
+			}},
+		{Stage: 2, Fn: fn.FuncSim, Tasks: parts / fan,
+			Refs: []proto.VarRef{
+				{Var: 3, Pattern: proto.Grouped},
+				{Var: 4, Write: true, Pattern: proto.OnePerTask},
+			}},
+		{Stage: 3, Fn: fn.FuncSim, Tasks: 1,
+			Refs: []proto.VarRef{
+				{Var: 4, Pattern: proto.Grouped},
+				{Var: 2, Pattern: proto.Shared},
+				{Var: 2, Write: true, Pattern: proto.Shared},
+			}},
+	}
+}
+
+func microAssignment(workers, parts, fan int) (*core.Assignment, *flow.Directory, map[ids.WorkerID]*flow.Ledger) {
+	place := core.NewStaticPlacement(workers)
+	place.Define(1, parts)
+	place.Define(2, 1)
+	place.Define(3, parts)
+	place.Define(4, parts/fan)
+	var alloc ids.ObjectIDs
+	dir := flow.NewDirectory(&alloc)
+	bld := core.NewBuilder(dir, place)
+	for _, s := range microStages(parts, fan) {
+		if err := bld.AddStage(s); err != nil {
+			panic(err)
+		}
+	}
+	a := bld.Finalize(1)
+	ledgers := make(map[ids.WorkerID]*flow.Ledger, workers)
+	for w := 1; w <= workers; w++ {
+		ledgers[ids.WorkerID(w)] = flow.NewLedger(ids.WorkerID(w))
+	}
+	for _, pc := range a.Preconds {
+		if dir.Latest(pc.Logical) == 0 {
+			dir.RecordWrite(pc.Logical, pc.Worker)
+		} else if !dir.IsLatest(pc.Logical, pc.Worker) {
+			dir.RecordCopy(pc.Logical, pc.Worker)
+		}
+	}
+	return a, dir, ledgers
+}
+
+func microMarshalSteadyState(b *testing.B) {
+	msg := &proto.InstantiateTemplate{
+		Template: 7, Instance: 941, Base: 1 << 40, DoneWatermark: 1<<40 - 8101,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf := proto.GetBuf()
+		buf = proto.MarshalAppend(buf, msg)
+		proto.PutBuf(buf)
+	}
+}
+
+func microUnmarshalSteadyState(b *testing.B) {
+	raw := proto.Marshal(&proto.InstantiateTemplate{
+		Template: 7, Instance: 941, Base: 1 << 40, DoneWatermark: 1<<40 - 8101,
+	})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := proto.Unmarshal(raw); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func microApplyEffects(b *testing.B) {
+	a, dir, ledgers := microAssignment(16, 1024, 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.ApplyEffects(ids.CommandID(uint64(i+1)*100000), dir, ledgers)
+	}
+}
+
+func microValidate(b *testing.B) {
+	a, dir, _ := microAssignment(16, 1024, 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if v := a.Validate(dir); len(v) != 0 {
+			b.Fatalf("violations: %d", len(v))
+		}
+	}
+}
+
+func microMaterialize(b *testing.B) {
+	a, _, _ := microAssignment(16, 1024, 8)
+	idxs := a.PerWorker[1]
+	entries := make([]*command.TemplateEntry, len(idxs))
+	for i, idx := range idxs {
+		entries[i] = &a.Entries[idx]
+	}
+	out := make([]command.Command, len(entries))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		base := ids.CommandID(uint64(i+1) * 100000)
+		for j, e := range entries {
+			e.Materialize(base, nil, &out[j])
+		}
+	}
+}
+
+func microWorkerInstantiate(b *testing.B) {
+	const n = 1024
+	entries := make([]command.TemplateEntry, n)
+	for i := range entries {
+		entries[i] = command.TemplateEntry{
+			Index: int32(i), Kind: command.Destroy,
+			Writes:    []ids.ObjectID{ids.ObjectID(i + 1)},
+			ParamSlot: command.NoParamSlot,
+		}
+		if i > 0 {
+			entries[i].BeforeIdx = []int32{0}
+		}
+	}
+	bl := worker.NewBenchLoop(1)
+	defer bl.Close()
+	bl.Apply(&proto.InstallTemplate{Template: 1, Name: "bench", Entries: entries})
+	span := uint64(n)
+	run := func(i uint64) {
+		bl.Apply(&proto.InstantiateTemplate{
+			Template: 1, Instance: i + 1, Base: ids.CommandID(1 + i*span),
+			DoneWatermark: ids.CommandID(1 + i*span),
+		})
+	}
+	for i := uint64(0); i < 8; i++ {
+		run(i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run(uint64(i) + 8)
+	}
+}

@@ -43,6 +43,9 @@ type Options struct {
 	// HeartbeatEvery / HeartbeatTimeout enable failure detection.
 	HeartbeatEvery   time.Duration
 	HeartbeatTimeout time.Duration
+	// LeaseTTL is the controller leadership lease for failover (zero
+	// defaults to one second; failover tests shrink it).
+	LeaseTTL time.Duration
 	// BuildParallelism bounds the controller's template-build goroutine
 	// pool (0 = GOMAXPROCS, 1 = serial; see controller.Config).
 	BuildParallelism int
@@ -59,6 +62,8 @@ type Cluster struct {
 	Workers    []*worker.Worker
 	Durable    *durable.Mem
 	Registry   *fn.Registry
+	// Standby is the hot-standby controller, if StartStandby was called.
+	Standby *controller.Standby
 
 	opts    Options
 	nextIdx int
@@ -84,17 +89,7 @@ func Start(opts Options) (*Cluster, error) {
 		Registry:  opts.Registry,
 		opts:      opts,
 	}
-	c.Controller = controller.New(controller.Config{
-		ControlAddr:        ControlAddr,
-		Transport:          c.Transport,
-		Mode:               opts.Mode,
-		CentralPerTaskCost: opts.CentralPerTaskCost,
-		LivePerTaskCost:    opts.LivePerTaskCost,
-		HeartbeatTimeout:   opts.HeartbeatTimeout,
-		BuildParallelism:   opts.BuildParallelism,
-		Hooks:              opts.Hooks,
-		Logf:               opts.Logf,
-	})
+	c.Controller = controller.New(c.controllerConfig())
 	if err := c.Controller.Start(); err != nil {
 		return nil, err
 	}
@@ -105,6 +100,23 @@ func Start(opts Options) (*Cluster, error) {
 		}
 	}
 	return c, nil
+}
+
+// controllerConfig builds the controller Config shared by the primary and
+// any standby (a promoted standby re-binds the same address).
+func (c *Cluster) controllerConfig() controller.Config {
+	return controller.Config{
+		ControlAddr:        ControlAddr,
+		Transport:          c.Transport,
+		Mode:               c.opts.Mode,
+		CentralPerTaskCost: c.opts.CentralPerTaskCost,
+		LivePerTaskCost:    c.opts.LivePerTaskCost,
+		HeartbeatTimeout:   c.opts.HeartbeatTimeout,
+		BuildParallelism:   c.opts.BuildParallelism,
+		LeaseTTL:           c.opts.LeaseTTL,
+		Hooks:              c.opts.Hooks,
+		Logf:               c.opts.Logf,
+	}
 }
 
 // AddWorker starts one more worker and registers it with the controller.
@@ -141,9 +153,58 @@ func (c *Cluster) KillWorker(i int) {
 	c.Workers[i].Stop()
 }
 
-// Stop shuts the whole cluster down.
+// StartStandby attaches a hot-standby controller to the running primary.
+// The standby mirrors the primary's replicated state and promotes itself
+// if the primary's leadership lease expires.
+func (c *Cluster) StartStandby() (*controller.Standby, error) {
+	s := controller.NewStandby(c.controllerConfig())
+	if err := s.Start(); err != nil {
+		return nil, err
+	}
+	c.Standby = s
+	return s, nil
+}
+
+// KillController terminates the primary abruptly — no Shutdown handshake,
+// every connection drops — as a crashed controller process appears to its
+// workers, drivers and standby.
+func (c *Cluster) KillController() {
+	c.Controller.Kill()
+}
+
+// AwaitPromotion blocks until the standby has taken over, then adopts the
+// promoted controller as the cluster's controller and returns it.
+func (c *Cluster) AwaitPromotion(timeout time.Duration) (*controller.Controller, error) {
+	if c.Standby == nil {
+		return nil, fmt.Errorf("cluster: no standby attached")
+	}
+	select {
+	case <-c.Standby.Promoted():
+		c.Controller = c.Standby.Controller()
+		return c.Controller, nil
+	case <-c.Standby.Done():
+		// Done closes after Promoted on a successful takeover; reaching it
+		// with no controller means the standby stood down instead.
+		if pc := c.Standby.Controller(); pc != nil {
+			c.Controller = pc
+			return pc, nil
+		}
+		return nil, fmt.Errorf("cluster: standby stood down: %v", c.Standby.Err())
+	case <-time.After(timeout):
+		return nil, fmt.Errorf("cluster: standby not promoted within %v", timeout)
+	}
+}
+
+// Stop shuts the whole cluster down, including a standby and the
+// controller it may have promoted.
 func (c *Cluster) Stop() {
 	c.Controller.Stop()
+	if c.Standby != nil {
+		c.Standby.Stop()
+		if pc := c.Standby.Controller(); pc != nil && pc != c.Controller {
+			pc.Stop()
+		}
+	}
 	for _, w := range c.Workers {
 		w.Stop()
 	}

@@ -134,8 +134,15 @@ func (c *Controller) post(fn func()) {
 // behind an InstantiateWhile, and they must not interleave with its
 // iterations. The fence is per-job: one job's build or loop never delays
 // another job's operations.
+//
+// The fence also holds while the job is recovering or parked for takeover
+// (ops re-sent by a reattaching driver must not execute against
+// pre-revert state) and while the replication window is full (keeping an
+// attached standby within one applied-op of the primary).
 func (c *Controller) driverOp(j *jobState, m proto.Msg) {
-	if len(j.building) > 0 || len(j.opq) > 0 || len(j.loops) > 0 {
+	if j.pendingTakeover || j.recovering ||
+		len(j.building) > 0 || len(j.opq) > 0 || len(j.loops) > 0 ||
+		c.replStalled() {
 		j.opq = append(j.opq, m)
 		return
 	}
@@ -165,9 +172,11 @@ func (c *Controller) dispatchDriverOp(j *jobState, m proto.Msg) {
 }
 
 // drainOps runs a job's queued driver operations until the queue empties
-// or one of them starts another build or loop (re-raising the fence).
+// or one of them re-raises the fence (another build or loop, a full
+// replication window, or recovery).
 func (c *Controller) drainOps(j *jobState) {
-	for len(j.opq) > 0 && len(j.building) == 0 && len(j.loops) == 0 {
+	for len(j.opq) > 0 && len(j.building) == 0 && len(j.loops) == 0 &&
+		!j.recovering && !j.pendingTakeover && !c.replStalled() {
 		m := j.opq[0]
 		j.opq[0] = nil
 		j.opq = j.opq[1:]
@@ -324,7 +333,12 @@ func (c *Controller) planRetargets(j *jobState, set []ids.WorkerID, sig string) 
 	names := make([]string, 0, len(j.templates))
 	for name, t := range j.templates {
 		if t.Active == nil {
-			continue // build in flight; its commit re-resolves
+			if _, inFlight := j.building[name]; inFlight {
+				continue // build in flight; its commit re-resolves
+			}
+			// No assignment and no build in flight: a promoted
+			// controller's replayed recording. Build its first
+			// assignment here like any other retarget.
 		}
 		names = append(names, name)
 	}

@@ -89,6 +89,12 @@ type Config struct {
 	// both the background executor and the intra-build sharding (0 =
 	// GOMAXPROCS, 1 = serial builds). The pool is shared by all jobs.
 	BuildParallelism int
+	// LeaseTTL is the leadership lease duration for controller failover:
+	// with a standby attached, the primary renews its lease every
+	// LeaseTTL/3 over the replication stream, and the standby promotes
+	// itself once LeaseTTL elapses without a renewal. Zero defaults to
+	// one second.
+	LeaseTTL time.Duration
 	// Hooks are optional test/fault-injection instrumentation points.
 	Hooks Hooks
 	// Logf receives diagnostics. Nil defaults to log.Printf.
@@ -134,6 +140,12 @@ type Stats struct {
 	// unresolved — overlap only possible with the async driver surface.
 	PredicateEvals atomic.Uint64
 	PipelinedGets  atomic.Uint64
+	// Takeovers counts jobs this controller recovered through standby
+	// promotion (always 0 on a controller that was never promoted);
+	// OpsReplayed counts logged driver operations re-executed by
+	// recovery or takeover replay.
+	Takeovers   atomic.Uint64
+	OpsReplayed atomic.Uint64
 
 	ScheduleNanos    atomic.Uint64 // live per-task scheduling
 	RecordNanos      atomic.Uint64 // template recording (stage capture) time
@@ -177,6 +189,19 @@ type Controller struct {
 	// dirty lists workers with staged messages awaiting the end-of-event
 	// coalesced flush.
 	dirty []*workerState
+
+	// Failover state (repl.go, takeover.go): the attached standby's
+	// replication stream (nil without one), the lease epoch renewals
+	// carry, the rejoin roster a promoted controller waits on before
+	// takeover recovery, and the tracked connection set Kill tears down.
+	repl         *replState
+	epoch        uint64
+	expectRejoin map[ids.WorkerID]struct{}
+	takeoverWait bool
+
+	connMu   sync.Mutex
+	conns    map[transport.Conn]struct{}
+	stopOnce sync.Once
 
 	// Stats is exported for benchmarks and tests.
 	Stats Stats
@@ -248,6 +273,23 @@ type jobState struct {
 	haltSeq     uint64
 	haltPending map[ids.WorkerID]bool
 	recovering  bool
+
+	// Failover. applied counts the job's logged driver operations
+	// (replayed ops do not re-count); it is streamed to the standby and
+	// echoed to a reattaching driver, which resumes its journal from it.
+	// defs is a promoted job's definition replay list (variables and
+	// template recordings), set at restoration and consumed by takeover
+	// recovery; live jobs reconstruct definitions on demand for the
+	// replication snapshot instead. pendingTakeover parks a promoted job
+	// between restoration and its takeover recovery: driver ops queue
+	// behind the fence and quiescence checks stand down until the worker
+	// roster reassembles.
+	applied         uint64
+	defs            []proto.Msg
+	pendingTakeover bool
+	// loopStepping marks a controller-originated instantiation (a loop
+	// iteration): logged and replicated, but not counted in applied.
+	loopStepping bool
 }
 
 type workerState struct {
@@ -357,6 +399,7 @@ func New(cfg Config) *Controller {
 		fetches:  make(map[uint64]*pendingFetch),
 		buildSem: make(chan struct{}, cfg.BuildParallelism),
 		buildPar: cfg.BuildParallelism,
+		conns:    make(map[transport.Conn]struct{}),
 	}
 	return c
 }
@@ -398,6 +441,11 @@ func (c *Controller) Start() error {
 	if err != nil {
 		return fmt.Errorf("controller: listen: %w", err)
 	}
+	c.startWith(lis)
+	return nil
+}
+
+func (c *Controller) startWith(lis transport.Listener) {
 	c.lis = lis
 	c.wg.Add(2)
 	go c.acceptLoop()
@@ -406,11 +454,11 @@ func (c *Controller) Start() error {
 		c.wg.Add(1)
 		go c.tickLoop()
 	}
-	return nil
 }
 
-// Stop shuts the controller down: workers and every driver receive
-// Shutdown and every connection is closed so pump goroutines exit.
+// Stop shuts the controller down: workers, every driver and an attached
+// standby receive Shutdown — so none of them treats this as a failure —
+// and every connection is closed so pump goroutines exit.
 func (c *Controller) Stop() {
 	c.Do(func() {
 		for _, ws := range c.workers {
@@ -427,12 +475,55 @@ func (c *Controller) Stop() {
 			ws.conn.Close()
 		}
 		for _, j := range c.jobs {
-			j.conn.Close()
+			if j.conn != nil {
+				j.conn.Close()
+			}
+		}
+		if c.repl != nil {
+			// A graceful stop must not trigger a takeover: the standby
+			// sees the Shutdown and stands down instead of waiting out
+			// the lease.
+			c.repl.send(&proto.Shutdown{})
+			c.repl.conn.Close()
+			c.repl = nil
 		}
 	})
-	close(c.stopped)
+	c.stopOnce.Do(func() { close(c.stopped) })
 	c.lis.Close()
 	c.wg.Wait()
+}
+
+// Kill terminates the controller abruptly: no shutdown handshake, no
+// flush — every connection just drops, exactly as a crashed process
+// appears to its workers, drivers and standby. Failover tests use it;
+// production paths call Stop.
+func (c *Controller) Kill() {
+	c.stopOnce.Do(func() { close(c.stopped) })
+	if c.lis != nil {
+		c.lis.Close()
+	}
+	c.connMu.Lock()
+	conns := make([]transport.Conn, 0, len(c.conns))
+	for conn := range c.conns {
+		conns = append(conns, conn)
+	}
+	c.conns = nil
+	c.connMu.Unlock()
+	for _, conn := range conns {
+		conn.Close()
+	}
+	c.wg.Wait()
+}
+
+// trackConn records a handshaken connection so Kill can sever it. The
+// event-loop-confined worker/job tables cannot be read from Kill's
+// goroutine, hence the separate mutex-protected registry.
+func (c *Controller) trackConn(conn transport.Conn) {
+	c.connMu.Lock()
+	if c.conns != nil {
+		c.conns[conn] = struct{}{}
+	}
+	c.connMu.Unlock()
 }
 
 // Addr returns the controller's actual listen address (useful with
@@ -498,7 +589,9 @@ func (c *Controller) handshake(conn transport.Conn) {
 		return
 	}
 	switch msg.(type) {
-	case *proto.RegisterWorker, *proto.RegisterDriver:
+	case *proto.RegisterWorker, *proto.RegisterDriver,
+		*proto.ReplAttach, *proto.WorkerReconnect, *proto.DriverReattach:
+		c.trackConn(conn)
 		select {
 		case c.events <- cevent{kind: cevMsg, msg: msg, conn: conn}:
 		case <-c.stopped:
@@ -524,7 +617,7 @@ func (c *Controller) pump(conn transport.Conn, from ids.WorkerID, job ids.JobID,
 		raw, err := conn.Recv()
 		if err != nil {
 			select {
-			case c.events <- cevent{kind: cevConnClosed, from: from, job: job, isDrv: isDriver, rerr: err}:
+			case c.events <- cevent{kind: cevConnClosed, from: from, job: job, isDrv: isDriver, rerr: err, conn: conn}:
 			case <-c.stopped:
 			}
 			return
@@ -582,6 +675,18 @@ func (c *Controller) handleMsg(ev cevent) {
 		return
 	case *proto.RegisterDriver:
 		c.registerDriver(m, ev.conn)
+		return
+	case *proto.ReplAttach:
+		c.handleReplAttach(ev.conn)
+		return
+	case *proto.ReplAck:
+		c.handleReplAck(m)
+		return
+	case *proto.WorkerReconnect:
+		c.reconnectWorker(m, ev.conn)
+		return
+	case *proto.DriverReattach:
+		c.reattachDriver(m, ev.conn)
 		return
 	case *proto.Complete:
 		if j := c.jobs[m.Job]; j != nil {
@@ -675,6 +780,7 @@ func (c *Controller) registerWorker(m *proto.RegisterWorker, conn transport.Conn
 	c.sendQuotas(ws)
 	c.wg.Add(1)
 	go c.pump(conn, id, ids.NoJob, false)
+	c.maybeStartTakeover()
 }
 
 func (c *Controller) peerMap() map[ids.WorkerID]string {
@@ -695,6 +801,7 @@ func (c *Controller) registerDriver(m *proto.RegisterDriver, conn transport.Conn
 	c.jobs[j.id] = j
 	c.totalWeight += j.weight
 	c.Stats.JobsAdmitted.Add(1)
+	c.replJobStart(j)
 	c.sendDriver(j, &proto.RegisterDriverAck{Job: j.id})
 	c.rebalanceSlots()
 	c.wg.Add(1)
@@ -714,6 +821,7 @@ func (c *Controller) endJob(j *jobState, reason string) {
 	delete(c.jobs, j.id)
 	c.totalWeight -= j.weight
 	c.Stats.JobsEnded.Add(1)
+	c.replJobEnd(j)
 	c.cfg.Logf("controller: %s ended (%s): %d templates, %d outstanding dropped",
 		j.id, reason, len(j.templates), len(j.outstanding))
 	for _, ws := range c.workers {
@@ -729,7 +837,9 @@ func (c *Controller) endJob(j *jobState, reason string) {
 			delete(c.fetches, seq)
 		}
 	}
-	j.conn.Close()
+	if j.conn != nil {
+		j.conn.Close()
+	}
 	c.rebalanceSlots()
 }
 
@@ -844,7 +954,10 @@ func (c *Controller) flushWorker(ws *workerState) {
 }
 
 func (c *Controller) sendDriver(j *jobState, m proto.Msg) {
-	if j == nil || j.dead {
+	// A nil conn is a promoted job whose driver has not reattached yet:
+	// the message is dropped, and the driver's reattach reconciliation
+	// (journal resend + re-issued requests) recreates anything it missed.
+	if j == nil || j.dead || j.conn == nil {
 		return
 	}
 	buf := proto.MarshalAppend(proto.GetBuf(), m)
@@ -858,8 +971,14 @@ func (c *Controller) sendDriver(j *jobState, m proto.Msg) {
 }
 
 func (c *Controller) handleClosed(ev cevent) {
+	if c.repl != nil && ev.conn == c.repl.conn {
+		c.standbyLost(ev.rerr)
+		return
+	}
 	if ev.isDrv {
-		if j := c.jobs[ev.job]; j != nil {
+		// Only the job's current connection may end it: a reattach closes
+		// the stale connection, whose pump exit must not tear the job down.
+		if j := c.jobs[ev.job]; j != nil && (ev.conn == nil || ev.conn == j.conn) {
 			c.endJob(j, "driver disconnected")
 		}
 		return

@@ -83,7 +83,14 @@ func (c *Controller) handleInstantiateWhile(j *jobState, m *proto.InstantiateWhi
 // It reports whether the instantiation succeeded; on failure the loop is
 // aborted (the instantiation path already surfaced the driver error).
 func (c *Controller) stepLoop(j *jobState, lp *loopState) bool {
-	if !c.handleInstantiateBlock(j, &proto.InstantiateBlock{Name: lp.name, ParamArray: lp.params}) {
+	// Loop iterations are controller-originated: they join the oplog (a
+	// recovery replays them) but must not advance the job's applied
+	// driver-op count, which indexes the DRIVER's journal for reattach
+	// reconciliation — the driver never journaled these.
+	j.loopStepping = true
+	ok := c.handleInstantiateBlock(j, &proto.InstantiateBlock{Name: lp.name, ParamArray: lp.params})
+	j.loopStepping = false
+	if !ok {
 		c.abortLoop(j, lp)
 		return false
 	}

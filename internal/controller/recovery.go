@@ -24,6 +24,11 @@ import (
 //	placement, and replay only that job's driver-operation log.
 
 func (c *Controller) handleCheckpointReq(j *jobState, m *proto.CheckpointReq) {
+	for _, seq := range j.ckpt.requested {
+		if seq == m.Seq {
+			return // re-issued across a failover; already queued
+		}
+	}
 	j.ckpt.requested = append(j.ckpt.requested, m.Seq)
 	c.logOpBeforeCheckpoint()
 	c.resolveIfQuiet(j)
@@ -67,6 +72,9 @@ func (c *Controller) beginCheckpoint(j *jobState) {
 		})
 		j.ckpt.pendingManifest[l] = latest
 	})
+	// The Save commands allocated IDs outside any logged op; sync the
+	// high-water marks so a promotion cannot re-issue them.
+	c.replSync(j)
 	c.dispatchCommands(j, batches)
 	// With nothing to save, commit immediately.
 	c.resolveIfQuiet(j)
@@ -85,12 +93,16 @@ func (c *Controller) commitCheckpoint(j *jobState) {
 	j.ckpt.last = j.ckpt.count
 	j.ckpt.manifest = j.ckpt.pendingManifest
 	j.ckpt.pendingManifest = nil
+	drop := j.ckpt.logMark
 	if tail := j.oplog[j.ckpt.logMark:]; len(tail) > 0 {
 		j.oplog = append([]proto.Msg(nil), tail...)
 	} else {
 		j.oplog = nil
 	}
 	j.ckpt.logMark = 0
+	// Mirror the truncation on the standby: it adopts the manifest and
+	// drops the same oplog prefix the checkpoint now subsumes.
+	c.replCkpt(j, uint64(drop))
 	for _, seq := range j.ckpt.requested {
 		c.sendDriver(j, &proto.BarrierDone{Seq: seq})
 	}
@@ -249,6 +261,15 @@ func (c *Controller) finishRecovery(j *jobState) {
 		c.replayOp(j, m)
 	}
 	j.replaying = false
+	c.Stats.OpsReplayed.Add(uint64(len(replay)))
+	// Replay re-executed every logged op with fresh command and object
+	// IDs; sync the high-water marks so a later promotion starts above
+	// them.
+	c.replSync(j)
+	// Driver ops fenced behind the recovery (a reattaching driver's
+	// journal resend, or ops queued before the failure) apply on top of
+	// the restored state.
+	c.drainOps(j)
 	c.resolveIfQuiet(j)
 }
 

@@ -60,7 +60,7 @@ func (c *Controller) handleDefineVariable(j *jobState, m *proto.DefineVariable) 
 		vm.assign[p] = c.active[p%len(c.active)]
 	}
 	j.vars[m.Var] = vm
-	j.logOp(m)
+	c.logOp(j, m)
 }
 
 func (c *Controller) driverError(j *jobState, text string) {
@@ -90,7 +90,7 @@ func (c *Controller) handlePut(j *jobState, m *proto.Put) {
 	}
 	j.autoValid = false
 	c.dispatchCommands(j, map[ids.WorkerID][]*command.Command{w: {cmd}})
-	j.logOp(m)
+	c.logOp(j, m)
 }
 
 // handleGet registers a synchronized read: the reply is sent once all the
@@ -98,6 +98,19 @@ func (c *Controller) handlePut(j *jobState, m *proto.Put) {
 // that drive data-dependent control flow, paper §2.4). Another job's
 // outstanding work never delays a Get.
 func (c *Controller) handleGet(j *jobState, m *proto.Get) {
+	// A driver re-issues unresolved Gets with their original seq after a
+	// failover; against a surviving controller the first issue may still
+	// be parked or fetching, so the duplicate is dropped.
+	for _, g := range j.gets {
+		if g.seq == m.Seq {
+			return
+		}
+	}
+	for _, pf := range c.fetches {
+		if pf.job == j.id && pf.loop == nil && pf.driverSeq == m.Seq {
+			return
+		}
+	}
 	if len(j.gets) > 0 {
 		// Another read is already parked: the driver pipelined its Gets
 		// (v2 GetAsync) instead of gating each on the previous reply.
@@ -108,6 +121,11 @@ func (c *Controller) handleGet(j *jobState, m *proto.Get) {
 }
 
 func (c *Controller) handleBarrier(j *jobState, m *proto.Barrier) {
+	for _, b := range j.barriers {
+		if b.seq == m.Seq {
+			return // re-issued across a failover; already parked
+		}
+	}
 	j.barriers = append(j.barriers, pendingBarrier{seq: m.Seq})
 	c.resolveIfQuiet(j)
 }
@@ -133,6 +151,12 @@ func (j *jobState) totalOutstanding() int {
 // for the loop). Barriers and gets still wait for everything, loops
 // included, so they observe the loop's final state.
 func (c *Controller) resolveIfQuiet(j *jobState) {
+	// A recovering or takeover-parked job must not resolve anything: its
+	// apparent quiescence is the halt flush, not real completion, and a
+	// reattached driver's parked gets would read pre-revert state.
+	if j.recovering || j.pendingTakeover {
+		return
+	}
 	if j.workOutstanding() > 0 {
 		return
 	}
@@ -218,7 +242,7 @@ func (c *Controller) handleSubmitStage(j *jobState, m *proto.SubmitStage) {
 		c.driverError(j, err.Error())
 		return
 	}
-	j.logOp(m)
+	c.logOp(j, m)
 }
 
 // scheduleStageLive schedules a stage the non-templated way: per-task

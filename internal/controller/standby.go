@@ -1,0 +1,408 @@
+package controller
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"nimbus/internal/ids"
+	"nimbus/internal/proto"
+	"nimbus/internal/transport"
+)
+
+// Standby is a hot-standby controller: it attaches to a running primary,
+// mirrors its replicated state (repl.go) into a shadow, and watches the
+// leadership lease the stream carries. While the primary renews on time,
+// the standby only applies and acks. When the lease expires — the primary
+// stopped renewing, whether its process died or its connection dropped
+// without a graceful Shutdown — the standby promotes itself: it builds a
+// ReplSnapshot from the shadow, constructs a Controller from it
+// (takeover.go) under the next leadership epoch, and re-binds the
+// primary's listen endpoint. A graceful primary Stop sends Shutdown on
+// the stream instead, and the standby stands down without promoting.
+type Standby struct {
+	cfg Config
+
+	conn transport.Conn
+	// epoch is the primary's leadership epoch as last renewed; promotion
+	// uses epoch+1.
+	epoch uint64
+	// ttl is the lease duration the primary last announced.
+	ttl time.Duration
+
+	shadow *shadowState
+
+	mu       sync.Mutex
+	promoted *Controller
+	err      error
+
+	stopped    chan struct{}
+	stopOnce   sync.Once
+	done       chan struct{}
+	promotedCh chan struct{}
+}
+
+// shadowState mirrors the primary's replicated cluster state.
+type shadowState struct {
+	jobSeq     uint32
+	nextWorker uint32
+	workers    []ids.WorkerID
+	jobs       map[ids.JobID]*shadowJob
+	order      []ids.JobID // admission order, for a deterministic snapshot
+}
+
+// shadowJob mirrors one job. Defs and oplog hold raw marshaled ops: the
+// standby never interprets them beyond classification — interpretation is
+// the promoted controller's replay.
+type shadowJob struct {
+	name      string
+	weight    int
+	applied   uint64
+	ckpt      uint64
+	ckptCount uint64
+	manifest  []proto.ManifestEntry
+	defs      [][]byte
+	oplog     [][]byte
+	nextCmd   uint64
+	nextObj   uint64
+	// recording tracks whether the def history ends inside an open
+	// template recording, so streamed SubmitStages classify as definition
+	// history (they are part of the recording) in addition to the oplog.
+	recording bool
+}
+
+// NewStandby creates a standby for the primary at cfg.ControlAddr. The
+// same Config later seeds the promoted controller, which re-binds that
+// address.
+func NewStandby(cfg Config) *Standby {
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	return &Standby{
+		cfg:        cfg,
+		stopped:    make(chan struct{}),
+		done:       make(chan struct{}),
+		promotedCh: make(chan struct{}),
+	}
+}
+
+// Start attaches to the primary: dial, send ReplAttach, receive the full
+// snapshot, then watch the stream. It returns once attached (the shadow
+// holds the snapshot), with the watcher running. On error the standby is
+// finished: Stop is a no-op and Done is already closed.
+func (s *Standby) Start() (retErr error) {
+	defer func() {
+		if retErr != nil {
+			close(s.done)
+		}
+	}()
+	conn, err := transport.DialRetry(s.cfg.Transport, s.cfg.ControlAddr, transport.Backoff{}, 0, 2*time.Second, s.stopped)
+	if err != nil {
+		return fmt.Errorf("standby: attach dial: %w", err)
+	}
+	buf := proto.MarshalAppend(proto.GetBuf(), &proto.ReplAttach{})
+	if owned, err := transport.SendOwned(conn, buf); err != nil {
+		if !owned {
+			proto.PutBuf(buf)
+		}
+		conn.Close()
+		return fmt.Errorf("standby: attach send: %w", err)
+	} else if !owned {
+		proto.PutBuf(buf)
+	}
+	// The first frame is the snapshot (possibly with the first lease
+	// renewal behind it in a later frame).
+	raw, err := conn.Recv()
+	if err != nil {
+		conn.Close()
+		return fmt.Errorf("standby: snapshot recv: %w", err)
+	}
+	var pending []proto.Msg
+	err = proto.ForEachMsg(raw, func(m proto.Msg) error {
+		pending = append(pending, m)
+		return nil
+	})
+	proto.PutBuf(raw)
+	if err == nil && (len(pending) == 0 || pending[0].Kind() != proto.KindReplSnapshot) {
+		err = errors.New("standby: primary did not send a snapshot")
+	}
+	if err != nil {
+		conn.Close()
+		return err
+	}
+	s.conn = conn
+	s.ttl = defaultLeaseTTL
+	if s.cfg.LeaseTTL > 0 {
+		s.ttl = s.cfg.LeaseTTL
+	}
+	s.adoptSnapshot(pending[0].(*proto.ReplSnapshot))
+	for _, m := range pending[1:] {
+		s.apply(m)
+	}
+	go s.watch()
+	return nil
+}
+
+func (s *Standby) adoptSnapshot(snap *proto.ReplSnapshot) {
+	sh := &shadowState{
+		jobSeq:     snap.JobSeq,
+		nextWorker: snap.NextWorker,
+		workers:    append([]ids.WorkerID(nil), snap.Workers...),
+		jobs:       make(map[ids.JobID]*shadowJob, len(snap.Jobs)),
+	}
+	for _, rj := range snap.Jobs {
+		sj := &shadowJob{
+			name: rj.Name, weight: rj.Weight, applied: rj.Applied,
+			ckpt: rj.Ckpt, ckptCount: rj.CkptCount,
+			manifest: rj.Manifest, defs: rj.Defs, oplog: rj.Oplog,
+			nextCmd: rj.NextCmd, nextObj: rj.NextObj,
+		}
+		// The def history ends inside a recording iff it has an unmatched
+		// TemplateStart (the primary appends TemplateEnd on completion).
+		for _, raw := range rj.Defs {
+			switch classify(raw) {
+			case proto.KindTemplateStart:
+				sj.recording = true
+			case proto.KindTemplateEnd:
+				sj.recording = false
+			}
+		}
+		sh.jobs[rj.Job] = sj
+		sh.order = append(sh.order, rj.Job)
+	}
+	s.shadow = sh
+}
+
+func classify(raw []byte) proto.MsgKind {
+	if len(raw) == 0 {
+		return 0
+	}
+	return proto.MsgKind(raw[0])
+}
+
+// watch runs the standby's two loops: a reader feeding stream messages
+// into a channel, and the lease watchdog. The watchdog promotes on lease
+// expiry regardless of connection state: a dropped stream without a
+// graceful Shutdown is treated exactly like a silent primary — wait out
+// the lease (the primary may be alive with only the standby link down),
+// then take over.
+func (s *Standby) watch() {
+	defer close(s.done)
+	msgs := make(chan proto.Msg, 256)
+	readErr := make(chan error, 1)
+	go func() {
+		for {
+			raw, err := s.conn.Recv()
+			if err != nil {
+				readErr <- err
+				return
+			}
+			err = proto.ForEachMsg(raw, func(m proto.Msg) error {
+				select {
+				case msgs <- m:
+					return nil
+				case <-s.stopped:
+					return errPumpStopped
+				}
+			})
+			proto.PutBuf(raw)
+			if err != nil {
+				readErr <- err
+				return
+			}
+		}
+	}()
+
+	lease := time.NewTimer(s.ttl)
+	defer lease.Stop()
+	streamDown := false
+	for {
+		select {
+		case m := <-msgs:
+			switch v := m.(type) {
+			case *proto.LeaseRenew:
+				s.epoch = v.Epoch
+				if v.TTLMillis > 0 {
+					s.ttl = time.Duration(v.TTLMillis) * time.Millisecond
+				}
+				if !lease.Stop() {
+					<-lease.C
+				}
+				lease.Reset(s.ttl)
+			case *proto.Shutdown:
+				// Graceful primary stop: stand down, never promote.
+				s.conn.Close()
+				s.fail(nil)
+				return
+			default:
+				s.apply(m)
+			}
+		case err := <-readErr:
+			// Stream lost without a Shutdown. Do not promote yet — the
+			// lease may still be renewed through a primary that is alive
+			// but unreachable from here; promotion waits for expiry.
+			if !streamDown {
+				streamDown = true
+				s.cfg.Logf("standby: stream lost, waiting out lease: %v", err)
+			}
+		case <-lease.C:
+			s.conn.Close()
+			s.promote()
+			return
+		case <-s.stopped:
+			s.conn.Close()
+			s.fail(errors.New("standby: stopped"))
+			return
+		}
+	}
+}
+
+// promote builds a controller from the shadow and takes the cluster over.
+// The bind deadline is generous relative to the lease: the deposed
+// primary's endpoint frees as its process tears down.
+func (s *Standby) promote() {
+	snap := s.snapshot()
+	c := NewFromReplica(s.cfg, snap, s.epoch+1)
+	if err := c.StartTakeover(10*s.ttl, s.stopped); err != nil {
+		s.fail(err)
+		return
+	}
+	s.mu.Lock()
+	s.promoted = c
+	s.mu.Unlock()
+	close(s.promotedCh)
+}
+
+// snapshot re-materializes a ReplSnapshot from the shadow.
+func (s *Standby) snapshot() *proto.ReplSnapshot {
+	sh := s.shadow
+	snap := &proto.ReplSnapshot{
+		JobSeq:     sh.jobSeq,
+		NextWorker: sh.nextWorker,
+		Workers:    sh.workers,
+	}
+	for _, id := range sh.order {
+		sj := sh.jobs[id]
+		snap.Jobs = append(snap.Jobs, &proto.ReplJob{
+			Job: id, Name: sj.name, Weight: sj.weight, Applied: sj.applied,
+			Ckpt: sj.ckpt, CkptCount: sj.ckptCount, Manifest: sj.manifest,
+			Defs: sj.defs, Oplog: sj.oplog,
+			NextCmd: sj.nextCmd, NextObj: sj.nextObj,
+		})
+	}
+	return snap
+}
+
+// apply folds one replicated increment into the shadow and acks ops.
+func (s *Standby) apply(m proto.Msg) {
+	sh := s.shadow
+	switch v := m.(type) {
+	case *proto.ReplOp:
+		sj := sh.jobs[v.Job]
+		if sj == nil {
+			return
+		}
+		sj.nextCmd = v.NextCmd
+		sj.nextObj = v.NextObj
+		if len(v.Raw) == 0 {
+			// Allocator sync only (checkpoint saves, recovery replay):
+			// adopt the marks, nothing to append or ack.
+			return
+		}
+		switch classify(v.Raw) {
+		case proto.KindDefineVariable:
+			sj.defs = append(sj.defs, v.Raw)
+		case proto.KindTemplateStart:
+			sj.defs = append(sj.defs, v.Raw)
+			sj.recording = true
+		case proto.KindTemplateEnd:
+			sj.defs = append(sj.defs, v.Raw)
+			sj.recording = false
+		case proto.KindSubmitStage:
+			if sj.recording {
+				sj.defs = append(sj.defs, v.Raw)
+			}
+		}
+		// Every logged op joins the oplog mirror (definitions too: the
+		// primary logs them, and replayOp skips what recovery re-derives).
+		sj.oplog = append(sj.oplog, v.Raw)
+		sj.applied = v.Index
+		s.ack(v.Job, v.Index)
+	case *proto.ReplCkpt:
+		sj := sh.jobs[v.Job]
+		if sj == nil {
+			return
+		}
+		sj.ckpt = v.Ckpt
+		sj.ckptCount = v.Count
+		sj.manifest = v.Manifest
+		if v.Drop >= uint64(len(sj.oplog)) {
+			sj.oplog = nil
+		} else {
+			sj.oplog = append([][]byte(nil), sj.oplog[v.Drop:]...)
+		}
+	case *proto.ReplJobStart:
+		sj := &shadowJob{name: v.Name, weight: v.Weight}
+		sh.jobs[v.Job] = sj
+		sh.order = append(sh.order, v.Job)
+		if seq := uint32(v.Job); seq > sh.jobSeq {
+			sh.jobSeq = seq
+		}
+	case *proto.ReplJobEnd:
+		delete(sh.jobs, v.Job)
+		for i, id := range sh.order {
+			if id == v.Job {
+				sh.order = append(sh.order[:i], sh.order[i+1:]...)
+				break
+			}
+		}
+	default:
+		s.cfg.Logf("standby: unexpected stream message %s", m.Kind())
+	}
+}
+
+func (s *Standby) ack(job ids.JobID, index uint64) {
+	buf := proto.MarshalAppend(proto.GetBuf(), &proto.ReplAck{Job: job, Index: index})
+	if owned, err := transport.SendOwned(s.conn, buf); err != nil {
+		s.cfg.Logf("standby: ack send: %v", err)
+	} else if !owned {
+		proto.PutBuf(buf)
+	}
+}
+
+func (s *Standby) fail(err error) {
+	s.mu.Lock()
+	s.err = err
+	s.mu.Unlock()
+}
+
+// Promoted returns a channel closed when the standby has taken over.
+func (s *Standby) Promoted() <-chan struct{} { return s.promotedCh }
+
+// Controller returns the promoted controller (nil before promotion). The
+// caller owns its lifecycle; Stop on the standby does not stop it.
+func (s *Standby) Controller() *Controller {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.promoted
+}
+
+// Err reports why the standby stood down (nil after a graceful primary
+// shutdown or a successful promotion).
+func (s *Standby) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// Stop halts the watcher. A controller already promoted keeps running —
+// the caller owns it.
+func (s *Standby) Stop() {
+	s.stopOnce.Do(func() { close(s.stopped) })
+	<-s.done
+}
+
+// Done returns a channel closed when the watcher has exited (promotion,
+// graceful shutdown, or Stop).
+func (s *Standby) Done() <-chan struct{} { return s.done }

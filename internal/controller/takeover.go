@@ -1,0 +1,282 @@
+package controller
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"nimbus/internal/core"
+	"nimbus/internal/flow"
+	"nimbus/internal/ids"
+	"nimbus/internal/proto"
+	"nimbus/internal/transport"
+)
+
+// This file is the promoted controller's half of failover: rebuilding the
+// control plane from the replicated shadow and taking the cluster over.
+//
+// When the standby's lease expires (standby.go) it calls NewFromReplica
+// with its shadow state and StartTakeover to re-bind the primary's listen
+// endpoint. Restored jobs park behind pendingTakeover while the worker
+// roster reassembles via WorkerReconnect; once every expected worker is
+// back, beginTakeover replays each job's definition history to rebuild
+// variables and template recordings, then drives the job through the
+// existing halt → revert-to-checkpoint → replay-oplog recovery path
+// (recovery.go). Reattaching drivers learn the job's applied-op count and
+// resend the journaled suffix the dead primary never logged.
+
+// NewFromReplica builds a controller from a replicated snapshot. The
+// result is inert until StartTakeover; epoch is the promoted leadership
+// epoch (strictly above the deposed primary's).
+func NewFromReplica(cfg Config, snap *proto.ReplSnapshot, epoch uint64) *Controller {
+	c := New(cfg)
+	c.epoch = epoch
+	c.jobSeq = snap.JobSeq
+	c.nextWorker = ids.WorkerID(snap.NextWorker)
+	c.expectRejoin = make(map[ids.WorkerID]struct{}, len(snap.Workers))
+	for _, w := range snap.Workers {
+		c.expectRejoin[w] = struct{}{}
+	}
+	c.takeoverWait = true
+	for _, rj := range snap.Jobs {
+		c.restoreJob(rj)
+	}
+	return c
+}
+
+// restoreJob rebuilds one job's control-plane skeleton from its replicated
+// shadow. Jobs keep their original IDs — drivers hold them. Variables,
+// templates and directory state are NOT rebuilt here: they come from the
+// definition replay and checkpoint revert in beginTakeover, once workers
+// are back. The allocators advance past the replicated high-water marks
+// first, before the directory captures the object allocator, so no ID a
+// surviving worker may still hold state under is ever re-issued.
+func (c *Controller) restoreJob(rj *proto.ReplJob) {
+	weight := rj.Weight
+	if weight <= 0 {
+		weight = 1
+	}
+	j := &jobState{
+		id:           rj.Job,
+		name:         rj.Name,
+		weight:       weight,
+		vars:         make(map[ids.VariableID]*varMeta),
+		ledgers:      make(map[ids.WorkerID]*flow.Ledger),
+		templates:    make(map[string]*core.Template),
+		patchCache:   core.NewPatchCache(),
+		pendingEdits: make(map[ids.TemplateID]map[ids.WorkerID][]editStaged),
+		building:     make(map[string]*buildJob),
+		outstanding:  make(map[ids.CommandID]ids.WorkerID),
+		instances:    make(map[uint64]*instState),
+		wm:           newWMTracker(),
+	}
+	j.cmdIDs.AdvanceTo(rj.NextCmd)
+	j.objIDs.AdvanceTo(rj.NextObj)
+	j.dir = flow.NewDirectory(&j.objIDs)
+	j.central = newCentralGraph(c, j)
+	j.ckpt.last = rj.Ckpt
+	j.ckpt.count = rj.CkptCount
+	j.ckpt.manifest = make(map[ids.LogicalID]uint64, len(rj.Manifest))
+	for _, e := range rj.Manifest {
+		j.ckpt.manifest[e.Logical] = e.Version
+	}
+	j.defs = decodeOps(rj.Defs, c.cfg.Logf)
+	j.oplog = decodeOps(rj.Oplog, c.cfg.Logf)
+	j.applied = rj.Applied
+	j.pendingTakeover = true
+	c.jobs[j.id] = j
+	c.totalWeight += j.weight
+}
+
+// decodeOps unmarshals a replicated raw-op list.
+func decodeOps(raws [][]byte, logf func(string, ...any)) []proto.Msg {
+	out := make([]proto.Msg, 0, len(raws))
+	for _, raw := range raws {
+		m, err := proto.Unmarshal(raw)
+		if err != nil {
+			logf("controller: bad replicated op: %v", err)
+			continue
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+// StartTakeover binds the deposed primary's listen endpoint and starts the
+// event loop. The bind retries up to deadline: on Mem the dead primary's
+// teardown frees the address, and on TCP the kernel releases the port —
+// either way the old listener's disappearance is the fence that proves
+// the deposed primary can no longer accept. Once listening, takeover
+// recovery fires as soon as the expected workers have reconnected.
+func (c *Controller) StartTakeover(deadline time.Duration, cancel <-chan struct{}) error {
+	lis, err := transport.ListenRetry(c.cfg.Transport, c.cfg.ControlAddr, transport.Backoff{}, deadline, cancel)
+	if err != nil {
+		return fmt.Errorf("controller: takeover bind: %w", err)
+	}
+	c.startWith(lis)
+	c.Do(c.maybeStartTakeover)
+	return nil
+}
+
+// maybeStartTakeover fires takeover recovery once the promoted
+// controller's worker roster has reassembled. It waits for every worker
+// the snapshot listed (a reconnecting worker holds job state the recovery
+// revert needs to halt and reload); a worker that truly died during the
+// outage stalls this — a documented limitation — until it returns or the
+// roster is satisfied by fresh registrations raising capacity.
+func (c *Controller) maybeStartTakeover() {
+	if !c.takeoverWait || len(c.expectRejoin) > 0 {
+		return
+	}
+	if len(c.jobs) > 0 && len(c.active) == 0 {
+		return // jobs to recover but no capacity yet
+	}
+	c.takeoverWait = false
+	for _, j := range c.jobList() {
+		c.beginTakeover(j)
+	}
+}
+
+// beginTakeover unparks one restored job: replay its definition history
+// to rebuild variables and template recordings, then run it through the
+// standard recovery path — halt every worker's slice of the job, revert
+// to the checkpoint, replay the oplog suffix. The definition replay is
+// record-only: handleDefineVariable and the template handlers run with
+// j.replaying set, so nothing is re-logged or re-replicated, and stage
+// specs append to their recording without scheduling live work.
+func (c *Controller) beginTakeover(j *jobState) {
+	if len(c.active) == 0 {
+		c.cfg.Logf("controller: %s takeover parked: no workers", j.id)
+		return
+	}
+	c.Stats.Takeovers.Add(1)
+	j.replaying = true
+	for _, m := range j.defs {
+		c.replayDef(j, m)
+	}
+	j.replaying = false
+	j.defs = nil
+	j.pendingTakeover = false
+
+	// Halt fan-out, exactly as a worker failure would: every surviving
+	// worker flushes the job's queues and acks; finishRecovery then
+	// reverts to the checkpoint and replays the oplog.
+	j.recovering = true
+	j.haltSeq++
+	j.haltPending = make(map[ids.WorkerID]bool)
+	for _, wid := range c.active {
+		j.haltPending[wid] = true
+		c.sendWorker(c.workers[wid], &proto.Halt{Job: j.id, Seq: j.haltSeq})
+	}
+	if len(j.haltPending) == 0 {
+		c.finishRecovery(j)
+	}
+}
+
+// replayDef re-applies one definition op on the promoted controller.
+// Completed templates are installed without a build: retargetAll inside
+// finishRecovery constructs their first assignment for the actual
+// placement, exactly like a post-failure rebuild.
+func (c *Controller) replayDef(j *jobState, m proto.Msg) {
+	switch op := m.(type) {
+	case *proto.DefineVariable:
+		c.handleDefineVariable(j, op)
+	case *proto.TemplateStart:
+		c.handleTemplateStart(j, op)
+	case *proto.SubmitStage:
+		if j.recording != nil {
+			j.recording.tmpl.Stages = append(j.recording.tmpl.Stages, op)
+			j.recording.tmpl.TaskCount += op.Tasks
+		}
+	case *proto.TemplateEnd:
+		if rec := j.recording; rec != nil && rec.tmpl.Name == op.Name {
+			j.recording = nil
+			j.templates[op.Name] = rec.tmpl
+		}
+	default:
+		c.cfg.Logf("controller: unexpected replicated definition %s", m.Kind())
+	}
+}
+
+// reconnectWorker readmits a worker under its prior identity after a
+// controller switch (or a transient connection drop). The ID is the
+// worker's data-plane identity — peers address fetches by it and the
+// promoted directory will rebind the job state it still holds — so unlike
+// registration it is preserved, not allocated.
+func (c *Controller) reconnectWorker(m *proto.WorkerReconnect, conn transport.Conn) {
+	if ws := c.workers[m.Worker]; ws != nil && ws.alive {
+		c.cfg.Logf("controller: reconnect for live %s rejected", m.Worker)
+		conn.Close()
+		return
+	}
+	if m.Worker > c.nextWorker {
+		c.nextWorker = m.Worker
+	}
+	ws := &workerState{
+		id: m.Worker, conn: conn, dataAddr: m.DataAddr,
+		slots: m.Slots, alive: true, lastBeat: time.Now(),
+	}
+	c.workers[m.Worker] = ws
+	c.active = append(c.active, m.Worker)
+	sort.Slice(c.active, func(i, j int) bool { return c.active[i] < c.active[j] })
+	for _, j := range c.jobs {
+		j.ledgers[m.Worker] = flow.NewLedger(m.Worker)
+	}
+	peers := c.peerMap()
+	c.sendWorker(ws, &proto.RegisterWorkerAck{
+		Worker: m.Worker, Peers: peers, Eager: c.cfg.Mode == ModeCentral,
+	})
+	for _, other := range c.workers {
+		if other.id != m.Worker && other.alive {
+			c.sendWorker(other, &proto.RegisterWorkerAck{
+				Worker: other.id, Peers: peers, Eager: c.cfg.Mode == ModeCentral,
+			})
+		}
+	}
+	c.sendQuotas(ws)
+	c.wg.Add(1)
+	go c.pump(conn, m.Worker, ids.NoJob, false)
+	delete(c.expectRejoin, m.Worker)
+	c.maybeStartTakeover()
+}
+
+// reattachDriver rebinds a driver to its restored job on the promoted
+// controller. The ack carries the job's applied-op count: the driver
+// resends its journal suffix past it, which applies on top of the
+// takeover recovery through the op fence in program order.
+func (c *Controller) reattachDriver(m *proto.DriverReattach, conn transport.Conn) {
+	j := c.jobs[m.Job]
+	if j == nil || j.dead {
+		// Unknown job: the job ended before the failover, or this is not
+		// the controller the driver thinks it is. Nack directly — there is
+		// no jobState to stage sends through.
+		buf := proto.MarshalAppend(proto.GetBuf(), &proto.ReattachAck{
+			Job: m.Job, Err: fmt.Sprintf("no such job %s", m.Job),
+		})
+		if owned, _ := transport.SendOwned(conn, buf); !owned {
+			proto.PutBuf(buf)
+		}
+		conn.Close()
+		return
+	}
+	if j.conn != nil {
+		j.conn.Close()
+	}
+	j.conn = conn
+	c.sendDriver(j, &proto.ReattachAck{Job: j.id, Applied: j.applied, Ok: true})
+	c.wg.Add(1)
+	go c.pump(conn, ids.NoWorker, j.id, true)
+}
+
+// JobApplied returns one job's applied driver-operation count (zero for
+// an unknown job). After a failover it must equal the driver's OpsSent:
+// no logged operation lost, none double-applied.
+func (c *Controller) JobApplied(job ids.JobID) uint64 {
+	var n uint64
+	c.Do(func() {
+		if j := c.jobs[job]; j != nil {
+			n = j.applied
+		}
+	})
+	return n
+}

@@ -31,7 +31,7 @@ func (c *Controller) handleTemplateStart(j *jobState, m *proto.TemplateStart) {
 	j.recording = &recordingState{
 		tmpl: &core.Template{ID: ids.TemplateID(j.tmplIDs.Next()), Name: m.Name},
 	}
-	j.logOp(m)
+	c.logOp(j, m)
 }
 
 // handleTemplateEnd finishes recording and hands the block to the
@@ -48,7 +48,7 @@ func (c *Controller) handleTemplateEnd(j *jobState, m *proto.TemplateEnd) {
 	}
 	j.recording = nil
 	j.templates[m.Name] = rec.tmpl
-	j.logOp(m)
+	c.logOp(j, m)
 	c.startTemplateBuild(j, m.Name, rec.tmpl)
 }
 
@@ -145,7 +145,7 @@ func (c *Controller) handleInstantiateBlock(j *jobState, m *proto.InstantiateBlo
 	j.autoValid = true
 	c.Stats.Instantiations.Add(1)
 	c.Stats.InstantiateNanos.Add(uint64(time.Since(start)))
-	j.logOp(m)
+	c.logOp(j, m)
 	return true
 }
 
@@ -227,10 +227,19 @@ func (c *Controller) TemplateByName(name string) *core.Template {
 
 // logOp appends a driver operation to the job's recovery log (paper §4.4:
 // the controller replays a job's execution since its last checkpoint after
-// reverting to it). Replayed operations are not re-logged.
-func (j *jobState) logOp(m proto.Msg) {
+// reverting to it), bumps the job's applied-op counter and streams the op
+// to an attached standby (repl.go). Replayed operations are not re-logged,
+// not re-counted and not re-replicated: the standby already holds them.
+func (c *Controller) logOp(j *jobState, m proto.Msg) {
 	if j.replaying {
 		return
 	}
 	j.oplog = append(j.oplog, m)
+	if !j.loopStepping {
+		// Controller-originated ops (loop iterations) replay after a
+		// failure but are not driver journal entries; counting them would
+		// desynchronize reattach reconciliation.
+		j.applied++
+	}
+	c.replOp(j, m)
 }

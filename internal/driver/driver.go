@@ -40,6 +40,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"time"
 
 	"nimbus/internal/ids"
 	"nimbus/internal/params"
@@ -57,6 +58,17 @@ type Driver struct {
 	seq       uint64
 	nextVar   ids.VariableID
 	nextStage ids.StageID
+	// Failover state (failover.go): the transport and full endpoint list
+	// (primary first) for reattach dials, the registration identity the
+	// reattach re-presents, the journal of logged fire-and-forget ops
+	// (marshaled copies, indexed by opsSent), and opsSent itself — the
+	// count the controller's per-job applied counter mirrors.
+	tr      transport.Transport
+	addrs   []string
+	name    string
+	weight  int
+	journal []journalEntry
+	opsSent uint64
 	// inbox holds messages decoded from a batch frame but not yet
 	// consumed; inboxHead indexes the next message so consumption is O(1)
 	// without shifting.
@@ -158,6 +170,14 @@ func Connect(tr transport.Transport, addr, name string) (*Driver, error) {
 	return ConnectContext(context.Background(), tr, addr, name, 1)
 }
 
+// ConnectFailover is Connect with additional endpoints to reattach
+// through when the controller at addr dies: a promoted standby re-binds
+// addr itself on shared-memory transports, but on TCP it listens on its
+// own address, which the driver must know in advance.
+func ConnectFailover(tr transport.Transport, addr, name string, failover ...string) (*Driver, error) {
+	return ConnectContext(context.Background(), tr, addr, name, 1, failover...)
+}
+
 // ConnectWeighted is Connect with an explicit fair-share weight: a job
 // with weight 2 receives twice the executor-slot share of a weight-1 job
 // on every worker.
@@ -174,7 +194,7 @@ func ConnectWeighted(tr transport.Transport, addr, name string, weight int) (*Dr
 // but the dialing goroutine lingers until the transport's own dial
 // timeout (the OS's, for TCP) fires, at which point it closes any
 // connection it made and exits.
-func ConnectContext(ctx context.Context, tr transport.Transport, addr, name string, weight int) (*Driver, error) {
+func ConnectContext(ctx context.Context, tr transport.Transport, addr, name string, weight int, failover ...string) (*Driver, error) {
 	type result struct {
 		d   *Driver
 		err error
@@ -184,7 +204,9 @@ func ConnectContext(ctx context.Context, tr transport.Transport, addr, name stri
 	var conn transport.Conn
 	var abandoned bool
 	go func() {
-		c, err := tr.Dial(addr)
+		// The controller may not be listening yet; retry briefly with the
+		// shared backoff helper, bailing out if ctx cancels the connect.
+		c, err := transport.DialRetry(tr, addr, transport.Backoff{}, 0, 2*time.Second, ctx.Done())
 		if err != nil {
 			ch <- result{err: fmt.Errorf("driver: dial %s: %w", addr, err)}
 			return
@@ -197,8 +219,12 @@ func ConnectContext(ctx context.Context, tr transport.Transport, addr, name stri
 		}
 		conn = c
 		mu.Unlock()
-		d := &Driver{conn: c, pending: make(map[uint64]*pendingReply)}
-		if err := d.send(&proto.RegisterDriver{Name: name, Weight: weight}); err != nil {
+		d := &Driver{
+			conn: c, pending: make(map[uint64]*pendingReply),
+			tr: tr, addrs: append([]string{addr}, failover...),
+			name: name, weight: weight,
+		}
+		if err := d.rawSend(&proto.RegisterDriver{Name: name, Weight: weight}); err != nil {
 			c.Close()
 			ch <- result{err: err}
 			return
@@ -248,7 +274,9 @@ func (d *Driver) awaitAdmission() (ids.JobID, error) {
 // Job returns the controller-assigned job handle for this session.
 func (d *Driver) Job() ids.JobID { return d.job }
 
-func (d *Driver) send(m proto.Msg) error {
+// rawSend marshals and sends one message on the current connection, with
+// no journaling and no reattach on failure.
+func (d *Driver) rawSend(m proto.Msg) error {
 	buf := proto.MarshalAppend(proto.GetBuf(), m)
 	owned, err := transport.SendOwned(d.conn, buf)
 	if !owned {
@@ -256,6 +284,29 @@ func (d *Driver) send(m proto.Msg) error {
 	}
 	return err
 }
+
+// send journals one logged fire-and-forget operation (the controller
+// logs, counts and replicates exactly these) and sends it. On a
+// connection failure the journal entry survives: reattach reconciliation
+// (failover.go) resends every entry past the applied count the new
+// controller reports, so the op is delivered exactly once whether or not
+// the dead controller processed it.
+func (d *Driver) send(m proto.Msg) error {
+	if d.dead != nil {
+		return d.dead
+	}
+	d.opsSent++
+	d.journal = append(d.journal, journalEntry{index: d.opsSent, buf: proto.Marshal(m)})
+	if err := d.rawSend(m); err != nil {
+		return d.recover(err)
+	}
+	return nil
+}
+
+// OpsSent reports how many logged operations this session has issued; a
+// controller that has applied the session's full history reports the same
+// count. Failover tests assert the two match after a takeover.
+func (d *Driver) OpsSent() uint64 { return d.opsSent }
 
 // recvMsg returns the next controller message, unpacking batch frames.
 // Connection loss is fatal (the session fails); a corrupt frame is a
@@ -267,9 +318,13 @@ func (d *Driver) recvMsg() (proto.Msg, error) {
 		d.inboxHead = 0
 		raw, err := d.conn.Recv()
 		if err != nil {
-			err = fmt.Errorf("driver: connection lost: %w", err)
-			d.fail(err)
-			return nil, err
+			// Reattach through the endpoint list; on success the loop
+			// resumes on the new connection (any messages decoded during
+			// the handshake were spliced into the inbox).
+			if rerr := d.recover(fmt.Errorf("driver: connection lost: %w", err)); rerr != nil {
+				return nil, rerr
+			}
+			continue
 		}
 		err = proto.ForEachMsg(raw, func(m proto.Msg) error {
 			d.inbox = append(d.inbox, m)
@@ -468,7 +523,7 @@ func (d *Driver) Checkpoint() error {
 func (d *Driver) Close() error {
 	var sendErr error
 	if d.dead == nil {
-		sendErr = d.send(&proto.JobEnd{Job: d.job})
+		sendErr = d.rawSend(&proto.JobEnd{Job: d.job})
 	}
 	closeErr := d.conn.Close()
 	if sendErr != nil {

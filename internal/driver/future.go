@@ -26,6 +26,9 @@ type pendingReply struct {
 	iters     int
 	lastValue float64
 	loopErr   string
+	// req is the original request message, retained so a controller
+	// failover can re-issue the request under the same seq (failover.go).
+	req proto.Msg
 }
 
 // Future is the pending result of an asynchronous driver operation. Like
@@ -76,16 +79,20 @@ func (d *Driver) register() *pendingReply {
 }
 
 // request sends an expect-reply message for p, resolving p immediately
-// when the session is already dead or the send fails.
+// when the session is already dead. Requests are not journaled (the
+// controller neither logs nor counts them); instead the message is
+// retained on p so a failover can re-issue it under the same seq. A send
+// failure runs reattach recovery — on success p was re-issued, on
+// failure fail() resolved it.
 func (d *Driver) request(p *pendingReply, m proto.Msg) {
 	if d.dead != nil {
 		delete(d.pending, p.seq)
 		d.resolve(p, d.dead)
 		return
 	}
-	if err := d.send(m); err != nil {
-		delete(d.pending, p.seq)
-		d.resolve(p, err)
+	p.req = m
+	if err := d.rawSend(m); err != nil {
+		d.recover(err)
 	}
 }
 

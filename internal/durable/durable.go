@@ -118,9 +118,18 @@ func (s *FS) Save(job ids.JobID, ckpt uint64, logical ids.LogicalID, version uin
 	buf := make([]byte, 8+len(data))
 	binary.BigEndian.PutUint64(buf, version)
 	copy(buf[8:], data)
-	tmp := p + ".tmp"
-	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	// The temp name must be unique per Save, not derived from p alone:
+	// concurrent Saves of the same object (a checkpoint racing a takeover
+	// re-checkpoint) would otherwise interleave writes into one shared
+	// ".tmp" file and rename a torn hybrid into place.
+	f, err := os.CreateTemp(dir, filepath.Base(p)+".tmp-*")
 	if err != nil {
+		return fmt.Errorf("durable: %w", err)
+	}
+	tmp := f.Name()
+	if err := f.Chmod(0o644); err != nil {
+		f.Close()
+		os.Remove(tmp)
 		return fmt.Errorf("durable: %w", err)
 	}
 	if _, err := f.Write(buf); err != nil {

@@ -1,9 +1,14 @@
 package durable
 
 import (
+	"bytes"
+	"encoding/binary"
 	"os"
 	"path/filepath"
+	"sync"
 	"testing"
+
+	"nimbus/internal/ids"
 )
 
 func exerciseStore(t *testing.T, s Store) {
@@ -105,8 +110,8 @@ func TestFSSaveOverExisting(t *testing.T) {
 	if ver != 2 || string(data) != "x" {
 		t.Fatalf("after overwrite: %q v%d", data, ver)
 	}
-	if _, err := os.Stat(s.path(1, 1, 5) + ".tmp"); !os.IsNotExist(err) {
-		t.Fatalf("temp file left behind: %v", err)
+	if tmps, _ := filepath.Glob(s.path(1, 1, 5) + ".tmp-*"); len(tmps) != 0 {
+		t.Fatalf("temp files left behind: %v", tmps)
 	}
 }
 
@@ -173,4 +178,153 @@ func TestFSMissingDir(t *testing.T) {
 	if err := sb.Save(1, 1, 1, 1, []byte{1}); err == nil {
 		t.Fatal("save under a file-as-root should fail")
 	}
+}
+
+// payloadFor derives a self-describing payload from a version: the version
+// number followed by a run of bytes all equal to the version's low byte.
+// Any mix of two such payloads is detectable, so a loader can pin the
+// visibility contract: a Load during concurrent Saves returns some single
+// complete Save's bytes with its matching version — never a torn hybrid.
+func payloadFor(version uint64) []byte {
+	buf := make([]byte, 8+64)
+	binary.BigEndian.PutUint64(buf, version)
+	for i := 8; i < len(buf); i++ {
+		buf[i] = byte(version)
+	}
+	return buf
+}
+
+func checkPayload(t *testing.T, data []byte, ver uint64) {
+	t.Helper()
+	if len(data) != 8+64 {
+		t.Fatalf("torn read: %d bytes (version %d)", len(data), ver)
+	}
+	if got := binary.BigEndian.Uint64(data); got != ver {
+		t.Fatalf("version %d paired with payload stamped %d", ver, got)
+	}
+	if !bytes.Equal(data[8:], payloadFor(ver)[8:]) {
+		t.Fatalf("torn read: payload for version %d has mixed bytes", ver)
+	}
+}
+
+// exerciseConcurrent hammers one object with concurrent Saves while
+// loaders continuously read it, then fans writers out across distinct
+// objects. It pins the stores' visibility semantics:
+//
+//  1. A Load concurrent with Saves observes exactly one Save — matching
+//     version and payload, full length (no torn or interleaved writes).
+//  2. Once all Saves complete, a Load observes one of them (not a stale
+//     pre-race value, not a mix).
+//  3. Saves to distinct (job, ckpt, logical) keys never interfere.
+func exerciseConcurrent(t *testing.T, s Store) {
+	t.Helper()
+	const (
+		writers   = 8
+		perWriter = 25
+		readers   = 4
+	)
+	// Seed so loaders never see "not found" once the race starts.
+	if err := s.Save(1, 1, 1, 1, payloadFor(1)); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	errc := make(chan error, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				v := uint64(2 + w*perWriter + i)
+				if err := s.Save(1, 1, 1, v, payloadFor(v)); err != nil {
+					select {
+					case errc <- err:
+					default:
+					}
+					return
+				}
+			}
+		}(w)
+	}
+	var rg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		rg.Add(1)
+		go func() {
+			defer rg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				data, ver, err := s.Load(1, 1, 1)
+				if err != nil {
+					t.Errorf("concurrent load: %v", err)
+					return
+				}
+				checkPayload(t, data, ver)
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	rg.Wait()
+	select {
+	case err := <-errc:
+		t.Fatal(err)
+	default:
+	}
+	data, ver, err := s.Load(1, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ver < 1 || ver > 1+writers*perWriter {
+		t.Fatalf("settled version %d outside any Save", ver)
+	}
+	checkPayload(t, data, ver)
+
+	// Distinct keys in parallel: every object must land intact.
+	var dg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		dg.Add(1)
+		go func(w int) {
+			defer dg.Done()
+			for i := 0; i < perWriter; i++ {
+				v := uint64(1000 + w*perWriter + i)
+				if err := s.Save(2, 1, ids.LogicalID(v), v, payloadFor(v)); err != nil {
+					t.Errorf("distinct-key save: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	dg.Wait()
+	for w := 0; w < writers; w++ {
+		for i := 0; i < perWriter; i++ {
+			v := uint64(1000 + w*perWriter + i)
+			data, ver, err := s.Load(2, 1, ids.LogicalID(v))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ver != v {
+				t.Fatalf("object %d has version %d", v, ver)
+			}
+			checkPayload(t, data, ver)
+		}
+	}
+}
+
+func TestMemConcurrentSaveLoad(t *testing.T) {
+	exerciseConcurrent(t, NewMem())
+}
+
+// TestFSConcurrentSaveLoad would fail with torn reads if Save derived its
+// temp-file name from the object path alone: two racing Saves of the same
+// object would interleave writes into one shared temp file and rename the
+// hybrid into place.
+func TestFSConcurrentSaveLoad(t *testing.T) {
+	if testing.Short() {
+		t.Skip("filesystem hammer in -short mode")
+	}
+	exerciseConcurrent(t, NewFS(t.TempDir()))
 }

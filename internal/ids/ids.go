@@ -126,6 +126,19 @@ func (a *Allocator) Peek() uint64 {
 	return a.next.Load()
 }
 
+// AdvanceTo raises the allocator's high-water mark so the next identifier
+// is strictly above n; it never lowers the mark. A promoted controller
+// seeds each restored job's allocators from the replicated marks so no ID
+// that surviving workers may still hold state under is ever re-issued.
+func (a *Allocator) AdvanceTo(n uint64) {
+	for {
+		cur := a.next.Load()
+		if cur >= n || a.next.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
 // CommandIDs is a convenience wrapper allocating CommandID values.
 type CommandIDs struct{ Allocator }
 

@@ -2,6 +2,7 @@ package proto
 
 import (
 	"reflect"
+	"sync"
 	"testing"
 	"testing/quick"
 
@@ -176,6 +177,38 @@ func TestMarshalSteadyStateZeroAlloc(t *testing.T) {
 	if allocs != 0 {
 		t.Fatalf("steady-state marshal allocates %.1f times per op, want 0", allocs)
 	}
+}
+
+// TestMarshalSteadyStatePooledCorrectness is the race-safe companion to
+// TestMarshalSteadyStateZeroAlloc: the alloc assertion above is meaningless
+// under -race (sync.Pool randomly drops puts there), but the pooled
+// GetBuf/MarshalAppend/PutBuf cycle itself must still produce faithful
+// frames, including when buffers are recycled across goroutines. This
+// variant runs everywhere, so the codec fast path is exercised under the
+// race detector too.
+func TestMarshalSteadyStatePooledCorrectness(t *testing.T) {
+	want := steadyStateInstantiate()
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ref := Marshal(want)
+			for i := 0; i < 500; i++ {
+				b := GetBuf()
+				b = MarshalAppend(b, want)
+				if !reflect.DeepEqual(b, ref) {
+					t.Errorf("pooled marshal produced %x, want %x", b, ref)
+				} else if got, err := Unmarshal(b); err != nil {
+					t.Errorf("pooled marshal round trip: %v", err)
+				} else if got.(*InstantiateTemplate).Base != want.Base {
+					t.Errorf("round trip Base = %d, want %d", got.(*InstantiateTemplate).Base, want.Base)
+				}
+				PutBuf(b)
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 // steadyStateInstantiate is the message the controller sends each worker on

@@ -76,6 +76,17 @@ const (
 	KindJobQuota
 	KindInstantiateWhile
 	KindLoopDone
+	KindReplAttach
+	KindReplSnapshot
+	KindReplOp
+	KindReplAck
+	KindReplCkpt
+	KindReplJobStart
+	KindReplJobEnd
+	KindLeaseRenew
+	KindWorkerReconnect
+	KindDriverReattach
+	KindReattachAck
 	// KindMax is one past the last registered message kind; coverage
 	// tests iterate [KindRegisterWorker, KindMax).
 	KindMax
@@ -125,6 +136,17 @@ var kindNames = [...]string{
 	KindJobQuota:            "job-quota",
 	KindInstantiateWhile:    "instantiate-while",
 	KindLoopDone:            "loop-done",
+	KindReplAttach:          "repl-attach",
+	KindReplSnapshot:        "repl-snapshot",
+	KindReplOp:              "repl-op",
+	KindReplAck:             "repl-ack",
+	KindReplCkpt:            "repl-ckpt",
+	KindReplJobStart:        "repl-job-start",
+	KindReplJobEnd:          "repl-job-end",
+	KindLeaseRenew:          "lease-renew",
+	KindWorkerReconnect:     "worker-reconnect",
+	KindDriverReattach:      "driver-reattach",
+	KindReattachAck:         "reattach-ack",
 }
 
 // String returns the message kind name.
@@ -248,6 +270,28 @@ func newMsg(kind MsgKind) Msg {
 		return &InstantiateWhile{}
 	case KindLoopDone:
 		return &LoopDone{}
+	case KindReplAttach:
+		return &ReplAttach{}
+	case KindReplSnapshot:
+		return &ReplSnapshot{}
+	case KindReplOp:
+		return &ReplOp{}
+	case KindReplAck:
+		return &ReplAck{}
+	case KindReplCkpt:
+		return &ReplCkpt{}
+	case KindReplJobStart:
+		return &ReplJobStart{}
+	case KindReplJobEnd:
+		return &ReplJobEnd{}
+	case KindLeaseRenew:
+		return &LeaseRenew{}
+	case KindWorkerReconnect:
+		return &WorkerReconnect{}
+	case KindDriverReattach:
+		return &DriverReattach{}
+	case KindReattachAck:
+		return &ReattachAck{}
 	default:
 		return nil
 	}
@@ -1341,5 +1385,421 @@ func (m *ErrorMsg) encode(w *wire.Writer) { w.String(m.Text) }
 
 func (m *ErrorMsg) decode(r *wire.Reader) error {
 	m.Text = r.String()
+	return r.Err
+}
+
+// ---------------------------------------------------------------------------
+// Controller failover: replication, lease and reconnect reconcile
+//
+// A hot standby attaches to the primary over the ordinary control listen
+// address (ReplAttach), receives one full ReplSnapshot, then tails the
+// primary's applied driver ops (ReplOp, acked with ReplAck so the primary
+// can bound the replication window), checkpoint commits (ReplCkpt), job
+// admissions/teardowns (ReplJobStart/ReplJobEnd) and lease renewals
+// (LeaseRenew). After a takeover, workers re-present their identity with
+// WorkerReconnect and drivers re-bind their job with DriverReattach /
+// ReattachAck.
+
+// ReplAttach is the first message a hot-standby controller sends on its
+// replication connection. The primary answers with a ReplSnapshot and then
+// streams incremental state.
+type ReplAttach struct{}
+
+// Kind implements Msg.
+func (*ReplAttach) Kind() MsgKind { return KindReplAttach }
+
+func (m *ReplAttach) encode(*wire.Writer)         {}
+func (m *ReplAttach) decode(r *wire.Reader) error { return r.Err }
+
+// ManifestEntry names one logical object's durably saved version inside a
+// replicated checkpoint manifest.
+type ManifestEntry struct {
+	Logical ids.LogicalID
+	Version uint64
+}
+
+// ReplJob is one job's replicated shadow inside a ReplSnapshot: everything
+// a standby needs to rebuild the job after a takeover. Defs carries the
+// job's full definition history (variables and template recordings, which
+// checkpoints never truncate); Oplog carries the raw ops applied since the
+// last committed checkpoint; NextCmd/NextObj are allocator high-water
+// marks so a promoted controller never re-issues an ID that live workers
+// may still hold state under.
+type ReplJob struct {
+	Job       ids.JobID
+	Name      string
+	Weight    int
+	Applied   uint64
+	Ckpt      uint64
+	CkptCount uint64
+	Manifest  []ManifestEntry
+	Defs      [][]byte
+	Oplog     [][]byte
+	NextCmd   uint64
+	NextObj   uint64
+}
+
+func (jb *ReplJob) encode(w *wire.Writer) {
+	w.Uvarint(uint64(jb.Job))
+	w.String(jb.Name)
+	w.Uvarint(uint64(jb.Weight))
+	w.Uvarint(jb.Applied)
+	w.Uvarint(jb.Ckpt)
+	w.Uvarint(jb.CkptCount)
+	w.Uvarint(uint64(len(jb.Manifest)))
+	for _, e := range jb.Manifest {
+		w.Uvarint(uint64(e.Logical))
+		w.Uvarint(e.Version)
+	}
+	w.Uvarint(uint64(len(jb.Defs)))
+	for _, b := range jb.Defs {
+		w.Bytes(b)
+	}
+	w.Uvarint(uint64(len(jb.Oplog)))
+	for _, b := range jb.Oplog {
+		w.Bytes(b)
+	}
+	w.Uvarint(jb.NextCmd)
+	w.Uvarint(jb.NextObj)
+}
+
+func (jb *ReplJob) decode(r *wire.Reader) error {
+	jb.Job = ids.JobID(r.Uvarint())
+	jb.Name = r.String()
+	jb.Weight = int(r.Uvarint())
+	jb.Applied = r.Uvarint()
+	jb.Ckpt = r.Uvarint()
+	jb.CkptCount = r.Uvarint()
+	n := r.Count()
+	if r.Err != nil {
+		return r.Err
+	}
+	if n > 0 {
+		jb.Manifest = make([]ManifestEntry, n)
+		for i := range jb.Manifest {
+			jb.Manifest[i].Logical = ids.LogicalID(r.Uvarint())
+			jb.Manifest[i].Version = r.Uvarint()
+		}
+	}
+	nd := r.Count()
+	if r.Err != nil {
+		return r.Err
+	}
+	if nd > 0 {
+		jb.Defs = make([][]byte, nd)
+		for i := range jb.Defs {
+			jb.Defs[i] = r.BytesCopy()
+		}
+	}
+	no := r.Count()
+	if r.Err != nil {
+		return r.Err
+	}
+	if no > 0 {
+		jb.Oplog = make([][]byte, no)
+		for i := range jb.Oplog {
+			jb.Oplog[i] = r.BytesCopy()
+		}
+	}
+	jb.NextCmd = r.Uvarint()
+	jb.NextObj = r.Uvarint()
+	return r.Err
+}
+
+// ReplSnapshot is the primary's full state transfer to a freshly attached
+// standby: the admitted jobs' shadows plus the identity allocators and the
+// live worker roster (the set a promoted controller waits to see
+// reconnect before it starts takeover recovery).
+type ReplSnapshot struct {
+	JobSeq     uint32
+	NextWorker uint32
+	Workers    []ids.WorkerID
+	Jobs       []*ReplJob
+}
+
+// Kind implements Msg.
+func (*ReplSnapshot) Kind() MsgKind { return KindReplSnapshot }
+
+func (m *ReplSnapshot) encode(w *wire.Writer) {
+	w.Uvarint(uint64(m.JobSeq))
+	w.Uvarint(uint64(m.NextWorker))
+	w.Uvarint(uint64(len(m.Workers)))
+	for _, id := range m.Workers {
+		w.Uvarint(uint64(id))
+	}
+	w.Uvarint(uint64(len(m.Jobs)))
+	for _, jb := range m.Jobs {
+		jb.encode(w)
+	}
+}
+
+func (m *ReplSnapshot) decode(r *wire.Reader) error {
+	m.JobSeq = uint32(r.Uvarint())
+	m.NextWorker = uint32(r.Uvarint())
+	n := r.Count()
+	if r.Err != nil {
+		return r.Err
+	}
+	if n > 0 {
+		m.Workers = make([]ids.WorkerID, n)
+		for i := range m.Workers {
+			m.Workers[i] = ids.WorkerID(r.Uvarint())
+		}
+	}
+	nj := r.Count()
+	if r.Err != nil {
+		return r.Err
+	}
+	if nj > 0 {
+		m.Jobs = make([]*ReplJob, nj)
+		for i := range m.Jobs {
+			m.Jobs[i] = &ReplJob{}
+			if err := m.Jobs[i].decode(r); err != nil {
+				return err
+			}
+		}
+	}
+	return r.Err
+}
+
+// ReplOp streams one applied driver op to the standby. Index is the job's
+// cumulative applied-op count (the same counter ReattachAck reports to a
+// reattaching driver); Raw is the op's marshaled frame; NextCmd/NextObj
+// are the job's allocator high-water marks after applying the op.
+type ReplOp struct {
+	Job     ids.JobID
+	Index   uint64
+	NextCmd uint64
+	NextObj uint64
+	Raw     []byte
+}
+
+// Kind implements Msg.
+func (*ReplOp) Kind() MsgKind { return KindReplOp }
+
+func (m *ReplOp) encode(w *wire.Writer) {
+	w.Uvarint(uint64(m.Job))
+	w.Uvarint(m.Index)
+	w.Uvarint(m.NextCmd)
+	w.Uvarint(m.NextObj)
+	w.Bytes(m.Raw)
+}
+
+func (m *ReplOp) decode(r *wire.Reader) error {
+	m.Job = ids.JobID(r.Uvarint())
+	m.Index = r.Uvarint()
+	m.NextCmd = r.Uvarint()
+	m.NextObj = r.Uvarint()
+	m.Raw = r.BytesCopy()
+	return r.Err
+}
+
+// ReplAck acknowledges a ReplOp. The primary counts unacked ops and
+// queues further driver ops behind the replication window, keeping the
+// standby within one applied-op of the primary.
+type ReplAck struct {
+	Job   ids.JobID
+	Index uint64
+}
+
+// Kind implements Msg.
+func (*ReplAck) Kind() MsgKind { return KindReplAck }
+
+func (m *ReplAck) encode(w *wire.Writer) {
+	w.Uvarint(uint64(m.Job))
+	w.Uvarint(m.Index)
+}
+
+func (m *ReplAck) decode(r *wire.Reader) error {
+	m.Job = ids.JobID(r.Uvarint())
+	m.Index = r.Uvarint()
+	return r.Err
+}
+
+// ReplCkpt replicates a committed checkpoint: the standby adopts the
+// manifest and drops the first Drop entries of its shadow oplog (the
+// prefix the checkpoint subsumes), mirroring the primary's truncation.
+type ReplCkpt struct {
+	Job      ids.JobID
+	Ckpt     uint64
+	Count    uint64
+	Drop     uint64
+	Manifest []ManifestEntry
+}
+
+// Kind implements Msg.
+func (*ReplCkpt) Kind() MsgKind { return KindReplCkpt }
+
+func (m *ReplCkpt) encode(w *wire.Writer) {
+	w.Uvarint(uint64(m.Job))
+	w.Uvarint(m.Ckpt)
+	w.Uvarint(m.Count)
+	w.Uvarint(m.Drop)
+	w.Uvarint(uint64(len(m.Manifest)))
+	for _, e := range m.Manifest {
+		w.Uvarint(uint64(e.Logical))
+		w.Uvarint(e.Version)
+	}
+}
+
+func (m *ReplCkpt) decode(r *wire.Reader) error {
+	m.Job = ids.JobID(r.Uvarint())
+	m.Ckpt = r.Uvarint()
+	m.Count = r.Uvarint()
+	m.Drop = r.Uvarint()
+	n := r.Count()
+	if r.Err != nil {
+		return r.Err
+	}
+	if n > 0 {
+		m.Manifest = make([]ManifestEntry, n)
+		for i := range m.Manifest {
+			m.Manifest[i].Logical = ids.LogicalID(r.Uvarint())
+			m.Manifest[i].Version = r.Uvarint()
+		}
+	}
+	return r.Err
+}
+
+// ReplJobStart replicates a job admission that happened after the
+// snapshot.
+type ReplJobStart struct {
+	Job    ids.JobID
+	Name   string
+	Weight int
+}
+
+// Kind implements Msg.
+func (*ReplJobStart) Kind() MsgKind { return KindReplJobStart }
+
+func (m *ReplJobStart) encode(w *wire.Writer) {
+	w.Uvarint(uint64(m.Job))
+	w.String(m.Name)
+	w.Uvarint(uint64(m.Weight))
+}
+
+func (m *ReplJobStart) decode(r *wire.Reader) error {
+	m.Job = ids.JobID(r.Uvarint())
+	m.Name = r.String()
+	m.Weight = int(r.Uvarint())
+	return r.Err
+}
+
+// ReplJobEnd replicates a job teardown: the standby drops the shadow.
+type ReplJobEnd struct {
+	Job ids.JobID
+}
+
+// Kind implements Msg.
+func (*ReplJobEnd) Kind() MsgKind { return KindReplJobEnd }
+
+func (m *ReplJobEnd) encode(w *wire.Writer) { w.Uvarint(uint64(m.Job)) }
+
+func (m *ReplJobEnd) decode(r *wire.Reader) error {
+	m.Job = ids.JobID(r.Uvarint())
+	return r.Err
+}
+
+// LeaseRenew is the primary's leadership lease heartbeat on the
+// replication stream (the transport-level lease service). The standby
+// promotes itself once TTLMillis elapses without a renewal and the
+// replication connection is gone. Epoch increases across takeovers so a
+// deposed primary's stale renewals are recognizable.
+type LeaseRenew struct {
+	Epoch     uint64
+	TTLMillis uint64
+}
+
+// Kind implements Msg.
+func (*LeaseRenew) Kind() MsgKind { return KindLeaseRenew }
+
+func (m *LeaseRenew) encode(w *wire.Writer) {
+	w.Uvarint(m.Epoch)
+	w.Uvarint(m.TTLMillis)
+}
+
+func (m *LeaseRenew) decode(r *wire.Reader) error {
+	m.Epoch = r.Uvarint()
+	m.TTLMillis = r.Uvarint()
+	return r.Err
+}
+
+// WorkerReconnect re-registers a worker that survived a controller
+// outage: it presents its previously assigned identity so the promoted
+// controller can match it against the replicated roster and reconcile
+// instead of treating it as new capacity. The controller answers with the
+// usual RegisterWorkerAck echoing the preserved ID.
+type WorkerReconnect struct {
+	Worker   ids.WorkerID
+	DataAddr string
+	Slots    int
+}
+
+// Kind implements Msg.
+func (*WorkerReconnect) Kind() MsgKind { return KindWorkerReconnect }
+
+func (m *WorkerReconnect) encode(w *wire.Writer) {
+	w.Uvarint(uint64(m.Worker))
+	w.String(m.DataAddr)
+	w.Uvarint(uint64(m.Slots))
+}
+
+func (m *WorkerReconnect) decode(r *wire.Reader) error {
+	m.Worker = ids.WorkerID(r.Uvarint())
+	m.DataAddr = r.String()
+	m.Slots = int(r.Uvarint())
+	return r.Err
+}
+
+// DriverReattach re-binds a driver to its job after a controller switch.
+// Name must match the job's admitted name (a cheap identity check).
+type DriverReattach struct {
+	Job    ids.JobID
+	Name   string
+	Weight int
+}
+
+// Kind implements Msg.
+func (*DriverReattach) Kind() MsgKind { return KindDriverReattach }
+
+func (m *DriverReattach) encode(w *wire.Writer) {
+	w.Uvarint(uint64(m.Job))
+	w.String(m.Name)
+	w.Uvarint(uint64(m.Weight))
+}
+
+func (m *DriverReattach) decode(r *wire.Reader) error {
+	m.Job = ids.JobID(r.Uvarint())
+	m.Name = r.String()
+	m.Weight = int(r.Uvarint())
+	return r.Err
+}
+
+// ReattachAck answers a DriverReattach. Applied is the job's cumulative
+// applied-op count: the driver re-sends every journaled op with a higher
+// index, so the op stream resumes exactly where the controller's state
+// ends — nothing lost, nothing applied twice.
+type ReattachAck struct {
+	Job     ids.JobID
+	Applied uint64
+	Ok      bool
+	Err     string
+}
+
+// Kind implements Msg.
+func (*ReattachAck) Kind() MsgKind { return KindReattachAck }
+
+func (m *ReattachAck) encode(w *wire.Writer) {
+	w.Uvarint(uint64(m.Job))
+	w.Uvarint(m.Applied)
+	w.Bool(m.Ok)
+	w.String(m.Err)
+}
+
+func (m *ReattachAck) decode(r *wire.Reader) error {
+	m.Job = ids.JobID(r.Uvarint())
+	m.Applied = r.Uvarint()
+	m.Ok = r.Bool()
+	m.Err = r.String()
 	return r.Err
 }

@@ -74,6 +74,26 @@ func everyMessage() []Msg {
 		&Resume{},
 		&DataPayload{DstCommand: 77, Object: 44, Logical: 9, Version: 2, Data: []byte{6}},
 		&ErrorMsg{Text: "boom"},
+		&ReplAttach{},
+		&ReplSnapshot{
+			JobSeq: 3, NextWorker: 5, Workers: []ids.WorkerID{1, 2},
+			Jobs: []*ReplJob{{
+				Job: 2, Name: "drv", Weight: 1, Applied: 17, Ckpt: 2, CkptCount: 3,
+				Manifest: []ManifestEntry{{Logical: 4, Version: 9}},
+				Defs:     [][]byte{{byte(KindDefineVariable), 1}},
+				Oplog:    [][]byte{{byte(KindPut), 2}, {byte(KindInstantiateBlock), 3}},
+				NextCmd:  900, NextObj: 120,
+			}},
+		},
+		&ReplOp{Job: 2, Index: 18, NextCmd: 910, NextObj: 121, Raw: []byte{byte(KindPut), 4, 1}},
+		&ReplAck{Job: 2, Index: 18},
+		&ReplCkpt{Job: 2, Ckpt: 3, Count: 4, Drop: 12, Manifest: []ManifestEntry{{Logical: 5, Version: 10}}},
+		&ReplJobStart{Job: 3, Name: "late", Weight: 2},
+		&ReplJobEnd{Job: 3},
+		&LeaseRenew{Epoch: 1, TTLMillis: 500},
+		&WorkerReconnect{Worker: 2, DataAddr: "data/2", Slots: 8},
+		&DriverReattach{Job: 2, Name: "drv", Weight: 1},
+		&ReattachAck{Job: 2, Applied: 18, Ok: true, Err: "none"},
 	}
 }
 

@@ -96,6 +96,7 @@ func (js *jstate) arrDone(idx uint64) {
 func (w *Worker) activate(u *unit) {
 	js := u.js
 	u.activated = true
+	w.Stats.Activations.Add(1)
 	if len(u.pcs) == 0 {
 		w.completeUnit(u)
 		return
@@ -539,6 +540,9 @@ func (w *Worker) handleDone(pc *pcmd) {
 	pc.state = psDone
 	js.unfin--
 	w.Stats.CommandsDone.Add(1)
+	if w.outage {
+		w.Stats.OutageDone.Add(1)
+	}
 	if pc.cmd.Kind == command.Task {
 		w.freeSlots++
 		js.running--

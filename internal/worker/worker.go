@@ -106,6 +106,21 @@ type Stats struct {
 	// fast path; InstantiateNanos/InstantiateCmds is the per-command
 	// instantiation cost cmd/nimbus-bench reports.
 	InstantiateCmds atomic.Uint64
+	// Activations counts units admitted into execution (template
+	// instances, patches and spawned batches). Failover tests use it to
+	// confirm the worker made progress before — and during — an outage.
+	Activations atomic.Uint64
+	// Outage counters. OutageDone counts commands completed while the
+	// control connection was down (last-known-good autonomy);
+	// Reconnects counts successful control-plane reattachments;
+	// BufferedReports / ReplayedReports / DroppedReports account the
+	// outage buffer of control frames (completions, block-dones, fetch
+	// echoes) replayed on reconnect.
+	OutageDone      atomic.Uint64
+	Reconnects      atomic.Uint64
+	BufferedReports atomic.Uint64
+	ReplayedReports atomic.Uint64
+	DroppedReports  atomic.Uint64
 	// TemplateCompiles / CompileNanos account (re)compilations of
 	// installed templates into their dense immutable form (once per
 	// install or edit batch, never in steady state).
@@ -167,6 +182,14 @@ type Worker struct {
 	// bdMsg is the reused BlockDone scratch message (event-loop
 	// confined; sendCtrl marshals synchronously).
 	bdMsg proto.BlockDone
+
+	// Outage state (event-loop confined). While the control connection is
+	// down the worker keeps draining its installed work autonomously:
+	// outage gates sendCtrl into the bounded outbuf of marshaled frames,
+	// replayed in order once the reconnect loop reattaches — to the same
+	// controller after a transient drop, or to a promoted standby.
+	outage bool
+	outbuf [][]byte
 
 	// Stats is exported for tests and metrics.
 	Stats Stats
@@ -279,8 +302,12 @@ type unit struct {
 type event struct {
 	kind eventKind
 	msg  proto.Msg
+	// msgs carries the trailing messages of a reconnect handshake frame
+	// (the controller batches the ack with quotas, halts, etc.).
+	msgs []proto.Msg
 	cmd  *pcmd
 	err  error
+	conn transport.Conn
 }
 
 type eventKind uint8
@@ -291,6 +318,7 @@ const (
 	evDone
 	evTick
 	evClosed
+	evReconn
 )
 
 // pcmdRing is a job's runnable queue: a growable power-of-two ring buffer.
@@ -445,7 +473,9 @@ func (w *Worker) Start() error {
 	if err != nil {
 		return fmt.Errorf("worker: data listen: %w", err)
 	}
-	ctrl, err := w.cfg.Transport.Dial(w.cfg.ControlAddr)
+	// The controller may not be listening yet (or may be mid-failover):
+	// retry with backoff for a bounded window instead of failing hard.
+	ctrl, err := transport.DialRetry(w.cfg.Transport, w.cfg.ControlAddr, transport.Backoff{}, 0, 2*time.Second, w.stopped)
 	if err != nil {
 		dl.Close()
 		return fmt.Errorf("worker: control dial: %w", err)
@@ -478,7 +508,7 @@ func (w *Worker) Start() error {
 	}
 
 	w.wg.Add(3)
-	go w.ctrlPump()
+	go w.ctrlPump(ctrl)
 	go w.acceptLoop(dl)
 	go w.run(dl)
 	if w.cfg.HeartbeatEvery > 0 {
@@ -505,6 +535,10 @@ func (w *Worker) Wait() error {
 }
 
 func (w *Worker) sendCtrl(m proto.Msg) error {
+	if w.outage {
+		w.bufferCtrl(m)
+		return nil
+	}
 	buf := proto.MarshalAppend(proto.GetBuf(), m)
 	owned, err := transport.SendOwned(w.ctrl, buf)
 	if !owned {
@@ -513,13 +547,33 @@ func (w *Worker) sendCtrl(m proto.Msg) error {
 	return err
 }
 
+// outbufCap bounds the outage buffer. Overflow drops the oldest frame:
+// the newest completions are the ones a reattached controller could still
+// be waiting on.
+const outbufCap = 1024
+
+// bufferCtrl marshals a control frame into the outage buffer. Heartbeats
+// are skipped — there is nobody to read them, and replaying stale ones
+// would be noise.
+func (w *Worker) bufferCtrl(m proto.Msg) {
+	if _, ok := m.(*proto.Heartbeat); ok {
+		return
+	}
+	if len(w.outbuf) >= outbufCap {
+		w.outbuf = w.outbuf[1:]
+		w.Stats.DroppedReports.Add(1)
+	}
+	w.outbuf = append(w.outbuf, proto.Marshal(m))
+	w.Stats.BufferedReports.Add(1)
+}
+
 // errPumpStopped aborts a frame iteration when the worker shuts down
 // mid-batch.
 var errPumpStopped = errors.New("pump stopped")
 
-func (w *Worker) ctrlPump() {
+func (w *Worker) ctrlPump(conn transport.Conn) {
 	defer w.wg.Done()
-	w.pump(w.ctrl, evCtrl, "control")
+	w.pump(conn, evCtrl, "control")
 }
 
 // pump forwards a connection's messages into the event loop, unpacking
@@ -621,6 +675,9 @@ func (w *Worker) run(dl transport.Listener) {
 		case evDone:
 			w.handleDone(ev.cmd)
 		case evTick:
+			if w.outage {
+				break
+			}
 			pending := 0
 			for _, js := range w.jobList {
 				pending += js.unfin
@@ -631,8 +688,21 @@ func (w *Worker) run(dl transport.Listener) {
 				Done:    w.Stats.CommandsDone.Load(),
 			})
 		case evClosed:
+			if ev.err != nil {
+				// The control connection dropped without a Shutdown: the
+				// controller crashed (or the link did). Keep executing —
+				// installed templates, queued instances and the data plane
+				// need no controller — and reattach in the background.
+				w.enterOutage(ev.err)
+				break
+			}
 			w.finish(ev.err)
 			return
+		case evReconn:
+			if shutdown := w.completeReconnect(ev.conn, ev.msg.(*proto.RegisterWorkerAck), ev.msgs); shutdown {
+				w.finish(nil)
+				return
+			}
 		}
 	}
 }
@@ -641,6 +711,137 @@ func (w *Worker) finish(err error) {
 	w.stopErr = err
 	close(w.stopped)
 	w.ctrl.Close()
+}
+
+// enterOutage switches the worker to autonomous mode after losing the
+// control connection: control frames buffer, local execution continues,
+// and a background loop redials until a controller — the same one, or a
+// promoted standby on the same address — accepts a reconnect.
+func (w *Worker) enterOutage(err error) {
+	if w.outage {
+		return
+	}
+	w.cfg.Logf("worker %s: control connection lost, running autonomously: %v", w.id, err)
+	w.outage = true
+	w.ctrl.Close()
+	w.wg.Add(1)
+	go w.reconnectLoop()
+}
+
+// reconnectLoop redials the control endpoint with backoff until a
+// controller acks a WorkerReconnect under this worker's existing identity.
+// It gives up only when the worker stops.
+func (w *Worker) reconnectLoop() {
+	defer w.wg.Done()
+	for {
+		conn, err := transport.DialRetry(w.cfg.Transport, w.cfg.ControlAddr, transport.Backoff{}, 0, 0, w.stopped)
+		if err != nil {
+			return // stopped
+		}
+		ack, extra, err := w.reconnectHandshake(conn)
+		if err != nil {
+			conn.Close()
+			select {
+			case <-w.stopped:
+				return
+			case <-time.After(transport.Backoff{}.Delay(3, nil)):
+				continue
+			}
+		}
+		select {
+		case w.events <- event{kind: evReconn, msg: ack, msgs: extra, conn: conn}:
+		case <-w.stopped:
+			conn.Close()
+		}
+		return
+	}
+}
+
+// reconnectHandshake runs the reattach exchange on a fresh connection:
+// announce the prior identity, await the ack. The controller batches its
+// event-loop turn into one frame, so the ack may arrive with quota, halt
+// or other control messages behind it — those are returned for the event
+// loop to process in order after the swap. A watcher unblocks the Recv if
+// the worker stops mid-handshake.
+func (w *Worker) reconnectHandshake(conn transport.Conn) (*proto.RegisterWorkerAck, []proto.Msg, error) {
+	buf := proto.MarshalAppend(proto.GetBuf(), &proto.WorkerReconnect{
+		Worker: w.id, DataAddr: w.cfg.DataAddr, Slots: w.cfg.Slots,
+	})
+	if owned, err := transport.SendOwned(conn, buf); err != nil {
+		if !owned {
+			proto.PutBuf(buf)
+		}
+		return nil, nil, err
+	} else if !owned {
+		proto.PutBuf(buf)
+	}
+	hsDone := make(chan struct{})
+	go func() {
+		select {
+		case <-w.stopped:
+			conn.Close()
+		case <-hsDone:
+		}
+	}()
+	raw, err := conn.Recv()
+	close(hsDone)
+	if err != nil {
+		return nil, nil, err
+	}
+	var msgs []proto.Msg
+	err = proto.ForEachMsg(raw, func(m proto.Msg) error {
+		msgs = append(msgs, m)
+		return nil
+	})
+	proto.PutBuf(raw)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(msgs) == 0 {
+		return nil, nil, fmt.Errorf("worker: empty reconnect handshake frame")
+	}
+	ack, ok := msgs[0].(*proto.RegisterWorkerAck)
+	if !ok {
+		return nil, nil, fmt.Errorf("worker: expected reconnect ack, got %s", msgs[0].Kind())
+	}
+	return ack, msgs[1:], nil
+}
+
+// completeReconnect swaps in the reattached control connection and
+// replays the outage buffer in order. The controller reconciles: replayed
+// completions for commands its takeover recovery discarded fall out of
+// its outstanding tables as unknown IDs, so nothing double-applies, while
+// reports it was still waiting on land exactly once.
+func (w *Worker) completeReconnect(conn transport.Conn, ack *proto.RegisterWorkerAck, extra []proto.Msg) (shutdown bool) {
+	w.ctrl = conn
+	w.outage = false
+	w.eager = ack.Eager
+	for id, addr := range ack.Peers {
+		w.peers[id] = addr
+	}
+	w.Stats.Reconnects.Add(1)
+	out := w.outbuf
+	w.outbuf = nil
+	for _, buf := range out {
+		if owned, err := transport.SendOwned(conn, buf); err != nil {
+			w.cfg.Logf("worker %s: outage replay: %v", w.id, err)
+			break
+		} else if owned {
+			continue
+		}
+	}
+	w.Stats.ReplayedReports.Add(uint64(len(out)))
+	w.cfg.Logf("worker %s: reattached to controller, %d buffered frames replayed", w.id, len(out))
+	// Process the rest of the handshake frame (quotas, halts) before the
+	// pump delivers anything newer, preserving controller message order.
+	for _, m := range extra {
+		if shutdown := w.handleCtrl(m); shutdown {
+			return true
+		}
+	}
+	w.wg.Add(1)
+	go w.ctrlPump(conn)
+	return false
 }
 
 func (w *Worker) closePeers() {
