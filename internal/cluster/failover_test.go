@@ -447,3 +447,73 @@ func TestFailoverDriverReissuesUnresolvedGets(t *testing.T) {
 	}
 	res.d.Close()
 }
+
+// TestFailoverAfterRejectedOpKeepsJournalInLockstep pins the rejected-op
+// accounting invariant: a journaled operation the controller refuses (here
+// a Put to an undefined variable) must still advance the per-job applied
+// count, because the driver journaled it before sending. Otherwise every
+// reattach after the rejection resends the journal suffix one op early,
+// replaying an operation the controller already applied.
+func TestFailoverAfterRejectedOpKeepsJournalInLockstep(t *testing.T) {
+	c := startTestCluster(t, Options{
+		Workers: 2, LeaseTTL: 150 * time.Millisecond,
+	})
+	if _, err := c.StartStandby(); err != nil {
+		t.Fatalf("standby: %v", err)
+	}
+	d, err := c.Driver("rejected-op")
+	if err != nil {
+		t.Fatalf("driver: %v", err)
+	}
+	v := d.MustVar("x", 1)
+	if err := d.PutFloats(v, 0, []float64{1, 2}); err != nil {
+		t.Fatalf("put: %v", err)
+	}
+	// The rejected journaled op. The driver counts it in OpsSent; the
+	// rejection surfaces on the next blocking call.
+	if err := d.Put(driver.Var{ID: ids.VariableID(99)}, 0, []byte{0}); err != nil {
+		t.Fatalf("rejected put send: %v", err)
+	}
+	if err := d.Barrier(); err == nil || !strings.Contains(err.Error(), "unknown variable") {
+		t.Fatalf("barrier after rejected op: err = %v, want unknown-variable rejection", err)
+	}
+	// Two valid rounds after the rejection. The replication window fence
+	// admits op N only once op N-1 is acked, so by the time the second
+	// round's put has dispatched (its barrier resolved), the standby has
+	// applied everything up to and including the first round — and with it
+	// the rejected op's applied-count sync that precedes it in the stream.
+	if err := d.PutFloats(v, 0, []float64{3, 4}); err != nil {
+		t.Fatalf("put after rejection: %v", err)
+	}
+	if err := d.Barrier(); err != nil {
+		t.Fatalf("barrier after rejection: %v", err)
+	}
+	if err := d.PutFloats(v, 0, []float64{5, 6}); err != nil {
+		t.Fatalf("final put: %v", err)
+	}
+	if err := d.Barrier(); err != nil {
+		t.Fatalf("final barrier: %v", err)
+	}
+
+	c.KillController()
+	promoted, err := c.AwaitPromotion(10 * time.Second)
+	if err != nil {
+		t.Fatalf("takeover: %v", err)
+	}
+
+	// The read reattaches the session and resends the journal suffix past
+	// the promoted controller's applied count. A desynced count would
+	// resend the rejected op here, surfacing a second rejection on this
+	// future.
+	got, err := d.GetFloats(v, 0)
+	if err != nil {
+		t.Fatalf("get after failover: %v", err)
+	}
+	if len(got) != 2 || got[0] != 5 || got[1] != 6 {
+		t.Fatalf("get after failover = %v, want [5 6]", got)
+	}
+	if got, want := promoted.JobApplied(d.Job()), d.OpsSent(); got != want {
+		t.Errorf("applied ops = %d, driver journaled %d", got, want)
+	}
+	d.Close()
+}

@@ -191,10 +191,14 @@ type Controller struct {
 	dirty []*workerState
 
 	// Failover state (repl.go, takeover.go): the attached standby's
-	// replication stream (nil without one), the lease epoch renewals
-	// carry, the rejoin roster a promoted controller waits on before
-	// takeover recovery, and the tracked connection set Kill tears down.
+	// replication stream (nil without one), whether any standby ever
+	// attached (it caps the journal-truncation point drivers learn — a
+	// detached standby may still promote from its stale shadow), the
+	// lease epoch renewals carry, the rejoin roster a promoted controller
+	// waits on before takeover recovery, and the tracked connection set
+	// Kill tears down.
 	repl         *replState
+	hadStandby   bool
 	epoch        uint64
 	expectRejoin map[ids.WorkerID]struct{}
 	takeoverWait bool
@@ -287,6 +291,11 @@ type jobState struct {
 	applied         uint64
 	defs            []proto.Msg
 	pendingTakeover bool
+	// replAcked is the highest applied-op index the standby has acked for
+	// this job: the prefix a promotion from that standby is guaranteed to
+	// hold, hence the driver's safe journal-truncation point while a
+	// standby is (or ever was) attached.
+	replAcked uint64
 	// loopStepping marks a controller-originated instantiation (a loop
 	// iteration): logged and replicated, but not counted in applied.
 	loopStepping bool
@@ -526,6 +535,17 @@ func (c *Controller) trackConn(conn transport.Conn) {
 	c.connMu.Unlock()
 }
 
+// untrackConn forgets a tracked connection once it is done — its pump
+// exited, or its handshake was rejected without one — so reconnect churn
+// over a long-lived controller does not pin dead Conn objects.
+func (c *Controller) untrackConn(conn transport.Conn) {
+	c.connMu.Lock()
+	if c.conns != nil {
+		delete(c.conns, conn)
+	}
+	c.connMu.Unlock()
+}
+
 // Addr returns the controller's actual listen address (useful with
 // ":0"-style TCP addresses).
 func (c *Controller) Addr() string { return c.lis.Addr() }
@@ -613,6 +633,7 @@ var errPumpStopped = errors.New("pump stopped")
 // connection is scoped to the job admitted at registration.
 func (c *Controller) pump(conn transport.Conn, from ids.WorkerID, job ids.JobID, isDriver bool) {
 	defer c.wg.Done()
+	defer c.untrackConn(conn)
 	for {
 		raw, err := conn.Recv()
 		if err != nil {

@@ -104,7 +104,7 @@ func (c *Controller) commitCheckpoint(j *jobState) {
 	// drops the same oplog prefix the checkpoint now subsumes.
 	c.replCkpt(j, uint64(drop))
 	for _, seq := range j.ckpt.requested {
-		c.sendDriver(j, &proto.BarrierDone{Seq: seq})
+		c.sendDriver(j, &proto.BarrierDone{Seq: seq, Applied: c.safeApplied(j)})
 	}
 	j.ckpt.requested = nil
 }

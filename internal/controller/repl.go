@@ -72,11 +72,13 @@ func (c *Controller) handleReplAttach(conn transport.Conn) {
 		c.repl.conn.Close()
 		c.repl = nil
 	}
+	c.hadStandby = true
 	r := &replState{conn: conn, stop: make(chan struct{})}
 	snap := c.snapshotReplica()
 	if err := r.send(snap); err != nil {
 		c.cfg.Logf("controller: standby snapshot send failed: %v", err)
 		conn.Close()
+		c.untrackConn(conn)
 		return
 	}
 	r.send(&proto.LeaseRenew{Epoch: c.epoch, TTLMillis: uint64(c.leaseTTL() / time.Millisecond)})
@@ -249,6 +251,20 @@ func (c *Controller) replJobEnd(j *jobState) {
 	}
 }
 
+// safeApplied is the applied-op count every controller this driver
+// session could ever reattach to is guaranteed to report at least — the
+// journal-truncation point BarrierDone carries. With no standby ever
+// attached it is the job's own count: a transient reconnect lands back
+// here, and a standby attaching later starts from a full snapshot. Once a
+// standby has attached, only its acked prefix is safe — even after it
+// detaches, its stale shadow may still be promoted.
+func (c *Controller) safeApplied(j *jobState) uint64 {
+	if c.hadStandby {
+		return j.replAcked
+	}
+	return j.applied
+}
+
 // replStalled reports whether the replication window is full: driver ops
 // queue behind the fence until the standby acks.
 func (c *Controller) replStalled() bool {
@@ -256,8 +272,13 @@ func (c *Controller) replStalled() bool {
 }
 
 // handleReplAck drains the replication window and releases any driver
-// ops it fenced.
+// ops it fenced. The acked index is remembered per job: it is the prefix
+// a promotion from this standby cannot lose, and so the point up to which
+// drivers may truncate their failover journals.
 func (c *Controller) handleReplAck(m *proto.ReplAck) {
+	if j := c.jobs[m.Job]; j != nil && m.Index > j.replAcked {
+		j.replAcked = m.Index
+	}
 	if c.repl == nil {
 		return
 	}

@@ -41,11 +41,11 @@ func (j *jobState) placement() core.Placement { return placement{j} }
 
 func (c *Controller) handleDefineVariable(j *jobState, m *proto.DefineVariable) {
 	if m.Partitions <= 0 {
-		c.driverError(j, fmt.Sprintf("variable %q: partition count %d", m.Name, m.Partitions))
+		c.rejectOp(j, fmt.Sprintf("variable %q: partition count %d", m.Name, m.Partitions))
 		return
 	}
 	if len(c.active) == 0 {
-		c.driverError(j, fmt.Sprintf("variable %q defined with no workers", m.Name))
+		c.rejectOp(j, fmt.Sprintf("variable %q defined with no workers", m.Name))
 		return
 	}
 	vm := &varMeta{
@@ -68,13 +68,36 @@ func (c *Controller) driverError(j *jobState, text string) {
 	c.sendDriver(j, &proto.ErrorMsg{Text: text})
 }
 
+// logRejected accounts one rejected logged driver operation. The driver
+// journals every logged op and counts it in opsSent before sending — it
+// cannot know the controller will refuse it — so the job's applied counter
+// must advance for rejected ops too, or a reattaching driver's journal
+// resend starts one entry early and re-applies operations the controller
+// already executed. A rejected op never joins the oplog (it had no effect,
+// so recovery must not replay it); only the counter moves, mirrored to an
+// attached standby as an allocator-sync ReplOp.
+func (c *Controller) logRejected(j *jobState) {
+	if j.replaying || j.loopStepping {
+		return
+	}
+	j.applied++
+	c.replSync(j)
+}
+
+// rejectOp refuses one logged driver operation: surface the error and keep
+// the applied counter in lockstep with the driver's journal.
+func (c *Controller) rejectOp(j *jobState, text string) {
+	c.driverError(j, text)
+	c.logRejected(j)
+}
+
 // handlePut uploads initial data for one partition as a Create command on
 // the owning worker, ordered by the job's worker ledger like any other
 // write.
 func (c *Controller) handlePut(j *jobState, m *proto.Put) {
 	vm := j.vars[m.Var]
 	if vm == nil || m.Partition < 0 || m.Partition >= vm.partitions {
-		c.driverError(j, fmt.Sprintf("put to unknown variable %s partition %d", m.Var, m.Partition))
+		c.rejectOp(j, fmt.Sprintf("put to unknown variable %s partition %d", m.Var, m.Partition))
 		return
 	}
 	l := vm.logicals[m.Partition]
@@ -168,7 +191,7 @@ func (c *Controller) resolveIfQuiet(j *jobState) {
 		return
 	}
 	for _, b := range j.barriers {
-		c.sendDriver(j, &proto.BarrierDone{Seq: b.seq})
+		c.sendDriver(j, &proto.BarrierDone{Seq: b.seq, Applied: c.safeApplied(j)})
 	}
 	j.barriers = nil
 	gets := j.gets
@@ -239,7 +262,7 @@ func (c *Controller) handleSubmitStage(j *jobState, m *proto.SubmitStage) {
 		}
 	}
 	if err := c.scheduleStageLive(j, m); err != nil {
-		c.driverError(j, err.Error())
+		c.rejectOp(j, err.Error())
 		return
 	}
 	c.logOp(j, m)

@@ -189,6 +189,12 @@ func classify(raw []byte) proto.MsgKind {
 // then take over.
 func (s *Standby) watch() {
 	defer close(s.done)
+	// watchDone releases the reader goroutine when this loop returns for
+	// any reason (promotion, graceful shutdown, lease expiry). Without it
+	// a reader blocked on a full msgs channel would be stranded forever:
+	// s.stopped only closes on an explicit Stop.
+	watchDone := make(chan struct{})
+	defer close(watchDone)
 	msgs := make(chan proto.Msg, 256)
 	readErr := make(chan error, 1)
 	go func() {
@@ -203,6 +209,8 @@ func (s *Standby) watch() {
 				case msgs <- m:
 					return nil
 				case <-s.stopped:
+					return errPumpStopped
+				case <-watchDone:
 					return errPumpStopped
 				}
 			})
@@ -306,8 +314,14 @@ func (s *Standby) apply(m proto.Msg) {
 		sj.nextCmd = v.NextCmd
 		sj.nextObj = v.NextObj
 		if len(v.Raw) == 0 {
-			// Allocator sync only (checkpoint saves, recovery replay):
-			// adopt the marks, nothing to append or ack.
+			// Allocator sync (checkpoint saves, recovery replay) or a
+			// rejected driver op's applied bump: adopt the counters,
+			// nothing to append or ack. The applied adoption keeps the
+			// shadow's reattach reconciliation point in lockstep with the
+			// driver's journal, which counts rejected ops too.
+			if v.Index > sj.applied {
+				sj.applied = v.Index
+			}
 			return
 		}
 		switch classify(v.Raw) {

@@ -207,6 +207,7 @@ func (c *Controller) reconnectWorker(m *proto.WorkerReconnect, conn transport.Co
 	if ws := c.workers[m.Worker]; ws != nil && ws.alive {
 		c.cfg.Logf("controller: reconnect for live %s rejected", m.Worker)
 		conn.Close()
+		c.untrackConn(conn)
 		return
 	}
 	if m.Worker > c.nextWorker {
@@ -257,6 +258,7 @@ func (c *Controller) reattachDriver(m *proto.DriverReattach, conn transport.Conn
 			proto.PutBuf(buf)
 		}
 		conn.Close()
+		c.untrackConn(conn)
 		return
 	}
 	if j.conn != nil {

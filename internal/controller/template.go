@@ -20,12 +20,12 @@ type editStaged = command.Edit
 // names are per-job: two jobs may record same-named templates.
 func (c *Controller) handleTemplateStart(j *jobState, m *proto.TemplateStart) {
 	if j.recording != nil {
-		c.driverError(j, fmt.Sprintf("template %q started while %q is recording",
+		c.rejectOp(j, fmt.Sprintf("template %q started while %q is recording",
 			m.Name, j.recording.tmpl.Name))
 		return
 	}
 	if _, ok := j.templates[m.Name]; ok {
-		c.driverError(j, fmt.Sprintf("template %q already installed", m.Name))
+		c.rejectOp(j, fmt.Sprintf("template %q already installed", m.Name))
 		return
 	}
 	j.recording = &recordingState{
@@ -43,7 +43,7 @@ func (c *Controller) handleTemplateStart(j *jobState, m *proto.TemplateStart) {
 func (c *Controller) handleTemplateEnd(j *jobState, m *proto.TemplateEnd) {
 	rec := j.recording
 	if rec == nil || rec.tmpl.Name != m.Name {
-		c.driverError(j, fmt.Sprintf("template end for %q without matching start", m.Name))
+		c.rejectOp(j, fmt.Sprintf("template end for %q without matching start", m.Name))
 		return
 	}
 	j.recording = nil
@@ -76,14 +76,14 @@ func (c *Controller) installAssignment(j *jobState, t *core.Template, a *core.As
 func (c *Controller) handleInstantiateBlock(j *jobState, m *proto.InstantiateBlock) bool {
 	t := j.templates[m.Name]
 	if t == nil {
-		c.driverError(j, fmt.Sprintf("instantiate of unknown template %q", m.Name))
+		c.rejectOp(j, fmt.Sprintf("instantiate of unknown template %q", m.Name))
 		return false
 	}
 	a := t.Active
 	if a == nil {
 		// Unreachable through the build fence (instantiations queue while
 		// the template's build is in flight), kept as a guard.
-		c.driverError(j, fmt.Sprintf("instantiate of template %q before its build finished", m.Name))
+		c.rejectOp(j, fmt.Sprintf("instantiate of template %q before its build finished", m.Name))
 		return false
 	}
 	start := time.Now()
@@ -100,6 +100,9 @@ func (c *Controller) handleInstantiateBlock(j *jobState, m *proto.InstantiateBlo
 		c.Stats.ValidateNanos.Add(uint64(time.Since(vstart)))
 		if len(viols) > 0 {
 			if !c.applyPatch(j, a, viols) {
+				// applyPatch already surfaced the driver error; only the
+				// journal accounting remains.
+				c.logRejected(j)
 				return false
 			}
 		}

@@ -159,6 +159,27 @@ func (d *Driver) resendJournal(applied uint64) error {
 	return nil
 }
 
+// truncateJournal releases journal entries at or below applied — the
+// count the controller reports as guaranteed on every possible reattach
+// target (BarrierDone.Applied). Without it the journal grows for the
+// session's lifetime, one marshaled copy per logged op. The suffix is
+// copied into a fresh slice so the dropped entries' buffers are really
+// released instead of staying pinned by the old backing array.
+func (d *Driver) truncateJournal(applied uint64) {
+	i := 0
+	for i < len(d.journal) && d.journal[i].index <= applied {
+		i++
+	}
+	if i == 0 {
+		return
+	}
+	if i == len(d.journal) {
+		d.journal = nil
+		return
+	}
+	d.journal = append([]journalEntry(nil), d.journal[i:]...)
+}
+
 // reissuePending re-sends every unresolved expect-reply request under its
 // original seq. The controller dedupes seqs it already holds (a surviving
 // controller may still be working on the original), so at most one reply

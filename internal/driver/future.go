@@ -148,6 +148,10 @@ func (d *Driver) dispatch(m proto.Msg, waiting *pendingReply) error {
 	case *proto.GetResult:
 		return d.deliver(m.Seq, m.Kind(), func(p *pendingReply) { p.data = m.Data })
 	case *proto.BarrierDone:
+		// A resolved barrier (or checkpoint) carries the controller's safe
+		// applied count: journal entries at or below it can never need
+		// resending on any reattach, so they are released.
+		d.truncateJournal(m.Applied)
 		return d.deliver(m.Seq, m.Kind(), func(*pendingReply) {})
 	case *proto.LoopDone:
 		return d.deliver(m.Seq, m.Kind(), func(p *pendingReply) {

@@ -874,18 +874,27 @@ func (m *Barrier) decode(r *wire.Reader) error {
 	return r.Err
 }
 
-// BarrierDone answers a Barrier.
+// BarrierDone answers a Barrier (and a CheckpointReq, whose commit is a
+// barrier from the driver's point of view). Applied is the job's logged
+// driver-operation count that every controller this session could ever
+// reattach to is guaranteed to report at least — the driver drops its
+// failover journal entries at or below it, bounding journal growth.
 type BarrierDone struct {
-	Seq uint64
+	Seq     uint64
+	Applied uint64
 }
 
 // Kind implements Msg.
 func (*BarrierDone) Kind() MsgKind { return KindBarrierDone }
 
-func (m *BarrierDone) encode(w *wire.Writer) { w.Uvarint(m.Seq) }
+func (m *BarrierDone) encode(w *wire.Writer) {
+	w.Uvarint(m.Seq)
+	w.Uvarint(m.Applied)
+}
 
 func (m *BarrierDone) decode(r *wire.Reader) error {
 	m.Seq = r.Uvarint()
+	m.Applied = r.Uvarint()
 	return r.Err
 }
 

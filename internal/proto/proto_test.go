@@ -42,7 +42,7 @@ func everyMessage() []Msg {
 		},
 		&LoopDone{Seq: 21, Iters: 7, LastValue: 0.0625, Err: "bad loop"},
 		&Barrier{Seq: 11},
-		&BarrierDone{Seq: 11},
+		&BarrierDone{Seq: 11, Applied: 7},
 		&CheckpointReq{Seq: 12},
 		&Shutdown{},
 		&SpawnCommands{Barrier: true, Cmds: []*command.Command{

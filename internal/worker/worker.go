@@ -807,30 +807,43 @@ func (w *Worker) reconnectHandshake(conn transport.Conn) (*proto.RegisterWorkerA
 	return ack, msgs[1:], nil
 }
 
-// completeReconnect swaps in the reattached control connection and
-// replays the outage buffer in order. The controller reconciles: replayed
-// completions for commands its takeover recovery discarded fall out of
-// its outstanding tables as unknown IDs, so nothing double-applies, while
-// reports it was still waiting on land exactly once.
+// completeReconnect replays the outage buffer on the fresh connection and
+// swaps it in as the control connection. The controller reconciles:
+// replayed completions for commands its takeover recovery discarded fall
+// out of its outstanding tables as unknown IDs, so nothing double-applies,
+// while reports it was still waiting on land exactly once. A send failure
+// mid-replay means the fresh connection died under us: the unsent suffix
+// goes back into the outage buffer — never silently dropped — and the
+// worker stays in outage with a new reconnect loop running.
 func (w *Worker) completeReconnect(conn transport.Conn, ack *proto.RegisterWorkerAck, extra []proto.Msg) (shutdown bool) {
-	w.ctrl = conn
-	w.outage = false
 	w.eager = ack.Eager
 	for id, addr := range ack.Peers {
 		w.peers[id] = addr
 	}
-	w.Stats.Reconnects.Add(1)
 	out := w.outbuf
 	w.outbuf = nil
-	for _, buf := range out {
-		if owned, err := transport.SendOwned(conn, buf); err != nil {
+	for i, buf := range out {
+		owned, err := transport.SendOwned(conn, buf)
+		if err != nil {
 			w.cfg.Logf("worker %s: outage replay: %v", w.id, err)
-			break
-		} else if owned {
-			continue
+			rest := out[i:]
+			if owned {
+				// The transport consumed the frame as it failed; that one
+				// report is genuinely gone.
+				rest = out[i+1:]
+				w.Stats.DroppedReports.Add(1)
+			}
+			w.outbuf = append(w.outbuf, rest...)
+			conn.Close()
+			w.wg.Add(1)
+			go w.reconnectLoop()
+			return false
 		}
+		w.Stats.ReplayedReports.Add(1)
 	}
-	w.Stats.ReplayedReports.Add(uint64(len(out)))
+	w.ctrl = conn
+	w.outage = false
+	w.Stats.Reconnects.Add(1)
 	w.cfg.Logf("worker %s: reattached to controller, %d buffered frames replayed", w.id, len(out))
 	// Process the rest of the handshake frame (quotas, halts) before the
 	// pump delivers anything newer, preserving controller message order.
