@@ -62,6 +62,7 @@ func BenchmarkFig8Throughput(b *testing.B)             { runTable(b, "fig8", ben
 func BenchmarkFig9Adaptation(b *testing.B)             { runTable(b, "fig9", bench.Fig9) }
 func BenchmarkFig10Migration(b *testing.B)             { runTable(b, "fig10", bench.Fig10) }
 func BenchmarkFig11WaterSim(b *testing.B)              { runTable(b, "fig11", bench.Fig11) }
+func BenchmarkShuffle(b *testing.B)                    { runTable(b, "shuffle", bench.Shuffle) }
 
 // ---------------------------------------------------------------------------
 // Micro-benchmarks of the core template operations (no cluster, pure

@@ -37,6 +37,7 @@ var experiments = []struct {
 	{"fig9", "Dynamic adaptation timeline", bench.Fig9},
 	{"fig10", "Migration every 5 iterations: edits vs reinstall", bench.Fig10},
 	{"fig11", "Water simulation: MPI vs Nimbus vs Nimbus w/o templates", bench.Fig11},
+	{"shuffle", "Streaming data plane: shuffle goodput, flow control, spill", bench.Shuffle},
 }
 
 func main() {

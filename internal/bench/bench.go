@@ -105,6 +105,12 @@ type Scale struct {
 	WaterReinit    int
 	WaterJacobi    int
 	WaterFrames    int
+	// Shuffle (streaming data plane) calibration: a grouped stage pulls
+	// ShuffleParts partitions of ShufflePartBytes each across
+	// ShuffleWorkers workers.
+	ShuffleWorkers   int
+	ShuffleParts     int
+	ShufflePartBytes int
 }
 
 // Quick returns a laptop/CI-sized scale preserving the paper's shapes.
@@ -125,6 +131,7 @@ func Quick() Scale {
 		WaterWorkers:  8, WaterParts: 32,
 		WaterGridDur: time.Millisecond, WaterReduceDur: 100 * time.Microsecond,
 		WaterSubsteps: 2, WaterReinit: 3, WaterJacobi: 6, WaterFrames: 2,
+		ShuffleWorkers: 4, ShuffleParts: 8, ShufflePartBytes: 4 << 20,
 	}
 }
 
@@ -147,6 +154,7 @@ func Paper() Scale {
 		WaterWorkers:  64, WaterParts: 256,
 		WaterGridDur: 6 * time.Millisecond, WaterReduceDur: 100 * time.Microsecond,
 		WaterSubsteps: 3, WaterReinit: 4, WaterJacobi: 10, WaterFrames: 2,
+		ShuffleWorkers: 8, ShuffleParts: 32, ShufflePartBytes: 16 << 20,
 	}
 }
 

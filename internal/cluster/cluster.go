@@ -51,6 +51,15 @@ type Options struct {
 	BuildParallelism int
 	// Hooks forwards controller test/fault-injection hooks.
 	Hooks controller.Hooks
+	// Data-plane knobs, forwarded to every worker: transfer chunk size,
+	// per-peer sender queue bound, receive reassembly budget (past it
+	// transfers spill to disk), spill directory, and per-chunk
+	// compression. Zeroes take the worker defaults.
+	ChunkSize      int
+	PeerQueueBytes int64
+	RecvBudget     int64
+	SpillDir       string
+	CompressChunks bool
 	// Logf receives diagnostics from all nodes (default: discard).
 	Logf func(format string, args ...any)
 }
@@ -130,6 +139,11 @@ func (c *Cluster) AddWorker() (*worker.Worker, error) {
 		Registry:       c.Registry,
 		Durable:        c.Durable,
 		HeartbeatEvery: c.opts.HeartbeatEvery,
+		ChunkSize:      c.opts.ChunkSize,
+		PeerQueueBytes: c.opts.PeerQueueBytes,
+		RecvBudget:     c.opts.RecvBudget,
+		SpillDir:       c.opts.SpillDir,
+		CompressChunks: c.opts.CompressChunks,
 		Logf:           c.opts.Logf,
 	})
 	if err := w.Start(); err != nil {

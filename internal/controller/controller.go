@@ -185,6 +185,10 @@ type Controller struct {
 	// echo carries no job; the table does).
 	fetchSeq uint64
 	fetches  map[uint64]*pendingFetch
+	// chunkRx reassembles chunked fetch replies (large objects stream
+	// from workers as ChunkFetch-flagged DataChunk runs), keyed by the
+	// same fetch sequence.
+	chunkRx map[uint64]*fetchChunks
 
 	// dirty lists workers with staged messages awaiting the end-of-event
 	// coalesced flush.
@@ -406,6 +410,7 @@ func New(cfg Config) *Controller {
 		workers:  make(map[ids.WorkerID]*workerState),
 		jobs:     make(map[ids.JobID]*jobState),
 		fetches:  make(map[uint64]*pendingFetch),
+		chunkRx:  make(map[uint64]*fetchChunks),
 		buildSem: make(chan struct{}, cfg.BuildParallelism),
 		buildPar: cfg.BuildParallelism,
 		conns:    make(map[transport.Conn]struct{}),
@@ -727,6 +732,9 @@ func (c *Controller) handleMsg(ev cevent) {
 	case *proto.ObjectData:
 		c.handleObjectData(m)
 		return
+	case *proto.DataChunk:
+		c.handleFetchChunk(m)
+		return
 	case *proto.HaltAck:
 		if j := c.jobs[m.Job]; j != nil {
 			c.handleHaltAck(j, m)
@@ -856,6 +864,7 @@ func (c *Controller) endJob(j *jobState, reason string) {
 	for seq, pf := range c.fetches {
 		if pf.job == j.id {
 			delete(c.fetches, seq)
+			delete(c.chunkRx, seq)
 		}
 	}
 	if j.conn != nil {

@@ -1,6 +1,7 @@
 package controller
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -9,6 +10,7 @@ import (
 	"nimbus/internal/ids"
 	"nimbus/internal/params"
 	"nimbus/internal/proto"
+	"nimbus/internal/stream"
 )
 
 // placement adapts one job's variable table to core.Placement.
@@ -222,6 +224,51 @@ func (c *Controller) startFetch(j *jobState, g pendingGet) {
 	c.fetchSeq++
 	c.fetches[c.fetchSeq] = &pendingFetch{job: j.id, driverSeq: g.seq, v: g.v, p: g.p}
 	c.sendWorker(c.workers[holder], &proto.FetchObject{Job: j.id, Seq: c.fetchSeq, Object: rep.Object})
+}
+
+// fetchChunks reassembles one chunked fetch reply.
+type fetchChunks struct {
+	ra  stream.Reassembler
+	buf []byte
+}
+
+// handleFetchChunk lands one chunk of a large fetch reply. Chunks are
+// only accepted for fetches actually outstanding, so a misbehaving worker
+// cannot grow the reassembly table; on the last chunk the buffered body
+// resolves through the ordinary ObjectData path. A protocol violation
+// drops the partial state and resolves the fetch empty rather than
+// leaving the driver hanging.
+func (c *Controller) handleFetchChunk(m *proto.DataChunk) {
+	if m.Flags&proto.ChunkFetch == 0 || c.fetches[m.Fetch] == nil {
+		return
+	}
+	st := c.chunkRx[m.Fetch]
+	if st == nil {
+		if m.Seq != 0 {
+			return // stale tail of an already-dropped reassembly
+		}
+		// The chunk-size bound here is hostile-input protection, not the
+		// workers' configured chunk size (the controller does not know
+		// it); cap at the transport frame limit.
+		st = &fetchChunks{ra: stream.Reassembler{Xfer: m.Xfer, Total: m.Total, ChunkSize: 1 << 28}}
+		c.chunkRx[m.Fetch] = st
+	}
+	raw, err := st.ra.Accept(m)
+	if err != nil {
+		if errors.Is(err, stream.ErrDup) {
+			return
+		}
+		c.cfg.Logf("controller: fetch %d chunk: %v", m.Fetch, err)
+		delete(c.chunkRx, m.Fetch)
+		c.handleObjectData(&proto.ObjectData{Seq: m.Fetch, Object: m.Object, Version: m.Version})
+		return
+	}
+	st.buf = append(st.buf, raw...)
+	if !m.Last {
+		return
+	}
+	delete(c.chunkRx, m.Fetch)
+	c.handleObjectData(&proto.ObjectData{Seq: m.Fetch, Object: m.Object, Version: m.Version, Data: st.buf})
 }
 
 func (c *Controller) handleObjectData(m *proto.ObjectData) {

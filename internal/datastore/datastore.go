@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"nimbus/internal/ids"
 )
@@ -30,6 +31,9 @@ type Object struct {
 	// Data is the object's buffer. Task functions may mutate it in place
 	// or replace it entirely.
 	Data []byte
+	// spill holds the object's body on disk while it is spilled (Data is
+	// nil then); readers fault it back in through the store.
+	spill *Spilled
 }
 
 // DefaultShards is the shard count New uses. Executor goroutines resolve
@@ -57,6 +61,8 @@ type shard struct {
 type Store struct {
 	shards []shard
 	mask   uint64
+	// faults counts spilled objects faulted back into memory on read.
+	faults atomic.Uint64
 }
 
 // New returns an empty store with DefaultShards shards.
@@ -102,7 +108,11 @@ func (s *Store) Ensure(id ids.ObjectID, logical ids.LogicalID) *Object {
 	sh := s.shardOf(id)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	return sh.ensureLocked(id, logical)
+	o := sh.ensureLocked(id, logical)
+	if o.spill != nil {
+		s.faultLocked(o)
+	}
+	return o
 }
 
 func (sh *shard) ensureLocked(id ids.ObjectID, logical ids.LogicalID) *Object {
@@ -114,12 +124,27 @@ func (sh *shard) ensureLocked(id ids.ObjectID, logical ids.LogicalID) *Object {
 	return o
 }
 
-// Get returns the object or nil if absent.
+// Get returns the object or nil if absent, faulting a spilled body back
+// into memory so callers always observe Data populated.
 func (s *Store) Get(id ids.ObjectID) *Object {
 	sh := s.shardOf(id)
 	sh.mu.RLock()
-	defer sh.mu.RUnlock()
-	return sh.objects[id]
+	o := sh.objects[id]
+	spilled := o != nil && o.spill != nil
+	sh.mu.RUnlock()
+	if !spilled {
+		return o
+	}
+	// Upgrade to the write lock for the fault; re-check under it, since a
+	// concurrent reader may have faulted (or an Install superseded) the
+	// spill between the locks.
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	o = sh.objects[id]
+	if o != nil && o.spill != nil {
+		s.faultLocked(o)
+	}
+	return o
 }
 
 // Destroy removes an object. Destroying a missing object is a no-op, which
@@ -127,8 +152,12 @@ func (s *Store) Get(id ids.ObjectID) *Object {
 func (s *Store) Destroy(id ids.ObjectID) {
 	sh := s.shardOf(id)
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
+	o := sh.objects[id]
 	delete(sh.objects, id)
+	sh.mu.Unlock()
+	if o != nil && o.spill != nil {
+		o.spill.Remove()
+	}
 }
 
 // Install swaps fresh data into the object, creating it if needed, in one
@@ -139,12 +168,18 @@ func (s *Store) Destroy(id ids.ObjectID) {
 func (s *Store) Install(id ids.ObjectID, logical ids.LogicalID, version uint64, data []byte) {
 	sh := s.shardOf(id)
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
 	o := sh.ensureLocked(id, logical)
+	old := o.spill
 	o.Data = data
 	o.Version = version
+	o.spill = nil
 	if o.Logical == ids.NoLogical {
 		o.Logical = logical
+	}
+	sh.mu.Unlock()
+	if old != nil {
+		// A fresh install supersedes a spilled body that was never read.
+		old.Remove()
 	}
 }
 
@@ -163,23 +198,27 @@ func (s *Store) Len() int {
 // Snapshot returns the live objects sorted by ID, as one point-in-time
 // view: all shard locks are held together (in index order) while
 // collecting, so concurrent creates and destroys cannot produce a
-// membership set that never existed. Checkpointing uses it to enumerate
-// what must be saved; the data slices are shared, so the caller must
-// finish with them before execution resumes.
+// membership set that never existed. Spilled objects are faulted back in
+// — checkpointing reads Data — which is why the locks are exclusive.
+// The data slices are shared, so the caller must finish with them before
+// execution resumes.
 func (s *Store) Snapshot() []*Object {
 	n := 0
 	for i := range s.shards {
-		s.shards[i].mu.RLock()
+		s.shards[i].mu.Lock()
 		n += len(s.shards[i].objects)
 	}
 	out := make([]*Object, 0, n)
 	for i := range s.shards {
 		for _, o := range s.shards[i].objects {
+			if o.spill != nil {
+				s.faultLocked(o)
+			}
 			out = append(out, o)
 		}
 	}
 	for i := range s.shards {
-		s.shards[i].mu.RUnlock()
+		s.shards[i].mu.Unlock()
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
@@ -190,7 +229,13 @@ func (s *Store) Clear() {
 	for i := range s.shards {
 		sh := &s.shards[i]
 		sh.mu.Lock()
+		old := sh.objects
 		sh.objects = make(map[ids.ObjectID]*Object)
 		sh.mu.Unlock()
+		for _, o := range old {
+			if o.spill != nil {
+				o.spill.Remove()
+			}
+		}
 	}
 }

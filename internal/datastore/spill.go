@@ -1,0 +1,169 @@
+package datastore
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+
+	"nimbus/internal/ids"
+)
+
+// This file implements the store's spill layer. When a receiving worker's
+// in-flight reassembly buffers exceed its memory budget, a transfer's
+// bytes stream into a spill file instead of RAM; on completion the object
+// installs disk-backed and is faulted back into memory on first read.
+// Spill files are written with the same crash-safety idiom as
+// durable.FS.Save — unique temp file, fsync, rename — so a torn write can
+// never masquerade as a completed spill, but unlike checkpoints they are
+// cache, not durability: directory fsyncs are skipped and the whole spill
+// root is discarded at worker shutdown.
+
+// SpillFS allocates spill files under one directory (one per worker).
+type SpillFS struct {
+	dir string
+	seq atomic.Uint64
+}
+
+// NewSpillFS returns a spill allocator rooted at dir, creating it if
+// needed.
+func NewSpillFS(dir string) (*SpillFS, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("datastore: spill root: %w", err)
+	}
+	return &SpillFS{dir: dir}, nil
+}
+
+// Dir returns the spill root.
+func (s *SpillFS) Dir() string { return s.dir }
+
+// NewWriter opens a spill file for one in-flight transfer.
+func (s *SpillFS) NewWriter() (*SpillWriter, error) {
+	f, err := os.CreateTemp(s.dir, "xfer-*.tmp")
+	if err != nil {
+		return nil, fmt.Errorf("datastore: spill create: %w", err)
+	}
+	return &SpillWriter{fs: s, f: f, tmp: f.Name()}, nil
+}
+
+// SpillWriter streams one transfer's bytes to disk.
+type SpillWriter struct {
+	fs  *SpillFS
+	f   *os.File
+	tmp string
+	n   int64
+}
+
+// Write appends p to the spill file.
+func (sw *SpillWriter) Write(p []byte) error {
+	if _, err := sw.f.Write(p); err != nil {
+		return fmt.Errorf("datastore: spill write: %w", err)
+	}
+	sw.n += int64(len(p))
+	return nil
+}
+
+// Size reports the bytes written so far.
+func (sw *SpillWriter) Size() int64 { return sw.n }
+
+// Finalize fsyncs, closes and renames the spill file into place,
+// returning the completed handle. After Finalize the writer is spent.
+func (sw *SpillWriter) Finalize() (*Spilled, error) {
+	if err := sw.f.Sync(); err != nil {
+		sw.Abort()
+		return nil, fmt.Errorf("datastore: spill sync: %w", err)
+	}
+	if err := sw.f.Close(); err != nil {
+		os.Remove(sw.tmp)
+		return nil, fmt.Errorf("datastore: spill close: %w", err)
+	}
+	final := filepath.Join(sw.fs.dir, fmt.Sprintf("obj-%d.spill", sw.fs.seq.Add(1)))
+	if err := os.Rename(sw.tmp, final); err != nil {
+		os.Remove(sw.tmp)
+		return nil, fmt.Errorf("datastore: spill rename: %w", err)
+	}
+	return &Spilled{Path: final, Size: sw.n}, nil
+}
+
+// Abort discards an incomplete spill (transfer aborted, pump torn down).
+func (sw *SpillWriter) Abort() {
+	sw.f.Close()
+	os.Remove(sw.tmp)
+}
+
+// Spilled is a completed on-disk object body awaiting fault-in.
+type Spilled struct {
+	Path string
+	Size int64
+}
+
+// Read loads the spilled bytes.
+func (sp *Spilled) Read() ([]byte, error) {
+	data, err := os.ReadFile(sp.Path)
+	if err != nil {
+		return nil, fmt.Errorf("datastore: spill read: %w", err)
+	}
+	return data, nil
+}
+
+// Remove deletes the spill file.
+func (sp *Spilled) Remove() { os.Remove(sp.Path) }
+
+// InstallSpilled swaps a disk-backed body into the object: Data is nil and
+// the spill handle holds the bytes until a reader faults them in. Any
+// previous spill for the object is superseded and removed.
+func (s *Store) InstallSpilled(id ids.ObjectID, logical ids.LogicalID, version uint64, sp *Spilled) {
+	sh := s.shardOf(id)
+	sh.mu.Lock()
+	o := sh.ensureLocked(id, logical)
+	old := o.spill
+	o.Data = nil
+	o.Version = version
+	o.spill = sp
+	if o.Logical == ids.NoLogical {
+		o.Logical = logical
+	}
+	sh.mu.Unlock()
+	if old != nil {
+		old.Remove()
+	}
+}
+
+// faultLocked loads a spilled object's bytes back into memory (shard lock
+// held). The spill file is consumed: objects are mutable in place, so a
+// faulted body on disk would instantly be stale.
+func (s *Store) faultLocked(o *Object) {
+	sp := o.spill
+	data, err := sp.Read()
+	if err != nil {
+		// The spill file is gone or unreadable; surface an empty body
+		// rather than wedging every reader. The fault counter still moves,
+		// so tests observing spills never mistake this for the no-spill
+		// path.
+		data = nil
+	}
+	o.Data = data
+	o.spill = nil
+	s.faults.Add(1)
+	sp.Remove()
+}
+
+// Faults reports how many spilled objects have been faulted back into
+// memory.
+func (s *Store) Faults() uint64 { return s.faults.Load() }
+
+// Spilled reports how many live objects are currently disk-backed.
+func (s *Store) Spilled() int {
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for _, o := range sh.objects {
+			if o.spill != nil {
+				n++
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	return n
+}

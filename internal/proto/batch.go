@@ -22,8 +22,10 @@ import (
 
 // maxPooledBuf caps the capacity of buffers accepted back into the pool.
 // Data-plane payloads can be megabytes; pinning them in the pool would
-// trade allocation rate for resident memory.
-const maxPooledBuf = 1 << 18
+// trade allocation rate for resident memory. The cap leaves headroom over
+// the default data-plane chunk size (256 KiB) so a marshaled DataChunk
+// frame — chunk body plus a few dozen header bytes — still recycles.
+const maxPooledBuf = 1<<18 + 1024
 
 // pooledBuf wraps a byte slice so pool round trips move only pointers.
 // Spent headers (B == nil) park in hdrPool, so neither GetBuf nor PutBuf

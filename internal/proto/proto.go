@@ -87,6 +87,9 @@ const (
 	KindWorkerReconnect
 	KindDriverReattach
 	KindReattachAck
+	KindDataChunk
+	KindDataCredit
+	KindXferAbort
 	// KindMax is one past the last registered message kind; coverage
 	// tests iterate [KindRegisterWorker, KindMax).
 	KindMax
@@ -147,6 +150,9 @@ var kindNames = [...]string{
 	KindWorkerReconnect:     "worker-reconnect",
 	KindDriverReattach:      "driver-reattach",
 	KindReattachAck:         "reattach-ack",
+	KindDataChunk:           "data-chunk",
+	KindDataCredit:          "data-credit",
+	KindXferAbort:           "xfer-abort",
 }
 
 // String returns the message kind name.
@@ -292,6 +298,12 @@ func newMsg(kind MsgKind) Msg {
 		return &DriverReattach{}
 	case KindReattachAck:
 		return &ReattachAck{}
+	case KindDataChunk:
+		return &DataChunk{}
+	case KindDataCredit:
+		return &DataCredit{}
+	case KindXferAbort:
+		return &XferAbort{}
 	default:
 		return nil
 	}
@@ -1379,6 +1391,125 @@ func (m *DataPayload) decode(r *wire.Reader) error {
 	m.Logical = ids.LogicalID(r.Uvarint())
 	m.Version = r.Uvarint()
 	m.Data = r.BytesCopy()
+	return r.Err
+}
+
+// DataChunk flag bits.
+const (
+	// ChunkCompressed marks Raw as flate-compressed; the receiver inflates
+	// it before reassembly.
+	ChunkCompressed uint8 = 1 << 0
+	// ChunkFetch marks a chunked FetchObject reply riding the control
+	// connection: Fetch carries the FetchObject sequence number and the
+	// controller reassembles the chunks into one ObjectData.
+	ChunkFetch uint8 = 1 << 1
+)
+
+// DataChunk is one slice of a streamed transfer. Large objects no longer
+// travel as monolithic DataPayload frames: the sender slices them into
+// fixed-size chunks so the receiver can bound its reassembly memory
+// (spilling to disk past a budget) and meter the sender with per-transfer
+// credits. Every chunk repeats the routing header — a handful of varints
+// against a quarter-megabyte body — so chunks are self-describing and the
+// receiver needs no per-transfer setup message.
+type DataChunk struct {
+	Job ids.JobID
+	// Xfer identifies the transfer within its connection (sender-unique).
+	Xfer uint64
+	// Seq is the chunk's position; chunks are sent and landed in order.
+	Seq  uint32
+	Last bool
+	// Flags carries the Chunk* bits.
+	Flags uint8
+	// DstCommand/Object/Logical/Version mirror DataPayload's routing for
+	// copy-command transfers; Fetch carries the FetchObject Seq for
+	// ChunkFetch transfers.
+	DstCommand ids.CommandID
+	Object     ids.ObjectID
+	Logical    ids.LogicalID
+	Version    uint64
+	Fetch      uint64
+	// Total is the transfer's full uncompressed size in bytes; the
+	// receiver validates reassembly against it.
+	Total uint64
+	Raw   []byte
+}
+
+// Kind implements Msg.
+func (*DataChunk) Kind() MsgKind { return KindDataChunk }
+
+func (m *DataChunk) encode(w *wire.Writer) {
+	w.Uvarint(uint64(m.Job))
+	w.Uvarint(m.Xfer)
+	w.Uvarint(uint64(m.Seq))
+	w.Bool(m.Last)
+	w.Byte(m.Flags)
+	w.Uvarint(uint64(m.DstCommand))
+	w.Uvarint(uint64(m.Object))
+	w.Uvarint(uint64(m.Logical))
+	w.Uvarint(m.Version)
+	w.Uvarint(m.Fetch)
+	w.Uvarint(m.Total)
+	w.Bytes(m.Raw)
+}
+
+func (m *DataChunk) decode(r *wire.Reader) error {
+	m.Job = ids.JobID(r.Uvarint())
+	m.Xfer = r.Uvarint()
+	m.Seq = uint32(r.Uvarint())
+	m.Last = r.Bool()
+	m.Flags = r.Byte()
+	m.DstCommand = ids.CommandID(r.Uvarint())
+	m.Object = ids.ObjectID(r.Uvarint())
+	m.Logical = ids.LogicalID(r.Uvarint())
+	m.Version = r.Uvarint()
+	m.Fetch = r.Uvarint()
+	m.Total = r.Uvarint()
+	m.Raw = r.BytesCopy()
+	return r.Err
+}
+
+// DataCredit replenishes a transfer's flow-control window: the receiver
+// grants Chunks more chunks as it lands (or spills) previous ones, keeping
+// the amount of data in flight toward a slow receiver bounded.
+type DataCredit struct {
+	Xfer   uint64
+	Chunks uint32
+}
+
+// Kind implements Msg.
+func (*DataCredit) Kind() MsgKind { return KindDataCredit }
+
+func (m *DataCredit) encode(w *wire.Writer) {
+	w.Uvarint(m.Xfer)
+	w.Uvarint(uint64(m.Chunks))
+}
+
+func (m *DataCredit) decode(r *wire.Reader) error {
+	m.Xfer = r.Uvarint()
+	m.Chunks = uint32(r.Uvarint())
+	return r.Err
+}
+
+// XferAbort cancels a transfer (receiver → sender): the receiver hit a
+// protocol violation (sequence gap, corrupt chunk, size overflow) or lost
+// interest (job teardown). The sender drops the transfer's unsent chunks.
+type XferAbort struct {
+	Xfer   uint64
+	Reason string
+}
+
+// Kind implements Msg.
+func (*XferAbort) Kind() MsgKind { return KindXferAbort }
+
+func (m *XferAbort) encode(w *wire.Writer) {
+	w.Uvarint(m.Xfer)
+	w.String(m.Reason)
+}
+
+func (m *XferAbort) decode(r *wire.Reader) error {
+	m.Xfer = r.Uvarint()
+	m.Reason = r.String()
 	return r.Err
 }
 

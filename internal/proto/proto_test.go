@@ -73,6 +73,13 @@ func everyMessage() []Msg {
 		&HaltAck{Seq: 14, Worker: 2},
 		&Resume{},
 		&DataPayload{DstCommand: 77, Object: 44, Logical: 9, Version: 2, Data: []byte{6}},
+		&DataChunk{
+			Job: 2, Xfer: 31, Seq: 4, Last: true, Flags: ChunkCompressed,
+			DstCommand: 77, Object: 44, Logical: 9, Version: 2, Fetch: 13,
+			Total: 1 << 20, Raw: []byte{1, 2, 3},
+		},
+		&DataCredit{Xfer: 31, Chunks: 8},
+		&XferAbort{Xfer: 31, Reason: "seq gap"},
 		&ErrorMsg{Text: "boom"},
 		&ReplAttach{},
 		&ReplSnapshot{

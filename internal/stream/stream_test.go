@@ -1,0 +1,158 @@
+package stream
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"nimbus/internal/proto"
+)
+
+func chunk(xfer uint64, seq uint32, last bool, total uint64, raw []byte) *proto.DataChunk {
+	return &proto.DataChunk{Xfer: xfer, Seq: seq, Last: last, Total: total, Raw: raw}
+}
+
+func TestReassembleInOrder(t *testing.T) {
+	data := make([]byte, 1000)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	ra := &Reassembler{Xfer: 7, Total: 1000, ChunkSize: 400}
+	var got []byte
+	for off := 0; off < len(data); off += 400 {
+		end := off + 400
+		if end > len(data) {
+			end = len(data)
+		}
+		raw, err := ra.Accept(chunk(7, uint32(off/400), end == len(data), 1000, data[off:end]))
+		if err != nil {
+			t.Fatalf("chunk at %d: %v", off, err)
+		}
+		got = append(got, raw...)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("reassembled bytes differ from input")
+	}
+	if ra.Got() != 1000 {
+		t.Fatalf("Got() = %d, want 1000", ra.Got())
+	}
+}
+
+func TestReassembleCompressed(t *testing.T) {
+	data := bytes.Repeat([]byte("nimbus "), 4096)
+	comp := Compress(data)
+	if comp == nil {
+		t.Fatal("repetitive data should compress")
+	}
+	if len(comp) >= len(data) {
+		t.Fatalf("compressed %d >= raw %d", len(comp), len(data))
+	}
+	ra := &Reassembler{Xfer: 1, Total: uint64(len(data)), ChunkSize: len(data)}
+	c := chunk(1, 0, true, uint64(len(data)), comp)
+	c.Flags = proto.ChunkCompressed
+	raw, err := ra.Accept(c)
+	if err != nil {
+		t.Fatalf("accept compressed: %v", err)
+	}
+	if !bytes.Equal(raw, data) {
+		t.Fatal("inflated bytes differ from input")
+	}
+}
+
+func TestCompressIncompressible(t *testing.T) {
+	data := make([]byte, 4096)
+	rnd := rand.New(rand.NewSource(1))
+	rnd.Read(data)
+	if Compress(data) != nil {
+		t.Fatal("random data should be reported incompressible")
+	}
+}
+
+// Out-of-order Seq (a gap) must abort the transfer — on an ordered
+// connection it can only mean sender or frame corruption.
+func TestHostileChunkSeqGap(t *testing.T) {
+	ra := &Reassembler{Xfer: 1, Total: 100, ChunkSize: 50}
+	if _, err := ra.Accept(chunk(1, 1, false, 100, make([]byte, 50))); err == nil || errors.Is(err, ErrDup) {
+		t.Fatalf("sequence gap not rejected: %v", err)
+	}
+}
+
+// Duplicate Seq is dropped silently (ErrDup): a sender that redialed
+// mid-transfer replays the prefix the receiver already landed.
+func TestHostileChunkDupSeq(t *testing.T) {
+	ra := &Reassembler{Xfer: 1, Total: 100, ChunkSize: 50}
+	if _, err := ra.Accept(chunk(1, 0, false, 100, make([]byte, 50))); err != nil {
+		t.Fatalf("first chunk: %v", err)
+	}
+	if _, err := ra.Accept(chunk(1, 0, false, 100, make([]byte, 50))); !errors.Is(err, ErrDup) {
+		t.Fatalf("duplicate chunk: got %v, want ErrDup", err)
+	}
+	// The duplicate must not advance state: the true next chunk lands.
+	if _, err := ra.Accept(chunk(1, 1, true, 100, make([]byte, 50))); err != nil {
+		t.Fatalf("chunk after duplicate: %v", err)
+	}
+}
+
+// Truncated Raw: a Last chunk that closes the transfer short of Total.
+func TestHostileChunkTruncated(t *testing.T) {
+	ra := &Reassembler{Xfer: 1, Total: 100, ChunkSize: 100}
+	if _, err := ra.Accept(chunk(1, 0, true, 100, make([]byte, 40))); err == nil {
+		t.Fatal("short final chunk not rejected")
+	}
+}
+
+// Corrupt compressed Raw must error, not panic or return garbage.
+func TestHostileChunkCorruptCompressed(t *testing.T) {
+	ra := &Reassembler{Xfer: 1, Total: 100, ChunkSize: 100}
+	c := chunk(1, 0, true, 100, []byte{0xff, 0x00, 0xab, 0x13})
+	c.Flags = proto.ChunkCompressed
+	if _, err := ra.Accept(c); err == nil {
+		t.Fatal("corrupt flate stream not rejected")
+	}
+}
+
+// A compressed chunk must not inflate past the chunk-size bound.
+func TestHostileChunkInflateBomb(t *testing.T) {
+	comp := Compress(make([]byte, 1<<20)) // zeros compress absurdly well
+	if comp == nil {
+		t.Fatal("zeros should compress")
+	}
+	ra := &Reassembler{Xfer: 1, Total: 1 << 20, ChunkSize: 1 << 10}
+	c := chunk(1, 0, false, 1<<20, comp)
+	c.Flags = proto.ChunkCompressed
+	if _, err := ra.Accept(c); err == nil {
+		t.Fatal("inflate past chunk size not rejected")
+	}
+}
+
+// Chunks overflowing the declared Total must abort.
+func TestHostileChunkTotalOverflow(t *testing.T) {
+	ra := &Reassembler{Xfer: 1, Total: 60, ChunkSize: 50}
+	if _, err := ra.Accept(chunk(1, 0, false, 60, make([]byte, 50))); err != nil {
+		t.Fatalf("first chunk: %v", err)
+	}
+	if _, err := ra.Accept(chunk(1, 1, false, 60, make([]byte, 50))); err == nil {
+		t.Fatal("overflow past Total not rejected")
+	}
+}
+
+// A mid-transfer change of the declared Total is a protocol violation.
+func TestHostileChunkTotalFlip(t *testing.T) {
+	ra := &Reassembler{Xfer: 1, Total: 100, ChunkSize: 50}
+	if _, err := ra.Accept(chunk(1, 0, false, 100, make([]byte, 50))); err != nil {
+		t.Fatalf("first chunk: %v", err)
+	}
+	if _, err := ra.Accept(chunk(1, 1, false, 999, make([]byte, 50))); err == nil {
+		t.Fatal("total flip not rejected")
+	}
+}
+
+// An uncompressed chunk larger than the negotiated chunk size is refused
+// (it would bypass the per-chunk memory bound credits account in).
+func TestHostileChunkOversized(t *testing.T) {
+	ra := &Reassembler{Xfer: 1, Total: 1 << 20, ChunkSize: 1 << 10}
+	if _, err := ra.Accept(chunk(1, 0, false, 1<<20, make([]byte, 1<<16))); err == nil {
+		t.Fatal("oversized chunk not rejected")
+	}
+}

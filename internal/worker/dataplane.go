@@ -3,131 +3,526 @@ package worker
 import (
 	"sync"
 
+	"nimbus/internal/datastore"
 	"nimbus/internal/ids"
 	"nimbus/internal/proto"
+	"nimbus/internal/stream"
 	"nimbus/internal/transport"
 )
 
-// peerConn is an asynchronous outbound data-plane connection to one peer
-// worker. Sends enqueue without blocking the event loop (the paper's copy
-// commands use asynchronous I/O so they never block a worker thread,
-// §3.4); a writer goroutine drains the queue.
+// This file is the sender side of the streaming data plane. Workers
+// exchange data directly — the controller is never on the data path
+// (control-plane requirement 2, paper §3.1) — and copy commands use
+// asynchronous I/O so they never block a worker thread (§3.4). Three
+// disciplines keep that asynchrony bounded:
 //
-// The queue is consumed head-index-first with slot nil'ing (same
-// discipline as the scheduler's runnable ring): popping by reslicing kept
-// every sent payload reachable through the backing array until append
-// happened to wrap, pinning megabytes of drained frames. When the queue
-// empties, head and length reset so the backing array is reused instead of
-// regrown.
-type peerConn struct {
-	mu     sync.Mutex
-	cond   *sync.Cond
-	queue  [][]byte
-	head   int
-	closed bool
+//   - The per-peer queue is byte-accounted and bounded. A send into a full
+//     queue does not block the event loop and does not copy anything: the
+//     CopySend command parks, holding only its pcmd, and is retried when
+//     the writer drains below the low-water mark (evPeerSpace).
+//
+//   - Objects larger than one chunk stream as DataChunk runs under a
+//     credit window granted by the receiver (DataCredit on the reverse
+//     path of the same connection), so a slow receiver stalls the writer
+//     goroutine, not the event loop, and sender memory stays bounded by
+//     the queue cap — the queue holds a reference to the object's buffer,
+//     never a second copy.
+//
+//   - A chunked CopySend completes only after its last chunk is handed to
+//     the transport (the writer posts evDone). Until then the object's
+//     buffer is shared with the store, which is safe because before sets
+//     order any writer of the object after the copy's completion.
+
+// peerItem is one queue entry: a pre-marshaled single frame (small
+// payloads, at most one chunk) or a chunked transfer descriptor.
+type peerItem struct {
+	frame []byte
+	xfer  *txXfer
+	size  int64
 }
 
-func newPeerConn() *peerConn {
-	pc := &peerConn{}
+// txXfer describes one outbound chunked transfer. hdr carries the routing
+// fields every chunk repeats; data is shared with the datastore object.
+type txXfer struct {
+	hdr  proto.DataChunk
+	data []byte
+	done *pcmd // CopySend to complete once the last chunk is sent
+}
+
+// admission results of peerConn.enqueue.
+type admit uint8
+
+const (
+	admitOK   admit = iota
+	admitFull       // queue over its byte budget; park the sender
+	admitDead       // writer exited or queue closed; count a drop
+)
+
+// awaitCredit results.
+const (
+	creditOK = iota
+	creditAborted // receiver aborted the transfer; skip its remaining chunks
+	creditClosed  // worker stopping
+)
+
+// peerConn is the asynchronous outbound data-plane connection to one peer
+// worker: a bounded queue drained by a writer goroutine.
+//
+// The queue is consumed head-index-first with slot clearing (same
+// discipline as the scheduler's runnable ring), so drained entries pin
+// nothing; when it empties, head and length reset to reuse the backing
+// array.
+type peerConn struct {
+	w    *Worker
+	dst  ids.WorkerID
+	addr string
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []peerItem
+	head    int
+	pending int64 // bytes admitted and not yet released by the writer
+	closed  bool
+	dead    bool // writer goroutine exited; sends are rejected
+	notify  bool // a parked sender wants an evPeerSpace when space frees
+
+	// Credit window for the transfer the writer is currently streaming.
+	// The writer sets it (beginXfer) and consumes it (awaitCredit); the
+	// creditPump goroutine refills it from the receiver's DataCredit
+	// frames and flags XferAbort.
+	curXfer uint64
+	window  int64
+	aborted bool
+
+	// parked holds CopySend commands waiting for queue space. Event-loop
+	// confined: only sendPeer appends and retryParked drains.
+	parked []*pcmd
+}
+
+func newPeerConn(w *Worker, dst ids.WorkerID, addr string) *peerConn {
+	pc := &peerConn{w: w, dst: dst, addr: addr}
 	pc.cond = sync.NewCond(&pc.mu)
 	return pc
 }
 
-func (pc *peerConn) send(b []byte) {
+// enqueue admits one item against the byte budget. An over-budget queue
+// rejects with admitFull — unless it is empty, so a single item larger
+// than the whole budget still moves. A rejected caller owns the item.
+func (pc *peerConn) enqueue(it peerItem) admit {
 	pc.mu.Lock()
-	if pc.closed {
+	if pc.closed || pc.dead {
 		pc.mu.Unlock()
-		// The queue owns frames it accepts; a rejected frame is recycled
-		// here instead of leaking.
-		proto.PutBuf(b)
-		return
+		return admitDead
 	}
-	pc.queue = append(pc.queue, b)
-	pc.cond.Signal()
+	if pc.pending > 0 && pc.pending+it.size > pc.w.peerQueueBytes {
+		pc.notify = true
+		pc.mu.Unlock()
+		return admitFull
+	}
+	pc.pending += it.size
+	pc.queue = append(pc.queue, it)
+	pc.cond.Broadcast()
 	pc.mu.Unlock()
+	return admitOK
 }
 
-func (pc *peerConn) next() ([]byte, bool) {
+func (pc *peerConn) next() (peerItem, bool) {
 	pc.mu.Lock()
 	defer pc.mu.Unlock()
 	for pc.head == len(pc.queue) && !pc.closed {
 		pc.cond.Wait()
 	}
 	if pc.head == len(pc.queue) {
-		return nil, false
+		return peerItem{}, false
 	}
-	b := pc.queue[pc.head]
-	pc.queue[pc.head] = nil // do not pin the frame once sent
+	it := pc.queue[pc.head]
+	pc.queue[pc.head] = peerItem{} // do not pin the item once popped
 	pc.head++
 	if pc.head == len(pc.queue) {
 		// Drained: reuse the backing array from the start.
 		pc.queue = pc.queue[:0]
 		pc.head = 0
 	}
-	return b, true
+	return it, true
 }
 
-// close shuts the queue down and recycles any frames that will never be
-// sent.
+// release returns an item's bytes to the budget once the writer is done
+// with it, waking parked senders through the event loop when the queue
+// drains below the low-water mark.
+func (pc *peerConn) release(n int64) {
+	pc.mu.Lock()
+	pc.pending -= n
+	post := pc.notify && pc.pending <= pc.w.peerQueueBytes/2
+	if post {
+		pc.notify = false
+	}
+	pc.mu.Unlock()
+	if post {
+		pc.postSpace()
+	}
+}
+
+func (pc *peerConn) postSpace() {
+	select {
+	case pc.w.events <- event{kind: evPeerSpace, peer: pc}:
+	case <-pc.w.stopped:
+	}
+}
+
+// close shuts the queue down and recycles whatever it still holds.
 func (pc *peerConn) close() {
 	pc.mu.Lock()
 	pc.closed = true
-	for i := pc.head; i < len(pc.queue); i++ {
-		proto.PutBuf(pc.queue[i])
-		pc.queue[i] = nil
-	}
-	pc.queue = pc.queue[:0]
-	pc.head = 0
+	pc.drainLocked()
 	pc.cond.Broadcast()
 	pc.mu.Unlock()
 }
 
-// sendPeer routes one payload to a peer worker, dialing its data-plane
-// address on first use. Workers exchange data directly — the controller is
-// never on the data path (control-plane requirement 2, paper §3.1). The
-// payload carries its JobID so the receiver lands it in the right
-// namespace.
-func (w *Worker) sendPeer(dst ids.WorkerID, p *proto.DataPayload) {
+// markDead rejects all sends after the writer goroutine exits and flushes
+// what it left behind. The evPeerSpace nudge makes parked senders retry
+// immediately, resolving them as counted drops instead of waiting forever
+// on a queue nobody drains.
+func (pc *peerConn) markDead() {
+	pc.mu.Lock()
+	pc.dead = true
+	pc.drainLocked()
+	pc.cond.Broadcast()
+	pc.mu.Unlock()
+	pc.postSpace()
+}
+
+func (pc *peerConn) drainLocked() {
+	for i := pc.head; i < len(pc.queue); i++ {
+		if f := pc.queue[i].frame; f != nil {
+			proto.PutBuf(f)
+		}
+		pc.queue[i] = peerItem{}
+	}
+	pc.queue = pc.queue[:0]
+	pc.head = 0
+	pc.pending = 0
+}
+
+// beginXfer resets the credit window for a transfer (also after a redial
+// restart, discarding credit granted by the previous connection's
+// receiver state).
+func (pc *peerConn) beginXfer(x uint64) {
+	pc.mu.Lock()
+	pc.curXfer = x
+	pc.window = stream.InitWindow
+	pc.aborted = false
+	pc.mu.Unlock()
+}
+
+// awaitCredit blocks the writer until the receiver's window admits the
+// next chunk.
+func (pc *peerConn) awaitCredit() int {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	for pc.window <= 0 && !pc.closed && !pc.aborted {
+		pc.cond.Wait()
+	}
+	if pc.closed {
+		return creditClosed
+	}
+	if pc.aborted {
+		return creditAborted
+	}
+	pc.window--
+	return creditOK
+}
+
+// grant applies a DataCredit. Credit for a transfer that is not current
+// (already finished, or not yet started after a redial) is dropped, and
+// the accumulated window is clamped so a hostile receiver granting absurd
+// credit cannot unbound the sender.
+func (pc *peerConn) grant(x uint64, n uint32) {
+	pc.mu.Lock()
+	if x == pc.curXfer && !pc.aborted {
+		pc.window += int64(n)
+		if pc.window > stream.MaxWindow {
+			pc.window = stream.MaxWindow
+		}
+		pc.cond.Broadcast()
+	}
+	pc.mu.Unlock()
+}
+
+func (pc *peerConn) abortXfer(x uint64, reason string) {
+	pc.mu.Lock()
+	hit := x == pc.curXfer && !pc.aborted
+	if hit {
+		pc.aborted = true
+		pc.cond.Broadcast()
+	}
+	pc.mu.Unlock()
+	if hit {
+		pc.w.cfg.Logf("worker %s: peer %s aborted transfer %d: %s", pc.w.id, pc.dst, x, reason)
+	}
+}
+
+// sendPeer routes one CopySend's object to a peer worker, dialing its
+// data-plane address on first use. It reports whether the command
+// completed synchronously: a payload of at most one chunk completes at
+// admission (its frame is snapshotted into the queue), a chunked transfer
+// completes when the writer finishes streaming it (evDone), and a send
+// into a full queue parks the command until space frees (evPeerSpace).
+func (w *Worker) sendPeer(dst ids.WorkerID, snd *pcmd, obj *datastore.Object) bool {
+	c := &snd.cmd
 	pc, ok := w.peerConns[dst]
 	if !ok {
 		addr, have := w.peers[dst]
 		if !have {
-			w.cfg.Logf("worker %s: no data-plane address for peer %s", w.id, dst)
-			return
+			w.cfg.Logf("worker %s: no data-plane address for peer %s, dropping copy-send %s", w.id, dst, c.ID)
+			w.Stats.PeerSendDrops.Add(1)
+			return true
 		}
-		pc = newPeerConn()
+		pc = newPeerConn(w, dst, addr)
 		w.peerConns[dst] = pc
 		w.wg.Add(1)
-		go w.peerWriter(pc, addr, dst)
+		go w.peerWriter(pc)
 	}
-	// The queue owns the encoded frame; the writer transfers it to the
-	// transport when possible (Mem) so megabyte payloads are not copied a
-	// second time, and recycles it otherwise.
-	pc.send(proto.MarshalAppend(proto.GetBuf(), p))
+	js := snd.unit.js
+	if len(obj.Data) <= w.chunkSize {
+		// Small-object fast path: one DataPayload frame, no transfer or
+		// credit bookkeeping. The queue owns the encoded frame; the writer
+		// transfers it to the transport when possible (Mem) so it is not
+		// copied a second time, and recycles it otherwise.
+		p := &proto.DataPayload{
+			Job:        js.id,
+			DstCommand: c.DstCommand,
+			Object:     c.Reads[0],
+			Logical:    c.Logical,
+			Version:    obj.Version,
+			Data:       obj.Data,
+		}
+		frame := proto.MarshalAppend(proto.GetBuf(), p)
+		switch pc.enqueue(peerItem{frame: frame, size: int64(len(frame))}) {
+		case admitOK:
+			w.Stats.CopiesSent.Add(1)
+			return true
+		case admitFull:
+			proto.PutBuf(frame)
+			pc.parked = append(pc.parked, snd)
+			w.Stats.ParkedSends.Add(1)
+			return false
+		default:
+			proto.PutBuf(frame)
+			w.Stats.PeerSendDrops.Add(1)
+			return true
+		}
+	}
+	w.xferSeq++
+	t := &txXfer{
+		hdr: proto.DataChunk{
+			Job:        js.id,
+			Xfer:       w.xferSeq,
+			DstCommand: c.DstCommand,
+			Object:     c.Reads[0],
+			Logical:    c.Logical,
+			Version:    obj.Version,
+			Total:      uint64(len(obj.Data)),
+		},
+		data: obj.Data,
+		done: snd,
+	}
+	switch pc.enqueue(peerItem{xfer: t, size: int64(len(obj.Data))}) {
+	case admitOK:
+		w.Stats.CopiesSent.Add(1)
+		return false
+	case admitFull:
+		pc.parked = append(pc.parked, snd)
+		w.Stats.ParkedSends.Add(1)
+		return false
+	default:
+		w.Stats.PeerSendDrops.Add(1)
+		return true
+	}
 }
 
-func (w *Worker) peerWriter(pc *peerConn, addr string, dst ids.WorkerID) {
-	defer w.wg.Done()
-	conn, err := w.cfg.Transport.Dial(addr)
-	if err != nil {
-		w.cfg.Logf("worker %s: dialing peer %s at %s: %v", w.id, dst, addr, err)
-		pc.close()
-		return
+// retryParked re-attempts CopySends that parked on a full queue, in
+// arrival order, once the writer signals space (or permanent death — then
+// they resolve as drops). Runs on the event loop.
+func (w *Worker) retryParked(pc *peerConn) {
+	parked := pc.parked
+	pc.parked = nil
+	for _, snd := range parked {
+		js := snd.unit.js
+		if snd.epoch != js.haltEpoch {
+			// The job was halted while the send waited; the epoch path in
+			// handleDone discards it without touching flushed state.
+			w.handleDone(snd)
+			continue
+		}
+		if w.execSend(js, snd) {
+			w.handleDone(snd)
+		}
 	}
-	defer conn.Close()
+	w.dispatch()
+}
+
+// peerWriter drains one peer's queue. It dials with unbounded retry —
+// giving up only at worker shutdown — so a peer that is slow to come up
+// (or mid-restart) costs latency, not data.
+func (w *Worker) peerWriter(pc *peerConn) {
+	defer w.wg.Done()
+	defer pc.markDead()
+	conn, err := transport.DialRetry(w.cfg.Transport, pc.addr, transport.Backoff{}, 0, 0, w.stopped)
+	if err != nil {
+		return // worker stopping
+	}
+	w.wg.Add(1)
+	go w.creditPump(conn, pc)
+	defer func() { conn.Close() }()
 	for {
-		b, ok := pc.next()
+		it, ok := pc.next()
 		if !ok {
 			return
 		}
-		owned, err := transport.SendOwned(conn, b)
-		if !owned {
-			proto.PutBuf(b)
+		if it.xfer == nil {
+			alive := w.sendFrame(pc, &conn, it.frame)
+			pc.release(it.size)
+			if !alive {
+				return
+			}
+			continue
 		}
-		if err != nil {
-			w.cfg.Logf("worker %s: sending to peer %s: %v", w.id, dst, err)
-			pc.close()
+		alive := w.sendXfer(pc, &conn, it.xfer)
+		pc.release(it.size)
+		if it.xfer.done != nil {
+			// Deferred CopySend completion: the object's buffer was shared
+			// with the store for the duration of the stream; only now may
+			// the command complete and unblock writers of the object.
+			w.postDone(it.xfer.done)
+		}
+		if !alive {
 			return
+		}
+	}
+}
+
+// redialPeer replaces a failed connection, retrying until the worker
+// stops. Each fresh connection gets its own creditPump (the old one exits
+// with its connection).
+func (w *Worker) redialPeer(pc *peerConn, connp *transport.Conn) bool {
+	(*connp).Close()
+	conn, err := transport.DialRetry(w.cfg.Transport, pc.addr, transport.Backoff{}, 0, 0, w.stopped)
+	if err != nil {
+		return false
+	}
+	w.Stats.PeerRedials.Add(1)
+	*connp = conn
+	w.wg.Add(1)
+	go w.creditPump(conn, pc)
+	return true
+}
+
+// sendFrame delivers one pre-marshaled frame, redialing on failure. A
+// frame a failing transport consumed (owned) cannot be resent — that one
+// payload is dropped and counted, but the connection still recovers for
+// subsequent traffic. Returns false when the worker is stopping.
+func (w *Worker) sendFrame(pc *peerConn, connp *transport.Conn, b []byte) bool {
+	for {
+		owned, err := transport.SendOwned(*connp, b)
+		if err == nil {
+			if !owned {
+				proto.PutBuf(b)
+			}
+			return true
+		}
+		if owned {
+			w.Stats.PeerSendDrops.Add(1)
+			w.cfg.Logf("worker %s: frame to peer %s lost: %v", w.id, pc.dst, err)
+		}
+		if !w.redialPeer(pc, connp) {
+			if !owned {
+				proto.PutBuf(b)
+			}
+			return false
+		}
+		if owned {
+			return true
+		}
+	}
+}
+
+// sendXfer streams one object as a run of DataChunk frames under the
+// receiver's credit window, optionally flate-compressing each chunk. A
+// connection failure mid-transfer redials and restarts from Seq 0: the
+// fresh connection starts with fresh receiver state (the partial
+// reassembly died with the old connection), so the replay lands cleanly.
+// Returns false when the worker is stopping.
+func (w *Worker) sendXfer(pc *peerConn, connp *transport.Conn, t *txXfer) bool {
+	m := t.hdr
+	for {
+		pc.beginXfer(t.hdr.Xfer)
+		off := 0
+		for seq := uint32(0); ; seq++ {
+			switch pc.awaitCredit() {
+			case creditClosed:
+				return false
+			case creditAborted:
+				return true // receiver refused the rest; the command still completes
+			}
+			end := off + w.chunkSize
+			if end > len(t.data) {
+				end = len(t.data)
+			}
+			raw := t.data[off:end]
+			m.Seq = seq
+			m.Last = end == len(t.data)
+			m.Flags = 0
+			m.Raw = raw
+			if w.compress {
+				if c := stream.Compress(raw); c != nil {
+					m.Flags = proto.ChunkCompressed
+					m.Raw = c
+				}
+			}
+			buf := proto.MarshalAppend(proto.GetBuf(), &m)
+			owned, err := transport.SendOwned(*connp, buf)
+			if !owned {
+				proto.PutBuf(buf)
+			}
+			if err != nil {
+				if !w.redialPeer(pc, connp) {
+					return false
+				}
+				break // restart the transfer from Seq 0 on the fresh connection
+			}
+			w.Stats.ChunksSent.Add(1)
+			if m.Last {
+				w.Stats.XfersSent.Add(1)
+				return true
+			}
+			off = end
+		}
+	}
+}
+
+// creditPump drains the receiver's flow-control frames (DataCredit,
+// XferAbort) from the reverse direction of the outbound connection and
+// applies them to the writer's window. One pump runs per dialed
+// connection and exits with it.
+func (w *Worker) creditPump(conn transport.Conn, pc *peerConn) {
+	defer w.wg.Done()
+	for {
+		raw, err := conn.Recv()
+		if err != nil {
+			return
+		}
+		err = proto.ForEachMsg(raw, func(msg proto.Msg) error {
+			switch m := msg.(type) {
+			case *proto.DataCredit:
+				pc.grant(m.Xfer, m.Chunks)
+			case *proto.XferAbort:
+				pc.abortXfer(m.Xfer, m.Reason)
+			}
+			return nil
+		})
+		proto.PutBuf(raw)
+		if err != nil {
+			w.cfg.Logf("worker %s: bad flow-control frame from peer %s: %v", w.id, pc.dst, err)
 		}
 	}
 }

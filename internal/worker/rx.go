@@ -1,0 +1,258 @@
+package worker
+
+import (
+	"errors"
+
+	"nimbus/internal/datastore"
+	"nimbus/internal/proto"
+	"nimbus/internal/stream"
+	"nimbus/internal/transport"
+)
+
+// This file is the receive side of the streaming data plane. Each
+// accepted data-plane connection gets a pump goroutine that decodes
+// frames itself: single-frame DataPayloads forward straight to the event
+// loop (the small-object fast path stays untouched), while DataChunk runs
+// reassemble here, off the event loop, under two bounds:
+//
+//   - Flow control: credit is granted back to the sender as chunks land,
+//     so the sender's window — not receiver goodwill — limits what is in
+//     flight per transfer.
+//
+//   - Memory: all in-flight reassembly buffers share one worker-wide byte
+//     budget. A transfer that pushes past it switches to a spill file and
+//     releases its RAM; the completed object installs disk-backed and is
+//     faulted in on first read. Receiver memory stays bounded no matter
+//     how large the shuffle.
+//
+// Protocol violations (sequence gaps, total mismatches, oversized or
+// corrupt chunks) abort the transfer with an XferAbort on the reverse
+// path; transfer state is per-connection, so a connection's death cleans
+// up everything it was reassembling.
+
+// rxXfer is one inbound transfer being reassembled.
+type rxXfer struct {
+	ra   stream.Reassembler
+	hdr  proto.DataChunk // routing fields, copied from the first chunk
+	buf  []byte          // in-memory accumulation (nil once spilled)
+	sw   *datastore.SpillWriter
+	held int64  // bytes charged against the worker's receive budget
+	owed uint32 // chunks landed since the last credit grant
+}
+
+// rxConn is the receive state of one accepted data-plane connection.
+type rxConn struct {
+	w     *Worker
+	conn  transport.Conn
+	xfers map[uint64]*rxXfer
+}
+
+// dataPump drains one inbound data-plane connection: chunks reassemble
+// here, everything else forwards to the event loop.
+func (w *Worker) dataPump(conn transport.Conn) {
+	defer w.wg.Done()
+	rx := &rxConn{w: w, conn: conn, xfers: make(map[uint64]*rxXfer)}
+	defer rx.teardown()
+	for {
+		raw, err := conn.Recv()
+		if err != nil {
+			return
+		}
+		err = proto.ForEachMsg(raw, func(msg proto.Msg) error {
+			if c, ok := msg.(*proto.DataChunk); ok {
+				return rx.handleChunk(c)
+			}
+			return w.postData(msg)
+		})
+		proto.PutBuf(raw)
+		if errors.Is(err, errPumpStopped) {
+			return
+		}
+		if err != nil {
+			w.cfg.Logf("worker %s: bad data message: %v", w.id, err)
+		}
+	}
+}
+
+func (w *Worker) postData(msg proto.Msg) error {
+	select {
+	case w.events <- event{kind: evData, msg: msg}:
+		return nil
+	case <-w.stopped:
+		return errPumpStopped
+	}
+}
+
+func (rx *rxConn) handleChunk(c *proto.DataChunk) error {
+	w := rx.w
+	x, ok := rx.xfers[c.Xfer]
+	if !ok {
+		if c.Seq != 0 {
+			// Mid-stream chunk for a transfer we know nothing about —
+			// hostile input or the stale tail of state this connection
+			// never had. Tell the sender to stop wasting the link.
+			rx.abort(c.Xfer, "unknown transfer")
+			return nil
+		}
+		x = &rxXfer{
+			ra:  stream.Reassembler{Xfer: c.Xfer, Total: c.Total, ChunkSize: w.chunkSize},
+			hdr: *c,
+		}
+		x.hdr.Raw = nil // the header copy must not pin the first frame
+		rx.xfers[c.Xfer] = x
+	}
+	raw, err := x.ra.Accept(c)
+	if err != nil {
+		if errors.Is(err, stream.ErrDup) {
+			return nil // a redialed sender replayed a landed prefix
+		}
+		rx.drop(c.Xfer, x)
+		rx.abort(c.Xfer, err.Error())
+		return nil
+	}
+	w.Stats.ChunksRecv.Add(1)
+	if err := x.land(w, raw); err != nil {
+		w.cfg.Logf("worker %s: transfer %d: %v", w.id, c.Xfer, err)
+		rx.drop(c.Xfer, x)
+		rx.abort(c.Xfer, "spill failure")
+		return nil
+	}
+	if !c.Last {
+		// Replenish the sender's window as chunks land, batched so the
+		// reverse path is not one frame per chunk.
+		x.owed++
+		if x.owed >= stream.InitWindow/2 {
+			rx.credit(c.Xfer, x.owed)
+			x.owed = 0
+		}
+		return nil
+	}
+	delete(rx.xfers, c.Xfer)
+	return rx.deliver(x)
+}
+
+// land appends decoded bytes, spilling the transfer to disk when total
+// in-flight reassembly exceeds the worker's receive budget.
+func (x *rxXfer) land(w *Worker, raw []byte) error {
+	if x.sw != nil {
+		if err := x.sw.Write(raw); err != nil {
+			return err
+		}
+		w.Stats.SpilledBytes.Add(uint64(len(raw)))
+		return nil
+	}
+	if w.rxBytes.Add(int64(len(raw))) <= w.recvBudget {
+		x.held += int64(len(raw))
+		x.buf = append(x.buf, raw...)
+		return nil
+	}
+	sw, err := w.spill.NewWriter()
+	if err != nil {
+		// Disk refused; keep buffering in RAM — the budget is a target,
+		// not a reason to lose data.
+		w.cfg.Logf("worker %s: spill unavailable, buffering in memory: %v", w.id, err)
+		x.held += int64(len(raw))
+		x.buf = append(x.buf, raw...)
+		return nil
+	}
+	x.sw = sw
+	if len(x.buf) > 0 {
+		if err := sw.Write(x.buf); err != nil {
+			return err
+		}
+	}
+	if err := sw.Write(raw); err != nil {
+		return err
+	}
+	// The transfer's RAM charge (and the chunk that tipped it over) moves
+	// to disk.
+	w.rxBytes.Add(-(x.held + int64(len(raw))))
+	x.held = 0
+	x.buf = nil
+	w.Stats.Spills.Add(1)
+	w.Stats.SpilledBytes.Add(uint64(sw.Size()))
+	return nil
+}
+
+// deliver hands a completed transfer to the event loop as a payload —
+// in-memory, or a finalized spill handle the CopyRecv will install
+// disk-backed.
+func (rx *rxConn) deliver(x *rxXfer) error {
+	w := rx.w
+	var sp *datastore.Spilled
+	if x.sw != nil {
+		var err error
+		sp, err = x.sw.Finalize()
+		x.sw = nil
+		if err != nil {
+			w.cfg.Logf("worker %s: spill finalize: %v", w.id, err)
+			return nil
+		}
+	} else {
+		// The event loop owns the buffer now; it stops counting as
+		// in-flight reassembly.
+		w.rxBytes.Add(-x.held)
+		x.held = 0
+	}
+	w.Stats.XfersRecv.Add(1)
+	p := &proto.DataPayload{
+		Job:        x.hdr.Job,
+		DstCommand: x.hdr.DstCommand,
+		Object:     x.hdr.Object,
+		Logical:    x.hdr.Logical,
+		Version:    x.hdr.Version,
+		Data:       x.buf,
+	}
+	select {
+	case w.events <- event{kind: evData, msg: p, spill: sp}:
+		return nil
+	case <-w.stopped:
+		if sp != nil {
+			sp.Remove()
+		}
+		return errPumpStopped
+	}
+}
+
+// credit grants the sender more window on the reverse path. Send failures
+// are ignored: a dying connection tears the whole pump down moments
+// later, and the sender restarts the transfer on redial.
+func (rx *rxConn) credit(xfer uint64, n uint32) {
+	buf := proto.MarshalAppend(proto.GetBuf(), &proto.DataCredit{Xfer: xfer, Chunks: n})
+	if owned, _ := transport.SendOwned(rx.conn, buf); !owned {
+		proto.PutBuf(buf)
+	}
+}
+
+func (rx *rxConn) abort(xfer uint64, reason string) {
+	rx.w.Stats.RxAborts.Add(1)
+	buf := proto.MarshalAppend(proto.GetBuf(), &proto.XferAbort{Xfer: xfer, Reason: reason})
+	if owned, _ := transport.SendOwned(rx.conn, buf); !owned {
+		proto.PutBuf(buf)
+	}
+}
+
+// drop discards a transfer's partial state after a protocol violation.
+func (rx *rxConn) drop(xfer uint64, x *rxXfer) {
+	delete(rx.xfers, xfer)
+	x.discard(rx.w)
+}
+
+func (x *rxXfer) discard(w *Worker) {
+	if x.sw != nil {
+		x.sw.Abort()
+		x.sw = nil
+	}
+	w.rxBytes.Add(-x.held)
+	x.held = 0
+	x.buf = nil
+}
+
+// teardown releases every incomplete transfer when the connection dies:
+// budget uncharged, partial spill files removed.
+func (rx *rxConn) teardown() {
+	for _, x := range rx.xfers {
+		x.discard(rx.w)
+	}
+	rx.xfers = nil
+}

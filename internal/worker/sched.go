@@ -397,7 +397,13 @@ func (w *Worker) execInline(pc *pcmd) {
 	js := pc.unit.js
 	switch c.Kind {
 	case command.CopySend:
-		w.execSend(js, c)
+		// A chunked or parked send completes asynchronously (evDone from
+		// the writer, or a retry on evPeerSpace); only the synchronous
+		// paths fall through to handleDone.
+		if w.execSend(js, pc) {
+			w.handleDone(pc)
+		}
+		return
 	case command.CopyRecv:
 		w.execRecv(js, c)
 	case command.LocalCopy:
@@ -422,34 +428,37 @@ func (w *Worker) execInline(pc *pcmd) {
 	w.handleDone(pc)
 }
 
-func (w *Worker) execSend(js *jstate, c *command.Command) {
+// execSend initiates one CopySend, reporting whether it completed
+// synchronously (self-delivery, a small payload admitted to the queue, or
+// a drop). false means the command finishes later — evDone once the
+// writer streams the last chunk, or an evPeerSpace retry if it parked.
+func (w *Worker) execSend(js *jstate, snd *pcmd) bool {
+	c := &snd.cmd
 	obj := js.store.Get(c.Reads[0])
 	if obj == nil {
 		w.cfg.Logf("worker %s: copy-send %s: missing object %s", w.id, c.ID, c.Reads[0])
 		obj = js.store.Ensure(c.Reads[0], c.Logical)
 	}
-	p := &proto.DataPayload{
-		Job:        js.id,
-		DstCommand: c.DstCommand,
-		Object:     c.Reads[0],
-		Logical:    c.Logical,
-		Version:    obj.Version,
-		Data:       obj.Data,
-	}
-	w.Stats.CopiesSent.Add(1)
 	if c.DstWorker == w.id {
 		// Self-delivery without a network round trip.
 		buf := make([]byte, len(obj.Data))
 		copy(buf, obj.Data)
-		p.Data = buf
-		w.handlePayload(p)
-		return
+		w.Stats.CopiesSent.Add(1)
+		w.handlePayload(&proto.DataPayload{
+			Job:        js.id,
+			DstCommand: c.DstCommand,
+			Object:     c.Reads[0],
+			Logical:    c.Logical,
+			Version:    obj.Version,
+			Data:       buf,
+		}, nil)
+		return true
 	}
-	w.sendPeer(c.DstWorker, p)
+	return w.sendPeer(c.DstWorker, snd, obj)
 }
 
 func (w *Worker) execRecv(js *jstate, c *command.Command) {
-	p, ok := js.payloads[c.ID]
+	ip, ok := js.payloads[c.ID]
 	if !ok {
 		w.cfg.Logf("worker %s: copy-recv %s activated without payload", w.id, c.ID)
 		return
@@ -457,9 +466,15 @@ func (w *Worker) execRecv(js *jstate, c *command.Command) {
 	delete(js.payloads, c.ID)
 	logical := c.Logical
 	if logical == ids.NoLogical {
-		logical = p.Logical
+		logical = ip.msg.Logical
 	}
-	js.store.Install(c.Writes[0], logical, p.Version, p.Data)
+	if ip.spill != nil {
+		// The body streamed to disk under receive-budget pressure; install
+		// it disk-backed and let the first reader fault it in.
+		js.store.InstallSpilled(c.Writes[0], logical, ip.msg.Version, ip.spill)
+	} else {
+		js.store.Install(c.Writes[0], logical, ip.msg.Version, ip.msg.Data)
+	}
 	w.Stats.CopiesRecv.Add(1)
 }
 
@@ -497,14 +512,18 @@ func (w *Worker) execLoad(js *jstate, c *command.Command) {
 // wake the waiting receive command, or buffer the payload until its
 // command activates (payloads may outrun commands because the data plane
 // is independent of the control plane).
-func (w *Worker) handlePayload(p *proto.DataPayload) {
+func (w *Worker) handlePayload(p *proto.DataPayload, sp *datastore.Spilled) {
 	if _, dead := w.deadJobs[p.Job]; dead {
+		if sp != nil {
+			sp.Remove() // late spilled data must not leak its file
+		}
 		return // late data for a torn-down job; never resurrect it
 	}
 	js := w.job(p.Job)
+	ip := inPayload{msg: p, spill: sp}
 	if pc, ok := js.payWait[p.DstCommand]; ok {
 		delete(js.payWait, p.DstCommand)
-		js.payloads[p.DstCommand] = p
+		js.payloads[p.DstCommand] = ip
 		pc.missing--
 		if pc.missing == 0 {
 			w.makeRunnable(pc)
@@ -512,7 +531,7 @@ func (w *Worker) handlePayload(p *proto.DataPayload) {
 		}
 		return
 	}
-	js.payloads[p.DstCommand] = p
+	js.payloads[p.DstCommand] = ip
 }
 
 // handleDone retires a completed command: record completion in its job's

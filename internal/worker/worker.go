@@ -41,6 +41,7 @@ import (
 	"errors"
 	"fmt"
 	"log"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -51,6 +52,7 @@ import (
 	"nimbus/internal/fn"
 	"nimbus/internal/ids"
 	"nimbus/internal/proto"
+	"nimbus/internal/stream"
 	"nimbus/internal/transport"
 )
 
@@ -75,6 +77,23 @@ type Config struct {
 	// CompletionBatch caps how many completions accumulate before a
 	// report is flushed in batched mode. Zero defaults to 64.
 	CompletionBatch int
+	// ChunkSize is the data-plane transfer chunk size in bytes; payloads
+	// larger than one chunk stream as credit-controlled DataChunk runs.
+	// Zero defaults to stream.DefaultChunkSize (256 KiB).
+	ChunkSize int
+	// PeerQueueBytes bounds each outbound peer queue. A CopySend into a
+	// full queue parks (no copy held) until the writer drains. Zero
+	// defaults to 32 MiB.
+	PeerQueueBytes int64
+	// RecvBudget bounds the worker's total in-flight receive reassembly
+	// memory; transfers past it spill to disk. Zero defaults to 64 MiB.
+	RecvBudget int64
+	// SpillDir is where receive-side spill files live. Empty means a
+	// private temp directory, removed at Stop.
+	SpillDir string
+	// CompressChunks flate-compresses data-plane chunks when that shrinks
+	// them (incompressible chunks ride raw).
+	CompressChunks bool
 	// Logf receives diagnostics. Nil defaults to log.Printf.
 	Logf func(format string, args ...any)
 }
@@ -121,6 +140,23 @@ type Stats struct {
 	BufferedReports atomic.Uint64
 	ReplayedReports atomic.Uint64
 	DroppedReports  atomic.Uint64
+	// Data-plane counters. PeerSendDrops counts payloads dropped on the
+	// floor (no peer address, or a dead/consumed frame on a failed
+	// connection); ParkedSends counts CopySends that waited for queue
+	// space; PeerRedials counts data-plane reconnects. ChunksSent /
+	// ChunksRecv / XfersSent / XfersRecv account the chunked path, Spills
+	// / SpilledBytes the receive-side disk overflow, and RxAborts the
+	// transfers refused for protocol violations.
+	PeerSendDrops atomic.Uint64
+	ParkedSends   atomic.Uint64
+	PeerRedials   atomic.Uint64
+	ChunksSent    atomic.Uint64
+	ChunksRecv    atomic.Uint64
+	XfersSent     atomic.Uint64
+	XfersRecv     atomic.Uint64
+	Spills        atomic.Uint64
+	SpilledBytes  atomic.Uint64
+	RxAborts      atomic.Uint64
 	// TemplateCompiles / CompileNanos account (re)compilations of
 	// installed templates into their dense immutable form (once per
 	// install or edit batch, never in steady state).
@@ -174,6 +210,20 @@ type Worker struct {
 	peers     map[ids.WorkerID]string
 	peerConns map[ids.WorkerID]*peerConn
 
+	// Streaming data-plane configuration (resolved defaults) and state.
+	// xferSeq allocates transfer IDs (event-loop confined — sendPeer and
+	// fetchObject both run there); rxBytes is the shared in-flight
+	// reassembly budget the receive pumps account against.
+	chunkSize      int
+	peerQueueBytes int64
+	recvBudget     int64
+	compress       bool
+	spill          *datastore.SpillFS
+	spillOwned     bool
+	spillClean     sync.Once
+	xferSeq        uint64
+	rxBytes        atomic.Int64
+
 	// dataMu guards dataConns, the accepted inbound data-plane
 	// connections, closed at shutdown so their pumps exit.
 	dataMu    sync.Mutex
@@ -216,7 +266,7 @@ type jstate struct {
 	doneLow    ids.CommandID
 	doneRanges []doneRange
 	liveUnits  []*unit
-	payloads   map[ids.CommandID]*proto.DataPayload
+	payloads   map[ids.CommandID]inPayload
 	payWait    map[ids.CommandID]*pcmd
 	units      []*unit // queued barrier units awaiting activation, FIFO
 	unfin      int     // activated, unfinished commands
@@ -299,6 +349,13 @@ type unit struct {
 	activated bool
 }
 
+// inPayload is one received object body awaiting its CopyRecv: either an
+// in-memory payload, or a spilled one whose bytes wait on disk.
+type inPayload struct {
+	msg   *proto.DataPayload
+	spill *datastore.Spilled
+}
+
 type event struct {
 	kind eventKind
 	msg  proto.Msg
@@ -308,6 +365,10 @@ type event struct {
 	cmd  *pcmd
 	err  error
 	conn transport.Conn
+	// spill rides an evData payload whose body is disk-backed.
+	spill *datastore.Spilled
+	// peer identifies the queue an evPeerSpace wakes parked sends on.
+	peer *peerConn
 }
 
 type eventKind uint8
@@ -319,6 +380,7 @@ const (
 	evTick
 	evClosed
 	evReconn
+	evPeerSpace
 )
 
 // pcmdRing is a job's runnable queue: a growable power-of-two ring buffer.
@@ -376,17 +438,30 @@ func New(cfg Config) *Worker {
 	if cfg.Logf == nil {
 		cfg.Logf = log.Printf
 	}
+	if cfg.ChunkSize <= 0 {
+		cfg.ChunkSize = stream.DefaultChunkSize
+	}
+	if cfg.PeerQueueBytes <= 0 {
+		cfg.PeerQueueBytes = 32 << 20
+	}
+	if cfg.RecvBudget <= 0 {
+		cfg.RecvBudget = 64 << 20
+	}
 	return &Worker{
-		cfg:       cfg,
-		events:    make(chan event, 1024),
-		stopped:   make(chan struct{}),
-		reg:       cfg.Registry,
-		durable:   cfg.Durable,
-		jobs:      make(map[ids.JobID]*jstate),
-		deadJobs:  make(map[ids.JobID]struct{}),
-		freeSlots: cfg.Slots,
-		peers:     make(map[ids.WorkerID]string),
-		peerConns: make(map[ids.WorkerID]*peerConn),
+		cfg:            cfg,
+		events:         make(chan event, 1024),
+		stopped:        make(chan struct{}),
+		reg:            cfg.Registry,
+		durable:        cfg.Durable,
+		jobs:           make(map[ids.JobID]*jstate),
+		deadJobs:       make(map[ids.JobID]struct{}),
+		freeSlots:      cfg.Slots,
+		peers:          make(map[ids.WorkerID]string),
+		peerConns:      make(map[ids.WorkerID]*peerConn),
+		chunkSize:      cfg.ChunkSize,
+		peerQueueBytes: cfg.PeerQueueBytes,
+		recvBudget:     cfg.RecvBudget,
+		compress:       cfg.CompressChunks,
 	}
 }
 
@@ -401,7 +476,7 @@ func (w *Worker) job(id ids.JobID) *jstate {
 		store:     datastore.New(),
 		waiters:   make(map[ids.CommandID][]*pcmd),
 		done:      make(map[ids.CommandID]struct{}),
-		payloads:  make(map[ids.CommandID]*proto.DataPayload),
+		payloads:  make(map[ids.CommandID]inPayload),
 		payWait:   make(map[ids.CommandID]*pcmd),
 		arrRing:   make([]bool, 1024),
 		templates: make(map[ids.TemplateID]*wtemplate),
@@ -425,6 +500,15 @@ func (w *Worker) dropJob(id ids.JobID) {
 	js.haltEpoch++
 	js.halted = true
 	js.runnable.reset()
+	// The namespace is going away entirely; disk-backed state must not
+	// outlive it. Undelivered spilled payloads and spilled store objects
+	// both hold files.
+	for _, ip := range js.payloads {
+		if ip.spill != nil {
+			ip.spill.Remove()
+		}
+	}
+	js.store.Clear()
 	w.deadJobs[id] = struct{}{}
 	// Bound the tombstone map under sustained job churn: JobIDs are
 	// monotonic and a dead job's late payloads are in flight only
@@ -467,10 +551,28 @@ func (w *Worker) StoreOf(job ids.JobID) *datastore.Store {
 // Start connects to the controller, registers, and launches the event
 // loop. It returns once registration completes.
 func (w *Worker) Start() error {
+	dir := w.cfg.SpillDir
+	if dir == "" {
+		d, err := os.MkdirTemp("", "nimbus-spill-")
+		if err != nil {
+			return fmt.Errorf("worker: spill dir: %w", err)
+		}
+		w.spillOwned = true
+		dir = d
+	}
+	fs, err := datastore.NewSpillFS(dir)
+	if err != nil {
+		if w.spillOwned {
+			os.RemoveAll(dir)
+		}
+		return err
+	}
+	w.spill = fs
 	// Data plane first, so the address is live before the controller
 	// distributes it.
 	dl, err := w.cfg.Transport.Listen(w.cfg.DataAddr)
 	if err != nil {
+		w.removeSpillDir()
 		return fmt.Errorf("worker: data listen: %w", err)
 	}
 	// The controller may not be listening yet (or may be mid-failover):
@@ -478,27 +580,32 @@ func (w *Worker) Start() error {
 	ctrl, err := transport.DialRetry(w.cfg.Transport, w.cfg.ControlAddr, transport.Backoff{}, 0, 2*time.Second, w.stopped)
 	if err != nil {
 		dl.Close()
+		w.removeSpillDir()
 		return fmt.Errorf("worker: control dial: %w", err)
 	}
 	w.ctrl = ctrl
 	if err := w.sendCtrl(&proto.RegisterWorker{DataAddr: w.cfg.DataAddr, Slots: w.cfg.Slots}); err != nil {
 		dl.Close()
+		w.removeSpillDir()
 		return fmt.Errorf("worker: register: %w", err)
 	}
 	raw, err := ctrl.Recv()
 	if err != nil {
 		dl.Close()
+		w.removeSpillDir()
 		return fmt.Errorf("worker: awaiting registration ack: %w", err)
 	}
 	msg, err := proto.Unmarshal(raw)
 	proto.PutBuf(raw)
 	if err != nil {
 		dl.Close()
+		w.removeSpillDir()
 		return err
 	}
 	ack, ok := msg.(*proto.RegisterWorkerAck)
 	if !ok {
 		dl.Close()
+		w.removeSpillDir()
 		return fmt.Errorf("worker: expected registration ack, got %s", msg.Kind())
 	}
 	w.id = ack.Worker
@@ -525,13 +632,25 @@ func (w *Worker) Stop() {
 	case <-w.stopped:
 	}
 	w.wg.Wait()
+	w.removeSpillDir()
 }
 
 // Wait blocks until the worker stops (controller shutdown or error).
 func (w *Worker) Wait() error {
 	<-w.stopped
 	w.wg.Wait()
+	w.removeSpillDir()
 	return w.stopErr
+}
+
+// removeSpillDir discards the worker's spill root if the worker created
+// it (spill files are cache, not durability). Runs after wg.Wait so no
+// pump is still writing into it.
+func (w *Worker) removeSpillDir() {
+	if !w.spillOwned || w.spill == nil {
+		return
+	}
+	w.spillClean.Do(func() { os.RemoveAll(w.spill.Dir()) })
 }
 
 func (w *Worker) sendCtrl(m proto.Msg) error {
@@ -624,11 +743,6 @@ func (w *Worker) acceptLoop(dl transport.Listener) {
 	}
 }
 
-func (w *Worker) dataPump(conn transport.Conn) {
-	defer w.wg.Done()
-	w.pump(conn, evData, "data")
-}
-
 func (w *Worker) heartbeatLoop() {
 	defer w.wg.Done()
 	t := time.NewTicker(w.cfg.HeartbeatEvery)
@@ -670,8 +784,10 @@ func (w *Worker) run(dl transport.Listener) {
 			}
 		case evData:
 			if p, ok := ev.msg.(*proto.DataPayload); ok {
-				w.handlePayload(p)
+				w.handlePayload(p, ev.spill)
 			}
+		case evPeerSpace:
+			w.retryParked(ev.peer)
 		case evDone:
 			w.handleDone(ev.cmd)
 		case evTick:
@@ -1002,7 +1118,14 @@ func (w *Worker) halt(js *jstate, m *proto.Halt) {
 	}
 	js.liveUnits = nil
 	js.waiters = make(map[ids.CommandID][]*pcmd)
-	js.payloads = make(map[ids.CommandID]*proto.DataPayload)
+	// Flushed payloads that spilled hold disk files; release them with the
+	// buffer.
+	for _, ip := range js.payloads {
+		if ip.spill != nil {
+			ip.spill.Remove()
+		}
+	}
+	js.payloads = make(map[ids.CommandID]inPayload)
 	js.payWait = make(map[ids.CommandID]*pcmd)
 	js.units = nil
 	js.runnable.reset()
@@ -1031,5 +1154,35 @@ func (w *Worker) fetchObject(m *proto.FetchObject) {
 			version = o.Version
 		}
 	}
-	_ = w.sendCtrl(&proto.ObjectData{Seq: m.Seq, Object: m.Object, Version: version, Data: data})
+	if len(data) <= w.chunkSize {
+		_ = w.sendCtrl(&proto.ObjectData{Seq: m.Seq, Object: m.Object, Version: version, Data: data})
+		return
+	}
+	// Large fetch replies ride the chunked path over the control
+	// connection, marked ChunkFetch and keyed by the fetch sequence so the
+	// controller's reassembler can synthesize the ObjectData. No credits:
+	// fetches are controller-requested and rare, not a shuffle.
+	w.xferSeq++
+	ck := proto.DataChunk{
+		Job:     m.Job,
+		Xfer:    w.xferSeq,
+		Flags:   proto.ChunkFetch,
+		Object:  m.Object,
+		Version: version,
+		Fetch:   m.Seq,
+		Total:   uint64(len(data)),
+	}
+	for off, seq := 0, uint32(0); off < len(data); seq++ {
+		end := off + w.chunkSize
+		if end > len(data) {
+			end = len(data)
+		}
+		ck.Seq = seq
+		ck.Last = end == len(data)
+		ck.Raw = data[off:end]
+		if err := w.sendCtrl(&ck); err != nil {
+			return
+		}
+		off = end
+	}
 }
