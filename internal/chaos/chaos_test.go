@@ -1,0 +1,346 @@
+package chaos
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"nimbus/internal/durable"
+	"nimbus/internal/transport"
+)
+
+// link opens one wrapped listener/dialer pair on tr at addr, with the
+// accepted side read on a goroutine feeding recvd.
+func link(t *testing.T, tr transport.Transport, addr string) (transport.Conn, <-chan []byte) {
+	t.Helper()
+	lis, err := tr.Listen(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	accepted := make(chan transport.Conn, 1)
+	go func() {
+		c, err := lis.Accept()
+		if err != nil {
+			close(accepted)
+			return
+		}
+		accepted <- c
+	}()
+	dial, err := tr.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, ok := <-accepted
+	if !ok {
+		t.Fatal("accept failed")
+	}
+	recvd := make(chan []byte, 1024)
+	go func() {
+		defer close(recvd)
+		for {
+			b, err := srv.Recv()
+			if err != nil {
+				return
+			}
+			recvd <- b
+		}
+	}()
+	t.Cleanup(func() {
+		dial.Close()
+		srv.Close()
+		lis.Close()
+	})
+	return dial, recvd
+}
+
+// drain collects frames until the link is quiet for 50ms.
+func drain(ch <-chan []byte) [][]byte {
+	var out [][]byte
+	for {
+		select {
+		case b, ok := <-ch:
+			if !ok {
+				return out
+			}
+			out = append(out, b)
+		case <-time.After(50 * time.Millisecond):
+			return out
+		}
+	}
+}
+
+func sendN(t *testing.T, c transport.Conn, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		if err := c.Send([]byte(fmt.Sprintf("frame-%03d", i))); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+}
+
+func TestChaosScheduleDigestReproducible(t *testing.T) {
+	rules := []Rule{
+		{Addr: "a", Drop: 0.2, Dup: 0.1, Reorder: 0.1},
+		{Addr: "b", Truncate: 0.3, DelayProb: 0.5, Delay: time.Millisecond},
+	}
+	d1 := New(transport.NewMem(0), 42, rules...).ScheduleDigest()
+	d2 := New(transport.NewMem(0), 42, rules...).ScheduleDigest()
+	if d1 != d2 {
+		t.Fatalf("same seed, different digests: %x vs %x", d1, d2)
+	}
+	d3 := New(transport.NewMem(0), 43, rules...).ScheduleDigest()
+	if d1 == d3 {
+		t.Fatalf("different seeds, same digest %x", d1)
+	}
+	// The digest covers the rule set, not just the seed.
+	d4 := New(transport.NewMem(0), 42, Rule{Addr: "a", Drop: 0.9}).ScheduleDigest()
+	if d1 == d4 {
+		t.Fatalf("different rules, same digest %x", d1)
+	}
+}
+
+// TestChaosScheduleReplaysIdentically runs the same frame sequence under
+// the same seed twice and asserts the surviving frames — identity, order
+// and byte content — match exactly: the fault schedule is a function of
+// the seed, not of timing.
+func TestChaosScheduleReplaysIdentically(t *testing.T) {
+	run := func(seed uint64) [][]byte {
+		ct := New(transport.NewMem(0), seed,
+			Rule{Addr: "x", Drop: 0.25, Dup: 0.15, Reorder: 0.2, Truncate: 0.1})
+		dial, recvd := link(t, ct, "x")
+		sendN(t, dial, 200)
+		return drain(recvd)
+	}
+	a, b := run(7), run(7)
+	if len(a) != len(b) {
+		t.Fatalf("replay diverged: %d vs %d frames", len(a), len(b))
+	}
+	for i := range a {
+		if !bytes.Equal(a[i], b[i]) {
+			t.Fatalf("replay diverged at %d: %q vs %q", i, a[i], b[i])
+		}
+	}
+	c := run(8)
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if !bytes.Equal(a[i], c[i]) {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical fault outcomes over 200 frames")
+	}
+}
+
+func TestChaosDropLosesFrames(t *testing.T) {
+	ct := New(transport.NewMem(0), 1, Rule{Addr: "x", Drop: 0.5})
+	dial, recvd := link(t, ct, "x")
+	sendN(t, dial, 100)
+	got := drain(recvd)
+	if len(got) == 0 || len(got) >= 100 {
+		t.Fatalf("drop 0.5 delivered %d/100 frames", len(got))
+	}
+}
+
+func TestChaosDupDeliversTwice(t *testing.T) {
+	ct := New(transport.NewMem(0), 1, Rule{Addr: "x", Dup: 1})
+	dial, recvd := link(t, ct, "x")
+	sendN(t, dial, 5)
+	got := drain(recvd)
+	if len(got) != 10 {
+		t.Fatalf("dup 1.0 delivered %d frames, want 10", len(got))
+	}
+	for i := 0; i < 10; i += 2 {
+		if !bytes.Equal(got[i], got[i+1]) {
+			t.Fatalf("frames %d/%d not duplicates: %q vs %q", i, i+1, got[i], got[i+1])
+		}
+	}
+}
+
+func TestChaosReorderTransposesNeighbours(t *testing.T) {
+	ct := New(transport.NewMem(0), 3, Rule{Addr: "x", Reorder: 0.3})
+	dial, recvd := link(t, ct, "x")
+	sendN(t, dial, 100)
+	got := drain(recvd)
+	if len(got) < 90 {
+		t.Fatalf("reorder lost frames: %d/100 (only a trailing held frame may be dropped)", len(got))
+	}
+	inverted := 0
+	for i := 1; i < len(got); i++ {
+		if bytes.Compare(got[i-1], got[i]) > 0 {
+			inverted++
+		}
+	}
+	if inverted == 0 {
+		t.Fatal("reorder 0.3 over 100 frames produced no inversions")
+	}
+}
+
+func TestChaosTruncateShortensFrames(t *testing.T) {
+	ct := New(transport.NewMem(0), 1, Rule{Addr: "x", Truncate: 1})
+	dial, recvd := link(t, ct, "x")
+	sendN(t, dial, 10)
+	got := drain(recvd)
+	if len(got) != 10 {
+		t.Fatalf("truncate delivered %d/10", len(got))
+	}
+	for i, b := range got {
+		if len(b) >= len("frame-000") {
+			t.Fatalf("frame %d not truncated: %q", i, b)
+		}
+		if len(b) == 0 {
+			t.Fatalf("frame %d truncated to nothing", i)
+		}
+	}
+}
+
+func TestChaosPartitionHealAndBlackhole(t *testing.T) {
+	ct := New(transport.NewMem(0), 1)
+	dial, recvd := link(t, ct, "x")
+
+	ct.Partition("x", ToListener)
+	sendN(t, dial, 5)
+	if got := drain(recvd); len(got) != 0 {
+		t.Fatalf("half-open partition leaked %d frames", len(got))
+	}
+
+	ct.Heal("x")
+	if err := dial.Send([]byte("after-heal")); err != nil {
+		t.Fatal(err)
+	}
+	got := drain(recvd)
+	if len(got) != 1 || string(got[0]) != "after-heal" {
+		t.Fatalf("after heal got %q", got)
+	}
+
+	// Full blackhole blocks both directions.
+	ct.Partition("x")
+	if !ct.isBlocked("x", ToListener) || !ct.isBlocked("x", FromListener) {
+		t.Fatal("Partition with no directions must blackhole both")
+	}
+}
+
+func TestChaosSeverClosesLiveConns(t *testing.T) {
+	ct := New(transport.NewMem(0), 1)
+	dial, recvd := link(t, ct, "x")
+	ct.Sever("x")
+	if err := dial.Send([]byte("post-sever")); err == nil {
+		t.Fatal("send on severed conn succeeded")
+	}
+	if got := drain(recvd); len(got) != 0 {
+		t.Fatalf("severed link delivered %d frames", len(got))
+	}
+	// A fresh dial works: Sever cuts connections, not the listener.
+	c2, err := ct.Dial("x")
+	if err != nil {
+		t.Fatalf("dial after sever: %v", err)
+	}
+	c2.Close()
+}
+
+func TestChaosConnIsNotOwnedSender(t *testing.T) {
+	ct := New(transport.NewMem(0), 1)
+	dial, _ := link(t, ct, "x")
+	if _, ok := dial.(transport.OwnedSender); ok {
+		t.Fatal("chaos conns must not implement OwnedSender: pooled buffers would leak on drop/dup")
+	}
+}
+
+func TestFaultStoreSaveFaults(t *testing.T) {
+	fs := NewFaultStore(durable.NewMem())
+	if err := fs.Save(1, 1, 1, 1, []byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	enospc := errors.New("no space left on device")
+	fs.FailSaves(enospc)
+	if err := fs.Save(1, 1, 2, 1, []byte("x")); !errors.Is(err, enospc) {
+		t.Fatalf("failed save returned %v", err)
+	}
+	fs.Heal()
+	if err := fs.Save(1, 1, 3, 1, []byte("y")); err != nil {
+		t.Fatalf("save after heal: %v", err)
+	}
+	if fs.Faults() != 1 {
+		t.Fatalf("faults = %d, want 1", fs.Faults())
+	}
+}
+
+func TestFaultStoreTornSave(t *testing.T) {
+	fs := NewFaultStore(durable.NewMem())
+	fs.TearSaves(2)
+	if err := fs.Save(1, 1, 1, 7, []byte("full-object-body")); err != nil {
+		t.Fatalf("torn save must report success (that is the fault): %v", err)
+	}
+	data, ver, err := fs.Load(1, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ver != 7 || string(data) != "fu" {
+		t.Fatalf("torn object = %q v%d, want %q v7", data, ver, "fu")
+	}
+}
+
+func TestFaultStoreSlowAndFailedLoads(t *testing.T) {
+	fs := NewFaultStore(durable.NewMem())
+	fs.SlowSaves(10 * time.Millisecond)
+	start := time.Now()
+	if err := fs.Save(1, 1, 1, 1, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 10*time.Millisecond {
+		t.Fatalf("slow save returned in %v", d)
+	}
+	bad := errors.New("read error")
+	fs.FailLoads(bad)
+	if _, _, err := fs.Load(1, 1, 1); !errors.Is(err, bad) {
+		t.Fatalf("failed load returned %v", err)
+	}
+	fs.Heal()
+	if _, _, err := fs.Load(1, 1, 1); err != nil {
+		t.Fatalf("load after heal: %v", err)
+	}
+}
+
+// BenchmarkChaosConnOverhead measures the wrapper's per-frame cost with
+// no faults armed — the price every chaos-enabled harness run pays.
+func BenchmarkChaosConnOverhead(b *testing.B) {
+	ct := New(transport.NewMem(0), 1)
+	lis, err := ct.Listen("bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	accepted := make(chan transport.Conn, 1)
+	go func() {
+		c, _ := lis.Accept()
+		accepted <- c
+	}()
+	dial, err := ct.Dial("bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv := <-accepted
+	go func() {
+		for {
+			if _, err := srv.Recv(); err != nil {
+				return
+			}
+		}
+	}()
+	frame := make([]byte, 256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := dial.Send(frame); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	dial.Close()
+	srv.Close()
+	lis.Close()
+}

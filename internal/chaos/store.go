@@ -1,0 +1,110 @@
+package chaos
+
+import (
+	"sync"
+	"time"
+
+	"nimbus/internal/durable"
+	"nimbus/internal/ids"
+)
+
+// FaultStore wraps a durable.Store with runtime-controlled fault
+// injection for checkpoint error paths: failed saves (ENOSPC), torn
+// writes (the object lands truncated, so a later Load reports it
+// corrupt) and slow fsync (each Save stalls).
+type FaultStore struct {
+	inner durable.Store
+
+	mu        sync.Mutex
+	saveErr   error
+	tornBytes int
+	saveDelay time.Duration
+	loadErr   error
+	faults    int
+}
+
+// NewFaultStore wraps inner. With no faults armed it is transparent.
+func NewFaultStore(inner durable.Store) *FaultStore {
+	return &FaultStore{inner: inner}
+}
+
+// FailSaves makes every Save return err (e.g. a synthetic ENOSPC)
+// without writing anything.
+func (s *FaultStore) FailSaves(err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.saveErr = err
+}
+
+// TearSaves makes every Save persist only the first n bytes of the
+// object but still report success — a torn write the next Load trips
+// over.
+func (s *FaultStore) TearSaves(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tornBytes = n
+}
+
+// SlowSaves stalls every Save for d, modelling a slow fsync.
+func (s *FaultStore) SlowSaves(d time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.saveDelay = d
+}
+
+// FailLoads makes every Load return err.
+func (s *FaultStore) FailLoads(err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.loadErr = err
+}
+
+// Heal disarms all faults.
+func (s *FaultStore) Heal() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.saveErr, s.loadErr = nil, nil
+	s.tornBytes = 0
+	s.saveDelay = 0
+}
+
+// Faults counts operations a fault perturbed.
+func (s *FaultStore) Faults() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.faults
+}
+
+// Save implements durable.Store.
+func (s *FaultStore) Save(job ids.JobID, ckpt uint64, logical ids.LogicalID, version uint64, data []byte) error {
+	s.mu.Lock()
+	errSave, torn, delay := s.saveErr, s.tornBytes, s.saveDelay
+	if errSave != nil || torn > 0 || delay > 0 {
+		s.faults++
+	}
+	s.mu.Unlock()
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	if errSave != nil {
+		return errSave
+	}
+	if torn > 0 && torn < len(data) {
+		data = data[:torn]
+	}
+	return s.inner.Save(job, ckpt, logical, version, data)
+}
+
+// Load implements durable.Store.
+func (s *FaultStore) Load(job ids.JobID, ckpt uint64, logical ids.LogicalID) ([]byte, uint64, error) {
+	s.mu.Lock()
+	errLoad := s.loadErr
+	if errLoad != nil {
+		s.faults++
+	}
+	s.mu.Unlock()
+	if errLoad != nil {
+		return nil, 0, errLoad
+	}
+	return s.inner.Load(job, ckpt, logical)
+}

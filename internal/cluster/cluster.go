@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"time"
 
+	"nimbus/internal/chaos"
 	"nimbus/internal/controller"
 	"nimbus/internal/driver"
 	"nimbus/internal/durable"
@@ -46,6 +47,23 @@ type Options struct {
 	// LeaseTTL is the controller leadership lease for failover (zero
 	// defaults to one second; failover tests shrink it).
 	LeaseTTL time.Duration
+	// ReattachDeadline bounds how long a promoted controller keeps a
+	// restored job whose driver never reattaches (zero = forever); see
+	// controller.Config.ReattachDeadline.
+	ReattachDeadline time.Duration
+	// AutoStandby keeps a hot standby attached automatically: one is
+	// started with the cluster, and AwaitPromotion starts a fresh one
+	// against each promoted primary so failover capacity is restored
+	// without operator action.
+	AutoStandby bool
+	// ChaosSeed/ChaosRules interpose a chaos.Transport between every node
+	// (set either to enable it): deterministic seeded fault schedules on
+	// the wires, plus runtime Partition/Heal/Sever via Cluster.Chaos.
+	ChaosSeed  uint64
+	ChaosRules []chaos.Rule
+	// Durable overrides the cluster's checkpoint store (default: a fresh
+	// durable.Mem); chaos tests pass a chaos.FaultStore.
+	Durable durable.Store
 	// BuildParallelism bounds the controller's template-build goroutine
 	// pool (0 = GOMAXPROCS, 1 = serial; see controller.Config).
 	BuildParallelism int
@@ -73,9 +91,19 @@ type Cluster struct {
 	Registry   *fn.Registry
 	// Standby is the hot-standby controller, if StartStandby was called.
 	Standby *controller.Standby
+	// Chaos is the fault-injection layer when Options enabled it (nil
+	// otherwise); tests drive partitions and severs through it.
+	Chaos *chaos.Transport
 
 	opts    Options
 	nextIdx int
+	// net is the transport every node actually uses: the chaos wrapper
+	// when enabled, the raw Mem otherwise. Transport stays the concrete
+	// Mem for tests that reach into it.
+	net transport.Transport
+	// store is the durable store workers write checkpoints to: the
+	// Options override when set, the cluster's own Mem otherwise.
+	store durable.Store
 }
 
 // Start builds and starts a cluster.
@@ -98,12 +126,27 @@ func Start(opts Options) (*Cluster, error) {
 		Registry:  opts.Registry,
 		opts:      opts,
 	}
+	c.net = c.Transport
+	if opts.ChaosSeed != 0 || len(opts.ChaosRules) > 0 {
+		c.Chaos = chaos.New(c.Transport, opts.ChaosSeed, opts.ChaosRules...)
+		c.net = c.Chaos
+	}
+	c.store = durable.Store(c.Durable)
+	if opts.Durable != nil {
+		c.store = opts.Durable
+	}
 	c.Controller = controller.New(c.controllerConfig())
 	if err := c.Controller.Start(); err != nil {
 		return nil, err
 	}
 	for i := 0; i < opts.Workers; i++ {
 		if _, err := c.AddWorker(); err != nil {
+			c.Stop()
+			return nil, err
+		}
+	}
+	if opts.AutoStandby {
+		if _, err := c.StartStandby(); err != nil {
 			c.Stop()
 			return nil, err
 		}
@@ -116,13 +159,14 @@ func Start(opts Options) (*Cluster, error) {
 func (c *Cluster) controllerConfig() controller.Config {
 	return controller.Config{
 		ControlAddr:        ControlAddr,
-		Transport:          c.Transport,
+		Transport:          c.net,
 		Mode:               c.opts.Mode,
 		CentralPerTaskCost: c.opts.CentralPerTaskCost,
 		LivePerTaskCost:    c.opts.LivePerTaskCost,
 		HeartbeatTimeout:   c.opts.HeartbeatTimeout,
 		BuildParallelism:   c.opts.BuildParallelism,
 		LeaseTTL:           c.opts.LeaseTTL,
+		ReattachDeadline:   c.opts.ReattachDeadline,
 		Hooks:              c.opts.Hooks,
 		Logf:               c.opts.Logf,
 	}
@@ -134,10 +178,10 @@ func (c *Cluster) AddWorker() (*worker.Worker, error) {
 	w := worker.New(worker.Config{
 		ControlAddr:    ControlAddr,
 		DataAddr:       fmt.Sprintf("nimbus/data/%d", c.nextIdx),
-		Transport:      c.Transport,
+		Transport:      c.net,
 		Slots:          c.opts.Slots,
 		Registry:       c.Registry,
-		Durable:        c.Durable,
+		Durable:        c.store,
 		HeartbeatEvery: c.opts.HeartbeatEvery,
 		ChunkSize:      c.opts.ChunkSize,
 		PeerQueueBytes: c.opts.PeerQueueBytes,
@@ -155,7 +199,7 @@ func (c *Cluster) AddWorker() (*worker.Worker, error) {
 
 // Driver opens a driver session against the cluster.
 func (c *Cluster) Driver(name string) (*driver.Driver, error) {
-	return driver.Connect(c.Transport, ControlAddr, name)
+	return driver.Connect(c.net, ControlAddr, name)
 }
 
 // KillWorker abruptly stops worker i (0-based), simulating a failure the
@@ -187,7 +231,10 @@ func (c *Cluster) KillController() {
 }
 
 // AwaitPromotion blocks until the standby has taken over, then adopts the
-// promoted controller as the cluster's controller and returns it.
+// promoted controller as the cluster's controller and returns it. With
+// Options.AutoStandby a fresh standby is started against the promoted
+// primary — its attach dial retries while the takeover binds the control
+// address — so the cluster survives a second failover too.
 func (c *Cluster) AwaitPromotion(timeout time.Duration) (*controller.Controller, error) {
 	if c.Standby == nil {
 		return nil, fmt.Errorf("cluster: no standby attached")
@@ -195,6 +242,11 @@ func (c *Cluster) AwaitPromotion(timeout time.Duration) (*controller.Controller,
 	select {
 	case <-c.Standby.Promoted():
 		c.Controller = c.Standby.Controller()
+		if c.opts.AutoStandby {
+			if _, err := c.StartStandby(); err != nil {
+				return nil, fmt.Errorf("cluster: auto-standby: %w", err)
+			}
+		}
 		return c.Controller, nil
 	case <-c.Standby.Done():
 		// Done closes after Promoted on a successful takeover; reaching it

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"nimbus/internal/app/kmeans"
+	"nimbus/internal/cluster/leakcheck"
 	"nimbus/internal/driver"
 	"nimbus/internal/fn"
 	"nimbus/internal/ids"
@@ -74,6 +75,7 @@ func runKmeansExplicit(c *Cluster, iters int) ([]byte, *driver.Driver, error) {
 // driver journal), with the workers having executed work during the
 // outage and dropped nothing.
 func TestKillControllerMidKmeansStandbyFinishes(t *testing.T) {
+	leakcheck.Check(t)
 	const iters = 10
 
 	// Reference: the same program on an undisturbed cluster.
@@ -175,6 +177,7 @@ func TestKillControllerMidKmeansStandbyFinishes(t *testing.T) {
 // promoted controller re-binds the endpoint, reassembles the worker
 // roster, and serves a brand-new driver session.
 func TestTakeoverLeaseExpiryPromotesStandby(t *testing.T) {
+	leakcheck.Check(t)
 	c := startTestCluster(t, Options{
 		Workers: 2, LeaseTTL: 120 * time.Millisecond,
 	})
@@ -253,6 +256,7 @@ func slowRegistry(t testing.TB) *fn.Registry {
 // replays on reconnect without losing or double-applying anything — the
 // final values are doubled exactly once.
 func TestFailoverWorkerAutonomyBuffersAndReplays(t *testing.T) {
+	leakcheck.Check(t)
 	const parts = 8
 	c := startTestCluster(t, Options{
 		Workers: 2, Slots: 2, Registry: slowRegistry(t),
@@ -358,6 +362,7 @@ func TestFailoverWorkerAutonomyBuffersAndReplays(t *testing.T) {
 // controller-evaluated loop fails deterministically (its loop state died
 // with the primary) instead of hanging or silently restarting.
 func TestFailoverDriverReissuesUnresolvedGets(t *testing.T) {
+	leakcheck.Check(t)
 	c := startTestCluster(t, Options{
 		Workers: 2, Slots: 2, LeaseTTL: 150 * time.Millisecond,
 	})
@@ -455,6 +460,7 @@ func TestFailoverDriverReissuesUnresolvedGets(t *testing.T) {
 // reattach after the rejection resends the journal suffix one op early,
 // replaying an operation the controller already applied.
 func TestFailoverAfterRejectedOpKeepsJournalInLockstep(t *testing.T) {
+	leakcheck.Check(t)
 	c := startTestCluster(t, Options{
 		Workers: 2, LeaseTTL: 150 * time.Millisecond,
 	})

@@ -1,0 +1,44 @@
+// Package leakcheck asserts that a test leaves no goroutines behind.
+// Failover and chaos-soak tests register it before building a cluster;
+// since t.Cleanup runs LIFO, the check fires after the cluster's own
+// teardown and catches pumps, tick loops, reconnect retriers or data-
+// plane writers that survived it.
+package leakcheck
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// settle is how long the check waits for goroutine counts to return to
+// the baseline before failing: teardown is asynchronous (pump goroutines
+// exit when their conn close propagates), so the count converges rather
+// than dropping instantly.
+const settle = 10 * time.Second
+
+// Check snapshots the goroutine count and registers a cleanup that fails
+// the test if the count has not returned to the baseline once the test
+// (and every cleanup registered after this call) finishes.
+func Check(t testing.TB) {
+	t.Helper()
+	base := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(settle)
+		var n int
+		for {
+			n = runtime.NumGoroutine()
+			if n <= base {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		buf := make([]byte, 1<<20)
+		m := runtime.Stack(buf, true)
+		t.Errorf("leakcheck: %d goroutines leaked (baseline %d, now %d):\n%s",
+			n-base, base, n, buf[:m])
+	})
+}

@@ -95,6 +95,11 @@ type Config struct {
 	// itself once LeaseTTL elapses without a renewal. Zero defaults to
 	// one second.
 	LeaseTTL time.Duration
+	// ReattachDeadline bounds how long a promoted controller parks a
+	// restored job whose driver has not reattached: past the deadline
+	// the job is torn down cleanly instead of waiting (and replaying)
+	// forever. Zero disables the deadline.
+	ReattachDeadline time.Duration
 	// Hooks are optional test/fault-injection instrumentation points.
 	Hooks Hooks
 	// Logf receives diagnostics. Nil defaults to log.Printf.
@@ -146,6 +151,15 @@ type Stats struct {
 	// recovery or takeover replay.
 	Takeovers   atomic.Uint64
 	OpsReplayed atomic.Uint64
+	// Evictions counts snapshot-listed workers a promoted controller
+	// struck from the rejoin roster because they never reconnected
+	// within the heartbeat timeout; JobsExpired counts restored jobs
+	// torn down because their driver never reattached within
+	// Config.ReattachDeadline. CkptsAborted counts checkpoints vetoed by
+	// a worker-reported durable Save failure.
+	Evictions    atomic.Uint64
+	JobsExpired  atomic.Uint64
+	CkptsAborted atomic.Uint64
 
 	ScheduleNanos    atomic.Uint64 // live per-task scheduling
 	RecordNanos      atomic.Uint64 // template recording (stage capture) time
@@ -206,6 +220,13 @@ type Controller struct {
 	epoch        uint64
 	expectRejoin map[ids.WorkerID]struct{}
 	takeoverWait bool
+	// takeoverAt stamps when a promoted controller began accepting
+	// reconnects; the tick loop measures the eviction and driver-
+	// reattach deadlines from it. standbyDownAt stamps when the last
+	// standby detached, bounding how long hadStandby keeps capping the
+	// journal-truncation point at the stale shadow's replAcked.
+	takeoverAt    time.Time
+	standbyDownAt time.Time
 
 	connMu   sync.Mutex
 	conns    map[transport.Conn]struct{}
@@ -373,6 +394,9 @@ type ckptState struct {
 	// manifest is the committed one recovery loads from.
 	pendingManifest map[ids.LogicalID]uint64
 	manifest        map[ids.LogicalID]uint64
+	// failed carries the first worker-reported Save error of the
+	// in-progress checkpoint; commit turns into an abort when set.
+	failed string
 }
 
 type cevent struct {
@@ -464,10 +488,21 @@ func (c *Controller) startWith(lis transport.Listener) {
 	c.wg.Add(2)
 	go c.acceptLoop()
 	go c.run()
-	if c.cfg.HeartbeatTimeout > 0 {
+	if c.tickEvery() > 0 {
 		c.wg.Add(1)
 		go c.tickLoop()
 	}
+}
+
+// tickEvery is the failure-detector tick period: half the tightest of
+// the heartbeat and driver-reattach deadlines, zero when neither is
+// configured (no tick loop runs).
+func (c *Controller) tickEvery() time.Duration {
+	d := c.cfg.HeartbeatTimeout
+	if c.cfg.ReattachDeadline > 0 && (d == 0 || c.cfg.ReattachDeadline < d) {
+		d = c.cfg.ReattachDeadline
+	}
+	return d / 2
 }
 
 // Stop shuts the controller down: workers, every driver and an attached
@@ -569,7 +604,7 @@ func (c *Controller) Do(fn func()) {
 
 func (c *Controller) tickLoop() {
 	defer c.wg.Done()
-	t := time.NewTicker(c.cfg.HeartbeatTimeout / 2)
+	t := time.NewTicker(c.tickEvery())
 	defer t.Stop()
 	for {
 		select {
@@ -680,6 +715,8 @@ func (c *Controller) run() {
 				ev.fn()
 			case cevTick:
 				c.checkHeartbeats()
+				c.checkTakeoverEviction()
+				c.checkReattachDeadline()
 			}
 			// Everything one event staged goes out as one frame per
 			// worker before the next event is considered.
@@ -738,6 +775,11 @@ func (c *Controller) handleMsg(ev cevent) {
 	case *proto.HaltAck:
 		if j := c.jobs[m.Job]; j != nil {
 			c.handleHaltAck(j, m)
+		}
+		return
+	case *proto.SaveFailed:
+		if j := c.jobs[m.Job]; j != nil {
+			c.handleSaveFailed(j, m)
 		}
 		return
 	case *proto.ErrorMsg:
@@ -1027,6 +1069,9 @@ func (c *Controller) handleClosed(ev cevent) {
 }
 
 func (c *Controller) checkHeartbeats() {
+	if c.cfg.HeartbeatTimeout <= 0 {
+		return
+	}
 	cutoff := time.Now().Add(-c.cfg.HeartbeatTimeout)
 	for id, ws := range c.workers {
 		if ws.alive && ws.lastBeat.Before(cutoff) {

@@ -1,6 +1,8 @@
 package controller
 
 import (
+	"fmt"
+
 	"nimbus/internal/command"
 	"nimbus/internal/flow"
 	"nimbus/internal/ids"
@@ -89,6 +91,10 @@ func (c *Controller) beginCheckpoint(j *jobState) {
 // reapplies those ops consistently. With v1's blocking Checkpoint the
 // window was unreachable; the async surface opens it.
 func (c *Controller) commitCheckpoint(j *jobState) {
+	if j.ckpt.failed != "" {
+		c.abortCheckpoint(j)
+		return
+	}
 	j.ckpt.saving = false
 	j.ckpt.last = j.ckpt.count
 	j.ckpt.manifest = j.ckpt.pendingManifest
@@ -105,6 +111,40 @@ func (c *Controller) commitCheckpoint(j *jobState) {
 	c.replCkpt(j, uint64(drop))
 	for _, seq := range j.ckpt.requested {
 		c.sendDriver(j, &proto.BarrierDone{Seq: seq, Applied: c.safeApplied(j)})
+	}
+	j.ckpt.requested = nil
+}
+
+// handleSaveFailed records a worker-reported durable Save error against
+// the in-progress checkpoint. The report outruns the command's batched
+// Complete on the FIFO control link, so the veto always lands before the
+// commit it must stop. Reports for a checkpoint no longer in progress
+// (a recovery already discarded it) are stale and dropped.
+func (c *Controller) handleSaveFailed(j *jobState, m *proto.SaveFailed) {
+	c.cfg.Logf("controller: %s checkpoint %d: save %s failed: %s", j.id, m.Ckpt, m.Logical, m.Err)
+	if !j.ckpt.saving || m.Ckpt != j.ckpt.count {
+		return
+	}
+	if j.ckpt.failed == "" {
+		j.ckpt.failed = fmt.Sprintf("save %s: %s", m.Logical, m.Err)
+	}
+}
+
+// abortCheckpoint fails the in-progress checkpoint instead of committing
+// it: the previous manifest and the full oplog stay authoritative (so
+// recovery is untouched), durable keys are not reused (count already
+// advanced past the aborted id), and every driver waiting on the barrier
+// gets a typed error instead of a success.
+func (c *Controller) abortCheckpoint(j *jobState) {
+	reason := fmt.Sprintf("checkpoint %d failed: %s", j.ckpt.count, j.ckpt.failed)
+	c.cfg.Logf("controller: %s %s", j.id, reason)
+	c.Stats.CkptsAborted.Add(1)
+	j.ckpt.saving = false
+	j.ckpt.failed = ""
+	j.ckpt.pendingManifest = nil
+	j.ckpt.logMark = 0
+	for _, seq := range j.ckpt.requested {
+		c.sendDriver(j, &proto.BarrierDone{Seq: seq, Applied: c.safeApplied(j), Err: reason})
 	}
 	j.ckpt.requested = nil
 }
@@ -196,6 +236,7 @@ func (c *Controller) finishRecovery(j *jobState) {
 	// one's durable keys — runs once the recovered job drains.
 	if j.ckpt.saving {
 		j.ckpt.saving = false
+		j.ckpt.failed = ""
 		j.ckpt.pendingManifest = nil
 		j.ckpt.logMark = 0
 	}

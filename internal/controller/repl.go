@@ -73,6 +73,7 @@ func (c *Controller) handleReplAttach(conn transport.Conn) {
 		c.repl = nil
 	}
 	c.hadStandby = true
+	c.standbyDownAt = time.Time{}
 	r := &replState{conn: conn, stop: make(chan struct{})}
 	snap := c.snapshotReplica()
 	if err := r.send(snap); err != nil {
@@ -125,7 +126,16 @@ func (c *Controller) snapshotReplica() *proto.ReplSnapshot {
 			NextCmd: j.cmdIDs.Peek(), NextObj: j.objIDs.Peek(),
 		}
 		rj.Manifest = manifestEntries(j.ckpt.manifest)
-		for _, m := range j.defMessages() {
+		// A job parked behind pendingTakeover has not replayed its
+		// definition history yet — j.vars and j.templates stay empty until
+		// beginTakeover — so defMessages would hand a fresh standby an
+		// empty history and a second failover would lose every variable.
+		// Forward the restored definitions verbatim instead.
+		defs := j.defs
+		if !j.pendingTakeover {
+			defs = j.defMessages()
+		}
+		for _, m := range defs {
 			rj.Defs = append(rj.Defs, proto.Marshal(m))
 		}
 		for _, m := range j.oplog {
@@ -257,8 +267,24 @@ func (c *Controller) replJobEnd(j *jobState) {
 // attached it is the job's own count: a transient reconnect lands back
 // here, and a standby attaching later starts from a full snapshot. Once a
 // standby has attached, only its acked prefix is safe — even after it
-// detaches, its stale shadow may still be promoted.
+// detaches, its stale shadow may still be promoted — but only within the
+// promotion horizon.
+//
+// staleShadowHorizonTTLs bounds that horizon in lease TTLs: a detached
+// standby's lease expires within one TTL of the detach and its takeover
+// bind retries for ten more (standby.go promote), so twenty TTLs past
+// the detach no controller can ever surface that shadow. After the
+// horizon safeApplied stops capping truncation at the stale shadow's
+// acked prefix — otherwise a long standby-less run after a detach would
+// grow every driver journal without bound.
+const staleShadowHorizonTTLs = 20
+
 func (c *Controller) safeApplied(j *jobState) uint64 {
+	if c.hadStandby && c.repl == nil && !c.standbyDownAt.IsZero() &&
+		time.Since(c.standbyDownAt) > staleShadowHorizonTTLs*c.leaseTTL() {
+		c.hadStandby = false
+		c.standbyDownAt = time.Time{}
+	}
 	if c.hadStandby {
 		return j.replAcked
 	}
@@ -306,6 +332,7 @@ func (c *Controller) standbyLost(err error) {
 	close(c.repl.stop)
 	c.repl.conn.Close()
 	c.repl = nil
+	c.standbyDownAt = time.Now()
 	c.post(func() {
 		for _, j := range c.jobList() {
 			c.drainOps(j)

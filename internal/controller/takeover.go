@@ -114,7 +114,10 @@ func (c *Controller) StartTakeover(deadline time.Duration, cancel <-chan struct{
 		return fmt.Errorf("controller: takeover bind: %w", err)
 	}
 	c.startWith(lis)
-	c.Do(c.maybeStartTakeover)
+	c.Do(func() {
+		c.takeoverAt = time.Now()
+		c.maybeStartTakeover()
+	})
 	return nil
 }
 
@@ -122,8 +125,10 @@ func (c *Controller) StartTakeover(deadline time.Duration, cancel <-chan struct{
 // controller's worker roster has reassembled. It waits for every worker
 // the snapshot listed (a reconnecting worker holds job state the recovery
 // revert needs to halt and reload); a worker that truly died during the
-// outage stalls this — a documented limitation — until it returns or the
-// roster is satisfied by fresh registrations raising capacity.
+// outage is struck from the roster by checkTakeoverEviction once the
+// heartbeat timeout elapses, so a permanent death shrinks the roster and
+// routes the dead worker's partitions through the ordinary
+// halt → revert → replay recovery instead of stalling takeover.
 func (c *Controller) maybeStartTakeover() {
 	if !c.takeoverWait || len(c.expectRejoin) > 0 {
 		return
@@ -268,6 +273,52 @@ func (c *Controller) reattachDriver(m *proto.DriverReattach, conn transport.Conn
 	c.sendDriver(j, &proto.ReattachAck{Job: j.id, Applied: j.applied, Ok: true})
 	c.wg.Add(1)
 	go c.pump(conn, ids.NoWorker, j.id, true)
+}
+
+// checkTakeoverEviction runs on the failure-detector tick of a promoted
+// controller still waiting on its rejoin roster: snapshot-listed workers
+// that have not reconnected within the heartbeat timeout are evicted.
+// The roster shrinks and takeover recovery proceeds on the survivors —
+// the evicted worker's partitions revert to the checkpoint and replay
+// there, exactly as a live-worker failure would. An evicted worker that
+// turns out to be merely slow readmits harmlessly through the ordinary
+// reconnect path: its stale state is never referenced (the allocators
+// are already past every ID it holds) and the roster no longer waits on
+// it.
+func (c *Controller) checkTakeoverEviction() {
+	if !c.takeoverWait || len(c.expectRejoin) == 0 || c.cfg.HeartbeatTimeout <= 0 {
+		return
+	}
+	if time.Since(c.takeoverAt) <= c.cfg.HeartbeatTimeout {
+		return
+	}
+	for id := range c.expectRejoin {
+		c.cfg.Logf("controller: takeover evicting %s: never reconnected", id)
+		c.Stats.Evictions.Add(1)
+		delete(c.expectRejoin, id)
+	}
+	c.maybeStartTakeover()
+}
+
+// checkReattachDeadline tears down restored jobs whose driver never
+// reattached within Config.ReattachDeadline: without a driver there is
+// nobody to resend the journal suffix or consume results, so instead of
+// parking the job (possibly forever, behind pendingTakeover) it ends
+// cleanly and frees its weight and worker state. A driver reattaching
+// later gets the ordinary unknown-job nack.
+func (c *Controller) checkReattachDeadline() {
+	if c.cfg.ReattachDeadline <= 0 || c.takeoverAt.IsZero() {
+		return
+	}
+	if time.Since(c.takeoverAt) <= c.cfg.ReattachDeadline {
+		return
+	}
+	for _, j := range c.jobList() {
+		if j.conn == nil && !j.dead {
+			c.Stats.JobsExpired.Add(1)
+			c.endJob(j, "driver never reattached within deadline")
+		}
+	}
 }
 
 // JobApplied returns one job's applied driver-operation count (zero for

@@ -21,8 +21,28 @@ import (
 
 // SpillFS allocates spill files under one directory (one per worker).
 type SpillFS struct {
-	dir string
-	seq atomic.Uint64
+	dir   string
+	seq   atomic.Uint64
+	fault atomic.Pointer[func(op string) error]
+}
+
+// SetFault installs a fault hook consulted before each disk operation
+// ("create", "write", "sync"); a non-nil return is surfaced as that
+// operation's error (e.g. a synthetic ENOSPC). Pass nil to disarm. Only
+// tests use this.
+func (s *SpillFS) SetFault(f func(op string) error) {
+	if f == nil {
+		s.fault.Store(nil)
+		return
+	}
+	s.fault.Store(&f)
+}
+
+func (s *SpillFS) injectFault(op string) error {
+	if f := s.fault.Load(); f != nil {
+		return (*f)(op)
+	}
+	return nil
 }
 
 // NewSpillFS returns a spill allocator rooted at dir, creating it if
@@ -39,6 +59,9 @@ func (s *SpillFS) Dir() string { return s.dir }
 
 // NewWriter opens a spill file for one in-flight transfer.
 func (s *SpillFS) NewWriter() (*SpillWriter, error) {
+	if err := s.injectFault("create"); err != nil {
+		return nil, fmt.Errorf("datastore: spill create: %w", err)
+	}
 	f, err := os.CreateTemp(s.dir, "xfer-*.tmp")
 	if err != nil {
 		return nil, fmt.Errorf("datastore: spill create: %w", err)
@@ -56,6 +79,9 @@ type SpillWriter struct {
 
 // Write appends p to the spill file.
 func (sw *SpillWriter) Write(p []byte) error {
+	if err := sw.fs.injectFault("write"); err != nil {
+		return fmt.Errorf("datastore: spill write: %w", err)
+	}
 	if _, err := sw.f.Write(p); err != nil {
 		return fmt.Errorf("datastore: spill write: %w", err)
 	}
@@ -69,6 +95,10 @@ func (sw *SpillWriter) Size() int64 { return sw.n }
 // Finalize fsyncs, closes and renames the spill file into place,
 // returning the completed handle. After Finalize the writer is spent.
 func (sw *SpillWriter) Finalize() (*Spilled, error) {
+	if err := sw.fs.injectFault("sync"); err != nil {
+		sw.Abort()
+		return nil, fmt.Errorf("datastore: spill sync: %w", err)
+	}
 	if err := sw.f.Sync(); err != nil {
 		sw.Abort()
 		return nil, fmt.Errorf("datastore: spill sync: %w", err)

@@ -308,6 +308,12 @@ func (d *Driver) send(m proto.Msg) error {
 // count. Failover tests assert the two match after a takeover.
 func (d *Driver) OpsSent() uint64 { return d.opsSent }
 
+// JournalLen reports how many logged operations the failover journal
+// currently retains. Barrier and checkpoint commits trim it to the
+// controller's safe applied count, so tests pin that a long checkpointed
+// run keeps it bounded instead of growing one entry per op.
+func (d *Driver) JournalLen() int { return len(d.journal) }
+
 // recvMsg returns the next controller message, unpacking batch frames.
 // Connection loss is fatal (the session fails); a corrupt frame is a
 // transient error — its decoded prefix is dropped so a half-valid frame
@@ -318,13 +324,17 @@ func (d *Driver) recvMsg() (proto.Msg, error) {
 		d.inboxHead = 0
 		raw, err := d.conn.Recv()
 		if err != nil {
-			// Reattach through the endpoint list; on success the loop
-			// resumes on the new connection (any messages decoded during
-			// the handshake were spliced into the inbox).
+			// Reattach through the endpoint list; any messages decoded
+			// during the handshake were spliced into the inbox.
 			if rerr := d.recover(fmt.Errorf("driver: connection lost: %w", err)); rerr != nil {
 				return nil, rerr
 			}
-			continue
+			// Recovery can resolve pending entries locally (an interrupted
+			// InstantiateWhile fails rather than restart), so hand control
+			// back instead of blocking on the new connection: a waitFor
+			// whose entry was just resolved must notice before reading a
+			// message the controller may never owe it.
+			return nil, errRecovered
 		}
 		err = proto.ForEachMsg(raw, func(m proto.Msg) error {
 			d.inbox = append(d.inbox, m)

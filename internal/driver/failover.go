@@ -32,14 +32,26 @@ type journalEntry struct {
 	buf   []byte
 }
 
-// errLoopInterrupted deterministically fails an InstantiateWhile future
+// ErrLoopInterrupted deterministically fails an InstantiateWhile future
 // interrupted by a failover: controller-evaluated loop state (iteration
 // count, pending predicate fetch) is not replicated, so re-issuing the
 // loop could re-run iterations the old controller already executed and
 // logged. The application re-issues the loop itself if it wants to
 // continue; already-run iterations persist on the workers.
-var errLoopInterrupted = errors.New(
+var ErrLoopInterrupted = errors.New(
 	"driver: controller-evaluated loop interrupted by controller failover; completed iterations persist, re-issue to continue")
+
+// ErrCheckpointFailed resolves a Checkpoint future whose commit the
+// controller aborted because a worker's durable Save errored (disk full,
+// torn write). The previous checkpoint and the operation log stay
+// authoritative — recovery is unaffected — and the caller may retry.
+var ErrCheckpointFailed = errors.New("driver: checkpoint failed")
+
+// errRecovered is recvMsg's signal that the connection was lost and
+// reattached mid-receive with no message to show for it yet. Recovery
+// resolves some pending entries locally, so receive loops must recheck
+// what they are blocked on before reading again.
+var errRecovered = errors.New("driver: session recovered mid-receive")
 
 // reattachRounds bounds how many passes over the endpoint list recover
 // makes before declaring the session dead. Each dial within a pass is
@@ -193,7 +205,7 @@ func (d *Driver) reissuePending() {
 		}
 		if _, isLoop := p.req.(*proto.InstantiateWhile); isLoop {
 			delete(d.pending, seq)
-			d.resolve(p, errLoopInterrupted)
+			d.resolve(p, ErrLoopInterrupted)
 			continue
 		}
 		if err := d.rawSend(p.req); err != nil {

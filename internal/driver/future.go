@@ -1,6 +1,7 @@
 package driver
 
 import (
+	"errors"
 	"fmt"
 
 	"nimbus/internal/proto"
@@ -127,6 +128,9 @@ func (d *Driver) waitFor(p *pendingReply) error {
 		}
 		m, err := d.recvMsg()
 		if err != nil {
+			if errors.Is(err, errRecovered) {
+				continue // recovery may have resolved p; loop rechecks
+			}
 			if d.dead != nil {
 				continue // fail() already resolved p; loop exits
 			}
@@ -152,6 +156,13 @@ func (d *Driver) dispatch(m proto.Msg, waiting *pendingReply) error {
 		// applied count: journal entries at or below it can never need
 		// resending on any reattach, so they are released.
 		d.truncateJournal(m.Applied)
+		if m.Err != "" {
+			// A checkpoint that failed to commit (a worker's durable Save
+			// errored). The previous checkpoint stays authoritative; the
+			// caller may simply retry.
+			err := fmt.Errorf("%w: %s", ErrCheckpointFailed, m.Err)
+			return d.deliver(m.Seq, m.Kind(), func(p *pendingReply) { p.err = err })
+		}
 		return d.deliver(m.Seq, m.Kind(), func(*pendingReply) {})
 	case *proto.LoopDone:
 		return d.deliver(m.Seq, m.Kind(), func(p *pendingReply) {

@@ -328,3 +328,30 @@ func TestFSConcurrentSaveLoad(t *testing.T) {
 	}
 	exerciseConcurrent(t, NewFS(t.TempDir()))
 }
+
+// TestChaosFSTornSaveKeepsPriorObject pins the torn-write contract the
+// chaos harness leans on: a Save that dies before its rename (the crash
+// leaves only a half-written temp file) must not disturb the committed
+// object — Load returns the prior version bit-identical, never the torn
+// bytes. Combined with TestFSCorruptHeader this is why a failed durable
+// save can only ever fail the checkpoint, not corrupt recovery.
+func TestChaosFSTornSaveKeepsPriorObject(t *testing.T) {
+	s := NewFS(t.TempDir())
+	if err := s.Save(2, 1, 4, 3, []byte("committed-v3")); err != nil {
+		t.Fatal(err)
+	}
+	// A crashed overwrite: half of version 4's bytes in a temp file that
+	// never reached its rename.
+	p := s.path(2, 1, 4)
+	torn := filepath.Base(p) + ".tmp-crashed"
+	if err := os.WriteFile(filepath.Join(filepath.Dir(p), torn), []byte{0, 0}, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	data, ver, err := s.Load(2, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ver != 3 || string(data) != "committed-v3" {
+		t.Fatalf("after torn overwrite: %q v%d, want %q v3", data, ver, "committed-v3")
+	}
+}

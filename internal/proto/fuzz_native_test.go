@@ -25,24 +25,24 @@ func hostileSeeds() [][]byte {
 		return w.Buf
 	}
 	seeds := [][]byte{
-		{},                             // empty frame
-		{0xff},                         // unknown kind
-		{byte(KindBatch)},              // batch with no count
-		huge(byte(KindBatch)),          // batch claiming 2^50 messages
+		{},                    // empty frame
+		{0xff},                // unknown kind
+		{byte(KindBatch)},     // batch with no count
+		huge(byte(KindBatch)), // batch claiming 2^50 messages
 		append(huge(byte(KindBatch)), 0x01, 0x02, 0x03), // hostile count + junk tail
-		{byte(KindBatch), 0x02, 0xff},  // batch of 2 with an unknown kind inside
-		{byte(KindBatch), 0x00, 0x00},  // empty batch with trailing bytes
-		huge(),                         // hostile count as a bare kind stream
+		{byte(KindBatch), 0x02, 0xff},                   // batch of 2 with an unknown kind inside
+		{byte(KindBatch), 0x00, 0x00},                   // empty batch with trailing bytes
+		huge(),                                          // hostile count as a bare kind stream
 		// Replication/lease frames: hostile counts in the nested job shadow
 		// (manifest, defs and oplog lists) and in the snapshot's rosters, a
 		// ReplOp whose raw body claims more bytes than it carries, and a
 		// bare lease renewal missing its TTL.
-		huge(byte(KindReplSnapshot)),                      // snapshot claiming 2^50 workers
-		huge(byte(KindReplSnapshot), 0x00, 0x00, 0x00),    // 2^50 jobs after empty rosters
-		huge(byte(KindReplOp), 0x02, 0x01, 0x01, 0x01),    // raw-op length prefix over empty tail
-		huge(byte(KindReplCkpt), 0x02, 0x01, 0x01, 0x01),  // 2^50 manifest entries
-		{byte(KindLeaseRenew), 0x01},                      // truncated lease renewal
-		{byte(KindReattachAck), 0x02, 0x01, 0x02},         // truncated reattach ack
+		huge(byte(KindReplSnapshot)),                     // snapshot claiming 2^50 workers
+		huge(byte(KindReplSnapshot), 0x00, 0x00, 0x00),   // 2^50 jobs after empty rosters
+		huge(byte(KindReplOp), 0x02, 0x01, 0x01, 0x01),   // raw-op length prefix over empty tail
+		huge(byte(KindReplCkpt), 0x02, 0x01, 0x01, 0x01), // 2^50 manifest entries
+		{byte(KindLeaseRenew), 0x01},                     // truncated lease renewal
+		{byte(KindReattachAck), 0x02, 0x01, 0x02},        // truncated reattach ack
 	}
 	// Every valid message, marshaled, plus a truncated and a corrupted
 	// variant: the fuzzer mutates from realistic frames, not just noise.

@@ -90,6 +90,7 @@ const (
 	KindDataChunk
 	KindDataCredit
 	KindXferAbort
+	KindSaveFailed
 	// KindMax is one past the last registered message kind; coverage
 	// tests iterate [KindRegisterWorker, KindMax).
 	KindMax
@@ -153,6 +154,7 @@ var kindNames = [...]string{
 	KindDataChunk:           "data-chunk",
 	KindDataCredit:          "data-credit",
 	KindXferAbort:           "xfer-abort",
+	KindSaveFailed:          "save-failed",
 }
 
 // String returns the message kind name.
@@ -304,6 +306,8 @@ func newMsg(kind MsgKind) Msg {
 		return &DataCredit{}
 	case KindXferAbort:
 		return &XferAbort{}
+	case KindSaveFailed:
+		return &SaveFailed{}
 	default:
 		return nil
 	}
@@ -894,6 +898,10 @@ func (m *Barrier) decode(r *wire.Reader) error {
 type BarrierDone struct {
 	Seq     uint64
 	Applied uint64
+	// Err is non-empty when the barrier was a checkpoint that failed to
+	// commit (a worker's durable Save errored); the driver surfaces it as
+	// a typed checkpoint failure instead of success.
+	Err string
 }
 
 // Kind implements Msg.
@@ -902,11 +910,13 @@ func (*BarrierDone) Kind() MsgKind { return KindBarrierDone }
 func (m *BarrierDone) encode(w *wire.Writer) {
 	w.Uvarint(m.Seq)
 	w.Uvarint(m.Applied)
+	w.String(m.Err)
 }
 
 func (m *BarrierDone) decode(r *wire.Reader) error {
 	m.Seq = r.Uvarint()
 	m.Applied = r.Uvarint()
+	m.Err = r.String()
 	return r.Err
 }
 
@@ -1196,6 +1206,37 @@ func (m *HaltAck) decode(r *wire.Reader) error {
 	m.Job = ids.JobID(r.Uvarint())
 	m.Seq = r.Uvarint()
 	m.Worker = ids.WorkerID(r.Uvarint())
+	return r.Err
+}
+
+// SaveFailed reports a durable Save that errored on a worker
+// (worker → controller). It is sent immediately — ahead of the batched
+// Complete for the same command on the FIFO control link — so the
+// controller learns of the failure before the checkpoint could commit
+// and aborts it instead of committing a manifest that references an
+// object that was never durably written.
+type SaveFailed struct {
+	Job     ids.JobID
+	Ckpt    uint64
+	Logical ids.LogicalID
+	Err     string
+}
+
+// Kind implements Msg.
+func (*SaveFailed) Kind() MsgKind { return KindSaveFailed }
+
+func (m *SaveFailed) encode(w *wire.Writer) {
+	w.Uvarint(uint64(m.Job))
+	w.Uvarint(m.Ckpt)
+	w.Uvarint(uint64(m.Logical))
+	w.String(m.Err)
+}
+
+func (m *SaveFailed) decode(r *wire.Reader) error {
+	m.Job = ids.JobID(r.Uvarint())
+	m.Ckpt = r.Uvarint()
+	m.Logical = ids.LogicalID(r.Uvarint())
+	m.Err = r.String()
 	return r.Err
 }
 

@@ -42,7 +42,7 @@ func everyMessage() []Msg {
 		},
 		&LoopDone{Seq: 21, Iters: 7, LastValue: 0.0625, Err: "bad loop"},
 		&Barrier{Seq: 11},
-		&BarrierDone{Seq: 11, Applied: 7},
+		&BarrierDone{Seq: 11, Applied: 7, Err: "ckpt 2 failed"},
 		&CheckpointReq{Seq: 12},
 		&Shutdown{},
 		&SpawnCommands{Barrier: true, Cmds: []*command.Command{
@@ -80,6 +80,7 @@ func everyMessage() []Msg {
 		},
 		&DataCredit{Xfer: 31, Chunks: 8},
 		&XferAbort{Xfer: 31, Reason: "seq gap"},
+		&SaveFailed{Job: 4, Ckpt: 2, Logical: 9, Err: "no space left on device"},
 		&ErrorMsg{Text: "boom"},
 		&ReplAttach{},
 		&ReplSnapshot{

@@ -60,7 +60,7 @@ const (
 
 // awaitCredit results.
 const (
-	creditOK = iota
+	creditOK      = iota
 	creditAborted // receiver aborted the transfer; skip its remaining chunks
 	creditClosed  // worker stopping
 )

@@ -158,10 +158,15 @@ func (x *rxXfer) land(w *Worker, raw []byte) error {
 	x.sw = sw
 	if len(x.buf) > 0 {
 		if err := sw.Write(x.buf); err != nil {
+			// The tipping chunk was charged by the budget check above but
+			// never reached x.held; discard() only releases held, so it
+			// must be uncharged here or the abort leaks receive budget.
+			w.rxBytes.Add(-int64(len(raw)))
 			return err
 		}
 	}
 	if err := sw.Write(raw); err != nil {
+		w.rxBytes.Add(-int64(len(raw)))
 		return err
 	}
 	// The transfer's RAM charge (and the chunk that tipped it over) moves

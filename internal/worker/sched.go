@@ -487,10 +487,22 @@ func (w *Worker) execSave(js *jstate, c *command.Command) {
 	obj := js.store.Get(c.Reads[0])
 	if obj == nil {
 		w.cfg.Logf("worker %s: save %s: missing object %s", w.id, c.ID, c.Reads[0])
+		w.reportSaveFailed(js, ckpt, c, "missing object")
 		return
 	}
 	if err := w.durable.Save(js.id, ckpt, c.Logical, obj.Version, obj.Data); err != nil {
 		w.cfg.Logf("worker %s: save %s: %v", w.id, c.ID, err)
+		w.reportSaveFailed(js, ckpt, c, err.Error())
+	}
+}
+
+// reportSaveFailed tells the controller a checkpoint Save errored. It is
+// sent immediately rather than batched so it precedes the command's
+// Complete on the FIFO control link: the controller must veto the commit
+// before the completion that would otherwise let it go through.
+func (w *Worker) reportSaveFailed(js *jstate, ckpt uint64, c *command.Command, reason string) {
+	if err := w.sendCtrl(&proto.SaveFailed{Job: js.id, Ckpt: ckpt, Logical: c.Logical, Err: reason}); err != nil {
+		w.cfg.Logf("worker %s: save-failed report: %v", w.id, err)
 	}
 }
 

@@ -225,9 +225,13 @@ type Worker struct {
 	rxBytes        atomic.Int64
 
 	// dataMu guards dataConns, the accepted inbound data-plane
-	// connections, closed at shutdown so their pumps exit.
-	dataMu    sync.Mutex
-	dataConns []transport.Conn
+	// connections, closed at shutdown so their pumps exit. dataClosed
+	// marks that teardown already swept the list: a conn the accept loop
+	// raced past the sweep must be closed by the acceptor itself, or its
+	// pump outlives Stop.
+	dataMu     sync.Mutex
+	dataConns  []transport.Conn
+	dataClosed bool
 
 	// bdMsg is the reused BlockDone scratch message (event-loop
 	// confined; sendCtrl marshals synchronously).
@@ -537,6 +541,10 @@ func (w *Worker) dropJob(id ids.JobID) {
 // ID returns the controller-assigned worker ID (valid after Start).
 func (w *Worker) ID() ids.WorkerID { return w.id }
 
+// Spill exposes the worker's spill allocator (valid after Start); chaos
+// tests arm its fault hook to reach the spill error paths.
+func (w *Worker) Spill() *datastore.SpillFS { return w.spill }
+
 // StoreOf exposes one job's object store (tests and Gets); nil if the job
 // has no namespace on this worker.
 func (w *Worker) StoreOf(job ids.JobID) *datastore.Store {
@@ -736,6 +744,11 @@ func (w *Worker) acceptLoop(dl transport.Listener) {
 			return
 		}
 		w.dataMu.Lock()
+		if w.dataClosed {
+			w.dataMu.Unlock()
+			conn.Close()
+			continue
+		}
 		w.dataConns = append(w.dataConns, conn)
 		w.dataMu.Unlock()
 		w.wg.Add(1)
@@ -768,6 +781,7 @@ func (w *Worker) run(dl transport.Listener) {
 		dl.Close()
 		w.closePeers()
 		w.dataMu.Lock()
+		w.dataClosed = true
 		conns := w.dataConns
 		w.dataConns = nil
 		w.dataMu.Unlock()
