@@ -38,6 +38,7 @@ var experiments = []struct {
 	{"fig10", "Migration every 5 iterations: edits vs reinstall", bench.Fig10},
 	{"fig11", "Water simulation: MPI vs Nimbus vs Nimbus w/o templates", bench.Fig11},
 	{"shuffle", "Streaming data plane: shuffle goodput, flow control, spill", bench.Shuffle},
+	{"frontdoor", "Driver front door: session mux, admission latency, fair share", bench.FrontDoor},
 }
 
 func main() {

@@ -111,6 +111,10 @@ type Scale struct {
 	ShuffleWorkers   int
 	ShuffleParts     int
 	ShufflePartBytes int
+	// FrontDoor (session multiplexing) calibration: herd sizes to sweep,
+	// and the iteration bound of the concurrent predicate loop.
+	FrontDoorSessions  []int
+	FrontDoorLoopIters int
 }
 
 // Quick returns a laptop/CI-sized scale preserving the paper's shapes.
@@ -132,6 +136,7 @@ func Quick() Scale {
 		WaterGridDur: time.Millisecond, WaterReduceDur: 100 * time.Microsecond,
 		WaterSubsteps: 2, WaterReinit: 3, WaterJacobi: 6, WaterFrames: 2,
 		ShuffleWorkers: 4, ShuffleParts: 8, ShufflePartBytes: 4 << 20,
+		FrontDoorSessions: []int{1000}, FrontDoorLoopIters: 50,
 	}
 }
 
@@ -155,6 +160,7 @@ func Paper() Scale {
 		WaterGridDur: 6 * time.Millisecond, WaterReduceDur: 100 * time.Microsecond,
 		WaterSubsteps: 3, WaterReinit: 4, WaterJacobi: 10, WaterFrames: 2,
 		ShuffleWorkers: 8, ShuffleParts: 32, ShufflePartBytes: 16 << 20,
+		FrontDoorSessions: []int{1000, 10000}, FrontDoorLoopIters: 100,
 	}
 }
 

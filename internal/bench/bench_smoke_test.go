@@ -20,6 +20,8 @@ func smokeScale() Scale {
 	s.WaterParts = 4
 	s.WaterGridDur = 200 * time.Microsecond
 	s.WaterSubsteps, s.WaterReinit, s.WaterJacobi, s.WaterFrames = 1, 1, 2, 1
+	s.FrontDoorSessions = []int{64}
+	s.FrontDoorLoopIters = 10
 	return s
 }
 
@@ -29,6 +31,7 @@ func TestEveryExperimentRuns(t *testing.T) {
 	runners := map[string]func(Scale) (*Table, error){
 		"fig1": Fig1, "table1": Table1, "table2": Table2, "table3": Table3,
 		"fig7": Fig7, "fig8": Fig8, "fig9": Fig9, "fig10": Fig10, "fig11": Fig11,
+		"frontdoor": FrontDoor,
 	}
 	s := smokeScale()
 	for name, run := range runners {

@@ -1027,7 +1027,7 @@ func (s Scale) runShuffle(chunk int, budget int64, compress bool) (uint64, time.
 // All runs every experiment at the given scale.
 func All(s Scale) ([]*Table, error) {
 	runners := []func(Scale) (*Table, error){
-		Fig1, Table1, Table2, Table3, Fig7, Fig8, Fig9, Fig10, Fig11, Shuffle,
+		Fig1, Table1, Table2, Table3, Fig7, Fig8, Fig9, Fig10, Fig11, Shuffle, FrontDoor,
 	}
 	var out []*Table
 	for _, r := range runners {

@@ -69,6 +69,15 @@ type Options struct {
 	BuildParallelism int
 	// Hooks forwards controller test/fault-injection hooks.
 	Hooks controller.Hooks
+	// Front-door knobs, forwarded to the controller: live-job cap,
+	// admission queue depth, per-tenant fair-share weights and rate
+	// limits. Zeroes take the controller defaults (unbounded admission,
+	// no queue, equal weights, no rate limit).
+	MaxJobs       int
+	AdmitQueue    int
+	TenantWeights map[string]int
+	TenantRate    float64
+	TenantBurst   int
 	// Data-plane knobs, forwarded to every worker: transfer chunk size,
 	// per-peer sender queue bound, receive reassembly budget (past it
 	// transfers spill to disk), spill directory, and per-chunk
@@ -167,6 +176,11 @@ func (c *Cluster) controllerConfig() controller.Config {
 		BuildParallelism:   c.opts.BuildParallelism,
 		LeaseTTL:           c.opts.LeaseTTL,
 		ReattachDeadline:   c.opts.ReattachDeadline,
+		MaxJobs:            c.opts.MaxJobs,
+		AdmitQueue:         c.opts.AdmitQueue,
+		TenantWeights:      c.opts.TenantWeights,
+		TenantRate:         c.opts.TenantRate,
+		TenantBurst:        c.opts.TenantBurst,
 		Hooks:              c.opts.Hooks,
 		Logf:               c.opts.Logf,
 	}
@@ -200,6 +214,14 @@ func (c *Cluster) AddWorker() (*worker.Worker, error) {
 // Driver opens a driver session against the cluster.
 func (c *Cluster) Driver(name string) (*driver.Driver, error) {
 	return driver.Connect(c.net, ControlAddr, name)
+}
+
+// Gateway builds a session multiplexer over the cluster transport: driver
+// sessions opened through it share at most conns connections to the
+// controller (0 = driver.DefaultMaxConns). Callers pass it as the
+// transport to driver.ConnectOpts.
+func (c *Cluster) Gateway(conns int) *driver.Mux {
+	return driver.NewMux(c.net, conns)
 }
 
 // KillWorker abruptly stops worker i (0-based), simulating a failure the

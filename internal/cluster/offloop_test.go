@@ -56,10 +56,17 @@ func TestEventLoopLiveDuringBuild(t *testing.T) {
 		}
 	}()
 
+	// The race detector adds scheduling jitter well past 50ms, so widen
+	// the timeout window there; the property under test (beats processed
+	// across several full windows mid-build) is window-count relative.
+	hbTimeout := 50 * time.Millisecond
+	if raceEnabled {
+		hbTimeout = 250 * time.Millisecond
+	}
 	c := startTestCluster(t, Options{
 		Workers:          4,
 		HeartbeatEvery:   5 * time.Millisecond,
-		HeartbeatTimeout: 50 * time.Millisecond,
+		HeartbeatTimeout: hbTimeout,
 		Hooks:            hooks,
 	})
 	d, err := c.Driver("test")
@@ -118,7 +125,7 @@ func TestEventLoopLiveDuringBuild(t *testing.T) {
 	// (c) Ride out several heartbeat-timeout windows mid-build. If the
 	// loop were blocked, beats would go unprocessed and the workers would
 	// be declared failed once the stall ended.
-	time.Sleep(150 * time.Millisecond)
+	time.Sleep(3 * hbTimeout)
 	if got := c.Controller.Stats.BuildsInFlight.Load(); got != 1 {
 		t.Fatalf("builds in flight after stall = %d, want 1", got)
 	}

@@ -1,0 +1,9 @@
+//go:build race
+
+package cluster
+
+// raceEnabled scales down the heaviest load tests under the race
+// detector, whose memory and scheduling overhead on a 10k-session herd
+// causes GC pauses long enough to blow the tight heartbeat windows of
+// unrelated tests later in the package run.
+const raceEnabled = true

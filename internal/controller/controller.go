@@ -100,6 +100,24 @@ type Config struct {
 	// the job is torn down cleanly instead of waiting (and replaying)
 	// forever. Zero disables the deadline.
 	ReattachDeadline time.Duration
+	// MaxJobs caps concurrently admitted driver jobs (0 = unlimited).
+	// Past the cap, registrations wait in the bounded admission queue or
+	// are rejected with a typed AdmissionReject — never blocked forever.
+	MaxJobs int
+	// AdmitQueue bounds how many registrations may wait for a job slot
+	// once MaxJobs is reached (0 = reject immediately). The queue orders
+	// by descending driver priority, FIFO within a band.
+	AdmitQueue int
+	// TenantWeights sets hierarchical fair-share weights per tenant
+	// (missing or non-positive = 1): executor slots divide first among
+	// tenants with live jobs by these weights, then among each tenant's
+	// jobs by job weight.
+	TenantWeights map[string]int
+	// TenantRate rate-limits admissions per tenant (admissions/second,
+	// 0 = unlimited); TenantBurst is the token-bucket depth (min 1).
+	// Past the limit, registration is rejected with a retry-after hint.
+	TenantRate  float64
+	TenantBurst int
 	// Hooks are optional test/fault-injection instrumentation points.
 	Hooks Hooks
 	// Logf receives diagnostics. Nil defaults to log.Printf.
@@ -135,10 +153,14 @@ type Stats struct {
 	BuildsInFlight atomic.Int64
 	// JobsAdmitted / JobsEnded count driver-job lifecycle events;
 	// SlotRebalances counts fair-share recomputations of the per-worker
-	// executor-slot quotas.
-	JobsAdmitted   atomic.Uint64
-	JobsEnded      atomic.Uint64
-	SlotRebalances atomic.Uint64
+	// executor-slot quotas. AdmissionsQueued counts registrations that
+	// waited in the bounded admission queue; AdmissionsRejected counts
+	// typed rejections (queue full, job cap, rate limit, shutdown).
+	JobsAdmitted       atomic.Uint64
+	JobsEnded          atomic.Uint64
+	SlotRebalances     atomic.Uint64
+	AdmissionsQueued   atomic.Uint64
+	AdmissionsRejected atomic.Uint64
 	// PredicateEvals counts controller-side loop-predicate evaluations
 	// (driver API v2 InstantiateWhile); PipelinedGets counts driver Gets
 	// that arrived while earlier Gets of the same job were still
@@ -208,6 +230,22 @@ type Controller struct {
 	// coalesced flush.
 	dirty []*workerState
 
+	// Front door (frontdoor.go): gateway connections with per-session
+	// staging, the bounded admission queue, tenant fair-share aggregates
+	// (activeTW sums the weights of tenants with live jobs; dirty sets
+	// drive the diffed quota flush), per-tenant admission rate buckets,
+	// and the SLO latency rings.
+	gateways        map[transport.Conn]*gwConn
+	dirtyGws        []*gwConn
+	admitQ          []*admitWait
+	tenants         map[string]*tenantState
+	activeTW        int
+	dirtyTenants    map[*tenantState]struct{}
+	allTenantsDirty bool
+	rateBuckets     map[string]*tokenBucket
+	admLat          latencyRecorder
+	loopLat         latencyRecorder
+
 	// Failover state (repl.go, takeover.go): the attached standby's
 	// replication stream (nil without one), whether any standby ever
 	// attached (it caps the journal-truncation point drivers learn — a
@@ -243,6 +281,14 @@ type jobState struct {
 	name   string
 	weight int
 	conn   transport.Conn
+	// Front-door identity: the fair-share tenant, the admission-queue
+	// priority, and — for sessions multiplexed over a gateway connection
+	// — the gateway and session the job is bound to (conn is nil then;
+	// driver-bound sends stage through the gateway's coalescer).
+	tenant   string
+	priority uint8
+	gw       *gwConn
+	sess     uint64
 	// dead marks a torn-down job so late build commits and stray events
 	// drop instead of resurrecting state.
 	dead bool
@@ -336,6 +382,10 @@ type workerState struct {
 	// outq stages messages for the coalesced per-event flush (event-loop
 	// confined between flushes; a flush goroutine owns it transiently).
 	outq []proto.Msg
+	// quotaSent caches the last slot quota sent per (tenant, job weight)
+	// share class, so the fair-share flush re-sends only classes whose
+	// share actually moved (event-loop confined).
+	quotaSent map[tenantClass]int
 }
 
 // varMeta is the controller's record of one application variable.
@@ -408,6 +458,15 @@ type cevent struct {
 	fn    func()
 	rerr  error
 	isDrv bool
+	// gw/sess stamp events demuxed from a gateway connection; the
+	// session → job resolution happens on the event loop, where the
+	// binding lives.
+	gw   *gwConn
+	sess uint64
+	// at is the decode instant of RegisterDriver messages, stamped off
+	// the event loop so admission latency includes time spent waiting in
+	// the event queue — the dominant term under a thundering herd.
+	at time.Time
 }
 
 type ceventKind uint8
@@ -438,6 +497,11 @@ func New(cfg Config) *Controller {
 		buildSem: make(chan struct{}, cfg.BuildParallelism),
 		buildPar: cfg.BuildParallelism,
 		conns:    make(map[transport.Conn]struct{}),
+
+		gateways:     make(map[transport.Conn]*gwConn),
+		tenants:      make(map[string]*tenantState),
+		dirtyTenants: make(map[*tenantState]struct{}),
+		rateBuckets:  make(map[string]*tokenBucket),
 	}
 	return c
 }
@@ -518,6 +582,8 @@ func (c *Controller) Stop() {
 		for _, j := range c.jobs {
 			c.sendDriver(j, &proto.Shutdown{})
 		}
+		// Waiting registrations get a typed rejection, not silence.
+		c.rejectAllQueued(proto.RejectShuttingDown, "controller shutting down")
 		// Flush before closing: staged shutdowns must hit the wire.
 		c.flushSends()
 		for _, ws := range c.workers {
@@ -527,6 +593,9 @@ func (c *Controller) Stop() {
 			if j.conn != nil {
 				j.conn.Close()
 			}
+		}
+		for conn := range c.gateways {
+			conn.Close()
 		}
 		if c.repl != nil {
 			// A graceful stop must not trigger a takeover: the standby
@@ -649,11 +718,11 @@ func (c *Controller) handshake(conn transport.Conn) {
 		return
 	}
 	switch msg.(type) {
-	case *proto.RegisterWorker, *proto.RegisterDriver,
+	case *proto.RegisterWorker, *proto.RegisterDriver, *proto.GatewayHello,
 		*proto.ReplAttach, *proto.WorkerReconnect, *proto.DriverReattach:
 		c.trackConn(conn)
 		select {
-		case c.events <- cevent{kind: cevMsg, msg: msg, conn: conn}:
+		case c.events <- cevent{kind: cevMsg, msg: msg, conn: conn, at: time.Now()}:
 		case <-c.stopped:
 			conn.Close()
 		}
@@ -737,7 +806,13 @@ func (c *Controller) handleMsg(ev cevent) {
 		c.registerWorker(m, ev.conn)
 		return
 	case *proto.RegisterDriver:
-		c.registerDriver(m, ev.conn)
+		c.registerDriver(m, ev.conn, ev.gw, ev.sess, ev.at)
+		return
+	case *proto.GatewayHello:
+		c.registerGateway(ev.conn)
+		return
+	case *proto.SessionClose:
+		c.handleSessionClose(ev.gw, m.Session)
 		return
 	case *proto.ReplAttach:
 		c.handleReplAttach(ev.conn)
@@ -749,7 +824,7 @@ func (c *Controller) handleMsg(ev cevent) {
 		c.reconnectWorker(m, ev.conn)
 		return
 	case *proto.DriverReattach:
-		c.reattachDriver(m, ev.conn)
+		c.reattachDriver(m, ev.conn, ev.gw, ev.sess)
 		return
 	case *proto.Complete:
 		if j := c.jobs[m.Job]; j != nil {
@@ -787,9 +862,15 @@ func (c *Controller) handleMsg(ev cevent) {
 		return
 	}
 
-	j := c.jobs[ev.job]
+	job := ev.job
+	if ev.gw != nil {
+		// Gateway events resolve their job through the session binding;
+		// an unbound session means it was rejected or already torn down.
+		job = ev.gw.sessions[ev.sess]
+	}
+	j := c.jobs[job]
 	if j == nil {
-		c.cfg.Logf("controller: %s for unknown %s dropped", ev.msg.Kind(), ev.job)
+		c.cfg.Logf("controller: %s for unknown %s dropped", ev.msg.Kind(), job)
 		return
 	}
 	switch m := ev.msg.(type) {
@@ -864,21 +945,6 @@ func (c *Controller) peerMap() map[ids.WorkerID]string {
 	return peers
 }
 
-// registerDriver admits a job: allocate its JobID and state, hand the
-// driver its job handle, rebalance slot quotas, and start pumping the
-// connection under the job's scope.
-func (c *Controller) registerDriver(m *proto.RegisterDriver, conn transport.Conn) {
-	j := c.newJobState(m.Name, m.Weight, conn)
-	c.jobs[j.id] = j
-	c.totalWeight += j.weight
-	c.Stats.JobsAdmitted.Add(1)
-	c.replJobStart(j)
-	c.sendDriver(j, &proto.RegisterDriverAck{Job: j.id})
-	c.rebalanceSlots()
-	c.wg.Add(1)
-	go c.pump(conn, ids.NoWorker, j.id, true)
-}
-
 // endJob tears one job down: worker-side namespaces are dropped, in-flight
 // builds are orphaned (their commits see dead and drop), fetches for the
 // job will no longer resolve, and slot quotas rebalance over the
@@ -891,6 +957,7 @@ func (c *Controller) endJob(j *jobState, reason string) {
 	j.dead = true
 	delete(c.jobs, j.id)
 	c.totalWeight -= j.weight
+	c.dropJobTenant(j)
 	c.Stats.JobsEnded.Add(1)
 	c.replJobEnd(j)
 	c.cfg.Logf("controller: %s ended (%s): %d templates, %d outstanding dropped",
@@ -909,40 +976,53 @@ func (c *Controller) endJob(j *jobState, reason string) {
 			delete(c.chunkRx, seq)
 		}
 	}
-	if j.conn != nil {
+	if j.gw != nil {
+		// A multiplexed session: unbind it and tell the driver-side mux to
+		// retire the virtual channel. The shared connection lives on — its
+		// other sessions are not this job's business.
+		if j.gw.sessions[j.sess] == j.id {
+			delete(j.gw.sessions, j.sess)
+			c.stageGatewayTop(j.gw, &proto.SessionClose{Session: j.sess})
+		}
+	} else if j.conn != nil {
 		j.conn.Close()
 	}
-	c.rebalanceSlots()
+	// A freed job slot admits the head of the bounded admission queue.
+	c.drainAdmissions()
 }
 
-// rebalanceSlots recomputes the weighted fair-share executor-slot quota of
-// every admitted job on every worker and pushes the assignments. Shares
-// are proportional to job weight, floored at one slot so every tenant can
-// make progress; the worker-side dispatcher is work-conserving, so slots a
-// tenant leaves idle are still usable by others.
+// rebalanceSlots marks every tenant's fair-share quotas dirty; the
+// end-of-event flushQuotas recomputes and pushes only the (tenant, job
+// weight) classes whose share actually moved. The worker-side dispatcher
+// is work-conserving, so slots a tenant leaves idle are still usable by
+// others.
 func (c *Controller) rebalanceSlots() {
-	if len(c.jobs) == 0 || c.totalWeight <= 0 {
+	if len(c.jobs) == 0 {
 		return
 	}
-	c.Stats.SlotRebalances.Add(1)
-	for _, ws := range c.workers {
-		if ws.alive {
-			c.sendQuotas(ws)
-		}
-	}
+	c.allTenantsDirty = true
 }
 
-// sendQuotas pushes every admitted job's fair-share quota to one worker.
+// sendQuotas pushes every admitted job's fair-share quota to one worker —
+// the full seed a joining (or reconnecting) worker needs — and primes its
+// per-class quota cache for the diffed flush.
 func (c *Controller) sendQuotas(ws *workerState) {
-	if c.totalWeight <= 0 {
-		return
+	if ws.quotaSent == nil {
+		ws.quotaSent = make(map[tenantClass]int)
+	} else {
+		clear(ws.quotaSent)
 	}
-	for _, j := range c.jobs {
-		share := ws.slots * j.weight / c.totalWeight
-		if share < 1 {
-			share = 1
+	for _, t := range c.tenants {
+		for weight, jobs := range t.classes {
+			if len(jobs) == 0 {
+				continue
+			}
+			s := c.classShare(ws, t, weight)
+			ws.quotaSent[tenantClass{t.name, weight}] = s
+			for j := range jobs {
+				c.sendWorker(ws, &proto.JobQuota{Job: j.id, Slots: s})
+			}
 		}
-		c.sendWorker(ws, &proto.JobQuota{Job: j.id, Slots: share})
 	}
 }
 
@@ -973,6 +1053,10 @@ const parallelFlushMin = 4
 // disjoint state, so only the shared Stats counters (atomics) and the pools
 // (sync.Pool) are contended.
 func (c *Controller) flushSends() {
+	// Fair-share quota diffs stage worker messages, so they flush first;
+	// gateway frames are per-connection and flush independently.
+	c.flushQuotas()
+	c.flushGateways()
 	if len(c.dirty) == 0 {
 		return
 	}
@@ -1026,10 +1110,19 @@ func (c *Controller) flushWorker(ws *workerState) {
 }
 
 func (c *Controller) sendDriver(j *jobState, m proto.Msg) {
+	if j == nil || j.dead {
+		return
+	}
+	if j.gw != nil {
+		// A multiplexed session: stage under its session for the
+		// per-gateway coalesced flush.
+		c.stageGateway(j.gw, j.sess, m)
+		return
+	}
 	// A nil conn is a promoted job whose driver has not reattached yet:
 	// the message is dropped, and the driver's reattach reconciliation
 	// (journal resend + re-issued requests) recreates anything it missed.
-	if j == nil || j.dead || j.conn == nil {
+	if j.conn == nil {
 		return
 	}
 	buf := proto.MarshalAppend(proto.GetBuf(), m)
@@ -1047,7 +1140,26 @@ func (c *Controller) handleClosed(ev cevent) {
 		c.standbyLost(ev.rerr)
 		return
 	}
+	if gw := c.gateways[ev.conn]; gw != nil {
+		c.handleGatewayClosed(gw, ev.rerr)
+		return
+	}
 	if ev.isDrv {
+		if ev.job == ids.NoJob {
+			// The connection closed before admission: drop its queue entry.
+			// If admission raced the close (the pump loaded the binding just
+			// before admitNow stored it), find the job by connection.
+			if c.dropQueuedConn(ev.conn) {
+				return
+			}
+			for _, j := range c.jobs {
+				if j.conn == ev.conn {
+					c.endJob(j, "driver disconnected")
+					return
+				}
+			}
+			return
+		}
 		// Only the job's current connection may end it: a reattach closes
 		// the stale connection, whose pump exit must not tear the job down.
 		if j := c.jobs[ev.job]; j != nil && (ev.conn == nil || ev.conn == j.conn) {

@@ -1,0 +1,143 @@
+package controller
+
+import (
+	"testing"
+	"time"
+
+	"nimbus/internal/ids"
+	"nimbus/internal/proto"
+)
+
+// fakeJob fabricates the minimal jobState the tenant fair-share
+// aggregates operate on.
+func fakeJob(id uint32, tenant string, weight int) *jobState {
+	return &jobState{id: ids.JobID(id), tenant: tenant, weight: weight}
+}
+
+// TestFrontDoorFairShareRatios: executor slots divide among tenants by
+// configured weight, then within a tenant by job weight. The acceptance
+// bound is 10%; the floored integer shares here land exact.
+func TestFrontDoorFairShareRatios(t *testing.T) {
+	c := New(Config{TenantWeights: map[string]int{"gold": 3, "bronze": 1}})
+	ws := &workerState{slots: 240, alive: true}
+
+	goldA := fakeJob(1, "gold", 1)
+	goldB := fakeJob(2, "gold", 2)
+	bronzeA := fakeJob(3, "bronze", 1)
+	bronzeB := fakeJob(4, "bronze", 1)
+	for _, j := range []*jobState{goldA, goldB, bronzeA, bronzeB} {
+		c.adoptJobTenant(j)
+	}
+
+	share := func(j *jobState) int { return c.classShareFor(ws, j) }
+	// activeTW = 4. gold jobWeight = 3: 240*3*1/(4*3) = 60 and twice that
+	// for the weight-2 job. bronze jobWeight = 2: 240*1*1/(4*2) = 30.
+	if got := share(goldA); got != 60 {
+		t.Errorf("gold weight-1 share = %d, want 60", got)
+	}
+	if got := share(goldB); got != 120 {
+		t.Errorf("gold weight-2 share = %d, want 120", got)
+	}
+	if got := share(bronzeA); got != 30 {
+		t.Errorf("bronze share = %d, want 30", got)
+	}
+
+	goldSum := float64(share(goldA) + share(goldB))
+	bronzeSum := float64(share(bronzeA) + share(bronzeB))
+	if ratio := goldSum / bronzeSum; ratio < 2.7 || ratio > 3.3 {
+		t.Errorf("tenant share ratio = %.2f, want 3.0 ±10%%", ratio)
+	}
+
+	// A tenant going idle re-divides the pool among the survivors.
+	c.dropJobTenant(bronzeA)
+	c.dropJobTenant(bronzeB)
+	if !c.allTenantsDirty {
+		t.Error("tenant going idle must mark all tenants dirty")
+	}
+	// activeTW = 3: gold weight-1 share = 240*3*1/(3*3) = 80.
+	if got := share(goldA); got != 80 {
+		t.Errorf("gold share after bronze idle = %d, want 80", got)
+	}
+
+	// Unknown tenants default to weight 1; the share never drops below one
+	// slot, so every admitted job can make progress.
+	tiny := &workerState{slots: 1, alive: true}
+	swarm := fakeJob(10, "swarm", 1)
+	c.adoptJobTenant(swarm)
+	if got := c.classShareFor(tiny, swarm); got != 1 {
+		t.Errorf("floored share = %d, want 1", got)
+	}
+}
+
+// TestAdmissionQueueOrder: the bounded queue admits by descending
+// priority, FIFO within a band.
+func TestAdmissionQueueOrder(t *testing.T) {
+	c := New(Config{})
+	enq := func(name string, prio uint8) {
+		c.enqueueAdmission(&admitWait{m: &proto.RegisterDriver{Name: name, Priority: prio}})
+	}
+	enq("low", 0)
+	enq("high-1", 2)
+	enq("mid", 1)
+	enq("high-2", 2)
+
+	want := []string{"high-1", "high-2", "mid", "low"}
+	if len(c.admitQ) != len(want) {
+		t.Fatalf("queue length = %d, want %d", len(c.admitQ), len(want))
+	}
+	for i, w := range c.admitQ {
+		if w.m.Name != want[i] {
+			t.Errorf("queue[%d] = %s, want %s", i, w.m.Name, want[i])
+		}
+	}
+}
+
+// TestAdmissionRateLimit: the per-tenant token bucket admits the burst,
+// then rejects with a positive wait hint, and refills over time.
+func TestAdmissionRateLimit(t *testing.T) {
+	c := New(Config{TenantRate: 10, TenantBurst: 2})
+	now := time.Unix(1000, 0)
+	for i := 0; i < 2; i++ {
+		if wait, limited := c.admitRateLimited("acme", now); limited {
+			t.Fatalf("burst admission %d rate limited (wait %v)", i, wait)
+		}
+	}
+	wait, limited := c.admitRateLimited("acme", now)
+	if !limited || wait <= 0 {
+		t.Fatalf("drained bucket: limited=%v wait=%v, want limited with positive wait", limited, wait)
+	}
+	// Tenants do not share buckets.
+	if _, limited := c.admitRateLimited("other", now); limited {
+		t.Fatal("fresh tenant must not inherit a drained bucket")
+	}
+	// 10 tokens/s: 100ms refills the one token the admission needs.
+	if wait, limited := c.admitRateLimited("acme", now.Add(150*time.Millisecond)); limited {
+		t.Fatalf("refilled bucket still limited (wait %v)", wait)
+	}
+}
+
+// TestFrontDoorLatencyQuantiles: the ring recorder's quantiles track the
+// recent window.
+func TestFrontDoorLatencyQuantiles(t *testing.T) {
+	var r latencyRecorder
+	if r.quantile(0.99) != 0 {
+		t.Fatal("empty recorder must report zero")
+	}
+	for i := 1; i <= 100; i++ {
+		r.record(time.Duration(i) * time.Millisecond)
+	}
+	if p50 := r.quantile(0.50); p50 < 45*time.Millisecond || p50 > 55*time.Millisecond {
+		t.Errorf("p50 = %v, want ~50ms", p50)
+	}
+	if p99 := r.quantile(0.99); p99 < 95*time.Millisecond || p99 > 100*time.Millisecond {
+		t.Errorf("p99 = %v, want ~99ms", p99)
+	}
+	// Overflow wraps: a window of identical newer samples displaces the
+	// old distribution.
+	for i := 0; i < latencyWindow; i++ {
+		r.record(7 * time.Millisecond)
+	}
+	if p99 := r.quantile(0.99); p99 != 7*time.Millisecond {
+		t.Errorf("post-wrap p99 = %v, want 7ms", p99)
+	}
+}

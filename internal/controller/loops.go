@@ -2,6 +2,7 @@ package controller
 
 import (
 	"fmt"
+	"time"
 
 	"nimbus/internal/ids"
 	"nimbus/internal/params"
@@ -34,6 +35,10 @@ type loopState struct {
 	params    []params.Blob
 	iters     int
 	lastValue float64
+	// iterStart is when the current iteration was instantiated; the
+	// instantiate → quiesce → predicate-eval span feeds the loop-iteration
+	// latency SLO window.
+	iterStart time.Time
 	// fetching marks a predicate fetch in flight so repeated quiesce
 	// events do not issue duplicate fetches.
 	fetching bool
@@ -87,6 +92,7 @@ func (c *Controller) stepLoop(j *jobState, lp *loopState) bool {
 	// recovery replays them) but must not advance the job's applied
 	// driver-op count, which indexes the DRIVER's journal for reattach
 	// reconciliation — the driver never journaled these.
+	lp.iterStart = time.Now()
 	j.loopStepping = true
 	ok := c.handleInstantiateBlock(j, &proto.InstantiateBlock{Name: lp.name, ParamArray: lp.params})
 	j.loopStepping = false
@@ -131,6 +137,9 @@ func (c *Controller) evalLoopPred(j *jobState, lp *loopState, data []byte) {
 		return // loop aborted while the fetch was in flight
 	}
 	c.Stats.PredicateEvals.Add(1)
+	if !lp.iterStart.IsZero() {
+		c.loopLat.record(time.Since(lp.iterStart))
+	}
 	vals, err := params.DecodeFloats(data)
 	if err != nil || len(vals) == 0 {
 		c.finishLoop(j, lp, fmt.Sprintf("predicate %s[%d] value empty or unreadable (%v)",

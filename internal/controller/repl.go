@@ -121,7 +121,7 @@ func (c *Controller) snapshotReplica() *proto.ReplSnapshot {
 	}
 	for _, j := range c.jobList() {
 		rj := &proto.ReplJob{
-			Job: j.id, Name: j.name, Weight: j.weight, Applied: j.applied,
+			Job: j.id, Name: j.name, Weight: j.weight, Tenant: j.tenant, Applied: j.applied,
 			Ckpt: j.ckpt.last, CkptCount: j.ckpt.count,
 			NextCmd: j.cmdIDs.Peek(), NextObj: j.objIDs.Peek(),
 		}
@@ -247,7 +247,7 @@ func (c *Controller) replJobStart(j *jobState) {
 	if c.repl == nil {
 		return
 	}
-	if err := c.repl.send(&proto.ReplJobStart{Job: j.id, Name: j.name, Weight: j.weight}); err != nil {
+	if err := c.repl.send(&proto.ReplJobStart{Job: j.id, Name: j.name, Weight: j.weight, Tenant: j.tenant}); err != nil {
 		c.standbyLost(err)
 	}
 }

@@ -58,6 +58,7 @@ type shadowState struct {
 type shadowJob struct {
 	name      string
 	weight    int
+	tenant    string
 	applied   uint64
 	ckpt      uint64
 	ckptCount uint64
@@ -153,7 +154,7 @@ func (s *Standby) adoptSnapshot(snap *proto.ReplSnapshot) {
 	}
 	for _, rj := range snap.Jobs {
 		sj := &shadowJob{
-			name: rj.Name, weight: rj.Weight, applied: rj.Applied,
+			name: rj.Name, weight: rj.Weight, tenant: rj.Tenant, applied: rj.Applied,
 			ckpt: rj.Ckpt, ckptCount: rj.CkptCount,
 			manifest: rj.Manifest, defs: rj.Defs, oplog: rj.Oplog,
 			nextCmd: rj.NextCmd, nextObj: rj.NextObj,
@@ -293,7 +294,7 @@ func (s *Standby) snapshot() *proto.ReplSnapshot {
 	for _, id := range sh.order {
 		sj := sh.jobs[id]
 		snap.Jobs = append(snap.Jobs, &proto.ReplJob{
-			Job: id, Name: sj.name, Weight: sj.weight, Applied: sj.applied,
+			Job: id, Name: sj.name, Weight: sj.weight, Tenant: sj.tenant, Applied: sj.applied,
 			Ckpt: sj.ckpt, CkptCount: sj.ckptCount, Manifest: sj.manifest,
 			Defs: sj.defs, Oplog: sj.oplog,
 			NextCmd: sj.nextCmd, NextObj: sj.nextObj,
@@ -357,7 +358,7 @@ func (s *Standby) apply(m proto.Msg) {
 			sj.oplog = append([][]byte(nil), sj.oplog[v.Drop:]...)
 		}
 	case *proto.ReplJobStart:
-		sj := &shadowJob{name: v.Name, weight: v.Weight}
+		sj := &shadowJob{name: v.Name, weight: v.Weight, tenant: v.Tenant}
 		sh.jobs[v.Job] = sj
 		sh.order = append(sh.order, v.Job)
 		if seq := uint32(v.Job); seq > sh.jobSeq {

@@ -83,9 +83,11 @@ func (c *Controller) restoreJob(rj *proto.ReplJob) {
 	j.defs = decodeOps(rj.Defs, c.cfg.Logf)
 	j.oplog = decodeOps(rj.Oplog, c.cfg.Logf)
 	j.applied = rj.Applied
+	j.tenant = rj.Tenant
 	j.pendingTakeover = true
 	c.jobs[j.id] = j
 	c.totalWeight += j.weight
+	c.adoptJobTenant(j)
 }
 
 // decodeOps unmarshals a replicated raw-op list.
@@ -250,15 +252,19 @@ func (c *Controller) reconnectWorker(m *proto.WorkerReconnect, conn transport.Co
 // controller. The ack carries the job's applied-op count: the driver
 // resends its journal suffix past it, which applies on top of the
 // takeover recovery through the op fence in program order.
-func (c *Controller) reattachDriver(m *proto.DriverReattach, conn transport.Conn) {
+func (c *Controller) reattachDriver(m *proto.DriverReattach, conn transport.Conn, gw *gwConn, sess uint64) {
 	j := c.jobs[m.Job]
 	if j == nil || j.dead {
 		// Unknown job: the job ended before the failover, or this is not
-		// the controller the driver thinks it is. Nack directly — there is
-		// no jobState to stage sends through.
-		buf := proto.MarshalAppend(proto.GetBuf(), &proto.ReattachAck{
-			Job: m.Job, Err: fmt.Sprintf("no such job %s", m.Job),
-		})
+		// the controller the driver thinks it is. Nack the session — for a
+		// gateway session the shared connection stays up for its neighbors.
+		nack := &proto.ReattachAck{Job: m.Job, Err: fmt.Sprintf("no such job %s", m.Job)}
+		if gw != nil {
+			c.stageGateway(gw, sess, nack)
+			c.stageGatewayTop(gw, &proto.SessionClose{Session: sess})
+			return
+		}
+		buf := proto.MarshalAppend(proto.GetBuf(), nack)
 		if owned, _ := transport.SendOwned(conn, buf); !owned {
 			proto.PutBuf(buf)
 		}
@@ -266,10 +272,26 @@ func (c *Controller) reattachDriver(m *proto.DriverReattach, conn transport.Conn
 		c.untrackConn(conn)
 		return
 	}
+	// Unbind the stale attachment: a dedicated conn is closed, a gateway
+	// session binding removed. Its pump exit (or SessionClose) must not
+	// tear the job down, which the current-conn checks guarantee.
+	if j.gw != nil && j.gw.sessions[j.sess] == j.id {
+		delete(j.gw.sessions, j.sess)
+	}
 	if j.conn != nil {
 		j.conn.Close()
 	}
+	if gw != nil {
+		j.conn = nil
+		j.gw = gw
+		j.sess = sess
+		gw.sessions[sess] = j.id
+		c.sendDriver(j, &proto.ReattachAck{Job: j.id, Applied: j.applied, Ok: true})
+		return
+	}
 	j.conn = conn
+	j.gw = nil
+	j.sess = 0
 	c.sendDriver(j, &proto.ReattachAck{Job: j.id, Applied: j.applied, Ok: true})
 	c.wg.Add(1)
 	go c.pump(conn, ids.NoWorker, j.id, true)

@@ -38,6 +38,7 @@ package driver
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -63,12 +64,14 @@ type Driver struct {
 	// reattach re-presents, the journal of logged fire-and-forget ops
 	// (marshaled copies, indexed by opsSent), and opsSent itself — the
 	// count the controller's per-job applied counter mirrors.
-	tr      transport.Transport
-	addrs   []string
-	name    string
-	weight  int
-	journal []journalEntry
-	opsSent uint64
+	tr       transport.Transport
+	addrs    []string
+	name     string
+	weight   int
+	tenant   string
+	priority uint8
+	journal  []journalEntry
+	opsSent  uint64
 	// inbox holds messages decoded from a batch frame but not yet
 	// consumed; inboxHead indexes the next message so consumption is O(1)
 	// without shifting.
@@ -195,6 +198,66 @@ func ConnectWeighted(tr transport.Transport, addr, name string, weight int) (*Dr
 // timeout (the OS's, for TCP) fires, at which point it closes any
 // connection it made and exits.
 func ConnectContext(ctx context.Context, tr transport.Transport, addr, name string, weight int, failover ...string) (*Driver, error) {
+	return ConnectOpts(ctx, tr, addr, Opts{Name: name, Weight: weight, Failover: failover})
+}
+
+// Opts bundles the session parameters for ConnectOpts. Name and Weight
+// mirror ConnectWeighted; the rest are front-door extras.
+type Opts struct {
+	// Name labels the session in controller logs and replication records.
+	Name string
+	// Weight is the fair-share weight among the tenant's jobs (<= 0 means
+	// 1): within a tenant, a weight-2 job receives twice the executor
+	// slots of a weight-1 job.
+	Weight int
+	// Tenant groups sessions for hierarchical fair share and per-tenant
+	// admission rate limits; empty means the default tenant.
+	Tenant string
+	// Priority orders the controller's bounded admission queue when the
+	// job cap is reached: higher admits first, FIFO within a band.
+	Priority uint8
+	// Failover lists additional controller endpoints to reattach through,
+	// as in ConnectFailover.
+	Failover []string
+}
+
+// ErrAdmissionRejected is the sentinel matched (via errors.Is) by every
+// typed admission rejection: queue full, job cap reached with no queue,
+// per-tenant rate limit, controller shutting down. Callers never block
+// forever on a saturated controller — they get this, usually wrapped in a
+// *RejectError carrying the retry-after hint.
+var ErrAdmissionRejected = errors.New("driver: admission rejected")
+
+// RejectError is a typed admission rejection from the controller's
+// bounded front door. It matches ErrAdmissionRejected under errors.Is.
+type RejectError struct {
+	// Code is the proto.Reject* reason.
+	Code uint8
+	// RetryAfter is the controller's backoff hint (zero when retrying is
+	// pointless, e.g. shutdown).
+	RetryAfter time.Duration
+	// Reason is the controller's human-readable explanation.
+	Reason string
+}
+
+func (e *RejectError) Error() string {
+	if e.RetryAfter > 0 {
+		return fmt.Sprintf("driver: admission rejected: %s (retry after %v)", e.Reason, e.RetryAfter)
+	}
+	return fmt.Sprintf("driver: admission rejected: %s", e.Reason)
+}
+
+// Is matches the ErrAdmissionRejected sentinel.
+func (e *RejectError) Is(target error) bool { return target == ErrAdmissionRejected }
+
+// ConnectOpts is the full-surface connect: ConnectContext's deadline
+// semantics plus the front-door session parameters (tenant, priority).
+// Pass a *Mux as tr to multiplex the session over a shared gateway
+// connection pool instead of a dedicated connection.
+func ConnectOpts(ctx context.Context, tr transport.Transport, addr string, o Opts) (*Driver, error) {
+	if o.Weight <= 0 {
+		o.Weight = 1
+	}
 	type result struct {
 		d   *Driver
 		err error
@@ -221,10 +284,13 @@ func ConnectContext(ctx context.Context, tr transport.Transport, addr, name stri
 		mu.Unlock()
 		d := &Driver{
 			conn: c, pending: make(map[uint64]*pendingReply),
-			tr: tr, addrs: append([]string{addr}, failover...),
-			name: name, weight: weight,
+			tr: tr, addrs: append([]string{addr}, o.Failover...),
+			name: o.Name, weight: o.Weight,
+			tenant: o.Tenant, priority: o.Priority,
 		}
-		if err := d.rawSend(&proto.RegisterDriver{Name: name, Weight: weight}); err != nil {
+		if err := d.rawSend(&proto.RegisterDriver{
+			Name: o.Name, Weight: o.Weight, Tenant: o.Tenant, Priority: o.Priority,
+		}); err != nil {
 			c.Close()
 			ch <- result{err: err}
 			return
@@ -263,6 +329,12 @@ func (d *Driver) awaitAdmission() (ids.JobID, error) {
 		switch m := m.(type) {
 		case *proto.RegisterDriverAck:
 			return m.Job, nil
+		case *proto.AdmissionReject:
+			return ids.NoJob, &RejectError{
+				Code:       m.Code,
+				RetryAfter: time.Duration(m.RetryAfterMillis) * time.Millisecond,
+				Reason:     m.Err,
+			}
 		case *proto.ErrorMsg:
 			return ids.NoJob, fmt.Errorf("controller error: %s", m.Text)
 		case *proto.Shutdown:

@@ -1,0 +1,460 @@
+package driver
+
+// This file implements the driver-side half of the gateway front door:
+// session multiplexing over a small pool of shared transport connections.
+//
+// A Mux is itself a transport.Transport whose Dial returns a lightweight
+// virtual connection (vconn) instead of a dedicated wire. Each vconn is
+// one driver session; its frames ride a shared gateway connection inside
+// MuxData envelopes, keyed by a session ID the mux allocates. The
+// controller's front door (internal/controller/frontdoor.go) demuxes the
+// envelopes back into per-job events, so the protocol inside a session is
+// byte-identical to a dedicated connection — RegisterDriver, the op
+// stream, JobEnd — and driver.Connect* work unchanged on top of a Mux.
+//
+// Two goroutines per shared connection do the heavy lifting:
+//
+//   - the writer drains a queue of envelopes accumulated by every vconn
+//     on the connection and coalesces them into one batch frame per
+//     wakeup, so 10k chatty sessions cost amortized one transport send
+//     per flush rather than one per message;
+//   - the reader unpacks inbound batch frames and routes each envelope
+//     to its vconn's inbox, an unbounded FIFO mirroring the in-memory
+//     transport's queue semantics.
+//
+// Failure semantics: a shared connection dying fails exactly the sessions
+// riding it — each vconn's Recv returns the error, and the driver's
+// normal reattach path re-dials through the Mux, landing the session on a
+// surviving (or fresh) shared connection. Sessions on other connections
+// never observe a neighbor connection's faults; the isolation tests pin
+// this invariant under chaos wire faults.
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"nimbus/internal/proto"
+	"nimbus/internal/transport"
+)
+
+// DefaultMaxConns is the shared-connection pool bound when MuxOpts leaves
+// it zero: the front-door benchmark drives 10k sessions over this many
+// wires.
+const DefaultMaxConns = 16
+
+// Mux multiplexes many driver sessions over at most maxConns shared
+// connections to a controller gateway. It implements transport.Transport:
+// pass it to Connect/ConnectOpts wherever a transport is expected. Dial
+// opens a new session; Listen is not supported.
+//
+// A Mux is safe for concurrent use; the Drivers opened through it remain
+// single-goroutine clients individually.
+type Mux struct {
+	tr       transport.Transport
+	maxConns int
+
+	mu       sync.Mutex
+	conns    []*muxConn
+	nextSess uint64
+	closed   bool
+}
+
+// NewMux returns a session mux dialing through tr, bounded to maxConns
+// shared connections (<= 0 means DefaultMaxConns).
+func NewMux(tr transport.Transport, maxConns int) *Mux {
+	if maxConns <= 0 {
+		maxConns = DefaultMaxConns
+	}
+	return &Mux{tr: tr, maxConns: maxConns}
+}
+
+// Dial opens a new virtual session channel to the gateway at addr. The
+// first maxConns sessions each open a shared connection; later sessions
+// ride the least-loaded live one.
+func (m *Mux) Dial(addr string) (transport.Conn, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil, transport.ErrClosed
+	}
+	// Prune connections that died since the last Dial so their slots are
+	// reusable and load counts ignore dead weight.
+	live := m.conns[:0]
+	for _, mc := range m.conns {
+		if !mc.isDead() {
+			live = append(live, mc)
+		}
+	}
+	m.conns = live
+	var mc *muxConn
+	if len(m.conns) < m.maxConns {
+		var err error
+		if mc, err = m.dialConn(addr); err != nil {
+			return nil, err
+		}
+		m.conns = append(m.conns, mc)
+	} else {
+		for _, c := range m.conns {
+			if mc == nil || c.load() < mc.load() {
+				mc = c
+			}
+		}
+		if mc == nil {
+			return nil, fmt.Errorf("driver: mux has no live gateway connections")
+		}
+	}
+	m.nextSess++
+	return mc.open(m.nextSess)
+}
+
+// Listen is unsupported: a Mux is a client-side front door only.
+func (m *Mux) Listen(string) (transport.Listener, error) {
+	return nil, fmt.Errorf("driver: mux does not support Listen")
+}
+
+// Conns reports the number of live shared connections in the pool.
+func (m *Mux) Conns() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for _, mc := range m.conns {
+		if !mc.isDead() {
+			n++
+		}
+	}
+	return n
+}
+
+// Sessions reports the number of live sessions across all shared
+// connections.
+func (m *Mux) Sessions() int {
+	m.mu.Lock()
+	conns := append([]*muxConn(nil), m.conns...)
+	m.mu.Unlock()
+	n := 0
+	for _, mc := range conns {
+		n += mc.load()
+	}
+	return n
+}
+
+// Close fails every session and closes every shared connection.
+func (m *Mux) Close() error {
+	m.mu.Lock()
+	m.closed = true
+	conns := m.conns
+	m.conns = nil
+	m.mu.Unlock()
+	for _, mc := range conns {
+		mc.fail(transport.ErrClosed)
+	}
+	return nil
+}
+
+// dialConn opens one shared gateway connection: dial, announce with
+// GatewayHello (so the controller's handshake routes the connection to
+// the front door instead of expecting a registration), start the pumps.
+func (m *Mux) dialConn(addr string) (*muxConn, error) {
+	conn, err := m.tr.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	buf := proto.MarshalAppend(proto.GetBuf(), &proto.GatewayHello{})
+	owned, err := transport.SendOwned(conn, buf)
+	if !owned {
+		proto.PutBuf(buf)
+	}
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("driver: gateway hello: %w", err)
+	}
+	mc := &muxConn{conn: conn, sessions: make(map[uint64]*vconn)}
+	mc.cond = sync.NewCond(&mc.mu)
+	go mc.readLoop()
+	go mc.writeLoop()
+	return mc, nil
+}
+
+// muxConn is one shared gateway connection: a session table, an outbound
+// envelope queue drained by the coalescing writer, and the demuxing
+// reader.
+type muxConn struct {
+	conn transport.Conn
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	sessions map[uint64]*vconn
+	// outq accumulates outbound messages — MuxData envelopes whose Raw
+	// buffers this muxConn owns, plus top-level SessionClose notices — in
+	// send order. The writer drains it whole into one batch frame.
+	outq []proto.Msg
+	dead error
+
+	// sendSeq/recvSeq are the per-direction envelope counters (see
+	// proto.MuxData.Seq). sendSeq is owned by the writer, recvSeq by the
+	// reader; neither needs mc.mu.
+	sendSeq uint64
+	recvSeq uint64
+}
+
+func (mc *muxConn) isDead() bool {
+	mc.mu.Lock()
+	defer mc.mu.Unlock()
+	return mc.dead != nil
+}
+
+func (mc *muxConn) load() int {
+	mc.mu.Lock()
+	defer mc.mu.Unlock()
+	return len(mc.sessions)
+}
+
+// open registers a new session on this connection.
+func (mc *muxConn) open(sess uint64) (*vconn, error) {
+	vc := &vconn{mc: mc, sess: sess}
+	vc.cond = sync.NewCond(&vc.mu)
+	mc.mu.Lock()
+	defer mc.mu.Unlock()
+	if mc.dead != nil {
+		return nil, mc.dead
+	}
+	mc.sessions[sess] = vc
+	return vc, nil
+}
+
+// enqueue appends one outbound message and wakes the writer. It takes
+// ownership of any MuxData Raw buffer; on failure the buffer is released
+// here.
+func (mc *muxConn) enqueue(m proto.Msg) error {
+	mc.mu.Lock()
+	if mc.dead != nil {
+		err := mc.dead
+		mc.mu.Unlock()
+		if md, ok := m.(*proto.MuxData); ok {
+			proto.PutBuf(md.Raw)
+		}
+		return err
+	}
+	mc.outq = append(mc.outq, m)
+	mc.cond.Signal()
+	mc.mu.Unlock()
+	return nil
+}
+
+// writeLoop coalesces queued envelopes into one batch frame per wakeup.
+// A session sending a burst while another flush is in flight finds all
+// its messages folded into the next frame — the per-session analogue of
+// the controller's per-worker send coalescing.
+func (mc *muxConn) writeLoop() {
+	for {
+		mc.mu.Lock()
+		for len(mc.outq) == 0 && mc.dead == nil {
+			mc.cond.Wait()
+		}
+		if mc.dead != nil {
+			mc.mu.Unlock()
+			return
+		}
+		batch := mc.outq
+		mc.outq = nil
+		mc.mu.Unlock()
+		for _, m := range batch {
+			if md, ok := m.(*proto.MuxData); ok {
+				mc.sendSeq++
+				md.Seq = mc.sendSeq
+			}
+		}
+		buf := proto.AppendBatch(proto.GetBuf(), batch)
+		for _, m := range batch {
+			if md, ok := m.(*proto.MuxData); ok {
+				proto.PutBuf(md.Raw)
+			}
+		}
+		owned, err := transport.SendOwned(mc.conn, buf)
+		if !owned {
+			proto.PutBuf(buf)
+		}
+		if err != nil {
+			mc.fail(err)
+			return
+		}
+	}
+}
+
+// readLoop demuxes inbound frames: each MuxData envelope lands in its
+// session's inbox; a SessionClose retires the session (the controller
+// ended its job). Anything top-level and unaddressed — a controller
+// Shutdown racing the gateway handshake, a corrupt frame — fails the
+// whole connection, which fails exactly the sessions riding it.
+func (mc *muxConn) readLoop() {
+	for {
+		raw, err := mc.conn.Recv()
+		if err != nil {
+			mc.fail(fmt.Errorf("driver: gateway connection lost: %w", err))
+			return
+		}
+		err = proto.ForEachMsg(raw, func(m proto.Msg) error {
+			switch m := m.(type) {
+			case *proto.MuxData:
+				mc.recvSeq++
+				if m.Seq != mc.recvSeq {
+					return fmt.Errorf("driver: gateway envelope seq %d, want %d: frame lost or reordered on shared connection", m.Seq, mc.recvSeq)
+				}
+				mc.mu.Lock()
+				vc := mc.sessions[m.Session]
+				mc.mu.Unlock()
+				if vc != nil {
+					vc.push(m.Raw)
+				}
+			case *proto.SessionClose:
+				mc.mu.Lock()
+				vc := mc.sessions[m.Session]
+				delete(mc.sessions, m.Session)
+				mc.mu.Unlock()
+				if vc != nil {
+					vc.closeWith(transport.ErrClosed)
+				}
+			case *proto.Shutdown:
+				return errors.New("driver: controller shut down")
+			default:
+				return fmt.Errorf("driver: unexpected top-level %s on gateway connection", m.Kind())
+			}
+			return nil
+		})
+		proto.PutBuf(raw)
+		if err != nil {
+			mc.fail(err)
+			return
+		}
+	}
+}
+
+// fail marks the connection dead, closes the wire, and fails every
+// session riding it with err. Idempotent.
+func (mc *muxConn) fail(err error) {
+	mc.mu.Lock()
+	if mc.dead != nil {
+		mc.mu.Unlock()
+		return
+	}
+	mc.dead = err
+	sessions := mc.sessions
+	mc.sessions = make(map[uint64]*vconn)
+	mc.cond.Broadcast()
+	mc.mu.Unlock()
+	mc.conn.Close()
+	for _, vc := range sessions {
+		vc.closeWith(err)
+	}
+}
+
+// vconn is one session's virtual channel over a shared connection. It
+// implements transport.Conn and transport.OwnedSender, so the Driver's
+// pooled-buffer send path works unchanged.
+type vconn struct {
+	mc   *muxConn
+	sess uint64
+
+	mu   sync.Mutex
+	cond *sync.Cond
+	// inbox holds delivered frames not yet consumed; head indexes the
+	// next one so consumption is O(1) without shifting.
+	inbox [][]byte
+	head  int
+	err   error
+	// closed is set by the local Close; inbound frames for a locally
+	// closed session are dropped.
+	closed bool
+}
+
+// Send enqueues one frame, copying b (the Conn contract: b is not
+// retained).
+func (vc *vconn) Send(b []byte) error {
+	return vc.SendOwned(append(proto.GetBuf(), b...))
+}
+
+// SendOwned enqueues one frame, taking ownership of b. The envelope's
+// buffer is released by the writer after coalescing.
+func (vc *vconn) SendOwned(b []byte) error {
+	vc.mu.Lock()
+	if vc.err != nil || vc.closed {
+		err := vc.err
+		if err == nil {
+			err = transport.ErrClosed
+		}
+		vc.mu.Unlock()
+		proto.PutBuf(b)
+		return err
+	}
+	vc.mu.Unlock()
+	return vc.mc.enqueue(&proto.MuxData{Session: vc.sess, Raw: b})
+}
+
+// Recv blocks until a frame arrives or the session ends.
+func (vc *vconn) Recv() ([]byte, error) {
+	vc.mu.Lock()
+	defer vc.mu.Unlock()
+	for {
+		if vc.head < len(vc.inbox) {
+			b := vc.inbox[vc.head]
+			vc.inbox[vc.head] = nil
+			vc.head++
+			if vc.head == len(vc.inbox) {
+				vc.inbox = vc.inbox[:0]
+				vc.head = 0
+			}
+			return b, nil
+		}
+		if vc.err != nil {
+			return nil, vc.err
+		}
+		if vc.closed {
+			return nil, transport.ErrClosed
+		}
+		vc.cond.Wait()
+	}
+}
+
+// Close retires the session locally and tells the gateway, so the
+// controller unbinds the session without tearing down the shared
+// connection. The driver sends its JobEnd before Close, exactly as on a
+// dedicated connection.
+func (vc *vconn) Close() error {
+	vc.mu.Lock()
+	if vc.closed || vc.err != nil {
+		vc.mu.Unlock()
+		return nil
+	}
+	vc.closed = true
+	vc.cond.Broadcast()
+	vc.mu.Unlock()
+	mc := vc.mc
+	mc.mu.Lock()
+	delete(mc.sessions, vc.sess)
+	mc.mu.Unlock()
+	mc.enqueue(&proto.SessionClose{Session: vc.sess})
+	return nil
+}
+
+// push delivers one inbound frame to the session's inbox.
+func (vc *vconn) push(b []byte) {
+	vc.mu.Lock()
+	defer vc.mu.Unlock()
+	if vc.closed || vc.err != nil {
+		return
+	}
+	vc.inbox = append(vc.inbox, b)
+	vc.cond.Signal()
+}
+
+// closeWith fails the session: pending and future Recvs return err after
+// draining frames already delivered.
+func (vc *vconn) closeWith(err error) {
+	vc.mu.Lock()
+	defer vc.mu.Unlock()
+	if vc.err == nil {
+		vc.err = err
+	}
+	vc.cond.Broadcast()
+}

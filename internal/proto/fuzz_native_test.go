@@ -43,6 +43,10 @@ func hostileSeeds() [][]byte {
 		huge(byte(KindReplCkpt), 0x02, 0x01, 0x01, 0x01), // 2^50 manifest entries
 		{byte(KindLeaseRenew), 0x01},                     // truncated lease renewal
 		{byte(KindReattachAck), 0x02, 0x01, 0x02},        // truncated reattach ack
+		// Gateway frames: an envelope whose inner-frame length prefix claims
+		// more bytes than the tail carries, and a bare session close.
+		huge(byte(KindMuxData), 0x05, 0x01), // envelope raw-length over empty tail
+		{byte(KindSessionClose)},            // session close missing its id
 	}
 	// Every valid message, marshaled, plus a truncated and a corrupted
 	// variant: the fuzzer mutates from realistic frames, not just noise.

@@ -91,6 +91,10 @@ const (
 	KindDataCredit
 	KindXferAbort
 	KindSaveFailed
+	KindGatewayHello
+	KindMuxData
+	KindSessionClose
+	KindAdmissionReject
 	// KindMax is one past the last registered message kind; coverage
 	// tests iterate [KindRegisterWorker, KindMax).
 	KindMax
@@ -155,6 +159,10 @@ var kindNames = [...]string{
 	KindDataCredit:          "data-credit",
 	KindXferAbort:           "xfer-abort",
 	KindSaveFailed:          "save-failed",
+	KindGatewayHello:        "gateway-hello",
+	KindMuxData:             "mux-data",
+	KindSessionClose:        "session-close",
+	KindAdmissionReject:     "admission-reject",
 }
 
 // String returns the message kind name.
@@ -308,6 +316,14 @@ func newMsg(kind MsgKind) Msg {
 		return &XferAbort{}
 	case KindSaveFailed:
 		return &SaveFailed{}
+	case KindGatewayHello:
+		return &GatewayHello{}
+	case KindMuxData:
+		return &MuxData{}
+	case KindSessionClose:
+		return &SessionClose{}
+	case KindAdmissionReject:
+		return &AdmissionReject{}
 	default:
 		return nil
 	}
@@ -391,6 +407,12 @@ type RegisterDriver struct {
 	// with weight 2 receives twice the executor-slot share of a weight-1
 	// job on every worker.
 	Weight int
+	// Tenant groups jobs for hierarchical fair share and per-tenant rate
+	// limits; empty means the default tenant.
+	Tenant string
+	// Priority orders the admission queue (higher first; FIFO within a
+	// priority band).
+	Priority uint8
 }
 
 // Kind implements Msg.
@@ -399,11 +421,15 @@ func (*RegisterDriver) Kind() MsgKind { return KindRegisterDriver }
 func (m *RegisterDriver) encode(w *wire.Writer) {
 	w.String(m.Name)
 	w.Uvarint(uint64(m.Weight))
+	w.String(m.Tenant)
+	w.Byte(m.Priority)
 }
 
 func (m *RegisterDriver) decode(r *wire.Reader) error {
 	m.Name = r.String()
 	m.Weight = int(r.Uvarint())
+	m.Tenant = r.String()
+	m.Priority = r.Byte()
 	return r.Err
 }
 
@@ -1607,10 +1633,12 @@ type ManifestEntry struct {
 // marks so a promoted controller never re-issues an ID that live workers
 // may still hold state under.
 type ReplJob struct {
-	Job       ids.JobID
-	Name      string
-	Weight    int
-	Applied   uint64
+	Job    ids.JobID
+	Name   string
+	Weight int
+	// Tenant preserves the job's fair-share tenant across a failover.
+	Tenant  string
+	Applied uint64
 	Ckpt      uint64
 	CkptCount uint64
 	Manifest  []ManifestEntry
@@ -1624,6 +1652,7 @@ func (jb *ReplJob) encode(w *wire.Writer) {
 	w.Uvarint(uint64(jb.Job))
 	w.String(jb.Name)
 	w.Uvarint(uint64(jb.Weight))
+	w.String(jb.Tenant)
 	w.Uvarint(jb.Applied)
 	w.Uvarint(jb.Ckpt)
 	w.Uvarint(jb.CkptCount)
@@ -1648,6 +1677,7 @@ func (jb *ReplJob) decode(r *wire.Reader) error {
 	jb.Job = ids.JobID(r.Uvarint())
 	jb.Name = r.String()
 	jb.Weight = int(r.Uvarint())
+	jb.Tenant = r.String()
 	jb.Applied = r.Uvarint()
 	jb.Ckpt = r.Uvarint()
 	jb.CkptCount = r.Uvarint()
@@ -1848,6 +1878,8 @@ type ReplJobStart struct {
 	Job    ids.JobID
 	Name   string
 	Weight int
+	// Tenant preserves the job's fair-share tenant across a failover.
+	Tenant string
 }
 
 // Kind implements Msg.
@@ -1857,12 +1889,14 @@ func (m *ReplJobStart) encode(w *wire.Writer) {
 	w.Uvarint(uint64(m.Job))
 	w.String(m.Name)
 	w.Uvarint(uint64(m.Weight))
+	w.String(m.Tenant)
 }
 
 func (m *ReplJobStart) decode(r *wire.Reader) error {
 	m.Job = ids.JobID(r.Uvarint())
 	m.Name = r.String()
 	m.Weight = int(r.Uvarint())
+	m.Tenant = r.String()
 	return r.Err
 }
 
@@ -1981,6 +2015,112 @@ func (m *ReattachAck) decode(r *wire.Reader) error {
 	m.Job = ids.JobID(r.Uvarint())
 	m.Applied = r.Uvarint()
 	m.Ok = r.Bool()
+	m.Err = r.String()
+	return r.Err
+}
+
+// ---------------------------------------------------------------------------
+// Gateway front door: session multiplexing and bounded admission
+
+// GatewayHello opens a shared gateway connection. Many lightweight driver
+// sessions are multiplexed over it as MuxData envelopes; the connection
+// itself carries no job identity.
+type GatewayHello struct{}
+
+// Kind implements Msg.
+func (*GatewayHello) Kind() MsgKind { return KindGatewayHello }
+
+func (m *GatewayHello) encode(w *wire.Writer) {}
+
+func (m *GatewayHello) decode(r *wire.Reader) error { return r.Err }
+
+// MuxData carries one session's traffic across a shared gateway
+// connection. Raw is a standard frame — a single message or a KindBatch
+// batch — decoded with ForEachMsg; the inner protocol is identical to a
+// dedicated driver connection's, so the session handshake
+// (RegisterDriver/RegisterDriverAck) and every later op ride inside
+// envelopes unchanged.
+//
+// Seq is a per-connection, per-direction envelope counter starting at 1.
+// A receiver that observes a gap or disorder treats the whole shared
+// connection as corrupt and closes it: a dropped or reordered wire frame
+// becomes a connection error (failing only that connection's sessions)
+// instead of a silently lost op that would hang a session forever.
+type MuxData struct {
+	Session uint64
+	Seq     uint64
+	Raw     []byte
+}
+
+// Kind implements Msg.
+func (*MuxData) Kind() MsgKind { return KindMuxData }
+
+func (m *MuxData) encode(w *wire.Writer) {
+	w.Uvarint(m.Session)
+	w.Uvarint(m.Seq)
+	w.Bytes(m.Raw)
+}
+
+func (m *MuxData) decode(r *wire.Reader) error {
+	m.Session = r.Uvarint()
+	m.Seq = r.Uvarint()
+	m.Raw = r.BytesCopy()
+	return r.Err
+}
+
+// SessionClose closes one session on a shared gateway connection — the
+// per-session equivalent of a dedicated connection closing. Either side
+// may send it; the controller tears the session's job down as if its
+// connection dropped, and the driver fails the session's pending futures.
+type SessionClose struct {
+	Session uint64
+}
+
+// Kind implements Msg.
+func (*SessionClose) Kind() MsgKind { return KindSessionClose }
+
+func (m *SessionClose) encode(w *wire.Writer) { w.Uvarint(m.Session) }
+
+func (m *SessionClose) decode(r *wire.Reader) error {
+	m.Session = r.Uvarint()
+	return r.Err
+}
+
+// Admission rejection codes.
+const (
+	// RejectQueueFull: the bounded admission queue is at capacity.
+	RejectQueueFull uint8 = 1 + iota
+	// RejectMaxJobs: the controller is at its MaxJobs cap and the
+	// admission queue is disabled.
+	RejectMaxJobs
+	// RejectRateLimited: the tenant exceeded its admission rate limit.
+	RejectRateLimited
+	// RejectShuttingDown: the controller is draining.
+	RejectShuttingDown
+)
+
+// AdmissionReject answers a RegisterDriver the controller will not admit:
+// the queue is full, the MaxJobs cap is reached, or the tenant is over its
+// rate limit. It replaces block-forever admission — the driver surfaces a
+// typed error with the retry hint instead of hanging.
+type AdmissionReject struct {
+	Code             uint8
+	RetryAfterMillis uint64
+	Err              string
+}
+
+// Kind implements Msg.
+func (*AdmissionReject) Kind() MsgKind { return KindAdmissionReject }
+
+func (m *AdmissionReject) encode(w *wire.Writer) {
+	w.Byte(m.Code)
+	w.Uvarint(m.RetryAfterMillis)
+	w.String(m.Err)
+}
+
+func (m *AdmissionReject) decode(r *wire.Reader) error {
+	m.Code = r.Byte()
+	m.RetryAfterMillis = r.Uvarint()
 	m.Err = r.String()
 	return r.Err
 }

@@ -14,7 +14,7 @@ func everyMessage() []Msg {
 	return []Msg{
 		&RegisterWorker{DataAddr: "data/1", Slots: 8},
 		&RegisterWorkerAck{Worker: 3, Peers: map[ids.WorkerID]string{1: "a", 2: "b"}, Eager: true},
-		&RegisterDriver{Name: "drv"},
+		&RegisterDriver{Name: "drv", Weight: 2, Tenant: "acme", Priority: 3},
 		&RegisterDriverAck{Job: 2},
 		&JobEnd{Job: 2},
 		&JobQuota{Job: 2, Slots: 4},
@@ -86,7 +86,7 @@ func everyMessage() []Msg {
 		&ReplSnapshot{
 			JobSeq: 3, NextWorker: 5, Workers: []ids.WorkerID{1, 2},
 			Jobs: []*ReplJob{{
-				Job: 2, Name: "drv", Weight: 1, Applied: 17, Ckpt: 2, CkptCount: 3,
+				Job: 2, Name: "drv", Weight: 1, Tenant: "acme", Applied: 17, Ckpt: 2, CkptCount: 3,
 				Manifest: []ManifestEntry{{Logical: 4, Version: 9}},
 				Defs:     [][]byte{{byte(KindDefineVariable), 1}},
 				Oplog:    [][]byte{{byte(KindPut), 2}, {byte(KindInstantiateBlock), 3}},
@@ -96,12 +96,16 @@ func everyMessage() []Msg {
 		&ReplOp{Job: 2, Index: 18, NextCmd: 910, NextObj: 121, Raw: []byte{byte(KindPut), 4, 1}},
 		&ReplAck{Job: 2, Index: 18},
 		&ReplCkpt{Job: 2, Ckpt: 3, Count: 4, Drop: 12, Manifest: []ManifestEntry{{Logical: 5, Version: 10}}},
-		&ReplJobStart{Job: 3, Name: "late", Weight: 2},
+		&ReplJobStart{Job: 3, Name: "late", Weight: 2, Tenant: "acme"},
 		&ReplJobEnd{Job: 3},
 		&LeaseRenew{Epoch: 1, TTLMillis: 500},
 		&WorkerReconnect{Worker: 2, DataAddr: "data/2", Slots: 8},
 		&DriverReattach{Job: 2, Name: "drv", Weight: 1},
 		&ReattachAck{Job: 2, Applied: 18, Ok: true, Err: "none"},
+		&GatewayHello{},
+		&MuxData{Session: 5, Seq: 9, Raw: []byte{byte(KindPut), 1, 2}},
+		&SessionClose{Session: 5},
+		&AdmissionReject{Code: RejectQueueFull, RetryAfterMillis: 250, Err: "admission queue full"},
 	}
 }
 

@@ -258,7 +258,7 @@ func (w *Worker) dispatch() {
 			if js.runnable.n == 0 {
 				continue
 			}
-			if js.running >= js.quota {
+			if js.running >= int(js.quota.Load()) {
 				// Only a skip while slots were actually free is a
 				// deferral; with the pool exhausted the job lost nothing
 				// to fairness enforcement.

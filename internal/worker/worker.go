@@ -297,8 +297,10 @@ type jstate struct {
 
 	// quota is the job's executor-slot share (fair-share assigned by the
 	// controller; defaults to the full slot count until a JobQuota
-	// arrives). running counts the job's tasks currently on executors.
-	quota   int
+	// arrives). Atomic only so QuotaOf can read it off-loop; all writes
+	// happen on the event loop. running counts the job's tasks currently
+	// on executors.
+	quota   atomic.Int32
 	running int
 }
 
@@ -485,8 +487,8 @@ func (w *Worker) job(id ids.JobID) *jstate {
 		arrRing:   make([]bool, 1024),
 		templates: make(map[ids.TemplateID]*wtemplate),
 		patches:   make(map[ids.PatchID]*command.CompiledTemplate),
-		quota:     w.cfg.Slots,
 	}
+	js.quota.Store(int32(w.cfg.Slots))
 	w.jobsMu.Lock()
 	w.jobs[id] = js
 	w.jobsMu.Unlock()
@@ -544,6 +546,17 @@ func (w *Worker) ID() ids.WorkerID { return w.id }
 // Spill exposes the worker's spill allocator (valid after Start); chaos
 // tests arm its fault hook to reach the spill error paths.
 func (w *Worker) Spill() *datastore.SpillFS { return w.spill }
+
+// QuotaOf reports one job's assigned executor-slot quota on this worker
+// (fair-share tests); zero if the job has no namespace here.
+func (w *Worker) QuotaOf(job ids.JobID) int {
+	w.jobsMu.RLock()
+	defer w.jobsMu.RUnlock()
+	if js, ok := w.jobs[job]; ok {
+		return int(js.quota.Load())
+	}
+	return 0
+}
 
 // StoreOf exposes one job's object store (tests and Gets); nil if the job
 // has no namespace on this worker.
@@ -1043,7 +1056,7 @@ func (w *Worker) setQuota(m *proto.JobQuota) {
 	if q > w.cfg.Slots {
 		q = w.cfg.Slots
 	}
-	js.quota = q
+	js.quota.Store(int32(q))
 	// A raised quota may unblock deferred tasks immediately.
 	w.dispatch()
 }
