@@ -39,6 +39,7 @@ var experiments = []struct {
 	{"fig11", "Water simulation: MPI vs Nimbus vs Nimbus w/o templates", bench.Fig11},
 	{"shuffle", "Streaming data plane: shuffle goodput, flow control, spill", bench.Shuffle},
 	{"frontdoor", "Driver front door: session mux, admission latency, fair share", bench.FrontDoor},
+	{"fleet", "Elastic fleet: warm-gated joins, graceful drains, autoscale sim", bench.Fleet},
 }
 
 func main() {

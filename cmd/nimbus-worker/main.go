@@ -4,7 +4,11 @@
 //
 // The worker registers the built-in functions plus the bundled
 // applications (lr, kmeans, water), so driver programs built from this
-// repository can run against it directly.
+// repository can run against it directly. With -fleet the worker joins
+// elastically: it is warmed (every live job's active templates installed
+// and compiled) before it takes traffic, and a controller-initiated
+// drain lets it retire without failing a command (DESIGN.md "Elastic
+// fleet").
 package main
 
 import (
@@ -27,6 +31,7 @@ func main() {
 	slots := flag.Int("slots", 8, "executor slots")
 	ckptDir := flag.String("checkpoint-dir", "nimbus-checkpoints", "durable storage directory")
 	hb := flag.Duration("heartbeat", time.Second, "heartbeat period")
+	fleetJoin := flag.Bool("fleet", false, "join elastically: warm before taking traffic, drainable")
 	flag.Parse()
 
 	reg := fn.NewRegistry()
@@ -42,13 +47,21 @@ func main() {
 		Registry:       reg,
 		Durable:        durable.NewFS(*ckptDir),
 		HeartbeatEvery: *hb,
+		FleetJoin:      *fleetJoin,
 		Logf:           log.Printf,
 	})
 	if err := w.Start(); err != nil {
 		log.Fatalf("starting worker: %v", err)
 	}
-	log.Printf("nimbus worker %s registered with %s (data plane %s, %d slots)",
-		w.ID(), *ctrl, *data, *slots)
+	if *fleetJoin {
+		log.Printf("nimbus worker %s admitted by %s (data plane %s, %d slots); warming...",
+			w.ID(), *ctrl, *data, *slots)
+		<-w.Ready()
+		log.Printf("nimbus worker %s warmed and active", w.ID())
+	} else {
+		log.Printf("nimbus worker %s registered with %s (data plane %s, %d slots)",
+			w.ID(), *ctrl, *data, *slots)
+	}
 	if err := w.Wait(); err != nil {
 		log.Printf("worker stopped: %v", err)
 	}

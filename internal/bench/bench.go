@@ -115,6 +115,12 @@ type Scale struct {
 	// and the iteration bound of the concurrent predicate loop.
 	FrontDoorSessions  []int
 	FrontDoorLoopIters int
+	// Fleet (elastic lifecycle) calibration: the mid-kmeans grow target,
+	// per-partition point count of the real (non-simulated) clustering
+	// job, and the size of the bare-fleet join/drain throughput sim.
+	FleetGrowTo     int
+	FleetPoints     int
+	FleetSimWorkers int
 }
 
 // Quick returns a laptop/CI-sized scale preserving the paper's shapes.
@@ -137,6 +143,7 @@ func Quick() Scale {
 		WaterSubsteps: 2, WaterReinit: 3, WaterJacobi: 6, WaterFrames: 2,
 		ShuffleWorkers: 4, ShuffleParts: 8, ShufflePartBytes: 4 << 20,
 		FrontDoorSessions: []int{1000}, FrontDoorLoopIters: 50,
+		FleetGrowTo: 64, FleetPoints: 1000, FleetSimWorkers: 256,
 	}
 }
 
@@ -161,6 +168,7 @@ func Paper() Scale {
 		WaterSubsteps: 3, WaterReinit: 4, WaterJacobi: 10, WaterFrames: 2,
 		ShuffleWorkers: 8, ShuffleParts: 32, ShufflePartBytes: 16 << 20,
 		FrontDoorSessions: []int{1000, 10000}, FrontDoorLoopIters: 100,
+		FleetGrowTo: 64, FleetPoints: 10000, FleetSimWorkers: 1000,
 	}
 }
 

@@ -22,16 +22,19 @@ func smokeScale() Scale {
 	s.WaterSubsteps, s.WaterReinit, s.WaterJacobi, s.WaterFrames = 1, 1, 2, 1
 	s.FrontDoorSessions = []int{64}
 	s.FrontDoorLoopIters = 10
+	s.FleetGrowTo = 8
+	s.FleetPoints = 50
+	s.FleetSimWorkers = 8
 	return s
 }
 
-// TestEveryExperimentRuns executes all nine experiment runners end to end
-// at smoke scale, asserting they produce rows.
+// TestEveryExperimentRuns executes the experiment runners end to end at
+// smoke scale, asserting they produce rows.
 func TestEveryExperimentRuns(t *testing.T) {
 	runners := map[string]func(Scale) (*Table, error){
 		"fig1": Fig1, "table1": Table1, "table2": Table2, "table3": Table3,
 		"fig7": Fig7, "fig8": Fig8, "fig9": Fig9, "fig10": Fig10, "fig11": Fig11,
-		"frontdoor": FrontDoor,
+		"frontdoor": FrontDoor, "fleet": Fleet,
 	}
 	s := smokeScale()
 	for name, run := range runners {

@@ -7,12 +7,14 @@ package cluster
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"nimbus/internal/chaos"
 	"nimbus/internal/controller"
 	"nimbus/internal/driver"
 	"nimbus/internal/durable"
+	"nimbus/internal/fleet"
 	"nimbus/internal/fn"
 	"nimbus/internal/transport"
 	"nimbus/internal/worker"
@@ -186,10 +188,12 @@ func (c *Cluster) controllerConfig() controller.Config {
 	}
 }
 
-// AddWorker starts one more worker and registers it with the controller.
-func (c *Cluster) AddWorker() (*worker.Worker, error) {
+// workerConfig builds the worker Config shared by every startup path —
+// fixed-fleet registration (AddWorker) and elastic joins (JoinWorker)
+// differ only in the handshake flag.
+func (c *Cluster) workerConfig(fleetJoin bool) worker.Config {
 	c.nextIdx++
-	w := worker.New(worker.Config{
+	return worker.Config{
 		ControlAddr:    ControlAddr,
 		DataAddr:       fmt.Sprintf("nimbus/data/%d", c.nextIdx),
 		Transport:      c.net,
@@ -202,13 +206,89 @@ func (c *Cluster) AddWorker() (*worker.Worker, error) {
 		RecvBudget:     c.opts.RecvBudget,
 		SpillDir:       c.opts.SpillDir,
 		CompressChunks: c.opts.CompressChunks,
+		FleetJoin:      fleetJoin,
 		Logf:           c.opts.Logf,
-	})
+	}
+}
+
+// startWorker starts a worker from cfg and tracks it in the cluster.
+func (c *Cluster) startWorker(cfg worker.Config) (*worker.Worker, error) {
+	w := worker.New(cfg)
 	if err := w.Start(); err != nil {
 		return nil, err
 	}
 	c.Workers = append(c.Workers, w)
 	return w, nil
+}
+
+// AddWorker starts one more worker and registers it with the controller.
+func (c *Cluster) AddWorker() (*worker.Worker, error) {
+	return c.startWorker(c.workerConfig(false))
+}
+
+// JoinWorker starts one more worker through the elastic-fleet lifecycle:
+// it announces itself, is warmed with every live job's active templates,
+// and only enters the scheduler's active set at FleetReady. Start returns
+// after admission; wait on the worker's Ready channel for warm completion.
+func (c *Cluster) JoinWorker() (*worker.Worker, error) {
+	return c.startWorker(c.workerConfig(true))
+}
+
+// FleetSample adapts the controller's load snapshot to the autoscaler's
+// sample type (internal/fleet stays import-free of the control plane).
+func (c *Cluster) FleetSample() fleet.Sample {
+	s := c.Controller.FleetSample()
+	return fleet.Sample{
+		Workers:  s.Workers,
+		Warming:  s.Warming,
+		Draining: s.Draining,
+		Jobs:     s.Jobs,
+		Slots:    s.Slots,
+		Pending:  s.Pending,
+	}
+}
+
+// prov implements fleet.Provisioner over the in-process cluster: Launch
+// starts fleet-joining workers on the Mem transport, Drain retires the
+// newest ones through the controller's graceful drain.
+type prov struct {
+	mu sync.Mutex
+	c  *Cluster
+}
+
+func (p *prov) Launch(n int) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i := 0; i < n; i++ {
+		if _, err := p.c.JoinWorker(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (p *prov) Drain(n int) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	ctrl := p.c.Controller
+	ctrl.Do(func() { ctrl.DrainWorkers(n) })
+	return nil
+}
+
+// Provisioner returns a fleet.Provisioner backed by this cluster.
+func (c *Cluster) Provisioner() fleet.Provisioner { return &prov{c: c} }
+
+// Autoscaler builds a fleet autoscaler wired to this cluster: load
+// samples come from the controller, scaling actions launch or drain
+// in-process workers. The caller supplies policy and damping via cfg and
+// owns Start/Stop.
+func (c *Cluster) Autoscaler(cfg fleet.Config) *fleet.Autoscaler {
+	cfg.Sample = c.FleetSample
+	cfg.Prov = c.Provisioner()
+	if cfg.Logf == nil {
+		cfg.Logf = c.opts.Logf
+	}
+	return fleet.New(cfg)
 }
 
 // Driver opens a driver session against the cluster.
@@ -237,6 +317,18 @@ func (c *Cluster) KillWorker(i int) {
 // The standby mirrors the primary's replicated state and promotes itself
 // if the primary's leadership lease expires.
 func (c *Cluster) StartStandby() (*controller.Standby, error) {
+	// Standby-of-standby is not a topology: replication is strictly
+	// primary→standby and a standby never re-streams. While an earlier
+	// standby is attached and unpromoted, a second attach would chain
+	// behind whatever promotes, so reject it outright.
+	if s := c.Standby; s != nil {
+		select {
+		case <-s.Promoted():
+		case <-s.Done():
+		default:
+			return nil, controller.ErrStandbyChain
+		}
+	}
 	s := controller.NewStandby(c.controllerConfig())
 	if err := s.Start(); err != nil {
 		return nil, err

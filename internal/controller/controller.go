@@ -182,6 +182,12 @@ type Stats struct {
 	Evictions    atomic.Uint64
 	JobsExpired  atomic.Uint64
 	CkptsAborted atomic.Uint64
+	// FleetJoins / FleetDrains count completed elastic-fleet lifecycle
+	// transitions (fleet.go): a join is announce→warm→ready, a drain is
+	// drain→quiesce→decommission. Neither counts fixed-fleet
+	// registrations or failures.
+	FleetJoins  atomic.Uint64
+	FleetDrains atomic.Uint64
 
 	ScheduleNanos    atomic.Uint64 // live per-task scheduling
 	RecordNanos      atomic.Uint64 // template recording (stage capture) time
@@ -245,6 +251,13 @@ type Controller struct {
 	rateBuckets     map[string]*tokenBucket
 	admLat          latencyRecorder
 	loopLat         latencyRecorder
+
+	// Elastic fleet (fleet.go): workers mid-drain awaiting quiescence,
+	// and the lifecycle latency rings (announce→ready warm latency,
+	// drain→decommission rebalance latency).
+	draining map[ids.WorkerID]struct{}
+	warmLat  latencyRecorder
+	drainLat latencyRecorder
 
 	// Failover state (repl.go, takeover.go): the attached standby's
 	// replication stream (nil without one), whether any standby ever
@@ -379,6 +392,14 @@ type workerState struct {
 	slots    int
 	alive    bool
 	lastBeat time.Time
+	// phase is the fleet lifecycle state (fleet.go); fixed-fleet workers
+	// are born phaseActive. pending mirrors the last heartbeat's queue
+	// depth — the autoscaler's load signal. warm/drainStart track the
+	// lifecycle transition in flight, if any.
+	phase      workerPhase
+	pending    int
+	warm       *warmState
+	drainStart time.Time
 	// outq stages messages for the coalesced per-event flush (event-loop
 	// confined between flushes; a flush goroutine owns it transiently).
 	outq []proto.Msg
@@ -502,6 +523,7 @@ func New(cfg Config) *Controller {
 		tenants:      make(map[string]*tenantState),
 		dirtyTenants: make(map[*tenantState]struct{}),
 		rateBuckets:  make(map[string]*tokenBucket),
+		draining:     make(map[ids.WorkerID]struct{}),
 	}
 	return c
 }
@@ -719,7 +741,8 @@ func (c *Controller) handshake(conn transport.Conn) {
 	}
 	switch msg.(type) {
 	case *proto.RegisterWorker, *proto.RegisterDriver, *proto.GatewayHello,
-		*proto.ReplAttach, *proto.WorkerReconnect, *proto.DriverReattach:
+		*proto.ReplAttach, *proto.WorkerReconnect, *proto.DriverReattach,
+		*proto.FleetAnnounce:
 		c.trackConn(conn)
 		select {
 		case c.events <- cevent{kind: cevMsg, msg: msg, conn: conn, at: time.Now()}:
@@ -787,6 +810,9 @@ func (c *Controller) run() {
 				c.checkTakeoverEviction()
 				c.checkReattachDeadline()
 			}
+			if len(c.draining) != 0 {
+				c.checkDrains()
+			}
 			// Everything one event staged goes out as one frame per
 			// worker before the next event is considered.
 			c.flushSends()
@@ -804,6 +830,12 @@ func (c *Controller) handleMsg(ev cevent) {
 	switch m := ev.msg.(type) {
 	case *proto.RegisterWorker:
 		c.registerWorker(m, ev.conn)
+		return
+	case *proto.FleetAnnounce:
+		c.fleetAnnounce(m, ev.conn)
+		return
+	case *proto.FleetWarmAck:
+		c.fleetWarmAck(m)
 		return
 	case *proto.RegisterDriver:
 		c.registerDriver(m, ev.conn, ev.gw, ev.sess, ev.at)
@@ -839,6 +871,7 @@ func (c *Controller) handleMsg(ev cevent) {
 	case *proto.Heartbeat:
 		if ws := c.workers[m.Worker]; ws != nil {
 			ws.lastBeat = time.Now()
+			ws.pending = m.Pending
 		}
 		return
 	case *proto.ObjectData:
@@ -938,7 +971,7 @@ func (c *Controller) registerWorker(m *proto.RegisterWorker, conn transport.Conn
 func (c *Controller) peerMap() map[ids.WorkerID]string {
 	peers := make(map[ids.WorkerID]string, len(c.workers))
 	for id, ws := range c.workers {
-		if ws.alive {
+		if ws.alive && ws.phase != phaseDecommissioned {
 			peers[id] = ws.dataAddr
 		}
 	}
@@ -1176,6 +1209,9 @@ func (c *Controller) handleClosed(ev cevent) {
 		return
 	default:
 	}
+	if c.fleetWorkerGone(ws) {
+		return
+	}
 	c.cfg.Logf("controller: worker %s connection lost: %v", ev.from, ev.rerr)
 	c.failWorker(ev.from)
 }
@@ -1187,6 +1223,9 @@ func (c *Controller) checkHeartbeats() {
 	cutoff := time.Now().Add(-c.cfg.HeartbeatTimeout)
 	for id, ws := range c.workers {
 		if ws.alive && ws.lastBeat.Before(cutoff) {
+			if c.fleetWorkerGone(ws) {
+				continue
+			}
 			c.cfg.Logf("controller: worker %s missed heartbeats", id)
 			c.failWorker(id)
 		}

@@ -1,0 +1,520 @@
+package controller
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"nimbus/internal/command"
+	"nimbus/internal/flow"
+	"nimbus/internal/ids"
+	"nimbus/internal/proto"
+	"nimbus/internal/transport"
+)
+
+// This file implements the elastic worker fleet lifecycle (DESIGN.md
+// "Elastic fleet"):
+//
+//	announce → admit → warm → ready          (join)
+//	drain → (retarget + eager flush) → decommission
+//
+// A joining worker is admitted outside the active set, warmed — every live
+// job's retargeted templates are installed and compiled on it before it
+// takes any traffic — and only then entered into placement and the
+// fair-share allocator. Drain is the reverse: the departing worker's
+// partitions retarget onto the survivors atomically (the SetActive/Migrate
+// machinery from the adaptation path), its latest data is eagerly flushed,
+// and it is decommissioned only once its outstanding work reaches zero, so
+// a drain never fails a command.
+//
+// None of the lifecycle state is replicated to a standby: a promoted
+// controller's snapshot carries only the active roster. A worker caught
+// mid-drain reconnects through the ordinary PR 6 reconcile path and rejoins
+// as a plain active worker (drain-abort); a worker caught mid-warm rejoins
+// cold. Both are safe because warm is a latency optimization and drain is
+// re-issuable.
+
+// workerPhase is a worker's fleet lifecycle state. Workers registered
+// through the fixed-fleet RegisterWorker path are born active.
+type workerPhase uint8
+
+const (
+	// phaseActive: in c.active, eligible for placement.
+	phaseActive workerPhase = iota
+	// phaseWarming: admitted via FleetAnnounce, receiving template
+	// installs; not in c.active, owns no ledgers, takes no traffic.
+	phaseWarming
+	// phaseDraining: removed from c.active, still serving its in-flight
+	// commands and eager data flush; decommission follows quiescence.
+	phaseDraining
+	// phaseDecommissioned: released; the worker state lingers only until
+	// its connection closes.
+	phaseDecommissioned
+)
+
+// maxWarmRetries bounds re-warm rounds when placement moves underneath a
+// warm in flight; past it the join commits synchronously (installs ride
+// the first instantiation instead, exactly like the SetActive grow path).
+const maxWarmRetries = 3
+
+// warmJob is one job's planned retarget for a joining worker.
+type warmJob struct {
+	id    ids.JobID
+	epoch uint64
+	dir   *flow.Directory
+	sig   string
+	plans []retargetPlan
+	view  *flow.BuildView
+}
+
+// warmState tracks one joining worker's warm round.
+type warmState struct {
+	seq     uint64
+	start   time.Time
+	retries int
+	jobs    []warmJob
+}
+
+// FleetStats is a point-in-time snapshot of fleet lifecycle metrics
+// (taken on the event loop via Do).
+type FleetStats struct {
+	// Workers / Warming / Draining gauge the fleet: active roster size
+	// and lifecycle transitions in flight.
+	Workers  int
+	Warming  int
+	Draining int
+	// Joins / Drains count completed lifecycle transitions.
+	Joins  uint64
+	Drains uint64
+	// WarmP50/P99 are quantiles of announce-to-ready latency over the
+	// recent window; RebalanceP50/P99 of drain-to-decommission latency.
+	WarmP50      time.Duration
+	WarmP99      time.Duration
+	RebalanceP50 time.Duration
+	RebalanceP99 time.Duration
+}
+
+// FleetStats snapshots the fleet lifecycle metrics.
+func (c *Controller) FleetStats() FleetStats {
+	var s FleetStats
+	c.Do(func() {
+		s.Workers = len(c.active)
+		for _, ws := range c.workers {
+			switch ws.phase {
+			case phaseWarming:
+				s.Warming++
+			case phaseDraining:
+				s.Draining++
+			}
+		}
+		s.Joins = c.Stats.FleetJoins.Load()
+		s.Drains = c.Stats.FleetDrains.Load()
+		s.WarmP50 = c.warmLat.quantile(0.50)
+		s.WarmP99 = c.warmLat.quantile(0.99)
+		s.RebalanceP50 = c.drainLat.quantile(0.50)
+		s.RebalanceP99 = c.drainLat.quantile(0.99)
+	})
+	return s
+}
+
+// FleetSample is one autoscaler observation of cluster load (see
+// internal/fleet). Pending aggregates the per-worker queue depths the
+// heartbeats already carry; Slots is the fleet's total executor capacity.
+type FleetSample struct {
+	Workers  int
+	Warming  int
+	Draining int
+	Jobs     int
+	Slots    int
+	Pending  int
+}
+
+// FleetSample snapshots the load signal the autoscaler policy consumes.
+func (c *Controller) FleetSample() FleetSample {
+	var s FleetSample
+	c.Do(func() {
+		s.Workers = len(c.active)
+		s.Jobs = len(c.jobs)
+		for _, ws := range c.workers {
+			switch ws.phase {
+			case phaseWarming:
+				s.Warming++
+			case phaseDraining:
+				s.Draining++
+			case phaseActive:
+				if ws.alive {
+					s.Slots += ws.slots
+					s.Pending += ws.pending
+				}
+			}
+		}
+	})
+	return s
+}
+
+// fleetAnnounce admits an elastically-joining worker: allocate its ID and
+// state outside the active set, reply with the admit, and start the warm
+// round. The admit, every template install and the warm marker coalesce
+// into one frame on the FIFO control channel, so the worker processes them
+// strictly in order.
+func (c *Controller) fleetAnnounce(m *proto.FleetAnnounce, conn transport.Conn) {
+	c.nextWorker++
+	id := c.nextWorker
+	ws := &workerState{
+		id: id, conn: conn, dataAddr: m.DataAddr,
+		slots: m.Slots, alive: true, lastBeat: time.Now(),
+		phase: phaseWarming,
+	}
+	c.workers[id] = ws
+	c.sendWorker(ws, &proto.FleetAdmit{
+		Worker: id, Peers: c.peerMap(), Eager: c.cfg.Mode == ModeCentral,
+	})
+	ws.warm = &warmState{start: time.Now()}
+	c.planWarm(ws)
+	c.wg.Add(1)
+	go c.pump(conn, id, ids.NoJob, false)
+}
+
+// planWarm plans every live job's retarget onto the prospective set
+// (active + the warming worker), stages the joining worker's installs, and
+// sends the warm marker. A planning error aborts the join: warm plans are
+// all-fresh builds (the new ID has never been in any cached set), so an
+// error here is the same class SetActive refuses on.
+func (c *Controller) planWarm(ws *workerState) {
+	set := append(append([]ids.WorkerID(nil), c.active...), ws.id)
+	sort.Slice(set, func(i, j int) bool { return set[i] < set[j] })
+	sig := workerSigOf(set)
+	warm := ws.warm
+	warm.jobs = warm.jobs[:0]
+	for _, j := range c.jobList() {
+		plans, view := c.planRetargets(j, set, sig)
+		for k := range plans {
+			if plans[k].err != nil {
+				c.cfg.Logf("controller: warming %s: retargeting %s %q: %v",
+					ws.id, j.id, plans[k].name, plans[k].err)
+				c.abortJoin(ws)
+				return
+			}
+		}
+		warm.jobs = append(warm.jobs, warmJob{
+			id: j.id, epoch: j.placeEpoch, dir: j.dir,
+			sig: sig, plans: plans, view: view,
+		})
+		// Stage the newcomer's installs now, ahead of the warm marker; the
+		// worker compiles each template as it lands.
+		for i := range plans {
+			a := plans[i].built
+			if a == nil {
+				a = plans[i].cached
+			}
+			if a == nil {
+				continue
+			}
+			for _, w := range a.Workers() {
+				if w != ws.id {
+					continue
+				}
+				msg := a.InstallMessage(ws.id, plans[i].name)
+				msg.Job = j.id
+				c.sendWorker(ws, msg)
+				break
+			}
+		}
+	}
+	warm.seq++
+	c.sendWorker(ws, &proto.FleetWarm{Seq: warm.seq})
+}
+
+// abortJoin discards a warming worker. It never entered the active set or
+// any job's ledgers, so there is nothing to recover — the state simply
+// goes away.
+func (c *Controller) abortJoin(ws *workerState) {
+	ws.alive = false
+	ws.warm = nil
+	ws.conn.Close()
+	delete(c.workers, ws.id)
+}
+
+// fleetWarmAck completes (or retries) a join. The worker has compiled
+// every install up to Seq; if placement is unchanged since the plan, the
+// planned retargets commit and the worker turns active. If anything moved
+// — a migration, another join, a recovery — the round re-plans, bounded by
+// maxWarmRetries, after which the join commits synchronously.
+func (c *Controller) fleetWarmAck(m *proto.FleetWarmAck) {
+	ws := c.workers[m.Worker]
+	if ws == nil || !ws.alive || ws.phase != phaseWarming || ws.warm == nil || ws.warm.seq != m.Seq {
+		return
+	}
+	warm := ws.warm
+	fresh := true
+	for i := range warm.jobs {
+		wj := &warm.jobs[i]
+		j := c.jobs[wj.id]
+		if j == nil {
+			continue // job ended mid-warm; its plan is simply dropped
+		}
+		if j.placeEpoch != wj.epoch || j.dir != wj.dir {
+			fresh = false
+			break
+		}
+	}
+	if fresh {
+		// Adopt the planned builds' instance allocations first: a conflict
+		// (the directory moved in a way the epoch check cannot see) demotes
+		// the round to stale. Partially adopted pairs are harmless — they
+		// are valid allocations for objects a re-plan introduces anyway.
+		for i := range warm.jobs {
+			wj := &warm.jobs[i]
+			j := c.jobs[wj.id]
+			if j == nil || wj.view == nil {
+				continue
+			}
+			if err := wj.view.Commit(j.dir); err != nil {
+				fresh = false
+				break
+			}
+			wj.view = nil
+		}
+	}
+	if !fresh {
+		if warm.retries < maxWarmRetries {
+			warm.retries++
+			c.planWarm(ws)
+			return
+		}
+		c.finishJoin(ws, nil)
+		return
+	}
+	planned := make(map[ids.JobID]*warmJob, len(warm.jobs))
+	for i := range warm.jobs {
+		planned[warm.jobs[i].id] = &warm.jobs[i]
+	}
+	c.finishJoin(ws, planned)
+}
+
+// finishJoin enters a warmed worker into the active set and retargets
+// every job onto the grown placement. Jobs with a fresh plan adopt it (and
+// mark the pre-sent installs so the first instantiation sends none); jobs
+// without one — admitted mid-warm, or a stale round past its retries —
+// retarget synchronously like recovery does.
+func (c *Controller) finishJoin(ws *workerState, planned map[ids.JobID]*warmJob) {
+	warm := ws.warm
+	ws.warm = nil
+	ws.phase = phaseActive
+	c.active = append(c.active, ws.id)
+	sort.Slice(c.active, func(i, j int) bool { return c.active[i] < c.active[j] })
+	for _, j := range c.jobList() {
+		j.ledgers[ws.id] = flow.NewLedger(ws.id)
+		c.reassignAll(j)
+		if wj := planned[j.id]; wj != nil {
+			c.commitRetargets(j, wj.plans, nil, wj.sig)
+			for i := range wj.plans {
+				a := wj.plans[i].built
+				if a == nil {
+					a = wj.plans[i].cached
+				}
+				if t := j.templates[wj.plans[i].name]; t != nil && a != nil && a.Installed != nil && a == t.Active {
+					a.Installed[ws.id] = true
+				}
+			}
+		} else {
+			c.retargetAll(j)
+		}
+		j.autoValid = false
+	}
+	peers := c.peerMap()
+	for _, other := range c.workers {
+		if other.id != ws.id && other.alive && other.phase != phaseDecommissioned {
+			c.sendWorker(other, &proto.RegisterWorkerAck{
+				Worker: other.id, Peers: peers, Eager: c.cfg.Mode == ModeCentral,
+			})
+		}
+	}
+	c.sendQuotas(ws)
+	c.sendWorker(ws, &proto.FleetReady{Worker: ws.id})
+	c.Stats.FleetJoins.Add(1)
+	c.warmLat.record(time.Since(warm.start))
+	c.cfg.Logf("controller: worker %s joined fleet (%d active, warmed in %v)",
+		ws.id, len(c.active), time.Since(warm.start).Round(time.Microsecond))
+	c.maybeStartTakeover()
+}
+
+// DrainWorker removes one worker from the fleet gracefully (call via Do):
+// every job's templates retarget onto the survivors atomically, the
+// worker's latest data flushes eagerly to the new owners, and the worker
+// is decommissioned once its outstanding work drains — zero failed
+// commands, unlike a kill. The drained worker keeps serving until then.
+func (c *Controller) DrainWorker(id ids.WorkerID) error {
+	ws := c.workers[id]
+	if ws == nil || !ws.alive {
+		return fmt.Errorf("controller: drain of unknown worker %s", id)
+	}
+	if ws.phase != phaseActive {
+		return fmt.Errorf("controller: worker %s is not active (lifecycle phase %d)", id, ws.phase)
+	}
+	if len(c.active) <= 1 {
+		return fmt.Errorf("controller: cannot drain the last worker")
+	}
+	if c.takeoverWait {
+		return fmt.Errorf("controller: drain refused during takeover recovery")
+	}
+	survivors := make([]ids.WorkerID, 0, len(c.active)-1)
+	for _, a := range c.active {
+		if a != id {
+			survivors = append(survivors, a)
+		}
+	}
+	// Plan every job against the shrunken placement before touching live
+	// state; an error anywhere leaves the fleet unchanged (SetActive's
+	// atomicity contract).
+	sig := workerSigOf(survivors)
+	jobs := c.jobList()
+	plansByJob := make([][]retargetPlan, len(jobs))
+	viewsByJob := make([]*flow.BuildView, len(jobs))
+	for i, j := range jobs {
+		plans, view := c.planRetargets(j, survivors, sig)
+		for k := range plans {
+			if plans[k].err != nil {
+				return fmt.Errorf("controller: draining %s: retargeting %s %q: %w",
+					id, j.id, plans[k].name, plans[k].err)
+			}
+		}
+		plansByJob[i], viewsByJob[i] = plans, view
+	}
+	start := time.Now()
+	c.active = survivors
+	ws.phase = phaseDraining
+	ws.drainStart = start
+	c.draining[id] = struct{}{}
+	for i, j := range jobs {
+		c.reassignAll(j)
+		c.commitRetargets(j, plansByJob[i], viewsByJob[i], sig)
+		j.autoValid = false
+		// Eagerly flush every logical object whose latest version lives on
+		// the departing worker to its new owner. RecordCopy updates the
+		// directory at schedule time, so nothing scheduled after this pass
+		// reads from the victim.
+		batches := make(map[ids.WorkerID][]*command.Command)
+		for _, vm := range j.vars {
+			for p, l := range vm.logicals {
+				if j.dir.Latest(l) != 0 && j.dir.LatestHolder(l) == id {
+					c.ensureLatestAt(j, l, vm.assign[p], batches)
+				}
+			}
+		}
+		c.dispatchCommands(j, batches)
+	}
+	c.sendWorker(ws, &proto.FleetDrain{Worker: id})
+	c.cfg.Logf("controller: draining worker %s (%d active remain)", id, len(c.active))
+	c.checkDrains()
+	return nil
+}
+
+// DrainWorkers drains n workers, picking the highest IDs first (the most
+// recently joined — LIFO keeps long-lived workers' caches hot). Returns
+// the drained IDs; fewer than n when the fleet cannot shrink further.
+func (c *Controller) DrainWorkers(n int) []ids.WorkerID {
+	var out []ids.WorkerID
+	for i := len(c.active) - 1; i >= 0 && len(out) < n && len(c.active) > 1; i-- {
+		id := c.active[i]
+		if err := c.DrainWorker(id); err != nil {
+			c.cfg.Logf("controller: autoscale drain %s: %v", id, err)
+			continue
+		}
+		out = append(out, id)
+	}
+	return out
+}
+
+// drainBusy reports whether a draining worker still has dispatched
+// commands, pending template-instance acks, or central-mode graph nodes
+// anywhere.
+func (c *Controller) drainBusy(id ids.WorkerID) bool {
+	for _, j := range c.jobs {
+		for _, w := range j.outstanding {
+			if w == id {
+				return true
+			}
+		}
+		for _, inst := range j.instances {
+			if inst.pending[id] {
+				return true
+			}
+		}
+		for _, n := range j.central.nodes {
+			if n.worker == id {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// checkDrains decommissions every draining worker that has gone quiet. It
+// runs after each event while drains are in flight (the len guard in the
+// event loop keeps the steady state free of it).
+func (c *Controller) checkDrains() {
+	for id := range c.draining {
+		ws := c.workers[id]
+		if ws == nil || !ws.alive || ws.phase != phaseDraining {
+			delete(c.draining, id)
+			continue
+		}
+		if c.drainBusy(id) {
+			continue
+		}
+		c.decommission(ws)
+	}
+}
+
+// decommission releases a drained, quiet worker: its directory replicas
+// and ledgers drop (every latest version already lives on a survivor —
+// that is what the eager flush and the outstanding-work wait guarantee),
+// peers stop addressing it, and it is told to shut down. The worker state
+// lingers, decommissioned, until its connection closes.
+func (c *Controller) decommission(ws *workerState) {
+	delete(c.draining, ws.id)
+	ws.phase = phaseDecommissioned
+	for _, j := range c.jobs {
+		j.dir.DropWorker(ws.id)
+		delete(j.ledgers, ws.id)
+	}
+	c.sendWorker(ws, &proto.FleetDecommission{Worker: ws.id})
+	peers := c.peerMap()
+	for _, other := range c.workers {
+		if other.id != ws.id && other.alive && other.phase != phaseDecommissioned {
+			c.sendWorker(other, &proto.RegisterWorkerAck{
+				Worker: other.id, Peers: peers, Eager: c.cfg.Mode == ModeCentral,
+			})
+		}
+	}
+	c.Stats.FleetDrains.Add(1)
+	c.drainLat.record(time.Since(ws.drainStart))
+	c.cfg.Logf("controller: worker %s decommissioned (drained in %v)",
+		ws.id, time.Since(ws.drainStart).Round(time.Microsecond))
+}
+
+// fleetWorkerGone cleans up a warming, draining or decommissioned worker
+// whose connection dropped (or heartbeats stopped), and reports whether it
+// handled the departure. A warming or decommissioned worker owns no
+// placement, ledgers or outstanding work, so removal is a pure delete — no
+// recovery. A draining worker that dies before decommission still holds
+// in-flight work and possibly sole latest replicas, so it falls through to
+// the ordinary failure path (checkpoint revert + replay).
+func (c *Controller) fleetWorkerGone(ws *workerState) bool {
+	switch ws.phase {
+	case phaseWarming:
+		c.cfg.Logf("controller: worker %s lost mid-warm; join aborted", ws.id)
+		c.abortJoin(ws)
+		return true
+	case phaseDecommissioned:
+		ws.alive = false
+		ws.conn.Close()
+		delete(c.workers, ws.id)
+		return true
+	case phaseDraining:
+		delete(c.draining, ws.id)
+		return false
+	}
+	return false
+}

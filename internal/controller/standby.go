@@ -11,6 +11,15 @@ import (
 	"nimbus/internal/transport"
 )
 
+// ErrStandbyChain rejects attaching a standby behind another unpromoted
+// standby. Replication is strictly primary→standby: a standby never
+// listens, never re-streams the oplog, and its shadow state is not a
+// replication source, so a chained standby would silently protect
+// nothing. Deploy standbys in parallel against the primary instead, or
+// attach the next one after a promotion (see DESIGN.md, "Controller
+// failover").
+var ErrStandbyChain = errors.New("controller: standby cannot attach behind an unpromoted standby")
+
 // Standby is a hot-standby controller: it attaches to a running primary,
 // mirrors its replicated state (repl.go) into a shadow, and watches the
 // leadership lease the stream carries. While the primary renews on time,

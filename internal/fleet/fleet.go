@@ -1,0 +1,281 @@
+// Package fleet implements load-based autoscaling for an elastic worker
+// fleet. It is deliberately mechanism-free: the controller exposes load
+// samples, a Policy maps a sample to a desired fleet size, and a
+// Provisioner launches or drains workers. The Autoscaler in between adds
+// the operational damping — min/max bounds, a hysteresis deadband, a
+// cooldown after every action, and a hold while any lifecycle transition
+// (warm or drain) is still in flight — so a noisy load signal cannot
+// thrash the fleet. The package imports nothing from the control plane;
+// the cluster harness (and a real deployment) adapts both ends.
+package fleet
+
+import (
+	"sync"
+	"time"
+)
+
+// Sample is one observation of fleet load, taken on the controller's
+// event loop so all fields are mutually consistent.
+type Sample struct {
+	// Workers is the number of active (schedulable) workers.
+	Workers int
+	// Warming and Draining count lifecycle transitions in flight.
+	Warming  int
+	Draining int
+	// Jobs is the number of live jobs.
+	Jobs int
+	// Slots is the total executor concurrency across active workers.
+	Slots int
+	// Pending is the total unfinished commands across active workers, as
+	// last reported by heartbeats.
+	Pending int
+}
+
+// Policy maps an observed load sample to a desired fleet size. The
+// Autoscaler clamps and damps the result; policies should just state the
+// ideal.
+type Policy interface {
+	Desired(s Sample) int
+}
+
+// TargetPending sizes the fleet so each active worker carries about
+// PerWorker pending commands. It never proposes below one worker; the
+// Autoscaler's Min bound raises the floor further.
+type TargetPending struct {
+	// PerWorker is the pending-command load one worker should carry
+	// (default 8).
+	PerWorker int
+}
+
+// Desired implements Policy.
+func (p TargetPending) Desired(s Sample) int {
+	per := p.PerWorker
+	if per <= 0 {
+		per = 8
+	}
+	n := (s.Pending + per - 1) / per
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// PolicyFunc adapts a plain function to the Policy interface.
+type PolicyFunc func(s Sample) int
+
+// Desired implements Policy.
+func (f PolicyFunc) Desired(s Sample) int { return f(s) }
+
+// Provisioner launches and retires workers. Launch starts n fresh
+// workers joining through the fleet lifecycle; Drain retires n workers
+// (the implementation picks victims — the controller drains
+// newest-first). Both are called from the autoscaler's loop goroutine.
+type Provisioner interface {
+	Launch(n int) error
+	Drain(n int) error
+}
+
+// Decision explains one Step outcome, for logs and tests.
+type Decision struct {
+	Sample   Sample
+	Desired  int // post-clamp target
+	Launched int
+	Drained  int
+	// Hold names why no action was taken ("" when one was): "inflight",
+	// "deadband", "cooldown", or "error".
+	Hold string
+	Err  error
+}
+
+// Config parameterizes an Autoscaler.
+type Config struct {
+	// Min and Max bound the fleet size (Min defaults to 1; Max <= 0 means
+	// unbounded).
+	Min int
+	Max int
+	// Interval is the sampling period for the background loop (default
+	// 100ms); Step-driven tests ignore it.
+	Interval time.Duration
+	// Cooldown is the minimum quiet time after an action before the next
+	// one (zero: none).
+	Cooldown time.Duration
+	// Hysteresis is the deadband: a desired size within this distance of
+	// the current size is ignored (zero: any drift acts). Bound
+	// violations override the deadband.
+	Hysteresis int
+	// Sample observes current load (required).
+	Sample func() Sample
+	// Policy maps load to a desired size (default TargetPending{}).
+	Policy Policy
+	// Prov executes scaling actions (required).
+	Prov Provisioner
+	// Logf receives one line per action (nil: silent).
+	Logf func(format string, args ...any)
+}
+
+// Stats counts autoscaler outcomes; read them after Stop.
+type Stats struct {
+	Steps  uint64
+	Ups    uint64
+	Downs  uint64
+	Holds  uint64
+	Errors uint64
+}
+
+// Autoscaler drives a Provisioner from load samples. Step is the whole
+// algorithm and is deterministic given (sample, now); Start/Stop wrap it
+// in a ticker loop for live use.
+type Autoscaler struct {
+	cfg        Config
+	lastAction time.Time
+
+	mu      sync.Mutex
+	stats   Stats
+	stopped chan struct{}
+	done    chan struct{}
+
+	// Stats are guarded by mu; Step itself is single-threaded (the loop
+	// goroutine, or the test driving it).
+}
+
+// New validates cfg and builds an Autoscaler.
+func New(cfg Config) *Autoscaler {
+	if cfg.Min < 1 {
+		cfg.Min = 1
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = 100 * time.Millisecond
+	}
+	if cfg.Policy == nil {
+		cfg.Policy = TargetPending{}
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	return &Autoscaler{
+		cfg:     cfg,
+		stopped: make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+}
+
+// Step runs one autoscaling round at the given time: sample, clamp the
+// policy's desire into [Min, Max], and act unless damped. Deterministic:
+// no wall-clock reads, so tests drive it with synthetic times.
+func (a *Autoscaler) Step(now time.Time) Decision {
+	a.count(func(s *Stats) { s.Steps++ })
+	s := a.cfg.Sample()
+	d := Decision{Sample: s}
+
+	// A transition in flight means the last action (or an operator's) has
+	// not converged; acting on a sample that still counts the old size
+	// double-applies the correction.
+	if s.Warming > 0 || s.Draining > 0 {
+		d.Hold = "inflight"
+		a.count(func(st *Stats) { st.Holds++ })
+		return d
+	}
+
+	desired := a.cfg.Policy.Desired(s)
+	if desired < a.cfg.Min {
+		desired = a.cfg.Min
+	}
+	if a.cfg.Max > 0 && desired > a.cfg.Max {
+		desired = a.cfg.Max
+	}
+	d.Desired = desired
+	delta := desired - s.Workers
+
+	// Bound violations always act; within bounds the deadband and the
+	// cooldown suppress small or rapid corrections.
+	outOfBounds := s.Workers < a.cfg.Min || (a.cfg.Max > 0 && s.Workers > a.cfg.Max)
+	if !outOfBounds {
+		if abs(delta) <= a.cfg.Hysteresis || delta == 0 {
+			d.Hold = "deadband"
+			a.count(func(st *Stats) { st.Holds++ })
+			return d
+		}
+		if a.cfg.Cooldown > 0 && !a.lastAction.IsZero() && now.Sub(a.lastAction) < a.cfg.Cooldown {
+			d.Hold = "cooldown"
+			a.count(func(st *Stats) { st.Holds++ })
+			return d
+		}
+	}
+
+	var err error
+	switch {
+	case delta > 0:
+		err = a.cfg.Prov.Launch(delta)
+		if err == nil {
+			d.Launched = delta
+			a.count(func(st *Stats) { st.Ups++ })
+		}
+	case delta < 0:
+		err = a.cfg.Prov.Drain(-delta)
+		if err == nil {
+			d.Drained = -delta
+			a.count(func(st *Stats) { st.Downs++ })
+		}
+	default:
+		d.Hold = "deadband"
+		a.count(func(st *Stats) { st.Holds++ })
+		return d
+	}
+	if err != nil {
+		d.Hold = "error"
+		d.Err = err
+		a.count(func(st *Stats) { st.Errors++ })
+		return d
+	}
+	a.lastAction = now
+	a.cfg.Logf("fleet: autoscale %d -> %d (pending %d over %d workers)",
+		s.Workers, desired, s.Pending, s.Workers)
+	return d
+}
+
+// Start launches the background loop. Call Stop to end it.
+func (a *Autoscaler) Start() {
+	go func() {
+		defer close(a.done)
+		t := time.NewTicker(a.cfg.Interval)
+		defer t.Stop()
+		for {
+			select {
+			case now := <-t.C:
+				a.Step(now)
+			case <-a.stopped:
+				return
+			}
+		}
+	}()
+}
+
+// Stop ends the background loop and waits for it.
+func (a *Autoscaler) Stop() {
+	select {
+	case <-a.stopped:
+	default:
+		close(a.stopped)
+	}
+	<-a.done
+}
+
+// Stats returns a snapshot of the counters.
+func (a *Autoscaler) Stats() Stats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.stats
+}
+
+func (a *Autoscaler) count(f func(*Stats)) {
+	a.mu.Lock()
+	f(&a.stats)
+	a.mu.Unlock()
+}
+
+func abs(n int) int {
+	if n < 0 {
+		return -n
+	}
+	return n
+}

@@ -1,0 +1,144 @@
+package fleet
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// fakeProv records scaling actions and mirrors them into the sample so
+// the next Step sees the new size.
+type fakeProv struct {
+	s        *Sample
+	launches []int
+	drains   []int
+	err      error
+}
+
+func (p *fakeProv) Launch(n int) error {
+	if p.err != nil {
+		return p.err
+	}
+	p.launches = append(p.launches, n)
+	p.s.Workers += n
+	return nil
+}
+
+func (p *fakeProv) Drain(n int) error {
+	if p.err != nil {
+		return p.err
+	}
+	p.drains = append(p.drains, n)
+	p.s.Workers -= n
+	return nil
+}
+
+func harness(s *Sample, cfg Config) (*Autoscaler, *fakeProv) {
+	p := &fakeProv{s: s}
+	cfg.Sample = func() Sample { return *s }
+	cfg.Prov = p
+	return New(cfg), p
+}
+
+func TestAutoscaleGrowAndShrink(t *testing.T) {
+	s := &Sample{Workers: 4, Pending: 320}
+	a, p := harness(s, Config{Min: 2, Max: 64, Policy: TargetPending{PerWorker: 8}})
+	now := time.Unix(0, 0)
+
+	d := a.Step(now)
+	if d.Launched != 36 || s.Workers != 40 {
+		t.Fatalf("grow: launched %d, workers %d; want 36, 40", d.Launched, s.Workers)
+	}
+	s.Pending = 16
+	d = a.Step(now.Add(time.Second))
+	if d.Drained != 38 || s.Workers != 2 {
+		t.Fatalf("shrink: drained %d, workers %d; want 38, 2", d.Drained, s.Workers)
+	}
+	if len(p.launches) != 1 || len(p.drains) != 1 {
+		t.Fatalf("actions: %v launches, %v drains", p.launches, p.drains)
+	}
+}
+
+func TestAutoscaleBounds(t *testing.T) {
+	s := &Sample{Workers: 4, Pending: 1 << 20}
+	a, _ := harness(s, Config{Min: 2, Max: 8, Policy: TargetPending{PerWorker: 1}})
+	if d := a.Step(time.Unix(0, 0)); d.Desired != 8 || s.Workers != 8 {
+		t.Fatalf("max clamp: desired %d, workers %d; want 8, 8", d.Desired, s.Workers)
+	}
+	s.Pending = 0
+	if d := a.Step(time.Unix(1, 0)); d.Desired != 2 || s.Workers != 2 {
+		t.Fatalf("min clamp: desired %d, workers %d; want 2, 2", d.Desired, s.Workers)
+	}
+}
+
+func TestAutoscaleHysteresis(t *testing.T) {
+	s := &Sample{Workers: 8, Pending: 80}
+	a, _ := harness(s, Config{Min: 1, Max: 64, Hysteresis: 2, Policy: TargetPending{PerWorker: 8}})
+	// Desired 10, delta 2 == deadband: hold.
+	if d := a.Step(time.Unix(0, 0)); d.Hold != "deadband" || s.Workers != 8 {
+		t.Fatalf("within deadband: hold %q, workers %d", d.Hold, s.Workers)
+	}
+	s.Pending = 88 // desired 11, delta 3: acts
+	if d := a.Step(time.Unix(1, 0)); d.Launched != 3 {
+		t.Fatalf("past deadband: %+v", d)
+	}
+}
+
+func TestAutoscaleCooldown(t *testing.T) {
+	s := &Sample{Workers: 2, Pending: 64}
+	a, _ := harness(s, Config{Min: 1, Max: 64, Cooldown: time.Minute, Policy: TargetPending{PerWorker: 8}})
+	now := time.Unix(0, 0)
+	if d := a.Step(now); d.Launched != 6 {
+		t.Fatalf("first action: %+v", d)
+	}
+	s.Pending = 640
+	if d := a.Step(now.Add(10 * time.Second)); d.Hold != "cooldown" {
+		t.Fatalf("inside cooldown: %+v", d)
+	}
+	if d := a.Step(now.Add(2 * time.Minute)); d.Launched == 0 {
+		t.Fatalf("after cooldown: %+v", d)
+	}
+}
+
+func TestAutoscaleHoldsWhileTransitioning(t *testing.T) {
+	s := &Sample{Workers: 4, Warming: 1, Pending: 1000}
+	a, _ := harness(s, Config{Min: 1, Max: 64})
+	if d := a.Step(time.Unix(0, 0)); d.Hold != "inflight" {
+		t.Fatalf("warming: %+v", d)
+	}
+	s.Warming, s.Draining = 0, 2
+	if d := a.Step(time.Unix(1, 0)); d.Hold != "inflight" {
+		t.Fatalf("draining: %+v", d)
+	}
+	st := a.Stats()
+	if st.Holds != 2 || st.Ups != 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestAutoscaleProvisionerError(t *testing.T) {
+	s := &Sample{Workers: 2, Pending: 64}
+	a, p := harness(s, Config{Min: 1, Max: 64})
+	p.err = errors.New("no capacity")
+	d := a.Step(time.Unix(0, 0))
+	if d.Hold != "error" || d.Err == nil || s.Workers != 2 {
+		t.Fatalf("error path: %+v", d)
+	}
+	// The failed action must not arm the cooldown: once capacity returns
+	// the next step retries immediately.
+	p.err = nil
+	if d := a.Step(time.Unix(0, 1)); d.Launched == 0 {
+		t.Fatalf("retry after error: %+v", d)
+	}
+}
+
+func TestAutoscaleLoopLifecycle(t *testing.T) {
+	s := &Sample{Workers: 1, Pending: 0}
+	a, _ := harness(s, Config{Min: 1, Interval: time.Millisecond})
+	a.Start()
+	time.Sleep(20 * time.Millisecond)
+	a.Stop()
+	if st := a.Stats(); st.Steps == 0 {
+		t.Fatal("loop never stepped")
+	}
+}

@@ -95,6 +95,13 @@ const (
 	KindMuxData
 	KindSessionClose
 	KindAdmissionReject
+	KindFleetAnnounce
+	KindFleetAdmit
+	KindFleetWarm
+	KindFleetWarmAck
+	KindFleetReady
+	KindFleetDrain
+	KindFleetDecommission
 	// KindMax is one past the last registered message kind; coverage
 	// tests iterate [KindRegisterWorker, KindMax).
 	KindMax
@@ -163,6 +170,13 @@ var kindNames = [...]string{
 	KindMuxData:             "mux-data",
 	KindSessionClose:        "session-close",
 	KindAdmissionReject:     "admission-reject",
+	KindFleetAnnounce:       "fleet-announce",
+	KindFleetAdmit:          "fleet-admit",
+	KindFleetWarm:           "fleet-warm",
+	KindFleetWarmAck:        "fleet-warm-ack",
+	KindFleetReady:          "fleet-ready",
+	KindFleetDrain:          "fleet-drain",
+	KindFleetDecommission:   "fleet-decommission",
 }
 
 // String returns the message kind name.
@@ -324,6 +338,20 @@ func newMsg(kind MsgKind) Msg {
 		return &SessionClose{}
 	case KindAdmissionReject:
 		return &AdmissionReject{}
+	case KindFleetAnnounce:
+		return &FleetAnnounce{}
+	case KindFleetAdmit:
+		return &FleetAdmit{}
+	case KindFleetWarm:
+		return &FleetWarm{}
+	case KindFleetWarmAck:
+		return &FleetWarmAck{}
+	case KindFleetReady:
+		return &FleetReady{}
+	case KindFleetDrain:
+		return &FleetDrain{}
+	case KindFleetDecommission:
+		return &FleetDecommission{}
 	default:
 		return nil
 	}
@@ -2122,5 +2150,161 @@ func (m *AdmissionReject) decode(r *wire.Reader) error {
 	m.Code = r.Byte()
 	m.RetryAfterMillis = r.Uvarint()
 	m.Err = r.String()
+	return r.Err
+}
+
+// ---------------------------------------------------------------------------
+// Elastic fleet lifecycle (announce → admit → warm → ready; drain →
+// decommission). A joining worker announces itself instead of registering:
+// the controller admits it outside the active set, streams every live job's
+// active templates at it, and only enters it into placement once the worker
+// acknowledges the warm marker — so a new worker never takes traffic with a
+// cold template cache.
+
+// FleetAnnounce is the first message an elastically-joining worker sends.
+// Unlike RegisterWorker it does not enter the worker into the active set:
+// the controller replies with FleetAdmit and runs the warm protocol first.
+type FleetAnnounce struct {
+	DataAddr string
+	Slots    int
+}
+
+// Kind implements Msg.
+func (*FleetAnnounce) Kind() MsgKind { return KindFleetAnnounce }
+
+func (m *FleetAnnounce) encode(w *wire.Writer) {
+	w.String(m.DataAddr)
+	w.Uvarint(uint64(m.Slots))
+}
+
+func (m *FleetAnnounce) decode(r *wire.Reader) error {
+	m.DataAddr = r.String()
+	m.Slots = int(r.Uvarint())
+	return r.Err
+}
+
+// FleetAdmit assigns an announcing worker its ID and peer map. The worker
+// is admitted but not yet active: template installs follow, then a
+// FleetWarm marker.
+type FleetAdmit struct {
+	Worker ids.WorkerID
+	Peers  map[ids.WorkerID]string
+	Eager  bool
+}
+
+// Kind implements Msg.
+func (*FleetAdmit) Kind() MsgKind { return KindFleetAdmit }
+
+func (m *FleetAdmit) encode(w *wire.Writer) {
+	w.Uvarint(uint64(m.Worker))
+	w.Uvarint(uint64(len(m.Peers)))
+	for id, addr := range m.Peers {
+		w.Uvarint(uint64(id))
+		w.String(addr)
+	}
+	w.Bool(m.Eager)
+}
+
+func (m *FleetAdmit) decode(r *wire.Reader) error {
+	m.Worker = ids.WorkerID(r.Uvarint())
+	n := r.Count()
+	if r.Err != nil {
+		return r.Err
+	}
+	m.Peers = make(map[ids.WorkerID]string, n)
+	for i := 0; i < n; i++ {
+		id := ids.WorkerID(r.Uvarint())
+		m.Peers[id] = r.String()
+	}
+	m.Eager = r.Bool()
+	return r.Err
+}
+
+// FleetWarm is the controller's warm marker: it follows the batch of
+// template installs for a joining worker on the FIFO control channel, so
+// when the worker sees it every preceding install has been processed and
+// compiled. Seq guards against a stale ack after the controller re-plans
+// (a build or migration committed mid-warm).
+type FleetWarm struct {
+	Seq uint64
+}
+
+// Kind implements Msg.
+func (*FleetWarm) Kind() MsgKind { return KindFleetWarm }
+
+func (m *FleetWarm) encode(w *wire.Writer) { w.Uvarint(m.Seq) }
+
+func (m *FleetWarm) decode(r *wire.Reader) error {
+	m.Seq = r.Uvarint()
+	return r.Err
+}
+
+// FleetWarmAck is the worker's reply to FleetWarm: all installs up to Seq
+// are resident and compiled.
+type FleetWarmAck struct {
+	Worker ids.WorkerID
+	Seq    uint64
+}
+
+// Kind implements Msg.
+func (*FleetWarmAck) Kind() MsgKind { return KindFleetWarmAck }
+
+func (m *FleetWarmAck) encode(w *wire.Writer) {
+	w.Uvarint(uint64(m.Worker))
+	w.Uvarint(m.Seq)
+}
+
+func (m *FleetWarmAck) decode(r *wire.Reader) error {
+	m.Worker = ids.WorkerID(r.Uvarint())
+	m.Seq = r.Uvarint()
+	return r.Err
+}
+
+// FleetReady tells a warmed worker it has entered the active set and will
+// start receiving traffic.
+type FleetReady struct {
+	Worker ids.WorkerID
+}
+
+// Kind implements Msg.
+func (*FleetReady) Kind() MsgKind { return KindFleetReady }
+
+func (m *FleetReady) encode(w *wire.Writer) { w.Uvarint(uint64(m.Worker)) }
+
+func (m *FleetReady) decode(r *wire.Reader) error {
+	m.Worker = ids.WorkerID(r.Uvarint())
+	return r.Err
+}
+
+// FleetDrain tells a worker it is leaving the fleet: it keeps serving
+// in-flight work but the controller has stopped placing new partitions on
+// it. FleetDecommission follows once the worker is quiet.
+type FleetDrain struct {
+	Worker ids.WorkerID
+}
+
+// Kind implements Msg.
+func (*FleetDrain) Kind() MsgKind { return KindFleetDrain }
+
+func (m *FleetDrain) encode(w *wire.Writer) { w.Uvarint(uint64(m.Worker)) }
+
+func (m *FleetDrain) decode(r *wire.Reader) error {
+	m.Worker = ids.WorkerID(r.Uvarint())
+	return r.Err
+}
+
+// FleetDecommission releases a drained worker: no outstanding commands or
+// live data remain on it, and it may shut down.
+type FleetDecommission struct {
+	Worker ids.WorkerID
+}
+
+// Kind implements Msg.
+func (*FleetDecommission) Kind() MsgKind { return KindFleetDecommission }
+
+func (m *FleetDecommission) encode(w *wire.Writer) { w.Uvarint(uint64(m.Worker)) }
+
+func (m *FleetDecommission) decode(r *wire.Reader) error {
+	m.Worker = ids.WorkerID(r.Uvarint())
 	return r.Err
 }

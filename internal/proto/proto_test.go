@@ -106,6 +106,13 @@ func everyMessage() []Msg {
 		&MuxData{Session: 5, Seq: 9, Raw: []byte{byte(KindPut), 1, 2}},
 		&SessionClose{Session: 5},
 		&AdmissionReject{Code: RejectQueueFull, RetryAfterMillis: 250, Err: "admission queue full"},
+		&FleetAnnounce{DataAddr: "data/9", Slots: 8},
+		&FleetAdmit{Worker: 9, Peers: map[ids.WorkerID]string{1: "a", 2: "b"}, Eager: true},
+		&FleetWarm{Seq: 3},
+		&FleetWarmAck{Worker: 9, Seq: 3},
+		&FleetReady{Worker: 9},
+		&FleetDrain{Worker: 9},
+		&FleetDecommission{Worker: 9},
 	}
 }
 

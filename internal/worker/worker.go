@@ -94,6 +94,12 @@ type Config struct {
 	// CompressChunks flate-compresses data-plane chunks when that shrinks
 	// them (incompressible chunks ride raw).
 	CompressChunks bool
+	// FleetJoin selects the elastic-fleet handshake: the worker announces
+	// itself (FleetAnnounce) instead of registering, is warmed with every
+	// live job's templates before taking traffic, and honors drain /
+	// decommission orders. Ready() closes once the controller admits it
+	// into the active set.
+	FleetJoin bool
 	// Logf receives diagnostics. Nil defaults to log.Printf.
 	Logf func(format string, args ...any)
 }
@@ -244,6 +250,15 @@ type Worker struct {
 	// controller after a transient drop, or to a promoted standby.
 	outage bool
 	outbuf [][]byte
+
+	// Fleet lifecycle. drainFlag marks a FleetDrain received — in-flight
+	// work keeps executing, and a reconnect after failover clears it
+	// (drain-abort). readyCh closes when the worker enters the active set
+	// (at registration for fixed-fleet workers, at FleetReady for elastic
+	// joins). Both are observable off the event loop by tests.
+	drainFlag atomic.Bool
+	readyCh   chan struct{}
+	readyOnce sync.Once
 
 	// Stats is exported for tests and metrics.
 	Stats Stats
@@ -457,6 +472,7 @@ func New(cfg Config) *Worker {
 		cfg:            cfg,
 		events:         make(chan event, 1024),
 		stopped:        make(chan struct{}),
+		readyCh:        make(chan struct{}),
 		reg:            cfg.Registry,
 		durable:        cfg.Durable,
 		jobs:           make(map[ids.JobID]*jstate),
@@ -605,6 +621,9 @@ func (w *Worker) Start() error {
 		return fmt.Errorf("worker: control dial: %w", err)
 	}
 	w.ctrl = ctrl
+	if w.cfg.FleetJoin {
+		return w.startFleet(ctrl, dl)
+	}
 	if err := w.sendCtrl(&proto.RegisterWorker{DataAddr: w.cfg.DataAddr, Slots: w.cfg.Slots}); err != nil {
 		dl.Close()
 		w.removeSpillDir()
@@ -634,6 +653,9 @@ func (w *Worker) Start() error {
 	for id, addr := range ack.Peers {
 		w.peers[id] = addr
 	}
+	// Registered workers are in the active set from the first event-loop
+	// turn; there is no warm phase to wait out.
+	w.readyOnce.Do(func() { close(w.readyCh) })
 
 	w.wg.Add(3)
 	go w.ctrlPump(ctrl)
@@ -645,6 +667,73 @@ func (w *Worker) Start() error {
 	}
 	return nil
 }
+
+// startFleet runs the elastic-join handshake: announce, await admission.
+// The controller coalesces its whole admission turn into one frame, so
+// the admit may arrive with template installs and the FleetWarm probe
+// behind it. Those extras are fed into the event loop in order BEFORE the
+// control pump starts, preserving controller message order — the warm ack
+// the controller is waiting for must only be sent after every install in
+// the same frame has been applied.
+func (w *Worker) startFleet(ctrl transport.Conn, dl transport.Listener) error {
+	fail := func(err error) error {
+		ctrl.Close()
+		dl.Close()
+		w.removeSpillDir()
+		return err
+	}
+	if err := w.sendCtrl(&proto.FleetAnnounce{DataAddr: w.cfg.DataAddr, Slots: w.cfg.Slots}); err != nil {
+		return fail(fmt.Errorf("worker: fleet announce: %w", err))
+	}
+	raw, err := ctrl.Recv()
+	if err != nil {
+		return fail(fmt.Errorf("worker: awaiting fleet admission: %w", err))
+	}
+	var msgs []proto.Msg
+	err = proto.ForEachMsg(raw, func(m proto.Msg) error {
+		msgs = append(msgs, m)
+		return nil
+	})
+	proto.PutBuf(raw)
+	if err != nil {
+		return fail(err)
+	}
+	if len(msgs) == 0 {
+		return fail(fmt.Errorf("worker: empty fleet admission frame"))
+	}
+	admit, ok := msgs[0].(*proto.FleetAdmit)
+	if !ok {
+		return fail(fmt.Errorf("worker: expected fleet admit, got %s", msgs[0].Kind()))
+	}
+	w.id = admit.Worker
+	w.eager = admit.Eager
+	for id, addr := range admit.Peers {
+		w.peers[id] = addr
+	}
+	w.wg.Add(2)
+	go w.acceptLoop(dl)
+	go w.run(dl)
+	// The event loop is live and draining, so these sends cannot deadlock
+	// even if the admission frame outruns the channel buffer.
+	for _, m := range msgs[1:] {
+		w.events <- event{kind: evCtrl, msg: m}
+	}
+	w.wg.Add(1)
+	go w.ctrlPump(ctrl)
+	if w.cfg.HeartbeatEvery > 0 {
+		w.wg.Add(1)
+		go w.heartbeatLoop()
+	}
+	return nil
+}
+
+// Ready is closed once the controller has entered this worker into the
+// active set: immediately after registration for fixed-fleet workers, at
+// FleetReady (warm complete) for elastic joins.
+func (w *Worker) Ready() <-chan struct{} { return w.readyCh }
+
+// Draining reports whether a FleetDrain order is in effect.
+func (w *Worker) Draining() bool { return w.drainFlag.Load() }
 
 // Stop shuts the worker down and waits for its goroutines.
 func (w *Worker) Stop() {
@@ -959,6 +1048,11 @@ func (w *Worker) reconnectHandshake(conn transport.Conn) (*proto.RegisterWorkerA
 // goes back into the outage buffer — never silently dropped — and the
 // worker stays in outage with a new reconnect loop running.
 func (w *Worker) completeReconnect(conn transport.Conn, ack *proto.RegisterWorkerAck, extra []proto.Msg) (shutdown bool) {
+	// A promoted standby readmits this worker as a plain active member —
+	// fleet phases are not replicated — so any drain in flight is aborted
+	// and a join mid-warm completes as a plain registration.
+	w.drainFlag.Store(false)
+	w.readyOnce.Do(func() { close(w.readyCh) })
 	w.eager = ack.Eager
 	for id, addr := range ack.Peers {
 		w.peers[id] = addr
@@ -1037,6 +1131,16 @@ func (w *Worker) handleCtrl(msg proto.Msg) bool {
 		w.setQuota(m)
 	case *proto.JobEnd:
 		w.dropJob(m.Job)
+	case *proto.FleetWarm:
+		// All installs in the warm frame precede this message, so acking
+		// here certifies every template compiled before traffic arrives.
+		_ = w.sendCtrl(&proto.FleetWarmAck{Worker: w.id, Seq: m.Seq})
+	case *proto.FleetReady:
+		w.readyOnce.Do(func() { close(w.readyCh) })
+	case *proto.FleetDrain:
+		w.drainFlag.Store(true)
+	case *proto.FleetDecommission:
+		return true
 	case *proto.Shutdown:
 		return true
 	default:
